@@ -1,0 +1,80 @@
+"""Ablation: conservative (paper) vs exact ellipse/disk sufficiency test.
+
+Quantifies what the paper's D1+D2 approximation costs: how often it flags
+a pair the exact geometry would clear (false alarms — extra samples or
+spurious insufficiency), and how much cheaper it is per call.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from repro.geo.circle import Circle
+from repro.geo.ellipse import (
+    TravelRangeEllipse,
+    ellipse_disk_disjoint_conservative,
+    ellipse_disk_disjoint_exact,
+)
+
+
+def _random_cases(n, rng):
+    cases = []
+    for _ in range(n):
+        f1 = (rng.uniform(-100, 100), rng.uniform(-100, 100))
+        f2 = (rng.uniform(-100, 100), rng.uniform(-100, 100))
+        ellipse = TravelRangeEllipse(f1, f2,
+                                     math.dist(f1, f2) + rng.uniform(0, 60))
+        disk = Circle(rng.uniform(-150, 150), rng.uniform(-150, 150),
+                      rng.uniform(1, 40))
+        cases.append((ellipse, disk))
+    return cases
+
+
+def test_geometry_ablation(benchmark, emit):
+    rng = random.Random(7)
+    cases = _random_cases(3000, rng)
+
+    def evaluate():
+        agreements = 0
+        false_alarms = 0
+        unsound = 0
+        for ellipse, disk in cases:
+            conservative = ellipse_disk_disjoint_conservative(ellipse, disk)
+            exact = ellipse_disk_disjoint_exact(ellipse, disk)
+            if conservative == exact:
+                agreements += 1
+            elif exact and not conservative:
+                false_alarms += 1
+            else:
+                unsound += 1
+        return agreements, false_alarms, unsound
+
+    agreements, false_alarms, unsound = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    for ellipse, disk in cases:
+        ellipse_disk_disjoint_conservative(ellipse, disk)
+    conservative_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for ellipse, disk in cases:
+        ellipse_disk_disjoint_exact(ellipse, disk)
+    exact_time = time.perf_counter() - start
+
+    emit("Ablation — conservative (paper) vs exact sufficiency predicate\n"
+         f"  cases            : {len(cases)}\n"
+         f"  agreement        : {agreements} "
+         f"({100.0 * agreements / len(cases):.1f}%)\n"
+         f"  false alarms     : {false_alarms} "
+         f"(conservative flags, exact clears)\n"
+         f"  soundness holes  : {unsound} (must be 0)\n"
+         f"  per-call cost    : conservative "
+         f"{conservative_time / len(cases) * 1e6:.1f} us, exact "
+         f"{exact_time / len(cases) * 1e6:.1f} us "
+         f"({exact_time / conservative_time:.0f}x)")
+
+    assert unsound == 0          # the paper's test is sound
+    assert false_alarms > 0      # ...but not exact
+    assert exact_time > conservative_time

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the crypto substrate (supports Table II).
+
+Measures this machine's RSA sign/verify/encrypt costs at the paper's two
+key sizes.  The absolute numbers differ from the Raspberry Pi, but the
+2048/1024 sign-cost *ratio* should land near the ~5.1x that Table II
+implies — that is the cross-check for the calibrated cost model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.hmac_sign import generate_hmac_key, hmac_sign
+from repro.crypto.pkcs1 import (
+    decrypt_pkcs1_v15,
+    encrypt_pkcs1_v15,
+    sign_pkcs1_v15,
+    verify_pkcs1_v15,
+)
+
+PAYLOAD = b"\x00" * 36  # one canonical GPS sample payload
+
+
+def test_sign_1024(benchmark, rsa_1024):
+    benchmark(sign_pkcs1_v15, rsa_1024, PAYLOAD)
+
+
+def test_sign_2048(benchmark, rsa_2048):
+    benchmark(sign_pkcs1_v15, rsa_2048, PAYLOAD)
+
+
+def test_verify_1024(benchmark, rsa_1024):
+    signature = sign_pkcs1_v15(rsa_1024, PAYLOAD)
+    result = benchmark(verify_pkcs1_v15, rsa_1024.public_key, PAYLOAD,
+                       signature)
+    assert result
+
+
+def test_encrypt_1024(benchmark, rsa_1024):
+    rng = random.Random(3)
+    benchmark(encrypt_pkcs1_v15, rsa_1024.public_key, PAYLOAD, rng)
+
+
+def test_decrypt_1024(benchmark, rsa_1024):
+    ciphertext = encrypt_pkcs1_v15(rsa_1024.public_key, PAYLOAD,
+                                   rng=random.Random(3))
+    assert benchmark(decrypt_pkcs1_v15, rsa_1024, ciphertext) == PAYLOAD
+
+
+def test_hmac_sign(benchmark):
+    key = generate_hmac_key(random.Random(4))
+    benchmark(hmac_sign, key, PAYLOAD)
+
+
+def test_sign_cost_ratio_matches_table2(benchmark, rsa_1024, rsa_2048, emit):
+    """The 2048/1024 ratio should match the Table-II-derived ~5.1x."""
+    import time
+
+    def measure(key, n=40):
+        start = time.perf_counter()
+        for _ in range(n):
+            sign_pkcs1_v15(key, PAYLOAD)
+        return (time.perf_counter() - start) / n
+
+    t1024 = benchmark.pedantic(lambda: measure(rsa_1024), rounds=1,
+                               iterations=1)
+    t2048 = measure(rsa_2048)
+    ratio = t2048 / t1024
+    emit("Table II cross-check: RSA sign cost ratio (2048/1024 bits)\n"
+         f"  this machine : {ratio:.2f}x "
+         f"({t1024 * 1e3:.2f} ms vs {t2048 * 1e3:.2f} ms)\n"
+         f"  paper-derived: 5.10x (43.4 ms vs 221.5 ms on the Pi)")
+    assert 3.0 < ratio < 8.0

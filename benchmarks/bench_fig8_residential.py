@@ -1,0 +1,80 @@
+"""Fig. 8 — residential scenario: distance, sampling rate, insufficiency.
+
+Regenerates all three panels: (a) distance to the nearest of 94 house
+NFZs, (b) instantaneous sampling rate of adaptive vs 2/3/5 Hz fix-rate,
+(c) cumulative insufficient-PoA counts (paper: 39 @2 Hz, 9 @3 Hz, 1 @5 Hz
+from a missed GPS update, adaptive comparable to 5 Hz).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import (
+    fig8a_nearest_distance,
+    fig8b_instantaneous_rate,
+    fig8c_cumulative_insufficiency,
+)
+from repro.analysis.report import render_series
+from repro.core.sufficiency import count_insufficient_pairs
+from repro.workloads import run_policy
+
+
+def _insufficiency(run, scenario):
+    samples = [entry.sample for entry in run.result.poa]
+    return count_insufficient_pairs(samples, scenario.zones, scenario.frame)
+
+
+def test_fig8_residential(benchmark, residential_scenario, emit):
+    scenario = residential_scenario
+    runs = {}
+
+    def run_all():
+        for rate in (2.0, 3.0, 5.0):
+            runs[f"{rate:g} Hz fix-rate"] = run_policy(
+                scenario, "fixed", rate, key_bits=1024, seed=0)
+        runs["adaptive"] = run_policy(scenario, "adaptive", key_bits=1024,
+                                      seed=0)
+        return runs
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    from repro.analysis.ascii_chart import ascii_chart
+    from repro.analysis.paper_reference import FIG8C_INSUFFICIENT
+
+    paper = {"2 Hz fix-rate": FIG8C_INSUFFICIENT["2hz"],
+             "3 Hz fix-rate": FIG8C_INSUFFICIENT["3hz"],
+             "5 Hz fix-rate": FIG8C_INSUFFICIENT["5hz"],
+             "adaptive": FIG8C_INSUFFICIENT["adaptive"]}
+    lines = ["Fig. 8 — Residential scenario (94 house NFZs, r = 20 ft)", ""]
+    lines.append(ascii_chart(
+        {"nearest NFZ": fig8a_nearest_distance(scenario, step_s=1.0)},
+        x_label="time (s)", y_label="distance (ft)",
+        title="  (a) distance to the nearest NFZ:"))
+    lines.append("")
+    lines.append(ascii_chart(
+        {"adaptive": fig8b_instantaneous_rate(runs["adaptive"]),
+         "5Hz fix": fig8b_instantaneous_rate(runs["5 Hz fix-rate"])},
+        x_label="time (s)", y_label="rate (Hz)",
+        title="  (b) instantaneous sampling rate:"))
+    lines.append("")
+    lines.append(ascii_chart(
+        {"2Hz": fig8c_cumulative_insufficiency(runs["2 Hz fix-rate"]),
+         "3Hz": fig8c_cumulative_insufficiency(runs["3 Hz fix-rate"]),
+         "adaptive": fig8c_cumulative_insufficiency(runs["adaptive"])},
+        x_label="time (s)", y_label="insufficient PoAs",
+        title="  (c) cumulative insufficient PoAs:"))
+    lines.append("")
+    lines.append("  (c) total insufficient PoA pairs:")
+    lines.append(f"      {'policy':<16} {'samples':>8} {'insufficient':>13} "
+                 f"{'paper':>6}")
+    for name, run in runs.items():
+        count = _insufficiency(run, scenario)
+        lines.append(f"      {name:<16} {run.sample_count:>8} {count:>13} "
+                     f"{paper[name]:>6}")
+    emit("\n".join(lines))
+
+    counts = {name: _insufficiency(run, scenario)
+              for name, run in runs.items()}
+    assert counts["2 Hz fix-rate"] > counts["3 Hz fix-rate"]
+    assert counts["3 Hz fix-rate"] > counts["5 Hz fix-rate"]
+    assert counts["adaptive"] <= counts["3 Hz fix-rate"]
+    assert counts["5 Hz fix-rate"] <= 2

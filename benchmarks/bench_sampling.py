@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the sampling and sufficiency hot paths."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.nfz import NoFlyZone
+from repro.core.samples import GpsSample
+from repro.core.sufficiency import (
+    insufficient_pair_indices,
+    pair_is_sufficient,
+)
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.geo.spatial_index import GridIndex
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+FRAME = LocalFrame(GeoPoint(40.1, -88.22))
+
+
+def _zones(n, rng):
+    zones = []
+    for _ in range(n):
+        center = FRAME.to_geo(rng.uniform(0, 2000), rng.uniform(-100, 100))
+        zones.append(NoFlyZone(center.lat, center.lon,
+                               rng.uniform(5.0, 30.0)))
+    return zones
+
+
+def _trace(n, rng):
+    samples = []
+    for i in range(n):
+        point = FRAME.to_geo(i * 2.0, rng.uniform(-5, 5))
+        samples.append(GpsSample(lat=point.lat, lon=point.lon,
+                                 t=T0 + i * 0.2))
+    return samples
+
+
+def test_pair_sufficiency_94_zones(benchmark):
+    """One adaptive-sampler decision against the residential zone count."""
+    rng = random.Random(1)
+    zones = _zones(94, rng)
+    a = _trace(2, rng)[0]
+    b = GpsSample(lat=a.lat, lon=a.lon + 1e-5, t=a.t + 0.2)
+    benchmark(pair_is_sufficient, a, b, zones, FRAME)
+
+
+def test_full_trace_sufficiency_check(benchmark):
+    """Auditor-side eq. (1) over an 800-sample PoA and 94 zones."""
+    rng = random.Random(2)
+    zones = _zones(94, rng)
+    samples = _trace(800, rng)
+    benchmark.pedantic(insufficient_pair_indices, args=(samples, zones, FRAME),
+                       rounds=3, iterations=1)
+
+
+def test_exact_vs_conservative_single_pair(benchmark):
+    rng = random.Random(3)
+    zones = _zones(10, rng)
+    samples = _trace(2, rng)
+    benchmark(pair_is_sufficient, samples[0], samples[1], zones, FRAME,
+              method="exact")
+
+
+def test_grid_index_nearest(benchmark):
+    rng = random.Random(4)
+    index: GridIndex[int] = GridIndex(100.0)
+    for i, zone in enumerate(_zones(500, rng)):
+        index.insert(i, zone.to_circle(FRAME))
+    benchmark(index.nearest, (1000.0, 0.0))
+
+
+def test_adaptive_decision_loop(benchmark, residential_scenario):
+    """The Adapter's per-update work, amortized over a full scenario run
+    (GPS read + min-pair-distance + condition check; signatures excluded
+    by using a huge margin so no sample ever triggers)."""
+    from repro.workloads import run_policy
+
+    def run():
+        return run_policy(residential_scenario, "adaptive", key_bits=512,
+                          seed=1, margin_updates=0.0)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

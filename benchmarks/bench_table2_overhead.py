@@ -1,0 +1,46 @@
+"""Table II — CPU, power, and memory benchmarks.
+
+Regenerates every cell: fixed 2/3/5 Hz laboratory runs and the two field
+workloads under adaptive sampling, for 1024- and 2048-bit TEE sign keys.
+CPU% is modelled on the Table-II-calibrated Raspberry Pi cost model from
+real sampling-run outputs; power is the paper's equation (4).  The two "-"
+cells (2048-bit at 5 Hz and on the residential workload) must reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paper_reference import TABLE2
+from repro.analysis.report import render_table2
+from repro.analysis.tables import compute_table2
+
+PAPER_CELLS = {key: cell.cpu_mean for key, cell in TABLE2.items()}
+
+
+def test_table2(benchmark, emit):
+    rows = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+
+    lines = ["Table II — CPU, Power and Memory Benchmarks (reproduced)",
+             render_table2(rows), "",
+             "Paper reference cells (CPU %):"]
+    for (bits, case), value in PAPER_CELLS.items():
+        lines.append(f"  {bits} {case:<14}: "
+                     f"{'-' if value is None else value}")
+    emit("\n".join(lines))
+
+    cells = {(row.key_bits, row.case): row for row in rows}
+    # The "-" cells must match exactly.
+    assert cells[(2048, "Fixed 5 Hz")].cpu_percent is None
+    assert cells[(2048, "Residential")].cpu_percent is None
+    # Fixed-rate cells land within a tight band of the paper.
+    for (bits, case), expected in PAPER_CELLS.items():
+        if expected is None or "Fixed" not in case:
+            continue
+        measured = cells[(bits, case)].cpu_percent.mean
+        assert abs(measured - expected) / expected < 0.1, (bits, case)
+    # Scenario cells: same order of magnitude and same ordering
+    # (airport << residential).
+    airport = cells[(1024, "Airport")].cpu_percent.mean
+    residential = cells[(1024, "Residential")].cpu_percent.mean
+    assert airport < 0.3
+    assert 0.5 < residential < 6.0
+    assert airport < residential

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the Auditor-side verification pipeline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample, decrypt_poa, encrypt_poa
+from repro.core.samples import GpsSample
+from repro.core.verification import PoaVerifier
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+FRAME = LocalFrame(GeoPoint(40.1, -88.22))
+
+
+@pytest.fixture(scope="module")
+def poa_and_zone(rsa_1024):
+    center = FRAME.to_geo(0.0, 0.0)
+    zone = NoFlyZone(center.lat, center.lon, 50.0)
+    entries = []
+    for i in range(100):
+        point = FRAME.to_geo(300.0 + 10.0 * i, 0.0)
+        sample = GpsSample(lat=point.lat, lon=point.lon, t=T0 + i)
+        payload = sample.to_signed_payload()
+        entries.append(SignedSample(
+            payload=payload, signature=sign_pkcs1_v15(rsa_1024, payload)))
+    return ProofOfAlibi(entries), zone
+
+
+def test_verify_100_sample_poa(benchmark, poa_and_zone, rsa_1024):
+    """Full pipeline: 100 signatures + feasibility + sufficiency."""
+    poa, zone = poa_and_zone
+    verifier = PoaVerifier(FRAME)
+    report = benchmark(verifier.verify, poa, rsa_1024.public_key, [zone])
+    assert report.compliant
+
+
+def test_signature_stage_only(benchmark, poa_and_zone, rsa_1024):
+    poa, _ = poa_and_zone
+    verifier = PoaVerifier(FRAME)
+    assert benchmark(verifier.check_signatures, poa,
+                     rsa_1024.public_key) == []
+
+
+def test_poa_decrypt_stage(benchmark, poa_and_zone, rsa_1024):
+    """Server-side RSAES decryption of a 100-record submission."""
+    poa, _ = poa_and_zone
+    records = encrypt_poa(poa, rsa_1024.public_key, rng=random.Random(1))
+    restored = benchmark.pedantic(decrypt_poa, args=(records, rsa_1024),
+                                  rounds=3, iterations=1)
+    assert len(restored) == 100
+
+
+def test_poa_serialization(benchmark, poa_and_zone):
+    poa, _ = poa_and_zone
+    data = poa.to_bytes()
+    benchmark(ProofOfAlibi.from_bytes, data)

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+Each paper artefact gets one bench module.  The rendered, paper-comparable
+output (tables, figure series) is emitted straight to the terminal via the
+``emit`` fixture so it survives pytest's output capture, and is also
+appended to ``benchmarks/out/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_keypair
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def emit(capsys, request):
+    """Print a rendered artefact to the live terminal and archive it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        name = request.node.name.replace("/", "_")
+        with open(OUT_DIR / f"{name}.txt", "w") as fh:
+            fh.write(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def airport_scenario():
+    from repro.workloads.airport import build_airport_scenario
+    return build_airport_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def residential_scenario():
+    from repro.workloads.residential import build_residential_scenario
+    return build_residential_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def rsa_1024():
+    return generate_rsa_keypair(1024, rng=random.Random(1))
+
+
+@pytest.fixture(scope="session")
+def rsa_2048():
+    return generate_rsa_keypair(2048, rng=random.Random(2))

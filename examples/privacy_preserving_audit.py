@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Privacy-preserving verification against an honest-but-curious Auditor.
+
+Paper §VII-B3: the operator encrypts each PoA sample under its own
+one-time key before upload.  The Auditor holds ciphertext only; when a
+Zone Owner reports an incident, the operator reveals exactly the two keys
+bracketing the incident time, and the Auditor adjudicates from those two
+samples alone — learning nothing else about the trajectory.
+
+Run:  python examples/privacy_preserving_audit.py
+"""
+
+import random
+
+from repro import (
+    AliDroneClient,
+    AliDroneServer,
+    GeoPoint,
+    LocalFrame,
+    NoFlyZone,
+    SimClock,
+    provision_device,
+)
+from repro.core.protocol import ZoneRegistrationRequest
+from repro.crypto.onetime import onetime_decrypt
+from repro.errors import EncryptionError
+from repro.extensions.privacy import (
+    build_private_poa,
+    keys_for_incident,
+    verify_private_disclosure,
+)
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def main() -> None:
+    rng = random.Random(31)
+    frame = LocalFrame(GeoPoint(40.1000, -88.2200))
+    server = AliDroneServer(frame, rng=rng)
+    yard = frame.to_geo(400.0, 120.0)
+    zone = NoFlyZone(yard.lat, yard.lon, 30.0)
+    zone_id = server.register_zone(ZoneRegistrationRequest(
+        zone=zone, proof_of_ownership="deed", owner_name="alice"))
+
+    # A compliant flight passing 90 m south of the protected yard.
+    source = WaypointSource([(T0, 0.0, 0.0), (T0 + 80.0, 800.0, 0.0)])
+    device = provision_device("privacy-drone", key_bits=1024, rng=rng)
+    clock = SimClock(T0)
+    receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                    start_time=T0, seed=4)
+    device.attach_gps(receiver, clock)
+    client = AliDroneClient(device, receiver, clock, frame, rng=rng)
+    client.register(server)
+    record = client.fly(T0 + 80.0, policy="fixed", fixed_rate_hz=2.0)
+    print(f"flight produced {len(record.poa)} TEE-signed samples")
+
+    # --- operator encrypts each sample under a one-time key ---------------
+    private_poa, keys = build_private_poa(record.poa, rng=rng)
+    print(f"uploaded {len(private_poa)} one-time-encrypted records; "
+          "the Auditor sees ciphertext only")
+
+    # --- incident: Alice reports the drone at T0+40 ------------------------
+    incident_time = T0 + 40.0
+    disclosed = keys_for_incident(record.poa, keys, incident_time)
+    print(f"operator reveals keys for samples {sorted(disclosed)} "
+          f"(2 of {len(keys)})")
+
+    cleared = verify_private_disclosure(
+        private_poa, disclosed, device.tee_public_key, zone,
+        incident_time, frame)
+    print(f"auditor verdict from the two samples: "
+          f"{'cleared' if cleared else 'VIOLATION'}")
+
+    # --- privacy check: the other records stay sealed ----------------------
+    leaked = 0
+    for i, entry in enumerate(private_poa.entries):
+        if i in disclosed:
+            continue
+        for key in disclosed.values():
+            try:
+                onetime_decrypt(key, entry.blob)
+                leaked += 1
+            except EncryptionError:
+                pass
+    print(f"records decryptable with the revealed keys beyond the pair: "
+          f"{leaked} (the Auditor learned exactly 2 of {len(keys)} "
+          "trajectory points)")
+
+    assert cleared and leaked == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""A rogue operator tries every GPS-forgery attack; the Auditor catches all.
+
+The paper's threat model (§III-B): a dishonest operator flies straight
+through an NFZ to take a shortcut, then tries to hide it:
+
+  1. submit the truthful trace            -> insufficient (self-convicting)
+  2. pre-compute an innocent route,
+     signed with the operator's own key   -> bad signature
+  3. tamper a genuine PoA away from zone  -> bad signature
+  4. relay an accomplice drone's PoA      -> bad signature (wrong TEE)
+  5. submit nothing at all                -> no PoA covers the incident
+
+Run:  python examples/rogue_drone_audit.py
+"""
+
+import random
+
+from repro import (
+    AliDroneClient,
+    AliDroneServer,
+    GeoPoint,
+    LocalFrame,
+    NoFlyZone,
+    SimClock,
+    provision_device,
+)
+from repro.core.attacks import forge_straight_route, tamper_with_samples
+from repro.core.poa import encrypt_poa
+from repro.core.protocol import (
+    IncidentReport,
+    PoaSubmission,
+    ZoneRegistrationRequest,
+)
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def build_world(rng):
+    frame = LocalFrame(GeoPoint(40.1000, -88.2200))
+    server = AliDroneServer(frame, rng=rng)
+    center = frame.to_geo(300.0, 0.0)
+    zone_id = server.register_zone(ZoneRegistrationRequest(
+        zone=NoFlyZone(center.lat, center.lon, 40.0),
+        proof_of_ownership="deed", owner_name="zone owner"))
+
+    # The actual illicit flight: straight through the zone at T0+30.
+    source = WaypointSource([(T0, 0.0, 0.0), (T0 + 60.0, 600.0, 0.0)])
+    device = provision_device("rogue-drone", key_bits=1024, rng=rng)
+    clock = SimClock(T0)
+    receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                    start_time=T0, seed=3)
+    device.attach_gps(receiver, clock)
+    client = AliDroneClient(device, receiver, clock, frame, rng=rng)
+    drone_id = client.register(server)
+    incident = IncidentReport(zone_id=zone_id, drone_id=drone_id,
+                              incident_time=T0 + 30.0,
+                              description="spotted over the property")
+    return frame, server, client, drone_id, incident
+
+
+def adjudicate(server, incident, label):
+    finding = server.handle_incident(incident)
+    verdict = f"VIOLATION ({finding.kind.value})" if finding.violation \
+        else "cleared"
+    print(f"  {label:<38} -> {verdict}")
+    return finding
+
+
+def submit(server, drone_id, poa, rng, start=T0, end=T0 + 60.0):
+    records = encrypt_poa(poa, server.public_encryption_key, rng=rng)
+    server.receive_poa(PoaSubmission(
+        drone_id=drone_id, flight_id=f"attempt-{rng.random():.6f}",
+        records=records, claimed_start=start, claimed_end=end))
+
+
+def main() -> None:
+    print("attack 1: submit the truthful trace")
+    rng = random.Random(1)
+    frame, server, client, drone_id, incident = build_world(rng)
+    record = client.fly(T0 + 60.0, policy="fixed", fixed_rate_hz=2.0)
+    submit(server, drone_id, record.poa, rng)
+    finding = adjudicate(server, incident, "truthful PoA (drone WAS inside)")
+    assert finding.violation
+
+    print("attack 2: pre-computed innocent route, attacker-signed")
+    rng = random.Random(2)
+    frame, server, client, drone_id, incident = build_world(rng)
+    attacker_key = generate_rsa_keypair(1024, rng=rng)
+    forged = forge_straight_route(frame.to_geo(0, 500),
+                                  frame.to_geo(600, 500),
+                                  T0, T0 + 60.0, 30, attacker_key)
+    submit(server, drone_id, forged, rng)
+    finding = adjudicate(server, incident, "forged compliant route")
+    assert finding.violation
+
+    print("attack 3: tamper a genuine PoA away from the zone")
+    rng = random.Random(3)
+    frame, server, client, drone_id, incident = build_world(rng)
+    record = client.fly(T0 + 60.0, policy="fixed", fixed_rate_hz=2.0)
+    moved = tamper_with_samples(record.poa, 0.0045, 0.0)  # ~500 m north
+    submit(server, drone_id, moved, rng)
+    finding = adjudicate(server, incident, "coordinate-shifted genuine PoA")
+    assert finding.violation
+
+    print("attack 4: relay an accomplice drone's compliant PoA")
+    rng = random.Random(4)
+    frame, server, client, drone_id, incident = build_world(rng)
+    accomplice_device = provision_device("accomplice", key_bits=1024,
+                                         rng=random.Random(99))
+    accomplice_source = WaypointSource([(T0, 0.0, 500.0),
+                                        (T0 + 60.0, 600.0, 500.0)])
+    clock = SimClock(T0)
+    accomplice_receiver = SimulatedGpsReceiver(accomplice_source, frame,
+                                               update_rate_hz=5.0,
+                                               start_time=T0, seed=6)
+    accomplice_device.attach_gps(accomplice_receiver, clock)
+    accomplice = AliDroneClient(accomplice_device, accomplice_receiver,
+                                clock, frame, rng=rng)
+    relay = accomplice.fly(T0 + 60.0, policy="fixed", fixed_rate_hz=2.0)
+    submit(server, drone_id, relay.poa, rng)
+    finding = adjudicate(server, incident, "relayed accomplice PoA")
+    assert finding.violation
+
+    print("attack 5: submit nothing")
+    rng = random.Random(5)
+    _, server, _, _, incident = build_world(rng)
+    finding = adjudicate(server, incident, "no submission at all")
+    assert finding.violation
+
+    print("\nall five attacks produced violation findings; total fines "
+          "would accumulate per the penalty policy")
+
+
+if __name__ == "__main__":
+    main()

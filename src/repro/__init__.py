@@ -1,0 +1,57 @@
+"""AliDrone: trustworthy Proof-of-Alibi for commercial drone compliance.
+
+A full reproduction of the ICDCS 2018 paper, built on simulated equivalents
+of the hardware substrate (ARM TrustZone / OP-TEE, NMEA GPS receiver,
+Raspberry Pi cost model).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AdaptiveSampler,
+    FixRateSampler,
+    GpsSample,
+    NoFlyZone,
+    PoaVerifier,
+    ProofOfAlibi,
+    SignedSample,
+    Trace,
+    VerificationReport,
+    VerificationStatus,
+    alibi_is_sufficient,
+    count_insufficient_pairs,
+    pair_is_sufficient,
+)
+from repro.drone import AliDroneClient, FlightPlan, FlightRecord
+from repro.geo import GeoPoint, LocalFrame
+from repro.server import AliDroneServer
+from repro.sim import SimClock
+from repro.tee import TrustZoneDevice, provision_device
+from repro.units import FAA_MAX_SPEED_MPS
+
+__all__ = [
+    "__version__",
+    "AdaptiveSampler",
+    "FixRateSampler",
+    "GpsSample",
+    "NoFlyZone",
+    "PoaVerifier",
+    "ProofOfAlibi",
+    "SignedSample",
+    "Trace",
+    "VerificationReport",
+    "VerificationStatus",
+    "alibi_is_sufficient",
+    "count_insufficient_pairs",
+    "pair_is_sufficient",
+    "AliDroneClient",
+    "FlightPlan",
+    "FlightRecord",
+    "GeoPoint",
+    "LocalFrame",
+    "AliDroneServer",
+    "SimClock",
+    "TrustZoneDevice",
+    "provision_device",
+    "FAA_MAX_SPEED_MPS",
+]

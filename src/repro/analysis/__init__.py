@@ -1,0 +1,27 @@
+"""Analysis: computes and renders every table and figure of paper §VI."""
+
+from repro.analysis.figures import (
+    fig6_cumulative_samples,
+    fig8a_nearest_distance,
+    fig8b_instantaneous_rate,
+    fig8c_cumulative_insufficiency,
+)
+from repro.analysis.tables import Table2Row, compute_table2, MEMORY_FOOTPRINT
+from repro.analysis.report import render_table2, render_series, format_feet
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis import paper_reference
+
+__all__ = [
+    "fig6_cumulative_samples",
+    "fig8a_nearest_distance",
+    "fig8b_instantaneous_rate",
+    "fig8c_cumulative_insufficiency",
+    "Table2Row",
+    "compute_table2",
+    "MEMORY_FOOTPRINT",
+    "render_table2",
+    "render_series",
+    "format_feet",
+    "ascii_chart",
+    "paper_reference",
+]

@@ -1,0 +1,83 @@
+"""Terminal scatter/line charts for the figure benchmarks.
+
+Renders an ``(x, y)`` series onto a character grid — with an optional
+log-scaled y axis for Fig. 6's sample counts — so the benchmark output is
+visually comparable to the paper's plots without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+Series = Sequence[tuple[float, float]]
+
+
+def _scale(value: float, lo: float, hi: float, cells: int,
+           log: bool) -> int:
+    if log:
+        value, lo, hi = (math.log10(max(value, 1e-12)),
+                         math.log10(max(lo, 1e-12)),
+                         math.log10(max(hi, 1e-12)))
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(position * (cells - 1) + 0.5)))
+
+
+def ascii_chart(series_by_label: dict[str, Series], *, width: int = 64,
+                height: int = 16, x_label: str = "x", y_label: str = "y",
+                log_y: bool = False, title: str = "") -> str:
+    """Plot one or more series on a shared character grid.
+
+    Each series gets a marker from ``*+ox#@`` in label order; overlapping
+    points keep the first marker drawn.
+    """
+    if width < 8 or height < 4:
+        raise ConfigurationError("chart too small to render")
+    points = [(x, y) for series in series_by_label.values()
+              for x, y in series]
+    if not points:
+        return f"{title}\n  (no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        y_lo = max(y_lo, min(y for y in ys if y > 0) if any(y > 0 for y in ys)
+                   else 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@"
+    for marker, (label, series) in zip(markers, series_by_label.items()):
+        for x, y in series:
+            column = _scale(x, x_lo, x_hi, width, log=False)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log=log_y)
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    y_hi_text = f"{y_hi:g}"
+    y_lo_text = f"{y_lo:g}"
+    gutter = max(len(y_hi_text), len(y_lo_text)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_hi_text.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = y_lo_text.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - 8) + f"{x_hi:g}".rjust(8)
+    lines.append(" " * (gutter + 1) + x_axis)
+    scale_note = " (log y)" if log_y else ""
+    legend = "  ".join(f"{marker}={label}"
+                       for marker, label in zip(markers, series_by_label))
+    lines.append(f"{' ' * (gutter + 1)}{x_label} vs {y_label}{scale_note}"
+                 f"   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Series computation for Fig. 6 and Fig. 8(a/b/c).
+
+Each function returns plain ``(x, y)`` lists so benchmarks can print them
+and tests can assert their shape without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.core.sufficiency import cumulative_insufficiency_series
+from repro.units import meters_to_feet
+from repro.workloads.runner import PolicyRun
+from repro.workloads.scenario import Scenario
+
+
+def fig6_cumulative_samples(run: PolicyRun) -> list[tuple[float, int]]:
+    """Fig. 6: total #samples vs distance-to-NFZ-boundary (feet).
+
+    For each authenticated sample, x is the ground-truth distance from the
+    vehicle to the (single) NFZ boundary at that instant and y the number
+    of samples taken so far.  The airport trace moves monotonically away,
+    so the series is monotone in both axes.
+    """
+    scenario = run.scenario
+    circle = scenario.zones[0].to_circle(scenario.frame)
+    series = []
+    for count, t in enumerate(run.sample_times, start=1):
+        position = scenario.source.position_at(t)
+        series.append((meters_to_feet(circle.distance_to_boundary(position)),
+                       count))
+    return series
+
+
+def fig8a_nearest_distance(scenario: Scenario,
+                           step_s: float = 0.5) -> list[tuple[float, float]]:
+    """Fig. 8(a): distance to the nearest NFZ boundary (feet) over time."""
+    circles = [zone.to_circle(scenario.frame) for zone in scenario.zones]
+    series = []
+    t = scenario.t_start
+    while t <= scenario.t_end + 1e-9:
+        position = scenario.source.position_at(t)
+        nearest = min(c.distance_to_boundary(position) for c in circles)
+        series.append((t - scenario.t_start, meters_to_feet(nearest)))
+        t += step_s
+    return series
+
+
+def fig8b_instantaneous_rate(run: PolicyRun, window_s: float = 4.0,
+                             step_s: float = 1.0) -> list[tuple[float, float]]:
+    """Fig. 8(b): instantaneous sampling rate (Hz) over time.
+
+    A centred sliding-window estimate over the authenticated sample
+    instants, matching how a rate plot is read off discrete events.
+    """
+    scenario = run.scenario
+    times = run.sample_times
+    series = []
+    t = scenario.t_start
+    while t <= scenario.t_end + 1e-9:
+        lo, hi = t - window_s / 2.0, t + window_s / 2.0
+        count = sum(1 for s in times if lo <= s < hi)
+        series.append((t - scenario.t_start, count / window_s))
+        t += step_s
+    return series
+
+
+def fig8c_cumulative_insufficiency(run: PolicyRun) -> list[tuple[float, int]]:
+    """Fig. 8(c): total number of insufficient PoA pairs over time."""
+    scenario = run.scenario
+    samples = [entry.sample for entry in run.result.poa]
+    series = cumulative_insufficiency_series(samples, scenario.zones,
+                                             scenario.frame)
+    return [(t - scenario.t_start, count) for t, count in series]

@@ -1,0 +1,62 @@
+"""Plain-text rendering of the reproduced artefacts.
+
+Benchmarks print these so a terminal run shows output directly comparable
+to the paper's tables and figure captions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.tables import MEMORY_FOOTPRINT, Table2Row
+
+
+def format_feet(value_ft: float) -> str:
+    """Feet with adaptive precision (30 ft vs 15,840 ft)."""
+    if value_ft >= 1000:
+        return f"{value_ft:,.0f} ft"
+    return f"{value_ft:.1f} ft"
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """Render rows in the layout of the paper's Table II."""
+    lines = [
+        f"{'Key Size':>9} | {'Case':<14} | {'CPU (%)':>16} | {'Power (W)':>9} | {'#samples':>8}",
+        "-" * 70,
+    ]
+    previous_bits: int | None = None
+    for row in rows:
+        bits = f"{row.key_bits}" if row.key_bits != previous_bits else ""
+        previous_bits = row.key_bits
+        if row.cpu_percent is None:
+            cpu, power = "-", "-"
+        else:
+            cpu = row.cpu_percent.format(digits=3)
+            power = f"{row.power_w:.4f}"
+        count = "" if row.sample_count is None else str(row.sample_count)
+        lines.append(f"{bits:>9} | {row.case:<14} | {cpu:>16} | {power:>9} | {count:>8}")
+    lines.append("-" * 70)
+    lines.append(f"Memory: {MEMORY_FOOTPRINT.resident_mb():.2f} MB "
+                 f"({MEMORY_FOOTPRINT.percent_of_ram():.1f}%)")
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Sequence[tuple[float, float]],
+                  x_label: str, y_label: str, max_points: int = 20) -> str:
+    """A compact two-column dump of an ``(x, y)`` series.
+
+    Long series are decimated evenly (keeping the endpoints) so benchmark
+    output stays readable.
+    """
+    lines = [title, f"{x_label:>14} | {y_label}"]
+    if not series:
+        return "\n".join(lines + ["  (empty)"])
+    if len(series) > max_points:
+        step = (len(series) - 1) / (max_points - 1)
+        indices = sorted({round(i * step) for i in range(max_points)})
+        chosen = [series[i] for i in indices]
+    else:
+        chosen = list(series)
+    for x, y in chosen:
+        lines.append(f"{x:>14.1f} | {y:g}")
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""``alidrone`` — reproduce the paper's artefacts from the command line.
+
+Subcommands:
+
+* ``fig6``      — the airport field study (Fig. 6 headline + series)
+* ``fig8``      — the residential field study (Fig. 8 a/b/c)
+* ``table2``    — Table II (CPU / power / memory)
+* ``simulate``  — a random scenario end to end through the verifier
+* ``attacks``   — demonstrate that every forgery strategy is rejected
+
+All subcommands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import fig6_cumulative_samples
+    from repro.analysis.report import render_series
+    from repro.workloads import build_airport_scenario, run_policy
+
+    scenario = build_airport_scenario(seed=args.seed)
+    fixed = run_policy(scenario, "fixed", 1.0, key_bits=args.key_bits,
+                       seed=args.seed)
+    adaptive = run_policy(scenario, "adaptive", key_bits=args.key_bits,
+                          seed=args.seed)
+    print("Fig. 6 — airport scenario")
+    print(f"  1 Hz fix-rate : {fixed.sample_count} samples (paper: 649)")
+    print(f"  adaptive      : {adaptive.sample_count} samples (paper: 14)")
+    print(render_series("  adaptive series:",
+                        fig6_cumulative_samples(adaptive),
+                        "dist-to-NFZ (ft)", "total #samples"))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import (
+        fig8a_nearest_distance,
+        fig8b_instantaneous_rate,
+    )
+    from repro.analysis.report import render_series
+    from repro.core.sufficiency import count_insufficient_pairs
+    from repro.workloads import build_residential_scenario, run_policy
+
+    scenario = build_residential_scenario(seed=args.seed)
+    print("Fig. 8 — residential scenario (94 NFZs, r = 20 ft)")
+    print(render_series("  (a) nearest NFZ distance:",
+                        fig8a_nearest_distance(scenario, step_s=5.0),
+                        "time (s)", "distance (ft)"))
+    paper = {2.0: 39, 3.0: 9, 5.0: 1}
+    print("  (c) insufficient PoA pairs:")
+    for rate in (2.0, 3.0, 5.0):
+        run = run_policy(scenario, "fixed", rate, key_bits=args.key_bits,
+                         seed=args.seed)
+        count = count_insufficient_pairs(
+            [entry.sample for entry in run.result.poa], scenario.zones,
+            scenario.frame)
+        print(f"      {rate:g} Hz fix-rate: {count:3d}  (paper: {paper[rate]})")
+    run = run_policy(scenario, "adaptive", key_bits=args.key_bits,
+                     seed=args.seed)
+    count = count_insufficient_pairs(
+        [entry.sample for entry in run.result.poa], scenario.zones,
+        scenario.frame)
+    print(f"      adaptive      : {count:3d}  (paper: 1)")
+    print(render_series("  (b) adaptive instantaneous rate:",
+                        fig8b_instantaneous_rate(run), "time (s)",
+                        "rate (Hz)"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_table2
+    from repro.analysis.tables import compute_table2
+
+    rows = compute_table2(seed=args.seed,
+                          include_scenarios=not args.fixed_only)
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.sufficiency import count_insufficient_pairs
+    from repro.workloads import build_random_scenario, run_policy
+
+    scenario = build_random_scenario(seed=args.seed, n_zones=args.zones)
+    print(f"scenario: {scenario.description}")
+    print(f"  flight duration : {scenario.duration:.0f} s")
+    run = run_policy(scenario, args.policy, args.rate,
+                     key_bits=args.key_bits, seed=args.seed)
+    samples = [entry.sample for entry in run.result.poa]
+    insufficient = count_insufficient_pairs(samples, scenario.zones,
+                                            scenario.frame)
+    verified = run.result.poa.verify_all(run.device.tee_public_key)
+    print(f"  policy          : {run.policy_label}")
+    print(f"  signed samples  : {run.sample_count}")
+    print(f"  signatures OK   : {verified}")
+    print(f"  insufficient    : {insufficient}")
+    print(f"  verdict         : "
+          f"{'compliant' if verified and insufficient == 0 else 'NOT PROVEN'}")
+    return 0 if verified and insufficient == 0 else 1
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+
+    # The attack walkthrough lives in examples/; reuse it when present,
+    # otherwise run the minimal inline version.
+    example = (pathlib.Path(__file__).resolve().parents[3] / "examples"
+               / "rogue_drone_audit.py")
+    if example.exists():
+        spec = importlib.util.spec_from_file_location("rogue_demo", example)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    print("examples/rogue_drone_audit.py not found", file=sys.stderr)
+    return 2
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        build_airport_scenario,
+        build_residential_scenario,
+    )
+    from repro.workloads.export import scenario_to_geojson_str
+
+    builders = {"airport": build_airport_scenario,
+                "residential": build_residential_scenario}
+    scenario = builders[args.scenario](seed=args.seed)
+    text = scenario_to_geojson_str(scenario, track_step_s=args.step)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.scenario} scenario "
+              f"({len(scenario.zones)} zones) to {args.out}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.calibration import calibrate_local_cost_model
+    from repro.analysis.report import render_table2
+    from repro.analysis.tables import compute_table2
+    from repro.perf.costs import RASPBERRY_PI_3
+
+    model = calibrate_local_cost_model(repetitions=args.repetitions,
+                                       seed=args.seed)
+    print("local per-operation costs (vs the Table-II-calibrated Pi):")
+    for bits in sorted(model.sign_seconds):
+        local = model.sign_seconds[bits]
+        pi = RASPBERRY_PI_3.sign_cost(bits)
+        print(f"  RSA-{bits} sign : {local * 1e3:8.2f} ms   "
+              f"(Pi: {pi * 1e3:.1f} ms, {pi / local:.0f}x slower)")
+    print(f"  SMC round trip : {model.smc_round_trip_seconds * 1e6:8.1f} us")
+    print(f"  max sustainable rate @2048b: "
+          f"{model.sustainable_rate_hz(2048):.0f} Hz "
+          f"(Pi: {RASPBERRY_PI_3.sustainable_rate_hz(2048):.1f} Hz)")
+    print("\nTable II re-predicted for THIS machine:")
+    print(render_table2(compute_table2(costs=model, seed=args.seed,
+                                       include_scenarios=False)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="alidrone",
+        description="AliDrone (ICDCS 2018) reproduction toolkit")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic seed (default 0)")
+    parser.add_argument("--key-bits", type=int, default=1024,
+                        choices=(512, 1024, 2048),
+                        help="TEE sign key size (default 1024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig6", help="airport field study").set_defaults(
+        handler=_cmd_fig6)
+    sub.add_parser("fig8", help="residential field study").set_defaults(
+        handler=_cmd_fig8)
+    table2 = sub.add_parser("table2", help="CPU/power/memory table")
+    table2.add_argument("--fixed-only", action="store_true",
+                        help="skip the slower field-study rows")
+    table2.set_defaults(handler=_cmd_table2)
+
+    simulate = sub.add_parser("simulate",
+                              help="random scenario through the verifier")
+    simulate.add_argument("--zones", type=int, default=12)
+    simulate.add_argument("--policy", choices=("adaptive", "fixed"),
+                          default="adaptive")
+    simulate.add_argument("--rate", type=float, default=None,
+                          help="fix-rate policy rate in Hz")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    sub.add_parser("attacks", help="forgery-attack walkthrough").set_defaults(
+        handler=_cmd_attacks)
+
+    export = sub.add_parser("export",
+                            help="dump a scenario as GeoJSON")
+    export.add_argument("--scenario", choices=("airport", "residential"),
+                        default="residential")
+    export.add_argument("--out", default="-",
+                        help="output path, or '-' for stdout")
+    export.add_argument("--step", type=float, default=2.0,
+                        help="track sampling step in seconds")
+    export.set_defaults(handler=_cmd_export)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measure this machine's op costs; re-predict "
+                          "Table II locally")
+    calibrate.add_argument("--repetitions", type=int, default=25)
+    calibrate.set_defaults(handler=_cmd_calibrate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Domain errors (bad combinations of options, unroutable scenarios)
+    print a one-line message and exit 2 instead of dumping a traceback.
+    """
+    from repro.errors import AliDroneError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except AliDroneError as exc:
+        print(f"alidrone: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""The paper's primary contribution: the AliDrone Proof-of-Alibi protocol.
+
+Contains the sample/zone/PoA data model, the alibi sufficiency predicate
+(paper eq. 1), the Adaptive Sampling algorithm (Algorithm 1) and its
+fix-rate baseline, the protocol messages, the Auditor-side verification
+pipeline, and the GPS-forgery attack generators used to evaluate
+unforgeability.
+"""
+
+from repro.core.samples import GpsSample, Trace
+from repro.core.nfz import NoFlyZone, CylinderNfz, PolygonNfz
+from repro.core.poa import SignedSample, ProofOfAlibi
+from repro.core.sufficiency import (
+    pair_is_sufficient,
+    alibi_is_sufficient,
+    count_insufficient_pairs,
+    insufficient_pair_indices,
+)
+from repro.core.sampling import (
+    AdaptiveSampler,
+    FixRateSampler,
+    SamplerStats,
+)
+from repro.core.protocol import (
+    ZoneQuery,
+    ZoneResponse,
+    DroneRegistrationRequest,
+    ZoneRegistrationRequest,
+    PoaSubmission,
+)
+from repro.core.verification import PoaVerifier, VerificationReport, VerificationStatus
+from repro.core.attacks import (
+    forge_straight_route,
+    replay_old_poa,
+    relay_foreign_poa,
+    tamper_with_samples,
+)
+
+__all__ = [
+    "GpsSample",
+    "Trace",
+    "NoFlyZone",
+    "CylinderNfz",
+    "PolygonNfz",
+    "SignedSample",
+    "ProofOfAlibi",
+    "pair_is_sufficient",
+    "alibi_is_sufficient",
+    "count_insufficient_pairs",
+    "insufficient_pair_indices",
+    "AdaptiveSampler",
+    "FixRateSampler",
+    "SamplerStats",
+    "ZoneQuery",
+    "ZoneResponse",
+    "DroneRegistrationRequest",
+    "ZoneRegistrationRequest",
+    "PoaSubmission",
+    "PoaVerifier",
+    "VerificationReport",
+    "VerificationStatus",
+    "forge_straight_route",
+    "replay_old_poa",
+    "relay_foreign_poa",
+    "tamper_with_samples",
+]

@@ -1,0 +1,116 @@
+"""GPS-forgery attack generators (threat model, paper §III-B).
+
+A dishonest Drone Operator wants to fly through an NFZ while presenting an
+innocuous PoA.  The paper names three strategies — pre-computing a
+compliant route, replaying a previously reported route, and relaying a
+route from another drone — plus the implicit fourth, tampering with a
+genuine PoA.  Each generator below fabricates the corresponding submission
+so the test suite and examples can demonstrate that the Auditor rejects
+every one of them (goal G3, unforgeability).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.crypto.rsa import RsaPrivateKey
+from repro.geo.geodesy import GeoPoint, LocalFrame
+
+
+def forge_straight_route(start: GeoPoint, end: GeoPoint, t_start: float,
+                         t_end: float, n_samples: int,
+                         attacker_key: RsaPrivateKey,
+                         hash_name: str = "sha1") -> ProofOfAlibi:
+    """Strategy 1: pre-compute a compliant route and sign it yourself.
+
+    The attacker fabricates a plausible straight-line trace around the NFZ
+    and signs it with a key *they* control — they cannot use ``T-``, which
+    never leaves the TEE.  Every signature therefore fails under the
+    registered ``T+``.
+    """
+    poa = ProofOfAlibi()
+    for i in range(n_samples):
+        alpha = i / max(1, n_samples - 1)
+        sample = GpsSample(
+            lat=start.lat + alpha * (end.lat - start.lat),
+            lon=start.lon + alpha * (end.lon - start.lon),
+            t=t_start + alpha * (t_end - t_start))
+        payload = sample.to_signed_payload()
+        poa.append(SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(attacker_key, payload, hash_name)))
+    return poa
+
+
+def replay_old_poa(old_poa: ProofOfAlibi) -> ProofOfAlibi:
+    """Strategy 2: resubmit a genuine PoA from an earlier flight.
+
+    The signatures are valid — they are the drone's own — but the
+    timestamps belong to the old flight.  The Auditor detects the replay
+    because the PoA does not cover the reported incident time (or the
+    claimed flight window) of the *current* flight.
+    """
+    return ProofOfAlibi(old_poa.entries)
+
+
+def relay_foreign_poa(foreign_poa: ProofOfAlibi) -> ProofOfAlibi:
+    """Strategy 3: submit a PoA produced by a *different* drone's TEE.
+
+    An accomplice drone flies a compliant route concurrently and streams
+    its signed samples to the attacker.  The signatures are internally
+    valid but verify only under the accomplice's ``T+``, not the key
+    registered for the accused drone.
+    """
+    return ProofOfAlibi(foreign_poa.entries)
+
+
+def tamper_with_samples(poa: ProofOfAlibi, lat_shift_deg: float,
+                        lon_shift_deg: float,
+                        indices: Sequence[int] | None = None) -> ProofOfAlibi:
+    """Strategy 4: shift positions in a genuine PoA away from the NFZ.
+
+    Keeps the original TEE signatures but rewrites the payloads; the
+    signature over each modified payload no longer verifies.
+    """
+    tampered = []
+    target = set(indices) if indices is not None else None
+    for i, entry in enumerate(poa):
+        if target is not None and i not in target:
+            tampered.append(entry)
+            continue
+        sample = entry.sample
+        moved = GpsSample(lat=sample.lat + lat_shift_deg,
+                          lon=sample.lon + lon_shift_deg,
+                          t=sample.t, alt=sample.alt)
+        tampered.append(SignedSample(payload=moved.to_signed_payload(),
+                                     signature=entry.signature))
+    return ProofOfAlibi(tampered)
+
+
+def splice_poas(first: ProofOfAlibi, second: ProofOfAlibi,
+                frame: LocalFrame | None = None) -> ProofOfAlibi:
+    """Strategy 5 (bonus): stitch two genuine PoA segments around a gap.
+
+    An attacker records honest samples before and after an NFZ incursion
+    and concatenates them, hoping the hole goes unnoticed.  All signatures
+    verify — detection falls to the feasibility/sufficiency stages: the
+    junction pair either implies impossible speed or admits an ellipse
+    overlapping the zone.
+    """
+    del frame  # kept for signature symmetry with potential smarter splicers
+    return ProofOfAlibi(list(first.entries) + list(second.entries))
+
+
+def shuffle_poa(poa: ProofOfAlibi, rng: random.Random) -> ProofOfAlibi:
+    """Strategy 6 (bonus): reorder genuine entries.
+
+    All signatures verify individually, but the timestamp-ordering check
+    rejects the submission.
+    """
+    entries = list(poa.entries)
+    rng.shuffle(entries)
+    return ProofOfAlibi(entries)

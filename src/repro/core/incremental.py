@@ -1,0 +1,153 @@
+"""Incremental PoA verification for real-time auditing.
+
+The batch verifier (:class:`repro.core.verification.PoaVerifier`) needs
+the whole flight; a real-time Auditor receiving streamed entries wants a
+verdict *per entry*, the moment it arrives.  :class:`IncrementalVerifier`
+maintains the running state — last accepted sample, cumulative pair
+verdicts — and classifies each new signed sample in O(zones):
+
+* bad signature / undecodable payload / time regression → rejected (and
+  the running state is untouched, so one bad entry cannot corrupt the
+  stream);
+* infeasible jump from the previous sample → rejected;
+* otherwise the new pair is scored sufficient or insufficient and the
+  sample becomes the new anchor.
+
+The final :meth:`report` matches what the batch verifier would say about
+the accepted prefix, which :mod:`tests.integration` asserts.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import SignedSample
+from repro.core.samples import GpsSample
+from repro.core.sufficiency import Method, pair_is_sufficient
+from repro.core.verification import VerificationReport, VerificationStatus
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import EncodingError, GeometryError
+from repro.geo.geodesy import LocalFrame
+from repro.units import FAA_MAX_SPEED_MPS
+
+
+class EntryVerdict(enum.Enum):
+    """Classification of one streamed entry."""
+
+    ACCEPTED = "accepted"                 # pair sufficient (or first sample)
+    INSUFFICIENT_PAIR = "insufficient"    # genuine but cannot rule out entry
+    REJECTED_SIGNATURE = "bad_signature"
+    REJECTED_MALFORMED = "malformed"
+    REJECTED_ORDER = "out_of_order"
+    REJECTED_INFEASIBLE = "infeasible"
+
+
+@dataclass
+class IncrementalState:
+    """Running counters exposed for dashboards and tests."""
+
+    entries_seen: int = 0
+    entries_accepted: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    insufficient_pairs: int = 0
+
+    def note_rejection(self, verdict: EntryVerdict) -> None:
+        self.rejected[verdict.value] = self.rejected.get(verdict.value, 0) + 1
+
+
+class IncrementalVerifier:
+    """Verify a PoA one signed sample at a time."""
+
+    def __init__(self, tee_public_key: RsaPublicKey,
+                 zones: Sequence[NoFlyZone], frame: LocalFrame,
+                 vmax_mps: float = FAA_MAX_SPEED_MPS,
+                 hash_name: str = "sha1",
+                 method: Method = "conservative",
+                 feasibility_slack: float = 1.02):
+        self.tee_public_key = tee_public_key
+        self.zones = list(zones)
+        self.frame = frame
+        self.vmax_mps = float(vmax_mps)
+        self.hash_name = hash_name
+        self.method: Method = method
+        self.feasibility_slack = float(feasibility_slack)
+        self.state = IncrementalState()
+        self._last: GpsSample | None = None
+
+    @property
+    def last_sample(self) -> GpsSample | None:
+        """The current anchor (last accepted sample)."""
+        return self._last
+
+    def push(self, entry: SignedSample) -> EntryVerdict:
+        """Classify one streamed entry and advance the anchor if genuine."""
+        self.state.entries_seen += 1
+
+        if not entry.verify(self.tee_public_key, self.hash_name):
+            self.state.note_rejection(EntryVerdict.REJECTED_SIGNATURE)
+            return EntryVerdict.REJECTED_SIGNATURE
+        try:
+            sample = entry.sample
+        except (EncodingError, GeometryError):
+            self.state.note_rejection(EntryVerdict.REJECTED_MALFORMED)
+            return EntryVerdict.REJECTED_MALFORMED
+
+        if self._last is None:
+            self._last = sample
+            self.state.entries_accepted += 1
+            return EntryVerdict.ACCEPTED
+
+        if sample.t < self._last.t:
+            self.state.note_rejection(EntryVerdict.REJECTED_ORDER)
+            return EntryVerdict.REJECTED_ORDER
+
+        dt = sample.t - self._last.t
+        ax, ay = self._last.local_position(self.frame)
+        bx, by = sample.local_position(self.frame)
+        distance = math.hypot(bx - ax, by - ay)
+        if distance > self.vmax_mps * self.feasibility_slack * dt + 1e-9:
+            self.state.note_rejection(EntryVerdict.REJECTED_INFEASIBLE)
+            return EntryVerdict.REJECTED_INFEASIBLE
+
+        sufficient = pair_is_sufficient(self._last, sample, self.zones,
+                                        self.frame, self.vmax_mps,
+                                        self.method)
+        self._last = sample
+        self.state.entries_accepted += 1
+        if sufficient:
+            return EntryVerdict.ACCEPTED
+        self.state.insufficient_pairs += 1
+        return EntryVerdict.INSUFFICIENT_PAIR
+
+    def report(self) -> VerificationReport:
+        """The overall verdict for the stream so far.
+
+        Mirrors the batch pipeline's severity ordering: any rejection
+        dominates, then insufficiency, then acceptance.  A stream with no
+        genuine samples is EMPTY.
+        """
+        rejected = self.state.rejected
+        if rejected.get(EntryVerdict.REJECTED_SIGNATURE.value):
+            status = VerificationStatus.REJECTED_BAD_SIGNATURE
+        elif (rejected.get(EntryVerdict.REJECTED_MALFORMED.value)
+              or rejected.get(EntryVerdict.REJECTED_ORDER.value)):
+            status = VerificationStatus.REJECTED_MALFORMED
+        elif rejected.get(EntryVerdict.REJECTED_INFEASIBLE.value):
+            status = VerificationStatus.REJECTED_INFEASIBLE
+        elif self.state.entries_accepted == 0:
+            status = VerificationStatus.REJECTED_EMPTY
+        elif self.state.insufficient_pairs > 0:
+            status = VerificationStatus.INSUFFICIENT
+        elif self.state.entries_accepted < 2 and self.zones:
+            status = VerificationStatus.INSUFFICIENT
+        else:
+            status = VerificationStatus.ACCEPTED
+        return VerificationReport(
+            status=status, sample_count=self.state.entries_accepted,
+            message=(f"incremental: {self.state.entries_seen} entries seen, "
+                     f"{self.state.entries_accepted} accepted, "
+                     f"{self.state.insufficient_pairs} insufficient pairs"))

@@ -1,0 +1,125 @@
+"""No-fly-zone types (paper §III-A, §VII-B1, §VII-B2).
+
+The base model is a circle ``z = (lat, lon, r)``.  The 3-D extension adds a
+cylinder (altitude-capped circle), and the arbitrary-shape extension lets a
+Zone Owner register a polygon which the Auditor canonicalizes to its
+smallest enclosing circle at registration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geo.circle import Circle, smallest_enclosing_circle
+from repro.geo.ellipsoid import Cylinder
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.geo.polygon import Polygon
+
+
+@dataclass(frozen=True, slots=True)
+class NoFlyZone:
+    """A circular no-fly-zone ``z = (lat, lon, r)``.
+
+    Attributes:
+        lat: centre latitude, decimal degrees.
+        lon: centre longitude, decimal degrees.
+        radius_m: zone radius in metres.
+    """
+
+    lat: float
+    lon: float
+    radius_m: float
+
+    def __post_init__(self) -> None:
+        if self.radius_m < 0:
+            raise GeometryError("NFZ radius must be non-negative")
+        GeoPoint(self.lat, self.lon)  # validates the coordinate ranges
+
+    @property
+    def center(self) -> GeoPoint:
+        """Zone centre as a geographic point."""
+        return GeoPoint(self.lat, self.lon)
+
+    def to_circle(self, frame: LocalFrame) -> Circle:
+        """The zone as a planar circle in ``frame``."""
+        x, y = frame.to_local(self.center)
+        return Circle(x, y, self.radius_m)
+
+    def boundary_distance_m(self, sample_xy: tuple[float, float],
+                            frame: LocalFrame) -> float:
+        """Signed distance from a local-frame point to the zone boundary."""
+        return self.to_circle(frame).distance_to_boundary(sample_xy)
+
+
+@dataclass(frozen=True, slots=True)
+class CylinderNfz:
+    """A 3-D no-fly region ``z' = (lat, lon, alt, r)`` — a vertical cylinder.
+
+    The region spans ground level up to ``ceiling_m``; a drone above the
+    ceiling may legally overfly the zone (paper §VII-B1).
+    """
+
+    lat: float
+    lon: float
+    ceiling_m: float
+    radius_m: float
+
+    def __post_init__(self) -> None:
+        if self.radius_m < 0:
+            raise GeometryError("NFZ radius must be non-negative")
+        if self.ceiling_m < 0:
+            raise GeometryError("NFZ ceiling must be non-negative")
+        GeoPoint(self.lat, self.lon)
+
+    @property
+    def center(self) -> GeoPoint:
+        """Axis position as a geographic point."""
+        return GeoPoint(self.lat, self.lon)
+
+    def to_cylinder(self, frame: LocalFrame) -> Cylinder:
+        """The zone as a planar-frame cylinder."""
+        x, y = frame.to_local(self.center)
+        return Cylinder(x=x, y=y, r=self.radius_m, height=self.ceiling_m)
+
+    def footprint(self) -> NoFlyZone:
+        """The 2-D circular footprint (what a 2-D verifier would enforce)."""
+        return NoFlyZone(self.lat, self.lon, self.radius_m)
+
+
+@dataclass(frozen=True)
+class PolygonNfz:
+    """An arbitrary-shape NFZ registered as a polygon (paper §VII-B2).
+
+    The Auditor does not verify against the polygon directly: at
+    registration it computes the smallest circle covering the vertices
+    (once, expected linear time) and enforces that circle.
+    """
+
+    vertices_latlon: tuple[tuple[float, float], ...]
+
+    def __init__(self, vertices_latlon: Sequence[tuple[float, float]]):
+        pts = tuple((float(lat), float(lon)) for lat, lon in vertices_latlon)
+        if len(pts) < 3:
+            raise GeometryError("polygon NFZ needs at least 3 vertices")
+        for lat, lon in pts:
+            GeoPoint(lat, lon)
+        object.__setattr__(self, "vertices_latlon", pts)
+
+    def to_polygon(self, frame: LocalFrame) -> Polygon:
+        """The zone as a planar polygon in ``frame``."""
+        return Polygon([frame.to_local(GeoPoint(lat, lon))
+                        for lat, lon in self.vertices_latlon])
+
+    def canonical_circle(self, frame: LocalFrame) -> NoFlyZone:
+        """Smallest-enclosing-circle canonicalization, as a circular NFZ.
+
+        The returned circle always covers the polygon's vertices; for
+        convex polygons it covers the whole region, so enforcement against
+        the circle is at least as strict as against the polygon.
+        """
+        circle = smallest_enclosing_circle(
+            [frame.to_local(GeoPoint(lat, lon)) for lat, lon in self.vertices_latlon])
+        center = frame.to_geo(circle.x, circle.y)
+        return NoFlyZone(center.lat, center.lon, circle.r)

@@ -1,0 +1,155 @@
+"""Proof-of-Alibi structures (paper §IV-C2).
+
+``PoA = {(S_0, Sig(S_0, T-)), (S_1, Sig(S_1, T-)), ...}`` — GPS samples
+paired with TEE signatures.  The Adapter additionally encrypts each sample
+payload under the Auditor's public key before persisting it
+(``RSAES_PKCS1_v1_5``, §V-C); :func:`encrypt_poa`/:func:`decrypt_poa`
+implement that wrapping.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.samples import GpsSample, Trace
+from repro.crypto.pkcs1 import decrypt_pkcs1_v15, encrypt_pkcs1_v15, verify_pkcs1_v15
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import EncodingError
+
+
+@dataclass(frozen=True, slots=True)
+class SignedSample:
+    """One ``(S_i, Sig(S_i, T-))`` entry of a PoA.
+
+    Attributes:
+        payload: the canonical sample encoding that was signed in the TEE.
+        signature: RSASSA-PKCS1-v1_5 signature over ``payload``.
+    """
+
+    payload: bytes
+    signature: bytes
+
+    @classmethod
+    def from_ta_output(cls, output: Mapping[str, bytes]) -> "SignedSample":
+        """Wrap the dict the GPS Sampler TA's ``GetGPSAuth`` returns."""
+        return cls(payload=bytes(output["payload"]),
+                   signature=bytes(output["signature"]))
+
+    @property
+    def sample(self) -> GpsSample:
+        """The decoded GPS sample."""
+        return GpsSample.from_signed_payload(self.payload)
+
+    def verify(self, tee_public_key: RsaPublicKey,
+               hash_name: str = "sha1") -> bool:
+        """Whether the signature verifies under ``T+``."""
+        return verify_pkcs1_v15(tee_public_key, self.payload,
+                                self.signature, hash_name)
+
+
+class ProofOfAlibi:
+    """An ordered collection of signed samples for one flight."""
+
+    def __init__(self, entries: Iterable[SignedSample] = ()):
+        self._entries: list[SignedSample] = list(entries)
+
+    def append(self, entry: SignedSample) -> None:
+        """Append one signed sample."""
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SignedSample]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> SignedSample:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> tuple[SignedSample, ...]:
+        """Read-only view of the signed samples."""
+        return tuple(self._entries)
+
+    def trace(self) -> Trace:
+        """The decoded alibi ``{S_0, ..., S_n}`` (signatures stripped)."""
+        return Trace(entry.sample for entry in self._entries)
+
+    def verify_all(self, tee_public_key: RsaPublicKey,
+                   hash_name: str = "sha1") -> bool:
+        """Whether every signature verifies under ``T+``."""
+        return all(entry.verify(tee_public_key, hash_name)
+                   for entry in self._entries)
+
+    # --- persistence -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Length-prefixed binary encoding (the drone's local persistence)."""
+        parts = [struct.pack(">I", len(self._entries))]
+        for entry in self._entries:
+            parts.append(struct.pack(">HH", len(entry.payload), len(entry.signature)))
+            parts.append(entry.payload)
+            parts.append(entry.signature)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProofOfAlibi":
+        """Decode :meth:`to_bytes` output; raises on malformed input."""
+        if len(data) < 4:
+            raise EncodingError("truncated PoA encoding")
+        (count,) = struct.unpack_from(">I", data, 0)
+        offset = 4
+        entries = []
+        for _ in range(count):
+            if offset + 4 > len(data):
+                raise EncodingError("truncated PoA entry header")
+            payload_len, signature_len = struct.unpack_from(">HH", data, offset)
+            offset += 4
+            end = offset + payload_len + signature_len
+            if end > len(data):
+                raise EncodingError("truncated PoA entry body")
+            payload = data[offset:offset + payload_len]
+            signature = data[offset + payload_len:end]
+            entries.append(SignedSample(payload=payload, signature=signature))
+            offset = end
+        if offset != len(data):
+            raise EncodingError("trailing bytes after PoA encoding")
+        return cls(entries)
+
+
+@dataclass(frozen=True, slots=True)
+class EncryptedPoaRecord:
+    """One persisted record: encrypted payload + cleartext TEE signature."""
+
+    ciphertext: bytes
+    signature: bytes
+
+
+def encrypt_poa(poa: ProofOfAlibi, auditor_public_key: RsaPublicKey,
+                rng: random.Random | None = None) -> list[EncryptedPoaRecord]:
+    """Encrypt each sample payload under the Auditor's public key (§V-C).
+
+    The signature stays in the clear — it covers the plaintext payload and
+    is verified after the Auditor decrypts.
+    """
+    return [EncryptedPoaRecord(
+                ciphertext=encrypt_pkcs1_v15(auditor_public_key, entry.payload, rng=rng),
+                signature=entry.signature)
+            for entry in poa]
+
+
+def decrypt_poa(records: Iterable[EncryptedPoaRecord],
+                auditor_private_key: RsaPrivateKey) -> ProofOfAlibi:
+    """Decrypt Adapter-encrypted records back into a PoA.
+
+    Raises:
+        repro.errors.EncryptionError: a record's padding is invalid
+            (tampered ciphertext or wrong key).
+    """
+    return ProofOfAlibi(
+        SignedSample(payload=decrypt_pkcs1_v15(auditor_private_key, record.ciphertext),
+                     signature=record.signature)
+        for record in records)

@@ -1,0 +1,159 @@
+"""GPS samples and traces: the protocol's basic data model (paper §III-A).
+
+A sample is the paper's ``S = (lat, lon, t)`` tuple (optionally with
+altitude for the 3-D extension).  The *signed payload* encoding defined
+here is the canonical byte string the GPS Sampler TA signs inside the TEE;
+the Auditor re-encodes received samples the same way to verify signatures,
+so the encoding must be exact and deterministic — coordinates are
+fixed-point scaled rather than floats on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import EncodingError, GeometryError
+from repro.geo.geodesy import GeoPoint, LocalFrame
+
+#: Fixed-point scale for coordinates: 1e-7 degrees ~ 1.1 cm, finer than GPS.
+_COORD_SCALE = 10_000_000
+#: Fixed-point scale for time: microseconds.
+_TIME_SCALE = 1_000_000
+#: Fixed-point scale for altitude: millimetres.
+_ALT_SCALE = 1_000
+
+_PAYLOAD_MAGIC = b"ADGS"
+_NO_ALTITUDE = -(2 ** 63)  # sentinel for "2-D sample" in the wire encoding
+
+
+@dataclass(frozen=True, slots=True)
+class GpsSample:
+    """One timestamped GPS position.
+
+    Attributes:
+        lat: latitude, decimal degrees.
+        lon: longitude, decimal degrees.
+        t: UNIX timestamp, seconds.
+        alt: altitude in metres, or None for the paper's 2-D model.
+    """
+
+    lat: float
+    lon: float
+    t: float
+    alt: float | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("lat", self.lat), ("lon", self.lon), ("t", self.t)):
+            if not math.isfinite(value):
+                raise GeometryError(f"GPS sample field {name} is not finite")
+        if not -90.0 <= self.lat <= 90.0:
+            raise GeometryError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise GeometryError(f"longitude out of range: {self.lon}")
+        if self.alt is not None and not math.isfinite(self.alt):
+            raise GeometryError("altitude is not finite")
+
+    @property
+    def point(self) -> GeoPoint:
+        """The position as a :class:`GeoPoint`."""
+        return GeoPoint(self.lat, self.lon)
+
+    def local_position(self, frame: LocalFrame) -> tuple[float, float]:
+        """Position projected into ``frame`` (east, north) metres."""
+        return frame.to_local(self.point)
+
+    def to_signed_payload(self) -> bytes:
+        """Canonical fixed-point byte encoding — what the TEE signs.
+
+        Layout: magic ``ADGS`` then big-endian int64 scaled lat, lon, time,
+        altitude (sentinel for None).  Quantization (1.1 cm / 1 us / 1 mm)
+        is far below sensor noise, so round-tripping is lossless for
+        protocol purposes.
+        """
+        alt_scaled = _NO_ALTITUDE if self.alt is None else round(self.alt * _ALT_SCALE)
+        return _PAYLOAD_MAGIC + struct.pack(
+            ">qqqq",
+            round(self.lat * _COORD_SCALE),
+            round(self.lon * _COORD_SCALE),
+            round(self.t * _TIME_SCALE),
+            alt_scaled,
+        )
+
+    @classmethod
+    def from_signed_payload(cls, payload: bytes) -> "GpsSample":
+        """Decode a canonical payload; raises :class:`EncodingError` if malformed."""
+        if len(payload) != 4 + 32 or payload[:4] != _PAYLOAD_MAGIC:
+            raise EncodingError("malformed GPS sample payload")
+        lat_s, lon_s, t_s, alt_s = struct.unpack(">qqqq", payload[4:])
+        alt = None if alt_s == _NO_ALTITUDE else alt_s / _ALT_SCALE
+        return cls(lat=lat_s / _COORD_SCALE, lon=lon_s / _COORD_SCALE,
+                   t=t_s / _TIME_SCALE, alt=alt)
+
+    def canonical(self) -> "GpsSample":
+        """The sample after a payload round-trip (quantized form).
+
+        Signature verification re-encodes samples, so any sample that will
+        be compared against a signed payload should be canonicalized first.
+        """
+        return GpsSample.from_signed_payload(self.to_signed_payload())
+
+
+class Trace:
+    """An ordered flight trace ``F = {S0, S1, ..., Sn}`` (paper §III-A)."""
+
+    def __init__(self, samples: Iterable[GpsSample] = ()):
+        self._samples: list[GpsSample] = []
+        for sample in samples:
+            self.append(sample)
+
+    def append(self, sample: GpsSample) -> None:
+        """Append a sample; timestamps must be non-decreasing."""
+        if self._samples and sample.t < self._samples[-1].t:
+            raise GeometryError(
+                f"trace timestamps must be non-decreasing: {sample.t} < {self._samples[-1].t}")
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[GpsSample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> GpsSample:
+        return self._samples[index]
+
+    @property
+    def samples(self) -> Sequence[GpsSample]:
+        """Read-only view of the samples."""
+        return tuple(self._samples)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last sample (0 for short traces)."""
+        if len(self._samples) < 2:
+            return 0.0
+        return self._samples[-1].t - self._samples[0].t
+
+    def pairs(self) -> Iterator[tuple[GpsSample, GpsSample]]:
+        """Consecutive sample pairs ``(S_i, S_{i+1})``."""
+        for i in range(len(self._samples) - 1):
+            yield self._samples[i], self._samples[i + 1]
+
+    def max_speed_mps(self, frame: LocalFrame) -> float:
+        """The largest implied straight-line speed between consecutive samples.
+
+        The Auditor uses this as a cheap plausibility screen: any value
+        above ``v_max`` proves the trace is physically impossible.
+        """
+        worst = 0.0
+        for a, b in self.pairs():
+            dt = b.t - a.t
+            if dt <= 0:
+                return math.inf
+            ax, ay = a.local_position(frame)
+            bx, by = b.local_position(frame)
+            worst = max(worst, math.hypot(bx - ax, by - ay) / dt)
+        return worst

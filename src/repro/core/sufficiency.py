@@ -1,0 +1,141 @@
+"""The alibi sufficiency predicate — paper equation (1).
+
+An alibi ``{S_0, ..., S_n}`` is *sufficient* against a zone set ``Z`` when
+for every consecutive pair the possible-traveling-range ellipse intersects
+no zone: ``E(S_i, S_{i+1}) ∩ (∪ z) = ∅``.  Insufficiency does not prove a
+violation — it means the samples cannot *rule one out*, and under the
+paper's burden-of-proof model that is enough for the Auditor to act.
+
+Two predicates are exposed via ``method``:
+
+* ``"conservative"`` (default, the paper's): a pair clears zone ``z`` when
+  ``D1 + D2 > v_max * dt`` with ``D_i`` the focus-to-boundary distance —
+  exactly the quantity in the adaptive-sampling conditions and in the
+  §VI-A3 insufficiency counter.
+* ``"exact"``: true geometric ellipse/disk disjointness.
+
+Conservative is sound (never passes a pair exact would fail) but may flag
+pairs exact would clear; the ablation benchmark quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal, Sequence
+
+from repro.core.nfz import NoFlyZone
+from repro.core.samples import GpsSample
+from repro.errors import ConfigurationError
+from repro.geo.circle import Circle
+from repro.geo.ellipse import (
+    TravelRangeEllipse,
+    ellipse_disk_disjoint_conservative,
+    ellipse_disk_disjoint_exact,
+)
+from repro.geo.geodesy import LocalFrame
+from repro.units import FAA_MAX_SPEED_MPS
+
+Method = Literal["conservative", "exact"]
+
+
+def _zone_circles(zones: Iterable[NoFlyZone], frame: LocalFrame) -> list[Circle]:
+    return [zone.to_circle(frame) for zone in zones]
+
+
+def travel_ellipse(s1: GpsSample, s2: GpsSample, frame: LocalFrame,
+                   vmax_mps: float = FAA_MAX_SPEED_MPS) -> TravelRangeEllipse:
+    """The possible-traveling-range ellipse for a sample pair."""
+    if s2.t < s1.t:
+        raise ConfigurationError("sample pair out of order")
+    return TravelRangeEllipse(f1=s1.local_position(frame),
+                              f2=s2.local_position(frame),
+                              focal_sum=vmax_mps * (s2.t - s1.t))
+
+
+def pair_is_sufficient(s1: GpsSample, s2: GpsSample,
+                       zones: Sequence[NoFlyZone], frame: LocalFrame,
+                       vmax_mps: float = FAA_MAX_SPEED_MPS,
+                       method: Method = "conservative") -> bool:
+    """Whether the pair proves non-entrance for *every* zone."""
+    ellipse = travel_ellipse(s1, s2, frame, vmax_mps)
+    if method == "conservative":
+        disjoint = ellipse_disk_disjoint_conservative
+    elif method == "exact":
+        disjoint = ellipse_disk_disjoint_exact
+    else:
+        raise ConfigurationError(f"unknown sufficiency method: {method!r}")
+    return all(disjoint(ellipse, circle) for circle in _zone_circles(zones, frame))
+
+
+def insufficient_pair_indices(samples: Sequence[GpsSample],
+                              zones: Sequence[NoFlyZone], frame: LocalFrame,
+                              vmax_mps: float = FAA_MAX_SPEED_MPS,
+                              method: Method = "conservative") -> list[int]:
+    """Indices ``i`` whose pair ``(S_i, S_{i+1})`` fails sufficiency.
+
+    Zone circles are projected once; with the conservative method each pair
+    costs two distance evaluations per zone.
+    """
+    circles = _zone_circles(zones, frame)
+    if method == "conservative":
+        disjoint = ellipse_disk_disjoint_conservative
+    elif method == "exact":
+        disjoint = ellipse_disk_disjoint_exact
+    else:
+        raise ConfigurationError(f"unknown sufficiency method: {method!r}")
+    failures = []
+    for i in range(len(samples) - 1):
+        ellipse = TravelRangeEllipse(
+            f1=samples[i].local_position(frame),
+            f2=samples[i + 1].local_position(frame),
+            focal_sum=vmax_mps * (samples[i + 1].t - samples[i].t))
+        if not all(disjoint(ellipse, circle) for circle in circles):
+            failures.append(i)
+    return failures
+
+
+def alibi_is_sufficient(samples: Sequence[GpsSample],
+                        zones: Sequence[NoFlyZone], frame: LocalFrame,
+                        vmax_mps: float = FAA_MAX_SPEED_MPS,
+                        method: Method = "conservative") -> bool:
+    """Equation (1): every consecutive pair clears every zone.
+
+    A trace with fewer than two samples carries no alibi information and is
+    treated as sufficient only when there are no zones at all.
+    """
+    if len(samples) < 2:
+        return not zones
+    return not insufficient_pair_indices(samples, zones, frame, vmax_mps, method)
+
+
+def count_insufficient_pairs(samples: Sequence[GpsSample],
+                             zones: Sequence[NoFlyZone], frame: LocalFrame,
+                             vmax_mps: float = FAA_MAX_SPEED_MPS) -> int:
+    """The §VI-A3 field-study metric.
+
+    ``count += 1`` for each pair with
+    ``min_j (d_{i,j} + d_{i+1,j}) < v_max * (t_{i+1} - t_i)`` where ``d``
+    is the distance to the zone boundary — i.e. the conservative predicate
+    restricted to the nearest zone, which for the conservative form is
+    equivalent to checking all zones.
+    """
+    return len(insufficient_pair_indices(samples, zones, frame, vmax_mps,
+                                         method="conservative"))
+
+
+def cumulative_insufficiency_series(samples: Sequence[GpsSample],
+                                    zones: Sequence[NoFlyZone],
+                                    frame: LocalFrame,
+                                    vmax_mps: float = FAA_MAX_SPEED_MPS,
+                                    ) -> list[tuple[float, int]]:
+    """Fig. 8(c)'s series: ``(t, cumulative insufficient-pair count)``.
+
+    Each pair is attributed to the timestamp of its later sample.
+    """
+    failures = set(insufficient_pair_indices(samples, zones, frame, vmax_mps))
+    series = []
+    count = 0
+    for i in range(len(samples) - 1):
+        if i in failures:
+            count += 1
+        series.append((samples[i + 1].t, count))
+    return series

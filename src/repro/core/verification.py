@@ -1,0 +1,165 @@
+"""Auditor-side Proof-of-Alibi verification.
+
+The pipeline the AliDrone Server runs on every submission (paper §IV-C2):
+
+1. **Authenticity** — every sample's TEE signature verifies under the
+   drone's registered ``T+``.  A single bad signature rejects the PoA:
+   either the trace was tampered with, or it was signed by something other
+   than this drone's TEE (forgery, relay).
+2. **Well-formedness** — payloads decode, timestamps are non-decreasing.
+3. **Physical feasibility** — no consecutive pair implies motion above
+   ``v_max``.  An infeasible pair means spliced or fabricated data (the
+   travel-range ellipse would be empty).
+4. **Sufficiency** — equation (1) against the zone set.  Insufficiency is
+   not proof of violation, but under the burden-of-proof model the Auditor
+   treats it as non-compliance.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi
+from repro.core.samples import GpsSample
+from repro.core.sufficiency import Method, insufficient_pair_indices
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import EncodingError
+from repro.geo.geodesy import LocalFrame
+from repro.units import FAA_MAX_SPEED_MPS
+
+
+class VerificationStatus(enum.Enum):
+    """Outcome of PoA verification, ordered by severity."""
+
+    ACCEPTED = "accepted"
+    INSUFFICIENT = "insufficient"           # cannot rule out NFZ entrance
+    REJECTED_INFEASIBLE = "infeasible"      # physically impossible motion
+    REJECTED_MALFORMED = "malformed"        # undecodable / out-of-order
+    REJECTED_BAD_SIGNATURE = "bad_signature"
+    REJECTED_EMPTY = "empty"
+
+
+@dataclass
+class VerificationReport:
+    """Everything the Auditor learns from one verification run."""
+
+    status: VerificationStatus
+    bad_signature_indices: list[int] = field(default_factory=list)
+    infeasible_pair_indices: list[int] = field(default_factory=list)
+    insufficient_pair_indices: list[int] = field(default_factory=list)
+    sample_count: int = 0
+    message: str = ""
+
+    @property
+    def compliant(self) -> bool:
+        """Whether the PoA proves compliance."""
+        return self.status is VerificationStatus.ACCEPTED
+
+
+class PoaVerifier:
+    """A reusable verification pipeline bound to a frame and speed limit.
+
+    Args:
+        frame: local planar frame covering the operating area.
+        vmax_mps: physical speed bound (FAA 100 mph default).
+        hash_name: signature hash (the prototype uses SHA-1).
+        method: sufficiency predicate, ``"conservative"`` (paper) or
+            ``"exact"``.
+        feasibility_slack: multiplicative tolerance on the speed bound to
+            absorb GPS noise (an honest drone at the limit should not be
+            rejected because of metre-level jitter).
+    """
+
+    def __init__(self, frame: LocalFrame,
+                 vmax_mps: float = FAA_MAX_SPEED_MPS,
+                 hash_name: str = "sha1",
+                 method: Method = "conservative",
+                 feasibility_slack: float = 1.02):
+        self.frame = frame
+        self.vmax_mps = float(vmax_mps)
+        self.hash_name = hash_name
+        self.method: Method = method
+        self.feasibility_slack = float(feasibility_slack)
+
+    # --- individual stages --------------------------------------------------
+
+    def check_signatures(self, poa: ProofOfAlibi,
+                         tee_public_key: RsaPublicKey) -> list[int]:
+        """Indices of entries whose signature fails under ``T+``."""
+        return [i for i, entry in enumerate(poa)
+                if not entry.verify(tee_public_key, self.hash_name)]
+
+    def decode_samples(self, poa: ProofOfAlibi) -> list[GpsSample]:
+        """Decode all payloads; raises :class:`EncodingError` on failure."""
+        return [entry.sample for entry in poa]
+
+    def check_ordering(self, samples: Sequence[GpsSample]) -> bool:
+        """Whether timestamps are non-decreasing."""
+        return all(b.t >= a.t for a, b in zip(samples, samples[1:]))
+
+    def infeasible_pairs(self, samples: Sequence[GpsSample]) -> list[int]:
+        """Pairs implying motion faster than the (slackened) speed bound."""
+        limit = self.vmax_mps * self.feasibility_slack
+        failures = []
+        for i in range(len(samples) - 1):
+            a, b = samples[i], samples[i + 1]
+            dt = b.t - a.t
+            ax, ay = a.local_position(self.frame)
+            bx, by = b.local_position(self.frame)
+            distance = math.hypot(bx - ax, by - ay)
+            if distance > limit * dt + 1e-9:
+                failures.append(i)
+        return failures
+
+    # --- the pipeline --------------------------------------------------------
+
+    def verify(self, poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
+               zones: Sequence[NoFlyZone]) -> VerificationReport:
+        """Run the full pipeline and report the outcome."""
+        if len(poa) == 0:
+            return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
+                                      message="PoA contains no samples")
+
+        bad = self.check_signatures(poa, tee_public_key)
+        if bad:
+            return VerificationReport(
+                status=VerificationStatus.REJECTED_BAD_SIGNATURE,
+                bad_signature_indices=bad, sample_count=len(poa),
+                message=f"{len(bad)} of {len(poa)} signatures failed")
+
+        try:
+            samples = self.decode_samples(poa)
+        except EncodingError as exc:
+            return VerificationReport(
+                status=VerificationStatus.REJECTED_MALFORMED,
+                sample_count=len(poa), message=str(exc))
+
+        if not self.check_ordering(samples):
+            return VerificationReport(
+                status=VerificationStatus.REJECTED_MALFORMED,
+                sample_count=len(poa),
+                message="sample timestamps are not non-decreasing")
+
+        infeasible = self.infeasible_pairs(samples)
+        if infeasible:
+            return VerificationReport(
+                status=VerificationStatus.REJECTED_INFEASIBLE,
+                infeasible_pair_indices=infeasible, sample_count=len(poa),
+                message=f"{len(infeasible)} pairs exceed v_max")
+
+        insufficient = insufficient_pair_indices(
+            samples, list(zones), self.frame, self.vmax_mps, self.method)
+        if len(samples) < 2 and zones:
+            insufficient = [0]  # a single sample proves nothing
+        if insufficient:
+            return VerificationReport(
+                status=VerificationStatus.INSUFFICIENT,
+                insufficient_pair_indices=insufficient, sample_count=len(poa),
+                message=f"{len(insufficient)} pairs cannot rule out NFZ entrance")
+
+        return VerificationReport(status=VerificationStatus.ACCEPTED,
+                                  sample_count=len(poa))

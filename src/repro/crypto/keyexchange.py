@@ -1,0 +1,87 @@
+"""Finite-field Diffie-Hellman for ephemeral flight keys (§VII-A1(a)).
+
+The symmetric-signing extension needs a key agreed between the drone's TEE
+and the Auditor *before each flight*, with the key never visible to the
+Drone Operator.  Classic DH over the RFC 3526 2048-bit MODP group plus an
+HKDF-style derivation gives exactly that: the TEE holds its exponent in the
+secure world, the operator only relays public values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+
+from repro.errors import CryptoError
+
+# RFC 3526 group 14: 2048-bit MODP prime, generator 2.
+RFC3526_GROUP14_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+RFC3526_GROUP14_GENERATOR = 2
+
+
+class DiffieHellman:
+    """One party of a finite-field DH exchange.
+
+    Example:
+        >>> alice = DiffieHellman(rng=random.Random(1))
+        >>> bob = DiffieHellman(rng=random.Random(2))
+        >>> alice.shared_secret(bob.public_value) == bob.shared_secret(alice.public_value)
+        True
+    """
+
+    def __init__(self, prime: int = RFC3526_GROUP14_PRIME,
+                 generator: int = RFC3526_GROUP14_GENERATOR,
+                 rng: random.Random | None = None):
+        if prime < 5 or generator < 2:
+            raise CryptoError("invalid DH group parameters")
+        self.prime = prime
+        self.generator = generator
+        rng = rng or random.SystemRandom()
+        # 256-bit exponents are sufficient against generic discrete-log
+        # attacks on a 2048-bit group.
+        self._exponent = rng.getrandbits(256) | (1 << 255)
+        self.public_value = pow(generator, self._exponent, prime)
+
+    def shared_secret(self, peer_public_value: int) -> bytes:
+        """The raw shared secret as big-endian bytes.
+
+        Rejects degenerate peer values (0, 1, p-1) that would force the
+        secret into a tiny subgroup.
+        """
+        if not 2 <= peer_public_value <= self.prime - 2:
+            raise CryptoError("degenerate DH peer public value")
+        secret = pow(peer_public_value, self._exponent, self.prime)
+        length = (self.prime.bit_length() + 7) // 8
+        return secret.to_bytes(length, "big")
+
+
+def derive_session_key(shared_secret: bytes, context: bytes,
+                       length: int = 32) -> bytes:
+    """HKDF-style extract-and-expand (HMAC-SHA256) of a DH shared secret.
+
+    Args:
+        context: domain-separation info, e.g. ``b"alidrone-flight:" + flight_id``.
+        length: output key length in bytes (at most 255 * 32).
+    """
+    if not 1 <= length <= 255 * 32:
+        raise CryptoError("invalid derived key length")
+    prk = hmac.new(b"alidrone-hkdf-salt", shared_secret, hashlib.sha256).digest()
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(prk, previous + context + bytes([counter]), hashlib.sha256).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]

@@ -1,0 +1,123 @@
+"""PKCS#1 v1.5 signature and encryption schemes (RFC 8017).
+
+Implements the two algorithms the paper's prototype calls through the
+GlobalPlatform TEE API:
+
+* ``RSASSA-PKCS1-v1_5`` with SHA-1 (the prototype's
+  ``TEE_ALG_RSASSA_PKCS1_V1_5_SHA1``) or SHA-256 — used by the GPS Sampler
+  TA to sign samples.
+* ``RSAES-PKCS1-v1_5`` — used by the Adapter to encrypt the PoA under the
+  Auditor's public key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import CryptoError, EncryptionError, SignatureError
+
+# DER-encoded DigestInfo prefixes (RFC 8017 §9.2 note 1).
+_DIGEST_INFO_PREFIX: dict[str, bytes] = {
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+    "sha384": bytes.fromhex("3041300d060960864801650304020205000430"),
+    "sha512": bytes.fromhex("3051300d060960864801650304020305000440"),
+}
+
+
+def i2osp(x: int, length: int) -> bytes:
+    """Integer-to-octet-string primitive (big endian, fixed length)."""
+    if x < 0 or x >= 256 ** length:
+        raise CryptoError("integer too large for I2OSP output length")
+    return x.to_bytes(length, "big")
+
+
+def os2ip(octets: bytes) -> int:
+    """Octet-string-to-integer primitive."""
+    return int.from_bytes(octets, "big")
+
+
+def _digest_info(message: bytes, hash_name: str) -> bytes:
+    prefix = _DIGEST_INFO_PREFIX.get(hash_name)
+    if prefix is None:
+        raise CryptoError(f"unsupported hash for PKCS#1 v1.5: {hash_name!r}")
+    digest = hashlib.new(hash_name, message).digest()
+    return prefix + digest
+
+
+def _emsa_pkcs1_v15_encode(message: bytes, em_len: int, hash_name: str) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding: ``00 01 FF..FF 00 || DigestInfo``."""
+    t = _digest_info(message, hash_name)
+    if em_len < len(t) + 11:
+        raise SignatureError("intended encoded message length too short")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign_pkcs1_v15(key: RsaPrivateKey, message: bytes,
+                   hash_name: str = "sha1") -> bytes:
+    """RSASSA-PKCS1-v1_5 signature generation.
+
+    Defaults to SHA-1 to match the prototype's OP-TEE algorithm id; SHA-256
+    is also supported (and is what a modern deployment should use).
+    """
+    k = key.byte_length
+    em = _emsa_pkcs1_v15_encode(message, k, hash_name)
+    return i2osp(key.raw_sign(os2ip(em)), k)
+
+
+def verify_pkcs1_v15(key: RsaPublicKey, message: bytes, signature: bytes,
+                     hash_name: str = "sha1") -> bool:
+    """RSASSA-PKCS1-v1_5 signature verification.
+
+    Returns False on any mismatch instead of raising, so callers can treat
+    a bad signature as a protocol outcome rather than an exception.
+    """
+    k = key.byte_length
+    if len(signature) != k:
+        return False
+    try:
+        em = i2osp(key.raw_verify(os2ip(signature)), k)
+        expected = _emsa_pkcs1_v15_encode(message, k, hash_name)
+    except CryptoError:
+        return False
+    return _hmac.compare_digest(em, expected)
+
+
+def encrypt_pkcs1_v15(key: RsaPublicKey, message: bytes,
+                      rng: random.Random | None = None) -> bytes:
+    """RSAES-PKCS1-v1_5 encryption: ``00 02 PS 00 M`` with random nonzero PS."""
+    k = key.byte_length
+    if len(message) > k - 11:
+        raise EncryptionError(f"message too long for RSAES-PKCS1-v1_5: {len(message)} > {k - 11}")
+    rng = rng or random.SystemRandom()
+    ps = bytes(rng.randrange(1, 256) for _ in range(k - len(message) - 3))
+    em = b"\x00\x02" + ps + b"\x00" + message
+    return i2osp(key.raw_encrypt(os2ip(em)), k)
+
+
+def decrypt_pkcs1_v15(key: RsaPrivateKey, ciphertext: bytes) -> bytes:
+    """RSAES-PKCS1-v1_5 decryption.
+
+    Raises:
+        EncryptionError: on malformed padding.  (A networked deployment
+            would need to make this failure indistinguishable from success
+            to resist Bleichenbacher oracles; the PoA protocol only decrypts
+            operator-submitted blobs offline at the Auditor.)
+    """
+    k = key.byte_length
+    if len(ciphertext) != k or k < 11:
+        raise EncryptionError("ciphertext length does not match key size")
+    em = i2osp(key.raw_decrypt(os2ip(ciphertext)), k)
+    if em[0] != 0x00 or em[1] != 0x02:
+        raise EncryptionError("invalid RSAES-PKCS1-v1_5 padding header")
+    try:
+        separator = em.index(b"\x00", 2)
+    except ValueError:
+        raise EncryptionError("missing RSAES-PKCS1-v1_5 padding separator") from None
+    if separator < 10:
+        raise EncryptionError("RSAES-PKCS1-v1_5 padding string too short")
+    return em[separator + 1:]

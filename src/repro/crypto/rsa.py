@@ -1,0 +1,122 @@
+"""Textbook RSA key material and raw modular operations.
+
+Padding, hashing, and message formats live in :mod:`repro.crypto.pkcs1`;
+this module only knows about integers.  The private operation uses the
+standard CRT speedup, which matters for the pure-Python benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime
+from repro.errors import CryptoError, KeyGenerationError
+
+#: The fourth Fermat prime, the conventional RSA public exponent.
+DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True, slots=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes (``k`` in PKCS#1 terms)."""
+        return (self.n.bit_length() + 7) // 8
+
+    def raw_encrypt(self, m: int) -> int:
+        """RSAEP: ``m^e mod n``."""
+        if not 0 <= m < self.n:
+            raise CryptoError("message representative out of range")
+        return pow(m, self.e, self.n)
+
+    raw_verify = raw_encrypt  # RSAVP1 is the same modular operation.
+
+
+@dataclass(frozen=True, slots=True)
+class RsaPrivateKey:
+    """An RSA private key with CRT parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p * self.q != self.n:
+            raise CryptoError("inconsistent RSA private key: p*q != n")
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The matching public key."""
+        return RsaPublicKey(self.n, self.e)
+
+    def raw_decrypt(self, c: int) -> int:
+        """RSADP via the Chinese Remainder Theorem."""
+        if not 0 <= c < self.n:
+            raise CryptoError("ciphertext representative out of range")
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = pow(self.q, -1, self.p)
+        m1 = pow(c, dp, self.p)
+        m2 = pow(c, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    raw_sign = raw_decrypt  # RSASP1 is the same modular operation.
+
+
+def generate_rsa_keypair(bits: int = 1024,
+                         e: int = DEFAULT_PUBLIC_EXPONENT,
+                         rng: random.Random | None = None) -> RsaPrivateKey:
+    """Generate an RSA keypair with an exact ``bits``-bit modulus.
+
+    Args:
+        bits: modulus size; the paper benchmarks 1024 and 2048.
+        e: public exponent, must be odd and > 2.
+        rng: source of randomness; pass a seeded ``random.Random`` for
+            reproducible test keys, defaults to ``SystemRandom``.
+    """
+    if bits < 128:
+        raise KeyGenerationError(f"modulus too small for PKCS#1 framing: {bits} bits")
+    if e < 3 or e % 2 == 0:
+        raise KeyGenerationError(f"invalid public exponent: {e}")
+    rng = rng or random.SystemRandom()
+
+    half = bits // 2
+    for _ in range(1000):
+        p = generate_prime(bits - half, rng=rng)
+        q = generate_prime(half, rng=rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        lam = math.lcm(p - 1, q - 1)
+        if math.gcd(e, lam) != 1:
+            continue
+        d = pow(e, -1, lam)
+        return RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)
+    raise KeyGenerationError("failed to generate an RSA keypair")

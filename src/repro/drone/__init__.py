@@ -1,0 +1,18 @@
+"""The drone side of AliDrone: Adapter daemon, client, motion, and routing."""
+
+from repro.drone.adapter import Adapter
+from repro.drone.client import AliDroneClient, FlightRecord
+from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
+from repro.drone.flightplan import FlightPlan
+from repro.drone.routing import plan_route, RouteError
+
+__all__ = [
+    "Adapter",
+    "AliDroneClient",
+    "FlightRecord",
+    "DroneKinematics",
+    "simulate_waypoint_flight",
+    "FlightPlan",
+    "plan_route",
+    "RouteError",
+]

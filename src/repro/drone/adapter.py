@@ -1,0 +1,92 @@
+"""The Adapter: AliDrone's normal-world daemon (paper §IV-C2, §V-C).
+
+The Adapter owns the sampling loop.  It reads the GPS receiver directly
+(cheap, unauthenticated) to run the adaptive-sampling decision, calls the
+GPS Sampler TA's ``GetGPSAuth`` through the TEE Client API when a signed
+sample is needed, and encrypts the resulting PoA under the Auditor's
+public key before persisting it.
+
+It implements :class:`repro.core.sampling.SamplingHarness`, so either
+sampling policy can drive it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.poa import EncryptedPoaRecord, ProofOfAlibi, SignedSample, encrypt_poa
+from repro.core.samples import GpsSample
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import TeeError
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.sim.clock import SimClock
+from repro.tee.attestation import TrustZoneDevice
+from repro.tee.gps_sampler_ta import CMD_GET_GPS_AUTH, GPS_SAMPLER_UUID
+
+
+class Adapter:
+    """Normal-world daemon wiring receiver, TEE client, and virtual clock."""
+
+    def __init__(self, device: TrustZoneDevice, receiver: SimulatedGpsReceiver,
+                 clock: SimClock, hash_name: str = "sha1"):
+        self.device = device
+        self.receiver = receiver
+        self.clock = clock
+        self.hash_name = hash_name
+        self._session_id: int | None = None
+
+    # --- TEE session management ------------------------------------------
+
+    def start(self) -> None:
+        """Open the GPS Sampler TA session (idempotent)."""
+        if self._session_id is None:
+            self._session_id = self.device.client.open_session(
+                GPS_SAMPLER_UUID, {"hash_name": self.hash_name})
+
+    def stop(self) -> None:
+        """Close the TA session."""
+        if self._session_id is not None:
+            self.device.client.close_session(self._session_id)
+            self._session_id = None
+
+    # --- SamplingHarness -----------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    def advance_to(self, t: float) -> None:
+        """Sleep until virtual time ``t``."""
+        self.clock.advance_to(t)
+
+    def read_gps(self) -> GpsSample | None:
+        """``ReadGPS()``: latest receiver measurement, normal world, unsigned."""
+        fix = self.receiver.fix_at(self.clock.now)
+        if fix is None:
+            return None
+        return GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
+                         alt=fix.altitude_m)
+
+    def next_update_after(self, t: float) -> float:
+        """Next receiver update slot after ``t`` (missed slots included)."""
+        return self.receiver.next_update_after(t)
+
+    def next_fix_time_after(self, t: float) -> float:
+        """Next surviving receiver update after ``t``."""
+        return self.receiver.next_fix_after(t).time
+
+    def get_gps_auth(self) -> SignedSample:
+        """``GetGPSAuth()``: an authenticated sample from the secure world."""
+        if self._session_id is None:
+            raise TeeError("Adapter not started: no TA session open")
+        output = self.device.client.invoke(self._session_id, CMD_GET_GPS_AUTH)
+        return SignedSample.from_ta_output(output)
+
+    # --- PoA persistence -------------------------------------------------------
+
+    def encrypt_for_auditor(self, poa: ProofOfAlibi,
+                            auditor_public_key: RsaPublicKey,
+                            rng: random.Random | None = None,
+                            ) -> list[EncryptedPoaRecord]:
+        """Encrypt each sample payload under the Auditor's key (§V-C)."""
+        return encrypt_poa(poa, auditor_public_key, rng=rng)

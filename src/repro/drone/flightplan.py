@@ -1,0 +1,69 @@
+"""Flight plans: geographic waypoint lists plus the query rectangle.
+
+The Drone Operator's pre-flight artefact: where the drone intends to go,
+and the bounding rectangle submitted in the zone query (paper §IV-B
+step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.replay import WaypointSource
+
+
+@dataclass(frozen=True)
+class FlightPlan:
+    """An intended route through geographic waypoints."""
+
+    waypoints: tuple[GeoPoint, ...]
+    margin_m: float = 200.0  # padding around the route for the query rect
+
+    def __init__(self, waypoints: Sequence[GeoPoint], margin_m: float = 200.0):
+        if len(waypoints) < 2:
+            raise ConfigurationError("a flight plan needs at least two waypoints")
+        if margin_m < 0:
+            raise ConfigurationError("margin must be non-negative")
+        object.__setattr__(self, "waypoints", tuple(waypoints))
+        object.__setattr__(self, "margin_m", float(margin_m))
+
+    def query_rectangle(self, frame: LocalFrame) -> tuple[GeoPoint, GeoPoint]:
+        """The two-corner navigation rectangle for the zone query."""
+        xs, ys = zip(*(frame.to_local(p) for p in self.waypoints))
+        low = frame.to_geo(min(xs) - self.margin_m, min(ys) - self.margin_m)
+        high = frame.to_geo(max(xs) + self.margin_m, max(ys) + self.margin_m)
+        return (low, high)
+
+    def to_source(self, frame: LocalFrame, start_time: float,
+                  kinematics: DroneKinematics | None = None,
+                  hover_s: float = 0.0) -> WaypointSource:
+        """Synthesize the flown trajectory for this plan."""
+        local = [frame.to_local(p) for p in self.waypoints]
+        return simulate_waypoint_flight(local, start_time,
+                                        kinematics=kinematics, hover_s=hover_s)
+
+    def local_waypoints(self, frame: LocalFrame) -> list[tuple[float, float]]:
+        """The waypoints projected into ``frame``."""
+        return [frame.to_local(p) for p in self.waypoints]
+
+    def min_zone_clearance(self, zones, frame: LocalFrame,
+                           samples_per_segment: int = 100) -> float:
+        """Minimum distance from the planned polyline to any zone boundary.
+
+        The B4UFLY-style pre-flight check: negative means the plan crosses
+        a zone; small positive values mean the adaptive sampler will run
+        hot near the boundary.  Returns ``inf`` with no zones.
+        """
+        from repro.drone.routing import route_clearance
+
+        return route_clearance(self.local_waypoints(frame), zones, frame,
+                               samples_per_segment=samples_per_segment)
+
+    def is_compliant(self, zones, frame: LocalFrame,
+                     clearance_m: float = 0.0) -> bool:
+        """Whether the plan stays at least ``clearance_m`` clear of zones."""
+        return self.min_zone_clearance(zones, frame) > clearance_m

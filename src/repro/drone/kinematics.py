@@ -1,0 +1,121 @@
+"""Drone motion: a point-mass kinematic model and waypoint flight synthesis.
+
+The field studies emulate drone flight with a vehicle; the examples and
+synthetic workloads instead fly a simulated drone.  The model is a
+point mass with bounded speed and acceleration following straight segments
+between waypoints — adequate because the protocol only consumes positions
+and times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.gps.replay import WaypointSource
+from repro.units import FAA_MAX_SPEED_MPS
+
+Point = tuple[float, float]
+
+
+@dataclass
+class DroneKinematics:
+    """Point-mass limits for a small commercial multirotor.
+
+    Defaults approximate the paper's drone class (§II-A): up to 40 mph
+    cruise, well under the FAA's 100 mph ceiling.
+    """
+
+    max_speed_mps: float = 17.9   # ~40 mph
+    max_accel_mps2: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_speed_mps <= 0 or self.max_accel_mps2 <= 0:
+            raise ConfigurationError("kinematic limits must be positive")
+        if self.max_speed_mps > FAA_MAX_SPEED_MPS:
+            raise ConfigurationError(
+                "drone cannot be configured faster than the FAA limit")
+
+    def segment_duration(self, length_m: float) -> float:
+        """Time to fly a straight segment with trapezoidal speed profile.
+
+        Accelerate at ``max_accel``, cruise at ``max_speed``, decelerate;
+        degenerates to a triangular profile on short segments.
+        """
+        if length_m < 0:
+            raise ConfigurationError("segment length must be non-negative")
+        if length_m == 0:
+            return 0.0
+        accel_dist = self.max_speed_mps ** 2 / (2.0 * self.max_accel_mps2)
+        if length_m >= 2.0 * accel_dist:
+            cruise = (length_m - 2.0 * accel_dist) / self.max_speed_mps
+            return 2.0 * self.max_speed_mps / self.max_accel_mps2 + cruise
+        peak = math.sqrt(length_m * self.max_accel_mps2)
+        return 2.0 * peak / self.max_accel_mps2
+
+    def segment_positions(self, a: Point, b: Point, t0: float,
+                          step_s: float = 0.1) -> list[tuple[float, float, float]]:
+        """``(t, x, y)`` waypoints along the trapezoidal profile from a to b."""
+        length = math.hypot(b[0] - a[0], b[1] - a[1])
+        duration = self.segment_duration(length)
+        if duration == 0.0:
+            return [(t0, a[0], a[1])]
+        points = []
+        steps = max(1, int(math.ceil(duration / step_s)))
+        for i in range(steps + 1):
+            t = min(duration, i * step_s)
+            s = self._distance_at(t, length, duration)
+            alpha = s / length
+            points.append((t0 + t, a[0] + alpha * (b[0] - a[0]),
+                           a[1] + alpha * (b[1] - a[1])))
+        return points
+
+    def _distance_at(self, t: float, length: float, duration: float) -> float:
+        accel_dist = self.max_speed_mps ** 2 / (2.0 * self.max_accel_mps2)
+        if length >= 2.0 * accel_dist:
+            t_acc = self.max_speed_mps / self.max_accel_mps2
+            if t <= t_acc:
+                return 0.5 * self.max_accel_mps2 * t * t
+            if t <= duration - t_acc:
+                return accel_dist + self.max_speed_mps * (t - t_acc)
+            t_left = duration - t
+            return length - 0.5 * self.max_accel_mps2 * t_left * t_left
+        # Triangular profile.
+        half = duration / 2.0
+        peak = self.max_accel_mps2 * half
+        if t <= half:
+            return 0.5 * self.max_accel_mps2 * t * t
+        t_left = duration - t
+        return length - 0.5 * self.max_accel_mps2 * t_left * t_left
+
+
+def simulate_waypoint_flight(waypoints: Sequence[Point], start_time: float,
+                             kinematics: DroneKinematics | None = None,
+                             hover_s: float = 0.0,
+                             step_s: float = 0.1) -> WaypointSource:
+    """Fly through local-frame waypoints; returns the trajectory source.
+
+    Args:
+        waypoints: at least two ``(x, y)`` points in metres.
+        start_time: virtual departure time.
+        kinematics: motion limits (defaults to a 40 mph multirotor).
+        hover_s: pause at each intermediate waypoint.
+        step_s: trajectory tabulation step.
+    """
+    if len(waypoints) < 2:
+        raise ConfigurationError("a flight needs at least two waypoints")
+    kinematics = kinematics or DroneKinematics()
+    trajectory: list[tuple[float, float, float]] = []
+    t = start_time
+    for a, b in zip(waypoints, waypoints[1:]):
+        segment = kinematics.segment_positions(a, b, t, step_s)
+        if trajectory and segment and abs(segment[0][0] - trajectory[-1][0]) < 1e-9:
+            segment = segment[1:]
+        trajectory.extend(segment)
+        t = trajectory[-1][0]
+        if hover_s > 0 and b != waypoints[-1]:
+            t += hover_s
+            trajectory.append((t, b[0], b[1]))
+    return WaypointSource(trajectory)

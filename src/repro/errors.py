@@ -1,0 +1,97 @@
+"""Exception hierarchy for the AliDrone reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`AliDroneError` so that
+callers can catch the whole family with a single ``except`` clause while still
+being able to distinguish protocol violations from, say, crypto failures.
+"""
+
+from __future__ import annotations
+
+
+class AliDroneError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(AliDroneError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class GeometryError(AliDroneError):
+    """Invalid geometric input (e.g. negative radius, degenerate shape)."""
+
+
+class CryptoError(AliDroneError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """RSA/DH key generation failed (e.g. modulus too small)."""
+
+
+class SignatureError(CryptoError):
+    """A signature could not be produced or did not verify."""
+
+
+class EncryptionError(CryptoError):
+    """Encryption or decryption failed (bad padding, message too long...)."""
+
+
+class EncodingError(CryptoError):
+    """Malformed serialized key, DER structure, or protocol message."""
+
+
+class TeeError(AliDroneError):
+    """Base class for Trusted Execution Environment failures."""
+
+
+class WorldIsolationError(TeeError):
+    """Normal-world code attempted to touch secure-world state directly.
+
+    This is the executable form of the TrustZone hardware isolation
+    guarantee: raising here is the simulator's analogue of a bus fault on a
+    secure-world physical address.
+    """
+
+
+class TrustedAppError(TeeError):
+    """A Trusted Application rejected a command or failed internally."""
+
+
+class TeeStorageError(TeeError):
+    """Sealed-storage lookup or integrity check failed."""
+
+
+class GpsError(AliDroneError):
+    """Base class for GPS receiver / NMEA failures."""
+
+
+class NmeaError(GpsError):
+    """An NMEA 0183 sentence was malformed or failed its checksum."""
+
+
+class NoFixError(GpsError):
+    """The receiver has no position fix / no fresh measurement available."""
+
+
+class ProtocolError(AliDroneError):
+    """An AliDrone protocol message was malformed or out of sequence."""
+
+
+class RegistrationError(ProtocolError):
+    """Drone or zone registration was rejected by the Auditor."""
+
+
+class AuthenticationError(ProtocolError):
+    """A signed protocol message failed authentication."""
+
+
+class VerificationError(ProtocolError):
+    """A Proof-of-Alibi failed verification (forged, tampered, or malformed)."""
+
+
+class InsufficientAlibiError(VerificationError):
+    """A PoA verified cryptographically but does not prove NFZ avoidance."""
+
+
+class SimulationError(AliDroneError):
+    """The simulation kernel was driven incorrectly (e.g. time going back)."""

@@ -1,0 +1,45 @@
+"""Arbitrary-shape NFZ registration (paper §VII-B2).
+
+A Zone Owner describes their property as a polygon; the Auditor computes
+the smallest circle covering its vertices once, at registration, and
+enforces that circle.  Enforcement against the circle is at least as
+strict as against the (convex hull of the) polygon, at the price of some
+over-approximation quantified by :func:`overapproximation_ratio`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.nfz import NoFlyZone, PolygonNfz
+from repro.core.protocol import ZoneRegistrationRequest
+from repro.server.auditor import AliDroneServer
+
+
+def register_polygon_zone(server: AliDroneServer, polygon: PolygonNfz,
+                          proof_of_ownership: str,
+                          owner_name: str = "") -> tuple[str, NoFlyZone]:
+    """Canonicalize a polygon NFZ to its covering circle and register it.
+
+    Returns the issued zone id and the canonical circular zone the Auditor
+    will actually enforce.
+    """
+    canonical = polygon.canonical_circle(server.frame)
+    zone_id = server.register_zone(ZoneRegistrationRequest(
+        zone=canonical, proof_of_ownership=proof_of_ownership,
+        owner_name=owner_name))
+    return zone_id, canonical
+
+
+def overapproximation_ratio(polygon: PolygonNfz, frame) -> float:
+    """Circle area over polygon area (>= 1; lower is tighter).
+
+    For long thin polygons the covering circle can be much larger than the
+    property — the cost of keeping the verifier's geometry circular.
+    """
+    planar = polygon.to_polygon(frame)
+    area = planar.area()
+    if area <= 0.0:
+        return math.inf
+    circle = planar.bounding_circle()
+    return math.pi * circle.r ** 2 / area

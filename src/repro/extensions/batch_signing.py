@@ -1,0 +1,192 @@
+"""Sign-all-traces-at-once batching (paper §VII-A1(b)).
+
+Instead of one RSA signature per sample, the TA buffers sample payloads in
+secure memory and signs a digest of the whole trace once at flight end.
+Feasible because flights are short (<= 30 minutes) and samples are small;
+the trade-offs are secure-memory growth (see
+:class:`repro.perf.memory.MemoryModel`) and the loss of mid-flight
+incremental verifiability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid as uuid_module
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.samples import GpsSample, Trace
+from repro.crypto.keys import private_key_from_bytes, public_key_to_bytes
+from repro.crypto.pkcs1 import sign_pkcs1_v15, verify_pkcs1_v15
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import TrustedAppError
+from repro.tee.gps_driver import SecureGpsDriver
+from repro.tee.gps_sampler_ta import SIGN_KEY_ENTRY
+from repro.tee.trusted_app import TrustedApplication
+from repro.tee.worlds import SecureKeyHandle
+
+CMD_RECORD_GPS = "RecordGPS"
+CMD_FINALIZE_BATCH = "FinalizeBatch"
+
+BATCH_SAMPLER_UUID = uuid_module.UUID("9b1b5c02-51a0-4c27-9c3e-8f27d6a1c9aa")
+
+
+def batch_digest(payloads: tuple[bytes, ...]) -> bytes:
+    """The signed digest: SHA-256 over length-framed payload concatenation.
+
+    Length framing prevents splice ambiguity between adjacent payloads.
+    """
+    h = hashlib.sha256()
+    for payload in payloads:
+        h.update(len(payload).to_bytes(4, "big"))
+        h.update(payload)
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class BatchSignedPoa:
+    """A whole trace under a single TEE signature."""
+
+    payloads: tuple[bytes, ...]
+    signature: bytes
+
+    def verify(self, tee_public_key: RsaPublicKey,
+               hash_name: str = "sha1") -> bool:
+        """Whether the batch signature verifies under ``T+``."""
+        return verify_pkcs1_v15(tee_public_key, batch_digest(self.payloads),
+                                self.signature, hash_name)
+
+    def trace(self) -> Trace:
+        """The decoded alibi."""
+        return Trace(GpsSample.from_signed_payload(p) for p in self.payloads)
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+
+def verify_batch_poa(batch: "BatchSignedPoa", tee_public_key: RsaPublicKey,
+                     zones, frame, vmax_mps: float | None = None,
+                     hash_name: str = "sha1",
+                     method: str = "conservative"):
+    """Auditor-side verification of a batch-signed PoA.
+
+    Runs the same pipeline as :class:`repro.core.verification.PoaVerifier`
+    — authenticity, well-formedness, feasibility, sufficiency — with the
+    per-sample signature stage replaced by the single batch signature.
+    Returns a :class:`repro.core.verification.VerificationReport`.
+    """
+    from repro.core.sufficiency import insufficient_pair_indices
+    from repro.core.verification import (
+        PoaVerifier,
+        VerificationReport,
+        VerificationStatus,
+    )
+    from repro.errors import EncodingError
+    from repro.units import FAA_MAX_SPEED_MPS
+
+    vmax = vmax_mps if vmax_mps is not None else FAA_MAX_SPEED_MPS
+    if len(batch) == 0:
+        return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
+                                  message="batch PoA contains no samples")
+    if not batch.verify(tee_public_key, hash_name):
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_BAD_SIGNATURE,
+            sample_count=len(batch),
+            message="batch signature failed under T+")
+    from repro.errors import GeometryError
+
+    try:
+        # Decode payloads directly: Trace() would reject out-of-order
+        # timestamps with an exception, but that case must be *reported*.
+        samples = [GpsSample.from_signed_payload(p) for p in batch.payloads]
+    except (EncodingError, GeometryError) as exc:
+        return VerificationReport(status=VerificationStatus.REJECTED_MALFORMED,
+                                  sample_count=len(batch), message=str(exc))
+    helper = PoaVerifier(frame, vmax_mps=vmax, hash_name=hash_name,
+                         method=method)
+    if not helper.check_ordering(samples):
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_MALFORMED,
+            sample_count=len(batch),
+            message="sample timestamps are not non-decreasing")
+    infeasible = helper.infeasible_pairs(samples)
+    if infeasible:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_INFEASIBLE,
+            infeasible_pair_indices=infeasible, sample_count=len(batch),
+            message=f"{len(infeasible)} pairs exceed v_max")
+    insufficient = insufficient_pair_indices(samples, list(zones), frame,
+                                             vmax, method)
+    if len(samples) < 2 and zones:
+        insufficient = [0]
+    if insufficient:
+        return VerificationReport(
+            status=VerificationStatus.INSUFFICIENT,
+            insufficient_pair_indices=insufficient, sample_count=len(batch),
+            message=f"{len(insufficient)} pairs cannot rule out NFZ entrance")
+    return VerificationReport(status=VerificationStatus.ACCEPTED,
+                              sample_count=len(batch))
+
+
+class BatchGpsSamplerTA(TrustedApplication):
+    """A GPS Sampler variant that signs the whole flight once.
+
+    ``RecordGPS`` reads and buffers a sample (no signature — cheap);
+    ``FinalizeBatch`` signs the digest of everything buffered and resets
+    the buffer for the next flight.
+    """
+
+    UUID = BATCH_SAMPLER_UUID
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sign_key: SecureKeyHandle | None = None
+        self._hash_name = "sha1"
+        self._buffer: list[bytes] = []
+
+    def open_session(self, params: dict[str, Any]) -> None:
+        hash_name = params.get("hash_name", "sha1")
+        if hash_name not in ("sha1", "sha256"):
+            raise TrustedAppError(f"unsupported signing hash: {hash_name!r}")
+        self._hash_name = hash_name
+        storage = self.core.sealed_storage
+        if storage is None:
+            raise TrustedAppError("device has no sealed storage provisioned")
+        key = private_key_from_bytes(storage.unseal(SIGN_KEY_ENTRY))
+        self._sign_key = SecureKeyHandle(key, self.core.monitor.state,
+                                         "TEE sign key T- (batch)")
+
+    def close_session(self) -> None:
+        self._sign_key = None
+        self._buffer.clear()
+
+    def invoke_command(self, command: str, params: dict[str, Any]) -> Any:
+        if self._sign_key is None:
+            raise TrustedAppError("batch sampler session not opened")
+        if command == CMD_RECORD_GPS:
+            driver: SecureGpsDriver = self.kernel_service(
+                SecureGpsDriver.SERVICE_NAME)
+            fix = driver.get_gps()
+            sample = GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
+                               alt=fix.altitude_m)
+            self._buffer.append(sample.to_signed_payload())
+            self.core.op_counters["batch_records"] += 1
+            return len(self._buffer)
+        if command == CMD_FINALIZE_BATCH:
+            if not self._buffer:
+                raise TrustedAppError("no samples buffered for batch signing")
+            payloads = tuple(self._buffer)
+            key = self._sign_key.reveal()
+            signature = sign_pkcs1_v15(key, batch_digest(payloads),
+                                       self._hash_name)
+            self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
+            self.core.op_counters["batch_finalizations"] += 1
+            self._buffer.clear()
+            return {"payloads": payloads, "signature": signature,
+                    "public_key": public_key_to_bytes(key.public_key)}
+        raise TrustedAppError(f"batch sampler: unknown command {command!r}")
+
+    @property
+    def buffered_samples(self) -> int:
+        """Secure-memory buffer occupancy (for the memory model)."""
+        return len(self._buffer)

@@ -1,0 +1,60 @@
+"""3-D Proof-of-Alibi (paper §VII-B1).
+
+Samples become ``(lat, lon, alt, t)`` 4-tuples, NFZs become vertical
+cylinders, and the travel range becomes an ellipsoid.  A drone may legally
+overfly a zone above its ceiling — which the 2-D model cannot express.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.core.nfz import CylinderNfz
+from repro.core.samples import GpsSample
+from repro.errors import ConfigurationError
+from repro.geo.ellipsoid import (
+    TravelRangeEllipsoid,
+    ellipsoid_cylinder_disjoint,
+)
+from repro.geo.geodesy import LocalFrame
+from repro.units import FAA_MAX_SPEED_MPS
+
+Method = Literal["conservative", "exact"]
+
+
+def travel_ellipsoid(s1: GpsSample, s2: GpsSample, frame: LocalFrame,
+                     vmax_mps: float = FAA_MAX_SPEED_MPS) -> TravelRangeEllipsoid:
+    """The 3-D possible-traveling range for a pair of altitude samples."""
+    if s1.alt is None or s2.alt is None:
+        raise ConfigurationError("3-D sufficiency requires altitude samples")
+    if s2.t < s1.t:
+        raise ConfigurationError("sample pair out of order")
+    x1, y1 = s1.local_position(frame)
+    x2, y2 = s2.local_position(frame)
+    return TravelRangeEllipsoid(f1=(x1, y1, s1.alt), f2=(x2, y2, s2.alt),
+                                focal_sum=vmax_mps * (s2.t - s1.t))
+
+
+def pair_is_sufficient_3d(s1: GpsSample, s2: GpsSample,
+                          zones: Sequence[CylinderNfz], frame: LocalFrame,
+                          vmax_mps: float = FAA_MAX_SPEED_MPS,
+                          method: Method = "conservative") -> bool:
+    """Whether the ellipsoid misses every cylinder NFZ."""
+    ellipsoid = travel_ellipsoid(s1, s2, frame, vmax_mps)
+    exact = method == "exact"
+    if method not in ("conservative", "exact"):
+        raise ConfigurationError(f"unknown method {method!r}")
+    return all(ellipsoid_cylinder_disjoint(ellipsoid, z.to_cylinder(frame),
+                                           exact=exact)
+               for z in zones)
+
+
+def alibi_is_sufficient_3d(samples: Sequence[GpsSample],
+                           zones: Sequence[CylinderNfz], frame: LocalFrame,
+                           vmax_mps: float = FAA_MAX_SPEED_MPS,
+                           method: Method = "conservative") -> bool:
+    """Equation (1) lifted to three dimensions."""
+    if len(samples) < 2:
+        return not zones
+    return all(pair_is_sufficient_3d(a, b, zones, frame, vmax_mps, method)
+               for a, b in zip(samples, samples[1:]))

@@ -1,0 +1,43 @@
+"""Geometry substrate: geodesy, travel-range ellipses, circles, polygons.
+
+Everything in the protocol layer reasons about positions in a local planar
+frame (metres, east/north axes) anchored at a scenario origin; this package
+supplies the lat/lon conversions and the geometric primitives behind the
+Proof-of-Alibi sufficiency test.
+"""
+
+from repro.geo.geodesy import (
+    GeoPoint,
+    LocalFrame,
+    haversine_distance_m,
+    destination_point,
+    initial_bearing_deg,
+)
+from repro.geo.circle import Circle, smallest_enclosing_circle
+from repro.geo.ellipse import (
+    TravelRangeEllipse,
+    ellipse_disk_disjoint_conservative,
+    ellipse_disk_disjoint_exact,
+    min_focal_sum_over_disk,
+)
+from repro.geo.ellipsoid import TravelRangeEllipsoid, ellipsoid_cylinder_disjoint
+from repro.geo.polygon import Polygon
+from repro.geo.spatial_index import GridIndex
+
+__all__ = [
+    "GeoPoint",
+    "LocalFrame",
+    "haversine_distance_m",
+    "destination_point",
+    "initial_bearing_deg",
+    "Circle",
+    "smallest_enclosing_circle",
+    "TravelRangeEllipse",
+    "ellipse_disk_disjoint_conservative",
+    "ellipse_disk_disjoint_exact",
+    "min_focal_sum_over_disk",
+    "TravelRangeEllipsoid",
+    "ellipsoid_cylinder_disjoint",
+    "Polygon",
+    "GridIndex",
+]

@@ -1,0 +1,143 @@
+"""3-D possible-traveling-range ellipsoids and cylinder NFZs (paper §VII-B1).
+
+The 3-D extension replaces GPS samples by ``(x, y, z, t)`` 4-tuples and NFZs
+by vertical cylinders; a sample pair proves alibi when the travel-range
+ellipsoid (foci at the two sample positions, focal-sum ``v_max * dt``) does
+not intersect the cylinder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import GeometryError
+
+Point3 = tuple[float, float, float]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Cylinder:
+    """A vertical cylindrical no-fly region.
+
+    The region spans ``z in [0, height]`` above the ground and radius ``r``
+    around the axis through ``(x, y)`` — the natural reading of the paper's
+    ``z' = (lat, lon, alt, r)`` 4-tuple.
+    """
+
+    x: float
+    y: float
+    r: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.r < 0:
+            raise GeometryError("cylinder radius must be non-negative")
+        if self.height < 0:
+            raise GeometryError("cylinder height must be non-negative")
+
+    def contains(self, point: Point3, tol: float = _EPS) -> bool:
+        """Whether ``point`` lies inside the closed cylinder."""
+        px, py, pz = point
+        if not (-tol <= pz <= self.height + tol):
+            return False
+        return math.hypot(px - self.x, py - self.y) <= self.r + tol
+
+    def distance_to(self, point: Point3) -> float:
+        """Euclidean distance from ``point`` to the closed cylinder (0 inside)."""
+        px, py, pz = point
+        radial = max(0.0, math.hypot(px - self.x, py - self.y) - self.r)
+        if pz < 0.0:
+            axial = -pz
+        elif pz > self.height:
+            axial = pz - self.height
+        else:
+            axial = 0.0
+        return math.hypot(radial, axial)
+
+
+@dataclass(frozen=True, slots=True)
+class TravelRangeEllipsoid:
+    """The set of 3-D positions reachable between two timestamped samples."""
+
+    f1: Point3
+    f2: Point3
+    focal_sum: float
+
+    def __post_init__(self) -> None:
+        if self.focal_sum < 0:
+            raise GeometryError("focal_sum must be non-negative")
+
+    @property
+    def focal_distance(self) -> float:
+        """Straight-line distance between the two sample positions."""
+        return math.dist(self.f1, self.f2)
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether the ellipsoid is non-empty (motion physically possible)."""
+        return self.focal_distance <= self.focal_sum + _EPS
+
+    def contains(self, point: Point3, tol: float = _EPS) -> bool:
+        """Whether ``point`` could have been visited between the samples."""
+        return self.focal_sum_at(point) <= self.focal_sum + tol
+
+    def focal_sum_at(self, point: Point3) -> float:
+        """``|p - f1| + |p - f2|`` for an arbitrary 3-D point."""
+        return math.dist(point, self.f1) + math.dist(point, self.f2)
+
+
+def ellipsoid_cylinder_disjoint_conservative(ellipsoid: TravelRangeEllipsoid,
+                                             cylinder: Cylinder) -> bool:
+    """Sound conservative disjointness: ``D1 + D2 > focal_sum``.
+
+    ``D_i`` is the Euclidean distance from focus ``i`` to the cylinder; by
+    the triangle inequality this lower-bounds the minimum focal sum over the
+    cylinder, so True answers are always correct.
+    """
+    d1 = cylinder.distance_to(ellipsoid.f1)
+    d2 = cylinder.distance_to(ellipsoid.f2)
+    return d1 + d2 > ellipsoid.focal_sum + _EPS
+
+
+def min_focal_sum_over_cylinder(ellipsoid: TravelRangeEllipsoid,
+                                cylinder: Cylinder) -> float:
+    """Minimum focal sum over the closed cylinder (convex program).
+
+    The focal sum is convex and the cylinder is a convex body, so SLSQP from
+    the cylinder's centroid converges to the global minimum.
+    """
+    def objective(p: np.ndarray) -> float:
+        return (math.dist((p[0], p[1], p[2]), ellipsoid.f1)
+                + math.dist((p[0], p[1], p[2]), ellipsoid.f2))
+
+    constraints = [
+        {"type": "ineq",
+         "fun": lambda p: cylinder.r ** 2 - (p[0] - cylinder.x) ** 2 - (p[1] - cylinder.y) ** 2},
+        {"type": "ineq", "fun": lambda p: p[2]},
+        {"type": "ineq", "fun": lambda p: cylinder.height - p[2]},
+    ]
+    start = np.array([cylinder.x, cylinder.y, cylinder.height / 2.0])
+    result = optimize.minimize(objective, start, method="SLSQP",
+                               constraints=constraints,
+                               options={"maxiter": 200, "ftol": 1e-10})
+    return float(result.fun)
+
+
+def ellipsoid_cylinder_disjoint(ellipsoid: TravelRangeEllipsoid,
+                                cylinder: Cylinder,
+                                exact: bool = False) -> bool:
+    """Whether the travel-range ellipsoid misses the cylinder NFZ.
+
+    Args:
+        exact: use the convex-program minimum instead of the conservative
+            focus-distance bound.
+    """
+    if exact:
+        return min_focal_sum_over_cylinder(ellipsoid, cylinder) > ellipsoid.focal_sum + _EPS
+    return ellipsoid_cylinder_disjoint_conservative(ellipsoid, cylinder)

@@ -1,0 +1,111 @@
+"""Simple polygons in the local planar frame.
+
+Supports the arbitrary-shaped NFZ extension (paper §VII-B2): a Zone Owner
+registers a polygon and the Auditor canonicalizes it to the smallest circle
+covering its vertices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import GeometryError
+from repro.geo.circle import Circle, smallest_enclosing_circle
+
+Point = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple polygon given by its vertices in order (either winding)."""
+
+    vertices: tuple[Point, ...] = field(default_factory=tuple)
+
+    def __init__(self, vertices: Sequence[Point]):
+        pts = tuple((float(x), float(y)) for x, y in vertices)
+        if len(pts) < 3:
+            raise GeometryError("a polygon needs at least 3 vertices")
+        object.__setattr__(self, "vertices", pts)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def signed_area(self) -> float:
+        """Shoelace signed area (positive for counter-clockwise winding)."""
+        total = 0.0
+        pts = self.vertices
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            total += x1 * y2 - x2 * y1
+        return total / 2.0
+
+    def area(self) -> float:
+        """Absolute polygon area."""
+        return abs(self.signed_area())
+
+    def centroid(self) -> Point:
+        """Area centroid (falls back to vertex mean for degenerate area)."""
+        a = self.signed_area()
+        pts = self.vertices
+        if abs(a) < 1e-12:
+            return (sum(p[0] for p in pts) / len(pts), sum(p[1] for p in pts) / len(pts))
+        cx = cy = 0.0
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            cross = x1 * y2 - x2 * y1
+            cx += (x1 + x2) * cross
+            cy += (y1 + y2) * cross
+        return (cx / (6.0 * a), cy / (6.0 * a))
+
+    def contains(self, point: Point) -> bool:
+        """Point-in-polygon by ray casting (boundary counts as inside)."""
+        x, y = point
+        pts = self.vertices
+        inside = False
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            if _on_segment((x, y), (x1, y1), (x2, y2)):
+                return True
+            if (y1 > y) != (y2 > y):
+                x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+                if x < x_cross:
+                    inside = not inside
+        return inside
+
+    def is_convex(self) -> bool:
+        """Whether the polygon is convex (collinear runs allowed)."""
+        pts = self.vertices
+        sign = 0
+        for i in range(len(pts)):
+            ox, oy = pts[i]
+            ax, ay = pts[(i + 1) % len(pts)]
+            bx, by = pts[(i + 2) % len(pts)]
+            cross = (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+            if abs(cross) < 1e-12:
+                continue
+            current = 1 if cross > 0 else -1
+            if sign == 0:
+                sign = current
+            elif sign != current:
+                return False
+        return True
+
+    def bounding_circle(self) -> Circle:
+        """Smallest circle covering all vertices (Auditor canonical form)."""
+        return smallest_enclosing_circle(self.vertices)
+
+    def perimeter(self) -> float:
+        """Total edge length."""
+        pts = self.vertices
+        return sum(math.dist(pts[i], pts[(i + 1) % len(pts)]) for i in range(len(pts)))
+
+
+def _on_segment(p: Point, a: Point, b: Point, tol: float = 1e-9) -> bool:
+    """Whether ``p`` lies on the closed segment ``ab``."""
+    cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+    if abs(cross) > tol * max(1.0, math.dist(a, b)):
+        return False
+    dot = (p[0] - a[0]) * (b[0] - a[0]) + (p[1] - a[1]) * (b[1] - a[1])
+    return -tol <= dot <= math.dist(a, b) ** 2 + tol

@@ -1,0 +1,161 @@
+"""A uniform-grid spatial index over circular regions.
+
+The Auditor's NFZ database and the drone's Adapter both need two queries:
+"which zones fall inside this rectangle?" (zone query/response, paper §IV-B)
+and "which zone is nearest to this point?" (``FindNearestZone`` in
+Algorithm 1).  A uniform grid keyed on circle bounding boxes answers both in
+expected O(1) per cell for the dense-but-local NFZ layouts of the field
+studies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.geo.circle import Circle
+
+K = TypeVar("K", bound=Hashable)
+
+Point = tuple[float, float]
+
+
+class GridIndex(Generic[K]):
+    """Uniform grid over ``(key, Circle)`` entries.
+
+    Args:
+        cell_size: grid cell edge in metres.  Should be on the order of the
+            typical query radius; the residential workload uses ~100 m cells.
+    """
+
+    def __init__(self, cell_size: float = 100.0):
+        if cell_size <= 0:
+            raise ConfigurationError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: dict[tuple[int, int], set[K]] = defaultdict(set)
+        self._entries: dict[K, Circle] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def get(self, key: K) -> Circle | None:
+        """The circle stored under ``key``, or None."""
+        return self._entries.get(key)
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
+
+    def _cells_for(self, circle: Circle) -> Iterator[tuple[int, int]]:
+        x0, y0 = self._cell_of(circle.x - circle.r, circle.y - circle.r)
+        x1, y1 = self._cell_of(circle.x + circle.r, circle.y + circle.r)
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                yield (cx, cy)
+
+    def insert(self, key: K, circle: Circle) -> None:
+        """Insert or replace the circle stored under ``key``."""
+        if key in self._entries:
+            self.remove(key)
+        self._entries[key] = circle
+        for cell in self._cells_for(circle):
+            self._cells[cell].add(key)
+
+    def remove(self, key: K) -> None:
+        """Remove ``key``; raises KeyError if absent."""
+        circle = self._entries.pop(key)
+        for cell in self._cells_for(circle):
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._cells[cell]
+
+    def items(self) -> Iterator[tuple[K, Circle]]:
+        """All ``(key, circle)`` entries."""
+        return iter(self._entries.items())
+
+    def query_rect(self, x_min: float, y_min: float,
+                   x_max: float, y_max: float) -> list[K]:
+        """Keys of circles intersecting the axis-aligned rectangle."""
+        if x_min > x_max:
+            x_min, x_max = x_max, x_min
+        if y_min > y_max:
+            y_min, y_max = y_max, y_min
+        c0 = self._cell_of(x_min, y_min)
+        c1 = self._cell_of(x_max, y_max)
+        candidates: set[K] = set()
+        for cx in range(c0[0], c1[0] + 1):
+            for cy in range(c0[1], c1[1] + 1):
+                candidates |= self._cells.get((cx, cy), set())
+        hits = []
+        for key in candidates:
+            circle = self._entries[key]
+            # Closest point of the rectangle to the circle centre.
+            nx = min(max(circle.x, x_min), x_max)
+            ny = min(max(circle.y, y_min), y_max)
+            if math.hypot(circle.x - nx, circle.y - ny) <= circle.r:
+                hits.append(key)
+        return sorted(hits, key=repr)
+
+    def query_point(self, point: Point) -> list[K]:
+        """Keys of circles containing ``point``."""
+        candidates = self._cells.get(self._cell_of(*point), set())
+        return sorted((k for k in candidates if self._entries[k].contains(point)), key=repr)
+
+    def nearest(self, point: Point) -> tuple[K, float] | None:
+        """The circle whose *boundary* is nearest to ``point``.
+
+        Returns ``(key, signed_boundary_distance)`` or None when empty.
+        Implements ``FindNearestZone`` from Algorithm 1 with an expanding
+        ring search over grid cells, falling back to a full scan once the
+        ring exceeds the populated extent.
+        """
+        if not self._entries:
+            return None
+        cx, cy = self._cell_of(*point)
+        best: tuple[K, float] | None = None
+        seen: set[K] = set()
+        max_radius = self._max_ring_radius(cx, cy)
+        for ring in range(max_radius + 1):
+            for cell in self._ring_cells(cx, cy, ring):
+                for key in self._cells.get(cell, ()):
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    dist = self._entries[key].distance_to_boundary(point)
+                    if best is None or dist < best[1]:
+                        best = (key, dist)
+            # A hit in ring r can still be beaten by a closer boundary in
+            # ring r+1 (large circles straddle cells), so scan one extra
+            # ring beyond the first hit before accepting.
+            if best is not None and best[1] <= (ring - 1) * self.cell_size:
+                break
+        if best is None:  # pragma: no cover - guarded by the emptiness check
+            raise AssertionError("non-empty index produced no candidates")
+        return best
+
+    def _max_ring_radius(self, cx: int, cy: int) -> int:
+        spread = 0
+        for (gx, gy) in self._cells:
+            spread = max(spread, abs(gx - cx), abs(gy - cy))
+        return spread + 1
+
+    @staticmethod
+    def _ring_cells(cx: int, cy: int, ring: int) -> Iterator[tuple[int, int]]:
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for dx in range(-ring, ring + 1):
+            yield (cx + dx, cy - ring)
+            yield (cx + dx, cy + ring)
+        for dy in range(-ring + 1, ring):
+            yield (cx - ring, cy + dy)
+            yield (cx + ring, cy + dy)

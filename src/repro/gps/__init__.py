@@ -1,0 +1,31 @@
+"""GPS substrate: NMEA 0183 sentences, a simulated receiver, trace replay.
+
+Replaces the paper's Adafruit Ultimate GPS breakout.  The simulated receiver
+produces $GPRMC/$GPGGA sentences at a configurable update rate (1-5 Hz) with
+phase jitter, coordinate noise, and missed updates — the imperfection that
+causes the paper's single insufficient PoA in the 5 Hz residential run.
+"""
+
+from repro.gps.nmea import (
+    GpsFix,
+    nmea_checksum,
+    format_gprmc,
+    format_gpgga,
+    parse_sentence,
+    parse_gprmc,
+)
+from repro.gps.receiver import SimulatedGpsReceiver, PositionSource
+from repro.gps.replay import ReplaySource, WaypointSource
+
+__all__ = [
+    "GpsFix",
+    "nmea_checksum",
+    "format_gprmc",
+    "format_gpgga",
+    "parse_sentence",
+    "parse_gprmc",
+    "SimulatedGpsReceiver",
+    "PositionSource",
+    "ReplaySource",
+    "WaypointSource",
+]

@@ -1,0 +1,201 @@
+"""NMEA 0183 sentence formatting and parsing.
+
+The prototype's secure-world GPS driver reads raw ``$GPRMC`` sentences from
+the receiver's UART and parses them into ``(lat, lon, timestamp)`` tuples
+(paper §V-B, using Libnmea).  This module is our Libnmea equivalent: it
+formats and parses ``$GPRMC`` (recommended minimum) and ``$GPGGA`` (fix
+data, carries altitude for the 3-D extension), with checksum enforcement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.errors import NmeaError
+from repro.units import mps_to_knots, knots_to_mps
+
+
+@dataclass(frozen=True, slots=True)
+class GpsFix:
+    """A parsed GPS measurement.
+
+    Attributes:
+        lat: latitude, decimal degrees.
+        lon: longitude, decimal degrees.
+        time: UNIX timestamp, seconds (sub-second precision preserved).
+        speed_mps: speed over ground, m/s.
+        course_deg: course over ground, degrees true.
+        altitude_m: altitude above mean sea level (None for $GPRMC fixes).
+        valid: receiver fix status (``A`` = valid, ``V`` = void).
+    """
+
+    lat: float
+    lon: float
+    time: float
+    speed_mps: float = 0.0
+    course_deg: float = 0.0
+    altitude_m: float | None = None
+    valid: bool = True
+
+
+def nmea_checksum(body: str) -> str:
+    """Two-hex-digit XOR checksum over the sentence body (between $ and *)."""
+    value = 0
+    for char in body:
+        value ^= ord(char)
+    return f"{value:02X}"
+
+
+def _frame(body: str) -> str:
+    return f"${body}*{nmea_checksum(body)}"
+
+
+def _format_latitude(lat: float) -> tuple[str, str]:
+    hemisphere = "N" if lat >= 0 else "S"
+    lat = abs(lat)
+    degrees = int(lat)
+    minutes = (lat - degrees) * 60.0
+    return f"{degrees:02d}{minutes:07.4f}", hemisphere
+
+
+def _format_longitude(lon: float) -> tuple[str, str]:
+    hemisphere = "E" if lon >= 0 else "W"
+    lon = abs(lon)
+    degrees = int(lon)
+    minutes = (lon - degrees) * 60.0
+    return f"{degrees:03d}{minutes:07.4f}", hemisphere
+
+
+def _format_time(unix_time: float) -> str:
+    dt = datetime.fromtimestamp(unix_time, tz=timezone.utc)
+    centis = round(dt.microsecond / 10_000)
+    if centis == 100:  # rounding rolled over the second
+        centis = 0
+    return f"{dt:%H%M%S}.{centis:02d}"
+
+
+def _format_date(unix_time: float) -> str:
+    return f"{datetime.fromtimestamp(unix_time, tz=timezone.utc):%d%m%y}"
+
+
+def format_gprmc(fix: GpsFix) -> str:
+    """Render a fix as a ``$GPRMC`` sentence with checksum."""
+    lat_str, ns = _format_latitude(fix.lat)
+    lon_str, ew = _format_longitude(fix.lon)
+    status = "A" if fix.valid else "V"
+    body = (f"GPRMC,{_format_time(fix.time)},{status},{lat_str},{ns},{lon_str},{ew},"
+            f"{mps_to_knots(fix.speed_mps):.2f},{fix.course_deg:.2f},"
+            f"{_format_date(fix.time)},,,A")
+    return _frame(body)
+
+
+def format_gpgga(fix: GpsFix, num_satellites: int = 8, hdop: float = 1.0) -> str:
+    """Render a fix as a ``$GPGGA`` sentence (carries altitude)."""
+    lat_str, ns = _format_latitude(fix.lat)
+    lon_str, ew = _format_longitude(fix.lon)
+    quality = 1 if fix.valid else 0
+    altitude = fix.altitude_m if fix.altitude_m is not None else 0.0
+    body = (f"GPGGA,{_format_time(fix.time)},{lat_str},{ns},{lon_str},{ew},"
+            f"{quality},{num_satellites:02d},{hdop:.1f},{altitude:.1f},M,0.0,M,,")
+    return _frame(body)
+
+
+def _split_checked(sentence: str) -> list[str]:
+    sentence = sentence.strip()
+    if not sentence.startswith("$"):
+        raise NmeaError("NMEA sentence must start with '$'")
+    if "*" not in sentence:
+        raise NmeaError("NMEA sentence missing checksum delimiter '*'")
+    body, _, checksum = sentence[1:].rpartition("*")
+    if nmea_checksum(body) != checksum.upper():
+        raise NmeaError(f"NMEA checksum mismatch: expected {nmea_checksum(body)}, got {checksum}")
+    return body.split(",")
+
+
+def _parse_angle(value: str, hemisphere: str, degree_digits: int) -> float:
+    if len(value) <= degree_digits:
+        raise NmeaError(f"malformed NMEA coordinate: {value!r}")
+    try:
+        degrees = int(value[:degree_digits])
+        minutes = float(value[degree_digits:])
+    except ValueError as exc:
+        raise NmeaError(f"malformed NMEA coordinate: {value!r}") from exc
+    angle = degrees + minutes / 60.0
+    if hemisphere in ("S", "W"):
+        angle = -angle
+    elif hemisphere not in ("N", "E"):
+        raise NmeaError(f"invalid hemisphere indicator: {hemisphere!r}")
+    return angle
+
+
+def _parse_time(time_field: str, date_field: str | None) -> float:
+    try:
+        hours = int(time_field[0:2])
+        minutes = int(time_field[2:4])
+        seconds = float(time_field[4:])
+    except (ValueError, IndexError) as exc:
+        raise NmeaError(f"malformed NMEA time: {time_field!r}") from exc
+    if date_field:
+        try:
+            day = int(date_field[0:2])
+            month = int(date_field[2:4])
+            year = 2000 + int(date_field[4:6])
+        except (ValueError, IndexError) as exc:
+            raise NmeaError(f"malformed NMEA date: {date_field!r}") from exc
+    else:
+        day, month, year = 1, 1, 1970
+    base = datetime(year, month, day, hours, minutes, 0, tzinfo=timezone.utc)
+    return base.timestamp() + seconds
+
+
+def parse_gprmc(sentence: str) -> GpsFix:
+    """Parse a ``$GPRMC`` sentence, enforcing the checksum."""
+    fields = _split_checked(sentence)
+    if fields[0] not in ("GPRMC", "GNRMC"):
+        raise NmeaError(f"not an RMC sentence: {fields[0]!r}")
+    if len(fields) < 10:
+        raise NmeaError("RMC sentence has too few fields")
+    valid = fields[2] == "A"
+    lat = _parse_angle(fields[3], fields[4], 2)
+    lon = _parse_angle(fields[5], fields[6], 3)
+    speed = knots_to_mps(float(fields[7])) if fields[7] else 0.0
+    course = float(fields[8]) if fields[8] else 0.0
+    time = _parse_time(fields[1], fields[9])
+    return GpsFix(lat=lat, lon=lon, time=time, speed_mps=speed,
+                  course_deg=course, valid=valid)
+
+
+def parse_gpgga(sentence: str) -> GpsFix:
+    """Parse a ``$GPGGA`` sentence, enforcing the checksum."""
+    fields = _split_checked(sentence)
+    if fields[0] not in ("GPGGA", "GNGGA"):
+        raise NmeaError(f"not a GGA sentence: {fields[0]!r}")
+    if len(fields) < 10:
+        raise NmeaError("GGA sentence has too few fields")
+    lat = _parse_angle(fields[2], fields[3], 2)
+    lon = _parse_angle(fields[4], fields[5], 3)
+    valid = fields[6] not in ("", "0")
+    altitude = float(fields[9]) if fields[9] else None
+    time = _parse_time(fields[1], None)
+    return GpsFix(lat=lat, lon=lon, time=time, altitude_m=altitude, valid=valid)
+
+
+def parse_sentence(sentence: str) -> GpsFix:
+    """Parse any supported NMEA sentence by its talker/type field."""
+    fields = _split_checked(sentence)
+    kind = fields[0]
+    if kind.endswith("RMC"):
+        return parse_gprmc(sentence)
+    if kind.endswith("GGA"):
+        return parse_gpgga(sentence)
+    raise NmeaError(f"unsupported NMEA sentence type: {kind!r}")
+
+
+def fix_is_finite(fix: GpsFix) -> bool:
+    """Whether all numeric fields of a fix are finite (defensive check)."""
+    values = [fix.lat, fix.lon, fix.time, fix.speed_mps, fix.course_deg]
+    if fix.altitude_m is not None:
+        values.append(fix.altitude_m)
+    return all(math.isfinite(v) for v in values)

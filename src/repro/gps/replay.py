@@ -1,0 +1,85 @@
+"""Trajectory sources: timestamped waypoint interpolation and fix replay.
+
+The paper's field methodology records a full 5 Hz GPS trace from a vehicle
+and *replays* it into the GPS Sampler (§VI-A1).  :class:`ReplaySource`
+mirrors that; :class:`WaypointSource` is the synthetic-generator analogue
+used by the workload builders.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.nmea import GpsFix
+
+
+class WaypointSource:
+    """Piecewise-linear trajectory through timestamped local-frame points.
+
+    Positions before the first waypoint clamp to it, and positions after
+    the last clamp to the last (the vehicle is parked before departure and
+    after arrival).
+    """
+
+    def __init__(self, waypoints: Sequence[tuple[float, float, float]]):
+        """Args:
+            waypoints: ``(t, x, y)`` triples with strictly increasing ``t``.
+        """
+        points = [(float(t), float(x), float(y)) for t, x, y in waypoints]
+        if not points:
+            raise ConfigurationError("WaypointSource needs at least one waypoint")
+        for earlier, later in zip(points, points[1:]):
+            if later[0] <= earlier[0]:
+                raise ConfigurationError("waypoint times must be strictly increasing")
+        self._times = [p[0] for p in points]
+        self._points = points
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first waypoint."""
+        return self._times[0]
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last waypoint."""
+        return self._times[-1]
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds."""
+        return self.end_time - self.start_time
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        """Interpolated ``(x, y)`` at ``t``, clamped to the trace span."""
+        if t <= self._times[0]:
+            return (self._points[0][1], self._points[0][2])
+        if t >= self._times[-1]:
+            return (self._points[-1][1], self._points[-1][2])
+        hi = bisect.bisect_right(self._times, t)
+        t0, x0, y0 = self._points[hi - 1]
+        t1, x1, y1 = self._points[hi]
+        alpha = (t - t0) / (t1 - t0)
+        return (x0 + alpha * (x1 - x0), y0 + alpha * (y1 - y0))
+
+
+class ReplaySource(WaypointSource):
+    """A :class:`WaypointSource` built from previously recorded GPS fixes."""
+
+    @classmethod
+    def from_fixes(cls, fixes: Iterable[GpsFix], frame: LocalFrame) -> "ReplaySource":
+        """Build a replayable trajectory from recorded fixes.
+
+        Fixes are projected into ``frame``; duplicate timestamps collapse to
+        the last fix seen.
+        """
+        waypoints: list[tuple[float, float, float]] = []
+        for fix in sorted(fixes, key=lambda f: f.time):
+            x, y = frame.to_local(GeoPoint(fix.lat, fix.lon))
+            if waypoints and abs(waypoints[-1][0] - fix.time) < 1e-9:
+                waypoints[-1] = (fix.time, x, y)
+            else:
+                waypoints.append((fix.time, x, y))
+        return cls(waypoints)

@@ -1,0 +1,28 @@
+"""Network substrate: a simulated radio link and real-time PoA streaming.
+
+Paper §IV-B: "To enable real-time auditing, the drone could alternately
+transmit its PoAs in real-time to the Auditor; however, we do not pursue
+this solution in our work as it would increase battery drain, violating
+Goal G2."  This package builds that rejected alternative so the trade-off
+can be measured: a lossy, latency-bearing radio link, a framing layer, a
+streaming uploader with acknowledgements and retransmission, and a radio
+energy model to quantify the battery cost the paper alludes to.
+"""
+
+from repro.net.link import SimulatedLink, LinkStats
+from repro.net.framing import encode_frame, decode_frame, FrameType, Frame
+from repro.net.streaming import StreamingUploader, StreamingAuditorEndpoint
+from repro.net.energy import RadioEnergyModel, WIFI_RADIO
+
+__all__ = [
+    "SimulatedLink",
+    "LinkStats",
+    "encode_frame",
+    "decode_frame",
+    "FrameType",
+    "Frame",
+    "StreamingUploader",
+    "StreamingAuditorEndpoint",
+    "RadioEnergyModel",
+    "WIFI_RADIO",
+]

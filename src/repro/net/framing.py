@@ -1,0 +1,66 @@
+"""Wire framing for the streaming protocol.
+
+Minimal length-checked binary frames with a CRC-32 integrity field (radio
+links corrupt; corrupted frames must be droppable, not crash the parser).
+The cryptographic protection of the *content* is the TEE signature inside
+the payload — the CRC is purely a transport-level check.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+
+_MAGIC = b"ADNF"
+_HEADER = struct.Struct(">4sBQI")  # magic, type, sequence, payload length
+
+
+class FrameType(enum.IntEnum):
+    """Streaming protocol frame types."""
+
+    POA_ENTRY = 1       # drone -> auditor: one encrypted signed sample
+    ACK = 2             # auditor -> drone: cumulative acknowledgement
+    FLIGHT_BEGIN = 3    # drone -> auditor: opens a streaming flight
+    FLIGHT_END = 4      # drone -> auditor: closes it
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One parsed frame."""
+
+    frame_type: FrameType
+    sequence: int
+    payload: bytes
+
+
+def encode_frame(frame_type: FrameType, sequence: int, payload: bytes) -> bytes:
+    """Serialize a frame with header and trailing CRC-32."""
+    if sequence < 0:
+        raise EncodingError("frame sequence must be non-negative")
+    header = _HEADER.pack(_MAGIC, int(frame_type), sequence, len(payload))
+    body = header + payload
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse a frame; raises :class:`EncodingError` on any corruption."""
+    if len(data) < _HEADER.size + 4:
+        raise EncodingError("frame too short")
+    body, (crc,) = data[:-4], struct.unpack(">I", data[-4:])
+    if zlib.crc32(body) != crc:
+        raise EncodingError("frame CRC mismatch")
+    magic, raw_type, sequence, length = _HEADER.unpack_from(body)
+    if magic != _MAGIC:
+        raise EncodingError("bad frame magic")
+    payload = body[_HEADER.size:]
+    if len(payload) != length:
+        raise EncodingError("frame length field mismatch")
+    try:
+        frame_type = FrameType(raw_type)
+    except ValueError:
+        raise EncodingError(f"unknown frame type {raw_type}") from None
+    return Frame(frame_type=frame_type, sequence=sequence, payload=payload)

@@ -1,0 +1,99 @@
+"""A simulated half-duplex radio link with loss and latency.
+
+Models the drone-to-ground control channel (paper §II-A: 200-3000 m
+range).  Deterministic given a seed; delivery happens when the receiving
+side polls at a virtual time past the scheduled arrival.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LinkStats:
+    """Counters for one direction of the link."""
+
+    sent: int = 0
+    dropped: int = 0
+    delivered: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent messages that were dropped."""
+        return self.dropped / self.sent if self.sent else 0.0
+
+
+class SimulatedLink:
+    """A lossy, delayed, in-order-per-arrival message channel.
+
+    Args:
+        latency_s: mean one-way latency.
+        jitter_s: uniform +-jitter applied per message.
+        loss_probability: independent drop probability per message.
+        bandwidth_bps: serialization rate; transmission time is
+            ``len(message) * 8 / bandwidth_bps`` and is added to latency.
+        seed: RNG seed for loss/jitter.
+    """
+
+    def __init__(self, latency_s: float = 0.02, jitter_s: float = 0.005,
+                 loss_probability: float = 0.0,
+                 bandwidth_bps: float = 1_000_000.0, seed: int = 0):
+        if latency_s < 0 or jitter_s < 0:
+            raise ConfigurationError("latency/jitter must be non-negative")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError("loss_probability must be in [0, 1)")
+        if bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.latency_s = float(latency_s)
+        self.jitter_s = float(jitter_s)
+        self.loss_probability = float(loss_probability)
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._rng = random.Random(seed)
+        self._in_flight: list[tuple[float, int, bytes]] = []
+        self._sequence = itertools.count()
+        self.stats = LinkStats()
+
+    def transmission_time(self, message: bytes) -> float:
+        """Air time for one message at the configured bandwidth."""
+        return len(message) * 8.0 / self.bandwidth_bps
+
+    def send(self, message: bytes, now: float) -> float:
+        """Enqueue a message at virtual time ``now``.
+
+        Returns the air time spent transmitting (consumed regardless of
+        whether the message is subsequently lost — the radio still burned
+        the energy).
+        """
+        air_time = self.transmission_time(message)
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(message)
+        if (self.loss_probability > 0
+                and self._rng.random() < self.loss_probability):
+            self.stats.dropped += 1
+            return air_time
+        arrival = (now + air_time + self.latency_s
+                   + self._rng.uniform(-self.jitter_s, self.jitter_s))
+        heapq.heappush(self._in_flight, (max(now, arrival),
+                                         next(self._sequence), bytes(message)))
+        return air_time
+
+    def receive(self, now: float) -> list[bytes]:
+        """All messages whose arrival time is at or before ``now``."""
+        delivered = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _, _, message = heapq.heappop(self._in_flight)
+            delivered.append(message)
+            self.stats.delivered += 1
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        """Messages still in flight."""
+        return len(self._in_flight)

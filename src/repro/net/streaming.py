@@ -1,0 +1,198 @@
+"""Real-time PoA streaming (the §IV-B alternative the paper declined).
+
+The drone pushes each encrypted signed sample to the Auditor as soon as it
+is taken; the Auditor acknowledges cumulatively and the drone retransmits
+unacknowledged entries after a timeout.  Reliability is
+cumulative-ACK/go-back-style: simple, and adequate for the low rates
+involved.
+
+The point of building this is the energy ablation: every transmitted byte
+costs radio air time, which :mod:`repro.net.energy` converts to joules and
+compares against the store-and-upload-later baseline.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.poa import EncryptedPoaRecord
+from repro.errors import EncodingError, ProtocolError
+from repro.net.framing import FrameType, decode_frame, encode_frame
+from repro.net.link import SimulatedLink
+
+_RECORD_HEADER = struct.Struct(">HH")
+
+
+def _encode_record(record: EncryptedPoaRecord) -> bytes:
+    return (_RECORD_HEADER.pack(len(record.ciphertext), len(record.signature))
+            + record.ciphertext + record.signature)
+
+
+def _decode_record(payload: bytes) -> EncryptedPoaRecord:
+    if len(payload) < _RECORD_HEADER.size:
+        raise EncodingError("truncated streamed record")
+    ct_len, sig_len = _RECORD_HEADER.unpack_from(payload)
+    body = payload[_RECORD_HEADER.size:]
+    if len(body) != ct_len + sig_len:
+        raise EncodingError("streamed record length mismatch")
+    return EncryptedPoaRecord(ciphertext=body[:ct_len], signature=body[ct_len:])
+
+
+@dataclass
+class StreamingStats:
+    """Uploader-side counters for the energy model."""
+
+    entries_pushed: int = 0
+    frames_sent: int = 0
+    retransmissions: int = 0
+    bytes_sent: int = 0
+    air_time_s: float = 0.0
+    acked_through: int = -1
+
+
+class StreamingUploader:
+    """Drone-side streaming endpoint."""
+
+    def __init__(self, uplink: SimulatedLink, downlink: SimulatedLink,
+                 flight_id: str, retransmit_timeout_s: float = 0.5):
+        if retransmit_timeout_s <= 0:
+            raise ProtocolError("retransmit timeout must be positive")
+        self.uplink = uplink
+        self.downlink = downlink
+        self.flight_id = flight_id
+        self.rto = float(retransmit_timeout_s)
+        self.stats = StreamingStats()
+        self._entries: list[bytes] = []       # payloads by sequence
+        self._last_sent_at: dict[int, float] = {}
+        self._begun = False
+        self._ended = False
+
+    def _send(self, frame_type: FrameType, sequence: int, payload: bytes,
+              now: float) -> None:
+        frame = encode_frame(frame_type, sequence, payload)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame)
+        self.stats.air_time_s += self.uplink.send(frame, now)
+
+    def begin_flight(self, now: float) -> None:
+        """Open the stream (retransmitted implicitly by entry frames)."""
+        self._begun = True
+        self._send(FrameType.FLIGHT_BEGIN, 0, self.flight_id.encode(), now)
+
+    def push(self, record: EncryptedPoaRecord, now: float) -> None:
+        """Stream one PoA entry; assigns the next sequence number."""
+        if not self._begun or self._ended:
+            raise ProtocolError("stream is not open")
+        sequence = len(self._entries)
+        payload = _encode_record(record)
+        self._entries.append(payload)
+        self.stats.entries_pushed += 1
+        self._last_sent_at[sequence] = now
+        self._send(FrameType.POA_ENTRY, sequence, payload, now)
+
+    def poll(self, now: float) -> None:
+        """Process ACKs and retransmit anything stale."""
+        for message in self.downlink.receive(now):
+            try:
+                frame = decode_frame(message)
+            except EncodingError:
+                continue
+            if frame.frame_type is FrameType.ACK:
+                (acked,) = struct.unpack(">q", frame.payload)
+                self.stats.acked_through = max(self.stats.acked_through,
+                                               acked)
+        for sequence in range(self.stats.acked_through + 1,
+                              len(self._entries)):
+            if now - self._last_sent_at[sequence] >= self.rto:
+                self.stats.retransmissions += 1
+                self._last_sent_at[sequence] = now
+                self._send(FrameType.POA_ENTRY, sequence,
+                           self._entries[sequence], now)
+
+    def end_flight(self, now: float) -> None:
+        """Close the stream (entries may still need :meth:`poll` retries)."""
+        self._ended = True
+        self._send(FrameType.FLIGHT_END, len(self._entries), b"", now)
+
+    @property
+    def fully_acked(self) -> bool:
+        """Whether every pushed entry has been acknowledged."""
+        return self.stats.acked_through >= len(self._entries) - 1
+
+
+class StreamingAuditorEndpoint:
+    """Auditor-side streaming endpoint: collects entries, sends ACKs."""
+
+    def __init__(self, uplink: SimulatedLink, downlink: SimulatedLink):
+        self.uplink = uplink
+        self.downlink = downlink
+        self.flight_id: str | None = None
+        self.ended = False
+        self.expected_entries: int | None = None
+        self._received: dict[int, EncryptedPoaRecord] = {}
+        self.corrupt_frames = 0
+
+    def poll(self, now: float) -> None:
+        """Drain the uplink, record entries, emit a cumulative ACK."""
+        progressed = False
+        for message in self.uplink.receive(now):
+            try:
+                frame = decode_frame(message)
+            except EncodingError:
+                self.corrupt_frames += 1
+                continue
+            progressed = True
+            if frame.frame_type is FrameType.FLIGHT_BEGIN:
+                self.flight_id = frame.payload.decode()
+            elif frame.frame_type is FrameType.POA_ENTRY:
+                try:
+                    self._received[frame.sequence] = _decode_record(
+                        frame.payload)
+                except EncodingError:
+                    self.corrupt_frames += 1
+            elif frame.frame_type is FrameType.FLIGHT_END:
+                self.ended = True
+                self.expected_entries = frame.sequence
+        if progressed:
+            ack = encode_frame(FrameType.ACK, 0,
+                               struct.pack(">q", self._contiguous_through()))
+            self.downlink.send(ack, now)
+
+    def _contiguous_through(self) -> int:
+        acked = -1
+        while acked + 1 in self._received:
+            acked += 1
+        return acked
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole flight has arrived gap-free."""
+        return (self.ended and self.expected_entries is not None
+                and self._contiguous_through() == self.expected_entries - 1)
+
+    def records(self) -> list[EncryptedPoaRecord]:
+        """The in-order entries received so far (gap-free prefix)."""
+        return [self._received[i]
+                for i in range(self._contiguous_through() + 1)]
+
+    def to_submission(self, drone_id: str, claimed_start: float,
+                      claimed_end: float):
+        """Wrap the completed stream as a standard PoA submission.
+
+        This closes the real-time-auditing loop: the Auditor can feed the
+        result straight into ``AliDroneServer.receive_poa`` and verify the
+        flight the moment it ends.
+
+        Raises:
+            ProtocolError: the stream is not yet complete.
+        """
+        from repro.core.protocol import PoaSubmission
+
+        if not self.complete:
+            raise ProtocolError("stream incomplete: cannot build submission")
+        return PoaSubmission(drone_id=drone_id,
+                             flight_id=self.flight_id or "streamed-flight",
+                             records=self.records(),
+                             claimed_start=claimed_start,
+                             claimed_end=claimed_end)

@@ -1,0 +1,29 @@
+"""Performance models: the Raspberry Pi cost model, CPU, power, memory.
+
+Table II of the paper is a function of (a) how many authenticated samples
+each policy takes and (b) what one sample costs on the Pi.  The sampling
+counts come from real runs of the real pipeline; the per-operation costs
+come from :data:`~repro.perf.costs.RASPBERRY_PI_3`, calibrated from the
+paper's own fixed-rate rows (see the module docstring for the derivation).
+"""
+
+from repro.perf.costs import CostModel, RASPBERRY_PI_3, THIS_MACHINE_TEMPLATE
+from repro.perf.cpu import CpuUtilizationModel, UtilizationSeries
+from repro.perf.power import kaup_power_w, PowerModel, KAUP_RASPBERRY_PI
+from repro.perf.memory import MemoryModel, RASPBERRY_PI_MEMORY
+from repro.perf.meter import Measurement, mean_std
+
+__all__ = [
+    "CostModel",
+    "RASPBERRY_PI_3",
+    "THIS_MACHINE_TEMPLATE",
+    "CpuUtilizationModel",
+    "UtilizationSeries",
+    "kaup_power_w",
+    "PowerModel",
+    "KAUP_RASPBERRY_PI",
+    "MemoryModel",
+    "RASPBERRY_PI_MEMORY",
+    "Measurement",
+    "mean_std",
+]

@@ -1,0 +1,101 @@
+"""CPU utilization model (Table II methodology).
+
+The paper pins the GPS Sampler to one core and samples ``top`` once per
+second for the run, reporting mean +- std of CPU%% relative to all four
+cores (hence the [0, 25%] range).  We reproduce that: given the instants
+at which authenticated samples were taken and the per-sample busy time,
+build the per-second busy series and aggregate it the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.perf.costs import CostModel
+from repro.perf.meter import Measurement, mean_std
+
+
+@dataclass
+class UtilizationSeries:
+    """Per-second CPU utilization (% of all cores) over an observation."""
+
+    per_second_percent: list[float]
+
+    @classmethod
+    def from_sample_times(cls, sample_times: Sequence[float],
+                          busy_per_sample_s: float, t_start: float,
+                          t_end: float, num_cores: int) -> "UtilizationSeries":
+        """Distribute per-sample busy time into 1-second ``top`` buckets.
+
+        A sample's busy interval ``[t, t + busy)`` is split across bucket
+        boundaries, mirroring how ``top`` attributes CPU time.
+        """
+        if t_end <= t_start:
+            raise ConfigurationError("observation window must be positive")
+        n_buckets = max(1, int(math.ceil(t_end - t_start)))
+        busy = [0.0] * n_buckets
+        for t in sample_times:
+            start = t - t_start
+            remaining = busy_per_sample_s
+            bucket = int(start)
+            position = start
+            while remaining > 0 and bucket < n_buckets:
+                if bucket < 0:
+                    break
+                room = (bucket + 1) - position
+                used = min(room, remaining)
+                busy[bucket] += used
+                remaining -= used
+                position += used
+                bucket += 1
+        percent = [100.0 * b / num_cores for b in busy]
+        return cls(per_second_percent=percent)
+
+    def measurement(self) -> Measurement:
+        """Mean +- std of the per-second CPU%% series."""
+        return mean_std(self.per_second_percent)
+
+
+class CpuUtilizationModel:
+    """Computes Table II CPU columns from sampling-run outputs."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+
+    def utilization(self, sample_times: Sequence[float], key_bits: int,
+                    t_start: float, t_end: float) -> Measurement:
+        """CPU%% (of all cores) for a run that signed at ``sample_times``."""
+        busy = self.costs.auth_sample_cost(key_bits)
+        series = UtilizationSeries.from_sample_times(
+            sample_times, busy, t_start, t_end, self.costs.num_cores)
+        return series.measurement()
+
+    def fixed_rate_utilization(self, rate_hz: float, key_bits: int,
+                               duration_s: float = 300.0,
+                               jitter: float = 0.0) -> Measurement | None:
+        """CPU%% for the laboratory fixed-rate benchmark rows.
+
+        Returns None when the platform cannot sustain the rate (the
+        paper's "-" cells).  ``jitter`` perturbs nothing here — the lab
+        benchmark is deterministic — but is kept for API symmetry with
+        scenario runs.
+        """
+        del jitter
+        if not self.costs.can_sustain(rate_hz, key_bits):
+            return None
+        times = [i / rate_hz for i in range(int(duration_s * rate_hz))]
+        return self.utilization(times, key_bits, 0.0, duration_s)
+
+    def mean_utilization_fraction(self, sample_count: int, key_bits: int,
+                                  duration_s: float) -> float:
+        """Average utilization as a 0-1 fraction of total CPU capacity.
+
+        This is the ``u`` that feeds the Kaup power model.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        busy = self.costs.auth_sample_cost(key_bits) * sample_count
+        return busy / (duration_s * self.costs.num_cores)

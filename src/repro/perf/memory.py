@@ -1,0 +1,46 @@
+"""Memory model (Table II's memory row).
+
+The paper reports a flat 3.27 MB resident footprint — 0.3% of the Pi's
+1 GB — independent of rate and key size: the Adapter plus TA working set
+dominates, and per-sample records are appended to flash, not held in RAM.
+The model therefore has a constant resident base plus a small in-flight
+buffer term that only matters for the sign-all-at-once extension (which
+*does* hold the whole trace in secure memory, §VII-A1(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Bytes per buffered PoA record: 36-byte payload + up to 256-byte
+#: signature + container overhead.
+RECORD_BYTES = 416
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryModel:
+    """Resident-memory model for the AliDrone client."""
+
+    base_bytes: int
+    total_ram_bytes: int
+
+    def resident_bytes(self, buffered_samples: int = 0) -> int:
+        """Resident footprint with ``buffered_samples`` records in RAM."""
+        if buffered_samples < 0:
+            raise ConfigurationError("buffered_samples must be non-negative")
+        return self.base_bytes + buffered_samples * RECORD_BYTES
+
+    def resident_mb(self, buffered_samples: int = 0) -> float:
+        """Footprint in MB (decimal, as ``top`` reports)."""
+        return self.resident_bytes(buffered_samples) / 1e6
+
+    def percent_of_ram(self, buffered_samples: int = 0) -> float:
+        """Footprint as a percentage of platform RAM."""
+        return 100.0 * self.resident_bytes(buffered_samples) / self.total_ram_bytes
+
+
+#: Calibrated to Table II: 3.27 MB resident on a 1 GB Pi (0.3%).
+RASPBERRY_PI_MEMORY = MemoryModel(base_bytes=3_270_000,
+                                  total_ram_bytes=1_000_000_000)

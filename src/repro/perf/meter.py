@@ -1,0 +1,40 @@
+"""Measurement aggregation: mean +- std in the paper's reporting style."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """A mean with its standard deviation, e.g. ``2.17 +-0.05``."""
+
+    mean: float
+    std: float
+    n: int = 0
+
+    def format(self, digits: int = 2) -> str:
+        """Render in Table II's ``mean +-std`` style."""
+        return f"{self.mean:.{digits}f} ±{self.std:.{digits}f}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def mean_std(values: Sequence[float]) -> Measurement:
+    """Population mean and standard deviation of a series.
+
+    The paper samples ``top`` once per second and averages, which is a
+    population statistic over the observation window, so population (not
+    sample) std matches.
+    """
+    if not values:
+        raise ConfigurationError("cannot aggregate an empty series")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return Measurement(mean=mean, std=math.sqrt(variance), n=n)

@@ -1,0 +1,55 @@
+"""Power model — paper equation (4), from Kaup et al.'s PowerPi study.
+
+    P_cpu(u) = 1.5778 W + 0.181 * u W
+
+with ``u`` the average CPU utilization in [0, 1] (fraction of total
+capacity across all cores).  Table II's power column is exactly this
+formula applied to the CPU column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class PowerModel:
+    """An affine CPU power model ``P(u) = idle + slope * u``."""
+
+    idle_w: float
+    slope_w: float
+
+    def power_w(self, utilization_fraction: float) -> float:
+        """Power draw for a utilization in [0, 1]."""
+        if not 0.0 <= utilization_fraction <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization_fraction}")
+        return self.idle_w + self.slope_w * utilization_fraction
+
+    def energy_j(self, utilization_fraction: float, duration_s: float) -> float:
+        """Energy over a window at constant utilization."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be non-negative")
+        return self.power_w(utilization_fraction) * duration_s
+
+    def marginal_energy_j(self, busy_seconds: float, num_cores: int) -> float:
+        """Extra energy attributable to ``busy_seconds`` of one-core work.
+
+        Useful for per-sample energy accounting: a signature that keeps one
+        of ``num_cores`` cores busy for ``t`` seconds adds
+        ``slope * t / num_cores`` joules over idle.
+        """
+        if busy_seconds < 0 or num_cores < 1:
+            raise ConfigurationError("invalid busy time or core count")
+        return self.slope_w * busy_seconds / num_cores
+
+
+#: Equation (4): Kaup et al.'s Raspberry Pi CPU power model.
+KAUP_RASPBERRY_PI = PowerModel(idle_w=1.5778, slope_w=0.181)
+
+
+def kaup_power_w(utilization_fraction: float) -> float:
+    """Equation (4) as a plain function."""
+    return KAUP_RASPBERRY_PI.power_w(utilization_fraction)

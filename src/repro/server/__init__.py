@@ -1,0 +1,22 @@
+"""The Auditor side: registries, the AliDrone Server, and violation handling."""
+
+from repro.server.database import (
+    DroneRegistry,
+    NfzDatabase,
+    RegisteredDrone,
+    RegisteredZone,
+)
+from repro.server.auditor import AliDroneServer, RetainedSubmission
+from repro.server.violations import ViolationFinding, ViolationLedger, PenaltyPolicy
+
+__all__ = [
+    "DroneRegistry",
+    "NfzDatabase",
+    "RegisteredDrone",
+    "RegisteredZone",
+    "AliDroneServer",
+    "RetainedSubmission",
+    "ViolationFinding",
+    "ViolationLedger",
+    "PenaltyPolicy",
+]

@@ -1,0 +1,286 @@
+"""The AliDrone Server: the Auditor's online service (paper §IV-C2).
+
+Stores registered drones and NFZs, answers signed zone queries, decrypts
+and verifies submitted PoAs, retains verified PoAs as evidence "for a
+couple of days", and adjudicates Zone Owner incident reports against the
+retained evidence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, decrypt_poa
+from repro.core.protocol import (
+    DroneRegistrationRequest,
+    IncidentReport,
+    PoaSubmission,
+    ZoneQuery,
+    ZoneRegistrationRequest,
+    ZoneResponse,
+)
+from repro.core.sufficiency import Method, pair_is_sufficient
+from repro.core.verification import (
+    PoaVerifier,
+    VerificationReport,
+    VerificationStatus,
+)
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+from repro.errors import AuthenticationError, EncryptionError, RegistrationError
+from repro.geo.geodesy import LocalFrame
+from repro.server.database import DroneRegistry, NfzDatabase
+from repro.sim.events import EventLog
+from repro.server.violations import (
+    PenaltyPolicy,
+    ViolationFinding,
+    ViolationKind,
+    ViolationLedger,
+)
+from repro.units import FAA_MAX_SPEED_MPS
+
+#: Paper: "the AliDrone Server should save the PoAs for a couple of days".
+DEFAULT_RETENTION_S = 3 * 24 * 3600.0
+
+_STATUS_TO_KIND = {
+    VerificationStatus.REJECTED_BAD_SIGNATURE: ViolationKind.BAD_SIGNATURE,
+    VerificationStatus.REJECTED_INFEASIBLE: ViolationKind.INFEASIBLE_TRACE,
+    VerificationStatus.REJECTED_MALFORMED: ViolationKind.MALFORMED_POA,
+    VerificationStatus.REJECTED_EMPTY: ViolationKind.MALFORMED_POA,
+    VerificationStatus.INSUFFICIENT: ViolationKind.INSUFFICIENT_ALIBI,
+}
+
+
+@dataclass
+class RetainedSubmission:
+    """A verified submission kept as evidence for later accusations."""
+
+    submission: PoaSubmission
+    poa: ProofOfAlibi
+    report: VerificationReport
+    received_at: float
+
+
+class AliDroneServer:
+    """The Auditor's service endpoint."""
+
+    def __init__(self, frame: LocalFrame,
+                 rng: random.Random | None = None,
+                 encryption_key_bits: int = 1024,
+                 vmax_mps: float = FAA_MAX_SPEED_MPS,
+                 hash_name: str = "sha1",
+                 method: Method = "conservative",
+                 retention_s: float = DEFAULT_RETENTION_S,
+                 penalty_policy: PenaltyPolicy | None = None):
+        self.frame = frame
+        self.rng = rng or random.SystemRandom()
+        self.vmax_mps = float(vmax_mps)
+        self.retention_s = float(retention_s)
+        self.drones = DroneRegistry()
+        self.zones = NfzDatabase(frame)
+        self.verifier = PoaVerifier(frame, vmax_mps=vmax_mps,
+                                    hash_name=hash_name, method=method)
+        self.ledger = ViolationLedger(penalty_policy)
+        self._encryption_key: RsaPrivateKey = generate_rsa_keypair(
+            encryption_key_bits, rng=self.rng)
+        self._retained: dict[str, list[RetainedSubmission]] = {}
+        self._seen_nonces: set[bytes] = set()
+        #: Operational audit trail: registrations, queries, submissions,
+        #: incidents.  Event times use protocol timestamps where the
+        #: message carries one, else 0.0 (registration has no clock).
+        self.events = EventLog()
+        #: Manufacturer keys whose attestation quotes are accepted.
+        self.trusted_manufacturers: list[RsaPublicKey] = []
+        #: When True, drone registration requires a valid quote.
+        self.require_attestation = False
+
+    def trust_manufacturer(self, public_key: RsaPublicKey) -> None:
+        """Accept attestation quotes signed by this manufacturer."""
+        self.trusted_manufacturers.append(public_key)
+
+    @property
+    def public_encryption_key(self) -> RsaPublicKey:
+        """The key drones encrypt PoA payloads under."""
+        return self._encryption_key.public_key
+
+    # --- registration (steps 0-1) -------------------------------------------
+
+    def register_drone(self, request: DroneRegistrationRequest) -> str:
+        """Step 0: issue an ``id_drone`` for ``(D+, T+)``.
+
+        With :attr:`require_attestation` set, the request must carry a
+        manufacturer quote signed by a trusted key and binding exactly the
+        submitted ``T+`` — otherwise any software key could masquerade as
+        a TEE key.
+        """
+        if self.require_attestation:
+            self._check_attestation(request)
+        record = self.drones.register(request.operator_public_key,
+                                      request.tee_public_key,
+                                      request.operator_name)
+        self.events.record(0.0, "drone_registered",
+                           drone_id=record.drone_id,
+                           operator=request.operator_name,
+                           attested=request.quote is not None)
+        return record.drone_id
+
+    def _check_attestation(self, request: DroneRegistrationRequest) -> None:
+        quote = request.quote
+        if quote is None:
+            raise RegistrationError(
+                "registration requires a manufacturer attestation quote")
+        if quote.tee_public_key != request.tee_public_key:
+            raise RegistrationError(
+                "attestation quote binds a different TEE key")
+        if not any(quote.verify(key) for key in self.trusted_manufacturers):
+            raise RegistrationError(
+                "attestation quote not signed by a trusted manufacturer")
+
+    def register_zone(self, request: ZoneRegistrationRequest) -> str:
+        """Step 1: register a circular NFZ; returns its ``id_zone``."""
+        record = self.zones.register(request.zone,
+                                     owner_name=request.owner_name,
+                                     proof_of_ownership=request.proof_of_ownership)
+        self.events.record(0.0, "zone_registered", zone_id=record.zone_id,
+                           owner=request.owner_name,
+                           radius_m=request.zone.radius_m)
+        return record.zone_id
+
+    # --- zone query (steps 2-3) -------------------------------------------------
+
+    def handle_zone_query(self, query: ZoneQuery) -> ZoneResponse:
+        """Verify the signed nonce and return zones inside the rectangle.
+
+        Raises:
+            RegistrationError: the querying drone is not registered.
+            AuthenticationError: bad signature or replayed nonce.
+        """
+        record = self.drones.lookup(query.drone_id)
+        if query.nonce in self._seen_nonces:
+            raise AuthenticationError("zone query nonce replayed")
+        if not query.verify(record.operator_public_key):
+            raise AuthenticationError("zone query signature invalid")
+        self._seen_nonces.add(query.nonce)
+        matches = self.zones.query_rect(query.corner_a, query.corner_b)
+        self.events.record(0.0, "zone_query", drone_id=query.drone_id,
+                           zones_returned=len(matches))
+        return ZoneResponse(zones=tuple((r.zone_id, r.zone) for r in matches))
+
+    # --- PoA intake (step 4) ------------------------------------------------------
+
+    def receive_poa(self, submission: PoaSubmission,
+                    now: float | None = None) -> VerificationReport:
+        """Decrypt, verify, and retain a PoA submission."""
+        record = self.drones.lookup(submission.drone_id)
+        try:
+            poa = decrypt_poa(submission.records, self._encryption_key)
+        except EncryptionError as exc:
+            return VerificationReport(
+                status=VerificationStatus.REJECTED_MALFORMED,
+                sample_count=len(submission.records),
+                message=f"PoA decryption failed: {exc}")
+        zones = [r.zone for r in self.zones.all_zones()]
+        report = self.verifier.verify(poa, record.tee_public_key, zones)
+        received_at = now if now is not None else submission.claimed_end
+        self._retained.setdefault(submission.drone_id, []).append(
+            RetainedSubmission(submission=submission, poa=poa,
+                               report=report, received_at=received_at))
+        self.events.record(received_at, "poa_received",
+                           drone_id=submission.drone_id,
+                           flight_id=submission.flight_id,
+                           status=report.status.value,
+                           samples=report.sample_count)
+        return report
+
+    def retained_for(self, drone_id: str) -> list[RetainedSubmission]:
+        """Evidence currently retained for one drone."""
+        return list(self._retained.get(drone_id, []))
+
+    def purge_expired(self, now: float) -> int:
+        """Drop evidence older than the retention window; returns #dropped."""
+        dropped = 0
+        for drone_id, items in list(self._retained.items()):
+            kept = [s for s in items if now - s.received_at <= self.retention_s]
+            dropped += len(items) - len(kept)
+            if kept:
+                self._retained[drone_id] = kept
+            else:
+                del self._retained[drone_id]
+        return dropped
+
+    # --- incident adjudication ------------------------------------------------------
+
+    def handle_incident(self, report: IncidentReport) -> ViolationFinding:
+        """Adjudicate a Zone Owner's accusation against retained evidence.
+
+        The burden of proof is on the operator: no covering PoA, a PoA that
+        failed verification, or a PoA whose bracketing pair cannot rule out
+        entering the accusing zone all yield a violation finding.
+        """
+        zone_record = self.zones.lookup(report.zone_id)
+        if report.drone_id not in self.drones:
+            raise RegistrationError(f"unknown drone id {report.drone_id!r}")
+
+        covering = [s for s in self._retained.get(report.drone_id, [])
+                    if s.submission.claimed_start - 1.0 <= report.incident_time
+                    <= s.submission.claimed_end + 1.0]
+        if not covering:
+            finding = ViolationFinding(
+                drone_id=report.drone_id, zone_id=report.zone_id,
+                incident_time=report.incident_time, violation=True,
+                kind=ViolationKind.NO_POA,
+                detail="no retained PoA covers the incident time")
+            self.ledger.adjudicate(finding)
+            self._record_incident(report, finding)
+            return finding
+
+        # Any covering submission that proves alibi for the accused zone at
+        # the incident time clears the drone.
+        best_detail = "all covering PoAs failed verification"
+        best_kind = ViolationKind.MALFORMED_POA
+        for retained in covering:
+            status = retained.report.status
+            if status not in (VerificationStatus.ACCEPTED,
+                              VerificationStatus.INSUFFICIENT):
+                best_kind = _STATUS_TO_KIND[status]
+                best_detail = f"covering PoA was rejected: {status.value}"
+                continue
+            verdict = self._alibi_at(retained.poa, zone_record.zone,
+                                     report.incident_time)
+            if verdict:
+                finding = ViolationFinding(
+                    drone_id=report.drone_id, zone_id=report.zone_id,
+                    incident_time=report.incident_time, violation=False,
+                    detail="PoA proves the drone could not enter the zone")
+                self._record_incident(report, finding)
+                return finding
+            best_kind = ViolationKind.INSUFFICIENT_ALIBI
+            best_detail = ("PoA cannot rule out zone entrance at the "
+                           "incident time")
+
+        finding = ViolationFinding(
+            drone_id=report.drone_id, zone_id=report.zone_id,
+            incident_time=report.incident_time, violation=True,
+            kind=best_kind, detail=best_detail)
+        self.ledger.adjudicate(finding)
+        self._record_incident(report, finding)
+        return finding
+
+    def _record_incident(self, report: IncidentReport,
+                         finding: ViolationFinding) -> None:
+        self.events.record(
+            report.incident_time, "incident_adjudicated",
+            drone_id=report.drone_id, zone_id=report.zone_id,
+            violation=finding.violation,
+            violation_kind=finding.kind.value if finding.kind else None)
+
+    def _alibi_at(self, poa: ProofOfAlibi, zone: NoFlyZone,
+                  incident_time: float) -> bool:
+        """Whether the PoA pair bracketing the instant clears the zone."""
+        samples = [entry.sample for entry in poa]
+        for a, b in zip(samples, samples[1:]):
+            if a.t <= incident_time <= b.t:
+                return pair_is_sufficient(a, b, [zone], self.frame,
+                                          self.vmax_mps, self.verifier.method)
+        return False

@@ -1,0 +1,150 @@
+"""Auditor-side registries: drones and no-fly-zones.
+
+The drone registry is the ``(id_drone, D+, T+)`` table of §IV-B step 0;
+the NFZ database backs the zone query with a spatial index so rectangle
+lookups stay fast with many registered zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.nfz import NoFlyZone
+from repro.crypto.keys import key_fingerprint
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import RegistrationError
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.geo.spatial_index import GridIndex
+
+
+@dataclass(frozen=True, slots=True)
+class RegisteredDrone:
+    """One row of the drone table: ``(id_drone, D+, T+)``."""
+
+    drone_id: str
+    operator_public_key: RsaPublicKey
+    tee_public_key: RsaPublicKey
+    operator_name: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class RegisteredZone:
+    """One row of the NFZ table: ``(id_zone, z)`` plus ownership metadata."""
+
+    zone_id: str
+    zone: NoFlyZone
+    owner_name: str = ""
+
+
+class DroneRegistry:
+    """Issues drone identifiers and stores their verification keys."""
+
+    def __init__(self) -> None:
+        self._drones: dict[str, RegisteredDrone] = {}
+        self._tee_fingerprints: dict[str, str] = {}
+        self._counter = 0
+
+    def register(self, operator_public_key: RsaPublicKey,
+                 tee_public_key: RsaPublicKey,
+                 operator_name: str = "") -> RegisteredDrone:
+        """Add a drone; returns the record with its issued ``id_drone``.
+
+        Rejects a TEE key that is already registered: one physical device
+        maps to exactly one license plate.
+        """
+        fingerprint = key_fingerprint(tee_public_key)
+        if fingerprint in self._tee_fingerprints:
+            existing = self._tee_fingerprints[fingerprint]
+            raise RegistrationError(
+                f"TEE key already registered as drone {existing!r}")
+        self._counter += 1
+        drone_id = f"drone-{self._counter:06d}"
+        record = RegisteredDrone(drone_id=drone_id,
+                                 operator_public_key=operator_public_key,
+                                 tee_public_key=tee_public_key,
+                                 operator_name=operator_name)
+        self._drones[drone_id] = record
+        self._tee_fingerprints[fingerprint] = drone_id
+        return record
+
+    def lookup(self, drone_id: str) -> RegisteredDrone:
+        """The record for ``drone_id``; raises if unregistered."""
+        record = self._drones.get(drone_id)
+        if record is None:
+            raise RegistrationError(f"unknown drone id {drone_id!r}")
+        return record
+
+    def __contains__(self, drone_id: str) -> bool:
+        return drone_id in self._drones
+
+    def __len__(self) -> int:
+        return len(self._drones)
+
+
+class NfzDatabase:
+    """Spatially indexed NFZ registry."""
+
+    def __init__(self, frame: LocalFrame, cell_size_m: float = 500.0):
+        self.frame = frame
+        self._index: GridIndex[str] = GridIndex(cell_size_m)
+        self._zones: dict[str, RegisteredZone] = {}
+        self._counter = 0
+
+    def register(self, zone: NoFlyZone, owner_name: str = "",
+                 proof_of_ownership: str = "") -> RegisteredZone:
+        """Add a zone after a (modelled) ownership check."""
+        if not proof_of_ownership:
+            raise RegistrationError("zone registration requires proof of ownership")
+        self._counter += 1
+        zone_id = f"zone-{self._counter:06d}"
+        record = RegisteredZone(zone_id=zone_id, zone=zone,
+                                owner_name=owner_name)
+        self._zones[zone_id] = record
+        self._index.insert(zone_id, zone.to_circle(self.frame))
+        return record
+
+    def lookup(self, zone_id: str) -> RegisteredZone:
+        """The record for ``zone_id``; raises if unregistered."""
+        record = self._zones.get(zone_id)
+        if record is None:
+            raise RegistrationError(f"unknown zone id {zone_id!r}")
+        return record
+
+    def deregister(self, zone_id: str) -> RegisteredZone:
+        """Remove a zone (the owner withdrew it); returns the old record."""
+        record = self.lookup(zone_id)
+        del self._zones[zone_id]
+        self._index.remove(zone_id)
+        return record
+
+    def update(self, zone_id: str, zone: NoFlyZone) -> RegisteredZone:
+        """Replace a zone's geometry (e.g. a corrected survey).
+
+        The identifier and ownership metadata are preserved.
+        """
+        old = self.lookup(zone_id)
+        record = RegisteredZone(zone_id=zone_id, zone=zone,
+                                owner_name=old.owner_name)
+        self._zones[zone_id] = record
+        self._index.insert(zone_id, zone.to_circle(self.frame))
+        return record
+
+    def query_rect(self, corner_a: GeoPoint,
+                   corner_b: GeoPoint) -> list[RegisteredZone]:
+        """All zones whose circle intersects the geographic rectangle."""
+        ax, ay = self.frame.to_local(corner_a)
+        bx, by = self.frame.to_local(corner_b)
+        ids = self._index.query_rect(min(ax, bx), min(ay, by),
+                                     max(ax, bx), max(ay, by))
+        return [self._zones[zone_id] for zone_id in ids]
+
+    def all_zones(self) -> Iterator[RegisteredZone]:
+        """Every registered zone."""
+        return iter(self._zones.values())
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def __contains__(self, zone_id: str) -> bool:
+        return zone_id in self._zones

@@ -1,0 +1,20 @@
+"""Deterministic simulation kernel: virtual time and event logging."""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLog, Event
+
+__all__ = ["SimClock", "EventLog", "Event", "World", "DroneActor",
+           "CompositeSource"]
+
+_LAZY = {"World", "DroneActor", "CompositeSource"}
+
+
+def __getattr__(name):
+    # The world orchestrator imports the drone/server stacks, which import
+    # back into repro.sim for the clock and event log; loading it lazily
+    # (PEP 562) keeps `import repro.sim` cycle-free.
+    if name in _LAZY:
+        from repro.sim import world
+
+        return getattr(world, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""A structured event log for simulations.
+
+Workload runs append timestamped events (sample taken, zone approached,
+insufficiency detected...) that tests and analysis code can query without
+re-deriving them from raw output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One timestamped occurrence."""
+
+    time: float
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """An append-only, time-ordered event collection."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, time: float, kind: str, **detail: Any) -> None:
+        """Append an event."""
+        self._events.append(Event(time=time, kind=kind, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All events with the given kind, in order."""
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were recorded."""
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def between(self, t0: float, t1: float) -> list[Event]:
+        """Events with ``t0 <= time <= t1``."""
+        return [e for e in self._events if t0 <= e.time <= t1]

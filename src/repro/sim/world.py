@@ -1,0 +1,194 @@
+"""A multi-actor simulation world: one Auditor, many drones, many zones.
+
+Gives examples and integration tests a high-level API over the whole
+stack: add zones, add drones (each with its own provisioned TrustZone
+device and continuous position timeline), fly missions, submit PoAs, and
+adjudicate incidents — all on a shared virtual timeline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+
+from repro.core.nfz import NoFlyZone
+from repro.core.protocol import IncidentReport, ZoneRegistrationRequest
+from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.drone.client import AliDroneClient, FlightRecord
+from repro.drone.flightplan import FlightPlan
+from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
+from repro.errors import ConfigurationError, SimulationError
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+from repro.server.auditor import AliDroneServer
+from repro.server.violations import ViolationFinding
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+from repro.tee.attestation import TrustZoneDevice, provision_device
+
+Point = tuple[float, float]
+
+
+class CompositeSource:
+    """A continuous position timeline built from appended segments.
+
+    Between segments (and before the first / after the last) the drone is
+    parked at the adjacent segment's endpoint, so the receiver always has
+    a well-defined position.
+    """
+
+    def __init__(self, initial_position: Point, start_time: float):
+        self._segments: list[WaypointSource] = [
+            WaypointSource([(start_time, *initial_position)])]
+        self._starts = [start_time]
+
+    @property
+    def end_time(self) -> float:
+        """When the last appended segment ends."""
+        return self._segments[-1].end_time
+
+    def last_position(self) -> Point:
+        """Where the timeline currently ends."""
+        return self._segments[-1].position_at(self.end_time)
+
+    def append(self, segment: WaypointSource) -> None:
+        """Append a segment; it must not start before the timeline ends."""
+        if segment.start_time < self.end_time - 1e-9:
+            raise SimulationError(
+                "segment would overlap the existing timeline")
+        self._segments.append(segment)
+        self._starts.append(segment.start_time)
+
+    def position_at(self, t: float) -> Point:
+        """Position at ``t``: in-segment interpolation, else parked."""
+        index = bisect.bisect_right(self._starts, t) - 1
+        index = max(0, index)
+        segment = self._segments[index]
+        if t > segment.end_time and index + 1 < len(self._segments):
+            # Parked between segments: hold the endpoint.
+            return segment.position_at(segment.end_time)
+        return segment.position_at(t)
+
+
+@dataclass
+class DroneActor:
+    """One drone in the world: device, client, and its position timeline."""
+
+    name: str
+    device: TrustZoneDevice
+    client: AliDroneClient
+    timeline: CompositeSource
+    clock: SimClock
+    flights: list[FlightRecord] = field(default_factory=list)
+
+    @property
+    def drone_id(self) -> str:
+        """The Auditor-issued identifier."""
+        assert self.client.drone_id is not None
+        return self.client.drone_id
+
+
+class World:
+    """The orchestrator binding Auditor, zones, and drones together."""
+
+    def __init__(self, origin: GeoPoint = GeoPoint(40.1000, -88.2200),
+                 seed: int = 0, start_time: float = DEFAULT_EPOCH,
+                 key_bits: int = 1024, gps_rate_hz: float = 5.0,
+                 gps_noise_std_m: float = 1.0):
+        self.frame = LocalFrame(origin)
+        self.rng = random.Random(seed)
+        self.start_time = float(start_time)
+        self.key_bits = key_bits
+        self.gps_rate_hz = float(gps_rate_hz)
+        self.gps_noise_std_m = float(gps_noise_std_m)
+        self.server = AliDroneServer(self.frame, rng=random.Random(seed + 1),
+                                     encryption_key_bits=max(512, key_bits))
+        self._vendor_key: RsaPrivateKey = generate_rsa_keypair(
+            512, rng=random.Random(seed + 2))
+        self.drones: dict[str, DroneActor] = {}
+        self._device_counter = 0
+
+    # --- zones -----------------------------------------------------------
+
+    def register_zone(self, x: float, y: float, radius_m: float,
+                      owner_name: str = "", proof: str = "deed") -> str:
+        """Register a circular NFZ at local coordinates ``(x, y)``."""
+        center = self.frame.to_geo(x, y)
+        return self.server.register_zone(ZoneRegistrationRequest(
+            zone=NoFlyZone(center.lat, center.lon, radius_m),
+            proof_of_ownership=proof, owner_name=owner_name))
+
+    # --- drones -----------------------------------------------------------
+
+    def add_drone(self, name: str, home: Point = (0.0, 0.0)) -> DroneActor:
+        """Provision, wire, and register a new drone parked at ``home``."""
+        if name in self.drones:
+            raise ConfigurationError(f"drone name {name!r} already in use")
+        self._device_counter += 1
+        device = provision_device(
+            f"world-device-{self._device_counter:03d}",
+            key_bits=self.key_bits,
+            rng=random.Random(self.rng.randrange(2 ** 31)),
+            vendor_key=self._vendor_key)
+        timeline = CompositeSource(home, self.start_time)
+        clock = SimClock(self.start_time)
+        receiver = SimulatedGpsReceiver(
+            timeline, self.frame, update_rate_hz=self.gps_rate_hz,
+            start_time=self.start_time,
+            noise_std_m=self.gps_noise_std_m,
+            seed=self.rng.randrange(2 ** 31))
+        device.attach_gps(receiver, clock)
+        client = AliDroneClient(device, receiver, clock, self.frame,
+                                operator_name=name,
+                                rng=random.Random(self.rng.randrange(2 ** 31)))
+        client.register(self.server)
+        actor = DroneActor(name=name, device=device, client=client,
+                           timeline=timeline, clock=clock)
+        self.drones[name] = actor
+        return actor
+
+    # --- missions -----------------------------------------------------------
+
+    def fly_mission(self, name: str, waypoints: list[Point],
+                    policy: str = "adaptive",
+                    fixed_rate_hz: float | None = None,
+                    kinematics: DroneKinematics | None = None,
+                    query_zones: bool = True,
+                    submit: bool = True) -> FlightRecord:
+        """Fly ``name`` from its current position through ``waypoints``.
+
+        Queries the Auditor for zones over the mission rectangle (unless
+        disabled), flies, and submits the PoA.  The mission starts at the
+        drone's current clock time.
+        """
+        actor = self.drones[name]
+        start = max(actor.clock.now, actor.timeline.end_time)
+        actor.clock.advance_to(start)
+        route = [actor.timeline.last_position()] + list(waypoints)
+        segment = simulate_waypoint_flight(route, start,
+                                           kinematics=kinematics)
+        actor.timeline.append(segment)
+
+        if query_zones:
+            plan = FlightPlan([self.frame.to_geo(*p) for p in route],
+                              margin_m=300.0)
+            actor.client.query_zones(self.server, plan)
+
+        record = actor.client.fly(segment.end_time, policy=policy,
+                                  fixed_rate_hz=fixed_rate_hz)
+        actor.flights.append(record)
+        if submit:
+            actor.client.submit_poa(self.server, record)
+        return record
+
+    # --- incidents ------------------------------------------------------------
+
+    def report_incident(self, zone_id: str, drone_name: str,
+                        incident_time: float,
+                        description: str = "") -> ViolationFinding:
+        """A Zone Owner accuses a drone; the Auditor adjudicates."""
+        actor = self.drones[drone_name]
+        return self.server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=actor.drone_id,
+            incident_time=incident_time, description=description))

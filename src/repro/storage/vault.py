@@ -1,0 +1,107 @@
+"""The drone's local PoA vault (paper §V-C).
+
+One directory per vault; one file per flight, containing a JSON header
+(flight id, window, policy) and the hex-encoded Adapter-encrypted records.
+Records are ciphertext under the Auditor's key, so the vault can sit on
+the drone's untrusted SD card: a thief learns nothing, and tampering is
+caught by the TEE signatures at verification time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.poa import EncryptedPoaRecord
+from repro.errors import EncodingError
+
+_FILENAME_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class VaultEntry:
+    """One stored flight."""
+
+    flight_id: str
+    policy: str
+    claimed_start: float
+    claimed_end: float
+    records: tuple[EncryptedPoaRecord, ...]
+
+
+class PoaVault:
+    """Append-only per-flight PoA storage rooted at a directory."""
+
+    def __init__(self, root: pathlib.Path | str):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, flight_id: str) -> pathlib.Path:
+        safe = _FILENAME_SAFE.sub("_", flight_id)
+        return self.root / f"{safe}.poa.json"
+
+    def store(self, flight_id: str, policy: str, claimed_start: float,
+              claimed_end: float,
+              records: Sequence[EncryptedPoaRecord]) -> pathlib.Path:
+        """Persist one flight; refuses to overwrite (PoAs are evidence)."""
+        path = self._path_for(flight_id)
+        if path.exists():
+            raise EncodingError(f"flight {flight_id!r} is already stored")
+        document = {
+            "version": _FORMAT_VERSION,
+            "flight_id": flight_id,
+            "policy": policy,
+            "claimed_start": claimed_start,
+            "claimed_end": claimed_end,
+            "records": [{"ciphertext": r.ciphertext.hex(),
+                         "signature": r.signature.hex()} for r in records],
+        }
+        path.write_text(json.dumps(document, indent=1))
+        return path
+
+    def load(self, flight_id: str) -> VaultEntry:
+        """Load one flight; raises :class:`EncodingError` if absent/corrupt."""
+        path = self._path_for(flight_id)
+        if not path.exists():
+            raise EncodingError(f"no stored flight {flight_id!r}")
+        return self._parse(path)
+
+    @staticmethod
+    def _parse(path: pathlib.Path) -> VaultEntry:
+        try:
+            document = json.loads(path.read_text())
+            if document.get("version") != _FORMAT_VERSION:
+                raise EncodingError(
+                    f"unsupported vault format {document.get('version')!r}")
+            records = tuple(
+                EncryptedPoaRecord(ciphertext=bytes.fromhex(r["ciphertext"]),
+                                   signature=bytes.fromhex(r["signature"]))
+                for r in document["records"])
+            return VaultEntry(flight_id=document["flight_id"],
+                              policy=document["policy"],
+                              claimed_start=float(document["claimed_start"]),
+                              claimed_end=float(document["claimed_end"]),
+                              records=records)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise EncodingError(f"corrupt vault file {path.name}: {exc}") from exc
+
+    def flights(self) -> list[str]:
+        """Stored flight ids, sorted."""
+        ids = []
+        for path in sorted(self.root.glob("*.poa.json")):
+            try:
+                ids.append(self._parse(path).flight_id)
+            except EncodingError:
+                continue  # skip corrupt files when listing
+        return ids
+
+    def delete(self, flight_id: str) -> None:
+        """Remove a stored flight (after the retention window)."""
+        path = self._path_for(flight_id)
+        if not path.exists():
+            raise EncodingError(f"no stored flight {flight_id!r}")
+        path.unlink()

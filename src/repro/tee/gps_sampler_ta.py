@@ -1,0 +1,105 @@
+"""The GPS Sampler Trusted Application (paper §IV-C2, §V-B).
+
+A normal (non-privileged, dynamically loaded) TA.  Its one job: produce
+*authenticated* GPS samples.  ``GetGPSAuth`` reads the latest measurement
+from the secure-world GPS driver, encodes it as the canonical signed
+payload, and signs it with the TEE sign key ``T-`` unsealed from secure
+storage — the key never leaves the secure world.
+
+The prototype signs with ``TEE_ALG_RSASSA_PKCS1_V1_5_SHA1``; the hash is
+selectable at session-open for the modern-deployment variant.
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from typing import Any
+
+from repro.core.samples import GpsSample
+from repro.crypto.keys import private_key_from_bytes, public_key_to_bytes
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.errors import TrustedAppError
+from repro.tee.gps_driver import SecureGpsDriver
+from repro.tee.trusted_app import TrustedApplication
+from repro.tee.worlds import SecureKeyHandle
+
+#: Command: sample the GPS and return ``{"payload": bytes, "signature": bytes}``.
+CMD_GET_GPS_AUTH = "GetGPSAuth"
+#: Command: return the TEE verification key ``T+`` (public, freely shareable).
+CMD_GET_PUBLIC_KEY = "GetPublicKey"
+
+#: Sealed-storage entry name for the TEE sign key.
+SIGN_KEY_ENTRY = "tee-sign-key"
+
+GPS_SAMPLER_UUID = uuid_module.UUID("8aaaf200-2450-11e4-abe2-0002a5d5c51b")
+
+
+class GpsSamplerTA(TrustedApplication):
+    """Authenticated GPS sampling behind the ``GetGPSAuth`` interface."""
+
+    UUID = GPS_SAMPLER_UUID
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sign_key: SecureKeyHandle | None = None
+        self._hash_name = "sha1"
+        self.samples_signed = 0
+
+    def open_session(self, params: dict[str, Any]) -> None:
+        """Unseal the sign key; runs in the secure world at session open."""
+        hash_name = params.get("hash_name", "sha1")
+        if hash_name not in ("sha1", "sha256"):
+            raise TrustedAppError(f"unsupported signing hash: {hash_name!r}")
+        self._hash_name = hash_name
+        storage = self.core.sealed_storage
+        if storage is None:
+            raise TrustedAppError("device has no sealed storage provisioned")
+        key_bytes = storage.unseal(SIGN_KEY_ENTRY)
+        key = private_key_from_bytes(key_bytes)
+        self._sign_key = SecureKeyHandle(key, self.core.monitor.state,
+                                         "TEE sign key T-")
+
+    def close_session(self) -> None:
+        self._sign_key = None
+
+    def _driver(self) -> SecureGpsDriver:
+        return self.kernel_service(SecureGpsDriver.SERVICE_NAME)
+
+    def _consult_spoof_detector(self, fix) -> None:
+        """Decline to sign in a suspicious GPS environment (§VII-A2)."""
+        from repro.errors import TeeError
+        from repro.tee.spoof_detector import GpsSpoofingDetector
+
+        try:
+            detector = self.kernel_service(GpsSpoofingDetector.SERVICE_NAME)
+        except TeeError:
+            return  # detector not provisioned on this device
+        verdict = detector.observe(fix)
+        if verdict.suspicious:
+            self.core.op_counters["spoof_declines"] += 1
+            raise TrustedAppError(
+                f"GPS environment suspicious ({verdict.reason}); "
+                "declining to provide authenticity services")
+
+    def invoke_command(self, command: str, params: dict[str, Any]) -> Any:
+        if self._sign_key is None:
+            raise TrustedAppError("GPS Sampler session not opened")
+        if command == CMD_GET_GPS_AUTH:
+            return self._get_gps_auth()
+        if command == CMD_GET_PUBLIC_KEY:
+            key = self._sign_key.reveal()
+            return public_key_to_bytes(key.public_key)
+        raise TrustedAppError(f"GPS Sampler: unknown command {command!r}")
+
+    def _get_gps_auth(self) -> dict[str, bytes]:
+        fix = self._driver().get_gps()
+        self._consult_spoof_detector(fix)
+        sample = GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
+                           alt=fix.altitude_m)
+        payload = sample.to_signed_payload()
+        key = self._sign_key.reveal()
+        signature = sign_pkcs1_v15(key, payload, self._hash_name)
+        self.samples_signed += 1
+        self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
+        self.core.op_counters["gps_auth_samples"] += 1
+        return {"payload": payload, "signature": signature}

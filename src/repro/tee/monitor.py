@@ -1,0 +1,82 @@
+"""The Secure Monitor: the only door between the two worlds.
+
+Every normal-world request enters the secure world through
+:meth:`SecureMonitor.smc_call` — the simulator's Secure Monitor Call
+(Fig. 1).  The monitor flips the world flag around the dispatch, so secure
+resources guarded by :class:`~repro.tee.worlds.WorldState` are reachable
+exactly while a TA is handling a call, and it counts switches and
+per-command invocations for the performance model (world switches are one
+of the two dominant costs the adaptive sampler amortizes, §IV-C3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TeeError
+from repro.tee.worlds import World, WorldState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.tee.optee import OpTeeCore
+
+
+@dataclass
+class SmcStats:
+    """Counters the cost model consumes."""
+
+    world_switches: int = 0
+    calls_by_command: Counter[str] = field(default_factory=Counter)
+
+    @property
+    def total_calls(self) -> int:
+        """Total SMC invocations (each costs two world switches)."""
+        return sum(self.calls_by_command.values())
+
+
+class SecureMonitor:
+    """Dispatches SMCs into an :class:`~repro.tee.optee.OpTeeCore`."""
+
+    def __init__(self, core: "OpTeeCore"):
+        self.state = WorldState()
+        self.stats = SmcStats()
+        self._core = core
+        core._attach_monitor(self)
+
+    @property
+    def current_world(self) -> World:
+        """The currently executing world."""
+        return self.state.current
+
+    def smc_call(self, session_id: int, command: str, params: dict[str, Any]) -> Any:
+        """Trap to the secure world, dispatch to a TA session, return.
+
+        Re-entrant SMCs (a TA issuing an SMC) are rejected: OP-TEE TAs call
+        each other through internal APIs, not by re-trapping.
+        """
+        if self.state.current is World.SECURE:
+            raise TeeError("re-entrant SMC from the secure world")
+        self.stats.world_switches += 1  # normal -> secure
+        self.state._enter_secure()
+        try:
+            self.stats.calls_by_command[command] += 1
+            return self._core._dispatch(session_id, command, params)
+        finally:
+            self.state._exit_secure()
+            self.stats.world_switches += 1  # secure -> normal
+
+    def secure_boot_call(self, fn, *args, **kwargs):
+        """Run ``fn`` inside the secure world outside any TA session.
+
+        Models firmware-time execution (manufacture-time key provisioning,
+        secure boot).  Not reachable from deployed normal-world code paths;
+        only the provisioning flow in :mod:`repro.tee.attestation` uses it.
+        """
+        if self.state.current is World.SECURE:
+            raise TeeError("re-entrant secure boot call")
+        self.state._enter_secure()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.state._exit_secure()

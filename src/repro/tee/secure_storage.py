@@ -1,0 +1,78 @@
+"""Sealed storage: secrets at rest, opaque to the normal world.
+
+OP-TEE stores TA data in normal-world storage, sealed (encrypted and
+integrity-protected) under a device-unique hardware key so the rich OS can
+host the blobs without being able to read or undetectably modify them.  We
+seal with the one-time-pad-style authenticated stream cipher from
+:mod:`repro.crypto.onetime`, keyed per-entry from a device root key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.onetime import OneTimeKey, onetime_encrypt, onetime_decrypt
+from repro.errors import EncryptionError, TeeStorageError
+from repro.tee.worlds import SecureKeyHandle, WorldState
+
+
+class SealedStorage:
+    """A name → sealed-blob store bound to a device root key.
+
+    ``seal``/``unseal`` are secure-world operations (they require the root
+    key).  :meth:`raw_blobs` models the normal world's view: ciphertext
+    only.
+    """
+
+    def __init__(self, root_key: SecureKeyHandle[bytes], state: WorldState):
+        self._root_key = root_key
+        self._state = state
+        self._blobs: dict[str, bytes] = {}
+
+    def _entry_key(self, name: str) -> OneTimeKey:
+        root = self._root_key.reveal()  # faults outside the secure world
+        material = hashlib.sha256(root + b"|seal|" + name.encode()).digest()
+        return OneTimeKey(material)
+
+    def seal(self, name: str, secret: bytes) -> None:
+        """Store ``secret`` under ``name``; secure world only."""
+        self._state.require_secure(f"sealing storage entry {name!r}")
+        self._blobs[name] = onetime_encrypt(self._entry_key(name), secret)
+
+    def unseal(self, name: str) -> bytes:
+        """Recover the secret under ``name``; secure world only.
+
+        Raises:
+            TeeStorageError: unknown name, or blob tampered with.
+        """
+        self._state.require_secure(f"unsealing storage entry {name!r}")
+        blob = self._blobs.get(name)
+        if blob is None:
+            raise TeeStorageError(f"no sealed entry named {name!r}")
+        try:
+            return onetime_decrypt(self._entry_key(name), blob)
+        except EncryptionError as exc:
+            raise TeeStorageError(f"sealed entry {name!r} failed integrity check") from exc
+
+    def contains(self, name: str) -> bool:
+        """Whether an entry exists (names are not secret)."""
+        return name in self._blobs
+
+    def raw_blobs(self) -> dict[str, bytes]:
+        """The normal world's view: entry names and ciphertext blobs.
+
+        Exposed deliberately — tests use it to demonstrate that possession
+        of the blobs does not yield key material, and that blob tampering
+        is detected at unseal time.
+        """
+        return dict(self._blobs)
+
+    def tamper(self, name: str, blob: bytes) -> None:
+        """Overwrite a blob from the normal world (attack simulation).
+
+        The rich OS controls the backing store, so a malicious operator
+        *can* replace blobs; sealing only guarantees detection.
+        """
+        if name not in self._blobs:
+            raise TeeStorageError(f"no sealed entry named {name!r}")
+        self._blobs[name] = blob

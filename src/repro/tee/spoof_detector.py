@@ -1,0 +1,115 @@
+"""Secure-world GPS spoofing detection (paper §VII-A2).
+
+The paper's proposed mitigation for GPS spoofing: "embed the GPS spoofing
+detector into the secure world.  If the hardware is running in a
+suspicious environment, the GPS Sampler can decline to provide
+authenticity services."
+
+This detector runs as a secure-kernel service beside the GPS driver and
+applies three plausibility checks over the recent fix history:
+
+* **teleportation** — implied speed between consecutive fixes above the
+  physical bound (plus slack for GPS noise);
+* **time regression** — fix timestamps moving backwards;
+* **frozen clock** — position changing while the reported GPS time stays
+  still (a classic replay/synthesis artefact).
+
+When any check trips, the detector latches *suspicious* for a hold-down
+period; the GPS Sampler TA consults it before signing and refuses to
+authenticate samples while the environment looks hostile — failing closed
+exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gps.nmea import GpsFix
+from repro.tee.worlds import WorldState
+from repro.units import FAA_MAX_SPEED_MPS, EARTH_RADIUS_M
+
+
+@dataclass(frozen=True, slots=True)
+class SpoofVerdict:
+    """The detector's current assessment."""
+
+    suspicious: bool
+    reason: str = ""
+
+
+class GpsSpoofingDetector:
+    """Plausibility monitor over the secure-world fix stream."""
+
+    SERVICE_NAME = "gps-spoof-detector"
+
+    def __init__(self, state: WorldState,
+                 vmax_mps: float = FAA_MAX_SPEED_MPS,
+                 speed_slack: float = 1.5,
+                 frozen_clock_moves_m: float = 5.0,
+                 hold_down_s: float = 30.0,
+                 history: int = 16):
+        if speed_slack < 1.0:
+            raise ConfigurationError("speed_slack must be at least 1.0")
+        if hold_down_s < 0:
+            raise ConfigurationError("hold_down must be non-negative")
+        self._state = state
+        self.vmax_mps = float(vmax_mps)
+        self.speed_slack = float(speed_slack)
+        self.frozen_clock_moves_m = float(frozen_clock_moves_m)
+        self.hold_down_s = float(hold_down_s)
+        self._fixes: deque[GpsFix] = deque(maxlen=history)
+        self._suspicious_until: float | None = None
+        self._last_reason = ""
+        self.trips = 0
+
+    @staticmethod
+    def _distance_m(a: GpsFix, b: GpsFix) -> float:
+        # Equirectangular over the short inter-fix baseline.
+        mean_lat = math.radians((a.lat + b.lat) / 2.0)
+        dx = math.radians(b.lon - a.lon) * math.cos(mean_lat) * EARTH_RADIUS_M
+        dy = math.radians(b.lat - a.lat) * EARTH_RADIUS_M
+        return math.hypot(dx, dy)
+
+    def observe(self, fix: GpsFix) -> SpoofVerdict:
+        """Feed one fix; returns the current verdict.  Secure world only."""
+        self._state.require_secure("GPS spoofing detector")
+        previous = self._fixes[-1] if self._fixes else None
+        if previous is not None and fix.time != previous.time:
+            self._check_pair(previous, fix)
+        elif previous is not None:
+            distance = self._distance_m(previous, fix)
+            if distance > self.frozen_clock_moves_m:
+                self._trip(fix.time,
+                           f"position moved {distance:.0f} m on a frozen "
+                           "GPS clock")
+        if not self._fixes or fix.time >= self._fixes[-1].time:
+            self._fixes.append(fix)
+        return self.verdict(fix.time)
+
+    def _check_pair(self, previous: GpsFix, fix: GpsFix) -> None:
+        dt = fix.time - previous.time
+        if dt < 0:
+            self._trip(previous.time, "GPS time moved backwards")
+            return
+        distance = self._distance_m(previous, fix)
+        speed = distance / dt
+        if speed > self.vmax_mps * self.speed_slack:
+            self._trip(fix.time,
+                       f"implied speed {speed:.0f} m/s exceeds the physical "
+                       f"bound ({self.vmax_mps * self.speed_slack:.0f} m/s)")
+
+    def _trip(self, now: float, reason: str) -> None:
+        self.trips += 1
+        self._last_reason = reason
+        self._suspicious_until = now + self.hold_down_s
+
+    def verdict(self, now: float) -> SpoofVerdict:
+        """The verdict at time ``now``.  Secure world only."""
+        self._state.require_secure("GPS spoofing detector")
+        if (self._suspicious_until is not None
+                and now <= self._suspicious_until):
+            return SpoofVerdict(suspicious=True, reason=self._last_reason)
+        return SpoofVerdict(suspicious=False)

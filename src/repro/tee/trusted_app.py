@@ -1,0 +1,89 @@
+"""Trusted Application base classes (paper §II-C).
+
+OP-TEE distinguishes two TA flavours:
+
+* normal **TAs** run in non-privileged secure mode, are signed by a vendor
+  key, live in *untrusted* storage, and are dynamically loaded by UUID via
+  the tee-supplicant.  They cannot map peripherals.
+* **Pseudo TAs (PTAs)** are statically linked into the OP-TEE core, run
+  privileged, and may map peripherals by physical address.
+
+The GPS Sampler is a normal TA; the GPS driver it reads from is a kernel
+service of the core (reachable only from secure-world code).
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TrustedAppError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.tee.optee import OpTeeCore
+
+
+class TrustedApplication:
+    """Base class for dynamically loaded, non-privileged TAs.
+
+    Subclasses set :attr:`UUID` and implement :meth:`invoke_command`.
+    Instances only ever execute inside the secure world (the core
+    instantiates them during an SMC dispatch).
+    """
+
+    #: GlobalPlatform-style TA identity; subclasses must override.
+    UUID: uuid_module.UUID = uuid_module.UUID(int=0)
+
+    def __init__(self) -> None:
+        self._core: "OpTeeCore | None" = None
+
+    @property
+    def core(self) -> "OpTeeCore":
+        """The hosting OP-TEE core (set when the TA is loaded)."""
+        if self._core is None:
+            raise TrustedAppError("TA is not loaded into a core")
+        return self._core
+
+    def on_load(self, core: "OpTeeCore") -> None:
+        """Called once when the core instantiates the TA."""
+        self._core = core
+
+    def open_session(self, params: dict[str, Any]) -> None:
+        """Per-session initialization hook (GlobalPlatform OpenSession)."""
+
+    def close_session(self) -> None:
+        """Per-session teardown hook (GlobalPlatform CloseSession)."""
+
+    def invoke_command(self, command: str, params: dict[str, Any]) -> Any:
+        """Handle one command; must be overridden."""
+        raise TrustedAppError(f"TA {type(self).__name__} handles no commands")
+
+    def map_device(self, name: str) -> Any:
+        """Normal TAs cannot map peripherals (paper §II-C)."""
+        raise TrustedAppError(
+            f"non-privileged TA {type(self).__name__} cannot map device {name!r}")
+
+    def kernel_service(self, name: str) -> Any:
+        """Access a secure-kernel service (e.g. the GPS driver)."""
+        return self.core.kernel_service(name)
+
+
+class PseudoTrustedApplication(TrustedApplication):
+    """A privileged, statically built-in TA with peripheral access."""
+
+    def map_device(self, name: str) -> Any:
+        """Map a peripheral from the device tree (privileged)."""
+        return self.core.device(name)
+
+
+@dataclass
+class TaSession:
+    """An open session between a normal-world client and a TA instance."""
+
+    session_id: int
+    ta: TrustedApplication
+
+    def close(self) -> None:
+        """Run the TA's session teardown."""
+        self.ta.close_session()

@@ -1,0 +1,93 @@
+"""World state and secure key handles.
+
+TrustZone hardware tags every bus transaction with a non-secure (NS) bit
+and faults normal-world accesses to secure resources.  The simulator's
+equivalent: a :class:`WorldState` flag owned by the secure monitor, and
+:class:`SecureKeyHandle` wrappers that check the flag before revealing key
+material.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generic, TypeVar
+
+from repro.errors import WorldIsolationError
+
+T = TypeVar("T")
+
+
+class World(enum.Enum):
+    """Which world the (single-core) processor is currently executing in."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+class WorldState:
+    """The current-world flag; mutated only by the secure monitor."""
+
+    def __init__(self) -> None:
+        self._world = World.NORMAL
+
+    @property
+    def current(self) -> World:
+        """The currently executing world."""
+        return self._world
+
+    def _enter_secure(self) -> None:
+        self._world = World.SECURE
+
+    def _exit_secure(self) -> None:
+        self._world = World.NORMAL
+
+    def require_secure(self, what: str) -> None:
+        """Fault (raise) unless the secure world is executing."""
+        if self._world is not World.SECURE:
+            raise WorldIsolationError(
+                f"normal-world access to secure resource: {what}")
+
+
+class SecureKeyHandle(Generic[T]):
+    """An opaque handle to secret material owned by the secure world.
+
+    The wrapped value (an RSA private key, an HMAC key, ...) is only
+    retrievable while the secure world is executing.  Normal-world code can
+    hold and pass the handle around freely — exactly like a GlobalPlatform
+    object handle — but every extraction path raises
+    :class:`WorldIsolationError` outside the TEE.
+    """
+
+    __slots__ = ("_value", "_state", "_label")
+
+    def __init__(self, value: T, state: WorldState, label: str):
+        self._value = value
+        self._state = state
+        self._label = label
+
+    @property
+    def label(self) -> str:
+        """Human-readable handle label (safe to expose)."""
+        return self._label
+
+    def reveal(self) -> T:
+        """The wrapped secret; secure world only."""
+        self._state.require_secure(f"key handle {self._label!r}")
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<SecureKeyHandle {self._label!r}>"
+
+    # Defensive: block the obvious accidental-disclosure channels.
+    def __str__(self) -> str:
+        return repr(self)
+
+    def __reduce__(self):  # pickling would serialize the secret
+        raise WorldIsolationError(
+            f"key handle {self._label!r} cannot be serialized out of the TEE")
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)

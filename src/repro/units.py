@@ -1,0 +1,87 @@
+"""Unit conversions and physical constants used throughout the system.
+
+The paper mixes units freely: NFZ radii in feet and miles, speeds in mph,
+GPS rates in Hz.  Internally every geometric computation in :mod:`repro`
+uses **metres** and **seconds**; this module is the single place where the
+conversions and the FAA constants live.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- length ---------------------------------------------------------------
+
+METERS_PER_FOOT = 0.3048
+METERS_PER_MILE = 1609.344
+FEET_PER_MILE = 5280.0
+
+# --- speed ----------------------------------------------------------------
+
+MPS_PER_MPH = METERS_PER_MILE / 3600.0  # 0.44704
+
+# --- FAA constants (paper §IV-C1, §VI-A2) ----------------------------------
+
+#: Maximum drone speed under FAA Part 107 (100 mph), in m/s.
+FAA_MAX_SPEED_MPS = 100.0 * MPS_PER_MPH
+
+#: FAA airport no-fly radius (5 miles), in metres.
+FAA_AIRPORT_NFZ_RADIUS_M = 5.0 * METERS_PER_MILE
+
+#: Commercial GPS receivers update at up to 5 Hz (paper §IV-C3).
+GPS_MAX_UPDATE_RATE_HZ = 5.0
+
+# --- earth model ------------------------------------------------------------
+
+#: Mean earth radius (spherical model), metres.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def feet_to_meters(feet: float) -> float:
+    """Convert feet to metres."""
+    return feet * METERS_PER_FOOT
+
+
+def meters_to_feet(meters: float) -> float:
+    """Convert metres to feet."""
+    return meters / METERS_PER_FOOT
+
+
+def miles_to_meters(miles: float) -> float:
+    """Convert statute miles to metres."""
+    return miles * METERS_PER_MILE
+
+
+def meters_to_miles(meters: float) -> float:
+    """Convert metres to statute miles."""
+    return meters / METERS_PER_MILE
+
+
+def mph_to_mps(mph: float) -> float:
+    """Convert miles-per-hour to metres-per-second."""
+    return mph * MPS_PER_MPH
+
+
+def mps_to_mph(mps: float) -> float:
+    """Convert metres-per-second to miles-per-hour."""
+    return mps / MPS_PER_MPH
+
+
+def knots_to_mps(knots: float) -> float:
+    """Convert knots (used by NMEA $GPRMC speed-over-ground) to m/s."""
+    return knots * 1852.0 / 3600.0
+
+
+def mps_to_knots(mps: float) -> float:
+    """Convert m/s to knots."""
+    return mps * 3600.0 / 1852.0
+
+
+def degrees_to_radians(degrees: float) -> float:
+    """Convert degrees to radians (thin wrapper for symmetry)."""
+    return math.radians(degrees)
+
+
+def radians_to_degrees(radians: float) -> float:
+    """Convert radians to degrees (thin wrapper for symmetry)."""
+    return math.degrees(radians)

@@ -1,0 +1,23 @@
+"""Workloads: synthetic equivalents of the paper's field studies.
+
+The paper collected vehicle GPS traces around a real county; those traces
+are not published, so each scenario builder synthesizes a trace matched to
+every quantitative detail §VI reports (distances, durations, zone counts
+and radii, closest approaches) and replays it through the real pipeline.
+"""
+
+from repro.workloads.scenario import Scenario
+from repro.workloads.runner import run_policy, PolicyRun, provision_run_device
+from repro.workloads.airport import build_airport_scenario
+from repro.workloads.residential import build_residential_scenario
+from repro.workloads.synthetic import build_random_scenario
+
+__all__ = [
+    "Scenario",
+    "run_policy",
+    "PolicyRun",
+    "provision_run_device",
+    "build_airport_scenario",
+    "build_residential_scenario",
+    "build_random_scenario",
+]

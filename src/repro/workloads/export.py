@@ -1,0 +1,105 @@
+"""GeoJSON export of scenarios and flight traces.
+
+Every scenario (zones + ground-truth track) and every PoA trace can be
+dumped as a GeoJSON FeatureCollection for inspection in standard GIS
+tooling (geojson.io, QGIS, Leaflet).  Zones are exported both as their
+centre points (with a ``radius_m`` property — GeoJSON has no native
+circle) and as 64-gon polygon approximations for direct rendering.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Sequence
+
+from repro.core.nfz import NoFlyZone
+from repro.core.samples import GpsSample
+from repro.geo.geodesy import LocalFrame
+from repro.workloads.scenario import Scenario
+
+
+def _zone_polygon(zone: NoFlyZone, frame: LocalFrame,
+                  segments: int = 64) -> list[list[float]]:
+    cx, cy = frame.to_local(zone.center)
+    ring = []
+    for k in range(segments + 1):
+        angle = 2.0 * math.pi * k / segments
+        point = frame.to_geo(cx + zone.radius_m * math.cos(angle),
+                             cy + zone.radius_m * math.sin(angle))
+        ring.append([round(point.lon, 7), round(point.lat, 7)])
+    return ring
+
+
+def zones_to_features(zones: Sequence[NoFlyZone],
+                      frame: LocalFrame) -> list[dict]:
+    """One point feature and one polygon feature per zone."""
+    features = []
+    for index, zone in enumerate(zones):
+        features.append({
+            "type": "Feature",
+            "properties": {"kind": "nfz-center", "index": index,
+                           "radius_m": zone.radius_m},
+            "geometry": {"type": "Point",
+                         "coordinates": [round(zone.lon, 7),
+                                         round(zone.lat, 7)]},
+        })
+        features.append({
+            "type": "Feature",
+            "properties": {"kind": "nfz-footprint", "index": index},
+            "geometry": {"type": "Polygon",
+                         "coordinates": [_zone_polygon(zone, frame)]},
+        })
+    return features
+
+
+def track_to_feature(scenario: Scenario, step_s: float = 1.0) -> dict:
+    """The ground-truth trajectory as a LineString feature."""
+    coordinates = []
+    t = scenario.t_start
+    while t <= scenario.t_end + 1e-9:
+        x, y = scenario.source.position_at(t)
+        point = scenario.frame.to_geo(x, y)
+        coordinates.append([round(point.lon, 7), round(point.lat, 7)])
+        t += step_s
+    return {
+        "type": "Feature",
+        "properties": {"kind": "ground-truth-track",
+                       "name": scenario.name,
+                       "duration_s": scenario.duration},
+        "geometry": {"type": "LineString", "coordinates": coordinates},
+    }
+
+
+def samples_to_feature(samples: Sequence[GpsSample],
+                       label: str = "poa-samples") -> dict:
+    """Authenticated PoA samples as a MultiPoint feature with timestamps."""
+    return {
+        "type": "Feature",
+        "properties": {"kind": label,
+                       "timestamps": [round(s.t, 3) for s in samples]},
+        "geometry": {"type": "MultiPoint",
+                     "coordinates": [[round(s.lon, 7), round(s.lat, 7)]
+                                     for s in samples]},
+    }
+
+
+def scenario_to_geojson(scenario: Scenario,
+                        poa_samples: Sequence[GpsSample] = (),
+                        track_step_s: float = 1.0) -> dict:
+    """The full scenario as a GeoJSON FeatureCollection (as a dict)."""
+    features = zones_to_features(scenario.zones, scenario.frame)
+    features.append(track_to_feature(scenario, step_s=track_step_s))
+    if poa_samples:
+        features.append(samples_to_feature(list(poa_samples)))
+    return {"type": "FeatureCollection",
+            "properties": {"name": scenario.name,
+                           "description": scenario.description},
+            "features": features}
+
+
+def scenario_to_geojson_str(scenario: Scenario,
+                            poa_samples: Sequence[GpsSample] = (),
+                            **kwargs) -> str:
+    """JSON-serialized form of :func:`scenario_to_geojson`."""
+    return json.dumps(scenario_to_geojson(scenario, poa_samples, **kwargs))

@@ -1,0 +1,62 @@
+"""The scenario container shared by all workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.nfz import NoFlyZone
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import LocalFrame
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+
+
+@dataclass
+class Scenario:
+    """A reproducible workload: trajectory, zones, and receiver settings.
+
+    Attributes:
+        name: short identifier (used in benchmark output).
+        description: one-line human description.
+        frame: the local planar frame the zones/trajectory live in.
+        zones: the no-fly-zones in force.
+        source: the ground-truth trajectory.
+        t_start, t_end: the observation window.
+        gps_noise_std_m: receiver position noise.
+        gps_miss_probability: random update-miss probability.
+        forced_miss_times: instants whose *enclosing update slot* is
+            always missed (scripted hardware hiccups — rate-independent).
+    """
+
+    name: str
+    description: str
+    frame: LocalFrame
+    zones: list[NoFlyZone]
+    source: WaypointSource
+    t_start: float
+    t_end: float
+    gps_noise_std_m: float = 0.0
+    gps_miss_probability: float = 0.0
+    forced_miss_times: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ConfigurationError("scenario window must be positive")
+
+    @property
+    def duration(self) -> float:
+        """Observation window length in seconds."""
+        return self.t_end - self.t_start
+
+    def make_receiver(self, update_rate_hz: float = 5.0,
+                      seed: int = 0) -> SimulatedGpsReceiver:
+        """A fresh receiver for one run (receivers are stateful)."""
+        forced = frozenset(
+            int(round((t - self.t_start) * update_rate_hz))
+            for t in self.forced_miss_times)
+        return SimulatedGpsReceiver(
+            source=self.source, frame=self.frame,
+            update_rate_hz=update_rate_hz, start_time=self.t_start,
+            noise_std_m=self.gps_noise_std_m,
+            miss_probability=self.gps_miss_probability,
+            forced_miss_indices=forced, seed=seed)

@@ -1,0 +1,72 @@
+"""Randomized scenario generation for stress tests and property tests.
+
+Generates a random field of NFZs and a drone flight that legally crosses
+it (planned with the visibility-graph router), so tests can assert the
+whole pipeline on arbitrary geometry, not just the two field studies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.nfz import NoFlyZone
+from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
+from repro.drone.routing import RouteError, plan_route
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.workloads.scenario import Scenario
+
+
+def build_random_scenario(seed: int = 0, n_zones: int = 12,
+                          area_m: float = 2_000.0,
+                          zone_radius_range: tuple[float, float] = (15.0, 80.0),
+                          clearance_m: float = 40.0,
+                          origin: GeoPoint = GeoPoint(40.2000, -88.3000),
+                          max_attempts: int = 50) -> Scenario:
+    """A random NFZ field plus a compliant drone flight across it.
+
+    The start/goal sit on opposite edges of the square area; zones are
+    rejected if they swallow an endpoint.  Raises
+    :class:`ConfigurationError` if no routable layout is found within
+    ``max_attempts`` re-rolls (dense layouts with large zones can wall the
+    area off).
+    """
+    rng = random.Random(seed)
+    frame = LocalFrame(origin)
+    start = (0.0, area_m / 2.0)
+    goal = (area_m, area_m / 2.0)
+
+    for _ in range(max_attempts):
+        zones: list[NoFlyZone] = []
+        while len(zones) < n_zones:
+            r = rng.uniform(*zone_radius_range)
+            x = rng.uniform(0.15 * area_m, 0.85 * area_m)
+            y = rng.uniform(0.1 * area_m, 0.9 * area_m)
+            if (math.dist((x, y), start) < r + clearance_m + 10.0
+                    or math.dist((x, y), goal) < r + clearance_m + 10.0):
+                continue
+            center = frame.to_geo(x, y)
+            zones.append(NoFlyZone(center.lat, center.lon, r))
+        try:
+            route = plan_route(start, goal, zones, frame,
+                               clearance_m=clearance_m)
+        except RouteError:
+            continue
+        t0 = DEFAULT_EPOCH
+        source = simulate_waypoint_flight(route, t0,
+                                          kinematics=DroneKinematics())
+        return Scenario(
+            name=f"random-{seed}",
+            description=(f"{n_zones} random NFZs in a {area_m:.0f} m square "
+                         f"with a planned compliant crossing"),
+            frame=frame,
+            zones=zones,
+            source=source,
+            t_start=t0,
+            t_end=t0 + source.duration,
+            gps_noise_std_m=1.0,
+        )
+    raise ConfigurationError(
+        f"no routable random scenario found in {max_attempts} attempts")

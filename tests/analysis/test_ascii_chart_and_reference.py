@@ -1,0 +1,94 @@
+"""Tests for the ASCII chart renderer and the paper-reference data."""
+
+import pytest
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis import paper_reference as ref
+from repro.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [(0, 0)]}, width=4, height=2)
+
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart({"alpha": [(0.0, 1.0), (10.0, 5.0)],
+                            "beta": [(5.0, 3.0)]})
+        assert "*" in text and "+" in text
+        assert "*=alpha" in text and "+=beta" in text
+
+    def test_axis_extremes_labeled(self):
+        text = ascii_chart({"s": [(2.0, 10.0), (20.0, 100.0)]},
+                           x_label="t", y_label="v")
+        assert "100" in text
+        assert "10" in text
+        assert "20" in text
+
+    def test_monotone_series_renders_monotone(self):
+        series = [(float(i), float(i)) for i in range(20)]
+        text = ascii_chart({"line": series}, width=20, height=10)
+        rows = [line.split("|", 1)[1] for line in text.splitlines()
+                if "|" in line]
+        # Marker columns must be non-increasing in row index as x grows.
+        positions = {}
+        for row_index, row in enumerate(rows):
+            for col, char in enumerate(row):
+                if char == "*":
+                    positions.setdefault(col, row_index)
+        columns = sorted(positions)
+        row_indices = [positions[c] for c in columns]
+        assert row_indices == sorted(row_indices, reverse=True)
+
+    def test_log_scale_compresses_high_values(self):
+        series = [(0.0, 1.0), (1.0, 10.0), (2.0, 100.0), (3.0, 1000.0)]
+        text = ascii_chart({"s": series}, log_y=True, height=10, width=20)
+        assert "(log y)" in text
+
+    def test_title_included(self):
+        assert ascii_chart({"s": [(0, 0), (1, 1)]},
+                           title="My Chart").startswith("My Chart")
+
+    def test_constant_series(self):
+        text = ascii_chart({"flat": [(0.0, 5.0), (10.0, 5.0)]})
+        assert "*" in text
+
+
+class TestPaperReference:
+    def test_fig6_constants(self):
+        assert ref.FIG6_FIXED_1HZ_SAMPLES == 649
+        assert ref.FIG6_ADAPTIVE_SAMPLES == 14
+
+    def test_fig8_ordering(self):
+        c = ref.FIG8C_INSUFFICIENT
+        assert c["2hz"] > c["3hz"] > c["5hz"] == c["adaptive"] == 1
+
+    def test_table2_dash_cells(self):
+        assert not ref.table2_cell(2048, "Fixed 5 Hz").sustained
+        assert not ref.table2_cell(2048, "Residential").sustained
+        assert ref.table2_cell(1024, "Fixed 5 Hz").sustained
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            ref.table2_cell(4096, "Fixed 9 Hz")
+
+    def test_power_cells_satisfy_equation_4(self):
+        for cell in ref.TABLE2.values():
+            if cell.cpu_mean is None or cell.power_w is None:
+                continue
+            expected = ref.POWER_IDLE_W + ref.POWER_SLOPE_W * cell.cpu_mean / 100.0
+            assert cell.power_w == pytest.approx(expected, abs=3e-4)
+
+    def test_derived_ratio(self):
+        assert ref.derived_sign_cost_ratio() == pytest.approx(5.1, abs=0.1)
+
+    def test_derived_costs_consistent_with_cells(self):
+        """t_sign(bits) * rate * 100 / cores ~= the fixed-rate CPU cells."""
+        for bits in (1024, 2048):
+            for rate in (2.0, 3.0):
+                cell = ref.table2_cell(bits, f"Fixed {rate:g} Hz")
+                implied = ref.DERIVED_SIGN_COST_S[bits] * rate * 100.0 / 4.0
+                assert implied == pytest.approx(cell.cpu_mean, rel=0.03)

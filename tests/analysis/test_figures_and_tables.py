@@ -1,0 +1,126 @@
+"""Tests for repro.analysis: figure series and Table II computation."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig6_cumulative_samples,
+    fig8a_nearest_distance,
+    fig8b_instantaneous_rate,
+    fig8c_cumulative_insufficiency,
+)
+from repro.analysis.report import format_feet, render_series, render_table2
+from repro.analysis.tables import Table2Row, compute_table2
+from repro.perf.costs import RASPBERRY_PI_3
+from repro.perf.meter import Measurement
+from repro.workloads import run_policy
+
+
+@pytest.fixture(scope="module")
+def adaptive_run(residential_scenario):
+    return run_policy(residential_scenario, "adaptive", key_bits=512)
+
+
+@pytest.fixture(scope="module")
+def airport_adaptive(airport_scenario):
+    return run_policy(airport_scenario, "adaptive", key_bits=512)
+
+
+class TestFigureSeries:
+    def test_fig6_monotone_cumulative(self, airport_adaptive):
+        series = fig6_cumulative_samples(airport_adaptive)
+        counts = [c for _, c in series]
+        assert counts == sorted(counts)
+        assert counts[-1] == airport_adaptive.sample_count
+
+    def test_fig6_starts_near_30ft(self, airport_adaptive):
+        series = fig6_cumulative_samples(airport_adaptive)
+        assert series[0][0] == pytest.approx(30.0, abs=15.0)
+
+    def test_fig8a_covers_run_and_matches_paper_bands(self,
+                                                      residential_scenario):
+        series = fig8a_nearest_distance(residential_scenario)
+        assert series[0][0] == 0.0
+        assert series[-1][0] == pytest.approx(residential_scenario.duration,
+                                              abs=1.0)
+        distances = [d for _, d in series]
+        assert 15.0 < min(distances) < 30.0       # closest approach ~21 ft
+        assert max(distances) < 200.0
+
+    def test_fig8b_rate_bounded_by_receiver(self, adaptive_run):
+        series = fig8b_instantaneous_rate(adaptive_run)
+        rates = [r for _, r in series]
+        assert max(rates) <= 5.0 + 0.5
+        assert min(rates) >= 0.0
+
+    def test_fig8b_total_integrates_to_sample_count(self, adaptive_run):
+        series = fig8b_instantaneous_rate(adaptive_run, window_s=4.0,
+                                          step_s=1.0)
+        integrated = sum(rate for _, rate in series)
+        assert integrated == pytest.approx(adaptive_run.sample_count,
+                                           rel=0.15)
+
+    def test_fig8c_cumulative_monotone(self, residential_scenario):
+        run = run_policy(residential_scenario, "fixed", 2.0, key_bits=512)
+        series = fig8c_cumulative_insufficiency(run)
+        counts = [c for _, c in series]
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # Fixed-rate rows only: the scenario rows are exercised by the
+        # benchmark harness (they re-run the field studies).
+        return compute_table2(include_scenarios=False)
+
+    def _cell(self, rows, bits, case):
+        for row in rows:
+            if row.key_bits == bits and row.case == case:
+                return row
+        raise AssertionError(f"missing row {bits}/{case}")
+
+    def test_paper_1024_cells(self, rows):
+        for rate, expected in [(2, 2.17), (3, 3.17), (5, 5.59)]:
+            row = self._cell(rows, 1024, f"Fixed {rate} Hz")
+            assert row.cpu_percent.mean == pytest.approx(expected, abs=0.45)
+
+    def test_paper_2048_cells(self, rows):
+        assert self._cell(rows, 2048, "Fixed 2 Hz").cpu_percent.mean == (
+            pytest.approx(10.94, abs=0.6))
+        assert self._cell(rows, 2048, "Fixed 3 Hz").cpu_percent.mean == (
+            pytest.approx(16.81, abs=0.8))
+
+    def test_2048_5hz_unsustainable(self, rows):
+        row = self._cell(rows, 2048, "Fixed 5 Hz")
+        assert row.cpu_percent is None
+        assert not row.sustained
+
+    def test_power_column_follows_equation_4(self, rows):
+        row = self._cell(rows, 1024, "Fixed 2 Hz")
+        expected = 1.5778 + 0.181 * row.cpu_percent.mean / 100.0
+        assert row.power_w == pytest.approx(expected, abs=1e-6)
+
+
+class TestRendering:
+    def test_render_table2_layout(self):
+        rows = [Table2Row(1024, "Fixed 2 Hz", Measurement(2.17, 0.05),
+                          1.5817, 600),
+                Table2Row(2048, "Fixed 5 Hz", None, None)]
+        text = render_table2(rows)
+        assert "Fixed 2 Hz" in text
+        assert "-" in text
+        assert "Memory: 3.27 MB" in text
+
+    def test_render_series_decimates(self):
+        series = [(float(i), float(i * i)) for i in range(100)]
+        text = render_series("title", series, "x", "y", max_points=10)
+        assert text.count("\n") <= 13
+        assert "99.0" in text            # endpoint kept
+
+    def test_render_empty_series(self):
+        assert "(empty)" in render_series("t", [], "x", "y")
+
+    def test_format_feet(self):
+        assert format_feet(30.0) == "30.0 ft"
+        assert format_feet(15840.0) == "15,840 ft"

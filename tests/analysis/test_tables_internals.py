@@ -1,0 +1,47 @@
+"""Unit tests for analysis.tables internals and the scenario rows."""
+
+import pytest
+
+from repro.analysis.tables import _peak_rate_hz, compute_table2
+from repro.perf.costs import CostModel
+
+
+class TestPeakRate:
+    def test_empty(self):
+        assert _peak_rate_hz([]) == 0.0
+
+    def test_uniform_rate(self):
+        times = [i * 0.5 for i in range(20)]          # 2 Hz
+        assert _peak_rate_hz(times, window_s=2.0) == pytest.approx(2.0)
+
+    def test_burst_detected(self):
+        # 1 Hz background with a 5 Hz burst in the middle.
+        times = [float(i) for i in range(10)]
+        times += [5.0 + 0.2 * i for i in range(10)]
+        times.sort()
+        assert _peak_rate_hz(sorted(times), window_s=2.0) >= 5.0
+
+    def test_single_sample(self):
+        assert _peak_rate_hz([3.0], window_s=2.0) == pytest.approx(0.5)
+
+
+class TestScenarioSustainability:
+    def test_slow_platform_cannot_sustain_any_scenario(self):
+        """A hypothetical platform with 1-second signs fails everything."""
+        glacial = CostModel(sign_seconds={1024: 1.0, 2048: 5.0},
+                            encrypt_seconds={1024: 0.01, 2048: 0.05})
+        rows = compute_table2(costs=glacial, key_sizes=(1024,),
+                              rates=(2.0,), include_scenarios=False)
+        assert all(row.cpu_percent is None for row in rows)
+
+    def test_fast_platform_sustains_everything(self):
+        instant = CostModel(sign_seconds={1024: 1e-4, 2048: 5e-4},
+                            encrypt_seconds={1024: 1e-5, 2048: 5e-5})
+        rows = compute_table2(costs=instant, include_scenarios=False)
+        assert all(row.cpu_percent is not None for row in rows)
+
+    def test_unknown_scenario_rejected(self):
+        from repro.analysis.tables import _scenario_row
+        from repro.perf.costs import RASPBERRY_PI_3
+        with pytest.raises(ValueError):
+            _scenario_row("Volcano", 1024, RASPBERRY_PI_3, seed=0)

@@ -1,0 +1,114 @@
+"""Tests for the ``alidrone`` CLI."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--seed", "7", "--key-bits", "512",
+                                          "fig6"])
+        assert args.seed == 7
+        assert args.key_bits == 512
+
+    def test_invalid_key_bits_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--key-bits", "333", "fig6"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.zones == 12
+        assert args.policy == "adaptive"
+
+
+class TestCommands:
+    def test_simulate_compliant_exit_code(self, capsys):
+        code = main(["--seed", "1", "--key-bits", "512", "simulate",
+                     "--zones", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict         : compliant" in out
+        assert "signatures OK   : True" in out
+
+    def test_simulate_fixed_policy(self, capsys):
+        code = main(["--seed", "1", "--key-bits", "512", "simulate",
+                     "--zones", "4", "--policy", "fixed", "--rate", "2"])
+        assert code == 0
+        assert "fixed-2hz" in capsys.readouterr().out
+
+    def test_table2_fixed_only(self, capsys):
+        code = main(["--key-bits", "512", "table2", "--fixed-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fixed 2 Hz" in out
+        assert "Memory: 3.27 MB" in out
+        # The 2048/5Hz "-" cell renders.
+        assert "-" in out
+
+    def test_fig6(self, capsys):
+        code = main(["--key-bits", "512", "fig6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "649 samples (paper: 649)" in out
+        assert "adaptive series:" in out
+
+    @pytest.mark.slow
+    def test_fig8(self, capsys):
+        code = main(["--key-bits", "512", "fig8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "insufficient PoA pairs" in out
+        assert "(paper: 39)" in out
+
+
+class TestAttacksCommand:
+    @pytest.mark.slow
+    def test_attacks_walkthrough_runs(self, capsys):
+        code = main(["attacks"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("VIOLATION") >= 5
+
+
+class TestExportAndCalibrate:
+    def test_export_to_stdout(self, capsys):
+        code = main(["export", "--scenario", "airport", "--step", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        import json
+        document = json.loads(out)
+        assert document["type"] == "FeatureCollection"
+
+    def test_export_to_file(self, tmp_path, capsys):
+        target = tmp_path / "res.geojson"
+        code = main(["export", "--scenario", "residential", "--out",
+                     str(target), "--step", "20"])
+        assert code == 0
+        import json
+        document = json.loads(target.read_text())
+        centers = [f for f in document["features"]
+                   if f["properties"]["kind"] == "nfz-center"]
+        assert len(centers) == 94
+
+    def test_calibrate_prints_local_table(self, capsys):
+        code = main(["calibrate", "--repetitions", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RSA-1024 sign" in out
+        assert "Table II re-predicted" in out
+        assert "Fixed 5 Hz" in out
+
+
+class TestErrorHandling:
+    def test_fixed_policy_without_rate_exits_cleanly(self, capsys):
+        code = main(["--key-bits", "512", "simulate", "--zones", "4",
+                     "--policy", "fixed"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err
+        assert "Traceback" not in captured.err

@@ -1,0 +1,109 @@
+"""Shared fixtures: deterministic keys, frames, devices, and scenarios.
+
+Expensive artefacts (RSA keys, field-study scenarios) are session-scoped;
+anything stateful (devices, receivers, clocks) is built fresh per test via
+factory fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+from repro.tee.attestation import TrustZoneDevice, provision_device
+
+#: Key size used throughout the tests: small enough to be fast, large
+#: enough for PKCS#1 v1.5 framing with SHA-1 and SHA-256 DigestInfo.
+TEST_KEY_BITS = 512
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xA11D)
+
+
+@pytest.fixture(scope="session")
+def frame() -> LocalFrame:
+    """A local frame anchored near the paper's field-study area."""
+    return LocalFrame(GeoPoint(40.1000, -88.2200))
+
+
+@pytest.fixture(scope="session")
+def signing_key() -> RsaPrivateKey:
+    """A deterministic test RSA keypair."""
+    return generate_rsa_keypair(TEST_KEY_BITS, rng=random.Random(101))
+
+
+@pytest.fixture(scope="session")
+def other_key() -> RsaPrivateKey:
+    """A second, distinct keypair (wrong-key tests)."""
+    return generate_rsa_keypair(TEST_KEY_BITS, rng=random.Random(202))
+
+
+@pytest.fixture(scope="session")
+def vendor_key() -> RsaPrivateKey:
+    """The TA-vendor signing key shared by test devices."""
+    return generate_rsa_keypair(TEST_KEY_BITS, rng=random.Random(303))
+
+
+@pytest.fixture()
+def make_device(vendor_key):
+    """Factory for fresh provisioned TrustZone devices."""
+    counter = {"n": 0}
+
+    def _make(seed: int = 1, key_bits: int = TEST_KEY_BITS) -> TrustZoneDevice:
+        counter["n"] += 1
+        return provision_device(f"test-dev-{counter['n']}",
+                                key_bits=key_bits,
+                                rng=random.Random(seed),
+                                vendor_key=vendor_key)
+
+    return _make
+
+
+@pytest.fixture()
+def straight_source() -> WaypointSource:
+    """A simple 60-second, 300 m straight drive starting at the epoch."""
+    t0 = DEFAULT_EPOCH
+    return WaypointSource([(t0, 0.0, 0.0), (t0 + 60.0, 300.0, 0.0)])
+
+
+@pytest.fixture()
+def make_platform(make_device, frame, straight_source):
+    """Factory assembling (device, receiver, clock) over a source."""
+
+    def _make(source: WaypointSource | None = None,
+              update_rate_hz: float = 5.0, seed: int = 1,
+              **receiver_kwargs):
+        src = source if source is not None else straight_source
+        clock = SimClock(src.start_time)
+        receiver = SimulatedGpsReceiver(src, frame,
+                                        update_rate_hz=update_rate_hz,
+                                        start_time=src.start_time,
+                                        seed=seed, **receiver_kwargs)
+        device = make_device(seed=seed)
+        device.attach_gps(receiver, clock)
+        return device, receiver, clock
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def airport_scenario():
+    """The airport field-study scenario (built once)."""
+    from repro.workloads.airport import build_airport_scenario
+    return build_airport_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def residential_scenario():
+    """The residential field-study scenario (built once)."""
+    from repro.workloads.residential import build_residential_scenario
+    return build_residential_scenario(seed=0)

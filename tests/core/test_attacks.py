@@ -1,0 +1,148 @@
+"""Tests for repro.core.attacks: every forgery strategy must be caught."""
+
+import random
+
+import pytest
+
+from repro.core.attacks import (
+    forge_straight_route,
+    relay_foreign_poa,
+    replay_old_poa,
+    shuffle_poa,
+    splice_poas,
+    tamper_with_samples,
+)
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.verification import PoaVerifier, VerificationStatus
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.geo.geodesy import GeoPoint
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def signed(key, sample):
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+def sample_at(frame, x, y, t):
+    point = frame.to_geo(x, y)
+    return GpsSample(lat=point.lat, lon=point.lon, t=T0 + t)
+
+
+@pytest.fixture()
+def verifier(frame):
+    return PoaVerifier(frame)
+
+
+@pytest.fixture()
+def zone(frame):
+    center = frame.to_geo(0.0, 0.0)
+    return NoFlyZone(center.lat, center.lon, 50.0)
+
+
+@pytest.fixture()
+def honest_poa(signing_key, frame):
+    return ProofOfAlibi(
+        signed(signing_key, sample_at(frame, 200.0 + 10.0 * i, 0.0, float(i)))
+        for i in range(10))
+
+
+class TestForgeStraightRoute:
+    def test_signatures_fail_under_registered_key(self, verifier, frame,
+                                                  signing_key, other_key,
+                                                  zone):
+        forged = forge_straight_route(
+            frame.to_geo(300, 0), frame.to_geo(400, 0),
+            T0, T0 + 20.0, 15, attacker_key=other_key)
+        report = verifier.verify(forged, signing_key.public_key, [zone])
+        assert report.status is VerificationStatus.REJECTED_BAD_SIGNATURE
+
+    def test_forged_route_internally_consistent(self, other_key, frame):
+        """The forgery is a *good* forgery: valid under the attacker key."""
+        forged = forge_straight_route(GeoPoint(40.0, -88.0),
+                                      GeoPoint(40.01, -88.0),
+                                      T0, T0 + 30.0, 10,
+                                      attacker_key=other_key)
+        assert forged.verify_all(other_key.public_key)
+        times = [e.sample.t for e in forged]
+        assert times == sorted(times)
+
+
+class TestTampering:
+    def test_shifted_samples_fail_signature(self, verifier, honest_poa,
+                                            signing_key, zone):
+        moved = tamper_with_samples(honest_poa, 0.01, 0.0)
+        report = verifier.verify(moved, signing_key.public_key, [zone])
+        assert report.status is VerificationStatus.REJECTED_BAD_SIGNATURE
+
+    def test_partial_tampering_identified(self, verifier, honest_poa,
+                                          signing_key, zone):
+        moved = tamper_with_samples(honest_poa, 0.01, 0.0, indices=[2, 5])
+        report = verifier.verify(moved, signing_key.public_key, [zone])
+        assert report.bad_signature_indices == [2, 5]
+
+    def test_untampered_entries_untouched(self, honest_poa):
+        moved = tamper_with_samples(honest_poa, 0.01, 0.0, indices=[0])
+        assert moved[1] == honest_poa[1]
+
+
+class TestReplay:
+    def test_replayed_poa_does_not_cover_new_incident(self, honest_poa,
+                                                      frame, zone):
+        """Replay keeps valid signatures but old timestamps."""
+        replayed = replay_old_poa(honest_poa)
+        incident_time = T0 + 3600.0  # during the *new* flight
+        samples = [e.sample for e in replayed]
+        assert not any(a.t <= incident_time <= b.t
+                       for a, b in zip(samples, samples[1:]))
+
+
+class TestRelay:
+    def test_foreign_poa_fails_key_binding(self, verifier, frame, other_key,
+                                           signing_key, zone):
+        accomplice_poa = ProofOfAlibi(
+            signed(other_key, sample_at(frame, 200.0 + 10 * i, 0, float(i)))
+            for i in range(5))
+        relayed = relay_foreign_poa(accomplice_poa)
+        # Valid under the accomplice's key...
+        assert relayed.verify_all(other_key.public_key)
+        # ...but rejected under the accused drone's registered key.
+        report = verifier.verify(relayed, signing_key.public_key, [zone])
+        assert report.status is VerificationStatus.REJECTED_BAD_SIGNATURE
+
+
+class TestSplice:
+    def test_splice_detected_as_infeasible_or_insufficient(self, verifier,
+                                                           signing_key,
+                                                           frame, zone):
+        """Honest before/after segments around an incursion can't hide it."""
+        before = ProofOfAlibi(
+            signed(signing_key, sample_at(frame, 200 + 5 * i, 0, float(i)))
+            for i in range(4))
+        # After segment: far side of the zone, resuming much later — the
+        # junction pair either implies a teleport or admits zone entry.
+        after = ProofOfAlibi(
+            signed(signing_key, sample_at(frame, -300 - 5 * i, 0, 10.0 + i))
+            for i in range(4))
+        spliced = splice_poas(before, after)
+        report = verifier.verify(spliced, signing_key.public_key, [zone])
+        assert report.status in (VerificationStatus.REJECTED_INFEASIBLE,
+                                 VerificationStatus.INSUFFICIENT)
+        assert not report.compliant
+
+
+class TestShuffle:
+    def test_reordered_poa_rejected(self, verifier, honest_poa, signing_key,
+                                    zone):
+        shuffled = shuffle_poa(honest_poa, random.Random(1))
+        # Guard against the identity shuffle.
+        if [e.sample.t for e in shuffled] == [e.sample.t for e in honest_poa]:
+            pytest.skip("shuffle happened to be identity")
+        report = verifier.verify(shuffled, signing_key.public_key, [zone])
+        assert report.status in (VerificationStatus.REJECTED_MALFORMED,
+                                 VerificationStatus.REJECTED_INFEASIBLE)

@@ -1,0 +1,133 @@
+"""Tests for the incremental (real-time) verifier."""
+
+import pytest
+
+from repro.core.incremental import EntryVerdict, IncrementalVerifier
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.verification import PoaVerifier, VerificationStatus
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def signed(key, frame, x, y, t):
+    point = frame.to_geo(x, y)
+    sample = GpsSample(lat=point.lat, lon=point.lon, t=T0 + t)
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+@pytest.fixture()
+def zone(frame):
+    center = frame.to_geo(0.0, 0.0)
+    return NoFlyZone(center.lat, center.lon, 50.0)
+
+
+@pytest.fixture()
+def verifier(signing_key, frame, zone):
+    return IncrementalVerifier(signing_key.public_key, [zone], frame)
+
+
+class TestEntryClassification:
+    def test_first_sample_accepted(self, verifier, signing_key, frame):
+        verdict = verifier.push(signed(signing_key, frame, 300, 0, 0.0))
+        assert verdict is EntryVerdict.ACCEPTED
+        assert verifier.last_sample is not None
+
+    def test_dense_compliant_stream_accepted(self, verifier, signing_key,
+                                             frame):
+        for i in range(6):
+            verdict = verifier.push(
+                signed(signing_key, frame, 300.0 + 20 * i, 0, float(i)))
+            assert verdict is EntryVerdict.ACCEPTED
+        assert verifier.report().status is VerificationStatus.ACCEPTED
+
+    def test_bad_signature_rejected_and_anchor_unchanged(self, verifier,
+                                                         signing_key,
+                                                         other_key, frame):
+        verifier.push(signed(signing_key, frame, 300, 0, 0.0))
+        anchor = verifier.last_sample
+        verdict = verifier.push(signed(other_key, frame, 320, 0, 1.0))
+        assert verdict is EntryVerdict.REJECTED_SIGNATURE
+        assert verifier.last_sample == anchor
+
+    def test_time_regression_rejected(self, verifier, signing_key, frame):
+        verifier.push(signed(signing_key, frame, 300, 0, 5.0))
+        verdict = verifier.push(signed(signing_key, frame, 310, 0, 2.0))
+        assert verdict is EntryVerdict.REJECTED_ORDER
+
+    def test_teleport_rejected(self, verifier, signing_key, frame):
+        verifier.push(signed(signing_key, frame, 300, 0, 0.0))
+        verdict = verifier.push(signed(signing_key, frame, 20_300, 0, 1.0))
+        assert verdict is EntryVerdict.REJECTED_INFEASIBLE
+
+    def test_wide_gap_near_zone_is_insufficient(self, verifier, signing_key,
+                                                frame):
+        verifier.push(signed(signing_key, frame, 200, 0, 0.0))
+        verdict = verifier.push(signed(signing_key, frame, 260, 0, 60.0))
+        assert verdict is EntryVerdict.INSUFFICIENT_PAIR
+        assert verifier.report().status is VerificationStatus.INSUFFICIENT
+
+    def test_malformed_payload_rejected(self, verifier, signing_key):
+        payload = b"not a gps payload at all!!!!!!!!!!!!"
+        entry = SignedSample(payload=payload,
+                             signature=sign_pkcs1_v15(signing_key, payload))
+        assert verifier.push(entry) is EntryVerdict.REJECTED_MALFORMED
+
+
+class TestReportSemantics:
+    def test_empty_stream(self, verifier):
+        assert verifier.report().status is VerificationStatus.REJECTED_EMPTY
+
+    def test_single_sample_with_zone_insufficient(self, verifier,
+                                                  signing_key, frame):
+        verifier.push(signed(signing_key, frame, 300, 0, 0.0))
+        assert verifier.report().status is VerificationStatus.INSUFFICIENT
+
+    def test_rejection_dominates_sufficiency(self, verifier, signing_key,
+                                             other_key, frame):
+        for i in range(4):
+            verifier.push(signed(signing_key, frame, 300.0 + 20 * i, 0,
+                                 float(i)))
+        verifier.push(signed(other_key, frame, 400, 0, 4.0))
+        assert verifier.report().status is (
+            VerificationStatus.REJECTED_BAD_SIGNATURE)
+
+    def test_matches_batch_verifier_on_clean_stream(self, signing_key,
+                                                    frame, zone):
+        entries = [signed(signing_key, frame, 250.0 + 15 * i, 0.0,
+                          float(i) * 0.7)
+                   for i in range(12)]
+        incremental = IncrementalVerifier(signing_key.public_key, [zone],
+                                          frame)
+        for entry in entries:
+            incremental.push(entry)
+        batch = PoaVerifier(frame).verify(ProofOfAlibi(entries),
+                                          signing_key.public_key, [zone])
+        assert incremental.report().status == batch.status
+
+    def test_matches_batch_verifier_on_insufficient_stream(self, signing_key,
+                                                           frame, zone):
+        entries = [signed(signing_key, frame, 200.0, 0.0, 0.0),
+                   signed(signing_key, frame, 260.0, 0.0, 60.0),
+                   signed(signing_key, frame, 280.0, 0.0, 61.0)]
+        incremental = IncrementalVerifier(signing_key.public_key, [zone],
+                                          frame)
+        for entry in entries:
+            incremental.push(entry)
+        batch = PoaVerifier(frame).verify(ProofOfAlibi(entries),
+                                          signing_key.public_key, [zone])
+        assert incremental.report().status == batch.status
+
+    def test_state_counters(self, verifier, signing_key, other_key, frame):
+        verifier.push(signed(signing_key, frame, 300, 0, 0.0))
+        verifier.push(signed(other_key, frame, 310, 0, 1.0))
+        verifier.push(signed(signing_key, frame, 320, 0, 2.0))
+        state = verifier.state
+        assert state.entries_seen == 3
+        assert state.entries_accepted == 2
+        assert state.rejected == {"bad_signature": 1}

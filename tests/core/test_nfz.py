@@ -1,0 +1,93 @@
+"""Tests for repro.core.nfz."""
+
+import math
+
+import pytest
+
+from repro.core.nfz import CylinderNfz, NoFlyZone, PolygonNfz
+from repro.errors import GeometryError
+from repro.units import feet_to_meters
+
+
+class TestNoFlyZone:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            NoFlyZone(40.0, -88.0, -5.0)
+
+    def test_invalid_center_rejected(self):
+        with pytest.raises(GeometryError):
+            NoFlyZone(95.0, 0.0, 10.0)
+
+    def test_to_circle(self, frame):
+        zone = NoFlyZone(frame.origin.lat, frame.origin.lon, 30.0)
+        circle = zone.to_circle(frame)
+        assert circle.center == pytest.approx((0.0, 0.0))
+        assert circle.r == 30.0
+
+    def test_boundary_distance(self, frame):
+        center = frame.to_geo(100.0, 0.0)
+        zone = NoFlyZone(center.lat, center.lon, 30.0)
+        assert zone.boundary_distance_m((0.0, 0.0), frame) == pytest.approx(
+            70.0, abs=1e-6)
+
+
+class TestCylinderNfz:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(GeometryError):
+            CylinderNfz(40.0, -88.0, -1.0, 10.0)
+        with pytest.raises(GeometryError):
+            CylinderNfz(40.0, -88.0, 100.0, -10.0)
+
+    def test_to_cylinder(self, frame):
+        zone = CylinderNfz(frame.origin.lat, frame.origin.lon,
+                           ceiling_m=120.0, radius_m=25.0)
+        cyl = zone.to_cylinder(frame)
+        assert cyl.height == 120.0
+        assert cyl.r == 25.0
+
+    def test_footprint(self, frame):
+        zone = CylinderNfz(40.0, -88.0, ceiling_m=120.0, radius_m=25.0)
+        footprint = zone.footprint()
+        assert footprint.radius_m == 25.0
+        assert footprint.lat == zone.lat
+
+
+class TestPolygonNfz:
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            PolygonNfz([(40.0, -88.0), (40.1, -88.0)])
+
+    def test_canonical_circle_covers_vertices(self, frame):
+        corners_local = [(0.0, 0.0), (100.0, 0.0), (100.0, 60.0), (0.0, 60.0)]
+        vertices = [(frame.to_geo(x, y).lat, frame.to_geo(x, y).lon)
+                    for x, y in corners_local]
+        zone = PolygonNfz(vertices)
+        canonical = zone.canonical_circle(frame)
+        circle = canonical.to_circle(frame)
+        for x, y in corners_local:
+            assert circle.contains((x, y), tol=1e-3)
+
+    def test_canonical_circle_radius_half_diagonal(self, frame):
+        corners_local = [(0.0, 0.0), (60.0, 0.0), (60.0, 80.0), (0.0, 80.0)]
+        vertices = [(frame.to_geo(x, y).lat, frame.to_geo(x, y).lon)
+                    for x, y in corners_local]
+        canonical = PolygonNfz(vertices).canonical_circle(frame)
+        assert canonical.radius_m == pytest.approx(50.0, rel=1e-4)
+
+    def test_to_polygon(self, frame):
+        vertices = [(frame.to_geo(0, 0).lat, frame.to_geo(0, 0).lon),
+                    (frame.to_geo(30, 0).lat, frame.to_geo(30, 0).lon),
+                    (frame.to_geo(0, 40).lat, frame.to_geo(0, 40).lon)]
+        poly = PolygonNfz(vertices).to_polygon(frame)
+        assert poly.area() == pytest.approx(600.0, rel=1e-4)
+
+
+class TestPaperConstants:
+    def test_house_zone_radius(self):
+        """The residential zones use the paper's 20 ft radius."""
+        from repro.workloads.residential import HOUSE_NFZ_RADIUS_M
+        assert HOUSE_NFZ_RADIUS_M == pytest.approx(feet_to_meters(20.0))
+
+    def test_airport_zone_radius(self):
+        from repro.workloads.airport import AIRPORT_NFZ_RADIUS_M
+        assert AIRPORT_NFZ_RADIUS_M == pytest.approx(5.0 * 1609.344)

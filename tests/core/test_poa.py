@@ -1,0 +1,115 @@
+"""Tests for repro.core.poa."""
+
+import pytest
+
+from repro.core.poa import (
+    EncryptedPoaRecord,
+    ProofOfAlibi,
+    SignedSample,
+    decrypt_poa,
+    encrypt_poa,
+)
+from repro.core.samples import GpsSample
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.errors import EncodingError, EncryptionError
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def poa(signing_key):
+    entries = []
+    for i in range(5):
+        sample = GpsSample(lat=40.0 + i * 1e-4, lon=-88.0, t=T0 + i)
+        payload = sample.to_signed_payload()
+        entries.append(SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(signing_key, payload, "sha1")))
+    return ProofOfAlibi(entries)
+
+
+class TestSignedSample:
+    def test_sample_decoding(self, poa):
+        assert poa[0].sample.t == pytest.approx(T0)
+
+    def test_verify_good_and_bad_key(self, poa, signing_key, other_key):
+        assert poa[0].verify(signing_key.public_key)
+        assert not poa[0].verify(other_key.public_key)
+
+    def test_from_ta_output(self, signing_key):
+        sample = GpsSample(lat=1.0, lon=2.0, t=T0)
+        payload = sample.to_signed_payload()
+        out = {"payload": payload,
+               "signature": sign_pkcs1_v15(signing_key, payload)}
+        entry = SignedSample.from_ta_output(out)
+        assert entry.verify(signing_key.public_key)
+
+
+class TestProofOfAlibi:
+    def test_container_protocol(self, poa):
+        assert len(poa) == 5
+        assert list(poa)[0] == poa[0]
+        assert len(poa.entries) == 5
+
+    def test_trace_decoding(self, poa):
+        trace = poa.trace()
+        assert len(trace) == 5
+        assert trace[4].t - trace[0].t == pytest.approx(4.0)
+
+    def test_verify_all(self, poa, signing_key, other_key):
+        assert poa.verify_all(signing_key.public_key)
+        assert not poa.verify_all(other_key.public_key)
+
+    def test_verify_all_one_bad_entry(self, poa, signing_key):
+        bad = ProofOfAlibi(list(poa.entries[:-1])
+                           + [SignedSample(payload=poa[4].payload,
+                                           signature=b"\x00" * 64)])
+        assert not bad.verify_all(signing_key.public_key)
+
+    def test_serialization_round_trip(self, poa):
+        restored = ProofOfAlibi.from_bytes(poa.to_bytes())
+        assert restored.entries == poa.entries
+
+    def test_empty_serialization(self):
+        assert ProofOfAlibi.from_bytes(ProofOfAlibi().to_bytes()).entries == ()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda data: data[:-1],           # truncated body
+        lambda data: data + b"\x00",      # trailing bytes
+        lambda data: data[:2],            # truncated header
+    ])
+    def test_malformed_bytes_rejected(self, poa, mutate):
+        with pytest.raises(EncodingError):
+            ProofOfAlibi.from_bytes(mutate(poa.to_bytes()))
+
+
+class TestPoaEncryption:
+    def test_round_trip(self, poa, other_key, rng):
+        # other_key plays the Auditor's encryption keypair.
+        records = encrypt_poa(poa, other_key.public_key, rng=rng)
+        restored = decrypt_poa(records, other_key)
+        assert restored.entries == poa.entries
+
+    def test_ciphertext_hides_payload(self, poa, other_key, rng):
+        records = encrypt_poa(poa, other_key.public_key, rng=rng)
+        for record, entry in zip(records, poa):
+            assert entry.payload not in record.ciphertext
+
+    def test_signature_stays_cleartext(self, poa, other_key, rng):
+        records = encrypt_poa(poa, other_key.public_key, rng=rng)
+        assert records[0].signature == poa[0].signature
+
+    def test_tampered_record_rejected(self, poa, other_key, rng):
+        records = encrypt_poa(poa, other_key.public_key, rng=rng)
+        bad = EncryptedPoaRecord(
+            ciphertext=bytes(records[0].ciphertext[:-1])
+            + bytes([records[0].ciphertext[-1] ^ 1]),
+            signature=records[0].signature)
+        with pytest.raises(EncryptionError):
+            decrypt_poa([bad], other_key)
+
+    def test_wrong_key_rejected(self, poa, signing_key, other_key, rng):
+        records = encrypt_poa(poa, other_key.public_key, rng=rng)
+        with pytest.raises(EncryptionError):
+            decrypt_poa(records, signing_key)

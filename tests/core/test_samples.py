@@ -1,0 +1,109 @@
+"""Tests for repro.core.samples."""
+
+import math
+
+import pytest
+
+from repro.core.samples import GpsSample, Trace
+from repro.errors import EncodingError, GeometryError
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+class TestGpsSample:
+    def test_valid_construction(self):
+        s = GpsSample(lat=40.0, lon=-88.0, t=T0)
+        assert s.alt is None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(lat=91.0, lon=0.0, t=0.0),
+        dict(lat=0.0, lon=181.0, t=0.0),
+        dict(lat=float("nan"), lon=0.0, t=0.0),
+        dict(lat=0.0, lon=0.0, t=float("inf")),
+        dict(lat=0.0, lon=0.0, t=0.0, alt=float("nan")),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(GeometryError):
+            GpsSample(**kwargs)
+
+    def test_payload_round_trip_2d(self):
+        s = GpsSample(lat=40.1234567, lon=-88.7654321, t=T0 + 1.25)
+        back = GpsSample.from_signed_payload(s.to_signed_payload())
+        assert back.lat == pytest.approx(s.lat, abs=1e-7)
+        assert back.lon == pytest.approx(s.lon, abs=1e-7)
+        assert back.t == pytest.approx(s.t, abs=1e-6)
+        assert back.alt is None
+
+    def test_payload_round_trip_3d(self):
+        s = GpsSample(lat=40.0, lon=-88.0, t=T0, alt=120.505)
+        back = GpsSample.from_signed_payload(s.to_signed_payload())
+        assert back.alt == pytest.approx(120.505, abs=1e-3)
+
+    def test_payload_is_fixed_length(self):
+        a = GpsSample(lat=0.0, lon=0.0, t=0.0)
+        b = GpsSample(lat=-89.9999999, lon=179.9999999, t=T0 + 86400.0,
+                      alt=5000.0)
+        assert len(a.to_signed_payload()) == len(b.to_signed_payload()) == 36
+
+    def test_canonical_is_idempotent(self):
+        s = GpsSample(lat=40.123456789, lon=-88.98765432, t=T0 + 0.123456789)
+        c = s.canonical()
+        assert c.canonical() == c
+        assert c.to_signed_payload() == s.to_signed_payload()
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            GpsSample.from_signed_payload(b"garbage")
+        with pytest.raises(EncodingError):
+            GpsSample.from_signed_payload(b"XXXX" + b"\x00" * 32)
+
+    def test_local_position(self, frame):
+        s = GpsSample(lat=frame.origin.lat, lon=frame.origin.lon, t=T0)
+        assert s.local_position(frame) == pytest.approx((0.0, 0.0))
+
+
+class TestTrace:
+    def _sample(self, t, x=0.0):
+        return GpsSample(lat=40.0 + x * 1e-5, lon=-88.0, t=t)
+
+    def test_append_enforces_time_order(self):
+        trace = Trace([self._sample(T0), self._sample(T0 + 1)])
+        with pytest.raises(GeometryError):
+            trace.append(self._sample(T0 + 0.5))
+
+    def test_equal_timestamps_allowed(self):
+        trace = Trace([self._sample(T0), self._sample(T0)])
+        assert len(trace) == 2
+
+    def test_iteration_and_indexing(self):
+        samples = [self._sample(T0 + i) for i in range(4)]
+        trace = Trace(samples)
+        assert list(trace) == samples
+        assert trace[2] == samples[2]
+        assert trace.samples == tuple(samples)
+
+    def test_duration(self):
+        trace = Trace([self._sample(T0), self._sample(T0 + 7.5)])
+        assert trace.duration == 7.5
+        assert Trace([self._sample(T0)]).duration == 0.0
+        assert Trace().duration == 0.0
+
+    def test_pairs(self):
+        trace = Trace([self._sample(T0 + i) for i in range(3)])
+        pairs = list(trace.pairs())
+        assert len(pairs) == 2
+        assert pairs[0][1] == pairs[1][0]
+
+    def test_max_speed(self, frame):
+        a = GpsSample(lat=frame.origin.lat, lon=frame.origin.lon, t=T0)
+        point = frame.to_geo(100.0, 0.0)
+        b = GpsSample(lat=point.lat, lon=point.lon, t=T0 + 10.0)
+        trace = Trace([a, b])
+        assert trace.max_speed_mps(frame) == pytest.approx(10.0, rel=1e-6)
+
+    def test_max_speed_zero_dt_is_infinite(self, frame):
+        a = GpsSample(lat=frame.origin.lat, lon=frame.origin.lon, t=T0)
+        point = frame.to_geo(1.0, 0.0)
+        b = GpsSample(lat=point.lat, lon=point.lon, t=T0)
+        assert math.isinf(Trace([a, b]).max_speed_mps(frame))

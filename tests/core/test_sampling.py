@@ -1,0 +1,161 @@
+"""Tests for repro.core.sampling: Algorithm 1 and the fix-rate baseline.
+
+These drive the real Adapter/TEE/receiver stack via the make_platform
+fixture, since sampler behaviour depends on the receiver's update
+discipline.
+"""
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.sampling import AdaptiveSampler, FixRateSampler
+from repro.core.sufficiency import alibi_is_sufficient
+from repro.drone.adapter import Adapter
+from repro.errors import ConfigurationError
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def make_adapter(make_platform, source=None, **kwargs):
+    device, receiver, clock = make_platform(source=source, **kwargs)
+    adapter = Adapter(device, receiver, clock)
+    adapter.start()
+    return adapter
+
+
+def zone_at(frame, x, y, r):
+    center = frame.to_geo(x, y)
+    return NoFlyZone(center.lat, center.lon, r)
+
+
+class TestFixRateSampler:
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixRateSampler(0.0)
+
+    def test_1hz_sample_count(self, make_platform):
+        adapter = make_adapter(make_platform)
+        result = FixRateSampler(1.0).run(adapter, T0 + 30.0)
+        assert result.stats.auth_samples == 31  # t = 0..30 inclusive
+
+    def test_rate_capped_by_receiver(self, make_platform):
+        """Asking for 10 Hz from a 5 Hz receiver yields ~5 Hz."""
+        adapter = make_adapter(make_platform)
+        result = FixRateSampler(10.0).run(adapter, T0 + 10.0)
+        assert result.stats.auth_samples == pytest.approx(51, abs=2)
+
+    def test_sampler_waits_for_update(self, make_platform):
+        """The paper's example: 3 Hz wakes sample at 0.0, 0.4, 0.8 s."""
+        adapter = make_adapter(make_platform)
+        result = FixRateSampler(3.0).run(adapter, T0 + 0.9)
+        times = [entry.sample.t - T0 for entry in result.poa]
+        assert times == pytest.approx([0.0, 0.4, 0.8], abs=0.011)
+
+    def test_poa_signatures_verify(self, make_platform):
+        adapter = make_adapter(make_platform)
+        result = FixRateSampler(2.0).run(adapter, T0 + 5.0)
+        assert result.poa.verify_all(adapter.device.tee_public_key)
+
+    def test_sample_times_recorded(self, make_platform):
+        adapter = make_adapter(make_platform)
+        result = FixRateSampler(1.0).run(adapter, T0 + 10.0)
+        assert len(result.stats.sample_times) == result.stats.auth_samples
+
+    def test_mean_rate(self, make_platform):
+        adapter = make_adapter(make_platform)
+        result = FixRateSampler(2.0).run(adapter, T0 + 20.0)
+        assert result.stats.mean_rate_hz == pytest.approx(2.0, rel=0.2)
+
+
+class TestAdaptiveSampler:
+    def test_invalid_config_rejected(self, frame):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSampler([], frame, gps_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSampler([], frame, margin_updates=-1.0)
+
+    def test_no_zones_single_sample(self, make_platform, frame):
+        adapter = make_adapter(make_platform)
+        sampler = AdaptiveSampler([], frame)
+        result = sampler.run(adapter, T0 + 30.0)
+        assert result.stats.auth_samples == 1  # only the mandatory first
+
+    def test_far_zone_few_samples(self, make_platform, frame):
+        adapter = make_adapter(make_platform)
+        zone = zone_at(frame, 0.0, 50_000.0, 100.0)  # 50 km away
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 30.0)
+        assert result.stats.auth_samples <= 2
+
+    def test_near_zone_dense_samples(self, make_platform, frame):
+        adapter = make_adapter(make_platform)
+        zone = zone_at(frame, 150.0, 40.0, 20.0)  # alongside the path
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 30.0)
+        assert result.stats.auth_samples >= 15
+
+    def test_adaptive_fewer_than_fixed_when_clear(self, make_platform, frame):
+        zone = zone_at(frame, 0.0, 2_000.0, 50.0)
+        adaptive_adapter = make_adapter(make_platform, seed=3)
+        adaptive = AdaptiveSampler([zone], frame).run(adaptive_adapter,
+                                                      T0 + 50.0)
+        fixed_adapter = make_adapter(make_platform, seed=3)
+        fixed = FixRateSampler(1.0).run(fixed_adapter, T0 + 50.0)
+        assert adaptive.stats.auth_samples < fixed.stats.auth_samples
+
+    def test_poa_is_sufficient_against_zone(self, make_platform, frame):
+        """The whole point: adaptive PoAs prove alibi for the zone."""
+        zone = zone_at(frame, 150.0, 60.0, 20.0)
+        adapter = make_adapter(make_platform)
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 55.0)
+        samples = [entry.sample for entry in result.poa]
+        assert alibi_is_sufficient(samples, [zone], frame)
+
+    def test_signatures_verify(self, make_platform, frame):
+        zone = zone_at(frame, 150.0, 60.0, 20.0)
+        adapter = make_adapter(make_platform)
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 20.0)
+        assert result.poa.verify_all(adapter.device.tee_public_key)
+
+    def test_nearest_zone_drives_rate(self, make_platform, frame):
+        """Only the nearest zone matters (paper §IV-C3)."""
+        near = zone_at(frame, 150.0, 60.0, 20.0)
+        far = zone_at(frame, 0.0, 50_000.0, 100.0)
+        a1 = make_adapter(make_platform, seed=5)
+        only_near = AdaptiveSampler([near], frame).run(a1, T0 + 30.0)
+        a2 = make_adapter(make_platform, seed=5)
+        both = AdaptiveSampler([near, far], frame).run(a2, T0 + 30.0)
+        assert both.stats.auth_samples == only_near.stats.auth_samples
+
+    def test_late_sample_recovery_after_miss(self, make_platform, frame):
+        """A missed update near a zone forces a late (insufficient) pair,
+        after which the sampler re-anchors instead of stalling."""
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 40.0, 200.0, 0.0)])
+        # Zone close to the mid-path point; force misses right when the
+        # vehicle is nearest.
+        zone = zone_at(frame, 100.0, 12.0, 5.0)
+        adapter = make_adapter(make_platform, source=source,
+                               forced_miss_indices={98, 99, 100, 101, 102})
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 40.0)
+        assert result.stats.late_samples >= 1
+        assert result.events.count("late_sample") >= 1
+        # Sampling continued after the recovery.
+        last_sample_t = result.stats.sample_times[-1]
+        assert last_sample_t > T0 + 21.0
+
+    def test_margin_zero_samples_later(self, make_platform, frame):
+        """Smaller safety margin defers sampling (margin ablation sanity)."""
+        zone = zone_at(frame, 150.0, 60.0, 20.0)
+        a1 = make_adapter(make_platform, seed=6)
+        wide = AdaptiveSampler([zone], frame, margin_updates=2.0).run(
+            a1, T0 + 30.0)
+        a2 = make_adapter(make_platform, seed=6)
+        tight = AdaptiveSampler([zone], frame, margin_updates=0.0).run(
+            a2, T0 + 30.0)
+        assert tight.stats.auth_samples <= wide.stats.auth_samples
+
+    def test_first_sample_is_flight_start(self, make_platform, frame):
+        zone = zone_at(frame, 0.0, 2_000.0, 50.0)
+        adapter = make_adapter(make_platform)
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 10.0)
+        assert result.stats.sample_times[0] == pytest.approx(T0, abs=0.3)

@@ -1,0 +1,84 @@
+"""Sampler behaviour across the receiver's supported rate range (1-5 Hz)."""
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.sampling import AdaptiveSampler, FixRateSampler
+from repro.core.sufficiency import alibi_is_sufficient
+from repro.drone.adapter import Adapter
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+
+T0 = DEFAULT_EPOCH
+
+
+def build(make_device, frame, update_rate_hz, seed=1):
+    from repro.gps.receiver import SimulatedGpsReceiver
+    source = WaypointSource([(T0, 0.0, 0.0), (T0 + 60.0, 300.0, 0.0)])
+    clock = SimClock(T0)
+    receiver = SimulatedGpsReceiver(source, frame,
+                                    update_rate_hz=update_rate_hz,
+                                    start_time=T0, seed=seed)
+    device = make_device(seed=seed)
+    device.attach_gps(receiver, clock)
+    adapter = Adapter(device, receiver, clock)
+    adapter.start()
+    return adapter
+
+
+@pytest.mark.parametrize("rate", [1.0, 2.0, 5.0])
+class TestAcrossReceiverRates:
+    def test_fixed_sampler_tracks_receiver_rate(self, make_device, frame,
+                                                rate):
+        adapter = build(make_device, frame, rate)
+        result = FixRateSampler(rate).run(adapter, T0 + 30.0)
+        assert result.stats.auth_samples == pytest.approx(30 * rate + 1,
+                                                          abs=2)
+
+    def test_adaptive_poa_sufficient_at_any_rate(self, make_device, frame,
+                                                 rate):
+        """The margin scales with 2/R, so sufficiency must hold at 1 Hz
+        just as at 5 Hz — the zone only needs to be far enough for the
+        coarser update grid."""
+        # Clearance sized for the slowest rate: v_max/R headroom at 1 Hz.
+        center = frame.to_geo(150.0, 120.0)
+        zone = NoFlyZone(center.lat, center.lon, 20.0)
+        adapter = build(make_device, frame, rate)
+        sampler = AdaptiveSampler([zone], frame, gps_rate_hz=rate)
+        result = sampler.run(adapter, T0 + 60.0)
+        samples = [entry.sample for entry in result.poa]
+        assert alibi_is_sufficient(samples, [zone], frame)
+
+    def test_adaptive_rate_bounded_by_receiver(self, make_device, frame,
+                                               rate):
+        center = frame.to_geo(150.0, 60.0)
+        zone = NoFlyZone(center.lat, center.lon, 20.0)
+        adapter = build(make_device, frame, rate)
+        result = AdaptiveSampler([zone], frame,
+                                 gps_rate_hz=rate).run(adapter, T0 + 60.0)
+        assert result.stats.auth_samples <= 60 * rate + 2
+
+
+class TestVerifierExactMethodEndToEnd:
+    def test_server_with_exact_method(self, frame, make_device):
+        """The Auditor can be configured with the exact geometric test."""
+        import random
+        from repro.core.protocol import ZoneRegistrationRequest
+        from repro.drone.client import AliDroneClient
+        from repro.server.auditor import AliDroneServer
+
+        server = AliDroneServer(frame, rng=random.Random(3),
+                                encryption_key_bits=512, method="exact")
+        center = frame.to_geo(150.0, 120.0)
+        server.register_zone(ZoneRegistrationRequest(
+            zone=NoFlyZone(center.lat, center.lon, 20.0),
+            proof_of_ownership="deed"))
+        adapter = build(make_device, frame, 5.0, seed=7)
+        client = AliDroneClient(adapter.device, adapter.receiver,
+                                adapter.clock, frame,
+                                rng=random.Random(4))
+        client.register(server)
+        record = client.fly(T0 + 40.0, policy="fixed", fixed_rate_hz=2.0,
+                            zones=[NoFlyZone(center.lat, center.lon, 20.0)])
+        report = client.submit_poa(server, record)
+        assert report.compliant

@@ -1,0 +1,147 @@
+"""Tests for repro.core.sufficiency (paper equation 1)."""
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.samples import GpsSample
+from repro.core.sufficiency import (
+    alibi_is_sufficient,
+    count_insufficient_pairs,
+    cumulative_insufficiency_series,
+    insufficient_pair_indices,
+    pair_is_sufficient,
+    travel_ellipse,
+)
+from repro.errors import ConfigurationError
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.units import FAA_MAX_SPEED_MPS
+
+T0 = DEFAULT_EPOCH
+
+
+def sample_at(frame, x, y, t):
+    point = frame.to_geo(x, y)
+    return GpsSample(lat=point.lat, lon=point.lon, t=T0 + t)
+
+
+def zone_at(frame, x, y, r):
+    center = frame.to_geo(x, y)
+    return NoFlyZone(center.lat, center.lon, r)
+
+
+class TestTravelEllipse:
+    def test_focal_sum_from_dt(self, frame):
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 10, 0, 2.0)
+        e = travel_ellipse(a, b, frame, vmax_mps=50.0)
+        assert e.focal_sum == pytest.approx(100.0)
+
+    def test_out_of_order_rejected(self, frame):
+        a = sample_at(frame, 0, 0, 1.0)
+        b = sample_at(frame, 10, 0, 0.0)
+        with pytest.raises(ConfigurationError):
+            travel_ellipse(a, b, frame)
+
+
+class TestPairSufficiency:
+    def test_far_zone_sufficient(self, frame):
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 50, 0, 1.0)
+        zone = zone_at(frame, 0, 5000.0, 20.0)
+        assert pair_is_sufficient(a, b, [zone], frame)
+
+    def test_near_zone_insufficient(self, frame):
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 50, 0, 1.0)
+        zone = zone_at(frame, 25, 10.0, 20.0)
+        assert not pair_is_sufficient(a, b, [zone], frame)
+
+    def test_threshold_geometry(self, frame):
+        """D1 + D2 straddles v_max * dt across the boundary distance."""
+        vmax = FAA_MAX_SPEED_MPS
+        dt = 1.0
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 0, 0, dt)
+        # Zone boundary at exactly vmax*dt/2 from the (stationary) drone:
+        # D1 + D2 == vmax*dt -> insufficient (needs strict >).
+        r = 10.0
+        zone_exact = zone_at(frame, vmax * dt / 2.0 + r, 0, r)
+        zone_clear = zone_at(frame, vmax * dt / 2.0 + r + 1.0, 0, r)
+        assert not pair_is_sufficient(a, b, [zone_exact], frame, vmax)
+        assert pair_is_sufficient(a, b, [zone_clear], frame, vmax)
+
+    def test_all_zones_must_clear(self, frame):
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 10, 0, 0.5)
+        far = zone_at(frame, 0, 9000, 10.0)
+        near = zone_at(frame, 5, 8, 5.0)
+        assert pair_is_sufficient(a, b, [far], frame)
+        assert not pair_is_sufficient(a, b, [far, near], frame)
+
+    def test_no_zones_always_sufficient(self, frame):
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 10, 0, 100.0)
+        assert pair_is_sufficient(a, b, [], frame)
+
+    def test_exact_method_passes_conservative_false_positive(self, frame):
+        """The exact predicate accepts a pair the conservative one flags."""
+        vmax = 10.0
+        a = sample_at(frame, -10, 0, 0.0)
+        b = sample_at(frame, 10, 0, 2.05)   # focal sum 20.5
+        zone = zone_at(frame, 0, 3.5, 0.6)
+        assert not pair_is_sufficient(a, b, [zone], frame, vmax,
+                                      method="conservative")
+        assert pair_is_sufficient(a, b, [zone], frame, vmax, method="exact")
+
+    def test_unknown_method_rejected(self, frame):
+        a = sample_at(frame, 0, 0, 0.0)
+        b = sample_at(frame, 1, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            pair_is_sufficient(a, b, [], frame, method="magic")
+
+
+class TestAlibiSufficiency:
+    def _walkaway_trace(self, frame, n=6):
+        # Samples every second moving away from a zone at the origin.
+        return [sample_at(frame, 200.0 + 30.0 * i, 0, float(i))
+                for i in range(n)]
+
+    def test_dense_trace_sufficient(self, frame):
+        zone = zone_at(frame, 0, 0, 50.0)
+        samples = self._walkaway_trace(frame)
+        assert alibi_is_sufficient(samples, [zone], frame)
+        assert count_insufficient_pairs(samples, [zone], frame) == 0
+
+    def test_sparse_trace_insufficient(self, frame):
+        zone = zone_at(frame, 0, 0, 50.0)
+        samples = [sample_at(frame, 200, 0, 0.0),
+                   sample_at(frame, 260, 0, 60.0)]  # 60 s gap near a zone
+        assert not alibi_is_sufficient(samples, [zone], frame)
+        assert insufficient_pair_indices(samples, [zone], frame) == [0]
+
+    def test_single_sample_with_zones_insufficient(self, frame):
+        zone = zone_at(frame, 0, 0, 50.0)
+        assert not alibi_is_sufficient([sample_at(frame, 500, 0, 0.0)],
+                                       [zone], frame)
+
+    def test_single_sample_no_zones_sufficient(self, frame):
+        assert alibi_is_sufficient([sample_at(frame, 0, 0, 0.0)], [], frame)
+
+    def test_insufficient_indices_identify_gap(self, frame):
+        zone = zone_at(frame, 0, 0, 50.0)
+        good = self._walkaway_trace(frame, n=4)
+        gap = sample_at(frame, 330, 0, 60.0)   # long pause near the zone
+        after = sample_at(frame, 360, 0, 61.0)
+        samples = good + [gap, after]
+        indices = insufficient_pair_indices(samples, [zone], frame)
+        assert indices == [3]
+
+    def test_cumulative_series_monotone(self, frame):
+        zone = zone_at(frame, 0, 0, 50.0)
+        samples = [sample_at(frame, 200 + 5 * i, 0, float(3 * i))
+                   for i in range(10)]
+        series = cumulative_insufficiency_series(samples, [zone], frame)
+        assert len(series) == 9
+        counts = [c for _, c in series]
+        assert counts == sorted(counts)
+        assert counts[-1] == count_insufficient_pairs(samples, [zone], frame)

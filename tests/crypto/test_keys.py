@@ -1,0 +1,64 @@
+"""Tests for repro.crypto.keys (serialization and fingerprints)."""
+
+import pytest
+
+from repro.crypto.keys import (
+    key_fingerprint,
+    private_key_from_bytes,
+    private_key_to_bytes,
+    public_key_from_bytes,
+    public_key_to_bytes,
+)
+from repro.errors import EncodingError
+
+
+class TestPublicKeyEncoding:
+    def test_round_trip(self, signing_key):
+        data = public_key_to_bytes(signing_key.public_key)
+        assert public_key_from_bytes(data) == signing_key.public_key
+
+    def test_magic_enforced(self, signing_key):
+        data = public_key_to_bytes(signing_key.public_key)
+        with pytest.raises(EncodingError):
+            public_key_from_bytes(b"XXXX" + data[4:])
+
+    def test_truncation_detected(self, signing_key):
+        data = public_key_to_bytes(signing_key.public_key)
+        with pytest.raises(EncodingError):
+            public_key_from_bytes(data[:-3])
+
+    def test_trailing_bytes_detected(self, signing_key):
+        data = public_key_to_bytes(signing_key.public_key)
+        with pytest.raises(EncodingError):
+            public_key_from_bytes(data + b"\x00")
+
+
+class TestPrivateKeyEncoding:
+    def test_round_trip(self, signing_key):
+        data = private_key_to_bytes(signing_key)
+        assert private_key_from_bytes(data) == signing_key
+
+    def test_magic_differs_from_public(self, signing_key):
+        private = private_key_to_bytes(signing_key)
+        with pytest.raises(EncodingError):
+            public_key_from_bytes(private)
+
+    def test_truncation_detected(self, signing_key):
+        data = private_key_to_bytes(signing_key)
+        with pytest.raises(EncodingError):
+            private_key_from_bytes(data[:20])
+
+
+class TestFingerprint:
+    def test_stable(self, signing_key):
+        assert (key_fingerprint(signing_key.public_key)
+                == key_fingerprint(signing_key.public_key))
+
+    def test_distinct_keys_distinct_fingerprints(self, signing_key, other_key):
+        assert (key_fingerprint(signing_key.public_key)
+                != key_fingerprint(other_key.public_key))
+
+    def test_format_is_hex_sha256(self, signing_key):
+        fp = key_fingerprint(signing_key.public_key)
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex

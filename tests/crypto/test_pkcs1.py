@@ -1,0 +1,128 @@
+"""Tests for repro.crypto.pkcs1."""
+
+import random
+
+import pytest
+
+from repro.crypto.pkcs1 import (
+    decrypt_pkcs1_v15,
+    encrypt_pkcs1_v15,
+    i2osp,
+    os2ip,
+    sign_pkcs1_v15,
+    verify_pkcs1_v15,
+)
+from repro.errors import CryptoError, EncryptionError, SignatureError
+
+
+class TestOctetPrimitives:
+    def test_round_trip(self):
+        assert os2ip(i2osp(123_456, 4)) == 123_456
+
+    def test_fixed_length_padding(self):
+        assert i2osp(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_too_large_rejected(self):
+        with pytest.raises(CryptoError):
+            i2osp(256, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            i2osp(-1, 4)
+
+
+class TestSignatures:
+    def test_sign_verify_sha1(self, signing_key):
+        sig = sign_pkcs1_v15(signing_key, b"gps sample", "sha1")
+        assert len(sig) == signing_key.byte_length
+        assert verify_pkcs1_v15(signing_key.public_key, b"gps sample", sig,
+                                "sha1")
+
+    def test_sign_verify_sha256(self, signing_key):
+        sig = sign_pkcs1_v15(signing_key, b"gps sample", "sha256")
+        assert verify_pkcs1_v15(signing_key.public_key, b"gps sample", sig,
+                                "sha256")
+
+    def test_wrong_message_fails(self, signing_key):
+        sig = sign_pkcs1_v15(signing_key, b"original")
+        assert not verify_pkcs1_v15(signing_key.public_key, b"tampered", sig)
+
+    def test_wrong_key_fails(self, signing_key, other_key):
+        sig = sign_pkcs1_v15(signing_key, b"message")
+        assert not verify_pkcs1_v15(other_key.public_key, b"message", sig)
+
+    def test_wrong_hash_fails(self, signing_key):
+        sig = sign_pkcs1_v15(signing_key, b"message", "sha1")
+        assert not verify_pkcs1_v15(signing_key.public_key, b"message", sig,
+                                    "sha256")
+
+    def test_bitflip_fails(self, signing_key):
+        sig = bytearray(sign_pkcs1_v15(signing_key, b"message"))
+        sig[10] ^= 0x01
+        assert not verify_pkcs1_v15(signing_key.public_key, b"message",
+                                    bytes(sig))
+
+    def test_truncated_signature_fails(self, signing_key):
+        sig = sign_pkcs1_v15(signing_key, b"message")
+        assert not verify_pkcs1_v15(signing_key.public_key, b"message",
+                                    sig[:-1])
+
+    def test_empty_message_signs(self, signing_key):
+        sig = sign_pkcs1_v15(signing_key, b"")
+        assert verify_pkcs1_v15(signing_key.public_key, b"", sig)
+
+    def test_deterministic(self, signing_key):
+        assert (sign_pkcs1_v15(signing_key, b"m")
+                == sign_pkcs1_v15(signing_key, b"m"))
+
+    def test_unsupported_hash_rejected(self, signing_key):
+        with pytest.raises(CryptoError):
+            sign_pkcs1_v15(signing_key, b"m", "md5")
+
+    def test_sha512_needs_larger_modulus(self, signing_key):
+        # 512-bit modulus (64 bytes) cannot frame a SHA-512 DigestInfo.
+        with pytest.raises(SignatureError):
+            sign_pkcs1_v15(signing_key, b"m", "sha512")
+
+
+class TestEncryption:
+    def test_round_trip(self, signing_key, rng):
+        ct = encrypt_pkcs1_v15(signing_key.public_key, b"secret", rng=rng)
+        assert decrypt_pkcs1_v15(signing_key, ct) == b"secret"
+
+    def test_randomized_padding(self, signing_key, rng):
+        a = encrypt_pkcs1_v15(signing_key.public_key, b"m", rng=rng)
+        b = encrypt_pkcs1_v15(signing_key.public_key, b"m", rng=rng)
+        assert a != b
+        assert decrypt_pkcs1_v15(signing_key, a) == decrypt_pkcs1_v15(
+            signing_key, b)
+
+    def test_max_length_message(self, signing_key, rng):
+        m = b"x" * (signing_key.byte_length - 11)
+        ct = encrypt_pkcs1_v15(signing_key.public_key, m, rng=rng)
+        assert decrypt_pkcs1_v15(signing_key, ct) == m
+
+    def test_too_long_message_rejected(self, signing_key, rng):
+        m = b"x" * (signing_key.byte_length - 10)
+        with pytest.raises(EncryptionError):
+            encrypt_pkcs1_v15(signing_key.public_key, m, rng=rng)
+
+    def test_empty_message(self, signing_key, rng):
+        ct = encrypt_pkcs1_v15(signing_key.public_key, b"", rng=rng)
+        assert decrypt_pkcs1_v15(signing_key, ct) == b""
+
+    def test_tampered_ciphertext_rejected(self, signing_key, rng):
+        ct = bytearray(encrypt_pkcs1_v15(signing_key.public_key, b"secret",
+                                         rng=rng))
+        ct[5] ^= 0xFF
+        with pytest.raises(EncryptionError):
+            decrypt_pkcs1_v15(signing_key, bytes(ct))
+
+    def test_wrong_length_ciphertext_rejected(self, signing_key):
+        with pytest.raises(EncryptionError):
+            decrypt_pkcs1_v15(signing_key, b"\x00" * 10)
+
+    def test_wrong_key_decryption_fails(self, signing_key, other_key, rng):
+        ct = encrypt_pkcs1_v15(signing_key.public_key, b"secret", rng=rng)
+        with pytest.raises(EncryptionError):
+            decrypt_pkcs1_v15(other_key, ct)

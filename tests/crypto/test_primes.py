@@ -1,0 +1,60 @@
+"""Tests for repro.crypto.primes."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.errors import KeyGenerationError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 65537, 2_147_483_647]  # includes M31
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 1105, 2821, 65536,     # Carmichaels too
+                    2_147_483_649]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_known_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites_including_carmichael(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_numbers(self):
+        assert not is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 (Mersenne prime) exceeds the deterministic bound.
+        assert is_probable_prime(2 ** 127 - 1, rng=random.Random(1))
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2 ** 127 - 1) * 3, rng=random.Random(1))
+
+    def test_product_of_two_primes(self):
+        assert not is_probable_prime(65537 * 65539)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(7)
+        for bits in (16, 64, 256):
+            p = generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        p = generate_prime(32, rng=random.Random(9))
+        assert (p >> 30) & 0b11 == 0b11
+
+    def test_always_odd(self):
+        rng = random.Random(11)
+        assert all(generate_prime(24, rng=rng) % 2 == 1 for _ in range(5))
+
+    def test_deterministic_given_rng(self):
+        assert (generate_prime(64, rng=random.Random(5))
+                == generate_prime(64, rng=random.Random(5)))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(4)

@@ -1,0 +1,76 @@
+"""Tests for repro.crypto.rsa."""
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+from repro.errors import CryptoError, KeyGenerationError
+
+
+class TestKeyGeneration:
+    def test_modulus_bit_length_exact(self, signing_key):
+        assert signing_key.bits == 512
+        assert signing_key.n.bit_length() == 512
+
+    def test_key_consistency(self, signing_key):
+        k = signing_key
+        assert k.p * k.q == k.n
+        lam = math.lcm(k.p - 1, k.q - 1)
+        assert (k.e * k.d) % lam == 1
+
+    def test_deterministic_given_rng(self):
+        a = generate_rsa_keypair(256, rng=random.Random(42))
+        b = generate_rsa_keypair(256, rng=random.Random(42))
+        assert a == b
+
+    def test_different_seeds_different_keys(self):
+        a = generate_rsa_keypair(256, rng=random.Random(1))
+        b = generate_rsa_keypair(256, rng=random.Random(2))
+        assert a.n != b.n
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_keypair(64)
+
+    def test_even_exponent_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_keypair(256, e=4)
+
+    def test_inconsistent_private_key_rejected(self):
+        with pytest.raises(CryptoError):
+            RsaPrivateKey(n=15, e=3, d=3, p=3, q=7)
+
+
+class TestRawOperations:
+    def test_encrypt_decrypt_round_trip(self, signing_key):
+        m = 0x1234567890ABCDEF
+        c = signing_key.public_key.raw_encrypt(m)
+        assert signing_key.raw_decrypt(c) == m
+
+    def test_sign_verify_round_trip(self, signing_key):
+        m = 9_876_543_210
+        s = signing_key.raw_sign(m)
+        assert signing_key.public_key.raw_verify(s) == m
+
+    def test_crt_agrees_with_plain_exponentiation(self, signing_key):
+        c = 123_456_789
+        assert signing_key.raw_decrypt(c) == pow(c, signing_key.d,
+                                                 signing_key.n)
+
+    def test_out_of_range_rejected(self, signing_key):
+        with pytest.raises(CryptoError):
+            signing_key.public_key.raw_encrypt(signing_key.n)
+        with pytest.raises(CryptoError):
+            signing_key.raw_decrypt(-1)
+
+    def test_byte_length(self, signing_key):
+        assert signing_key.byte_length == 64
+        assert signing_key.public_key.byte_length == 64
+
+    def test_public_key_derivation(self, signing_key):
+        pub = signing_key.public_key
+        assert isinstance(pub, RsaPublicKey)
+        assert pub.n == signing_key.n
+        assert pub.e == signing_key.e

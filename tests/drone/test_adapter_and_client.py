@@ -1,0 +1,164 @@
+"""Tests for repro.drone.adapter and repro.drone.client."""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import decrypt_poa
+from repro.core.protocol import ZoneRegistrationRequest
+from repro.drone.adapter import Adapter
+from repro.drone.client import AliDroneClient
+from repro.drone.flightplan import FlightPlan
+from repro.errors import ProtocolError, TeeError
+from repro.server.auditor import AliDroneServer
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def platform(make_platform):
+    return make_platform()
+
+
+@pytest.fixture()
+def server(frame):
+    return AliDroneServer(frame, rng=random.Random(99),
+                          encryption_key_bits=512)
+
+
+@pytest.fixture()
+def client(platform, frame, signing_key, rng):
+    device, receiver, clock = platform
+    return AliDroneClient(device, receiver, clock, frame,
+                          operator_key=signing_key,
+                          operator_name="test-op", rng=rng)
+
+
+class TestAdapter:
+    def test_get_gps_auth_requires_start(self, platform):
+        device, receiver, clock = platform
+        adapter = Adapter(device, receiver, clock)
+        with pytest.raises(TeeError):
+            adapter.get_gps_auth()
+
+    def test_start_is_idempotent(self, platform):
+        device, receiver, clock = platform
+        adapter = Adapter(device, receiver, clock)
+        adapter.start()
+        first = adapter._session_id
+        adapter.start()
+        assert adapter._session_id == first
+        adapter.stop()
+        adapter.stop()  # also idempotent
+
+    def test_read_gps_matches_receiver(self, platform):
+        device, receiver, clock = platform
+        adapter = Adapter(device, receiver, clock)
+        clock.advance(2.0)
+        sample = adapter.read_gps()
+        fix = receiver.fix_at(clock.now)
+        assert sample.t == fix.time
+        assert sample.lat == fix.lat
+
+    def test_read_gps_none_before_first_update(self, make_device, frame):
+        from repro.gps.receiver import SimulatedGpsReceiver
+        from repro.gps.replay import WaypointSource
+        from repro.sim.clock import SimClock
+        source = WaypointSource([(T0, 0, 0), (T0 + 10, 1, 0)])
+        clock = SimClock(T0)
+        receiver = SimulatedGpsReceiver(source, frame, start_time=T0 + 100.0)
+        device = make_device()
+        device.attach_gps(receiver, clock)
+        adapter = Adapter(device, receiver, clock)
+        assert adapter.read_gps() is None
+
+    def test_auth_sample_decodes_to_current_fix(self, platform):
+        device, receiver, clock = platform
+        adapter = Adapter(device, receiver, clock)
+        adapter.start()
+        clock.advance(3.0)
+        signed = adapter.get_gps_auth()
+        assert signed.sample.t == pytest.approx(T0 + 3.0, abs=0.011)
+        assert signed.verify(device.tee_public_key)
+
+
+class TestClientProtocolFlow:
+    def test_registration(self, client, server):
+        drone_id = client.register(server)
+        assert drone_id.startswith("drone-")
+        assert client.drone_id == drone_id
+
+    def test_zone_query_requires_registration(self, client, server, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(300, 0)])
+        with pytest.raises(ProtocolError):
+            client.query_zones(server, plan)
+
+    def test_zone_query_returns_zones_in_rect(self, client, server, frame):
+        inside = frame.to_geo(150.0, 50.0)
+        outside = frame.to_geo(5_000.0, 5_000.0)
+        server.register_zone(ZoneRegistrationRequest(
+            zone=NoFlyZone(inside.lat, inside.lon, 20.0),
+            proof_of_ownership="deed-1"))
+        server.register_zone(ZoneRegistrationRequest(
+            zone=NoFlyZone(outside.lat, outside.lon, 20.0),
+            proof_of_ownership="deed-2"))
+        client.register(server)
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(300, 0)])
+        zones = client.query_zones(server, plan)
+        assert len(zones) == 1
+        assert zones[0].radius_m == 20.0
+        assert client.known_zones == zones
+
+    def test_fly_adaptive_and_submit(self, client, server, frame):
+        center = frame.to_geo(150.0, 80.0)
+        server.register_zone(ZoneRegistrationRequest(
+            zone=NoFlyZone(center.lat, center.lon, 20.0),
+            proof_of_ownership="deed-1"))
+        client.register(server)
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(300, 0)])
+        client.query_zones(server, plan)
+        record = client.fly(T0 + 50.0, policy="adaptive")
+        assert record.policy == "adaptive"
+        assert len(record.poa) >= 1
+        report = client.submit_poa(server, record)
+        assert report.compliant
+
+    def test_fly_fixed_policy(self, client, server):
+        client.register(server)
+        record = client.fly(T0 + 10.0, policy="fixed", fixed_rate_hz=2.0)
+        assert record.policy == "fixed-2hz"
+        assert len(record.poa) == pytest.approx(21, abs=2)
+
+    def test_fixed_policy_requires_rate(self, client, server):
+        client.register(server)
+        with pytest.raises(ProtocolError):
+            client.fly(T0 + 10.0, policy="fixed")
+
+    def test_unknown_policy_rejected(self, client, server):
+        client.register(server)
+        with pytest.raises(ProtocolError):
+            client.fly(T0 + 10.0, policy="quantum")
+
+    def test_flight_ids_unique(self, client, server):
+        client.register(server)
+        a = client.fly(T0 + 2.0, policy="fixed", fixed_rate_hz=1.0)
+        b = client.fly(T0 + 4.0, policy="fixed", fixed_rate_hz=1.0)
+        assert a.flight_id != b.flight_id
+
+    def test_submission_encrypts_payloads(self, client, server):
+        client.register(server)
+        record = client.fly(T0 + 5.0, policy="fixed", fixed_rate_hz=1.0)
+        submission = client.build_submission(record,
+                                             server.public_encryption_key)
+        for rec, entry in zip(submission.records, record.poa):
+            assert entry.payload not in rec.ciphertext
+        # The server can decrypt them back.
+        restored = decrypt_poa(submission.records, server._encryption_key)
+        assert restored.entries == record.poa.entries
+
+    def test_submission_requires_registration(self, client, server):
+        record = client.fly(T0 + 2.0, policy="fixed", fixed_rate_hz=1.0)
+        with pytest.raises(ProtocolError):
+            client.build_submission(record, server.public_encryption_key)

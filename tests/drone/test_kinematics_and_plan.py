@@ -1,0 +1,108 @@
+"""Tests for repro.drone.kinematics and repro.drone.flightplan."""
+
+import math
+
+import pytest
+
+from repro.drone.flightplan import FlightPlan
+from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import GeoPoint
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.units import FAA_MAX_SPEED_MPS
+
+T0 = DEFAULT_EPOCH
+
+
+class TestDroneKinematics:
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DroneKinematics(max_speed_mps=0.0)
+        with pytest.raises(ConfigurationError):
+            DroneKinematics(max_accel_mps2=-1.0)
+
+    def test_faster_than_faa_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DroneKinematics(max_speed_mps=FAA_MAX_SPEED_MPS + 1.0)
+
+    def test_long_segment_duration(self):
+        k = DroneKinematics(max_speed_mps=10.0, max_accel_mps2=5.0)
+        # 2 s accel + 2 s decel covering 10+10=20 m, plus 98 m cruise.
+        assert k.segment_duration(118.0) == pytest.approx(4.0 + 9.8)
+
+    def test_short_segment_triangular(self):
+        k = DroneKinematics(max_speed_mps=10.0, max_accel_mps2=5.0)
+        # Peak speed sqrt(d*a) = sqrt(50) < vmax; duration 2*sqrt(d/a).
+        assert k.segment_duration(10.0) == pytest.approx(
+            2.0 * math.sqrt(10.0 / 5.0))
+
+    def test_zero_segment(self):
+        assert DroneKinematics().segment_duration(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DroneKinematics().segment_duration(-1.0)
+
+    def test_positions_start_and_end(self):
+        k = DroneKinematics(max_speed_mps=10.0, max_accel_mps2=5.0)
+        points = k.segment_positions((0.0, 0.0), (100.0, 0.0), T0)
+        assert points[0] == (T0, 0.0, 0.0)
+        assert points[-1][1] == pytest.approx(100.0)
+
+    def test_speed_never_exceeds_limit(self):
+        k = DroneKinematics(max_speed_mps=10.0, max_accel_mps2=5.0)
+        points = k.segment_positions((0.0, 0.0), (200.0, 0.0), T0,
+                                     step_s=0.05)
+        for (t0, x0, _), (t1, x1, _) in zip(points, points[1:]):
+            # Loose tolerance: epoch-scale timestamps lose sub-microsecond
+            # precision in the subtraction.
+            assert (x1 - x0) / (t1 - t0) <= 10.0 * 1.001
+
+
+class TestSimulateWaypointFlight:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            simulate_waypoint_flight([(0.0, 0.0)], T0)
+
+    def test_passes_through_waypoints(self):
+        src = simulate_waypoint_flight([(0, 0), (100, 0), (100, 100)], T0)
+        assert src.position_at(T0) == pytest.approx((0.0, 0.0))
+        assert src.position_at(src.end_time) == pytest.approx((100.0, 100.0))
+
+    def test_hover_extends_duration(self):
+        quick = simulate_waypoint_flight([(0, 0), (100, 0), (200, 0)], T0)
+        hover = simulate_waypoint_flight([(0, 0), (100, 0), (200, 0)], T0,
+                                         hover_s=5.0)
+        assert hover.duration == pytest.approx(quick.duration + 5.0, abs=0.2)
+
+    def test_monotone_time(self):
+        src = simulate_waypoint_flight([(0, 0), (50, 50), (0, 100)], T0)
+        assert src.duration > 0
+
+
+class TestFlightPlan:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            FlightPlan([GeoPoint(40.0, -88.0)])
+
+    def test_query_rectangle_covers_route(self, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(500, 300)],
+                          margin_m=100.0)
+        low, high = plan.query_rectangle(frame)
+        lx, ly = frame.to_local(low)
+        hx, hy = frame.to_local(high)
+        assert lx == pytest.approx(-100.0, abs=0.1)
+        assert ly == pytest.approx(-100.0, abs=0.1)
+        assert hx == pytest.approx(600.0, abs=0.1)
+        assert hy == pytest.approx(400.0, abs=0.1)
+
+    def test_to_source_covers_route(self, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(300, 0)])
+        src = plan.to_source(frame, T0)
+        assert src.position_at(src.end_time) == pytest.approx((300.0, 0.0),
+                                                              abs=0.5)
+
+    def test_local_waypoints(self, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(10, 20)])
+        pts = plan.local_waypoints(frame)
+        assert pts[1] == pytest.approx((10.0, 20.0), abs=1e-6)

@@ -1,0 +1,93 @@
+"""Tests for repro.drone.routing."""
+
+import math
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.drone.routing import (
+    RouteError,
+    plan_route,
+    route_clearance,
+    route_length,
+)
+from repro.errors import ConfigurationError
+
+
+def zone_at(frame, x, y, r):
+    center = frame.to_geo(x, y)
+    return NoFlyZone(center.lat, center.lon, r)
+
+
+class TestPlanRoute:
+    def test_no_zones_straight_line(self, frame):
+        route = plan_route((0, 0), (1000, 0), [], frame)
+        assert route == [(0, 0), (1000, 0)]
+
+    def test_clear_path_stays_straight(self, frame):
+        zone = zone_at(frame, 500, 800, 50.0)
+        route = plan_route((0, 0), (1000, 0), [zone], frame)
+        assert route == [(0, 0), (1000, 0)]
+
+    def test_detour_around_blocking_zone(self, frame):
+        zone = zone_at(frame, 500, 0, 100.0)
+        route = plan_route((0, 0), (1000, 0), [zone], frame,
+                           clearance_m=30.0)
+        assert len(route) > 2
+        assert route[0] == (0, 0)
+        assert route[-1] == (1000, 0)
+        assert route_clearance(route, [zone], frame) > 0.0
+
+    def test_detour_length_reasonable(self, frame):
+        zone = zone_at(frame, 500, 0, 100.0)
+        route = plan_route((0, 0), (1000, 0), [zone], frame,
+                           clearance_m=30.0)
+        straight = 1000.0
+        # A detour around a 130 m obstacle should cost well under 20%.
+        assert route_length(route) < straight * 1.2
+
+    def test_multiple_zones(self, frame):
+        zones = [zone_at(frame, 300, 0, 80.0), zone_at(frame, 600, 50, 80.0),
+                 zone_at(frame, 800, -60, 80.0)]
+        route = plan_route((0, 0), (1000, 0), zones, frame, clearance_m=20.0)
+        assert route_clearance(route, zones, frame) > 0.0
+
+    def test_start_inside_zone_rejected(self, frame):
+        zone = zone_at(frame, 0, 0, 100.0)
+        with pytest.raises(RouteError):
+            plan_route((0, 0), (1000, 0), [zone], frame)
+
+    def test_goal_inside_inflated_zone_rejected(self, frame):
+        zone = zone_at(frame, 1000, 0, 50.0)
+        with pytest.raises(RouteError):
+            plan_route((0, 0), (1020, 0), [zone], frame, clearance_m=30.0)
+
+    def test_walled_off_goal_rejected(self, frame):
+        # A ring of zones around the goal.
+        zones = []
+        for k in range(12):
+            angle = 2 * math.pi * k / 12
+            zones.append(zone_at(frame, 1000 + 150 * math.cos(angle),
+                                 150 * math.sin(angle), 60.0))
+        with pytest.raises(RouteError):
+            plan_route((0, 0), (1000, 0), zones, frame, clearance_m=20.0,
+                       boundary_points=8)
+
+    def test_invalid_boundary_points(self, frame):
+        with pytest.raises(ConfigurationError):
+            plan_route((0, 0), (10, 0), [], frame, boundary_points=3)
+
+
+class TestRouteMetrics:
+    def test_route_length(self):
+        assert route_length([(0, 0), (3, 4), (3, 10)]) == pytest.approx(11.0)
+
+    def test_clearance_no_zones_infinite(self, frame):
+        assert route_clearance([(0, 0), (10, 0)], [], frame) == math.inf
+
+    def test_clearance_signs(self, frame):
+        zone = zone_at(frame, 5, 10, 2.0)
+        clear = route_clearance([(0, 0), (10, 0)], [zone], frame)
+        assert clear == pytest.approx(8.0, abs=0.05)
+        through = route_clearance([(0, 0), (10, 20)], [zone], frame)
+        assert through < 0.0

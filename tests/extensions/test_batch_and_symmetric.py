@@ -1,0 +1,180 @@
+"""Tests for the batch-signing and symmetric-key extension TAs."""
+
+import random
+
+import pytest
+
+from repro.errors import TrustedAppError, VerificationError
+from repro.extensions import install_extension_ta
+from repro.extensions.batch_signing import (
+    CMD_FINALIZE_BATCH,
+    CMD_RECORD_GPS,
+    BatchGpsSamplerTA,
+    BatchSignedPoa,
+    batch_digest,
+)
+from repro.extensions.symmetric import (
+    CMD_GET_GPS_AUTH_SYM,
+    CMD_INIT_FLIGHT_KEY,
+    AuditorFlightKey,
+    SymmetricGpsSamplerTA,
+    SymmetricSignedSample,
+)
+
+
+@pytest.fixture()
+def batch_platform(make_platform, vendor_key):
+    device, receiver, clock = make_platform()
+    install_extension_ta(device, BatchGpsSamplerTA, vendor_key)
+    sid = device.client.open_session(BatchGpsSamplerTA.UUID)
+    return device, clock, sid
+
+
+@pytest.fixture()
+def sym_platform(make_platform, vendor_key):
+    device, receiver, clock = make_platform()
+    install_extension_ta(device, SymmetricGpsSamplerTA, vendor_key)
+    sid = device.client.open_session(SymmetricGpsSamplerTA.UUID,
+                                     {"dh_seed": 1234})
+    return device, clock, sid
+
+
+class TestBatchSigning:
+    def test_record_and_finalize(self, batch_platform):
+        device, clock, sid = batch_platform
+        for i in range(4):
+            clock.advance(1.0)
+            assert device.client.invoke(sid, CMD_RECORD_GPS) == i + 1
+        out = device.client.invoke(sid, CMD_FINALIZE_BATCH)
+        poa = BatchSignedPoa(payloads=out["payloads"],
+                             signature=out["signature"])
+        assert len(poa) == 4
+        assert poa.verify(device.tee_public_key)
+        trace = poa.trace()
+        assert trace.duration == pytest.approx(3.0, abs=0.05)
+
+    def test_single_signature_for_whole_flight(self, batch_platform):
+        device, clock, sid = batch_platform
+        for _ in range(10):
+            clock.advance(0.5)
+            device.client.invoke(sid, CMD_RECORD_GPS)
+        device.client.invoke(sid, CMD_FINALIZE_BATCH)
+        assert device.core.op_counters["rsa_sign_512"] == 1
+        assert device.core.op_counters["batch_records"] == 10
+
+    def test_tampered_payload_fails(self, batch_platform):
+        device, clock, sid = batch_platform
+        clock.advance(1.0)
+        device.client.invoke(sid, CMD_RECORD_GPS)
+        out = device.client.invoke(sid, CMD_FINALIZE_BATCH)
+        payloads = list(out["payloads"])
+        payloads[0] = payloads[0][:-1] + bytes([payloads[0][-1] ^ 1])
+        poa = BatchSignedPoa(payloads=tuple(payloads),
+                             signature=out["signature"])
+        assert not poa.verify(device.tee_public_key)
+
+    def test_dropped_payload_fails(self, batch_platform):
+        device, clock, sid = batch_platform
+        for _ in range(3):
+            clock.advance(1.0)
+            device.client.invoke(sid, CMD_RECORD_GPS)
+        out = device.client.invoke(sid, CMD_FINALIZE_BATCH)
+        poa = BatchSignedPoa(payloads=out["payloads"][:-1],
+                             signature=out["signature"])
+        assert not poa.verify(device.tee_public_key)
+
+    def test_finalize_empty_rejected(self, batch_platform):
+        device, _, sid = batch_platform
+        with pytest.raises(TrustedAppError):
+            device.client.invoke(sid, CMD_FINALIZE_BATCH)
+
+    def test_buffer_resets_between_flights(self, batch_platform):
+        device, clock, sid = batch_platform
+        clock.advance(1.0)
+        device.client.invoke(sid, CMD_RECORD_GPS)
+        device.client.invoke(sid, CMD_FINALIZE_BATCH)
+        clock.advance(1.0)
+        assert device.client.invoke(sid, CMD_RECORD_GPS) == 1
+
+    def test_digest_length_framing(self):
+        """Adjacent payloads cannot be re-split without detection."""
+        assert (batch_digest((b"ab", b"c"))
+                != batch_digest((b"a", b"bc")))
+
+
+class TestSymmetricSigning:
+    def _handshake(self, device, sid, flight=b"flight-7"):
+        auditor = AuditorFlightKey(flight, rng=random.Random(5))
+        ta_public = device.client.invoke(sid, CMD_INIT_FLIGHT_KEY, {
+            "auditor_public_value": auditor.public_value,
+            "flight_id": flight})
+        auditor.complete(ta_public)
+        return auditor
+
+    def test_handshake_and_verified_samples(self, sym_platform):
+        device, clock, sid = sym_platform
+        auditor = self._handshake(device, sid)
+        entries = []
+        for _ in range(5):
+            clock.advance(1.0)
+            out = device.client.invoke(sid, CMD_GET_GPS_AUTH_SYM)
+            entries.append(SymmetricSignedSample(payload=out["payload"],
+                                                 tag=out["tag"]))
+        trace = auditor.verify_entries(entries)
+        assert len(trace) == 5
+
+    def test_tampered_payload_rejected(self, sym_platform):
+        device, clock, sid = sym_platform
+        auditor = self._handshake(device, sid)
+        clock.advance(1.0)
+        out = device.client.invoke(sid, CMD_GET_GPS_AUTH_SYM)
+        bad = SymmetricSignedSample(
+            payload=out["payload"][:-1] + bytes([out["payload"][-1] ^ 1]),
+            tag=out["tag"])
+        with pytest.raises(VerificationError):
+            auditor.verify_entries([bad])
+
+    def test_sampling_before_handshake_rejected(self, sym_platform):
+        device, clock, sid = sym_platform
+        clock.advance(1.0)
+        with pytest.raises(TrustedAppError):
+            device.client.invoke(sid, CMD_GET_GPS_AUTH_SYM)
+
+    def test_wrong_flight_key_rejected(self, sym_platform):
+        device, clock, sid = sym_platform
+        self._handshake(device, sid, flight=b"flight-A")
+        # A different auditor exchange (never completed with this TA).
+        stranger = AuditorFlightKey(b"flight-B", rng=random.Random(6))
+        stranger.complete(AuditorFlightKey(b"x",
+                                           rng=random.Random(7)).public_value)
+        clock.advance(1.0)
+        out = device.client.invoke(sid, CMD_GET_GPS_AUTH_SYM)
+        entry = SymmetricSignedSample(payload=out["payload"], tag=out["tag"])
+        with pytest.raises(VerificationError):
+            stranger.verify_entries([entry])
+
+    def test_incomplete_exchange_rejected(self):
+        auditor = AuditorFlightKey(b"f", rng=random.Random(1))
+        with pytest.raises(VerificationError):
+            auditor.verify_entries([])
+
+    def test_missing_peer_value_rejected(self, sym_platform):
+        device, _, sid = sym_platform
+        with pytest.raises(TrustedAppError):
+            device.client.invoke(sid, CMD_INIT_FLIGHT_KEY, {})
+
+    def test_hmac_counter_tracked(self, sym_platform):
+        device, clock, sid = sym_platform
+        self._handshake(device, sid)
+        clock.advance(1.0)
+        device.client.invoke(sid, CMD_GET_GPS_AUTH_SYM)
+        assert device.core.op_counters["hmac_sign"] == 1
+        assert device.core.op_counters["dh_exchanges"] == 1
+
+    def test_unsigned_vendor_extension_rejected(self, make_platform,
+                                                other_key):
+        """Only the manufacturer can install extension TAs."""
+        device, _, _ = make_platform()
+        install_extension_ta(device, SymmetricGpsSamplerTA, other_key)
+        with pytest.raises(TrustedAppError):
+            device.client.open_session(SymmetricGpsSamplerTA.UUID)

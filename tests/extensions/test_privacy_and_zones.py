@@ -1,0 +1,160 @@
+"""Tests for the privacy-preserving verification and polygon-NFZ extensions."""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone, PolygonNfz
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.errors import VerificationError
+from repro.extensions.arbitrary_zones import (
+    overapproximation_ratio,
+    register_polygon_zone,
+)
+from repro.extensions.privacy import (
+    build_private_poa,
+    keys_for_incident,
+    verify_private_disclosure,
+)
+from repro.server.auditor import AliDroneServer
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def signed(key, sample):
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+def sample_at(frame, x, y, t):
+    point = frame.to_geo(x, y)
+    return GpsSample(lat=point.lat, lon=point.lon, t=T0 + t)
+
+
+@pytest.fixture()
+def zone(frame):
+    center = frame.to_geo(0.0, 0.0)
+    return NoFlyZone(center.lat, center.lon, 50.0)
+
+
+@pytest.fixture()
+def poa(signing_key, frame):
+    return ProofOfAlibi(
+        signed(signing_key, sample_at(frame, 300.0 + 10.0 * i, 0.0, float(i)))
+        for i in range(10))
+
+
+class TestPrivatePoa:
+    def test_upload_hides_all_payloads(self, poa, rng):
+        private, keys = build_private_poa(poa, rng=rng)
+        assert len(private) == len(keys) == len(poa)
+        for entry, original in zip(private.entries, poa):
+            assert original.payload not in entry.blob
+
+    def test_disclosure_clears_compliant_drone(self, poa, rng, signing_key,
+                                               frame, zone):
+        private, keys = build_private_poa(poa, rng=rng)
+        incident_time = T0 + 4.5
+        disclosed = keys_for_incident(poa, keys, incident_time)
+        assert len(disclosed) == 2
+        assert verify_private_disclosure(private, disclosed,
+                                         signing_key.public_key, zone,
+                                         incident_time, frame)
+
+    def test_disclosure_near_zone_does_not_clear(self, signing_key, frame,
+                                                 zone, rng):
+        # Sparse pair right beside the zone: cannot rule out entrance.
+        poa = ProofOfAlibi([
+            signed(signing_key, sample_at(frame, 100, 0, 0.0)),
+            signed(signing_key, sample_at(frame, 110, 0, 60.0))])
+        private, keys = build_private_poa(poa, rng=rng)
+        disclosed = keys_for_incident(poa, keys, T0 + 30.0)
+        assert not verify_private_disclosure(private, disclosed,
+                                             signing_key.public_key, zone,
+                                             T0 + 30.0, frame)
+
+    def test_uncovered_incident_rejected_operator_side(self, poa, rng):
+        _, keys = build_private_poa(poa, rng=rng)
+        with pytest.raises(VerificationError):
+            keys_for_incident(poa, keys, T0 + 3600.0)
+
+    def test_wrong_key_disclosure_rejected(self, poa, rng, signing_key,
+                                           frame, zone):
+        from repro.crypto.onetime import OneTimeKey
+        private, keys = build_private_poa(poa, rng=rng)
+        disclosed = keys_for_incident(poa, keys, T0 + 4.5)
+        index = min(disclosed)
+        disclosed[index] = OneTimeKey.generate(rng)   # swap in a junk key
+        with pytest.raises(VerificationError):
+            verify_private_disclosure(private, disclosed,
+                                      signing_key.public_key, zone,
+                                      T0 + 4.5, frame)
+
+    def test_non_consecutive_disclosure_rejected(self, poa, rng, signing_key,
+                                                 frame, zone):
+        private, keys = build_private_poa(poa, rng=rng)
+        disclosed = {0: keys[0], 5: keys[5]}
+        with pytest.raises(VerificationError):
+            verify_private_disclosure(private, disclosed,
+                                      signing_key.public_key, zone,
+                                      T0 + 2.0, frame)
+
+    def test_pair_not_bracketing_rejected(self, poa, rng, signing_key,
+                                          frame, zone):
+        private, keys = build_private_poa(poa, rng=rng)
+        disclosed = {0: keys[0], 1: keys[1]}   # brackets [T0, T0+1]
+        with pytest.raises(VerificationError):
+            verify_private_disclosure(private, disclosed,
+                                      signing_key.public_key, zone,
+                                      T0 + 8.0, frame)
+
+    def test_forged_signature_rejected(self, poa, rng, other_key, frame,
+                                       zone):
+        private, keys = build_private_poa(poa, rng=rng)
+        disclosed = keys_for_incident(poa, keys, T0 + 4.5)
+        with pytest.raises(VerificationError):
+            verify_private_disclosure(private, disclosed,
+                                      other_key.public_key, zone,
+                                      T0 + 4.5, frame)
+
+    def test_auditor_learns_only_two_samples(self, poa, rng):
+        """Privacy property: undisclosed blobs stay undecryptable."""
+        from repro.crypto.onetime import onetime_decrypt
+        from repro.errors import EncryptionError
+        private, keys = build_private_poa(poa, rng=rng)
+        disclosed = keys_for_incident(poa, keys, T0 + 4.5)
+        for i, entry in enumerate(private.entries):
+            if i in disclosed:
+                continue
+            for key in disclosed.values():
+                with pytest.raises(EncryptionError):
+                    onetime_decrypt(key, entry.blob)
+
+
+class TestPolygonZones:
+    def _rect_polygon(self, frame, width, height):
+        corners = [(0.0, 0.0), (width, 0.0), (width, height), (0.0, height)]
+        return PolygonNfz([(frame.to_geo(x, y).lat, frame.to_geo(x, y).lon)
+                           for x, y in corners])
+
+    def test_registration_produces_covering_circle(self, frame, rng):
+        server = AliDroneServer(frame, rng=random.Random(1),
+                                encryption_key_bits=512)
+        polygon = self._rect_polygon(frame, 60.0, 80.0)
+        zone_id, canonical = register_polygon_zone(server, polygon, "deed")
+        assert zone_id in server.zones
+        assert canonical.radius_m == pytest.approx(50.0, rel=1e-3)
+
+    def test_square_overapproximation_ratio(self, frame):
+        polygon = self._rect_polygon(frame, 100.0, 100.0)
+        # Circle over square: pi * (d/2)^2 / s^2 = pi/2.
+        assert overapproximation_ratio(polygon, frame) == pytest.approx(
+            1.5708, rel=1e-2)
+
+    def test_thin_polygon_overapproximates_badly(self, frame):
+        thin = self._rect_polygon(frame, 200.0, 2.0)
+        assert overapproximation_ratio(thin, frame) > 50.0

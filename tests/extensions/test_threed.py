@@ -1,0 +1,103 @@
+"""Tests for the 3-D Proof-of-Alibi extension (§VII-B1)."""
+
+import pytest
+
+from repro.core.nfz import CylinderNfz
+from repro.core.samples import GpsSample
+from repro.errors import ConfigurationError
+from repro.extensions.threed import (
+    alibi_is_sufficient_3d,
+    pair_is_sufficient_3d,
+    travel_ellipsoid,
+)
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def sample3d(frame, x, y, alt, t):
+    point = frame.to_geo(x, y)
+    return GpsSample(lat=point.lat, lon=point.lon, t=T0 + t, alt=alt)
+
+
+def cylinder_at(frame, x, y, ceiling, r):
+    center = frame.to_geo(x, y)
+    return CylinderNfz(center.lat, center.lon, ceiling_m=ceiling, radius_m=r)
+
+
+class TestTravelEllipsoid:
+    def test_requires_altitude(self, frame):
+        a = GpsSample(lat=40.0, lon=-88.0, t=T0)
+        b = GpsSample(lat=40.0, lon=-88.0, t=T0 + 1, alt=10.0)
+        with pytest.raises(ConfigurationError):
+            travel_ellipsoid(a, b, frame)
+
+    def test_out_of_order_rejected(self, frame):
+        a = sample3d(frame, 0, 0, 10.0, 1.0)
+        b = sample3d(frame, 0, 0, 10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            travel_ellipsoid(a, b, frame)
+
+    def test_focal_sum(self, frame):
+        a = sample3d(frame, 0, 0, 0.0, 0.0)
+        b = sample3d(frame, 30, 0, 40.0, 2.0)
+        e = travel_ellipsoid(a, b, frame, vmax_mps=50.0)
+        assert e.focal_sum == pytest.approx(100.0)
+        assert e.focal_distance == pytest.approx(50.0, abs=0.1)
+
+
+class TestPairSufficiency3d:
+    def test_overflight_above_ceiling_sufficient(self, frame):
+        """Flying over a low zone at altitude is legal in 3-D."""
+        zone = cylinder_at(frame, 100, 0, ceiling=60.0, r=30.0)
+        a = sample3d(frame, 0, 0, 200.0, 0.0)
+        b = sample3d(frame, 200, 0, 200.0, 5.0)
+        assert pair_is_sufficient_3d(a, b, [zone], frame)
+
+    def test_2d_footprint_would_flag_the_same_geometry(self, frame):
+        from repro.core.sufficiency import pair_is_sufficient
+        zone = cylinder_at(frame, 100, 0, ceiling=60.0, r=30.0)
+        a2d = GpsSample(lat=frame.to_geo(0, 0).lat,
+                        lon=frame.to_geo(0, 0).lon, t=T0)
+        b2d = GpsSample(lat=frame.to_geo(200, 0).lat,
+                        lon=frame.to_geo(200, 0).lon, t=T0 + 5.0)
+        assert not pair_is_sufficient(a2d, b2d, [zone.footprint()], frame)
+
+    def test_low_flight_near_zone_insufficient(self, frame):
+        zone = cylinder_at(frame, 100, 0, ceiling=120.0, r=30.0)
+        a = sample3d(frame, 0, 0, 50.0, 0.0)
+        b = sample3d(frame, 200, 0, 50.0, 5.0)
+        assert not pair_is_sufficient_3d(a, b, [zone], frame)
+
+    def test_exact_method(self, frame):
+        zone = cylinder_at(frame, 100, 0, ceiling=60.0, r=30.0)
+        a = sample3d(frame, 0, 0, 200.0, 0.0)
+        b = sample3d(frame, 200, 0, 200.0, 5.0)
+        assert pair_is_sufficient_3d(a, b, [zone], frame, method="exact")
+
+    def test_unknown_method_rejected(self, frame):
+        zone = cylinder_at(frame, 100, 0, 60.0, 30.0)
+        a = sample3d(frame, 0, 0, 10.0, 0.0)
+        b = sample3d(frame, 1, 0, 10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            pair_is_sufficient_3d(a, b, [zone], frame, method="nope")
+
+
+class TestAlibi3d:
+    def test_trace_over_zone_sufficient_at_altitude(self, frame):
+        zone = cylinder_at(frame, 100, 0, ceiling=60.0, r=30.0)
+        samples = [sample3d(frame, 20.0 * i, 0, 150.0, float(i))
+                   for i in range(11)]
+        assert alibi_is_sufficient_3d(samples, [zone], frame)
+
+    def test_descending_into_zone_airspace_insufficient(self, frame):
+        zone = cylinder_at(frame, 100, 0, ceiling=120.0, r=30.0)
+        samples = [sample3d(frame, 20.0 * i, 0, 150.0 - 12.0 * i, float(i))
+                   for i in range(11)]
+        assert not alibi_is_sufficient_3d(samples, [zone], frame)
+
+    def test_short_traces(self, frame):
+        zone = cylinder_at(frame, 0, 0, 60.0, 30.0)
+        assert alibi_is_sufficient_3d([], [], frame)
+        assert not alibi_is_sufficient_3d(
+            [sample3d(frame, 0, 0, 10.0, 0.0)], [zone], frame)

@@ -1,0 +1,140 @@
+"""Tests for repro.geo.ellipse — the heart of the sufficiency predicate."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geo.circle import Circle
+from repro.geo.ellipse import (
+    TravelRangeEllipse,
+    ellipse_disk_disjoint_conservative,
+    ellipse_disk_disjoint_exact,
+    min_focal_sum_over_disk,
+)
+
+
+class TestTravelRangeEllipse:
+    def test_negative_focal_sum_rejected(self):
+        with pytest.raises(GeometryError):
+            TravelRangeEllipse((0, 0), (1, 0), -1.0)
+
+    def test_feasibility(self):
+        assert TravelRangeEllipse((0, 0), (10, 0), 10.0).is_feasible
+        assert TravelRangeEllipse((0, 0), (10, 0), 12.0).is_feasible
+        assert not TravelRangeEllipse((0, 0), (10, 0), 9.0).is_feasible
+
+    def test_axes(self):
+        e = TravelRangeEllipse((-3, 0), (3, 0), 10.0)
+        assert e.semi_major == pytest.approx(5.0)
+        assert e.semi_minor == pytest.approx(4.0)  # 3-4-5
+
+    def test_contains_foci_and_boundary(self):
+        e = TravelRangeEllipse((-3, 0), (3, 0), 10.0)
+        assert e.contains((-3, 0))
+        assert e.contains((3, 0))
+        assert e.contains((5, 0))        # vertex
+        assert e.contains((0, 4))        # co-vertex
+        assert not e.contains((5.01, 0))
+        assert not e.contains((0, 4.01))
+
+    def test_degenerate_ellipse_is_segment(self):
+        e = TravelRangeEllipse((0, 0), (10, 0), 10.0)
+        assert e.contains((5, 0))
+        assert not e.contains((5, 0.1))
+
+    def test_focal_sum_at(self):
+        e = TravelRangeEllipse((0, 0), (6, 0), 10.0)
+        assert e.focal_sum_at((3, 4)) == pytest.approx(10.0)  # 5 + 5
+
+
+class TestConservativePredicate:
+    def test_clearly_disjoint(self):
+        e = TravelRangeEllipse((0, 0), (10, 0), 12.0)
+        assert ellipse_disk_disjoint_conservative(e, Circle(5, 100, 10))
+
+    def test_clearly_intersecting(self):
+        e = TravelRangeEllipse((0, 0), (10, 0), 12.0)
+        assert not ellipse_disk_disjoint_conservative(e, Circle(5, 0, 3))
+
+    def test_focus_inside_disk(self):
+        e = TravelRangeEllipse((0, 0), (10, 0), 12.0)
+        assert not ellipse_disk_disjoint_conservative(e, Circle(0, 0, 1))
+
+    def test_soundness_vs_exact(self):
+        """Conservative 'disjoint' always implies exact 'disjoint'."""
+        import random
+        rng = random.Random(13)
+        for _ in range(200):
+            f1 = (rng.uniform(-50, 50), rng.uniform(-50, 50))
+            f2 = (rng.uniform(-50, 50), rng.uniform(-50, 50))
+            focal_sum = math.dist(f1, f2) + rng.uniform(0, 40)
+            e = TravelRangeEllipse(f1, f2, focal_sum)
+            disk = Circle(rng.uniform(-80, 80), rng.uniform(-80, 80),
+                          rng.uniform(1, 30))
+            if ellipse_disk_disjoint_conservative(e, disk):
+                assert ellipse_disk_disjoint_exact(e, disk)
+
+    def test_conservative_false_positive_exists(self):
+        """There are truly-disjoint pairs the conservative test flags.
+
+        A disk beside the segment midpoint: the foci are far from the disk
+        along the segment but D1+D2 undercounts because the closest disk
+        point differs per focus.
+        """
+        e = TravelRangeEllipse((-10, 0), (10, 0), 20.5)
+        disk = Circle(0.0, 3.5, 0.6)
+        assert ellipse_disk_disjoint_exact(e, disk)
+        assert not ellipse_disk_disjoint_conservative(e, disk)
+
+
+class TestExactPredicate:
+    def test_min_focal_sum_segment_through_disk(self):
+        e = TravelRangeEllipse((-10, 0), (10, 0), 25.0)
+        disk = Circle(0, 0, 2.0)
+        assert min_focal_sum_over_disk(e, disk) == pytest.approx(20.0)
+
+    def test_min_focal_sum_offset_disk(self):
+        # Disk centred above the midpoint: nearest point is (0, 7), giving
+        # d1 + d2 = 2 * sqrt(100 + 49).
+        e = TravelRangeEllipse((-10, 0), (10, 0), 30.0)
+        disk = Circle(0, 10, 3.0)
+        expected = 2.0 * math.sqrt(100.0 + 49.0)
+        assert min_focal_sum_over_disk(e, disk) == pytest.approx(expected,
+                                                                 rel=1e-6)
+
+    def test_min_focal_sum_point_disk(self):
+        e = TravelRangeEllipse((0, 0), (6, 0), 10.0)
+        disk = Circle(3, 4, 0.0)
+        assert min_focal_sum_over_disk(e, disk) == pytest.approx(10.0)
+
+    def test_tangency_threshold(self):
+        # Circle tangent to the ellipse boundary from outside: the minimum
+        # focal sum equals the focal-sum bound exactly at tangency.
+        e = TravelRangeEllipse((-3, 0), (3, 0), 10.0)  # b = 4
+        tangent_disk = Circle(0, 7, 3.0)    # touches (0, 4)
+        outside_disk = Circle(0, 7, 2.9)
+        assert not ellipse_disk_disjoint_exact(e, tangent_disk)
+        assert ellipse_disk_disjoint_exact(e, outside_disk)
+
+    def test_disk_engulfing_ellipse(self):
+        e = TravelRangeEllipse((0, 0), (2, 0), 4.0)
+        assert not ellipse_disk_disjoint_exact(e, Circle(1, 0, 50.0))
+
+    def test_exact_matches_brute_force(self):
+        """Boundary minimization agrees with dense point sampling."""
+        import random
+        rng = random.Random(23)
+        for _ in range(30):
+            f1 = (rng.uniform(-20, 20), rng.uniform(-20, 20))
+            f2 = (rng.uniform(-20, 20), rng.uniform(-20, 20))
+            e = TravelRangeEllipse(f1, f2, math.dist(f1, f2) + 5.0)
+            disk = Circle(rng.uniform(-30, 30), rng.uniform(-30, 30),
+                          rng.uniform(0.5, 10.0))
+            got = min_focal_sum_over_disk(e, disk)
+            brute = min(
+                e.focal_sum_at((disk.x + r * math.cos(a),
+                                disk.y + r * math.sin(a)))
+                for a in [k * 2 * math.pi / 720 for k in range(720)]
+                for r in (0.0, disk.r / 2, disk.r))
+            assert got <= brute + 1e-6

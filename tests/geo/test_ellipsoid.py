@@ -1,0 +1,104 @@
+"""Tests for repro.geo.ellipsoid (3-D extension geometry)."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geo.ellipsoid import (
+    Cylinder,
+    TravelRangeEllipsoid,
+    ellipsoid_cylinder_disjoint,
+    ellipsoid_cylinder_disjoint_conservative,
+    min_focal_sum_over_cylinder,
+)
+
+
+class TestCylinder:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(GeometryError):
+            Cylinder(0, 0, -1.0, 10.0)
+        with pytest.raises(GeometryError):
+            Cylinder(0, 0, 1.0, -10.0)
+
+    def test_contains(self):
+        c = Cylinder(0, 0, 5.0, 100.0)
+        assert c.contains((0, 0, 50.0))
+        assert c.contains((5, 0, 0.0))       # wall, ground
+        assert c.contains((0, 5, 100.0))     # wall, ceiling
+        assert not c.contains((0, 0, 100.1))  # above ceiling
+        assert not c.contains((5.1, 0, 50.0))
+
+    def test_distance_radial(self):
+        c = Cylinder(0, 0, 5.0, 100.0)
+        assert c.distance_to((15.0, 0.0, 50.0)) == pytest.approx(10.0)
+
+    def test_distance_above_ceiling(self):
+        c = Cylinder(0, 0, 5.0, 100.0)
+        assert c.distance_to((0.0, 0.0, 130.0)) == pytest.approx(30.0)
+
+    def test_distance_diagonal_corner(self):
+        c = Cylinder(0, 0, 5.0, 100.0)
+        # 3-4-5 from the rim at the ceiling.
+        assert c.distance_to((8.0, 0.0, 104.0)) == pytest.approx(5.0)
+
+    def test_distance_inside_is_zero(self):
+        c = Cylinder(0, 0, 5.0, 100.0)
+        assert c.distance_to((1.0, 1.0, 10.0)) == 0.0
+
+
+class TestTravelRangeEllipsoid:
+    def test_negative_focal_sum_rejected(self):
+        with pytest.raises(GeometryError):
+            TravelRangeEllipsoid((0, 0, 0), (1, 0, 0), -0.1)
+
+    def test_feasibility(self):
+        assert TravelRangeEllipsoid((0, 0, 0), (3, 4, 0), 5.0).is_feasible
+        assert not TravelRangeEllipsoid((0, 0, 0), (3, 4, 0), 4.9).is_feasible
+
+    def test_contains(self):
+        e = TravelRangeEllipsoid((0, 0, 0), (6, 0, 0), 10.0)
+        assert e.contains((3, 0, 4))  # 5 + 5
+        assert not e.contains((3, 0, 4.1))
+
+
+class TestDisjointness:
+    def test_conservative_clear_separation(self):
+        e = TravelRangeEllipsoid((0, 0, 50), (100, 0, 50), 120.0)
+        z = Cylinder(50, 500, 20.0, 100.0)
+        assert ellipsoid_cylinder_disjoint_conservative(e, z)
+
+    def test_conservative_overlap(self):
+        e = TravelRangeEllipsoid((0, 0, 50), (100, 0, 50), 120.0)
+        z = Cylinder(50, 0, 20.0, 100.0)
+        assert not ellipsoid_cylinder_disjoint_conservative(e, z)
+
+    def test_overflight_above_ceiling_is_legal(self):
+        """The 3-D model's point: flying over a low zone is allowed."""
+        e = TravelRangeEllipsoid((0, 0, 120.0), (100, 0, 120.0), 101.0)
+        z = Cylinder(50, 0, 30.0, 60.0)  # ceiling at 60 m
+        assert ellipsoid_cylinder_disjoint(e, z, exact=True)
+        # The 2-D footprint of the same geometry would flag it: the
+        # horizontal track passes straight over the zone.
+        assert not ellipsoid_cylinder_disjoint(
+            TravelRangeEllipsoid((0, 0, 0.0), (100, 0, 0.0), 101.0), z,
+            exact=True)
+
+    def test_exact_min_matches_hand_computation(self):
+        e = TravelRangeEllipsoid((0, 0, 0), (0, 0, 0), 1.0)
+        z = Cylinder(10, 0, 2.0, 50.0)
+        # Closest cylinder point to the single focus is (8, 0, 0): min sum 16.
+        assert min_focal_sum_over_cylinder(e, z) == pytest.approx(16.0,
+                                                                  abs=1e-4)
+
+    def test_conservative_soundness_vs_exact(self):
+        import random
+        rng = random.Random(5)
+        for _ in range(25):
+            f1 = (rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(0, 100))
+            f2 = (rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(0, 100))
+            e = TravelRangeEllipsoid(f1, f2, math.dist(f1, f2) + rng.uniform(1, 30))
+            z = Cylinder(rng.uniform(-60, 60), rng.uniform(-60, 60),
+                         rng.uniform(2, 20), rng.uniform(10, 120))
+            if ellipsoid_cylinder_disjoint_conservative(e, z):
+                assert ellipsoid_cylinder_disjoint(e, z, exact=True)

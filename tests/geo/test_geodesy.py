@@ -1,0 +1,147 @@
+"""Tests for repro.geo.geodesy."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geo.geodesy import (
+    GeoPoint,
+    LocalFrame,
+    destination_point,
+    haversine_distance_m,
+    initial_bearing_deg,
+)
+from repro.units import EARTH_RADIUS_M
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(40.0, -88.0)
+        assert p.lat == 40.0
+        assert p.lon == -88.0
+
+    @pytest.mark.parametrize("lat,lon", [(91.0, 0.0), (-90.5, 0.0),
+                                         (0.0, 181.0), (0.0, -180.1)])
+    def test_out_of_range_rejected(self, lat, lon):
+        with pytest.raises(GeometryError):
+            GeoPoint(lat, lon)
+
+    def test_boundary_values_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_distance_to_delegates_to_haversine(self):
+        a, b = GeoPoint(40.0, -88.0), GeoPoint(40.1, -88.0)
+        assert a.distance_to(b) == haversine_distance_m(a, b)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(40.0, -88.0)
+        assert haversine_distance_m(p, p) == 0.0
+
+    def test_one_degree_latitude(self):
+        a, b = GeoPoint(40.0, -88.0), GeoPoint(41.0, -88.0)
+        expected = math.radians(1.0) * EARTH_RADIUS_M
+        assert haversine_distance_m(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetry(self):
+        a, b = GeoPoint(40.0, -88.0), GeoPoint(40.7, -87.3)
+        assert haversine_distance_m(a, b) == pytest.approx(
+            haversine_distance_m(b, a))
+
+    def test_equator_longitude_span(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 90.0)
+        quarter = math.pi * EARTH_RADIUS_M / 2.0
+        assert haversine_distance_m(a, b) == pytest.approx(quarter, rel=1e-9)
+
+    def test_antipodal_is_half_circumference(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0)
+        assert haversine_distance_m(a, b) == pytest.approx(
+            math.pi * EARTH_RADIUS_M, rel=1e-9)
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(GeoPoint(40.0, -88.0),
+                                   GeoPoint(41.0, -88.0)) == pytest.approx(0.0)
+
+    def test_due_east_on_equator(self):
+        assert initial_bearing_deg(GeoPoint(0.0, 0.0),
+                                   GeoPoint(0.0, 1.0)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(GeoPoint(40.0, -88.0),
+                                   GeoPoint(39.0, -88.0)) == pytest.approx(180.0)
+
+    def test_range_is_0_360(self):
+        bearing = initial_bearing_deg(GeoPoint(40.0, -88.0),
+                                      GeoPoint(40.5, -88.5))
+        assert 0.0 <= bearing < 360.0
+
+
+class TestDestinationPoint:
+    def test_round_trip_distance(self):
+        origin = GeoPoint(40.0, -88.0)
+        dest = destination_point(origin, 37.0, 5_000.0)
+        assert haversine_distance_m(origin, dest) == pytest.approx(5_000.0,
+                                                                   rel=1e-9)
+
+    def test_zero_distance_is_identity(self):
+        origin = GeoPoint(40.0, -88.0)
+        dest = destination_point(origin, 123.0, 0.0)
+        assert dest.lat == pytest.approx(origin.lat)
+        assert dest.lon == pytest.approx(origin.lon)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(GeometryError):
+            destination_point(GeoPoint(0.0, 0.0), 0.0, -1.0)
+
+    def test_longitude_normalized(self):
+        dest = destination_point(GeoPoint(0.0, 179.9), 90.0, 50_000.0)
+        assert -180.0 <= dest.lon <= 180.0
+
+
+class TestLocalFrame:
+    def test_origin_maps_to_zero(self, frame):
+        assert frame.to_local(frame.origin) == pytest.approx((0.0, 0.0))
+
+    def test_round_trip(self, frame):
+        point = GeoPoint(40.12, -88.19)
+        x, y = frame.to_local(point)
+        back = frame.to_geo(x, y)
+        assert back.lat == pytest.approx(point.lat, abs=1e-12)
+        assert back.lon == pytest.approx(point.lon, abs=1e-12)
+
+    def test_north_is_positive_y(self, frame):
+        north = GeoPoint(frame.origin.lat + 0.01, frame.origin.lon)
+        x, y = frame.to_local(north)
+        assert y > 0
+        assert x == pytest.approx(0.0, abs=1e-9)
+
+    def test_east_is_positive_x(self, frame):
+        east = GeoPoint(frame.origin.lat, frame.origin.lon + 0.01)
+        x, y = frame.to_local(east)
+        assert x > 0
+        assert y == pytest.approx(0.0, abs=1e-9)
+
+    def test_projection_error_small_at_10km(self, frame):
+        """Equirectangular distance is sub-metre at the 10 km scale.
+
+        Sub-metre is well below GPS noise, so the planar frame is safe for
+        the field-study footprints.
+        """
+        a = GeoPoint(frame.origin.lat + 0.04, frame.origin.lon + 0.05)
+        b = GeoPoint(frame.origin.lat - 0.03, frame.origin.lon - 0.04)
+        planar = frame.distance_m(a, b)
+        true = haversine_distance_m(a, b)
+        assert abs(planar - true) < 1.0
+
+    def test_polar_origin_rejected(self):
+        with pytest.raises(GeometryError):
+            LocalFrame(GeoPoint(90.0, 0.0))
+
+    def test_distance_m_zero(self, frame):
+        p = GeoPoint(40.11, -88.21)
+        assert frame.distance_m(p, p) == 0.0

@@ -1,0 +1,89 @@
+"""Tests for repro.geo.polygon."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geo.polygon import Polygon
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+TRIANGLE = Polygon([(0, 0), (6, 0), (0, 6)])
+
+
+class TestConstruction:
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_vertices_are_read_back(self):
+        assert SQUARE.vertices == ((0, 0), (4, 0), (4, 4), (0, 4))
+        assert len(SQUARE) == 4
+
+
+class TestAreaCentroid:
+    def test_square_area(self):
+        assert SQUARE.area() == pytest.approx(16.0)
+
+    def test_winding_does_not_change_area(self):
+        reverse = Polygon(list(reversed(SQUARE.vertices)))
+        assert reverse.area() == pytest.approx(SQUARE.area())
+        assert reverse.signed_area() == pytest.approx(-SQUARE.signed_area())
+
+    def test_triangle_area(self):
+        assert TRIANGLE.area() == pytest.approx(18.0)
+
+    def test_square_centroid(self):
+        assert SQUARE.centroid() == pytest.approx((2.0, 2.0))
+
+    def test_triangle_centroid(self):
+        assert TRIANGLE.centroid() == pytest.approx((2.0, 2.0))
+
+    def test_perimeter(self):
+        assert SQUARE.perimeter() == pytest.approx(16.0)
+
+
+class TestContains:
+    def test_interior(self):
+        assert SQUARE.contains((2.0, 2.0))
+
+    def test_exterior(self):
+        assert not SQUARE.contains((5.0, 2.0))
+        assert not SQUARE.contains((-0.1, 2.0))
+
+    def test_boundary_counts_as_inside(self):
+        assert SQUARE.contains((0.0, 2.0))
+        assert SQUARE.contains((4.0, 4.0))  # vertex
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch must be outside.
+        c_shape = Polygon([(0, 0), (4, 0), (4, 1), (1, 1), (1, 3), (4, 3),
+                           (4, 4), (0, 4)])
+        assert c_shape.contains((0.5, 2.0))
+        assert not c_shape.contains((2.5, 2.0))  # inside the notch
+
+
+class TestConvexity:
+    def test_square_is_convex(self):
+        assert SQUARE.is_convex()
+
+    def test_concave_detected(self):
+        arrow = Polygon([(0, 0), (4, 0), (2, 1), (2, 4)])
+        assert not arrow.is_convex()
+
+    def test_collinear_run_still_convex(self):
+        poly = Polygon([(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.is_convex()
+
+
+class TestBoundingCircle:
+    def test_square_bounding_circle(self):
+        c = SQUARE.bounding_circle()
+        assert (c.x, c.y) == pytest.approx((2.0, 2.0))
+        assert c.r == pytest.approx(2.0 * math.sqrt(2.0), rel=1e-9)
+
+    def test_all_vertices_covered(self):
+        poly = Polygon([(0, 0), (10, 1), (7, 8), (2, 6), (-1, 3)])
+        c = poly.bounding_circle()
+        for v in poly.vertices:
+            assert c.contains(v, tol=1e-6)

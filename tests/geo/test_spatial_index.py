@@ -1,0 +1,125 @@
+"""Tests for repro.geo.spatial_index."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.circle import Circle
+from repro.geo.spatial_index import GridIndex
+
+
+@pytest.fixture()
+def index():
+    g: GridIndex[str] = GridIndex(cell_size=10.0)
+    g.insert("a", Circle(0.0, 0.0, 5.0))
+    g.insert("b", Circle(100.0, 100.0, 5.0))
+    g.insert("c", Circle(50.0, 0.0, 2.0))
+    return g
+
+
+class TestBasics:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(cell_size=0.0)
+
+    def test_len_contains_get(self, index):
+        assert len(index) == 3
+        assert "a" in index
+        assert "missing" not in index
+        assert index.get("b") == Circle(100.0, 100.0, 5.0)
+        assert index.get("missing") is None
+
+    def test_insert_replaces(self, index):
+        index.insert("a", Circle(500.0, 500.0, 1.0))
+        assert len(index) == 3
+        assert index.get("a") == Circle(500.0, 500.0, 1.0)
+        # No stale cells: a query near the old location misses "a".
+        assert "a" not in index.query_rect(-10, -10, 10, 10)
+
+    def test_remove(self, index):
+        index.remove("a")
+        assert "a" not in index
+        with pytest.raises(KeyError):
+            index.remove("a")
+
+    def test_iteration(self, index):
+        assert sorted(index) == ["a", "b", "c"]
+        assert dict(index.items())["c"].r == 2.0
+
+
+class TestQueryRect:
+    def test_hit_and_miss(self, index):
+        assert index.query_rect(-10, -10, 10, 10) == ["a"]
+        assert index.query_rect(200, 200, 300, 300) == []
+
+    def test_rect_touching_circle_edge(self, index):
+        # Rectangle whose nearest edge is exactly r away from the centre.
+        assert index.query_rect(5.0, -1.0, 6.0, 1.0) == ["a"]
+        assert index.query_rect(5.1, -1.0, 6.0, 1.0) == []
+
+    def test_swapped_corners_normalized(self, index):
+        assert index.query_rect(10, 10, -10, -10) == ["a"]
+
+    def test_multiple_hits_sorted(self, index):
+        hits = index.query_rect(-10, -10, 110, 110)
+        assert hits == ["a", "b", "c"]
+
+
+class TestQueryPoint:
+    def test_inside(self, index):
+        assert index.query_point((1.0, 1.0)) == ["a"]
+
+    def test_outside_all(self, index):
+        assert index.query_point((70.0, 70.0)) == []
+
+    def test_overlapping_circles(self):
+        g: GridIndex[str] = GridIndex(5.0)
+        g.insert("x", Circle(0, 0, 10))
+        g.insert("y", Circle(3, 0, 10))
+        assert g.query_point((1.0, 0.0)) == ["x", "y"]
+
+
+class TestNearest:
+    def test_empty_returns_none(self):
+        g: GridIndex[str] = GridIndex(10.0)
+        assert g.nearest((0.0, 0.0)) is None
+
+    def test_nearest_by_boundary_distance(self, index):
+        key, dist = index.nearest((60.0, 0.0))
+        assert key == "c"
+        assert dist == pytest.approx(8.0)
+
+    def test_nearest_inside_a_circle_is_negative(self, index):
+        key, dist = index.nearest((0.0, 0.0))
+        assert key == "a"
+        assert dist == pytest.approx(-5.0)
+
+    def test_large_circle_in_far_cell_beats_near_small(self):
+        """Boundary distance, not centre distance, decides nearest."""
+        g: GridIndex[str] = GridIndex(10.0)
+        g.insert("small", Circle(30.0, 0.0, 1.0))
+        g.insert("huge", Circle(200.0, 0.0, 180.0))
+        key, dist = g.nearest((0.0, 0.0))
+        assert key == "huge"
+        assert dist == pytest.approx(20.0)
+
+    def test_nearest_matches_brute_force_random(self):
+        rng = random.Random(3)
+        g: GridIndex[int] = GridIndex(25.0)
+        circles = {}
+        for i in range(80):
+            c = Circle(rng.uniform(-500, 500), rng.uniform(-500, 500),
+                       rng.uniform(1, 60))
+            circles[i] = c
+            g.insert(i, c)
+        for _ in range(40):
+            p = (rng.uniform(-600, 600), rng.uniform(-600, 600))
+            key, dist = g.nearest(p)
+            brute = min(circles.items(),
+                        key=lambda kv: kv[1].distance_to_boundary(p))
+            assert dist == pytest.approx(
+                brute[1].distance_to_boundary(p), abs=1e-9)
+            assert math.isclose(circles[key].distance_to_boundary(p), dist,
+                                abs_tol=1e-9)

@@ -1,0 +1,141 @@
+"""Tests for repro.gps.nmea."""
+
+import pytest
+
+from repro.errors import NmeaError
+from repro.gps.nmea import (
+    GpsFix,
+    fix_is_finite,
+    format_gpgga,
+    format_gprmc,
+    nmea_checksum,
+    parse_gpgga,
+    parse_gprmc,
+    parse_sentence,
+)
+from repro.sim.clock import DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def fix():
+    return GpsFix(lat=40.123456, lon=-88.654321, time=DEFAULT_EPOCH + 12.34,
+                  speed_mps=13.4, course_deg=271.5)
+
+
+class TestChecksum:
+    def test_known_value(self):
+        # XOR of "A" (0x41) and "B" (0x42) is 0x03.
+        assert nmea_checksum("AB") == "03"
+
+    def test_empty_body(self):
+        assert nmea_checksum("") == "00"
+
+
+class TestGprmcRoundTrip:
+    def test_sentence_structure(self, fix):
+        sentence = format_gprmc(fix)
+        assert sentence.startswith("$GPRMC,")
+        assert "*" in sentence
+
+    def test_round_trip_position(self, fix):
+        parsed = parse_gprmc(format_gprmc(fix))
+        assert parsed.lat == pytest.approx(fix.lat, abs=2e-6)
+        assert parsed.lon == pytest.approx(fix.lon, abs=2e-6)
+
+    def test_round_trip_time_to_centisecond(self, fix):
+        parsed = parse_gprmc(format_gprmc(fix))
+        assert parsed.time == pytest.approx(fix.time, abs=0.011)
+
+    def test_round_trip_speed_and_course(self, fix):
+        parsed = parse_gprmc(format_gprmc(fix))
+        assert parsed.speed_mps == pytest.approx(fix.speed_mps, abs=0.01)
+        assert parsed.course_deg == pytest.approx(fix.course_deg, abs=0.01)
+
+    def test_void_status(self, fix):
+        invalid = GpsFix(lat=fix.lat, lon=fix.lon, time=fix.time, valid=False)
+        assert not parse_gprmc(format_gprmc(invalid)).valid
+
+    def test_southern_western_hemispheres(self):
+        fix = GpsFix(lat=-33.865, lon=-151.209 + 360 - 360, time=DEFAULT_EPOCH)
+        parsed = parse_gprmc(format_gprmc(fix))
+        assert parsed.lat == pytest.approx(-33.865, abs=2e-6)
+        assert parsed.lon == pytest.approx(fix.lon, abs=2e-6)
+
+    def test_reference_sentence_parses(self):
+        # Hand-built reference sentence with independently computed fields.
+        body = "GPRMC,123519.00,A,4807.0380,N,01131.0000,E,022.40,084.40,230394,,,A"
+        sentence = f"${body}*{nmea_checksum(body)}"
+        parsed = parse_gprmc(sentence)
+        assert parsed.lat == pytest.approx(48.1173, abs=1e-4)
+        assert parsed.lon == pytest.approx(11.5167, abs=1e-4)
+        assert parsed.valid
+
+
+class TestGpggaRoundTrip:
+    def test_altitude_round_trip(self):
+        fix = GpsFix(lat=40.1, lon=-88.2, time=DEFAULT_EPOCH, altitude_m=123.4)
+        parsed = parse_gpgga(format_gpgga(fix))
+        assert parsed.altitude_m == pytest.approx(123.4, abs=0.05)
+
+    def test_quality_zero_is_invalid(self):
+        fix = GpsFix(lat=40.1, lon=-88.2, time=DEFAULT_EPOCH, valid=False)
+        assert not parse_gpgga(format_gpgga(fix)).valid
+
+
+class TestParseSentence:
+    def test_dispatch_rmc(self, fix):
+        assert parse_sentence(format_gprmc(fix)).lat == pytest.approx(fix.lat,
+                                                                      abs=2e-6)
+
+    def test_dispatch_gga(self, fix):
+        assert parse_sentence(format_gpgga(fix)).lat == pytest.approx(fix.lat,
+                                                                      abs=2e-6)
+
+    def test_unknown_type_rejected(self):
+        body = "GPVTG,054.7,T,034.4,M,005.5,N,010.2,K"
+        with pytest.raises(NmeaError):
+            parse_sentence(f"${body}*{nmea_checksum(body)}")
+
+
+class TestMalformedInput:
+    def test_bad_checksum_rejected(self, fix):
+        sentence = format_gprmc(fix)
+        bad = sentence[:-2] + ("00" if sentence[-2:] != "00" else "01")
+        with pytest.raises(NmeaError):
+            parse_gprmc(bad)
+
+    def test_missing_dollar_rejected(self, fix):
+        with pytest.raises(NmeaError):
+            parse_gprmc(format_gprmc(fix)[1:])
+
+    def test_missing_star_rejected(self):
+        with pytest.raises(NmeaError):
+            parse_gprmc("$GPRMC,123519,A")
+
+    def test_too_few_fields_rejected(self):
+        body = "GPRMC,123519.00,A"
+        with pytest.raises(NmeaError):
+            parse_gprmc(f"${body}*{nmea_checksum(body)}")
+
+    def test_garbage_coordinate_rejected(self):
+        body = "GPRMC,123519.00,A,48XX.038,N,01131.000,E,022.4,084.4,230394,,,A"
+        with pytest.raises(NmeaError):
+            parse_gprmc(f"${body}*{nmea_checksum(body)}")
+
+    def test_bad_hemisphere_rejected(self):
+        body = "GPRMC,123519.00,A,4807.038,Q,01131.000,E,022.4,084.4,230394,,,A"
+        with pytest.raises(NmeaError):
+            parse_gprmc(f"${body}*{nmea_checksum(body)}")
+
+    def test_whitespace_tolerated(self, fix):
+        parsed = parse_gprmc("  " + format_gprmc(fix) + "\r\n")
+        assert parsed.lat == pytest.approx(fix.lat, abs=2e-6)
+
+
+class TestFixIsFinite:
+    def test_normal_fix(self, fix):
+        assert fix_is_finite(fix)
+
+    def test_nan_detected(self):
+        bad = GpsFix(lat=0.0, lon=0.0, time=float("nan"))
+        assert not fix_is_finite(bad)

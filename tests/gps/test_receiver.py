@@ -1,0 +1,154 @@
+"""Tests for repro.gps.receiver."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NoFixError
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def source():
+    # 100 m east over 20 seconds: 5 m/s.
+    return WaypointSource([(T0, 0.0, 0.0), (T0 + 20.0, 100.0, 0.0)])
+
+
+@pytest.fixture()
+def receiver(source, frame):
+    return SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                start_time=T0, seed=1)
+
+
+class TestConfiguration:
+    def test_invalid_rate_rejected(self, source, frame):
+        with pytest.raises(ConfigurationError):
+            SimulatedGpsReceiver(source, frame, update_rate_hz=0.0)
+
+    def test_invalid_miss_probability_rejected(self, source, frame):
+        with pytest.raises(ConfigurationError):
+            SimulatedGpsReceiver(source, frame, miss_probability=1.0)
+
+    def test_negative_noise_rejected(self, source, frame):
+        with pytest.raises(ConfigurationError):
+            SimulatedGpsReceiver(source, frame, noise_std_m=-1.0)
+
+
+class TestUpdateDiscipline:
+    def test_no_fix_before_first_update(self, receiver):
+        assert receiver.fix_at(T0 - 0.01) is None
+        with pytest.raises(NoFixError):
+            receiver.require_fix_at(T0 - 0.01)
+
+    def test_first_update_at_start(self, receiver):
+        fix = receiver.fix_at(T0)
+        assert fix is not None
+        assert fix.time == pytest.approx(T0)
+
+    def test_reads_see_latest_completed_update(self, receiver):
+        # At T0 + 0.3 the latest update is the one at T0 + 0.2.
+        fix = receiver.fix_at(T0 + 0.3)
+        assert fix.time == pytest.approx(T0 + 0.2)
+
+    def test_fix_position_tracks_source(self, receiver, frame):
+        fix = receiver.fix_at(T0 + 10.0)
+        x, y = frame.to_local(type(frame.origin)(fix.lat, fix.lon))
+        assert x == pytest.approx(50.0, abs=0.5)
+
+    def test_update_count_matches_rate(self, receiver):
+        receiver.fix_at(T0 + 10.0)
+        assert receiver.updates_generated == pytest.approx(51, abs=2)
+
+    def test_queries_are_monotone_consistent(self, receiver):
+        early = receiver.fix_at(T0 + 1.0)
+        late = receiver.fix_at(T0 + 5.0)
+        again = receiver.fix_at(T0 + 1.0)
+        assert early.time == again.time
+        assert late.time > early.time
+
+    def test_speed_estimate(self, receiver):
+        fix = receiver.fix_at(T0 + 10.0)
+        assert fix.speed_mps == pytest.approx(5.0, abs=0.2)
+
+    def test_course_east(self, receiver):
+        fix = receiver.fix_at(T0 + 10.0)
+        assert fix.course_deg == pytest.approx(90.0, abs=2.0)
+
+
+class TestMissedUpdates:
+    def test_forced_miss_returns_stale_fix(self, source, frame):
+        receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                        start_time=T0, seed=1,
+                                        forced_miss_indices={5})
+        # Update 5 (at T0 + 1.0) is missed; the latest at T0 + 1.1 is #4.
+        fix = receiver.fix_at(T0 + 1.1)
+        assert fix.time == pytest.approx(T0 + 0.8)
+        assert receiver.updates_missed == 1
+
+    def test_random_misses_counted(self, source, frame):
+        receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                        start_time=T0, seed=3,
+                                        miss_probability=0.3)
+        receiver.fix_at(T0 + 19.0)
+        total = receiver.updates_generated + receiver.updates_missed
+        assert receiver.updates_missed > 0
+        assert receiver.updates_missed / total == pytest.approx(0.3, abs=0.12)
+
+    def test_next_fix_after_skips_misses(self, source, frame):
+        receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                        start_time=T0, seed=1,
+                                        forced_miss_indices={5, 6})
+        fix = receiver.next_fix_after(T0 + 0.8)
+        assert fix.time == pytest.approx(T0 + 1.4)
+
+
+class TestScheduleQueries:
+    def test_next_update_after(self, receiver):
+        assert receiver.next_update_after(T0 + 0.25) == pytest.approx(T0 + 0.4)
+
+    def test_next_update_after_includes_missed_slots(self, source, frame):
+        receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                        start_time=T0, seed=1,
+                                        forced_miss_indices={2})
+        assert receiver.next_update_after(T0 + 0.3) == pytest.approx(T0 + 0.4)
+
+    def test_updates_between(self, receiver):
+        fixes = receiver.updates_between(T0 + 0.9, T0 + 2.0)
+        assert len(fixes) == 6  # 1.0, 1.2, 1.4, 1.6, 1.8, 2.0
+        assert all(T0 + 0.9 < f.time <= T0 + 2.0 for f in fixes)
+
+    def test_sentence_at_is_parseable(self, receiver):
+        from repro.gps.nmea import parse_gprmc
+        parsed = parse_gprmc(receiver.sentence_at(T0 + 1.0))
+        assert parsed.time == pytest.approx(T0 + 1.0, abs=0.011)
+
+
+class TestNoise:
+    def test_noise_perturbs_position(self, source, frame):
+        clean = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                     start_time=T0, seed=1)
+        noisy = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                     start_time=T0, seed=1, noise_std_m=5.0)
+        a = clean.fix_at(T0 + 2.0)
+        b = noisy.fix_at(T0 + 2.0)
+        assert (a.lat, a.lon) != (b.lat, b.lon)
+
+    def test_deterministic_given_seed(self, source, frame):
+        def run():
+            r = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                     start_time=T0, seed=9, noise_std_m=3.0,
+                                     miss_probability=0.1, jitter_std_s=0.02)
+            return [(f.time, f.lat, f.lon)
+                    for f in r.updates_between(T0, T0 + 10.0)]
+
+        assert run() == run()
+
+    def test_jitter_keeps_updates_ordered(self, source, frame):
+        receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                        start_time=T0, seed=4,
+                                        jitter_std_s=0.5)
+        fixes = receiver.updates_between(T0, T0 + 15.0)
+        times = [f.time for f in fixes]
+        assert times == sorted(times)

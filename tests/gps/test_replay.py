@@ -1,0 +1,79 @@
+"""Tests for repro.gps.replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gps.nmea import GpsFix
+from repro.gps.replay import ReplaySource, WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+class TestWaypointSource:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaypointSource([])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaypointSource([(T0, 0, 0), (T0, 1, 1)])
+
+    def test_interpolation_midpoint(self):
+        src = WaypointSource([(T0, 0.0, 0.0), (T0 + 10.0, 100.0, 50.0)])
+        assert src.position_at(T0 + 5.0) == pytest.approx((50.0, 25.0))
+
+    def test_clamping_before_and_after(self):
+        src = WaypointSource([(T0, 1.0, 2.0), (T0 + 10.0, 3.0, 4.0)])
+        assert src.position_at(T0 - 100.0) == (1.0, 2.0)
+        assert src.position_at(T0 + 100.0) == (3.0, 4.0)
+
+    def test_exact_waypoint_hit(self):
+        src = WaypointSource([(T0, 0, 0), (T0 + 5, 10, 0), (T0 + 10, 10, 10)])
+        assert src.position_at(T0 + 5.0) == pytest.approx((10.0, 0.0))
+
+    def test_piecewise_segments(self):
+        src = WaypointSource([(T0, 0, 0), (T0 + 5, 10, 0), (T0 + 10, 10, 10)])
+        assert src.position_at(T0 + 7.5) == pytest.approx((10.0, 5.0))
+
+    def test_metadata(self):
+        src = WaypointSource([(T0, 0, 0), (T0 + 10, 1, 1)])
+        assert src.start_time == T0
+        assert src.end_time == T0 + 10
+        assert src.duration == 10.0
+
+    def test_single_waypoint_is_stationary(self):
+        src = WaypointSource([(T0, 5.0, 6.0)])
+        assert src.position_at(T0 - 1) == (5.0, 6.0)
+        assert src.position_at(T0 + 1) == (5.0, 6.0)
+
+
+class TestReplaySource:
+    def test_from_fixes_round_trip(self, frame):
+        original = WaypointSource([(T0, 0.0, 0.0), (T0 + 20.0, 100.0, 0.0)])
+        fixes = []
+        for i in range(21):
+            t = T0 + i
+            x, y = original.position_at(t)
+            point = frame.to_geo(x, y)
+            fixes.append(GpsFix(lat=point.lat, lon=point.lon, time=t))
+        replay = ReplaySource.from_fixes(fixes, frame)
+        for t in (T0 + 3.0, T0 + 10.5, T0 + 19.0):
+            assert replay.position_at(t) == pytest.approx(
+                original.position_at(t), abs=1e-6)
+
+    def test_unsorted_fixes_are_sorted(self, frame):
+        point = frame.to_geo(10.0, 0.0)
+        fixes = [GpsFix(lat=point.lat, lon=point.lon, time=T0 + 5),
+                 GpsFix(lat=frame.origin.lat, lon=frame.origin.lon, time=T0)]
+        replay = ReplaySource.from_fixes(fixes, frame)
+        assert replay.start_time == T0
+
+    def test_duplicate_timestamps_collapse(self, frame):
+        a = frame.to_geo(0.0, 0.0)
+        b = frame.to_geo(10.0, 0.0)
+        fixes = [GpsFix(lat=a.lat, lon=a.lon, time=T0),
+                 GpsFix(lat=b.lat, lon=b.lon, time=T0),
+                 GpsFix(lat=b.lat, lon=b.lon, time=T0 + 1)]
+        replay = ReplaySource.from_fixes(fixes, frame)
+        assert replay.position_at(T0) == pytest.approx((10.0, 0.0), abs=1e-6)

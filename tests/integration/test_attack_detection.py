@@ -1,0 +1,172 @@
+"""Integration: every GPS-forgery strategy ends in a violation finding.
+
+The unforgeability goal (G3) end to end: a dishonest operator flies
+through an NFZ and tries each §III-B attack to hide it; in every case the
+Auditor's adjudication pipeline produces a violation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.attacks import forge_straight_route, tamper_with_samples
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import encrypt_poa
+from repro.core.protocol import (
+    IncidentReport,
+    PoaSubmission,
+    ZoneRegistrationRequest,
+)
+from repro.drone.client import AliDroneClient
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.gps.replay import WaypointSource
+from repro.server.auditor import AliDroneServer
+from repro.server.violations import ViolationKind
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+from repro.tee.attestation import provision_device
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def attack_world(frame, vendor_key):
+    """A rogue drone that ACTUALLY flies through the zone at T0+30."""
+    server = AliDroneServer(frame, rng=random.Random(41),
+                            encryption_key_bits=512)
+    center = frame.to_geo(300.0, 0.0)
+    zone_id = server.register_zone(ZoneRegistrationRequest(
+        zone=NoFlyZone(center.lat, center.lon, 40.0),
+        proof_of_ownership="deed"))
+
+    # The illicit trajectory: straight through the zone centre.
+    source = WaypointSource([(T0, 0.0, 0.0), (T0 + 60.0, 600.0, 0.0)])
+    device = provision_device("rogue", key_bits=512, rng=random.Random(42),
+                              vendor_key=vendor_key)
+    clock = SimClock(T0)
+    receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                    start_time=T0, seed=3)
+    device.attach_gps(receiver, clock)
+    client = AliDroneClient(device, receiver, clock, frame,
+                            rng=random.Random(43))
+    drone_id = client.register(server)
+    incident = IncidentReport(zone_id=zone_id, drone_id=drone_id,
+                              incident_time=T0 + 30.0,
+                              description="drone spotted over my yard")
+    return dict(server=server, client=client, incident=incident,
+                frame=frame, zone_id=zone_id, drone_id=drone_id)
+
+
+def submit(world, poa, start=T0, end=T0 + 60.0):
+    records = encrypt_poa(poa, world["server"].public_encryption_key,
+                          rng=random.Random(55))
+    world["server"].receive_poa(PoaSubmission(
+        drone_id=world["drone_id"], flight_id="rogue-flight",
+        records=records, claimed_start=start, claimed_end=end))
+
+
+class TestHonestSubmissionConvictsItself:
+    def test_truthful_poa_shows_violation(self, attack_world):
+        """Submitting the real trace cannot prove alibi — the drone WAS
+        inside the zone."""
+        record = attack_world["client"].fly(T0 + 60.0, policy="fixed",
+                                            fixed_rate_hz=2.0)
+        submit(attack_world, record.poa)
+        finding = attack_world["server"].handle_incident(
+            attack_world["incident"])
+        assert finding.violation
+        assert finding.kind is ViolationKind.INSUFFICIENT_ALIBI
+
+
+class TestPrecomputedRoute:
+    def test_forged_route_detected(self, attack_world, other_key, frame):
+        forged = forge_straight_route(
+            frame.to_geo(0.0, 500.0), frame.to_geo(600.0, 500.0),
+            T0, T0 + 60.0, 30, attacker_key=other_key)
+        submit(attack_world, forged)
+        finding = attack_world["server"].handle_incident(
+            attack_world["incident"])
+        assert finding.violation
+        assert finding.kind is ViolationKind.BAD_SIGNATURE
+
+
+class TestTamperedTrace:
+    def test_shifted_genuine_trace_detected(self, attack_world):
+        record = attack_world["client"].fly(T0 + 60.0, policy="fixed",
+                                            fixed_rate_hz=2.0)
+        # Shift the trace 500 m north, away from the zone.
+        moved = tamper_with_samples(record.poa, 0.0045, 0.0)
+        submit(attack_world, moved)
+        finding = attack_world["server"].handle_incident(
+            attack_world["incident"])
+        assert finding.violation
+        assert finding.kind is ViolationKind.BAD_SIGNATURE
+
+
+class TestReplayAttack:
+    def test_yesterdays_poa_does_not_cover_todays_incident(self,
+                                                           attack_world,
+                                                           frame, vendor_key):
+        """The operator replays a compliant PoA recorded earlier (a real
+        flight along a legal route, signed by the real TEE)."""
+        legal_source = WaypointSource([(T0 - 7200.0, 0.0, 500.0),
+                                       (T0 - 7140.0, 600.0, 500.0)])
+        device = attack_world["client"].device
+        # Reuse the same physical device for the earlier flight by
+        # replaying through a second receiver-less client is not possible
+        # (one receiver per device), so provision the twin flight record
+        # from a fresh identical device and keep only the PoA timestamps.
+        old_device = provision_device("rogue-past", key_bits=512,
+                                      rng=random.Random(42),
+                                      vendor_key=vendor_key)
+        clock = SimClock(T0 - 7200.0)
+        receiver = SimulatedGpsReceiver(legal_source, frame,
+                                        update_rate_hz=5.0,
+                                        start_time=T0 - 7200.0, seed=4)
+        old_device.attach_gps(receiver, clock)
+        old_client = AliDroneClient(old_device, receiver, clock, frame,
+                                    rng=random.Random(45))
+        old_record = old_client.fly(T0 - 7140.0, policy="fixed",
+                                    fixed_rate_hz=1.0)
+        # Same provisioning rng => same TEE key: signatures verify under
+        # the registered key, making this a *perfect* replay.
+        assert old_record.poa.verify_all(device.tee_public_key)
+        submit(attack_world, old_record.poa,
+               start=T0 - 7200.0, end=T0 - 7140.0)
+        finding = attack_world["server"].handle_incident(
+            attack_world["incident"])
+        assert finding.violation
+        assert finding.kind is ViolationKind.NO_POA
+
+
+class TestRelayAttack:
+    def test_accomplice_poa_detected(self, attack_world, frame, vendor_key):
+        """A second drone flies a legal route concurrently; its PoA is
+        submitted for the rogue drone."""
+        accomplice_source = WaypointSource([(T0, 0.0, 500.0),
+                                            (T0 + 60.0, 600.0, 500.0)])
+        accomplice_device = provision_device("accomplice", key_bits=512,
+                                             rng=random.Random(99),
+                                             vendor_key=vendor_key)
+        clock = SimClock(T0)
+        receiver = SimulatedGpsReceiver(accomplice_source, frame,
+                                        update_rate_hz=5.0, start_time=T0,
+                                        seed=5)
+        accomplice_device.attach_gps(receiver, clock)
+        accomplice = AliDroneClient(accomplice_device, receiver, clock,
+                                    frame, rng=random.Random(100))
+        record = accomplice.fly(T0 + 60.0, policy="fixed", fixed_rate_hz=2.0)
+        # Perfect timestamps, wrong TEE: submitted under the rogue's id.
+        submit(attack_world, record.poa)
+        finding = attack_world["server"].handle_incident(
+            attack_world["incident"])
+        assert finding.violation
+        assert finding.kind is ViolationKind.BAD_SIGNATURE
+
+
+class TestNoSubmission:
+    def test_silence_is_a_violation(self, attack_world):
+        finding = attack_world["server"].handle_incident(
+            attack_world["incident"])
+        assert finding.violation
+        assert finding.kind is ViolationKind.NO_POA

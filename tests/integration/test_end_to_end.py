@@ -1,0 +1,133 @@
+"""End-to-end protocol integration: registration through adjudication.
+
+Exercises the complete stack — provisioning, registration, zone query with
+signed nonce, route planning, simulated flight, adaptive sampling through
+the real TEE, PoA encryption, server-side decryption and verification, and
+incident adjudication — with no mocked components.
+"""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.protocol import IncidentReport, ZoneRegistrationRequest
+from repro.core.verification import VerificationStatus
+from repro.drone.client import AliDroneClient
+from repro.drone.flightplan import FlightPlan
+from repro.drone.kinematics import simulate_waypoint_flight
+from repro.drone.routing import plan_route
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.receiver import SimulatedGpsReceiver
+from repro.server.auditor import AliDroneServer
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture(scope="module")
+def world(vendor_key):
+    """A fully wired world: server, two zones, one compliant drone."""
+    frame = LocalFrame(GeoPoint(40.1000, -88.2200))
+    server = AliDroneServer(frame, rng=random.Random(11),
+                            encryption_key_bits=512)
+
+    zone_ids = []
+    zone_positions = [(400.0, 60.0, 40.0), (800.0, -80.0, 50.0)]
+    for x, y, r in zone_positions:
+        center = frame.to_geo(x, y)
+        zone_ids.append(server.register_zone(ZoneRegistrationRequest(
+            zone=NoFlyZone(center.lat, center.lon, r),
+            proof_of_ownership=f"deed-{x:.0f}", owner_name="owner")))
+
+    # Plan a compliant route through the zone field, then fly it.
+    zones = [record.zone for record in server.zones.all_zones()]
+    route = plan_route((0.0, 0.0), (1200.0, 0.0), zones, frame,
+                       clearance_m=60.0)
+    source = simulate_waypoint_flight(route, T0)
+
+    from repro.tee.attestation import provision_device
+    device = provision_device("e2e-dev", key_bits=512,
+                              rng=random.Random(21), vendor_key=vendor_key)
+    clock = SimClock(T0)
+    receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                    start_time=T0, seed=2, noise_std_m=0.5)
+    device.attach_gps(receiver, clock)
+    client = AliDroneClient(device, receiver, clock, frame,
+                            rng=random.Random(31), operator_name="acme")
+
+    client.register(server)
+    plan = FlightPlan([frame.to_geo(*route[0]), frame.to_geo(*route[-1])],
+                      margin_m=300.0)
+    client.query_zones(server, plan)
+    record = client.fly(T0 + source.duration, policy="adaptive")
+    report = client.submit_poa(server, record)
+    return dict(frame=frame, server=server, client=client, record=record,
+                report=report, zone_ids=zone_ids, source=source)
+
+
+class TestCompliantFlight:
+    def test_zone_query_found_both_zones(self, world):
+        assert len(world["client"].known_zones) == 2
+
+    def test_poa_accepted(self, world):
+        assert world["report"].status is VerificationStatus.ACCEPTED
+
+    def test_poa_retained_as_evidence(self, world):
+        retained = world["server"].retained_for(world["client"].drone_id)
+        assert len(retained) == 1
+        assert retained[0].report.compliant
+
+    def test_incidents_cleared_for_both_zones(self, world):
+        mid_flight = T0 + world["source"].duration / 2.0
+        for zone_id in world["zone_ids"]:
+            finding = world["server"].handle_incident(IncidentReport(
+                zone_id=zone_id, drone_id=world["client"].drone_id,
+                incident_time=mid_flight))
+            assert not finding.violation
+
+    def test_no_fines_assessed(self, world):
+        assert world["server"].ledger.offences(
+            world["client"].drone_id) == 0
+
+    def test_sampling_was_adaptive(self, world):
+        stats = world["record"].result.stats
+        # Far fewer samples than the 5 Hz ceiling over the flight.
+        ceiling = 5.0 * world["source"].duration
+        assert stats.auth_samples < ceiling / 3
+
+    def test_tee_accounting_consistent(self, world):
+        device = world["client"].device
+        signed = device.core.op_counters["gps_auth_samples"]
+        assert signed == world["record"].result.stats.auth_samples
+        # Every auth sample cost one SMC (plus session open/close).
+        smc = device.monitor.stats.calls_by_command["GetGPSAuth"]
+        assert smc == signed
+
+
+class TestSecondDroneIndependence:
+    def test_two_drones_do_not_collide(self, world, vendor_key):
+        """A second registered drone gets its own id and verifies under its
+        own TEE key only."""
+        from repro.tee.attestation import provision_device
+        frame = world["frame"]
+        source = world["source"]
+        device = provision_device("e2e-dev-2", key_bits=512,
+                                  rng=random.Random(77),
+                                  vendor_key=vendor_key)
+        clock = SimClock(T0)
+        receiver = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                        start_time=T0, seed=8)
+        device.attach_gps(receiver, clock)
+        client2 = AliDroneClient(device, receiver, clock, frame,
+                                 rng=random.Random(78))
+        drone_id_2 = client2.register(world["server"])
+        assert drone_id_2 != world["client"].drone_id
+        record = client2.fly(T0 + 30.0, policy="fixed", fixed_rate_hz=1.0,
+                             zones=world["client"].known_zones)
+        report = client2.submit_poa(world["server"], record)
+        assert report.status in (VerificationStatus.ACCEPTED,
+                                 VerificationStatus.INSUFFICIENT)
+        # Cross-check: drone 2's PoA does NOT verify under drone 1's key.
+        assert not record.poa.verify_all(
+            world["client"].device.tee_public_key)

@@ -1,0 +1,148 @@
+"""Failure injection: the system degrades safely, never silently.
+
+Receiver outages, hostile storage, oversized inputs, and clock misuse —
+each failure must surface as the right error or as a detectable
+degradation (insufficient PoA), never as a forged-looking success.
+"""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.sampling import AdaptiveSampler, FixRateSampler
+from repro.core.sufficiency import count_insufficient_pairs
+from repro.drone.adapter import Adapter
+from repro.errors import NoFixError, TeeStorageError
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+
+T0 = DEFAULT_EPOCH
+
+
+def zone_at(frame, x, y, r):
+    center = frame.to_geo(x, y)
+    return NoFlyZone(center.lat, center.lon, r)
+
+
+class TestReceiverOutage:
+    def test_long_outage_near_zone_is_visible_in_poa(self, make_platform,
+                                                     frame):
+        """A 6-second GPS blackout while passing a zone must show up as
+        insufficient pairs — the PoA cannot silently paper over it."""
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 40.0, 200.0, 0.0)])
+        zone = zone_at(frame, 100.0, 18.0, 5.0)
+        outage = frozenset(range(70, 100))  # updates 14 s .. 20 s
+        device, receiver, clock = make_platform(
+            source=source, forced_miss_indices=outage)
+        adapter = Adapter(device, receiver, clock)
+        adapter.start()
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 40.0)
+        samples = [entry.sample for entry in result.poa]
+        assert count_insufficient_pairs(samples, [zone], frame) >= 1
+        # And the sampler recovered: sampling continued after the outage.
+        assert result.stats.sample_times[-1] > T0 + 21.0
+
+    def test_outage_far_from_zones_is_harmless(self, make_platform, frame):
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 40.0, 200.0, 0.0)])
+        zone = zone_at(frame, 0.0, 50_000.0, 100.0)
+        outage = frozenset(range(70, 100))
+        device, receiver, clock = make_platform(
+            source=source, forced_miss_indices=outage, seed=4)
+        adapter = Adapter(device, receiver, clock)
+        adapter.start()
+        result = AdaptiveSampler([zone], frame).run(adapter, T0 + 40.0)
+        samples = [entry.sample for entry in result.poa]
+        assert count_insufficient_pairs(samples, [zone], frame) == 0
+
+    def test_fixed_sampler_survives_outage(self, make_platform, frame):
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 40.0, 200.0, 0.0)])
+        outage = frozenset(range(50, 75))
+        device, receiver, clock = make_platform(
+            source=source, forced_miss_indices=outage, seed=5)
+        adapter = Adapter(device, receiver, clock)
+        adapter.start()
+        result = FixRateSampler(1.0).run(adapter, T0 + 40.0)
+        # Samples were lost during the outage but sampling resumed.
+        assert 30 <= result.stats.auth_samples <= 41
+        times = [e.sample.t for e in result.poa]
+        assert max(times) > T0 + 16.0
+
+    def test_total_gps_failure_raises(self, make_device, frame):
+        """A receiver that never produces a fix fails loudly at first use."""
+        from repro.gps.receiver import SimulatedGpsReceiver
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 10.0, 1.0, 0.0)])
+        clock = SimClock(T0)
+        receiver = SimulatedGpsReceiver(source, frame,
+                                        start_time=T0 + 1e6)
+        device = make_device(seed=9)
+        device.attach_gps(receiver, clock)
+        adapter = Adapter(device, receiver, clock)
+        adapter.start()
+        with pytest.raises(NoFixError):
+            adapter.get_gps_auth()
+
+
+class TestHostileStorage:
+    def test_wiped_ta_store_blocks_sampling(self, make_platform):
+        """Deleting the TA image from untrusted storage is a DoS, not a
+        bypass: the session cannot open, nothing signs."""
+        from repro.errors import TrustedAppError
+        from repro.tee.gps_sampler_ta import GPS_SAMPLER_UUID
+        device, receiver, clock = make_platform(seed=6)
+        device.core.ta_store._images.clear()
+        adapter = Adapter(device, receiver, clock)
+        with pytest.raises(TrustedAppError):
+            adapter.start()
+
+    def test_swapped_sealed_entries_fail_closed(self, make_platform):
+        device, receiver, clock = make_platform(seed=7)
+        storage = device.sealed_storage
+        blobs = storage.raw_blobs()
+        # Replace the sign key blob with random bytes of the same length.
+        rng = random.Random(1)
+        junk = bytes(rng.randrange(256) for _ in range(
+            len(blobs["tee-sign-key"])))
+        storage.tamper("tee-sign-key", junk)
+        adapter = Adapter(device, receiver, clock)
+        with pytest.raises(TeeStorageError):
+            adapter.start()
+
+
+class TestClockMisuse:
+    def test_clock_cannot_go_backwards_mid_flight(self, make_platform):
+        from repro.errors import SimulationError
+        device, receiver, clock = make_platform(seed=8)
+        clock.advance(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(T0 + 5.0)
+
+
+class TestOversizedInputs:
+    def test_huge_poa_round_trips(self, signing_key, frame):
+        """5000-entry PoAs serialize and verify without issue."""
+        from repro.core.poa import ProofOfAlibi, SignedSample
+        from repro.core.samples import GpsSample
+        entries = []
+        signature = b"\x01" * 64
+        for i in range(5000):
+            sample = GpsSample(lat=40.0, lon=-88.0, t=T0 + i * 0.2)
+            entries.append(SignedSample(payload=sample.to_signed_payload(),
+                                        signature=signature))
+        poa = ProofOfAlibi(entries)
+        assert len(ProofOfAlibi.from_bytes(poa.to_bytes())) == 5000
+
+    def test_many_zones_sufficiency_scales(self, frame):
+        """Eq. (1) over 2000 zones stays well-behaved."""
+        from repro.core.samples import GpsSample
+        from repro.core.sufficiency import pair_is_sufficient
+        rng = random.Random(2)
+        zones = []
+        for _ in range(2000):
+            center = frame.to_geo(rng.uniform(5_000, 50_000),
+                                  rng.uniform(5_000, 50_000))
+            zones.append(NoFlyZone(center.lat, center.lon,
+                                   rng.uniform(5, 50)))
+        a = GpsSample(lat=frame.origin.lat, lon=frame.origin.lon, t=T0)
+        b = GpsSample(lat=frame.origin.lat, lon=frame.origin.lon, t=T0 + 1)
+        assert pair_is_sufficient(a, b, zones, frame)

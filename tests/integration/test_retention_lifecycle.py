@@ -1,0 +1,108 @@
+"""Integration: evidence retention over a multi-day horizon.
+
+The server keeps PoAs "for a couple of days" (§IV-C2).  This test runs
+three flights across three days, purges on a daily schedule, and checks
+the documented consequence: accusations against purged windows fall back
+to the burden-of-proof default (violation, `no_poa`), while retained
+windows still clear the drone.
+"""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
+from repro.core.protocol import (
+    DroneRegistrationRequest,
+    IncidentReport,
+    PoaSubmission,
+    ZoneRegistrationRequest,
+)
+from repro.core.samples import GpsSample
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.server.auditor import AliDroneServer
+from repro.server.violations import ViolationKind
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+DAY = 86_400.0
+
+
+@pytest.fixture()
+def world(frame, signing_key, other_key):
+    server = AliDroneServer(frame, rng=random.Random(81),
+                            encryption_key_bits=512,
+                            retention_s=3 * DAY)
+    center = frame.to_geo(0.0, 0.0)
+    zone_id = server.register_zone(ZoneRegistrationRequest(
+        zone=NoFlyZone(center.lat, center.lon, 50.0),
+        proof_of_ownership="deed"))
+    drone_id = server.register_drone(DroneRegistrationRequest(
+        operator_public_key=other_key.public_key,
+        tee_public_key=signing_key.public_key))
+
+    def fly_and_submit(day: int) -> None:
+        start = T0 + day * DAY
+        entries = []
+        for i in range(6):
+            point = frame.to_geo(200.0 + 20.0 * i, 0.0)
+            sample = GpsSample(lat=point.lat, lon=point.lon, t=start + i)
+            payload = sample.to_signed_payload()
+            entries.append(SignedSample(
+                payload=payload,
+                signature=sign_pkcs1_v15(signing_key, payload)))
+        records = encrypt_poa(ProofOfAlibi(entries),
+                              server.public_encryption_key,
+                              rng=random.Random(100 + day))
+        server.receive_poa(PoaSubmission(
+            drone_id=drone_id, flight_id=f"day-{day}", records=records,
+            claimed_start=start, claimed_end=start + 5.0), now=start + 5.0)
+
+    for day in (0, 2, 5):
+        fly_and_submit(day)
+    return server, drone_id, zone_id
+
+
+class TestRetentionLifecycle:
+    def test_all_evidence_initially_retained(self, world):
+        server, drone_id, _ = world
+        assert len(server.retained_for(drone_id)) == 3
+
+    def test_purge_is_age_selective(self, world):
+        server, drone_id, _ = world
+        # At day 6, the day-0 and day-2 submissions are beyond 3 days.
+        dropped = server.purge_expired(T0 + 6 * DAY)
+        assert dropped == 2
+        remaining = server.retained_for(drone_id)
+        assert len(remaining) == 1
+        assert remaining[0].submission.flight_id == "day-5"
+
+    def test_incident_in_retained_window_clears(self, world):
+        server, drone_id, zone_id = world
+        server.purge_expired(T0 + 6 * DAY)
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=drone_id,
+            incident_time=T0 + 5 * DAY + 2.5))
+        assert not finding.violation
+
+    def test_incident_in_purged_window_is_no_poa(self, world):
+        """The documented sharp edge: once evidence ages out, a late
+        accusation cannot be rebutted."""
+        server, drone_id, zone_id = world
+        server.purge_expired(T0 + 6 * DAY)
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=drone_id,
+            incident_time=T0 + 2.5))           # day-0 flight, purged
+        assert finding.violation
+        assert finding.kind is ViolationKind.NO_POA
+
+    def test_purge_is_idempotent(self, world):
+        server, _, _ = world
+        server.purge_expired(T0 + 6 * DAY)
+        assert server.purge_expired(T0 + 6 * DAY) == 0
+
+    def test_everything_purges_eventually(self, world):
+        server, drone_id, _ = world
+        assert server.purge_expired(T0 + 30 * DAY) == 3
+        assert server.retained_for(drone_id) == []

@@ -1,0 +1,100 @@
+"""Tests for repro.net.link and repro.net.framing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.net.framing import FrameType, decode_frame, encode_frame
+from repro.net.link import SimulatedLink
+
+
+class TestSimulatedLink:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedLink(latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimulatedLink(loss_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulatedLink(bandwidth_bps=0.0)
+
+    def test_delivery_after_latency(self):
+        link = SimulatedLink(latency_s=0.1, jitter_s=0.0)
+        link.send(b"hello", now=0.0)
+        assert link.receive(0.05) == []
+        assert link.receive(0.2) == [b"hello"]
+        assert link.pending == 0
+
+    def test_transmission_time_adds_to_delay(self):
+        link = SimulatedLink(latency_s=0.0, jitter_s=0.0,
+                             bandwidth_bps=8_000.0)  # 1 kB/s
+        link.send(b"x" * 100, now=0.0)  # 100 ms air time
+        assert link.receive(0.05) == []
+        assert link.receive(0.11) == [b"x" * 100]
+
+    def test_loss_is_deterministic_and_counted(self):
+        link = SimulatedLink(loss_probability=0.5, seed=3)
+        for i in range(100):
+            link.send(bytes([i]), now=float(i))
+        assert link.stats.dropped > 20
+        assert link.stats.dropped + len(link.receive(1e9)) == 100
+        assert link.stats.loss_rate == pytest.approx(
+            link.stats.dropped / 100)
+
+    def test_send_returns_air_time_even_when_lost(self):
+        link = SimulatedLink(loss_probability=0.999999 - 1e-9, seed=1,
+                             bandwidth_bps=8.0)
+        air = link.send(b"z", now=0.0)
+        assert air == pytest.approx(1.0)
+
+    def test_multiple_messages_ordered_by_arrival(self):
+        link = SimulatedLink(latency_s=0.1, jitter_s=0.0)
+        link.send(b"a", now=0.0)
+        link.send(b"b", now=0.01)
+        assert link.receive(1.0) == [b"a", b"b"]
+
+    def test_deterministic_given_seed(self):
+        def run():
+            link = SimulatedLink(latency_s=0.05, jitter_s=0.02,
+                                 loss_probability=0.2, seed=9)
+            for i in range(50):
+                link.send(bytes([i]), now=i * 0.1)
+            return link.receive(1e9)
+
+        assert run() == run()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        data = encode_frame(FrameType.POA_ENTRY, 42, b"payload")
+        frame = decode_frame(data)
+        assert frame.frame_type is FrameType.POA_ENTRY
+        assert frame.sequence == 42
+        assert frame.payload == b"payload"
+
+    def test_empty_payload(self):
+        frame = decode_frame(encode_frame(FrameType.FLIGHT_END, 7, b""))
+        assert frame.payload == b""
+
+    def test_crc_detects_any_corruption(self):
+        data = bytearray(encode_frame(FrameType.ACK, 1, b"\x00" * 16))
+        for position in range(len(data)):
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0x01
+            with pytest.raises(EncodingError):
+                decode_frame(bytes(corrupted))
+
+    def test_truncation_rejected(self):
+        data = encode_frame(FrameType.ACK, 1, b"abc")
+        with pytest.raises(EncodingError):
+            decode_frame(data[:10])
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_frame(FrameType.ACK, -1, b"")
+
+    def test_unknown_type_rejected(self):
+        import struct
+        import zlib
+        header = struct.Struct(">4sBQI").pack(b"ADNF", 99, 0, 0)
+        data = header + struct.pack(">I", zlib.crc32(header))
+        with pytest.raises(EncodingError):
+            decode_frame(data)

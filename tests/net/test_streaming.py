@@ -1,0 +1,122 @@
+"""Tests for repro.net.streaming and repro.net.energy."""
+
+import pytest
+
+from repro.core.poa import EncryptedPoaRecord
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.energy import WIFI_RADIO, RadioEnergyModel
+from repro.net.link import SimulatedLink
+from repro.net.streaming import StreamingAuditorEndpoint, StreamingUploader
+
+
+def record(i: int) -> EncryptedPoaRecord:
+    return EncryptedPoaRecord(ciphertext=bytes([i]) * 64,
+                              signature=bytes([255 - i]) * 64)
+
+
+def make_pair(loss=0.0, seed=0, rto=0.5):
+    uplink = SimulatedLink(latency_s=0.02, jitter_s=0.0,
+                           loss_probability=loss, seed=seed)
+    downlink = SimulatedLink(latency_s=0.02, jitter_s=0.0)
+    uploader = StreamingUploader(uplink, downlink, "flight-1",
+                                 retransmit_timeout_s=rto)
+    endpoint = StreamingAuditorEndpoint(uplink, downlink)
+    return uploader, endpoint
+
+
+def drive(uploader, endpoint, records, push_interval=0.2, max_time=60.0):
+    """Co-simulate both endpoints until the flight is fully delivered."""
+    t = 0.0
+    uploader.begin_flight(t)
+    for i, rec in enumerate(records):
+        t = (i + 1) * push_interval
+        uploader.push(rec, t)
+        endpoint.poll(t + 0.05)
+        uploader.poll(t + 0.1)
+    uploader.end_flight(t + push_interval)
+    while t < max_time and not (endpoint.complete and uploader.fully_acked):
+        t += 0.25
+        endpoint.poll(t)
+        uploader.poll(t)
+    return t
+
+
+class TestLosslessStreaming:
+    def test_all_entries_arrive_in_order(self):
+        uploader, endpoint = make_pair()
+        records = [record(i) for i in range(10)]
+        drive(uploader, endpoint, records)
+        assert endpoint.complete
+        assert endpoint.records() == records
+        assert endpoint.flight_id == "flight-1"
+
+    def test_no_retransmissions_without_loss(self):
+        uploader, endpoint = make_pair()
+        drive(uploader, endpoint, [record(i) for i in range(5)])
+        assert uploader.stats.retransmissions == 0
+
+    def test_push_without_begin_rejected(self):
+        uploader, _ = make_pair()
+        with pytest.raises(ProtocolError):
+            uploader.push(record(0), 0.0)
+
+    def test_push_after_end_rejected(self):
+        uploader, _ = make_pair()
+        uploader.begin_flight(0.0)
+        uploader.end_flight(1.0)
+        with pytest.raises(ProtocolError):
+            uploader.push(record(0), 2.0)
+
+    def test_invalid_rto_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_pair(rto=0.0)
+
+
+class TestLossyStreaming:
+    def test_retransmission_recovers_all_entries(self):
+        uploader, endpoint = make_pair(loss=0.3, seed=7, rto=0.3)
+        records = [record(i) for i in range(20)]
+        drive(uploader, endpoint, records, max_time=120.0)
+        assert endpoint.complete
+        assert endpoint.records() == records
+        assert uploader.stats.retransmissions > 0
+
+    def test_air_time_grows_with_loss(self):
+        clean_up, clean_ep = make_pair(loss=0.0)
+        drive(clean_up, clean_ep, [record(i) for i in range(20)])
+        lossy_up, lossy_ep = make_pair(loss=0.3, seed=5, rto=0.3)
+        drive(lossy_up, lossy_ep, [record(i) for i in range(20)],
+              max_time=120.0)
+        assert lossy_up.stats.air_time_s > clean_up.stats.air_time_s
+
+    def test_corrupt_frames_counted_not_fatal(self):
+        uploader, endpoint = make_pair()
+        uploader.begin_flight(0.0)
+        # Inject garbage straight onto the uplink.
+        uploader.uplink.send(b"not a frame at all", 0.0)
+        uploader.push(record(1), 0.1)
+        endpoint.poll(1.0)
+        assert endpoint.corrupt_frames == 1
+        assert len(endpoint.records()) == 1
+
+
+class TestEnergyModel:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioEnergyModel(tx_power_w=-1.0, idle_power_w=0.1)
+        with pytest.raises(ConfigurationError):
+            WIFI_RADIO.streaming_energy_j(-1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            WIFI_RADIO.battery_fraction(1.0, battery_wh=0.0)
+
+    def test_streaming_costs_idle_plus_tx(self):
+        energy = WIFI_RADIO.streaming_energy_j(flight_duration_s=100.0,
+                                               air_time_s=2.0)
+        assert energy == pytest.approx(0.25 * 100.0 + (1.3 - 0.25) * 2.0)
+
+    def test_deferred_costs_nothing_in_flight(self):
+        assert WIFI_RADIO.deferred_energy_j() == 0.0
+
+    def test_battery_fraction(self):
+        # 60 Wh = 216 kJ; 216 J is 0.1%.
+        assert WIFI_RADIO.battery_fraction(216.0) == pytest.approx(0.001)

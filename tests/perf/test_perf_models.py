@@ -1,0 +1,139 @@
+"""Tests for repro.perf: cost, CPU, power, memory, meter models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.costs import RASPBERRY_PI_3, CostModel
+from repro.perf.cpu import CpuUtilizationModel, UtilizationSeries
+from repro.perf.memory import RASPBERRY_PI_MEMORY, MemoryModel
+from repro.perf.meter import Measurement, mean_std
+from repro.perf.power import KAUP_RASPBERRY_PI, PowerModel, kaup_power_w
+
+
+class TestCostModel:
+    def test_calibrated_sign_costs(self):
+        assert RASPBERRY_PI_3.sign_cost(1024) == pytest.approx(0.0434,
+                                                               abs=1e-4)
+        assert RASPBERRY_PI_3.sign_cost(2048) == pytest.approx(0.2215,
+                                                               abs=1e-3)
+
+    def test_ratio_matches_paper(self):
+        """The 2048/1024 ratio back-derived from Table II is ~5.1x."""
+        ratio = RASPBERRY_PI_3.sign_cost(2048) / RASPBERRY_PI_3.sign_cost(1024)
+        assert ratio == pytest.approx(5.1, abs=0.2)
+
+    def test_unknown_size_interpolates_cubically(self):
+        cost_4096 = RASPBERRY_PI_3.sign_cost(4096)
+        assert cost_4096 == pytest.approx(RASPBERRY_PI_3.sign_cost(2048) * 8,
+                                          rel=1e-6)
+
+    def test_sustainability_boundary(self):
+        """The paper's '-' cells: 2048-bit cannot sustain 5 Hz."""
+        assert RASPBERRY_PI_3.can_sustain(5.0, 1024)
+        assert RASPBERRY_PI_3.can_sustain(3.0, 2048)
+        assert not RASPBERRY_PI_3.can_sustain(5.0, 2048)
+
+    def test_sustainable_rate(self):
+        assert RASPBERRY_PI_3.sustainable_rate_hz(2048) == pytest.approx(
+            4.5, abs=0.1)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(sign_seconds={1024: 0.01}, encrypt_seconds={1024: 0.001},
+                      num_cores=0)
+
+
+class TestCpuModel:
+    def test_fixed_rate_matches_paper_1024(self):
+        model = CpuUtilizationModel(RASPBERRY_PI_3)
+        for rate, expected in [(2.0, 2.17), (3.0, 3.17), (5.0, 5.59)]:
+            cpu = model.fixed_rate_utilization(rate, 1024)
+            assert cpu is not None
+            assert cpu.mean == pytest.approx(expected, abs=0.45)
+
+    def test_fixed_rate_matches_paper_2048(self):
+        model = CpuUtilizationModel(RASPBERRY_PI_3)
+        assert model.fixed_rate_utilization(2.0, 2048).mean == pytest.approx(
+            10.94, abs=0.5)
+        assert model.fixed_rate_utilization(5.0, 2048) is None
+
+    def test_utilization_scales_linearly_with_rate(self):
+        model = CpuUtilizationModel(RASPBERRY_PI_3)
+        u2 = model.fixed_rate_utilization(2.0, 1024).mean
+        u4 = model.fixed_rate_utilization(4.0, 1024).mean
+        assert u4 == pytest.approx(2.0 * u2, rel=0.01)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationSeries.from_sample_times([], 0.1, 10.0, 10.0, 4)
+
+    def test_busy_time_split_across_buckets(self):
+        # One sample at t=0.95 with 0.1 s busy: 0.05 s in bucket 0, 0.05 in 1.
+        series = UtilizationSeries.from_sample_times([0.95], 0.1, 0.0, 2.0, 1)
+        assert series.per_second_percent[0] == pytest.approx(5.0)
+        assert series.per_second_percent[1] == pytest.approx(5.0)
+
+    def test_mean_fraction(self):
+        model = CpuUtilizationModel(RASPBERRY_PI_3)
+        u = model.mean_utilization_fraction(100, 1024, 100.0)
+        expected = 100 * RASPBERRY_PI_3.auth_sample_cost(1024) / (100.0 * 4)
+        assert u == pytest.approx(expected)
+
+
+class TestPowerModel:
+    def test_equation_4_constants(self):
+        assert kaup_power_w(0.0) == pytest.approx(1.5778)
+        assert kaup_power_w(1.0) == pytest.approx(1.7588)
+
+    def test_table2_power_cell(self):
+        """Paper: 2.17% CPU -> 1.5817 W."""
+        assert kaup_power_w(0.0217) == pytest.approx(1.5817, abs=2e-4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kaup_power_w(1.5)
+        with pytest.raises(ConfigurationError):
+            kaup_power_w(-0.1)
+
+    def test_energy(self):
+        assert KAUP_RASPBERRY_PI.energy_j(0.0, 10.0) == pytest.approx(15.778)
+
+    def test_marginal_energy(self):
+        j = KAUP_RASPBERRY_PI.marginal_energy_j(1.0, 4)
+        assert j == pytest.approx(0.181 / 4.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KAUP_RASPBERRY_PI.energy_j(0.1, -1.0)
+
+
+class TestMemoryModel:
+    def test_table2_memory_row(self):
+        assert RASPBERRY_PI_MEMORY.resident_mb() == pytest.approx(3.27)
+        assert RASPBERRY_PI_MEMORY.percent_of_ram() == pytest.approx(0.327,
+                                                                     abs=0.01)
+
+    def test_buffered_samples_grow_footprint(self):
+        base = RASPBERRY_PI_MEMORY.resident_bytes()
+        grown = RASPBERRY_PI_MEMORY.resident_bytes(buffered_samples=1000)
+        assert grown > base
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RASPBERRY_PI_MEMORY.resident_bytes(-1)
+
+
+class TestMeter:
+    def test_mean_std(self):
+        m = mean_std([1.0, 2.0, 3.0])
+        assert m.mean == pytest.approx(2.0)
+        assert m.std == pytest.approx((2.0 / 3.0) ** 0.5)
+        assert m.n == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_std([])
+
+    def test_format(self):
+        assert Measurement(2.174, 0.049).format() == "2.17 ±0.05"
+        assert str(Measurement(1.0, 0.0)) == "1.00 ±0.00"

@@ -1,0 +1,100 @@
+"""Property-based tests on the crypto substrate (hypothesis).
+
+Keys are expensive, so all properties run against a handful of
+session-fixture keypairs rather than generating keys per example.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac_sign import hmac_sign, hmac_verify
+from repro.crypto.keys import (
+    private_key_from_bytes,
+    private_key_to_bytes,
+    public_key_from_bytes,
+    public_key_to_bytes,
+)
+from repro.crypto.onetime import OneTimeKey, onetime_decrypt, onetime_encrypt
+from repro.crypto.pkcs1 import (
+    decrypt_pkcs1_v15,
+    encrypt_pkcs1_v15,
+    sign_pkcs1_v15,
+    verify_pkcs1_v15,
+)
+
+messages = st.binary(min_size=0, max_size=53)  # fits 512-bit RSAES
+long_messages = st.binary(min_size=0, max_size=4096)
+
+
+class TestPkcs1Properties:
+    @given(message=long_messages)
+    @settings(max_examples=50, deadline=None)
+    def test_sign_verify_round_trip(self, signing_key, message):
+        signature = sign_pkcs1_v15(signing_key, message)
+        assert verify_pkcs1_v15(signing_key.public_key, message, signature)
+
+    @given(message=long_messages, suffix=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_extended_message_fails(self, signing_key, message, suffix):
+        signature = sign_pkcs1_v15(signing_key, message)
+        assert not verify_pkcs1_v15(signing_key.public_key,
+                                    message + suffix, signature)
+
+    @given(message=messages, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_encrypt_decrypt_round_trip(self, signing_key, message, seed):
+        ciphertext = encrypt_pkcs1_v15(signing_key.public_key, message,
+                                       rng=random.Random(seed))
+        assert decrypt_pkcs1_v15(signing_key, ciphertext) == message
+
+    @given(message=long_messages)
+    @settings(max_examples=30, deadline=None)
+    def test_cross_key_verification_fails(self, signing_key, other_key,
+                                          message):
+        signature = sign_pkcs1_v15(signing_key, message)
+        assert not verify_pkcs1_v15(other_key.public_key, message, signature)
+
+
+class TestKeyEncodingProperties:
+    def test_round_trips(self, signing_key):
+        assert public_key_from_bytes(
+            public_key_to_bytes(signing_key.public_key)) == signing_key.public_key
+        assert private_key_from_bytes(
+            private_key_to_bytes(signing_key)) == signing_key
+
+
+class TestSymmetricProperties:
+    @given(message=long_messages, key_seed=st.integers(0, 2**32))
+    @settings(max_examples=80, deadline=None)
+    def test_onetime_round_trip(self, message, key_seed):
+        key = OneTimeKey.generate(random.Random(key_seed))
+        assert onetime_decrypt(key, onetime_encrypt(key, message)) == message
+
+    @given(message=long_messages, key_seed=st.integers(0, 2**32),
+           flip=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_onetime_any_bitflip_detected(self, message, key_seed, flip):
+        from repro.errors import EncryptionError
+        import pytest
+        key = OneTimeKey.generate(random.Random(key_seed))
+        blob = bytearray(onetime_encrypt(key, message))
+        blob[flip % len(blob)] ^= 0x01
+        with pytest.raises(EncryptionError):
+            onetime_decrypt(key, bytes(blob))
+
+    @given(message=long_messages, key_seed=st.integers(0, 2**32))
+    @settings(max_examples=80, deadline=None)
+    def test_hmac_round_trip(self, message, key_seed):
+        key = random.Random(key_seed).randbytes(32)
+        assert hmac_verify(key, message, hmac_sign(key, message))
+
+    @given(message=long_messages, key_seed=st.integers(0, 2**32),
+           flip=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=60, deadline=None)
+    def test_hmac_tag_bitflip_detected(self, message, key_seed, flip):
+        key = random.Random(key_seed).randbytes(32)
+        tag = bytearray(hmac_sign(key, message))
+        tag[flip] ^= 0x01
+        assert not hmac_verify(key, message, bytes(tag))

@@ -1,0 +1,134 @@
+"""Property-based tests on protocol data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.sufficiency import (
+    alibi_is_sufficient,
+    insufficient_pair_indices,
+    pair_is_sufficient,
+)
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.nmea import GpsFix, format_gprmc, parse_gprmc
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+FRAME = LocalFrame(GeoPoint(40.1, -88.22))
+
+lat_small = st.floats(min_value=40.05, max_value=40.15, allow_nan=False)
+lon_small = st.floats(min_value=-88.27, max_value=-88.17, allow_nan=False)
+times = st.floats(min_value=T0, max_value=T0 + 3600.0, allow_nan=False)
+
+
+@st.composite
+def samples(draw):
+    return GpsSample(lat=draw(lat_small), lon=draw(lon_small), t=draw(times))
+
+
+@st.composite
+def zones(draw):
+    return NoFlyZone(draw(lat_small), draw(lon_small),
+                     draw(st.floats(min_value=1.0, max_value=500.0)))
+
+
+class TestPayloadProperties:
+    @given(s=samples())
+    @settings(max_examples=150, deadline=None)
+    def test_payload_round_trip_within_quantization(self, s):
+        back = GpsSample.from_signed_payload(s.to_signed_payload())
+        assert math.isclose(back.lat, s.lat, abs_tol=1e-7)
+        assert math.isclose(back.lon, s.lon, abs_tol=1e-7)
+        assert math.isclose(back.t, s.t, abs_tol=1e-6)
+
+    @given(s=samples())
+    @settings(max_examples=100, deadline=None)
+    def test_canonicalization_is_idempotent(self, s):
+        assert s.canonical().canonical() == s.canonical()
+
+    @given(entries=st.lists(samples(), max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_poa_serialization_round_trip(self, entries):
+        poa = ProofOfAlibi(
+            SignedSample(payload=s.to_signed_payload(), signature=b"\x01" * 64)
+            for s in entries)
+        assert ProofOfAlibi.from_bytes(poa.to_bytes()).entries == poa.entries
+
+
+class TestSufficiencyProperties:
+    @given(a=samples(), b=samples(), zone=zones())
+    @settings(max_examples=150, deadline=None)
+    def test_pair_order_normalization(self, a, b, zone):
+        first, second = (a, b) if a.t <= b.t else (b, a)
+        # A shorter time gap (same endpoints) can only help sufficiency.
+        if pair_is_sufficient(first, second, [zone], FRAME):
+            squeezed = GpsSample(lat=second.lat, lon=second.lon,
+                                 t=max(first.t,
+                                       second.t - (second.t - first.t) / 2))
+            assert pair_is_sufficient(first, squeezed, [zone], FRAME)
+
+    @given(trace=st.lists(samples(), min_size=2, max_size=12),
+           zone_list=st.lists(zones(), min_size=0, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_subset_of_zones_never_harder(self, trace, zone_list):
+        ordered = sorted(trace, key=lambda s: s.t)
+        full = insufficient_pair_indices(ordered, zone_list, FRAME)
+        for k in range(len(zone_list)):
+            subset = zone_list[:k]
+            partial = insufficient_pair_indices(ordered, subset, FRAME)
+            assert set(partial) <= set(full)
+
+    @given(data=st.data(), zone_list=st.lists(zones(), min_size=1,
+                                              max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_removing_samples_never_helps(self, data, zone_list):
+        """Dropping samples from a *feasible* trace never turns an
+        insufficient alibi sufficient.
+
+        This is the paper's E(Si, Sj) subset-of E(Si, Sk) argument; it
+        requires physical feasibility (consecutive displacement at most
+        v_max * dt) — infeasible traces are rejected by the verifier's
+        feasibility stage instead, where this monotonicity does not hold.
+        """
+        from repro.units import FAA_MAX_SPEED_MPS
+        n = data.draw(st.integers(min_value=3, max_value=10))
+        x, y = data.draw(st.tuples(
+            st.floats(-2000, 2000), st.floats(-2000, 2000)))
+        t = T0
+        ordered = []
+        for _ in range(n):
+            point = FRAME.to_geo(x, y)
+            ordered.append(GpsSample(lat=point.lat, lon=point.lon, t=t))
+            dt = data.draw(st.floats(min_value=0.1, max_value=5.0))
+            heading = data.draw(st.floats(min_value=0.0,
+                                          max_value=2 * math.pi))
+            step = data.draw(st.floats(min_value=0.0, max_value=0.9))
+            distance = step * FAA_MAX_SPEED_MPS * dt
+            x += distance * math.cos(heading)
+            y += distance * math.sin(heading)
+            t += dt
+        if alibi_is_sufficient(ordered, zone_list, FRAME):
+            return
+        thinned = ordered[::2]
+        assert not alibi_is_sufficient(thinned, zone_list, FRAME)
+
+
+class TestNmeaProperties:
+    @given(lat=st.floats(min_value=-89.9, max_value=89.9, allow_nan=False),
+           lon=st.floats(min_value=-179.9, max_value=179.9, allow_nan=False),
+           t=times,
+           speed=st.floats(min_value=0.0, max_value=100.0),
+           course=st.floats(min_value=0.0, max_value=359.99))
+    @settings(max_examples=150, deadline=None)
+    def test_gprmc_round_trip(self, lat, lon, t, speed, course):
+        fix = GpsFix(lat=lat, lon=lon, time=t, speed_mps=speed,
+                     course_deg=course)
+        parsed = parse_gprmc(format_gprmc(fix))
+        assert math.isclose(parsed.lat, lat, abs_tol=2e-6)
+        assert math.isclose(parsed.lon, lon, abs_tol=2e-6)
+        assert math.isclose(parsed.time, t, abs_tol=0.011)
+        assert math.isclose(parsed.speed_mps, speed, abs_tol=0.01)

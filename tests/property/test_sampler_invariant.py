@@ -1,0 +1,162 @@
+"""The adaptive sampler's core guarantee, as a property test.
+
+Claim (paper §IV-C3): with a receiver that never misses an update and a
+drone that keeps clear of every zone, Algorithm 1 (with the 2/R margin)
+produces a Proof-of-Alibi that is *sufficient* — equation (1) holds for
+every consecutive pair — no matter the zone layout or flight path.
+
+The test double below drives the algorithm directly over a ground-truth
+trajectory (no TEE, no signatures — the invariant under test is geometric),
+generating random zone fields and random piecewise-linear flights with
+hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import SignedSample
+from repro.core.samples import GpsSample
+from repro.core.sampling import AdaptiveSampler
+from repro.core.sufficiency import alibi_is_sufficient
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.units import FAA_MAX_SPEED_MPS
+
+T0 = DEFAULT_EPOCH
+FRAME = LocalFrame(GeoPoint(40.1, -88.22))
+
+#: The sampler can react within one update period; a zone can close in on
+#: the drone's *position* at most v_drone per second, but the sufficiency
+#: bound consumes v_max * dt, so the path must keep at least one update
+#: period of v_max in D1+D2 headroom: clearance > v_max / (2 R) per focus.
+GPS_RATE_HZ = 5.0
+MIN_CLEARANCE_M = FAA_MAX_SPEED_MPS / GPS_RATE_HZ  # 2x the strict bound
+
+
+class ScriptedHarness:
+    """A SamplingHarness over a trajectory, with a perfect 5 Hz receiver."""
+
+    def __init__(self, source: WaypointSource, rate_hz: float = GPS_RATE_HZ):
+        self.source = source
+        self.period = 1.0 / rate_hz
+        self._now = source.start_time
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        self._now = max(self._now, t)
+
+    def _fix_time(self, t: float) -> float:
+        # Tolerance must exceed float granularity at epoch scale (~2.4e-7
+        # near 1.5e9), or grid arithmetic stalls.
+        k = math.floor((t - self.source.start_time) / self.period + 1e-6)
+        return self.source.start_time + k * self.period
+
+    def _sample_at(self, t: float) -> GpsSample:
+        x, y = self.source.position_at(t)
+        point = FRAME.to_geo(x, y)
+        return GpsSample(lat=point.lat, lon=point.lon, t=t)
+
+    def read_gps(self) -> GpsSample:
+        return self._sample_at(self._fix_time(self._now))
+
+    def next_update_after(self, t: float) -> float:
+        nxt = self._fix_time(t) + self.period
+        # Guarantee progress despite float rounding at epoch magnitude.
+        while nxt <= t + 1e-7:
+            nxt += self.period
+        return nxt
+
+    def next_fix_time_after(self, t: float) -> float:
+        return self.next_update_after(t)
+
+    def get_gps_auth(self) -> SignedSample:
+        sample = self.read_gps()
+        return SignedSample(payload=sample.to_signed_payload(),
+                            signature=b"")
+
+
+@st.composite
+def flight_and_zones(draw):
+    """A piecewise-linear sub-v_max flight plus clear-of-path zones."""
+    n_legs = draw(st.integers(min_value=1, max_value=4))
+    speed = draw(st.floats(min_value=2.0, max_value=17.0))
+    waypoints = [(T0, 0.0, 0.0)]
+    x = y = 0.0
+    t = T0
+    for _ in range(n_legs):
+        heading = draw(st.floats(min_value=0.0, max_value=2.0 * math.pi))
+        length = draw(st.floats(min_value=30.0, max_value=300.0))
+        dt = length / speed
+        x += length * math.cos(heading)
+        y += length * math.sin(heading)
+        t += dt
+        waypoints.append((t, x, y))
+    source = WaypointSource(waypoints)
+
+    n_zones = draw(st.integers(min_value=1, max_value=5))
+    zones = []
+    for _ in range(n_zones):
+        zx = draw(st.floats(min_value=-600.0, max_value=900.0))
+        zy = draw(st.floats(min_value=-600.0, max_value=900.0))
+        radius = draw(st.floats(min_value=3.0, max_value=60.0))
+        zones.append((zx, zy, radius))
+    return source, zones
+
+
+def _path_clearance(source: WaypointSource, zx, zy, r) -> float:
+    worst = math.inf
+    t = source.start_time
+    while t <= source.end_time + 1e-9:
+        x, y = source.position_at(t)
+        worst = min(worst, math.hypot(x - zx, y - zy) - r)
+        t += 0.05
+    return worst
+
+
+class TestAdaptiveSamplerInvariant:
+    @given(case=flight_and_zones())
+    @settings(max_examples=40, deadline=None)
+    def test_poa_always_sufficient_without_misses(self, case):
+        source, raw_zones = case
+        zones = []
+        for zx, zy, r in raw_zones:
+            # Keep only zones the flight actually stays clear of (with the
+            # reaction-headroom margin); a flight through a zone can never
+            # prove alibi, with any sampler.
+            if _path_clearance(source, zx, zy, r) > MIN_CLEARANCE_M:
+                center = FRAME.to_geo(zx, zy)
+                zones.append(NoFlyZone(center.lat, center.lon, r))
+        assume(zones)
+
+        harness = ScriptedHarness(source)
+        sampler = AdaptiveSampler(zones, FRAME, gps_rate_hz=GPS_RATE_HZ)
+        result = sampler.run(harness, source.end_time)
+
+        samples = [entry.sample for entry in result.poa]
+        assert result.stats.auth_samples >= 1
+        assert alibi_is_sufficient(samples, zones, FRAME), (
+            f"insufficient PoA with {len(samples)} samples over "
+            f"{source.duration:.1f} s")
+
+    @given(case=flight_and_zones())
+    @settings(max_examples=20, deadline=None)
+    def test_samples_are_subset_of_receiver_updates(self, case):
+        """Every authenticated sample lies on the receiver's update grid."""
+        source, _ = case
+        center = FRAME.to_geo(100.0, 100.0)
+        zones = [NoFlyZone(center.lat, center.lon, 10.0)]
+        harness = ScriptedHarness(source)
+        result = AdaptiveSampler(zones, FRAME,
+                                 gps_rate_hz=GPS_RATE_HZ).run(
+            harness, source.end_time)
+        for entry in result.poa:
+            offset = (entry.sample.t - T0) / (1.0 / GPS_RATE_HZ)
+            assert abs(offset - round(offset)) < 1e-3

@@ -1,0 +1,131 @@
+"""Metamorphic security property: NO single-byte tamper survives the verifier.
+
+The unforgeability goal (G3) as a hypothesis property: take an honestly
+produced, Auditor-accepted PoA submission; flip any single bit of any
+record (ciphertext or signature); the verifier must no longer return
+ACCEPTED.  This covers the whole receive path — decryption, signature
+check, payload decode — against arbitrary bit-level tampering.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import (
+    EncryptedPoaRecord,
+    ProofOfAlibi,
+    SignedSample,
+    encrypt_poa,
+)
+from repro.core.protocol import PoaSubmission
+from repro.core.samples import GpsSample
+from repro.core.verification import VerificationStatus
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+FRAME = LocalFrame(GeoPoint(40.1, -88.22))
+
+
+@pytest.fixture(scope="module")
+def accepted_submission(signing_key, other_key):
+    """An honest, accepted submission against a fresh server."""
+    from repro.core.protocol import (
+        DroneRegistrationRequest,
+        ZoneRegistrationRequest,
+    )
+    from repro.server.auditor import AliDroneServer
+
+    server = AliDroneServer(FRAME, rng=random.Random(71),
+                            encryption_key_bits=512)
+    center = FRAME.to_geo(0.0, 0.0)
+    server.register_zone(ZoneRegistrationRequest(
+        zone=NoFlyZone(center.lat, center.lon, 50.0),
+        proof_of_ownership="deed"))
+    drone_id = server.register_drone(DroneRegistrationRequest(
+        operator_public_key=other_key.public_key,
+        tee_public_key=signing_key.public_key))
+
+    entries = []
+    for i in range(6):
+        point = FRAME.to_geo(200.0 + 20.0 * i, 0.0)
+        sample = GpsSample(lat=point.lat, lon=point.lon, t=T0 + i)
+        payload = sample.to_signed_payload()
+        entries.append(SignedSample(
+            payload=payload, signature=sign_pkcs1_v15(signing_key, payload)))
+    poa = ProofOfAlibi(entries)
+    records = encrypt_poa(poa, server.public_encryption_key,
+                          rng=random.Random(72))
+    baseline = server.receive_poa(PoaSubmission(
+        drone_id=drone_id, flight_id="honest", records=records,
+        claimed_start=T0, claimed_end=T0 + 5.0))
+    assert baseline.status is VerificationStatus.ACCEPTED
+    return server, drone_id, records
+
+
+class TestNoTamperSurvives:
+    @given(record_index=st.integers(min_value=0, max_value=5),
+           byte_index=st.integers(min_value=0, max_value=10_000),
+           bit=st.integers(min_value=0, max_value=7),
+           target=st.sampled_from(["ciphertext", "signature"]))
+    @settings(max_examples=120, deadline=None)
+    def test_single_bitflip_never_accepted(self, accepted_submission,
+                                           record_index, byte_index, bit,
+                                           target):
+        server, drone_id, records = accepted_submission
+        original = records[record_index]
+        field = getattr(original, target)
+        mutated = bytearray(field)
+        mutated[byte_index % len(mutated)] ^= (1 << bit)
+        if bytes(mutated) == field:  # pragma: no cover - mask always != 0
+            return
+        tampered = list(records)
+        if target == "ciphertext":
+            tampered[record_index] = EncryptedPoaRecord(
+                ciphertext=bytes(mutated), signature=original.signature)
+        else:
+            tampered[record_index] = EncryptedPoaRecord(
+                ciphertext=original.ciphertext, signature=bytes(mutated))
+        report = server.receive_poa(PoaSubmission(
+            drone_id=drone_id, flight_id="tampered", records=tampered,
+            claimed_start=T0, claimed_end=T0 + 5.0))
+        assert report.status is not VerificationStatus.ACCEPTED
+
+    @given(drop=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_dropping_interior_records_near_zone_not_accepted(
+            self, accepted_submission, drop):
+        """Removing interior samples widens a pair near the zone; dropping
+        them must not improve the verdict (here: it stays accepted only if
+        the remaining pairs still clear the zone — and the Auditor's
+        retained trace shrinks, which an incident check would notice)."""
+        server, drone_id, records = accepted_submission
+        thinned = [r for i, r in enumerate(records)
+                   if i == 0 or i == len(records) - 1 or i % (drop + 1) == 0]
+        report = server.receive_poa(PoaSubmission(
+            drone_id=drone_id, flight_id="thinned", records=thinned,
+            claimed_start=T0, claimed_end=T0 + 5.0))
+        # Thinning an honest compliant trace can stay accepted (pairs are
+        # still sufficient) but must never produce a *better* status class.
+        assert report.status in (VerificationStatus.ACCEPTED,
+                                 VerificationStatus.INSUFFICIENT)
+
+    @given(swap_a=st.integers(min_value=0, max_value=5),
+           swap_b=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_record_reordering_never_accepted(self, accepted_submission,
+                                              swap_a, swap_b):
+        server, drone_id, records = accepted_submission
+        if swap_a == swap_b:
+            return
+        reordered = list(records)
+        reordered[swap_a], reordered[swap_b] = (reordered[swap_b],
+                                                reordered[swap_a])
+        report = server.receive_poa(PoaSubmission(
+            drone_id=drone_id, flight_id="reordered", records=reordered,
+            claimed_start=T0, claimed_end=T0 + 5.0))
+        assert report.status is VerificationStatus.REJECTED_MALFORMED

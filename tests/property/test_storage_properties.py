@@ -1,0 +1,72 @@
+"""Property tests on persistence: vault round trips and index consistency."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.poa import EncryptedPoaRecord
+from repro.geo.circle import Circle
+from repro.geo.spatial_index import GridIndex
+from repro.storage.vault import PoaVault
+
+
+records_strategy = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=128),
+              st.binary(min_size=1, max_size=128)),
+    min_size=0, max_size=12)
+
+
+class TestVaultProperties:
+    @given(raw=records_strategy,
+           flight_id=st.text(min_size=1, max_size=40),
+           start=st.floats(min_value=0, max_value=2e9, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_store_load_round_trip(self, tmp_path_factory, raw, flight_id,
+                                   start):
+        vault = PoaVault(tmp_path_factory.mktemp("vault"))
+        records = [EncryptedPoaRecord(ciphertext=ct, signature=sig)
+                   for ct, sig in raw]
+        vault.store(flight_id, "adaptive", start, start + 60.0, records)
+        entry = vault.load(flight_id)
+        assert entry.records == tuple(records)
+        assert entry.flight_id == flight_id
+        assert entry.claimed_start == start
+
+
+class TestGridIndexProperties:
+    circles = st.lists(
+        st.tuples(st.floats(-1000, 1000), st.floats(-1000, 1000),
+                  st.floats(0.5, 120.0)),
+        min_size=1, max_size=30)
+
+    @given(layout=circles,
+           rect=st.tuples(st.floats(-1200, 1200), st.floats(-1200, 1200),
+                          st.floats(1.0, 500.0), st.floats(1.0, 500.0)))
+    @settings(max_examples=80, deadline=None)
+    def test_rect_query_matches_brute_force(self, layout, rect):
+        import math
+        index: GridIndex[int] = GridIndex(cell_size=150.0)
+        for i, (x, y, r) in enumerate(layout):
+            index.insert(i, Circle(x, y, r))
+        rx, ry, w, h = rect
+        hits = set(index.query_rect(rx, ry, rx + w, ry + h))
+        for i, (x, y, r) in enumerate(layout):
+            nx = min(max(x, rx), rx + w)
+            ny = min(max(y, ry), ry + h)
+            intersects = math.hypot(x - nx, y - ny) <= r
+            assert (i in hits) == intersects, (i, layout[i], rect)
+
+    @given(layout=circles,
+           probe=st.tuples(st.floats(-1200, 1200), st.floats(-1200, 1200)))
+    @settings(max_examples=80, deadline=None)
+    def test_nearest_matches_brute_force(self, layout, probe):
+        index: GridIndex[int] = GridIndex(cell_size=150.0)
+        circles = {}
+        for i, (x, y, r) in enumerate(layout):
+            c = Circle(x, y, r)
+            circles[i] = c
+            index.insert(i, c)
+        key, dist = index.nearest(probe)
+        best = min(c.distance_to_boundary(probe) for c in circles.values())
+        assert dist <= best + 1e-9

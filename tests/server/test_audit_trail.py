@@ -1,0 +1,105 @@
+"""Tests for the Auditor's operational event log (audit trail)."""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
+from repro.core.protocol import (
+    DroneRegistrationRequest,
+    IncidentReport,
+    PoaSubmission,
+    ZoneQuery,
+    ZoneRegistrationRequest,
+)
+from repro.core.samples import GpsSample
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.server.auditor import AliDroneServer
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def server(frame):
+    return AliDroneServer(frame, rng=random.Random(91),
+                          encryption_key_bits=512)
+
+
+def register_all(server, frame, signing_key, other_key):
+    zone_id = server.register_zone(ZoneRegistrationRequest(
+        zone=NoFlyZone(frame.to_geo(0, 0).lat, frame.to_geo(0, 0).lon, 50.0),
+        proof_of_ownership="deed", owner_name="alice"))
+    drone_id = server.register_drone(DroneRegistrationRequest(
+        operator_public_key=other_key.public_key,
+        tee_public_key=signing_key.public_key, operator_name="op"))
+    return zone_id, drone_id
+
+
+class TestAuditTrail:
+    def test_registrations_logged(self, server, frame, signing_key,
+                                  other_key):
+        zone_id, drone_id = register_all(server, frame, signing_key,
+                                         other_key)
+        zone_events = server.events.of_kind("zone_registered")
+        drone_events = server.events.of_kind("drone_registered")
+        assert zone_events[0].detail["zone_id"] == zone_id
+        assert zone_events[0].detail["owner"] == "alice"
+        assert drone_events[0].detail["drone_id"] == drone_id
+        assert drone_events[0].detail["attested"] is False
+
+    def test_zone_query_logged(self, server, frame, signing_key, other_key,
+                               rng):
+        _, drone_id = register_all(server, frame, signing_key, other_key)
+        query = ZoneQuery.create(drone_id, frame.to_geo(-100, -100),
+                                 frame.to_geo(100, 100), other_key, rng=rng)
+        server.handle_zone_query(query)
+        events = server.events.of_kind("zone_query")
+        assert events[0].detail == {"drone_id": drone_id,
+                                    "zones_returned": 1}
+
+    def test_poa_and_incident_logged(self, server, frame, signing_key,
+                                     other_key):
+        zone_id, drone_id = register_all(server, frame, signing_key,
+                                         other_key)
+        entries = []
+        for i in range(4):
+            point = frame.to_geo(300.0 + 20 * i, 0.0)
+            sample = GpsSample(lat=point.lat, lon=point.lon, t=T0 + i)
+            payload = sample.to_signed_payload()
+            entries.append(SignedSample(
+                payload=payload,
+                signature=sign_pkcs1_v15(signing_key, payload)))
+        records = encrypt_poa(ProofOfAlibi(entries),
+                              server.public_encryption_key,
+                              rng=random.Random(92))
+        server.receive_poa(PoaSubmission(
+            drone_id=drone_id, flight_id="f-1", records=records,
+            claimed_start=T0, claimed_end=T0 + 3.0))
+        poa_events = server.events.of_kind("poa_received")
+        assert poa_events[0].detail["flight_id"] == "f-1"
+        assert poa_events[0].detail["status"] == "accepted"
+
+        server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=drone_id, incident_time=T0 + 1.5))
+        incident_events = server.events.of_kind("incident_adjudicated")
+        assert incident_events[0].detail["violation"] is False
+
+        server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=drone_id,
+            incident_time=T0 + 9_999.0))
+        incident_events = server.events.of_kind("incident_adjudicated")
+        assert incident_events[1].detail["violation"] is True
+        assert incident_events[1].detail["violation_kind"] == "no_poa"
+
+    def test_trail_is_chronological_per_kind(self, server, frame,
+                                             signing_key, other_key):
+        zone_id, drone_id = register_all(server, frame, signing_key,
+                                         other_key)
+        for offset in (10.0, 20.0, 30.0):
+            server.handle_incident(IncidentReport(
+                zone_id=zone_id, drone_id=drone_id,
+                incident_time=T0 + offset))
+        times = [e.time for e in server.events.of_kind("incident_adjudicated")]
+        assert times == sorted(times)

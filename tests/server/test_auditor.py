@@ -1,0 +1,225 @@
+"""Tests for repro.server.auditor: the AliDrone Server."""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
+from repro.core.protocol import (
+    DroneRegistrationRequest,
+    IncidentReport,
+    PoaSubmission,
+    ZoneQuery,
+    ZoneRegistrationRequest,
+)
+from repro.core.samples import GpsSample
+from repro.core.verification import VerificationStatus
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.errors import AuthenticationError, RegistrationError
+from repro.server.auditor import AliDroneServer
+from repro.server.violations import ViolationKind
+from repro.sim.clock import DEFAULT_EPOCH
+
+T0 = DEFAULT_EPOCH
+
+
+def signed(key, sample):
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+def sample_at(frame, x, y, t):
+    point = frame.to_geo(x, y)
+    return GpsSample(lat=point.lat, lon=point.lon, t=T0 + t)
+
+
+@pytest.fixture()
+def server(frame):
+    return AliDroneServer(frame, rng=random.Random(7),
+                          encryption_key_bits=512)
+
+
+@pytest.fixture()
+def registered(server, signing_key, other_key):
+    """Register a drone whose TEE key is `signing_key` (operator: other)."""
+    drone_id = server.register_drone(DroneRegistrationRequest(
+        operator_public_key=other_key.public_key,
+        tee_public_key=signing_key.public_key, operator_name="op"))
+    return drone_id
+
+
+@pytest.fixture()
+def zone_id(server, frame):
+    center = frame.to_geo(0.0, 0.0)
+    return server.register_zone(ZoneRegistrationRequest(
+        zone=NoFlyZone(center.lat, center.lon, 50.0),
+        proof_of_ownership="deed", owner_name="alice"))
+
+
+def make_submission(server, frame, signing_key, drone_id, *, t_offset=0.0,
+                    n=8, flight="f-1"):
+    poa = ProofOfAlibi(
+        signed(signing_key,
+               sample_at(frame, 200.0 + 20 * i, 0.0, t_offset + i))
+        for i in range(n))
+    records = encrypt_poa(poa, server.public_encryption_key,
+                          rng=random.Random(3))
+    return PoaSubmission(drone_id=drone_id, flight_id=flight,
+                         records=records, claimed_start=T0 + t_offset,
+                         claimed_end=T0 + t_offset + n - 1)
+
+
+class TestZoneQuery:
+    def test_valid_query_answered(self, server, frame, registered, zone_id,
+                                  other_key, rng):
+        query = ZoneQuery.create(registered, frame.to_geo(-200, -200),
+                                 frame.to_geo(400, 400), other_key, rng=rng)
+        response = server.handle_zone_query(query)
+        assert len(response.zones) == 1
+        assert response.zones[0][0] == zone_id
+
+    def test_unregistered_drone_rejected(self, server, frame, other_key, rng):
+        query = ZoneQuery.create("drone-999999", frame.to_geo(0, 0),
+                                 frame.to_geo(1, 1), other_key, rng=rng)
+        with pytest.raises(RegistrationError):
+            server.handle_zone_query(query)
+
+    def test_wrong_signer_rejected(self, server, frame, registered,
+                                   signing_key, rng):
+        # Signed with the TEE key, not the operator key D-.
+        query = ZoneQuery.create(registered, frame.to_geo(0, 0),
+                                 frame.to_geo(1, 1), signing_key, rng=rng)
+        with pytest.raises(AuthenticationError):
+            server.handle_zone_query(query)
+
+    def test_nonce_replay_rejected(self, server, frame, registered,
+                                   other_key, rng):
+        query = ZoneQuery.create(registered, frame.to_geo(0, 0),
+                                 frame.to_geo(1, 1), other_key, rng=rng)
+        server.handle_zone_query(query)
+        with pytest.raises(AuthenticationError):
+            server.handle_zone_query(query)
+
+
+class TestPoaIntake:
+    def test_valid_submission_accepted_and_retained(self, server, frame,
+                                                    registered, zone_id,
+                                                    signing_key):
+        submission = make_submission(server, frame, signing_key, registered)
+        report = server.receive_poa(submission)
+        assert report.status is VerificationStatus.ACCEPTED
+        assert len(server.retained_for(registered)) == 1
+
+    def test_unknown_drone_rejected(self, server, frame, signing_key):
+        submission = make_submission(server, frame, signing_key,
+                                     "drone-404404")
+        with pytest.raises(RegistrationError):
+            server.receive_poa(submission)
+
+    def test_garbage_records_reported_malformed(self, server, registered):
+        from repro.core.poa import EncryptedPoaRecord
+        submission = PoaSubmission(
+            drone_id=registered, flight_id="f",
+            records=[EncryptedPoaRecord(ciphertext=b"\x00" * 64,
+                                        signature=b"\x00" * 64)],
+            claimed_start=T0, claimed_end=T0 + 1)
+        report = server.receive_poa(submission)
+        assert report.status is VerificationStatus.REJECTED_MALFORMED
+
+    def test_retention_purge(self, server, frame, registered, signing_key):
+        submission = make_submission(server, frame, signing_key, registered)
+        server.receive_poa(submission, now=T0)
+        assert server.purge_expired(T0 + server.retention_s + 1.0) == 1
+        assert server.retained_for(registered) == []
+
+    def test_retention_keeps_recent(self, server, frame, registered,
+                                    signing_key):
+        submission = make_submission(server, frame, signing_key, registered)
+        server.receive_poa(submission, now=T0)
+        assert server.purge_expired(T0 + 10.0) == 0
+        assert len(server.retained_for(registered)) == 1
+
+
+class TestIncidentAdjudication:
+    def test_cleared_by_sufficient_poa(self, server, frame, registered,
+                                       zone_id, signing_key):
+        server.receive_poa(make_submission(server, frame, signing_key,
+                                           registered))
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered, incident_time=T0 + 3.5))
+        assert not finding.violation
+        assert server.ledger.offences(registered) == 0
+
+    def test_no_poa_is_violation(self, server, frame, registered, zone_id):
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered, incident_time=T0 + 3.5))
+        assert finding.violation
+        assert finding.kind is ViolationKind.NO_POA
+        assert server.ledger.offences(registered) == 1
+
+    def test_incident_outside_window_is_violation(self, server, frame,
+                                                  registered, zone_id,
+                                                  signing_key):
+        server.receive_poa(make_submission(server, frame, signing_key,
+                                           registered))
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered,
+            incident_time=T0 + 3600.0))
+        assert finding.violation
+        assert finding.kind is ViolationKind.NO_POA
+
+    def test_insufficient_poa_is_violation(self, server, frame, registered,
+                                           zone_id, signing_key):
+        # Two samples 60 s apart near the zone: covers the window but
+        # cannot rule out entrance.
+        poa = ProofOfAlibi([
+            signed(signing_key, sample_at(frame, 200, 0, 0.0)),
+            signed(signing_key, sample_at(frame, 260, 0, 60.0))])
+        records = encrypt_poa(poa, server.public_encryption_key,
+                              rng=random.Random(3))
+        server.receive_poa(PoaSubmission(
+            drone_id=registered, flight_id="f", records=records,
+            claimed_start=T0, claimed_end=T0 + 60.0))
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered, incident_time=T0 + 30.0))
+        assert finding.violation
+        assert finding.kind is ViolationKind.INSUFFICIENT_ALIBI
+
+    def test_forged_poa_is_forgery_violation(self, server, frame, registered,
+                                             zone_id, other_key):
+        # Signed by a key other than the registered TEE key.
+        poa = ProofOfAlibi(
+            signed(other_key, sample_at(frame, 200 + 20 * i, 0, float(i)))
+            for i in range(8))
+        records = encrypt_poa(poa, server.public_encryption_key,
+                              rng=random.Random(3))
+        server.receive_poa(PoaSubmission(
+            drone_id=registered, flight_id="f", records=records,
+            claimed_start=T0, claimed_end=T0 + 7.0))
+        finding = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered, incident_time=T0 + 3.0))
+        assert finding.violation
+        assert finding.kind is ViolationKind.BAD_SIGNATURE
+
+    def test_unknown_zone_rejected(self, server, registered):
+        with pytest.raises(RegistrationError):
+            server.handle_incident(IncidentReport(
+                zone_id="zone-404404", drone_id=registered,
+                incident_time=T0))
+
+    def test_unknown_drone_rejected(self, server, zone_id):
+        with pytest.raises(RegistrationError):
+            server.handle_incident(IncidentReport(
+                zone_id=zone_id, drone_id="drone-404404", incident_time=T0))
+
+    def test_repeat_offences_escalate_fines(self, server, frame, registered,
+                                            zone_id):
+        first = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered, incident_time=T0 + 1.0))
+        second = server.handle_incident(IncidentReport(
+            zone_id=zone_id, drone_id=registered, incident_time=T0 + 2.0))
+        assert first.violation and second.violation
+        entries = list(server.ledger)
+        assert entries[1].fine > entries[0].fine

@@ -1,0 +1,80 @@
+"""Tests for repro.server.violations."""
+
+import pytest
+
+from repro.server.violations import (
+    PenaltyPolicy,
+    ViolationFinding,
+    ViolationKind,
+    ViolationLedger,
+)
+
+
+def finding(drone="drone-1", violation=True,
+            kind=ViolationKind.INSUFFICIENT_ALIBI):
+    return ViolationFinding(drone_id=drone, zone_id="zone-1",
+                            incident_time=0.0, violation=violation,
+                            kind=kind if violation else None)
+
+
+class TestPenaltyPolicy:
+    def test_base_fine(self):
+        policy = PenaltyPolicy(base_fine=100.0)
+        assert policy.fine_for(ViolationKind.INSUFFICIENT_ALIBI, 0) == 100.0
+
+    def test_repeat_escalation(self):
+        policy = PenaltyPolicy(base_fine=100.0, repeat_multiplier=2.0)
+        assert policy.fine_for(ViolationKind.INSUFFICIENT_ALIBI, 2) == 400.0
+
+    def test_forgery_multiplier(self):
+        policy = PenaltyPolicy(base_fine=100.0, forgery_multiplier=5.0)
+        assert policy.fine_for(ViolationKind.BAD_SIGNATURE, 0) == 500.0
+        assert policy.fine_for(ViolationKind.INFEASIBLE_TRACE, 0) == 500.0
+
+    def test_cap(self):
+        policy = PenaltyPolicy(base_fine=100.0, repeat_multiplier=10.0,
+                               max_fine=1_000.0)
+        assert policy.fine_for(ViolationKind.NO_POA, 5) == 1_000.0
+
+
+class TestViolationLedger:
+    def test_non_violation_not_recorded(self):
+        ledger = ViolationLedger()
+        assert ledger.adjudicate(finding(violation=False)) is None
+        assert len(ledger) == 0
+
+    def test_violation_recorded_with_fine(self):
+        ledger = ViolationLedger(PenaltyPolicy(base_fine=100.0))
+        entry = ledger.adjudicate(finding())
+        assert entry is not None
+        assert entry.fine == 100.0
+        assert ledger.offences("drone-1") == 1
+
+    def test_missing_kind_rejected(self):
+        ledger = ViolationLedger()
+        bad = ViolationFinding(drone_id="d", zone_id="z", incident_time=0.0,
+                               violation=True, kind=None)
+        with pytest.raises(ValueError):
+            ledger.adjudicate(bad)
+
+    def test_per_drone_escalation(self):
+        ledger = ViolationLedger(PenaltyPolicy(base_fine=100.0,
+                                               repeat_multiplier=2.0))
+        ledger.adjudicate(finding(drone="a"))
+        ledger.adjudicate(finding(drone="b"))
+        entry = ledger.adjudicate(finding(drone="a"))
+        assert entry.fine == 200.0            # a's second offence
+        assert ledger.offences("b") == 1
+
+    def test_total_fines(self):
+        ledger = ViolationLedger(PenaltyPolicy(base_fine=100.0,
+                                               repeat_multiplier=2.0))
+        ledger.adjudicate(finding())
+        ledger.adjudicate(finding())
+        assert ledger.total_fines("drone-1") == 300.0
+        assert ledger.total_fines("drone-x") == 0.0
+
+    def test_iteration(self):
+        ledger = ViolationLedger()
+        ledger.adjudicate(finding())
+        assert len(list(ledger)) == 1

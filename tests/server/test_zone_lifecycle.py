@@ -1,0 +1,81 @@
+"""Tests for NFZ deregistration/update and the pre-flight plan check."""
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.drone.flightplan import FlightPlan
+from repro.errors import RegistrationError
+from repro.server.database import NfzDatabase
+
+
+def zone_at(frame, x, y, r):
+    center = frame.to_geo(x, y)
+    return NoFlyZone(center.lat, center.lon, r)
+
+
+class TestZoneLifecycle:
+    def test_deregister_removes_from_queries(self, frame):
+        db = NfzDatabase(frame)
+        record = db.register(zone_at(frame, 100, 100, 20.0),
+                             proof_of_ownership="deed")
+        assert db.query_rect(frame.to_geo(0, 0), frame.to_geo(200, 200))
+        removed = db.deregister(record.zone_id)
+        assert removed.zone_id == record.zone_id
+        assert record.zone_id not in db
+        assert not db.query_rect(frame.to_geo(0, 0), frame.to_geo(200, 200))
+
+    def test_deregister_unknown_rejected(self, frame):
+        with pytest.raises(RegistrationError):
+            NfzDatabase(frame).deregister("zone-999")
+
+    def test_update_moves_zone(self, frame):
+        db = NfzDatabase(frame)
+        record = db.register(zone_at(frame, 100, 100, 20.0),
+                             owner_name="alice", proof_of_ownership="deed")
+        db.update(record.zone_id, zone_at(frame, 5_000, 5_000, 20.0))
+        assert not db.query_rect(frame.to_geo(0, 0), frame.to_geo(200, 200))
+        hits = db.query_rect(frame.to_geo(4_900, 4_900),
+                             frame.to_geo(5_100, 5_100))
+        assert [r.zone_id for r in hits] == [record.zone_id]
+        # Ownership metadata preserved.
+        assert db.lookup(record.zone_id).owner_name == "alice"
+
+    def test_update_unknown_rejected(self, frame):
+        with pytest.raises(RegistrationError):
+            NfzDatabase(frame).update("zone-404",
+                                      zone_at(frame, 0, 0, 1.0))
+
+    def test_id_not_reused_after_deregister(self, frame):
+        db = NfzDatabase(frame)
+        first = db.register(zone_at(frame, 0, 0, 5.0),
+                            proof_of_ownership="d")
+        db.deregister(first.zone_id)
+        second = db.register(zone_at(frame, 0, 0, 5.0),
+                             proof_of_ownership="d")
+        assert second.zone_id != first.zone_id
+
+
+class TestPreFlightCheck:
+    def test_clear_plan_is_compliant(self, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(500, 0)])
+        zones = [zone_at(frame, 250, 300, 40.0)]
+        assert plan.is_compliant(zones, frame)
+        assert plan.min_zone_clearance(zones, frame) == pytest.approx(
+            260.0, abs=1.0)
+
+    def test_crossing_plan_is_not(self, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(500, 0)])
+        zones = [zone_at(frame, 250, 0, 40.0)]
+        assert not plan.is_compliant(zones, frame)
+        assert plan.min_zone_clearance(zones, frame) < 0
+
+    def test_clearance_threshold(self, frame):
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(500, 0)])
+        zones = [zone_at(frame, 250, 100, 40.0)]  # 60 m clearance
+        assert plan.is_compliant(zones, frame, clearance_m=50.0)
+        assert not plan.is_compliant(zones, frame, clearance_m=70.0)
+
+    def test_no_zones_infinite_clearance(self, frame):
+        import math
+        plan = FlightPlan([frame.to_geo(0, 0), frame.to_geo(10, 0)])
+        assert plan.min_zone_clearance([], frame) == math.inf

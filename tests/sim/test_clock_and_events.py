@@ -1,0 +1,81 @@
+"""Tests for repro.sim.clock and repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import DEFAULT_EPOCH, SimClock
+from repro.sim.events import Event, EventLog
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = SimClock(0.0)
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock(10.0)
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_now_is_noop(self):
+        clock = SimClock(10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_callable_form(self):
+        clock = SimClock(3.0)
+        assert clock() == 3.0
+
+    def test_default_epoch_is_2018(self):
+        import datetime
+        date = datetime.datetime.fromtimestamp(DEFAULT_EPOCH,
+                                               tz=datetime.timezone.utc)
+        assert date.year == 2018
+
+
+class TestEventLog:
+    def test_record_and_count(self):
+        log = EventLog()
+        log.record(1.0, "sample", rate=5.0)
+        log.record(2.0, "sample")
+        log.record(3.0, "miss")
+        assert len(log) == 3
+        assert log.count("sample") == 2
+        assert log.count("nothing") == 0
+
+    def test_of_kind_preserves_order(self):
+        log = EventLog()
+        log.record(1.0, "a", i=1)
+        log.record(2.0, "b")
+        log.record(3.0, "a", i=2)
+        events = log.of_kind("a")
+        assert [e.detail["i"] for e in events] == [1, 2]
+
+    def test_between(self):
+        log = EventLog()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            log.record(t, "tick")
+        assert len(log.between(2.0, 3.0)) == 2
+
+    def test_event_is_frozen(self):
+        event = Event(time=1.0, kind="x")
+        with pytest.raises(AttributeError):
+            event.time = 2.0
+
+    def test_iteration(self):
+        log = EventLog()
+        log.record(1.0, "x")
+        assert [e.kind for e in log] == ["x"]

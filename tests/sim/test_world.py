@@ -1,0 +1,102 @@
+"""Tests for repro.sim.world: the multi-actor orchestrator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.gps.replay import WaypointSource
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.sim.world import CompositeSource, World
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = World(seed=5, key_bits=512)
+    w.register_zone(400.0, 80.0, 40.0, owner_name="alice")
+    w.register_zone(1200.0, -60.0, 50.0, owner_name="bob")
+    w.add_drone("alpha", home=(0.0, 0.0))
+    w.add_drone("beta", home=(50.0, 0.0))
+    return w
+
+
+class TestCompositeSource:
+    def test_parked_before_and_after(self):
+        source = CompositeSource((5.0, 6.0), T0)
+        assert source.position_at(T0 - 100.0) == (5.0, 6.0)
+        assert source.position_at(T0 + 100.0) == (5.0, 6.0)
+
+    def test_append_and_interpolate(self):
+        source = CompositeSource((0.0, 0.0), T0)
+        source.append(WaypointSource([(T0 + 10.0, 0.0, 0.0),
+                                      (T0 + 20.0, 100.0, 0.0)]))
+        assert source.position_at(T0 + 15.0) == pytest.approx((50.0, 0.0))
+        # Parked at the segment end afterwards.
+        assert source.position_at(T0 + 50.0) == pytest.approx((100.0, 0.0))
+
+    def test_parked_between_segments(self):
+        source = CompositeSource((0.0, 0.0), T0)
+        source.append(WaypointSource([(T0 + 10.0, 0.0, 0.0),
+                                      (T0 + 20.0, 100.0, 0.0)]))
+        source.append(WaypointSource([(T0 + 60.0, 100.0, 0.0),
+                                      (T0 + 70.0, 100.0, 100.0)]))
+        assert source.position_at(T0 + 40.0) == pytest.approx((100.0, 0.0))
+
+    def test_overlapping_segment_rejected(self):
+        source = CompositeSource((0.0, 0.0), T0)
+        source.append(WaypointSource([(T0 + 10.0, 0.0, 0.0),
+                                      (T0 + 20.0, 100.0, 0.0)]))
+        with pytest.raises(SimulationError):
+            source.append(WaypointSource([(T0 + 15.0, 0.0, 0.0),
+                                          (T0 + 30.0, 0.0, 0.0)]))
+
+    def test_last_position_tracks_appends(self):
+        source = CompositeSource((0.0, 0.0), T0)
+        assert source.last_position() == (0.0, 0.0)
+        source.append(WaypointSource([(T0 + 1.0, 0.0, 0.0),
+                                      (T0 + 2.0, 7.0, 8.0)]))
+        assert source.last_position() == (7.0, 8.0)
+
+
+class TestWorld:
+    def test_duplicate_drone_name_rejected(self, world):
+        with pytest.raises(ConfigurationError):
+            world.add_drone("alpha")
+
+    def test_drones_have_distinct_identities(self, world):
+        alpha = world.drones["alpha"]
+        beta = world.drones["beta"]
+        assert alpha.drone_id != beta.drone_id
+        assert alpha.device.tee_public_key != beta.device.tee_public_key
+
+    def test_compliant_mission_clears_incident(self, world):
+        record = world.fly_mission("alpha", [(800.0, 0.0)])
+        assert record.poa.verify_all(
+            world.drones["alpha"].device.tee_public_key)
+        zone_id = next(iter(world.server.zones._zones))
+        mid_flight = (record.result.stats.start_time
+                      + record.result.stats.duration / 2.0)
+        finding = world.report_incident(zone_id, "alpha", mid_flight)
+        assert not finding.violation
+
+    def test_consecutive_missions_share_timeline(self, world):
+        beta = world.drones["beta"]
+        first = world.fly_mission("beta", [(300.0, 200.0)])
+        second = world.fly_mission("beta", [(0.0, 0.0)])
+        assert second.result.stats.start_time >= first.result.stats.end_time
+        assert len(beta.flights) == 2
+        assert len(world.server.retained_for(beta.drone_id)) == 2
+
+    def test_mission_without_submission(self, world):
+        gamma = world.add_drone("gamma", home=(-100.0, -100.0))
+        before = len(world.server.retained_for(gamma.drone_id))
+        world.fly_mission("gamma", [(-300.0, -100.0)], submit=False)
+        assert len(world.server.retained_for(gamma.drone_id)) == before
+
+    def test_fixed_policy_mission(self, world):
+        delta = world.add_drone("delta", home=(2000.0, 2000.0))
+        record = world.fly_mission("delta", [(2300.0, 2000.0)],
+                                   policy="fixed", fixed_rate_hz=1.0)
+        assert record.policy == "fixed-1hz"
+        expected = record.result.stats.duration
+        assert len(record.poa) == pytest.approx(expected + 1, abs=2)

@@ -1,0 +1,222 @@
+"""Tests for repro.tee.optee and repro.tee.monitor: TA loading & dispatch."""
+
+import uuid
+
+import pytest
+
+from repro.errors import TeeError, TrustedAppError, WorldIsolationError
+from repro.tee.monitor import SecureMonitor
+from repro.tee.optee import OpTeeCore, TeeClient, sign_trusted_app
+from repro.tee.trusted_app import PseudoTrustedApplication, TrustedApplication
+
+ECHO_UUID = uuid.UUID("00000000-0000-0000-0000-00000000e280")
+PTA_UUID = uuid.UUID("00000000-0000-0000-0000-0000000000f7")
+
+
+class EchoTA(TrustedApplication):
+    """Echoes params back; counts sessions."""
+
+    UUID = ECHO_UUID
+
+    def __init__(self):
+        super().__init__()
+        self.opened = False
+
+    def open_session(self, params):
+        self.opened = True
+
+    def invoke_command(self, command, params):
+        if command == "echo":
+            return params.get("value")
+        raise TrustedAppError(f"unknown command {command!r}")
+
+
+class DevicePTA(PseudoTrustedApplication):
+    """A privileged TA that reads a mapped peripheral."""
+
+    UUID = PTA_UUID
+
+    def invoke_command(self, command, params):
+        if command == "read_device":
+            return self.map_device("sensor")
+        raise TrustedAppError(f"unknown command {command!r}")
+
+
+@pytest.fixture()
+def platform(vendor_key):
+    core = OpTeeCore(ta_verification_key=vendor_key.public_key)
+    monitor = SecureMonitor(core)
+    client = TeeClient(monitor)
+    return core, monitor, client
+
+
+class TestTaLifecycle:
+    def test_open_invoke_close(self, platform, vendor_key):
+        core, monitor, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        assert client.invoke(sid, "echo", {"value": 42}) == 42
+        client.close_session(sid)
+        with pytest.raises(TrustedAppError):
+            client.invoke(sid, "echo", {"value": 1})
+
+    def test_unknown_uuid_rejected(self, platform):
+        _, _, client = platform
+        with pytest.raises(TrustedAppError):
+            client.open_session(uuid.UUID(int=12345))
+
+    def test_unknown_session_rejected(self, platform):
+        _, _, client = platform
+        with pytest.raises(TrustedAppError):
+            client.invoke(999, "echo", {})
+
+    def test_unknown_command_propagates(self, platform, vendor_key):
+        core, _, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        with pytest.raises(TrustedAppError):
+            client.invoke(sid, "not-a-command", {})
+
+    def test_two_sessions_are_independent(self, platform, vendor_key):
+        core, _, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid1 = client.open_session(ECHO_UUID)
+        sid2 = client.open_session(ECHO_UUID)
+        assert sid1 != sid2
+        client.close_session(sid1)
+        assert client.invoke(sid2, "echo", {"value": "still alive"}) == "still alive"
+
+
+class TestTaSignatureEnforcement:
+    def test_wrongly_signed_image_rejected(self, platform, other_key):
+        core, _, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, other_key))
+        with pytest.raises(TrustedAppError):
+            client.open_session(ECHO_UUID)
+
+    def test_swapped_factory_rejected(self, platform, vendor_key):
+        """An attacker replaces the TA code but keeps the old signature."""
+        core, _, client = platform
+        image = sign_trusted_app(EchoTA, ECHO_UUID, vendor_key)
+
+        class EvilTA(TrustedApplication):
+            UUID = ECHO_UUID
+
+            def invoke_command(self, command, params):
+                return "evil"
+
+        forged = type(image)(ta_uuid=ECHO_UUID, factory=EvilTA,
+                             signature=image.signature)
+        core.ta_store.install(forged)
+        with pytest.raises(TrustedAppError):
+            client.open_session(ECHO_UUID)
+
+    def test_uuid_mismatch_rejected(self, platform, vendor_key):
+        core, _, client = platform
+        wrong = uuid.UUID(int=777)
+        core.ta_store.install(sign_trusted_app(EchoTA, wrong, vendor_key))
+        with pytest.raises(TrustedAppError):
+            client.open_session(wrong)
+
+
+class TestPtaAndDevices:
+    def test_pta_statically_registered(self, platform):
+        core, _, client = platform
+        core.register_pta(DevicePTA())
+        core.register_device("sensor", "sensor-value")
+        sid = client.open_session(PTA_UUID)
+        assert client.invoke(sid, "read_device") == "sensor-value"
+
+    def test_duplicate_pta_rejected(self, platform):
+        core, _, _ = platform
+        core.register_pta(DevicePTA())
+        with pytest.raises(TeeError):
+            core.register_pta(DevicePTA())
+
+    def test_normal_ta_cannot_map_devices(self, platform, vendor_key):
+        core, _, client = platform
+
+        class GreedyTA(TrustedApplication):
+            UUID = uuid.UUID(int=0xABCD)
+
+            def invoke_command(self, command, params):
+                return self.map_device("sensor")
+
+        core.register_device("sensor", "sensor-value")
+        core.ta_store.install(sign_trusted_app(GreedyTA, GreedyTA.UUID,
+                                               vendor_key))
+        sid = client.open_session(GreedyTA.UUID)
+        with pytest.raises(TrustedAppError):
+            client.invoke(sid, "anything")
+
+    def test_device_access_faults_from_normal_world(self, platform):
+        core, _, _ = platform
+        core.register_device("sensor", "sensor-value")
+        with pytest.raises(WorldIsolationError):
+            core.device("sensor")
+
+    def test_kernel_service_faults_from_normal_world(self, platform):
+        core, _, _ = platform
+        core.register_kernel_service("svc", object())
+        with pytest.raises(WorldIsolationError):
+            core.kernel_service("svc")
+
+    def test_missing_device_raises_in_secure_world(self, platform):
+        core, monitor, _ = platform
+        with pytest.raises(TeeError):
+            monitor.secure_boot_call(core.device, "nope")
+
+
+class TestMonitor:
+    def test_world_switch_accounting(self, platform, vendor_key):
+        core, monitor, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        before = monitor.stats.world_switches
+        client.invoke(sid, "echo", {"value": 1})
+        assert monitor.stats.world_switches == before + 2
+
+    def test_per_command_counters(self, platform, vendor_key):
+        core, monitor, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        client.invoke(sid, "echo", {"value": 1})
+        client.invoke(sid, "echo", {"value": 2})
+        assert monitor.stats.calls_by_command["echo"] == 2
+        assert monitor.stats.calls_by_command["__open_session__"] == 1
+
+    def test_world_restored_after_ta_exception(self, platform, vendor_key):
+        core, monitor, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        with pytest.raises(TrustedAppError):
+            client.invoke(sid, "boom", {})
+        from repro.tee.worlds import World
+        assert monitor.current_world is World.NORMAL
+
+    def test_reentrant_smc_rejected(self, platform):
+        core, monitor, client = platform
+
+        class ReentrantPTA(PseudoTrustedApplication):
+            UUID = uuid.UUID(int=0xBEEF)
+
+            def invoke_command(self, command, params):
+                # A TA trying to trap again must be refused.
+                return monitor.smc_call(0, "__open_session__",
+                                        {"uuid": self.UUID})
+
+        core.register_pta(ReentrantPTA())
+        sid = client.open_session(ReentrantPTA.UUID)
+        with pytest.raises(TeeError):
+            client.invoke(sid, "trap-again")
+
+    def test_reentrant_secure_boot_rejected(self, platform):
+        _, monitor, _ = platform
+        with pytest.raises(TeeError):
+            monitor.secure_boot_call(
+                lambda: monitor.secure_boot_call(lambda: None))
+
+    def test_double_monitor_attach_rejected(self, platform):
+        core, _, _ = platform
+        with pytest.raises(TeeError):
+            SecureMonitor(core)

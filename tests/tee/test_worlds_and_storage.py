@@ -1,0 +1,133 @@
+"""Tests for repro.tee.worlds and repro.tee.secure_storage."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TeeStorageError, WorldIsolationError
+from repro.tee.monitor import SecureMonitor
+from repro.tee.optee import OpTeeCore
+from repro.tee.secure_storage import SealedStorage
+from repro.tee.worlds import SecureKeyHandle, World, WorldState
+
+
+@pytest.fixture()
+def state():
+    return WorldState()
+
+
+@pytest.fixture()
+def handle(state):
+    return SecureKeyHandle(b"super-secret", state, "test key")
+
+
+class TestWorldState:
+    def test_starts_in_normal_world(self, state):
+        assert state.current is World.NORMAL
+
+    def test_require_secure_faults_in_normal(self, state):
+        with pytest.raises(WorldIsolationError):
+            state.require_secure("thing")
+
+    def test_require_secure_passes_in_secure(self, state):
+        state._enter_secure()
+        state.require_secure("thing")
+        state._exit_secure()
+        assert state.current is World.NORMAL
+
+
+class TestSecureKeyHandle:
+    def test_reveal_faults_in_normal_world(self, handle):
+        with pytest.raises(WorldIsolationError):
+            handle.reveal()
+
+    def test_reveal_works_in_secure_world(self, state, handle):
+        state._enter_secure()
+        assert handle.reveal() == b"super-secret"
+
+    def test_repr_does_not_leak(self, handle):
+        assert b"super-secret".hex() not in repr(handle)
+        assert "super-secret" not in repr(handle)
+        assert "super-secret" not in str(handle)
+
+    def test_pickling_blocked(self, handle):
+        with pytest.raises(WorldIsolationError):
+            pickle.dumps(handle)
+
+    def test_identity_equality(self, state):
+        a = SecureKeyHandle(b"k", state, "a")
+        b = SecureKeyHandle(b"k", state, "a")
+        assert a != b
+        assert a == a
+
+    def test_label_is_safe_to_read(self, handle):
+        assert handle.label == "test key"
+
+
+@pytest.fixture()
+def sealed(signing_key, vendor_key):
+    """A sealed storage on a live monitor, plus the monitor."""
+    core = OpTeeCore(ta_verification_key=vendor_key.public_key)
+    monitor = SecureMonitor(core)
+    root = SecureKeyHandle(b"\x42" * 32, monitor.state, "root")
+    storage = SealedStorage(root, monitor.state)
+    return storage, monitor
+
+
+class TestSealedStorage:
+    def test_seal_unseal_round_trip(self, sealed):
+        storage, monitor = sealed
+        monitor.secure_boot_call(storage.seal, "entry", b"secret-bytes")
+        assert monitor.secure_boot_call(storage.unseal, "entry") == b"secret-bytes"
+
+    def test_seal_faults_from_normal_world(self, sealed):
+        storage, _ = sealed
+        with pytest.raises(WorldIsolationError):
+            storage.seal("entry", b"secret")
+
+    def test_unseal_faults_from_normal_world(self, sealed):
+        storage, monitor = sealed
+        monitor.secure_boot_call(storage.seal, "entry", b"secret")
+        with pytest.raises(WorldIsolationError):
+            storage.unseal("entry")
+
+    def test_unknown_entry(self, sealed):
+        storage, monitor = sealed
+        with pytest.raises(TeeStorageError):
+            monitor.secure_boot_call(storage.unseal, "missing")
+
+    def test_blobs_do_not_contain_plaintext(self, sealed):
+        storage, monitor = sealed
+        monitor.secure_boot_call(storage.seal, "entry", b"findable-secret")
+        blobs = storage.raw_blobs()
+        assert b"findable-secret" not in blobs["entry"]
+
+    def test_tampering_detected(self, sealed):
+        storage, monitor = sealed
+        monitor.secure_boot_call(storage.seal, "entry", b"secret")
+        blob = bytearray(storage.raw_blobs()["entry"])
+        blob[0] ^= 0xFF
+        storage.tamper("entry", bytes(blob))
+        with pytest.raises(TeeStorageError):
+            monitor.secure_boot_call(storage.unseal, "entry")
+
+    def test_tamper_unknown_entry_rejected(self, sealed):
+        storage, _ = sealed
+        with pytest.raises(TeeStorageError):
+            storage.tamper("missing", b"blob")
+
+    def test_entries_are_independently_keyed(self, sealed):
+        """Swapping two blobs must not decrypt under the other name."""
+        storage, monitor = sealed
+        monitor.secure_boot_call(storage.seal, "a", b"secret-a")
+        monitor.secure_boot_call(storage.seal, "b", b"secret-b")
+        blobs = storage.raw_blobs()
+        storage.tamper("a", blobs["b"])
+        with pytest.raises(TeeStorageError):
+            monitor.secure_boot_call(storage.unseal, "a")
+
+    def test_contains(self, sealed):
+        storage, monitor = sealed
+        assert not storage.contains("entry")
+        monitor.secure_boot_call(storage.seal, "entry", b"s")
+        assert storage.contains("entry")

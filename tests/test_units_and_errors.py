@@ -1,0 +1,92 @@
+"""Tests for repro.units and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro import errors, units
+
+
+class TestLengthConversions:
+    def test_feet_round_trip(self):
+        assert units.meters_to_feet(units.feet_to_meters(123.4)) == (
+            pytest.approx(123.4))
+
+    def test_foot_definition(self):
+        assert units.feet_to_meters(1.0) == pytest.approx(0.3048)
+
+    def test_mile_definition(self):
+        assert units.miles_to_meters(1.0) == pytest.approx(1609.344)
+        assert units.FEET_PER_MILE == 5280.0
+        assert units.miles_to_meters(1.0) == pytest.approx(
+            units.feet_to_meters(5280.0))
+
+    def test_miles_round_trip(self):
+        assert units.meters_to_miles(units.miles_to_meters(2.5)) == (
+            pytest.approx(2.5))
+
+
+class TestSpeedConversions:
+    def test_mph_round_trip(self):
+        assert units.mps_to_mph(units.mph_to_mps(55.0)) == pytest.approx(55.0)
+
+    def test_faa_limit(self):
+        assert units.FAA_MAX_SPEED_MPS == pytest.approx(44.704)
+
+    def test_airport_radius(self):
+        assert units.FAA_AIRPORT_NFZ_RADIUS_M == pytest.approx(8046.72)
+
+    def test_knots(self):
+        # 1 knot = 1852 m per hour.
+        assert units.knots_to_mps(1.0) == pytest.approx(1852.0 / 3600.0)
+        assert units.mps_to_knots(units.knots_to_mps(7.7)) == (
+            pytest.approx(7.7))
+
+
+class TestAngleHelpers:
+    def test_degrees_radians_round_trip(self):
+        assert units.radians_to_degrees(
+            units.degrees_to_radians(73.2)) == pytest.approx(73.2)
+
+    def test_known_value(self):
+        assert units.degrees_to_radians(180.0) == pytest.approx(math.pi)
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.ConfigurationError, errors.GeometryError, errors.CryptoError,
+        errors.KeyGenerationError, errors.SignatureError,
+        errors.EncryptionError, errors.EncodingError, errors.TeeError,
+        errors.WorldIsolationError, errors.TrustedAppError,
+        errors.TeeStorageError, errors.GpsError, errors.NmeaError,
+        errors.NoFixError, errors.ProtocolError, errors.RegistrationError,
+        errors.AuthenticationError, errors.VerificationError,
+        errors.InsufficientAlibiError, errors.SimulationError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_alidrone_error(self, exc):
+        assert issubclass(exc, errors.AliDroneError)
+
+    def test_crypto_family(self):
+        for exc in (errors.KeyGenerationError, errors.SignatureError,
+                    errors.EncryptionError, errors.EncodingError):
+            assert issubclass(exc, errors.CryptoError)
+
+    def test_tee_family(self):
+        for exc in (errors.WorldIsolationError, errors.TrustedAppError,
+                    errors.TeeStorageError):
+            assert issubclass(exc, errors.TeeError)
+
+    def test_protocol_family(self):
+        for exc in (errors.RegistrationError, errors.AuthenticationError,
+                    errors.VerificationError):
+            assert issubclass(exc, errors.ProtocolError)
+
+    def test_insufficient_is_verification(self):
+        assert issubclass(errors.InsufficientAlibiError,
+                          errors.VerificationError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(errors.AliDroneError):
+            raise errors.NmeaError("bad sentence")

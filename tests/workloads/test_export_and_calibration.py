@@ -1,0 +1,101 @@
+"""Tests for GeoJSON export and local cost-model calibration."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.calibration import calibrate_local_cost_model
+from repro.errors import ConfigurationError
+from repro.workloads.export import (
+    samples_to_feature,
+    scenario_to_geojson,
+    scenario_to_geojson_str,
+    track_to_feature,
+    zones_to_features,
+)
+
+
+@pytest.fixture(scope="module")
+def geojson(residential_scenario):
+    return scenario_to_geojson(residential_scenario, track_step_s=5.0)
+
+
+class TestGeoJsonExport:
+    def test_top_level_structure(self, geojson, residential_scenario):
+        assert geojson["type"] == "FeatureCollection"
+        assert geojson["properties"]["name"] == residential_scenario.name
+        assert geojson["features"]
+
+    def test_zone_features_paired(self, geojson, residential_scenario):
+        centers = [f for f in geojson["features"]
+                   if f["properties"]["kind"] == "nfz-center"]
+        footprints = [f for f in geojson["features"]
+                      if f["properties"]["kind"] == "nfz-footprint"]
+        assert len(centers) == len(residential_scenario.zones) == 94
+        assert len(footprints) == 94
+
+    def test_footprint_ring_closed(self, geojson):
+        footprint = next(f for f in geojson["features"]
+                         if f["properties"]["kind"] == "nfz-footprint")
+        ring = footprint["geometry"]["coordinates"][0]
+        assert ring[0] == ring[-1]
+        assert len(ring) == 65
+
+    def test_footprint_radius_correct(self, residential_scenario):
+        frame = residential_scenario.frame
+        zone = residential_scenario.zones[0]
+        features = zones_to_features([zone], frame)
+        ring = features[1]["geometry"]["coordinates"][0]
+        from repro.geo.geodesy import GeoPoint
+        for lon, lat in ring[:8]:
+            x, y = frame.to_local(GeoPoint(lat, lon))
+            zx, zy = frame.to_local(zone.center)
+            assert math.hypot(x - zx, y - zy) == pytest.approx(
+                zone.radius_m, rel=1e-3)
+
+    def test_track_feature_spans_window(self, geojson, residential_scenario):
+        track = next(f for f in geojson["features"]
+                     if f["properties"]["kind"] == "ground-truth-track")
+        assert track["geometry"]["type"] == "LineString"
+        expected = int(residential_scenario.duration / 5.0) + 1
+        assert len(track["geometry"]["coordinates"]) == pytest.approx(
+            expected, abs=1)
+
+    def test_poa_samples_feature(self, frame):
+        from repro.core.samples import GpsSample
+        from repro.sim.clock import DEFAULT_EPOCH
+        samples = [GpsSample(lat=40.1, lon=-88.2, t=DEFAULT_EPOCH + i)
+                   for i in range(3)]
+        feature = samples_to_feature(samples)
+        assert feature["geometry"]["type"] == "MultiPoint"
+        assert len(feature["geometry"]["coordinates"]) == 3
+        assert len(feature["properties"]["timestamps"]) == 3
+
+    def test_serialized_form_is_valid_json(self, residential_scenario):
+        text = scenario_to_geojson_str(residential_scenario,
+                                       track_step_s=20.0)
+        assert json.loads(text)["type"] == "FeatureCollection"
+
+
+class TestCalibration:
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_local_cost_model(repetitions=0)
+
+    def test_calibrated_model_shape(self):
+        model = calibrate_local_cost_model(repetitions=3,
+                                           key_sizes=(512, 1024), seed=1)
+        assert set(model.sign_seconds) == {512, 1024}
+        assert model.sign_seconds[1024] > model.sign_seconds[512]
+        assert all(v > 0 for v in model.sign_seconds.values())
+        assert all(v > 0 for v in model.encrypt_seconds.values())
+        assert model.smc_round_trip_seconds > 0
+        # Private ops cost far more than public ops.
+        assert model.sign_seconds[1024] > model.encrypt_seconds[1024]
+
+    def test_calibrated_model_predicts_sustainability(self):
+        """This machine signs in milliseconds, so every paper rate holds."""
+        model = calibrate_local_cost_model(repetitions=3,
+                                           key_sizes=(1024,), seed=2)
+        assert model.can_sustain(5.0, 1024)

@@ -1,0 +1,98 @@
+"""The paper's headline field-study numbers, as executable assertions.
+
+These are the reproduction's acceptance tests: the *shape* of Fig. 6 and
+Fig. 8(c) — who wins, by what order of magnitude, and the insufficiency
+ordering across sampling rates.
+"""
+
+import pytest
+
+from repro.core.sufficiency import count_insufficient_pairs
+from repro.workloads import run_policy
+
+
+@pytest.fixture(scope="module")
+def airport_runs(airport_scenario):
+    return {
+        "fixed1": run_policy(airport_scenario, "fixed", 1.0, key_bits=512),
+        "adaptive": run_policy(airport_scenario, "adaptive", key_bits=512),
+    }
+
+
+@pytest.fixture(scope="module")
+def residential_runs(residential_scenario):
+    runs = {}
+    for rate in (2.0, 3.0, 5.0):
+        runs[f"fixed{rate:g}"] = run_policy(residential_scenario, "fixed",
+                                            rate, key_bits=512)
+    runs["adaptive"] = run_policy(residential_scenario, "adaptive",
+                                  key_bits=512)
+    return runs
+
+
+def insufficiency(run, scenario):
+    samples = [entry.sample for entry in run.result.poa]
+    return count_insufficient_pairs(samples, scenario.zones, scenario.frame)
+
+
+class TestFig6Airport:
+    def test_fixed_1hz_takes_649_samples(self, airport_runs):
+        """Paper: 'the 649 samples collected by 1Hz fix rate sampling'."""
+        assert airport_runs["fixed1"].sample_count == 649
+
+    def test_adaptive_takes_order_of_magnitude_fewer(self, airport_runs):
+        """Paper: 'the adaptive sampling uses only 14 GPS samples'."""
+        adaptive = airport_runs["adaptive"].sample_count
+        assert adaptive <= 40                       # tens, not hundreds
+        assert airport_runs["fixed1"].sample_count / adaptive > 20
+
+    def test_adaptive_alibi_still_sufficient(self, airport_runs,
+                                             airport_scenario):
+        assert insufficiency(airport_runs["adaptive"], airport_scenario) == 0
+
+    def test_adaptive_samples_cluster_near_boundary(self, airport_runs,
+                                                    airport_scenario):
+        """Fig. 6's shape: most samples while close to the NFZ."""
+        run = airport_runs["adaptive"]
+        circle = airport_scenario.zones[0].to_circle(airport_scenario.frame)
+        distances = [circle.distance_to_boundary(
+            airport_scenario.source.position_at(t))
+            for t in run.sample_times]
+        near = sum(1 for d in distances if d < 500.0)
+        assert near >= len(distances) / 2
+
+
+class TestFig8cResidential:
+    def test_insufficiency_ordering(self, residential_runs,
+                                    residential_scenario):
+        """Paper: 39 @2 Hz > 9 @3 Hz > ~1 @5 Hz ~= adaptive."""
+        counts = {name: insufficiency(run, residential_scenario)
+                  for name, run in residential_runs.items()}
+        assert counts["fixed2"] > counts["fixed3"] > counts["fixed5"]
+        assert counts["adaptive"] <= counts["fixed3"]
+
+    def test_2hz_count_in_paper_band(self, residential_runs,
+                                     residential_scenario):
+        count = insufficiency(residential_runs["fixed2"],
+                              residential_scenario)
+        assert 20 <= count <= 60    # paper: 39
+
+    def test_3hz_count_in_paper_band(self, residential_runs,
+                                     residential_scenario):
+        count = insufficiency(residential_runs["fixed3"],
+                              residential_scenario)
+        assert 2 <= count <= 20     # paper: 9
+
+    def test_5hz_only_the_missed_update(self, residential_runs,
+                                        residential_scenario):
+        count = insufficiency(residential_runs["fixed5"],
+                              residential_scenario)
+        assert count <= 2           # paper: 1, from the GPS hardware miss
+
+    def test_adaptive_recovers_from_miss(self, residential_runs):
+        stats = residential_runs["adaptive"].result.stats
+        assert stats.late_samples <= 2
+
+    def test_adaptive_uses_fewer_samples_than_5hz(self, residential_runs):
+        assert (residential_runs["adaptive"].sample_count
+                < residential_runs["fixed5"].sample_count)

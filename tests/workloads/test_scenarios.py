@@ -1,0 +1,152 @@
+"""Tests for the workload builders and the policy runner."""
+
+import math
+
+import pytest
+
+from repro.core.sufficiency import count_insufficient_pairs
+from repro.errors import ConfigurationError
+from repro.units import feet_to_meters, meters_to_feet, miles_to_meters
+from repro.workloads import (
+    build_airport_scenario,
+    build_random_scenario,
+    build_residential_scenario,
+    run_policy,
+)
+from repro.workloads.scenario import Scenario
+
+
+def nearest_distance_series(scenario, step_s=1.0):
+    circles = [z.to_circle(scenario.frame) for z in scenario.zones]
+    out = []
+    t = scenario.t_start
+    while t <= scenario.t_end:
+        p = scenario.source.position_at(t)
+        out.append(min(c.distance_to_boundary(p) for c in circles))
+        t += step_s
+    return out
+
+
+class TestScenarioContainer:
+    def test_invalid_window_rejected(self, airport_scenario):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", description="", frame=airport_scenario.frame,
+                     zones=[], source=airport_scenario.source,
+                     t_start=10.0, t_end=5.0)
+
+    def test_receiver_is_fresh_per_call(self, airport_scenario):
+        a = airport_scenario.make_receiver(seed=1)
+        b = airport_scenario.make_receiver(seed=1)
+        assert a is not b
+
+    def test_forced_miss_times_map_to_indices(self, residential_scenario):
+        receiver = residential_scenario.make_receiver(update_rate_hz=5.0)
+        assert receiver.forced_miss_indices
+        index = next(iter(receiver.forced_miss_indices))
+        t_rel = index / 5.0
+        assert 0 <= t_rel <= residential_scenario.duration
+
+
+class TestAirportScenario:
+    def test_matches_paper_setup(self, airport_scenario):
+        sc = airport_scenario
+        assert len(sc.zones) == 1
+        assert sc.zones[0].radius_m == pytest.approx(miles_to_meters(5.0))
+        # Starts ~30 ft outside the boundary.
+        circle = sc.zones[0].to_circle(sc.frame)
+        start = sc.source.position_at(sc.t_start)
+        assert meters_to_feet(circle.distance_to_boundary(start)) == (
+            pytest.approx(30.0, abs=2.0))
+
+    def test_drives_about_three_miles_away(self, airport_scenario):
+        sc = airport_scenario
+        circle = sc.zones[0].to_circle(sc.frame)
+        end = sc.source.position_at(sc.t_end)
+        distance = circle.distance_to_boundary(end)
+        assert distance == pytest.approx(miles_to_meters(3.0), rel=0.2)
+
+    def test_distance_monotone_trend(self, airport_scenario):
+        """The vehicle never drives back into the zone."""
+        series = nearest_distance_series(airport_scenario, step_s=10.0)
+        assert series[0] < series[-1]
+        assert min(series) > 0.0
+
+    def test_deterministic(self):
+        a = build_airport_scenario(seed=3)
+        b = build_airport_scenario(seed=3)
+        assert (a.source.position_at(a.t_start + 100.0)
+                == b.source.position_at(b.t_start + 100.0))
+
+
+class TestResidentialScenario:
+    def test_matches_paper_setup(self, residential_scenario):
+        sc = residential_scenario
+        assert len(sc.zones) == 94
+        assert all(z.radius_m == pytest.approx(feet_to_meters(20.0))
+                   for z in sc.zones)
+        assert sc.duration == pytest.approx(160.0)
+
+    def test_route_is_about_a_mile(self, residential_scenario):
+        sc = residential_scenario
+        length = 0.0
+        prev = sc.source.position_at(sc.t_start)
+        t = sc.t_start
+        while t < sc.t_end:
+            t += 1.0
+            cur = sc.source.position_at(t)
+            length += math.dist(prev, cur)
+            prev = cur
+        assert length == pytest.approx(miles_to_meters(1.0), rel=0.15)
+
+    def test_closest_approach_about_21_feet(self, residential_scenario):
+        series = nearest_distance_series(residential_scenario, step_s=0.2)
+        closest_ft = meters_to_feet(min(series))
+        assert closest_ft == pytest.approx(21.0, abs=2.5)
+
+    def test_sparse_then_dense(self, residential_scenario):
+        series = nearest_distance_series(residential_scenario)
+        sparse = series[:45]
+        dense = series[70:150]
+        assert min(sparse) > min(dense)
+
+    def test_never_enters_any_zone(self, residential_scenario):
+        assert min(nearest_distance_series(residential_scenario, 0.5)) > 0.0
+
+    def test_has_scripted_miss(self, residential_scenario):
+        assert len(residential_scenario.forced_miss_times) == 1
+
+
+class TestRandomScenario:
+    def test_flight_avoids_all_zones(self):
+        sc = build_random_scenario(seed=4, n_zones=8)
+        circles = [z.to_circle(sc.frame) for z in sc.zones]
+        t = sc.t_start
+        while t <= sc.t_end:
+            p = sc.source.position_at(t)
+            assert all(c.distance_to_boundary(p) > 0 for c in circles)
+            t += 1.0
+
+    def test_deterministic(self):
+        a = build_random_scenario(seed=9)
+        b = build_random_scenario(seed=9)
+        assert len(a.zones) == len(b.zones)
+        assert a.source.duration == b.source.duration
+
+
+class TestRunPolicy:
+    def test_unknown_policy_rejected(self, residential_scenario):
+        with pytest.raises(ConfigurationError):
+            run_policy(residential_scenario, "warp-drive")
+
+    def test_fixed_needs_rate(self, residential_scenario):
+        with pytest.raises(ConfigurationError):
+            run_policy(residential_scenario, "fixed")
+
+    def test_poa_verifies_under_device_key(self, residential_scenario):
+        run = run_policy(residential_scenario, "fixed", 1.0, key_bits=512)
+        assert run.result.poa.verify_all(run.device.tee_public_key)
+
+    def test_deterministic_runs(self, residential_scenario):
+        a = run_policy(residential_scenario, "adaptive", key_bits=512, seed=2)
+        b = run_policy(residential_scenario, "adaptive", key_bits=512, seed=2)
+        assert a.sample_times == b.sample_times
