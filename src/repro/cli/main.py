@@ -4,9 +4,11 @@ Subcommands:
 
 * ``fig6``      — the airport field study (Fig. 6 headline + series)
 * ``fig8``      — the residential field study (Fig. 8 a/b/c)
-* ``table2``    — Table II (CPU / power / memory)
-* ``simulate``  — a random scenario end to end through the verifier
-* ``attacks``   — demonstrate that every forgery strategy is rejected
+* ``table2``      — Table II (CPU / power / memory)
+* ``simulate``    — a random scenario end to end through the verifier
+* ``attacks``     — demonstrate that every forgery strategy is rejected
+* ``audit-batch`` — run a synthetic submission fleet through the batch
+  audit engine and report per-stage timing + throughput
 
 All subcommands are deterministic given ``--seed``.
 """
@@ -123,6 +125,81 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_audit_batch(args: argparse.Namespace) -> int:
+    import random as random_module
+
+    from repro.core.nfz import NoFlyZone
+    from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
+    from repro.core.protocol import DroneRegistrationRequest, PoaSubmission
+    from repro.core.samples import GpsSample
+    from repro.core.verification import VerificationStatus
+    from repro.crypto.pkcs1 import sign_pkcs1_v15
+    from repro.crypto.rsa import generate_rsa_keypair
+    from repro.geo.geodesy import GeoPoint, LocalFrame
+    from repro.server.auditor import AliDroneServer
+
+    rng = random_module.Random(args.seed)
+    frame = LocalFrame(GeoPoint(40.10, -88.22))
+    server = AliDroneServer(frame, rng=random_module.Random(args.seed + 1),
+                            encryption_key_bits=args.key_bits,
+                            audit_workers=args.workers,
+                            audit_executor=args.executor)
+    center = frame.to_geo(0.0, 0.0)
+    server.zones.register(NoFlyZone(center.lat, center.lon, 50.0),
+                          proof_of_ownership="synthetic")
+
+    drones = []
+    for i in range(args.drones):
+        tee_key = generate_rsa_keypair(args.key_bits,
+                                       rng=random_module.Random(1000 + i))
+        operator_key = generate_rsa_keypair(args.key_bits,
+                                            rng=random_module.Random(2000 + i))
+        drone_id = server.register_drone(DroneRegistrationRequest(
+            operator_public_key=operator_key.public_key,
+            tee_public_key=tee_key.public_key, operator_name=f"op-{i}"))
+        drones.append((drone_id, tee_key))
+
+    t0 = 1_700_000_000.0
+    submissions = []
+    for j in range(args.submissions):
+        drone_id, tee_key = drones[j % len(drones)]
+        start = t0 + 1000.0 * j
+        entries = []
+        for k in range(args.samples):
+            point = frame.to_geo(200.0 + 20.0 * k + rng.uniform(0, 5.0),
+                                 10.0 * (j % 7))
+            sample = GpsSample(lat=point.lat, lon=point.lon, t=start + k)
+            payload = sample.to_signed_payload()
+            entries.append(SignedSample(
+                payload=payload,
+                signature=sign_pkcs1_v15(tee_key, payload)))
+        records = encrypt_poa(ProofOfAlibi(entries),
+                              server.public_encryption_key, rng=rng)
+        submissions.append(PoaSubmission(
+            drone_id=drone_id, flight_id=f"flight-{j}", records=records,
+            claimed_start=start, claimed_end=start + args.samples - 1))
+
+    result = server.receive_poa_batch(submissions, now=t0)
+    counts: dict[str, int] = {}
+    for outcome in result.outcomes:
+        status = (outcome.report.status.value if outcome.report is not None
+                  else "intake_error")
+        counts[status] = counts.get(status, 0) + 1
+    print(f"audit-batch: {result.batch_size} submissions, "
+          f"{args.samples} samples each, {len(drones)} drones, "
+          f"{args.workers} worker(s) [{args.executor}]")
+    for status in sorted(counts):
+        print(f"  {status:<15} {counts[status]}")
+    print(f"  wall time       {result.wall_time_s:.3f} s")
+    print(f"  throughput      {result.submissions_per_second:.1f} "
+          "submissions/s")
+    print("per-stage timing:")
+    for line in server.engine.metrics.format().splitlines():
+        print(f"  {line}")
+    accepted = counts.get(VerificationStatus.ACCEPTED.value, 0)
+    return 0 if accepted == result.batch_size else 1
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import (
         build_airport_scenario,
@@ -200,6 +277,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("attacks", help="forgery-attack walkthrough").set_defaults(
         handler=_cmd_attacks)
+
+    audit_batch = sub.add_parser(
+        "audit-batch",
+        help="run a synthetic fleet through the batch audit engine")
+    audit_batch.add_argument("--submissions", type=int, default=50,
+                             help="batch size (default 50)")
+    audit_batch.add_argument("--samples", type=int, default=20,
+                             help="samples per PoA (default 20)")
+    audit_batch.add_argument("--drones", type=int, default=5,
+                             help="fleet size (default 5)")
+    audit_batch.add_argument("--workers", type=int, default=1,
+                             help="crypto fan-out pool size (default 1)")
+    audit_batch.add_argument("--executor", choices=("thread", "process"),
+                             default="thread",
+                             help="pool kind (default thread)")
+    audit_batch.set_defaults(handler=_cmd_audit_batch)
 
     export = sub.add_parser("export",
                             help="dump a scenario as GeoJSON")

@@ -57,13 +57,40 @@ def pair_is_sufficient(s1: GpsSample, s2: GpsSample,
                        method: Method = "conservative") -> bool:
     """Whether the pair proves non-entrance for *every* zone."""
     ellipse = travel_ellipse(s1, s2, frame, vmax_mps)
-    if method == "conservative":
-        disjoint = ellipse_disk_disjoint_conservative
-    elif method == "exact":
-        disjoint = ellipse_disk_disjoint_exact
-    else:
-        raise ConfigurationError(f"unknown sufficiency method: {method!r}")
+    disjoint = _disjoint_predicate(method)
     return all(disjoint(ellipse, circle) for circle in _zone_circles(zones, frame))
+
+
+def _disjoint_predicate(method: Method):
+    if method == "conservative":
+        return ellipse_disk_disjoint_conservative
+    if method == "exact":
+        return ellipse_disk_disjoint_exact
+    raise ConfigurationError(f"unknown sufficiency method: {method!r}")
+
+
+def insufficient_pairs_projected(positions: Sequence[tuple[float, float]],
+                                 times: Sequence[float],
+                                 circles: Sequence[Circle],
+                                 vmax_mps: float = FAA_MAX_SPEED_MPS,
+                                 method: Method = "conservative") -> list[int]:
+    """:func:`insufficient_pair_indices` over already-projected inputs.
+
+    The staged verification pipeline and the batch audit engine memoize
+    local-frame projections and zone circles across samples, submissions,
+    and stages; this entry point lets them reuse those caches while
+    producing float-identical results to the sample-level API (the
+    projection is deterministic).
+    """
+    disjoint = _disjoint_predicate(method)
+    failures = []
+    for i in range(len(positions) - 1):
+        ellipse = TravelRangeEllipse(
+            f1=positions[i], f2=positions[i + 1],
+            focal_sum=vmax_mps * (times[i + 1] - times[i]))
+        if not all(disjoint(ellipse, circle) for circle in circles):
+            failures.append(i)
+    return failures
 
 
 def insufficient_pair_indices(samples: Sequence[GpsSample],
@@ -75,22 +102,9 @@ def insufficient_pair_indices(samples: Sequence[GpsSample],
     Zone circles are projected once; with the conservative method each pair
     costs two distance evaluations per zone.
     """
-    circles = _zone_circles(zones, frame)
-    if method == "conservative":
-        disjoint = ellipse_disk_disjoint_conservative
-    elif method == "exact":
-        disjoint = ellipse_disk_disjoint_exact
-    else:
-        raise ConfigurationError(f"unknown sufficiency method: {method!r}")
-    failures = []
-    for i in range(len(samples) - 1):
-        ellipse = TravelRangeEllipse(
-            f1=samples[i].local_position(frame),
-            f2=samples[i + 1].local_position(frame),
-            focal_sum=vmax_mps * (samples[i + 1].t - samples[i].t))
-        if not all(disjoint(ellipse, circle) for circle in circles):
-            failures.append(i)
-    return failures
+    return insufficient_pairs_projected(
+        [s.local_position(frame) for s in samples], [s.t for s in samples],
+        _zone_circles(zones, frame), vmax_mps, method)
 
 
 def alibi_is_sufficient(samples: Sequence[GpsSample],

@@ -1,6 +1,6 @@
-"""Auditor-side Proof-of-Alibi verification.
+"""Auditor-side Proof-of-Alibi verification as a staged pipeline.
 
-The pipeline the AliDrone Server runs on every submission (paper §IV-C2):
+The checks the AliDrone Server runs on every submission (paper §IV-C2):
 
 1. **Authenticity** — every sample's TEE signature verifies under the
    drone's registered ``T+``.  A single bad signature rejects the PoA:
@@ -13,22 +13,39 @@ The pipeline the AliDrone Server runs on every submission (paper §IV-C2):
 4. **Sufficiency** — equation (1) against the zone set.  Insufficiency is
    not proof of violation, but under the burden-of-proof model the Auditor
    treats it as non-compliance.
+
+Each check is a composable :class:`VerificationStage` operating on a shared
+:class:`VerificationContext`.  The :class:`VerificationPipeline` runs the
+stages either in ``short_circuit`` mode (stop at the first failure — the
+paper's behaviour and the historic ``PoaVerifier.verify`` contract) or in
+``collect_findings`` mode (run every runnable stage and report everything
+wrong with the PoA at once).  Per-stage wall time and sample counts are
+recorded into a :class:`repro.perf.meter.StageMetrics` when one is
+supplied, which is how the batch audit engine
+(:mod:`repro.server.engine`) accounts for where its time goes.
+
+:class:`PoaVerifier` remains the single-submission facade; its ``verify``
+is now a thin wrapper over the default pipeline and produces reports
+identical to the pre-pipeline implementation.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.nfz import NoFlyZone
 from repro.core.poa import ProofOfAlibi
 from repro.core.samples import GpsSample
-from repro.core.sufficiency import Method, insufficient_pair_indices
+from repro.core.sufficiency import Method, insufficient_pairs_projected
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import EncodingError
+from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
+from repro.perf.meter import StageMetrics
 from repro.units import FAA_MAX_SPEED_MPS
 
 
@@ -60,6 +77,313 @@ class VerificationReport:
         return self.status is VerificationStatus.ACCEPTED
 
 
+@dataclass(frozen=True, slots=True)
+class StageFinding:
+    """One failed check: which stage, what outcome, which indices."""
+
+    stage: str
+    status: VerificationStatus
+    message: str
+    indices: tuple[int, ...] = ()
+
+
+@dataclass
+class VerificationContext:
+    """Shared state the stages read and extend.
+
+    The immutable inputs (PoA, key, zones, physical parameters) are set up
+    front; stages populate the derived fields as they run.  The three
+    ``*_cache``-style fields (``position_memo``, ``zone_circles``,
+    ``bad_signature_indices``) can be pre-seeded by the batch audit engine
+    so work already done for other submissions in the batch is not
+    repeated.
+    """
+
+    poa: ProofOfAlibi
+    tee_public_key: RsaPublicKey
+    zones: Sequence[NoFlyZone]
+    frame: LocalFrame
+    vmax_mps: float = FAA_MAX_SPEED_MPS
+    hash_name: str = "sha1"
+    method: Method = "conservative"
+    feasibility_slack: float = 1.02
+
+    #: Decoded samples (set by :class:`DecodeStage`).
+    samples: list[GpsSample] | None = None
+    #: Local-frame projections parallel to ``samples``.
+    positions: list[tuple[float, float]] | None = None
+    #: Cross-submission projection memo ``(lat, lon) -> (x, y)``.
+    position_memo: dict[tuple[float, float], tuple[float, float]] | None = None
+    #: Zone disks projected into the frame (shared across a batch).
+    zone_circles: list[Circle] | None = None
+    #: Signature results; pre-seeded by the engine's fan-out workers.
+    bad_signature_indices: list[int] | None = None
+    #: Every failure observed so far (all of them in collect mode).
+    findings: list[StageFinding] = field(default_factory=list)
+
+    def ensure_positions(self) -> list[tuple[float, float]]:
+        """Project all decoded samples, via the shared memo when present."""
+        if self.positions is None:
+            if self.samples is None:
+                raise RuntimeError("DecodeStage has not run")
+            memo = self.position_memo
+            if memo is None:
+                self.positions = [s.local_position(self.frame)
+                                  for s in self.samples]
+            else:
+                positions = []
+                for s in self.samples:
+                    key = (s.lat, s.lon)
+                    xy = memo.get(key)
+                    if xy is None:
+                        xy = s.local_position(self.frame)
+                        memo[key] = xy
+                    positions.append(xy)
+                self.positions = positions
+        return self.positions
+
+    def ensure_zone_circles(self) -> list[Circle]:
+        """Project the zone set once (or reuse the batch-shared list)."""
+        if self.zone_circles is None:
+            self.zone_circles = [zone.to_circle(self.frame)
+                                 for zone in self.zones]
+        return self.zone_circles
+
+
+class VerificationStage:
+    """One composable check of the Auditor pipeline.
+
+    Subclasses set :attr:`name`, implement :meth:`run` returning a
+    :class:`StageFinding` on failure (or ``None``), and declare via
+    :attr:`blocks_downstream` whether later stages can still run after
+    this one fails (a PoA whose payloads do not decode has no samples for
+    the geometric stages to look at).
+    """
+
+    name = "stage"
+    #: When True, a failure here stops the pipeline even in collect mode.
+    blocks_downstream = False
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        raise NotImplementedError
+
+    def sample_count(self, ctx: VerificationContext) -> int:
+        """How many samples this stage processed (for metrics)."""
+        return len(ctx.poa)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SignatureStage(VerificationStage):
+    """Authenticity: every entry's TEE signature verifies under ``T+``.
+
+    Honours a pre-seeded ``ctx.bad_signature_indices`` so the batch audit
+    engine can fan the expensive RSA work out across a worker pool (or
+    screen the whole batch with one exponentiation) and feed the result
+    back through the unchanged pipeline.
+    """
+
+    name = "signature"
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        if ctx.bad_signature_indices is None:
+            ctx.bad_signature_indices = [
+                i for i, entry in enumerate(ctx.poa)
+                if not entry.verify(ctx.tee_public_key, ctx.hash_name)]
+        bad = ctx.bad_signature_indices
+        if bad:
+            return StageFinding(
+                stage=self.name,
+                status=VerificationStatus.REJECTED_BAD_SIGNATURE,
+                message=f"{len(bad)} of {len(ctx.poa)} signatures failed",
+                indices=tuple(bad))
+        return None
+
+
+class DecodeStage(VerificationStage):
+    """Well-formedness: every payload decodes to a GPS sample."""
+
+    name = "decode"
+    blocks_downstream = True
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        try:
+            ctx.samples = [entry.sample for entry in ctx.poa]
+        except EncodingError as exc:
+            return StageFinding(stage=self.name,
+                                status=VerificationStatus.REJECTED_MALFORMED,
+                                message=str(exc))
+        return None
+
+
+class OrderingStage(VerificationStage):
+    """Well-formedness: timestamps are non-decreasing."""
+
+    name = "ordering"
+    blocks_downstream = True
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        samples = ctx.samples or []
+        if all(b.t >= a.t for a, b in zip(samples, samples[1:])):
+            return None
+        return StageFinding(
+            stage=self.name, status=VerificationStatus.REJECTED_MALFORMED,
+            message="sample timestamps are not non-decreasing")
+
+
+class FeasibilityStage(VerificationStage):
+    """Physical feasibility: no pair implies motion above ``v_max``.
+
+    A pair with ``dt == 0`` but distinct positions is flagged explicitly:
+    two samples cannot be taken at the same instant in different places,
+    regardless of any epsilon on the speed bound.
+    """
+
+    name = "feasibility"
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        failures = self.infeasible_pairs(ctx)
+        if failures:
+            return StageFinding(
+                stage=self.name,
+                status=VerificationStatus.REJECTED_INFEASIBLE,
+                message=f"{len(failures)} pairs exceed v_max",
+                indices=tuple(failures))
+        return None
+
+    @staticmethod
+    def infeasible_pairs(ctx: VerificationContext) -> list[int]:
+        """Indices of pairs implying motion above the slackened bound."""
+        samples = ctx.samples or []
+        positions = ctx.ensure_positions()
+        limit = ctx.vmax_mps * ctx.feasibility_slack
+        failures = []
+        for i in range(len(samples) - 1):
+            dt = samples[i + 1].t - samples[i].t
+            ax, ay = positions[i]
+            bx, by = positions[i + 1]
+            distance = math.hypot(bx - ax, by - ay)
+            if dt <= 0.0:
+                # Same-instant samples at different positions are spliced
+                # data — infeasible by definition, no epsilon involved.
+                if distance > 0.0:
+                    failures.append(i)
+            elif distance > limit * dt + 1e-9:
+                failures.append(i)
+        return failures
+
+    def sample_count(self, ctx: VerificationContext) -> int:
+        return max(0, len(ctx.samples or []) - 1)
+
+
+class SufficiencyStage(VerificationStage):
+    """Equation (1): every pair's travel ellipse clears every zone."""
+
+    name = "sufficiency"
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        samples = ctx.samples or []
+        if len(samples) < 2:
+            # A single sample proves nothing.
+            insufficient = [0] if ctx.zones else []
+        else:
+            insufficient = insufficient_pairs_projected(
+                ctx.ensure_positions(), [s.t for s in samples],
+                ctx.ensure_zone_circles(), ctx.vmax_mps, ctx.method)
+        if insufficient:
+            return StageFinding(
+                stage=self.name, status=VerificationStatus.INSUFFICIENT,
+                message=(f"{len(insufficient)} pairs cannot rule out NFZ "
+                         "entrance"),
+                indices=tuple(insufficient))
+        return None
+
+    def sample_count(self, ctx: VerificationContext) -> int:
+        return max(0, len(ctx.samples or []) - 1)
+
+
+#: Pipeline order doubles as the severity order for collected findings.
+DEFAULT_STAGES: tuple[type[VerificationStage], ...] = (
+    SignatureStage, DecodeStage, OrderingStage, FeasibilityStage,
+    SufficiencyStage)
+
+_INDEX_FIELD_BY_STAGE = {
+    SignatureStage.name: "bad_signature_indices",
+    FeasibilityStage.name: "infeasible_pair_indices",
+    SufficiencyStage.name: "insufficient_pair_indices",
+}
+
+
+def build_default_stages() -> list[VerificationStage]:
+    """Fresh instances of the paper's five stages, in pipeline order."""
+    return [cls() for cls in DEFAULT_STAGES]
+
+
+class VerificationPipeline:
+    """Runs stages over a context and assembles the report.
+
+    Args:
+        stages: stage instances in execution order (defaults to the
+            paper's five).
+        mode: ``"short_circuit"`` stops at the first failing stage
+            (identical reports to the historic monolithic verifier);
+            ``"collect_findings"`` keeps running every stage whose inputs
+            are still available and merges everything into one report.
+        metrics: optional :class:`StageMetrics` receiving per-stage wall
+            time and sample counts.
+    """
+
+    SHORT_CIRCUIT = "short_circuit"
+    COLLECT_FINDINGS = "collect_findings"
+
+    def __init__(self, stages: Sequence[VerificationStage] | None = None,
+                 mode: str = SHORT_CIRCUIT,
+                 metrics: StageMetrics | None = None):
+        if mode not in (self.SHORT_CIRCUIT, self.COLLECT_FINDINGS):
+            raise ValueError(f"unknown pipeline mode: {mode!r}")
+        self.stages = list(stages) if stages is not None \
+            else build_default_stages()
+        self.mode = mode
+        self.metrics = metrics
+
+    def run(self, ctx: VerificationContext) -> VerificationReport:
+        """Execute the pipeline and report the outcome."""
+        if len(ctx.poa) == 0:
+            return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
+                                      message="PoA contains no samples")
+        collect = self.mode == self.COLLECT_FINDINGS
+        for stage in self.stages:
+            start = time.perf_counter()
+            finding = stage.run(ctx)
+            elapsed = time.perf_counter() - start
+            if self.metrics is not None:
+                self.metrics.record(stage.name, elapsed,
+                                    stage.sample_count(ctx))
+            if finding is None:
+                continue
+            ctx.findings.append(finding)
+            if not collect or stage.blocks_downstream:
+                break
+        return self._report(ctx)
+
+    def _report(self, ctx: VerificationContext) -> VerificationReport:
+        if not ctx.findings:
+            return VerificationReport(status=VerificationStatus.ACCEPTED,
+                                      sample_count=len(ctx.poa))
+        primary = ctx.findings[0]
+        report = VerificationReport(status=primary.status,
+                                    sample_count=len(ctx.poa),
+                                    message=primary.message)
+        if self.mode == self.COLLECT_FINDINGS and len(ctx.findings) > 1:
+            report.message = "; ".join(f.message for f in ctx.findings)
+        for finding in ctx.findings:
+            index_field = _INDEX_FIELD_BY_STAGE.get(finding.stage)
+            if index_field is not None and finding.indices:
+                getattr(report, index_field).extend(finding.indices)
+        return report
+
+
 class PoaVerifier:
     """A reusable verification pipeline bound to a frame and speed limit.
 
@@ -72,20 +396,46 @@ class PoaVerifier:
         feasibility_slack: multiplicative tolerance on the speed bound to
             absorb GPS noise (an honest drone at the limit should not be
             rejected because of metre-level jitter).
+        metrics: optional :class:`StageMetrics` accumulating per-stage
+            timings across every ``verify`` call.
     """
 
     def __init__(self, frame: LocalFrame,
                  vmax_mps: float = FAA_MAX_SPEED_MPS,
                  hash_name: str = "sha1",
                  method: Method = "conservative",
-                 feasibility_slack: float = 1.02):
+                 feasibility_slack: float = 1.02,
+                 metrics: StageMetrics | None = None):
         self.frame = frame
         self.vmax_mps = float(vmax_mps)
         self.hash_name = hash_name
         self.method: Method = method
         self.feasibility_slack = float(feasibility_slack)
+        self.metrics = metrics
 
-    # --- individual stages --------------------------------------------------
+    # --- context / pipeline construction ------------------------------------
+
+    def context(self, poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
+                zones: Sequence[NoFlyZone], *,
+                position_memo: dict | None = None,
+                zone_circles: list[Circle] | None = None,
+                bad_signature_indices: list[int] | None = None,
+                ) -> VerificationContext:
+        """A context carrying this verifier's parameters (and any caches)."""
+        return VerificationContext(
+            poa=poa, tee_public_key=tee_public_key, zones=zones,
+            frame=self.frame, vmax_mps=self.vmax_mps,
+            hash_name=self.hash_name, method=self.method,
+            feasibility_slack=self.feasibility_slack,
+            position_memo=position_memo, zone_circles=zone_circles,
+            bad_signature_indices=bad_signature_indices)
+
+    def pipeline(self, mode: str = VerificationPipeline.SHORT_CIRCUIT,
+                 ) -> VerificationPipeline:
+        """The default five-stage pipeline wired to this verifier's metrics."""
+        return VerificationPipeline(mode=mode, metrics=self.metrics)
+
+    # --- individual stages (historic API, kept for composability) -----------
 
     def check_signatures(self, poa: ProofOfAlibi,
                          tee_public_key: RsaPublicKey) -> list[int]:
@@ -103,63 +453,24 @@ class PoaVerifier:
 
     def infeasible_pairs(self, samples: Sequence[GpsSample]) -> list[int]:
         """Pairs implying motion faster than the (slackened) speed bound."""
-        limit = self.vmax_mps * self.feasibility_slack
-        failures = []
-        for i in range(len(samples) - 1):
-            a, b = samples[i], samples[i + 1]
-            dt = b.t - a.t
-            ax, ay = a.local_position(self.frame)
-            bx, by = b.local_position(self.frame)
-            distance = math.hypot(bx - ax, by - ay)
-            if distance > limit * dt + 1e-9:
-                failures.append(i)
-        return failures
+        ctx = VerificationContext(
+            poa=ProofOfAlibi(), tee_public_key=None, zones=(),
+            frame=self.frame, vmax_mps=self.vmax_mps,
+            feasibility_slack=self.feasibility_slack)
+        ctx.samples = list(samples)
+        return FeasibilityStage.infeasible_pairs(ctx)
 
     # --- the pipeline --------------------------------------------------------
 
     def verify(self, poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
-               zones: Sequence[NoFlyZone]) -> VerificationReport:
-        """Run the full pipeline and report the outcome."""
-        if len(poa) == 0:
-            return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
-                                      message="PoA contains no samples")
+               zones: Sequence[NoFlyZone],
+               mode: str = VerificationPipeline.SHORT_CIRCUIT,
+               ) -> VerificationReport:
+        """Run the staged pipeline and report the outcome.
 
-        bad = self.check_signatures(poa, tee_public_key)
-        if bad:
-            return VerificationReport(
-                status=VerificationStatus.REJECTED_BAD_SIGNATURE,
-                bad_signature_indices=bad, sample_count=len(poa),
-                message=f"{len(bad)} of {len(poa)} signatures failed")
-
-        try:
-            samples = self.decode_samples(poa)
-        except EncodingError as exc:
-            return VerificationReport(
-                status=VerificationStatus.REJECTED_MALFORMED,
-                sample_count=len(poa), message=str(exc))
-
-        if not self.check_ordering(samples):
-            return VerificationReport(
-                status=VerificationStatus.REJECTED_MALFORMED,
-                sample_count=len(poa),
-                message="sample timestamps are not non-decreasing")
-
-        infeasible = self.infeasible_pairs(samples)
-        if infeasible:
-            return VerificationReport(
-                status=VerificationStatus.REJECTED_INFEASIBLE,
-                infeasible_pair_indices=infeasible, sample_count=len(poa),
-                message=f"{len(infeasible)} pairs exceed v_max")
-
-        insufficient = insufficient_pair_indices(
-            samples, list(zones), self.frame, self.vmax_mps, self.method)
-        if len(samples) < 2 and zones:
-            insufficient = [0]  # a single sample proves nothing
-        if insufficient:
-            return VerificationReport(
-                status=VerificationStatus.INSUFFICIENT,
-                insufficient_pair_indices=insufficient, sample_count=len(poa),
-                message=f"{len(insufficient)} pairs cannot rule out NFZ entrance")
-
-        return VerificationReport(status=VerificationStatus.ACCEPTED,
-                                  sample_count=len(poa))
+        In the default ``short_circuit`` mode the report is identical to
+        the historic monolithic implementation; ``collect_findings`` mode
+        additionally surfaces every independent failure at once.
+        """
+        return self.pipeline(mode).run(self.context(poa, tee_public_key,
+                                                    zones))

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import hmac as _hmac
 import random
+from typing import Sequence
 
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import CryptoError, EncryptionError, SignatureError
@@ -85,6 +86,56 @@ def verify_pkcs1_v15(key: RsaPublicKey, message: bytes, signature: bytes,
     except CryptoError:
         return False
     return _hmac.compare_digest(em, expected)
+
+
+def screen_pkcs1_v15(key: RsaPublicKey,
+                     items: "Sequence[tuple[bytes, bytes]]",
+                     hash_name: str = "sha1") -> bool | None:
+    """Batch *screening* of same-key RSASSA-PKCS1-v1_5 signatures.
+
+    Bellare–Garay–Rabin screening: for signatures ``s_i`` over messages
+    ``m_i`` under one key ``(n, e)``, check
+
+        ``(prod s_i)^e  ==  prod EMSA(m_i)   (mod n)``
+
+    which costs a single public-key exponentiation plus two modular
+    multiplications per signature, instead of one exponentiation per
+    signature.  Returns:
+
+    * ``True``  — the batch screens valid.  For *distinct* messages this
+      implies (under the RSA assumption) that every message was signed by
+      the key holder at some point; it does **not** pin each individual
+      ``s_i`` to ``m_i`` (an adversary holding valid signatures can permute
+      multiplicative factors between them).  Callers that need per-index
+      attribution of failures must fall back to :func:`verify_pkcs1_v15`.
+    * ``False`` — at least one signature is invalid (fall back to find out
+      which).
+    * ``None``  — the batch is not screenable (duplicate messages, bad
+      signature length, out-of-range value, unsupported hash): the caller
+      must verify individually.
+    """
+    if not items:
+        return True
+    k = key.byte_length
+    seen: set[bytes] = set()
+    sig_product = 1
+    em_product = 1
+    for message, signature in items:
+        if len(signature) != k:
+            return None
+        if message in seen:
+            return None  # screening soundness needs distinct messages
+        seen.add(message)
+        s = os2ip(signature)
+        if not 0 <= s < key.n:
+            return None
+        try:
+            em = _emsa_pkcs1_v15_encode(message, k, hash_name)
+        except CryptoError:
+            return None
+        sig_product = (sig_product * s) % key.n
+        em_product = (em_product * os2ip(em)) % key.n
+    return pow(sig_product, key.e, key.n) == em_product
 
 
 def encrypt_pkcs1_v15(key: RsaPublicKey, message: bytes,

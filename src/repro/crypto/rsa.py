@@ -7,6 +7,7 @@ standard CRT speedup, which matters for the pure-Python benchmark numbers.
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 from dataclasses import dataclass
@@ -16,6 +17,16 @@ from repro.errors import CryptoError, KeyGenerationError
 
 #: The fourth Fermat prime, the conventional RSA public exponent.
 DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@functools.lru_cache(maxsize=64)
+def _crt_params(d: int, p: int, q: int) -> tuple[int, int, int]:
+    """Memoized CRT exponents and inverse ``(d mod p-1, d mod q-1, q^-1)``.
+
+    A long-lived Auditor key decrypts thousands of records per batch;
+    recomputing the modular inverse on every call is pure waste.
+    """
+    return d % (p - 1), d % (q - 1), pow(q, -1, p)
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,9 +88,7 @@ class RsaPrivateKey:
         """RSADP via the Chinese Remainder Theorem."""
         if not 0 <= c < self.n:
             raise CryptoError("ciphertext representative out of range")
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        q_inv = pow(self.q, -1, self.p)
+        dp, dq, q_inv = _crt_params(self.d, self.p, self.q)
         m1 = pow(c, dp, self.p)
         m2 = pow(c, dq, self.q)
         h = (q_inv * (m1 - m2)) % self.p

@@ -84,7 +84,6 @@ class DroneKinematics:
             return length - 0.5 * self.max_accel_mps2 * t_left * t_left
         # Triangular profile.
         half = duration / 2.0
-        peak = self.max_accel_mps2 * half
         if t <= half:
             return 0.5 * self.max_accel_mps2 * t * t
         t_left = duration - t

@@ -11,7 +11,7 @@ from repro.perf.costs import CostModel, RASPBERRY_PI_3, THIS_MACHINE_TEMPLATE
 from repro.perf.cpu import CpuUtilizationModel, UtilizationSeries
 from repro.perf.power import kaup_power_w, PowerModel, KAUP_RASPBERRY_PI
 from repro.perf.memory import MemoryModel, RASPBERRY_PI_MEMORY
-from repro.perf.meter import Measurement, mean_std
+from repro.perf.meter import Measurement, StageMetrics, StageSample, mean_std
 
 __all__ = [
     "CostModel",
@@ -25,5 +25,7 @@ __all__ = [
     "MemoryModel",
     "RASPBERRY_PI_MEMORY",
     "Measurement",
+    "StageMetrics",
+    "StageSample",
     "mean_std",
 ]

@@ -1,10 +1,14 @@
-"""Measurement aggregation: mean +- std in the paper's reporting style."""
+"""Measurement aggregation: mean +- std in the paper's reporting style.
+
+Also hosts :class:`StageMetrics`, the per-stage timing accumulator the
+staged verification pipeline and the batch audit engine report into.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -38,3 +42,82 @@ def mean_std(values: Sequence[float]) -> Measurement:
     mean = sum(values) / n
     variance = sum((v - mean) ** 2 for v in values) / n
     return Measurement(mean=mean, std=math.sqrt(variance), n=n)
+
+
+@dataclass(frozen=True, slots=True)
+class StageSample:
+    """One timed execution of one pipeline stage."""
+
+    seconds: float
+    sample_count: int
+
+
+@dataclass
+class StageMetrics:
+    """Per-stage wall time and sample counts for verification pipelines.
+
+    Every stage execution is recorded individually so callers can compute
+    both totals (engine throughput accounting) and per-run distributions
+    (mean ± std via :func:`mean_std`).  Instances are cheap dict-of-list
+    accumulators; the engine merges per-worker instances with
+    :meth:`merge`.
+    """
+
+    _samples: dict[str, list[StageSample]] = field(default_factory=dict)
+
+    def record(self, stage: str, seconds: float, sample_count: int = 0) -> None:
+        """Record one execution of ``stage``."""
+        self._samples.setdefault(stage, []).append(
+            StageSample(seconds=float(seconds), sample_count=int(sample_count)))
+
+    def stages(self) -> list[str]:
+        """Stage names in first-recorded order."""
+        return list(self._samples)
+
+    def runs(self, stage: str) -> int:
+        """How many times ``stage`` was executed."""
+        return len(self._samples.get(stage, ()))
+
+    def total_seconds(self, stage: str) -> float:
+        """Accumulated wall time spent in ``stage``."""
+        return sum(s.seconds for s in self._samples.get(stage, ()))
+
+    def total_samples(self, stage: str) -> int:
+        """Accumulated sample count processed by ``stage``."""
+        return sum(s.sample_count for s in self._samples.get(stage, ()))
+
+    def timing(self, stage: str) -> Measurement:
+        """Wall-time distribution of one stage as ``mean ± std``."""
+        samples = self._samples.get(stage)
+        if not samples:
+            raise ConfigurationError(f"no samples recorded for stage {stage!r}")
+        return mean_std([s.seconds for s in samples])
+
+    def summary(self) -> dict[str, Measurement]:
+        """Per-stage timing measurements keyed by stage name."""
+        return {stage: self.timing(stage) for stage in self._samples}
+
+    def merge(self, *others: "StageMetrics") -> "StageMetrics":
+        """Fold other accumulators into this one (returns self)."""
+        for other in others:
+            for stage, samples in other._samples.items():
+                self._samples.setdefault(stage, []).extend(samples)
+        return self
+
+    def format(self, digits: int = 6) -> str:
+        """A human-readable per-stage table (seconds)."""
+        lines = []
+        for stage in self._samples:
+            m = self.timing(stage)
+            lines.append(
+                f"{stage:<12} runs={self.runs(stage):<5d} "
+                f"samples={self.total_samples(stage):<7d} "
+                f"total={self.total_seconds(stage):.{digits}f}s "
+                f"per-run={m.format(digits)}s")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -7,6 +7,11 @@ from repro.server.database import (
     RegisteredZone,
 )
 from repro.server.auditor import AliDroneServer, RetainedSubmission
+from repro.server.engine import (
+    AuditEngine,
+    AuditOutcome,
+    BatchAuditResult,
+)
 from repro.server.violations import ViolationFinding, ViolationLedger, PenaltyPolicy
 
 __all__ = [
@@ -16,6 +21,9 @@ __all__ = [
     "RegisteredZone",
     "AliDroneServer",
     "RetainedSubmission",
+    "AuditEngine",
+    "AuditOutcome",
+    "BatchAuditResult",
     "ViolationFinding",
     "ViolationLedger",
     "PenaltyPolicy",

@@ -4,6 +4,11 @@ Stores registered drones and NFZs, answers signed zone queries, decrypts
 and verifies submitted PoAs, retains verified PoAs as evidence "for a
 couple of days", and adjudicates Zone Owner incident reports against the
 retained evidence.
+
+PoA intake is delegated to the batch :class:`repro.server.engine.AuditEngine`:
+:meth:`AliDroneServer.receive_poa` is a thin single-submission wrapper over
+:meth:`AliDroneServer.receive_poa_batch`, so both paths share the staged
+verification pipeline, crypto fan-out, and caches.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ import random
 from dataclasses import dataclass
 
 from repro.core.nfz import NoFlyZone
-from repro.core.poa import ProofOfAlibi, decrypt_poa
+from repro.core.poa import ProofOfAlibi
 from repro.core.protocol import (
     DroneRegistrationRequest,
     IncidentReport,
@@ -28,9 +33,10 @@ from repro.core.verification import (
     VerificationStatus,
 )
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
-from repro.errors import AuthenticationError, EncryptionError, RegistrationError
+from repro.errors import AuthenticationError, RegistrationError
 from repro.geo.geodesy import LocalFrame
 from repro.server.database import DroneRegistry, NfzDatabase
+from repro.server.engine import AuditEngine, BatchAuditResult
 from repro.sim.events import EventLog
 from repro.server.violations import (
     PenaltyPolicy,
@@ -42,6 +48,13 @@ from repro.units import FAA_MAX_SPEED_MPS
 
 #: Paper: "the AliDrone Server should save the PoAs for a couple of days".
 DEFAULT_RETENTION_S = 3 * 24 * 3600.0
+
+#: How long a zone-query nonce is remembered for replay protection.  A
+#: nonce older than this can no longer be replayed undetectably in any
+#: realistic deployment (queries are interactive), so the set is evicted
+#: on the same sweep that purges retained evidence — otherwise it grows
+#: without bound under heavy traffic.
+DEFAULT_NONCE_WINDOW_S = 24 * 3600.0
 
 _STATUS_TO_KIND = {
     VerificationStatus.REJECTED_BAD_SIGNATURE: ViolationKind.BAD_SIGNATURE,
@@ -72,11 +85,16 @@ class AliDroneServer:
                  hash_name: str = "sha1",
                  method: Method = "conservative",
                  retention_s: float = DEFAULT_RETENTION_S,
-                 penalty_policy: PenaltyPolicy | None = None):
+                 nonce_window_s: float = DEFAULT_NONCE_WINDOW_S,
+                 penalty_policy: PenaltyPolicy | None = None,
+                 audit_workers: int = 1,
+                 audit_executor: str = "thread",
+                 screen_signatures: bool = True):
         self.frame = frame
         self.rng = rng or random.SystemRandom()
         self.vmax_mps = float(vmax_mps)
         self.retention_s = float(retention_s)
+        self.nonce_window_s = float(nonce_window_s)
         self.drones = DroneRegistry()
         self.zones = NfzDatabase(frame)
         self.verifier = PoaVerifier(frame, vmax_mps=vmax_mps,
@@ -85,11 +103,22 @@ class AliDroneServer:
         self._encryption_key: RsaPrivateKey = generate_rsa_keypair(
             encryption_key_bits, rng=self.rng)
         self._retained: dict[str, list[RetainedSubmission]] = {}
-        self._seen_nonces: set[bytes] = set()
+        #: Replay protection: nonce -> time the query was served, so old
+        #: nonces can be evicted by :meth:`purge_expired`.
+        self._seen_nonces: dict[bytes, float] = {}
         #: Operational audit trail: registrations, queries, submissions,
         #: incidents.  Event times use protocol timestamps where the
         #: message carries one, else 0.0 (registration has no clock).
         self.events = EventLog()
+        #: The batch audit engine every PoA intake flows through.
+        self.engine = AuditEngine(
+            self.verifier,
+            tee_key_lookup=lambda drone_id:
+                self.drones.lookup(drone_id).tee_public_key,
+            encryption_key=self._encryption_key,
+            zones_provider=lambda: [r.zone for r in self.zones.all_zones()],
+            workers=audit_workers, executor=audit_executor,
+            screen_signatures=screen_signatures, events=self.events)
         #: Manufacturer keys whose attestation quotes are accepted.
         self.trusted_manufacturers: list[RsaPublicKey] = []
         #: When True, drone registration requires a valid quote.
@@ -149,8 +178,12 @@ class AliDroneServer:
 
     # --- zone query (steps 2-3) -------------------------------------------------
 
-    def handle_zone_query(self, query: ZoneQuery) -> ZoneResponse:
+    def handle_zone_query(self, query: ZoneQuery,
+                          now: float = 0.0) -> ZoneResponse:
         """Verify the signed nonce and return zones inside the rectangle.
+
+        ``now`` timestamps the nonce for replay-window eviction (the query
+        message itself carries no clock).
 
         Raises:
             RegistrationError: the querying drone is not registered.
@@ -161,9 +194,9 @@ class AliDroneServer:
             raise AuthenticationError("zone query nonce replayed")
         if not query.verify(record.operator_public_key):
             raise AuthenticationError("zone query signature invalid")
-        self._seen_nonces.add(query.nonce)
+        self._seen_nonces[query.nonce] = now
         matches = self.zones.query_rect(query.corner_a, query.corner_b)
-        self.events.record(0.0, "zone_query", drone_id=query.drone_id,
+        self.events.record(now, "zone_query", drone_id=query.drone_id,
                            zones_returned=len(matches))
         return ZoneResponse(zones=tuple((r.zone_id, r.zone) for r in matches))
 
@@ -171,17 +204,44 @@ class AliDroneServer:
 
     def receive_poa(self, submission: PoaSubmission,
                     now: float | None = None) -> VerificationReport:
-        """Decrypt, verify, and retain a PoA submission."""
-        record = self.drones.lookup(submission.drone_id)
-        try:
-            poa = decrypt_poa(submission.records, self._encryption_key)
-        except EncryptionError as exc:
-            return VerificationReport(
-                status=VerificationStatus.REJECTED_MALFORMED,
-                sample_count=len(submission.records),
-                message=f"PoA decryption failed: {exc}")
-        zones = [r.zone for r in self.zones.all_zones()]
-        report = self.verifier.verify(poa, record.tee_public_key, zones)
+        """Decrypt, verify, and retain one PoA submission.
+
+        A thin wrapper over the batch path: the submission goes through
+        the same :class:`AuditEngine` as :meth:`receive_poa_batch`, and
+        intake errors (unknown drone) are re-raised exactly as before.
+        """
+        result = self.engine.audit_batch([submission], now=now,
+                                         record_event=False)
+        outcome = result.outcomes[0]
+        if outcome.error is not None:
+            raise outcome.error
+        if outcome.poa is not None:
+            self._retain_and_log(outcome.submission, outcome.poa,
+                                 outcome.report, now)
+        return outcome.report
+
+    def receive_poa_batch(self, submissions: list[PoaSubmission],
+                          now: float | None = None) -> BatchAuditResult:
+        """Decrypt, verify, and retain many submissions as one batch.
+
+        Unlike the single-submission API, intake failures do not raise:
+        each :class:`repro.server.engine.AuditOutcome` carries either a
+        report (retained and logged as usual) or the error.  The batch is
+        recorded in the audit trail as one ``batch_audited`` event.
+        """
+        result = self.engine.audit_batch(submissions, now=now)
+        for outcome in result.outcomes:
+            # Undecryptable submissions carry no verifiable evidence and
+            # are reported but not retained (matching the single path).
+            if outcome.report is not None and outcome.poa is not None:
+                self._retain_and_log(outcome.submission, outcome.poa,
+                                     outcome.report, now)
+        return result
+
+    def _retain_and_log(self, submission: PoaSubmission,
+                        poa: ProofOfAlibi,
+                        report: VerificationReport,
+                        now: float | None) -> None:
         received_at = now if now is not None else submission.claimed_end
         self._retained.setdefault(submission.drone_id, []).append(
             RetainedSubmission(submission=submission, poa=poa,
@@ -191,14 +251,18 @@ class AliDroneServer:
                            flight_id=submission.flight_id,
                            status=report.status.value,
                            samples=report.sample_count)
-        return report
 
     def retained_for(self, drone_id: str) -> list[RetainedSubmission]:
         """Evidence currently retained for one drone."""
         return list(self._retained.get(drone_id, []))
 
     def purge_expired(self, now: float) -> int:
-        """Drop evidence older than the retention window; returns #dropped."""
+        """One retention sweep: drop expired evidence and stale nonces.
+
+        Returns the number of retained submissions dropped.  The same
+        sweep evicts zone-query nonces older than ``nonce_window_s`` so
+        the replay-protection set stays bounded under sustained traffic.
+        """
         dropped = 0
         for drone_id, items in list(self._retained.items()):
             kept = [s for s in items if now - s.received_at <= self.retention_s]
@@ -207,6 +271,9 @@ class AliDroneServer:
                 self._retained[drone_id] = kept
             else:
                 del self._retained[drone_id]
+        self._seen_nonces = {
+            nonce: seen_at for nonce, seen_at in self._seen_nonces.items()
+            if now - seen_at <= self.nonce_window_s}
         return dropped
 
     # --- incident adjudication ------------------------------------------------------

@@ -1,0 +1,378 @@
+"""The batch audit engine: the Auditor's high-throughput verification core.
+
+The paper's Auditor (§IV-C2) verifies one PoA at a time; a production
+service fields submissions from millions of drones.  :class:`AuditEngine`
+is the throughput-scaled path every intake flows through:
+
+* **Fan-out** — the CPU-bound crypto work (RSAES decryption + signature
+  checking) for each submission is dispatched across a
+  :mod:`concurrent.futures` pool.  ``workers <= 1`` runs everything inline
+  in submission order, which is the deterministic mode the tests use.
+* **Screening** — same-key signature batches are first checked with
+  Bellare–Garay–Rabin screening (one public-key exponentiation per PoA
+  instead of one per sample, :func:`repro.crypto.pkcs1.screen_pkcs1_v15`);
+  any failure falls back to per-signature verification so rejected
+  reports still carry exact indices.
+* **Caching** — decrypted payloads are memoized by ciphertext (resubmitted
+  or replayed records cost nothing the second time), per-drone ``T+``
+  lookups are cached, local-frame projections are memoized across samples
+  and submissions, and the zone set is projected to circles once per
+  batch.
+* **Accounting** — per-stage wall time flows into a shared
+  :class:`repro.perf.meter.StageMetrics`, and each batch records a
+  ``batch_audited`` event (batch size, worker count, wall time) into the
+  attached :class:`repro.sim.events.EventLog`.
+
+The verification semantics are exactly the staged pipeline's
+(:mod:`repro.core.verification`): reports produced here are identical to
+what ``PoaVerifier.verify`` returns for the same inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.protocol import PoaSubmission
+from repro.core.verification import (
+    PoaVerifier,
+    VerificationPipeline,
+    VerificationReport,
+    VerificationStatus,
+)
+from repro.crypto.pkcs1 import (
+    decrypt_pkcs1_v15,
+    screen_pkcs1_v15,
+    verify_pkcs1_v15,
+)
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import AliDroneError, ConfigurationError, EncryptionError
+from repro.perf.meter import StageMetrics
+from repro.sim.events import EventLog
+
+#: Decrypted-payload cache bound: ~50k records ≈ a few MB of payloads.
+DEFAULT_PAYLOAD_CACHE_MAX = 50_000
+#: Projection memo bound: one entry per distinct (lat, lon) seen.
+DEFAULT_POSITION_MEMO_MAX = 200_000
+
+
+class _BoundedCache(dict):
+    """A dict that evicts its oldest insertions past ``max_entries``.
+
+    Insertion order is a good-enough recency proxy for the engine's
+    workloads (submissions arrive roughly chronologically), and plain-dict
+    reads keep the hot path free of bookkeeping.
+    """
+
+    def __init__(self, max_entries: int):
+        super().__init__()
+        self.max_entries = int(max_entries)
+
+    def insert(self, key, value) -> None:
+        if key not in self and len(self) >= self.max_entries:
+            # Evict ~10% in one sweep so eviction cost is amortized.
+            for stale in list(self)[:max(1, self.max_entries // 10)]:
+                del self[stale]
+        self[key] = value
+
+
+# --- pool task functions (top-level so ProcessPoolExecutor can pickle) -----
+
+def _signature_verdict(tee_public_key: RsaPublicKey,
+                       pairs: Sequence[tuple[bytes, bytes]],
+                       hash_name: str, screen: bool) -> list[int]:
+    """Indices of failing signatures, using screening as the fast path."""
+    if screen and screen_pkcs1_v15(tee_public_key, pairs, hash_name) is True:
+        return []
+    return [i for i, (payload, signature) in enumerate(pairs)
+            if not verify_pkcs1_v15(tee_public_key, payload, signature,
+                                    hash_name)]
+
+
+def _submission_crypto_task(encryption_key: RsaPrivateKey | None,
+                            records: Sequence[tuple[bytes | None, bytes, bytes]],
+                            tee_public_key: RsaPublicKey,
+                            hash_name: str, screen: bool):
+    """Decrypt one submission's records and check its signatures.
+
+    ``records`` entries are ``(cached_payload, ciphertext, signature)``;
+    a non-None cached payload skips decryption.  Returns
+    ``(payloads, bad_indices, decrypt_error, seconds)`` where exactly one
+    of ``payloads``/``decrypt_error`` is set.
+    """
+    start = time.perf_counter()
+    payloads: list[bytes] = []
+    try:
+        for cached, ciphertext, _signature in records:
+            if cached is not None:
+                payloads.append(cached)
+            else:
+                payloads.append(decrypt_pkcs1_v15(encryption_key, ciphertext))
+    except EncryptionError as exc:
+        return None, [], str(exc), time.perf_counter() - start
+    pairs = [(payload, signature)
+             for payload, (_c, _ct, signature) in zip(payloads, records)]
+    bad = _signature_verdict(tee_public_key, pairs, hash_name, screen)
+    return payloads, bad, None, time.perf_counter() - start
+
+
+def _poa_crypto_task(tee_public_key: RsaPublicKey,
+                     pairs: Sequence[tuple[bytes, bytes]],
+                     hash_name: str, screen: bool):
+    """Signature verdict for an already-decrypted PoA."""
+    start = time.perf_counter()
+    bad = _signature_verdict(tee_public_key, pairs, hash_name, screen)
+    return bad, time.perf_counter() - start
+
+
+# --- results ----------------------------------------------------------------
+
+@dataclass
+class AuditOutcome:
+    """What the engine concluded about one submission."""
+
+    submission: PoaSubmission
+    report: VerificationReport | None = None
+    poa: ProofOfAlibi | None = None
+    #: Intake-level failure (e.g. unknown drone id); the single-submission
+    #: API re-raises it, the batch API surfaces it alongside the others.
+    error: AliDroneError | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether intake produced a report (of any verification status)."""
+        return self.report is not None
+
+
+@dataclass
+class BatchAuditResult:
+    """One ``audit_batch`` run: outcomes plus throughput accounting."""
+
+    outcomes: list[AuditOutcome]
+    wall_time_s: float
+    workers: int
+    batch_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.batch_size:
+            self.batch_size = len(self.outcomes)
+
+    @property
+    def reports(self) -> list[VerificationReport | None]:
+        """Per-submission reports (None where intake errored)."""
+        return [o.report for o in self.outcomes]
+
+    @property
+    def submissions_per_second(self) -> float:
+        """Throughput of this batch."""
+        if self.wall_time_s <= 0.0:
+            return float("inf")
+        return self.batch_size / self.wall_time_s
+
+
+class AuditEngine:
+    """Verifies many PoA submissions as one batch.
+
+    Args:
+        verifier: the :class:`PoaVerifier` carrying frame/speed/method
+            parameters (its per-stage pipeline is reused unchanged).
+        tee_key_lookup: maps ``drone_id`` to the registered ``T+``; must
+            raise :class:`repro.errors.RegistrationError` for unknown ids.
+            Results are cached per drone.
+        encryption_key: the Auditor's RSAES private key (None when the
+            engine only audits pre-decrypted PoAs).
+        zones_provider: yields the current zone set; called once per batch.
+        workers: size of the crypto fan-out pool.  ``1`` (default) runs
+            inline — fully deterministic, no pool at all.
+        executor: ``"thread"`` (default; cheap, good enough because the
+            hot loop is dominated by a handful of long native big-int
+            operations) or ``"process"`` (true multi-core scaling for
+            large batches on multi-core hosts).
+        screen_signatures: use batch screening as the signature fast path.
+            Screening accepts only payload sets that were genuinely signed
+            by ``T+`` (see :func:`repro.crypto.pkcs1.screen_pkcs1_v15` for
+            the exact guarantee); set False to force per-sample checks.
+        events: optional audit-trail log receiving ``batch_audited``.
+        metrics: optional shared :class:`StageMetrics`; one is created
+            when omitted and exposed as :attr:`metrics`.
+    """
+
+    def __init__(self, verifier: PoaVerifier,
+                 tee_key_lookup: Callable[[str], RsaPublicKey],
+                 encryption_key: RsaPrivateKey | None = None,
+                 zones_provider: Callable[[], Sequence[NoFlyZone]] | None = None,
+                 *,
+                 workers: int = 1,
+                 executor: str = "thread",
+                 screen_signatures: bool = True,
+                 events: EventLog | None = None,
+                 metrics: StageMetrics | None = None,
+                 payload_cache_max: int = DEFAULT_PAYLOAD_CACHE_MAX,
+                 position_memo_max: int = DEFAULT_POSITION_MEMO_MAX):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {executor!r}")
+        self.verifier = verifier
+        self.tee_key_lookup = tee_key_lookup
+        self.encryption_key = encryption_key
+        self.zones_provider = zones_provider or (lambda: ())
+        self.workers = int(workers)
+        self.executor_kind = executor
+        self.screen_signatures = bool(screen_signatures)
+        self.events = events
+        self.metrics = metrics if metrics is not None else StageMetrics()
+        self._tee_key_cache: dict[str, RsaPublicKey] = {}
+        self._payload_cache = _BoundedCache(payload_cache_max)
+        self._position_memo = _BoundedCache(position_memo_max)
+
+    # --- caches -------------------------------------------------------------
+
+    def tee_key_for(self, drone_id: str) -> RsaPublicKey:
+        """The registered ``T+`` for a drone, cached per drone id."""
+        key = self._tee_key_cache.get(drone_id)
+        if key is None:
+            key = self.tee_key_lookup(drone_id)
+            self._tee_key_cache[drone_id] = key
+        return key
+
+    def invalidate_drone(self, drone_id: str) -> None:
+        """Drop a cached ``T+`` (after re-registration or revocation)."""
+        self._tee_key_cache.pop(drone_id, None)
+
+    @property
+    def payload_cache_size(self) -> int:
+        """Number of decrypted records currently memoized."""
+        return len(self._payload_cache)
+
+    @property
+    def position_memo_size(self) -> int:
+        """Number of distinct coordinates whose projection is memoized."""
+        return len(self._position_memo)
+
+    # --- fan-out helpers ----------------------------------------------------
+
+    def _make_executor(self) -> Executor:
+        if self.executor_kind == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _map_tasks(self, fn: Callable, argument_lists: Sequence[tuple]):
+        """Run ``fn(*args)`` per entry, inline or across the pool, in order."""
+        if self.workers <= 1 or len(argument_lists) <= 1:
+            return [fn(*args) for args in argument_lists]
+        with self._make_executor() as pool:
+            return list(pool.map(fn, *zip(*argument_lists)))
+
+    # --- the batch paths ----------------------------------------------------
+
+    def audit_batch(self, submissions: Sequence[PoaSubmission],
+                    now: float | None = None,
+                    record_event: bool = True) -> BatchAuditResult:
+        """Decrypt and verify many submissions; never raises per-item.
+
+        Per-submission intake failures (unknown drone, undecryptable
+        records) are captured in each :class:`AuditOutcome` — an error in
+        one submission cannot poison the rest of the batch.
+        """
+        start = time.perf_counter()
+        submissions = list(submissions)
+        outcomes: list[AuditOutcome] = [AuditOutcome(submission=s)
+                                        for s in submissions]
+
+        # Phase 0 (inline): resolve T+ per drone; registry errors become
+        # per-outcome errors before any crypto is spent on the submission.
+        task_args = []
+        task_slots = []
+        for slot, submission in enumerate(submissions):
+            try:
+                tee_key = self.tee_key_for(submission.drone_id)
+            except AliDroneError as exc:
+                outcomes[slot].error = exc
+                continue
+            records = [
+                (self._payload_cache.get(record.ciphertext),
+                 record.ciphertext, record.signature)
+                for record in submission.records]
+            task_args.append((self.encryption_key, records, tee_key,
+                              self.verifier.hash_name,
+                              self.screen_signatures))
+            task_slots.append(slot)
+
+        # Phase 1 (pool): the CPU-bound decrypt + signature work.
+        results = self._map_tasks(_submission_crypto_task, task_args)
+
+        # Phase 2 (inline): feed results through the shared staged pipeline.
+        zones = list(self.zones_provider())
+        zone_circles = [zone.to_circle(self.verifier.frame) for zone in zones]
+        for (payloads, bad, decrypt_error, seconds), slot, args in zip(
+                results, task_slots, task_args):
+            submission = submissions[slot]
+            self.metrics.record("crypto", seconds, len(submission.records))
+            if decrypt_error is not None:
+                outcomes[slot].report = VerificationReport(
+                    status=VerificationStatus.REJECTED_MALFORMED,
+                    sample_count=len(submission.records),
+                    message=f"PoA decryption failed: {decrypt_error}")
+                continue
+            for (_cached, ciphertext, _sig), payload in zip(args[1], payloads):
+                self._payload_cache.insert(ciphertext, payload)
+            poa = ProofOfAlibi(
+                SignedSample(payload=payload, signature=record.signature)
+                for payload, record in zip(payloads, submission.records))
+            ctx = self.verifier.context(
+                poa, args[2], zones,
+                position_memo=self._position_memo,
+                zone_circles=list(zone_circles),
+                bad_signature_indices=list(bad))
+            report = VerificationPipeline(
+                metrics=self.metrics).run(ctx)
+            outcomes[slot].poa = poa
+            outcomes[slot].report = report
+
+        wall = time.perf_counter() - start
+        result = BatchAuditResult(outcomes=outcomes, wall_time_s=wall,
+                                  workers=self.workers)
+        if record_event and self.events is not None:
+            self.events.record(now if now is not None else 0.0,
+                               "batch_audited",
+                               batch_size=result.batch_size,
+                               workers=self.workers,
+                               wall_time_s=wall)
+        return result
+
+    def audit_poas(self,
+                   items: Iterable[tuple[ProofOfAlibi, RsaPublicKey]],
+                   zones: Sequence[NoFlyZone],
+                   ) -> list[VerificationReport]:
+        """Verify already-decrypted PoAs as one batch.
+
+        This is the pure verification hot path (no RSAES layer): the
+        signature stage fans out / screens exactly as in
+        :meth:`audit_batch`, and geometry caches are shared across items.
+        Reports are identical to ``PoaVerifier.verify`` per item.
+        """
+        items = list(items)
+        task_args = [
+            (tee_key, [(entry.payload, entry.signature) for entry in poa],
+             self.verifier.hash_name, self.screen_signatures)
+            for poa, tee_key in items]
+        results = self._map_tasks(_poa_crypto_task, task_args)
+        zones = list(zones)
+        zone_circles = [zone.to_circle(self.verifier.frame) for zone in zones]
+        reports = []
+        for (bad, seconds), (poa, tee_key) in zip(results, items):
+            self.metrics.record("crypto", seconds, len(poa))
+            ctx = self.verifier.context(
+                poa, tee_key, zones,
+                position_memo=self._position_memo,
+                zone_circles=list(zone_circles),
+                bad_signature_indices=list(bad))
+            reports.append(VerificationPipeline(
+                metrics=self.metrics).run(ctx))
+        return reports

@@ -10,7 +10,6 @@ from repro.analysis.figures import (
 )
 from repro.analysis.report import format_feet, render_series, render_table2
 from repro.analysis.tables import Table2Row, compute_table2
-from repro.perf.costs import RASPBERRY_PI_3
 from repro.perf.meter import Measurement
 from repro.workloads import run_policy
 

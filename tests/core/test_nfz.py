@@ -1,7 +1,5 @@
 """Tests for repro.core.nfz."""
 
-import math
-
 import pytest
 
 from repro.core.nfz import CylinderNfz, NoFlyZone, PolygonNfz

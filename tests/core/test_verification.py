@@ -5,8 +5,13 @@ import pytest
 from repro.core.nfz import NoFlyZone
 from repro.core.poa import ProofOfAlibi, SignedSample
 from repro.core.samples import GpsSample
-from repro.core.verification import PoaVerifier, VerificationStatus
+from repro.core.verification import (
+    PoaVerifier,
+    VerificationPipeline,
+    VerificationStatus,
+)
 from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.perf.meter import StageMetrics
 from repro.sim.clock import DEFAULT_EPOCH
 
 T0 = DEFAULT_EPOCH
@@ -102,6 +107,26 @@ class TestRejections:
                                  signing_key.public_key, [])
         assert report.status is not VerificationStatus.REJECTED_INFEASIBLE
 
+    def test_same_instant_different_positions_infeasible(self, verifier,
+                                                         signing_key, frame):
+        """dt == 0 with distinct positions is rejected outright: the check
+        is explicit, not a side effect of the epsilon on the speed bound."""
+        entries = [signed(signing_key, sample_at(frame, 300, 0, 1.0)),
+                   signed(signing_key, sample_at(frame, 300.5, 0, 1.0))]
+        report = verifier.verify(ProofOfAlibi(entries),
+                                 signing_key.public_key, [])
+        assert report.status is VerificationStatus.REJECTED_INFEASIBLE
+        assert report.infeasible_pair_indices == [0]
+
+    def test_same_instant_same_position_allowed(self, verifier, signing_key,
+                                                frame):
+        """A duplicated sample (same time, same place) is not infeasible."""
+        entries = [signed(signing_key, sample_at(frame, 300, 0, 1.0)),
+                   signed(signing_key, sample_at(frame, 300, 0, 1.0))]
+        report = verifier.verify(ProofOfAlibi(entries),
+                                 signing_key.public_key, [])
+        assert report.status is not VerificationStatus.REJECTED_INFEASIBLE
+
     def test_insufficient_gap(self, verifier, signing_key, frame, zone):
         entries = [signed(signing_key, sample_at(frame, 200, 0, 0.0)),
                    signed(signing_key, sample_at(frame, 260, 0, 60.0))]
@@ -117,6 +142,70 @@ class TestRejections:
         report = verifier.verify(ProofOfAlibi(entries),
                                  signing_key.public_key, [zone])
         assert report.status is VerificationStatus.INSUFFICIENT
+
+
+class TestCollectFindingsMode:
+    def test_collects_independent_failures(self, verifier, frame,
+                                           signing_key, other_key, zone):
+        """A forged *and* insufficient PoA reports both problems at once,
+        with the most severe finding deciding the status."""
+        entries = [signed(other_key, sample_at(frame, 200, 0, 0.0)),
+                   signed(other_key, sample_at(frame, 260, 0, 60.0))]
+        report = verifier.verify(ProofOfAlibi(entries),
+                                 signing_key.public_key, [zone],
+                                 mode=VerificationPipeline.COLLECT_FINDINGS)
+        assert report.status is VerificationStatus.REJECTED_BAD_SIGNATURE
+        assert report.bad_signature_indices == [0, 1]
+        assert report.insufficient_pair_indices == [0]
+        assert "signatures failed" in report.message
+        assert "cannot rule out NFZ entrance" in report.message
+
+    def test_blocking_stage_still_stops_collection(self, verifier,
+                                                   signing_key, zone):
+        """An undecodable PoA has nothing for the geometric stages to
+        inspect, so collection stops at the decode failure."""
+        payload = b"not a GPS sample payload"
+        poa = ProofOfAlibi([SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(signing_key, payload, "sha1"))])
+        report = verifier.verify(poa, signing_key.public_key, [zone],
+                                 mode=VerificationPipeline.COLLECT_FINDINGS)
+        assert report.status is VerificationStatus.REJECTED_MALFORMED
+        assert report.infeasible_pair_indices == []
+        assert report.insufficient_pair_indices == []
+
+    def test_clean_poa_identical_in_both_modes(self, verifier, good_poa,
+                                               signing_key, zone):
+        short = verifier.verify(good_poa, signing_key.public_key, [zone])
+        collected = verifier.verify(
+            good_poa, signing_key.public_key, [zone],
+            mode=VerificationPipeline.COLLECT_FINDINGS)
+        assert short == collected
+
+    def test_unknown_mode_rejected(self, verifier):
+        with pytest.raises(ValueError):
+            verifier.pipeline(mode="eager")
+
+
+class TestStageMetricsWiring:
+    def test_verifier_records_per_stage_timings(self, frame, good_poa,
+                                                signing_key, zone):
+        metrics = StageMetrics()
+        verifier = PoaVerifier(frame, metrics=metrics)
+        verifier.verify(good_poa, signing_key.public_key, [zone])
+        assert metrics.stages() == ["signature", "decode", "ordering",
+                                    "feasibility", "sufficiency"]
+        assert metrics.runs("signature") == 1
+        assert metrics.total_samples("signature") == len(good_poa)
+        # Pair stages process n - 1 sample pairs.
+        assert metrics.total_samples("feasibility") == len(good_poa) - 1
+
+    def test_short_circuit_skips_downstream_timings(self, frame, good_poa,
+                                                    other_key, zone):
+        metrics = StageMetrics()
+        verifier = PoaVerifier(frame, metrics=metrics)
+        verifier.verify(good_poa, other_key.public_key, [zone])
+        assert metrics.stages() == ["signature"]
 
 
 class TestStageOrdering:

@@ -18,7 +18,6 @@ from repro.core.protocol import (
     ZoneRegistrationRequest,
 )
 from repro.drone.client import AliDroneClient
-from repro.geo.geodesy import GeoPoint, LocalFrame
 from repro.gps.receiver import SimulatedGpsReceiver
 from repro.gps.replay import WaypointSource
 from repro.server.auditor import AliDroneServer

@@ -88,7 +88,6 @@ class TestHostileStorage:
         """Deleting the TA image from untrusted storage is a DoS, not a
         bypass: the session cannot open, nothing signs."""
         from repro.errors import TrustedAppError
-        from repro.tee.gps_sampler_ta import GPS_SAMPLER_UUID
         device, receiver, clock = make_platform(seed=6)
         device.core.ta_store._images.clear()
         adapter = Adapter(device, receiver, clock)

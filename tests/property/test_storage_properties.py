@@ -1,7 +1,5 @@
 """Property tests on persistence: vault round trips and index consistency."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Property tests on the streaming protocol: delivery under arbitrary loss."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

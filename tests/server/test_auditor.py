@@ -102,6 +102,26 @@ class TestZoneQuery:
         with pytest.raises(AuthenticationError):
             server.handle_zone_query(query)
 
+    def test_nonce_survives_purge_inside_window(self, server, frame,
+                                                registered, other_key, rng):
+        query = ZoneQuery.create(registered, frame.to_geo(0, 0),
+                                 frame.to_geo(1, 1), other_key, rng=rng)
+        server.handle_zone_query(query, now=T0)
+        server.purge_expired(T0 + server.nonce_window_s / 2)
+        with pytest.raises(AuthenticationError):
+            server.handle_zone_query(query, now=T0 + server.nonce_window_s / 2)
+
+    def test_stale_nonce_evicted_by_purge(self, server, frame, registered,
+                                          other_key, rng):
+        """The nonce set is bounded: the retention sweep forgets old ones."""
+        query = ZoneQuery.create(registered, frame.to_geo(0, 0),
+                                 frame.to_geo(1, 1), other_key, rng=rng)
+        server.handle_zone_query(query, now=T0)
+        later = T0 + server.nonce_window_s + 1.0
+        assert server.purge_expired(later) == 0  # counts submissions only
+        # Outside the replay window the nonce is no longer remembered.
+        server.handle_zone_query(query, now=later)
+
 
 class TestPoaIntake:
     def test_valid_submission_accepted_and_retained(self, server, frame,

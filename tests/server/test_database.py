@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.nfz import NoFlyZone
 from repro.errors import RegistrationError
-from repro.geo.geodesy import GeoPoint
 from repro.server.database import DroneRegistry, NfzDatabase
 
 

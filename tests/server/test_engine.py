@@ -1,0 +1,399 @@
+"""Tests for repro.server.engine: the batch audit engine.
+
+The heart of this module is the equivalence suite: a literal replica of
+the seed's monolithic ``PoaVerifier.verify`` is kept here as the
+reference, and every intake path — the staged pipeline, the engine's
+verify-only batch, and the full decrypt-and-verify batch — must produce
+reports equal to it field for field, across every outcome class.
+"""
+
+import random
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import (
+    EncryptedPoaRecord,
+    ProofOfAlibi,
+    SignedSample,
+    encrypt_poa,
+)
+from repro.core.protocol import DroneRegistrationRequest, PoaSubmission
+from repro.core.samples import GpsSample
+from repro.core.sufficiency import insufficient_pair_indices
+from repro.core.verification import (
+    PoaVerifier,
+    VerificationReport,
+    VerificationStatus,
+)
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.errors import ConfigurationError, EncodingError, RegistrationError
+from repro.server.auditor import AliDroneServer
+from repro.server.engine import AuditEngine
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.sim.events import EventLog
+
+T0 = DEFAULT_EPOCH
+
+
+def signed(key, sample):
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+def sample_at(frame, x, y, t):
+    point = frame.to_geo(x, y)
+    return GpsSample(lat=point.lat, lon=point.lon, t=T0 + t)
+
+
+def seed_reference_verify(verifier, poa, tee_public_key, zones):
+    """The seed's monolithic verify, kept verbatim as the oracle."""
+    if len(poa) == 0:
+        return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
+                                  message="PoA contains no samples")
+
+    bad = verifier.check_signatures(poa, tee_public_key)
+    if bad:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_BAD_SIGNATURE,
+            bad_signature_indices=bad, sample_count=len(poa),
+            message=f"{len(bad)} of {len(poa)} signatures failed")
+
+    try:
+        samples = verifier.decode_samples(poa)
+    except EncodingError as exc:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_MALFORMED,
+            sample_count=len(poa), message=str(exc))
+
+    if not verifier.check_ordering(samples):
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_MALFORMED,
+            sample_count=len(poa),
+            message="sample timestamps are not non-decreasing")
+
+    infeasible = verifier.infeasible_pairs(samples)
+    if infeasible:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_INFEASIBLE,
+            infeasible_pair_indices=infeasible, sample_count=len(poa),
+            message=f"{len(infeasible)} pairs exceed v_max")
+
+    insufficient = insufficient_pair_indices(
+        samples, list(zones), verifier.frame, verifier.vmax_mps,
+        verifier.method)
+    if len(samples) < 2 and zones:
+        insufficient = [0]
+    if insufficient:
+        return VerificationReport(
+            status=VerificationStatus.INSUFFICIENT,
+            insufficient_pair_indices=insufficient, sample_count=len(poa),
+            message=f"{len(insufficient)} pairs cannot rule out NFZ entrance")
+
+    return VerificationReport(status=VerificationStatus.ACCEPTED,
+                              sample_count=len(poa))
+
+
+@pytest.fixture()
+def zone(frame):
+    center = frame.to_geo(0.0, 0.0)
+    return NoFlyZone(center.lat, center.lon, 50.0)
+
+
+def build_poa(name, frame, signing_key, other_key):
+    """One PoA per outcome class of the verification pipeline."""
+    if name == "accepted":
+        return ProofOfAlibi(
+            signed(signing_key,
+                   sample_at(frame, 200.0 + 20.0 * i, 0.0, float(i)))
+            for i in range(8))
+    if name == "insufficient":
+        return ProofOfAlibi([
+            signed(signing_key, sample_at(frame, 200, 0, 0.0)),
+            signed(signing_key, sample_at(frame, 260, 0, 60.0))])
+    if name == "infeasible":
+        return ProofOfAlibi([
+            signed(signing_key, sample_at(frame, 300, 0, 0.0)),
+            signed(signing_key, sample_at(frame, 10_300, 0, 1.0))])
+    if name == "bad_signature":
+        entries = [signed(signing_key,
+                          sample_at(frame, 200.0 + 20.0 * i, 0.0, float(i)))
+                   for i in range(4)]
+        entries[2] = SignedSample(payload=entries[2].payload,
+                                  signature=b"\x01" * 64)
+        return ProofOfAlibi(entries)
+    if name == "forged":
+        return ProofOfAlibi(
+            signed(other_key,
+                   sample_at(frame, 200.0 + 20.0 * i, 0.0, float(i)))
+            for i in range(4))
+    if name == "malformed_payload":
+        payload = b"not a GPS sample payload"
+        return ProofOfAlibi([SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(signing_key, payload, "sha1"))])
+    if name == "out_of_order":
+        return ProofOfAlibi([
+            signed(signing_key, sample_at(frame, 300, 0, 5.0)),
+            signed(signing_key, sample_at(frame, 310, 0, 2.0))])
+    if name == "empty":
+        return ProofOfAlibi()
+    raise AssertionError(name)
+
+
+SCENARIOS = ["accepted", "insufficient", "infeasible", "bad_signature",
+             "forged", "malformed_payload", "out_of_order", "empty"]
+
+EXPECTED_STATUS = {
+    "accepted": VerificationStatus.ACCEPTED,
+    "insufficient": VerificationStatus.INSUFFICIENT,
+    "infeasible": VerificationStatus.REJECTED_INFEASIBLE,
+    "bad_signature": VerificationStatus.REJECTED_BAD_SIGNATURE,
+    "forged": VerificationStatus.REJECTED_BAD_SIGNATURE,
+    "malformed_payload": VerificationStatus.REJECTED_MALFORMED,
+    "out_of_order": VerificationStatus.REJECTED_MALFORMED,
+    "empty": VerificationStatus.REJECTED_EMPTY,
+}
+
+
+class TestReportEquivalence:
+    """Every path must equal the seed's monolithic verify, field for field."""
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_pipeline_matches_seed(self, scenario, frame, signing_key,
+                                   other_key, zone):
+        verifier = PoaVerifier(frame)
+        poa = build_poa(scenario, frame, signing_key, other_key)
+        expected = seed_reference_verify(verifier, poa,
+                                         signing_key.public_key, [zone])
+        got = verifier.verify(poa, signing_key.public_key, [zone])
+        assert expected.status is EXPECTED_STATUS[scenario]
+        assert got == expected
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("screen", [True, False])
+    def test_engine_verify_only_matches_seed(self, scenario, screen, frame,
+                                             signing_key, other_key, zone):
+        verifier = PoaVerifier(frame)
+        poa = build_poa(scenario, frame, signing_key, other_key)
+        expected = seed_reference_verify(verifier, poa,
+                                         signing_key.public_key, [zone])
+        engine = AuditEngine(verifier,
+                             tee_key_lookup=lambda d: signing_key.public_key,
+                             screen_signatures=screen)
+        reports = engine.audit_poas([(poa, signing_key.public_key)], [zone])
+        assert reports == [expected]
+
+    def test_engine_mixed_batch_matches_seed(self, frame, signing_key,
+                                             other_key, zone):
+        """All outcome classes audited as one batch, order preserved."""
+        verifier = PoaVerifier(frame)
+        poas = [build_poa(s, frame, signing_key, other_key)
+                for s in SCENARIOS]
+        expected = [seed_reference_verify(verifier, poa,
+                                          signing_key.public_key, [zone])
+                    for poa in poas]
+        engine = AuditEngine(verifier,
+                             tee_key_lookup=lambda d: signing_key.public_key)
+        reports = engine.audit_poas(
+            [(poa, signing_key.public_key) for poa in poas], [zone])
+        assert reports == expected
+
+
+class TestFullIntakeEquivalence:
+    """The decrypt-and-verify batch path against the seed's intake."""
+
+    @pytest.fixture()
+    def server(self, frame):
+        server = AliDroneServer(frame, rng=random.Random(7),
+                                encryption_key_bits=512)
+        return server
+
+    @pytest.fixture()
+    def registered(self, server, signing_key, other_key):
+        return server.register_drone(DroneRegistrationRequest(
+            operator_public_key=other_key.public_key,
+            tee_public_key=signing_key.public_key, operator_name="op"))
+
+    def submit(self, server, poa, drone_id, flight="f"):
+        records = encrypt_poa(poa, server.public_encryption_key,
+                              rng=random.Random(3))
+        return PoaSubmission(drone_id=drone_id, flight_id=flight,
+                             records=records, claimed_start=T0,
+                             claimed_end=T0 + 60.0)
+
+    @pytest.mark.parametrize("scenario",
+                             [s for s in SCENARIOS if s != "empty"])
+    def test_batch_intake_matches_seed(self, scenario, server, frame,
+                                       registered, signing_key, other_key,
+                                       zone):
+        server.zones.register(zone, proof_of_ownership="deed")
+        verifier = PoaVerifier(frame)
+        poa = build_poa(scenario, frame, signing_key, other_key)
+        expected = seed_reference_verify(verifier, poa,
+                                         signing_key.public_key, [zone])
+        result = server.receive_poa_batch(
+            [self.submit(server, poa, registered)], now=T0)
+        assert result.reports == [expected]
+
+    def test_single_submission_api_is_batch_of_one(self, server, frame,
+                                                   registered, signing_key,
+                                                   other_key, zone):
+        server.zones.register(zone, proof_of_ownership="deed")
+        poa = build_poa("accepted", frame, signing_key, other_key)
+        single = server.receive_poa(
+            self.submit(server, poa, registered, flight="a"), now=T0)
+        batch = server.receive_poa_batch(
+            [self.submit(server, poa, registered, flight="b")], now=T0)
+        assert batch.reports == [single]
+
+    def test_undecryptable_records_reported_malformed(self, server,
+                                                      registered):
+        submission = PoaSubmission(
+            drone_id=registered, flight_id="f",
+            records=[EncryptedPoaRecord(ciphertext=b"\x00" * 64,
+                                        signature=b"\x00" * 64)],
+            claimed_start=T0, claimed_end=T0 + 1)
+        result = server.receive_poa_batch([submission], now=T0)
+        (report,) = result.reports
+        assert report.status is VerificationStatus.REJECTED_MALFORMED
+        assert report.message.startswith("PoA decryption failed:")
+        assert report.sample_count == 1
+
+    def test_unknown_drone_does_not_poison_batch(self, server, frame,
+                                                 registered, signing_key,
+                                                 other_key, zone):
+        server.zones.register(zone, proof_of_ownership="deed")
+        poa = build_poa("accepted", frame, signing_key, other_key)
+        good = self.submit(server, poa, registered, flight="good")
+        bad = self.submit(server, poa, "drone-404404", flight="bad")
+        result = server.receive_poa_batch([bad, good], now=T0)
+        assert result.outcomes[0].report is None
+        assert isinstance(result.outcomes[0].error, RegistrationError)
+        assert result.outcomes[1].report.status is VerificationStatus.ACCEPTED
+        assert len(server.retained_for(registered)) == 1
+
+
+class TestEngineMechanics:
+    @pytest.fixture()
+    def engine_parts(self, frame, signing_key, zone):
+        verifier = PoaVerifier(frame)
+        lookups = []
+
+        def lookup(drone_id):
+            lookups.append(drone_id)
+            if drone_id.startswith("drone-"):
+                return signing_key.public_key
+            raise RegistrationError(f"unknown drone: {drone_id}")
+
+        return verifier, lookup, lookups
+
+    def make_submission(self, frame, signing_key, encryption_key, *,
+                        drone_id="drone-1", n=4, flight="f"):
+        poa = ProofOfAlibi(
+            signed(signing_key,
+                   sample_at(frame, 200.0 + 20.0 * i, 0.0, float(i)))
+            for i in range(n))
+        records = encrypt_poa(poa, encryption_key.public_key,
+                              rng=random.Random(3))
+        return PoaSubmission(drone_id=drone_id, flight_id=flight,
+                             records=records, claimed_start=T0,
+                             claimed_end=T0 + n - 1.0)
+
+    def test_rejects_bad_configuration(self, frame, signing_key):
+        verifier = PoaVerifier(frame)
+        with pytest.raises(ConfigurationError):
+            AuditEngine(verifier, tee_key_lookup=lambda d: None, workers=0)
+        with pytest.raises(ConfigurationError):
+            AuditEngine(verifier, tee_key_lookup=lambda d: None,
+                        executor="fiber")
+
+    def test_worker_counts_agree(self, frame, signing_key, other_key, zone):
+        """Reports are identical at 1, 2 and 3 workers (determinism)."""
+        encryption_key = other_key
+        submissions = [
+            self.make_submission(frame, signing_key, encryption_key,
+                                 flight=f"f-{i}") for i in range(6)]
+        per_worker = []
+        for workers in (1, 2, 3):
+            engine = AuditEngine(
+                PoaVerifier(frame),
+                tee_key_lookup=lambda d: signing_key.public_key,
+                encryption_key=encryption_key,
+                zones_provider=lambda: [zone], workers=workers)
+            result = engine.audit_batch(submissions)
+            per_worker.append(result.reports)
+            assert result.workers == workers
+            assert result.batch_size == len(submissions)
+        assert per_worker[0] == per_worker[1] == per_worker[2]
+
+    def test_payload_cache_fills_and_hits(self, frame, signing_key,
+                                          other_key, zone):
+        encryption_key = other_key
+        submission = self.make_submission(frame, signing_key, encryption_key,
+                                          n=5)
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone])
+        first = engine.audit_batch([submission])
+        assert engine.payload_cache_size == 5
+        second = engine.audit_batch([submission])
+        assert engine.payload_cache_size == 5
+        assert first.reports == second.reports
+
+    def test_tee_key_lookup_cached_per_drone(self, frame, signing_key,
+                                             engine_parts):
+        verifier, lookup, lookups = engine_parts
+        engine = AuditEngine(verifier, tee_key_lookup=lookup)
+        for _ in range(3):
+            engine.tee_key_for("drone-1")
+        assert lookups == ["drone-1"]
+        engine.invalidate_drone("drone-1")
+        engine.tee_key_for("drone-1")
+        assert lookups == ["drone-1", "drone-1"]
+
+    def test_position_memo_shared_across_batches(self, frame, signing_key,
+                                                 zone):
+        poa = build_poa("accepted", frame, signing_key, signing_key)
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key)
+        engine.audit_poas([(poa, signing_key.public_key)], [zone])
+        assert engine.position_memo_size == len(poa)
+        engine.audit_poas([(poa, signing_key.public_key)], [zone])
+        assert engine.position_memo_size == len(poa)
+
+    def test_batch_audited_event_recorded(self, frame, signing_key,
+                                          other_key, zone):
+        encryption_key = other_key
+        events = EventLog()
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone],
+            workers=2, events=events)
+        submissions = [
+            self.make_submission(frame, signing_key, encryption_key,
+                                 flight=f"f-{i}") for i in range(3)]
+        engine.audit_batch(submissions, now=T0 + 5.0)
+        (event,) = events.of_kind("batch_audited")
+        assert event.time == T0 + 5.0
+        assert event.detail["batch_size"] == 3
+        assert event.detail["workers"] == 2
+        assert event.detail["wall_time_s"] > 0.0
+
+    def test_metrics_accumulate_per_stage(self, frame, signing_key,
+                                          other_key, zone):
+        encryption_key = other_key
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone])
+        engine.audit_batch([self.make_submission(frame, signing_key,
+                                                 encryption_key, n=4)])
+        stages = set(engine.metrics.stages())
+        assert {"crypto", "signature", "decode", "ordering", "feasibility",
+                "sufficiency"} <= stages
+        assert engine.metrics.total_samples("crypto") == 4

@@ -94,7 +94,7 @@ class TestWorld:
         assert len(world.server.retained_for(gamma.drone_id)) == before
 
     def test_fixed_policy_mission(self, world):
-        delta = world.add_drone("delta", home=(2000.0, 2000.0))
+        world.add_drone("delta", home=(2000.0, 2000.0))
         record = world.fly_mission("delta", [(2300.0, 2000.0)],
                                    policy="fixed", fixed_rate_hz=1.0)
         assert record.policy == "fixed-1hz"

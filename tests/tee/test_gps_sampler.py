@@ -8,7 +8,6 @@ from repro.core.samples import GpsSample
 from repro.crypto.keys import public_key_from_bytes
 from repro.errors import (
     NoFixError,
-    RegistrationError,
     TrustedAppError,
     WorldIsolationError,
 )

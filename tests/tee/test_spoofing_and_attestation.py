@@ -15,7 +15,7 @@ from repro.gps.nmea import GpsFix
 from repro.gps.replay import WaypointSource
 from repro.server.auditor import AliDroneServer
 from repro.sim.clock import DEFAULT_EPOCH, SimClock
-from repro.tee.attestation import DeviceQuote, provision_device
+from repro.tee.attestation import DeviceQuote
 from repro.tee.gps_sampler_ta import CMD_GET_GPS_AUTH, GPS_SAMPLER_UUID
 from repro.tee.spoof_detector import GpsSpoofingDetector
 

@@ -11,7 +11,6 @@ from repro.workloads.export import (
     samples_to_feature,
     scenario_to_geojson,
     scenario_to_geojson_str,
-    track_to_feature,
     zones_to_features,
 )
 

@@ -4,13 +4,11 @@ import math
 
 import pytest
 
-from repro.core.sufficiency import count_insufficient_pairs
 from repro.errors import ConfigurationError
 from repro.units import feet_to_meters, meters_to_feet, miles_to_meters
 from repro.workloads import (
     build_airport_scenario,
     build_random_scenario,
-    build_residential_scenario,
     run_policy,
 )
 from repro.workloads.scenario import Scenario
