@@ -1,0 +1,27 @@
+"""Machine-readable benchmark artefacts.
+
+Benchmarks historically printed human tables only, which made the perf
+trajectory across PRs untrackable.  ``write_bench_json`` writes a
+``BENCH_<name>.json`` next to the ``.txt`` artefacts in
+``benchmarks/out/`` with whatever structured payload the benchmark
+assembled (config, timings, speedups), so successive runs diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_bench_json(name: str, payload: dict[str, Any],
+                     out_dir: str | pathlib.Path | None = None,
+                     ) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` and return the path written."""
+    directory = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
+    directory.mkdir(exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

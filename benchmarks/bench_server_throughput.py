@@ -24,6 +24,7 @@ import os
 import random
 import time
 
+from _emit import write_bench_json
 from repro.core.nfz import NoFlyZone
 from repro.core.poa import ProofOfAlibi, SignedSample, decrypt_poa, encrypt_poa
 from repro.core.protocol import PoaSubmission
@@ -168,9 +169,32 @@ def render(n_submissions: int, samples: int, key_bits: int,
     return "\n".join(lines)
 
 
+def build_payload(n_submissions: int, samples: int, key_bits: int,
+                  repetitions: int, intake_best: dict[str, float],
+                  verify_best: dict[str, float]) -> dict:
+    """The machine-readable result: config, timings, speedups."""
+    seed_s = intake_best["serial seed path"]
+    verify_s = verify_best["serial PoaVerifier.verify"]
+    return {
+        "benchmark": "server_throughput",
+        "config": {"submissions": n_submissions, "samples": samples,
+                   "key_bits": key_bits, "repetitions": repetitions},
+        "full_intake": {
+            label: {"wall_s": seconds,
+                    "submissions_per_second": n_submissions / seconds,
+                    "speedup_vs_serial": seed_s / seconds}
+            for label, seconds in intake_best.items()},
+        "verify_only": {
+            label: {"wall_s": seconds,
+                    "submissions_per_second": n_submissions / seconds,
+                    "speedup_vs_serial": verify_s / seconds}
+            for label, seconds in verify_best.items()},
+    }
+
+
 def run_benchmark(n_submissions: int = 50, samples: int = 20,
                   key_bits: int = 512, max_workers: int | None = None,
-                  repetitions: int = 5) -> str:
+                  repetitions: int = 5) -> tuple[str, dict]:
     if max_workers is None:
         max_workers = max(2, min(4, os.cpu_count() or 1))
     encryption_key, tee_keys, zones, submissions, decrypted = build_workload(
@@ -212,13 +236,18 @@ def run_benchmark(n_submissions: int = 50, samples: int = 20,
     serial_v_s = verify_best["serial PoaVerifier.verify"]
     verify_rows = list(verify_best.items())
 
-    return render(n_submissions, samples, key_bits, rows, seed_s,
+    text = render(n_submissions, samples, key_bits, rows, seed_s,
                   verify_rows, serial_v_s, repetitions)
+    payload = build_payload(n_submissions, samples, key_bits, repetitions,
+                            intake_best, verify_best)
+    return text, payload
 
 
 def test_server_throughput(emit):
-    """Pytest entry point: renders the throughput table as an artefact."""
-    emit(run_benchmark())
+    """Pytest entry point: renders the table and writes the JSON artefact."""
+    text, payload = run_benchmark()
+    emit(text)
+    write_bench_json("server_throughput", payload)
 
 
 def main() -> int:
@@ -229,10 +258,13 @@ def main() -> int:
     parser.add_argument("--max-workers", type=int, default=None)
     parser.add_argument("--repetitions", type=int, default=5)
     args = parser.parse_args()
-    print(run_benchmark(n_submissions=args.submissions, samples=args.samples,
-                        key_bits=args.key_bits,
-                        max_workers=args.max_workers,
-                        repetitions=args.repetitions))
+    text, payload = run_benchmark(
+        n_submissions=args.submissions, samples=args.samples,
+        key_bits=args.key_bits, max_workers=args.max_workers,
+        repetitions=args.repetitions)
+    print(text)
+    path = write_bench_json("server_throughput", payload)
+    print(f"\nmachine-readable result -> {path}")
     return 0
 
 

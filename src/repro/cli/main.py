@@ -16,6 +16,7 @@ All subcommands are deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import Sequence
@@ -86,14 +87,30 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.core.sufficiency import count_insufficient_pairs
+    from repro.core.verification import PoaVerifier
+    from repro.obs import Tracer, use_tracer, write_spans_jsonl
     from repro.workloads import build_random_scenario, run_policy
 
     scenario = build_random_scenario(seed=args.seed, n_zones=args.zones)
     print(f"scenario: {scenario.description}")
     print(f"  flight duration : {scenario.duration:.0f} s")
-    run = run_policy(scenario, args.policy, args.rate,
-                     key_bits=args.key_bits, seed=args.seed)
+    tracing = use_tracer(Tracer()) if args.trace else nullcontext(None)
+    with tracing as tracer:
+        root = (tracer.span("simulate", seed=args.seed, zones=args.zones)
+                if tracer is not None else nullcontext(None))
+        with root:
+            run = run_policy(scenario, args.policy, args.rate,
+                             key_bits=args.key_bits, seed=args.seed)
+            if tracer is not None:
+                # The audit leg of the trace: the staged pipeline attaches
+                # one child span per verification stage under "audit".
+                with tracer.span("audit"):
+                    PoaVerifier(scenario.frame).verify(
+                        run.result.poa, run.device.tee_public_key,
+                        scenario.zones)
     samples = [entry.sample for entry in run.result.poa]
     insufficient = count_insufficient_pairs(samples, scenario.zones,
                                             scenario.frame)
@@ -104,6 +121,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  insufficient    : {insufficient}")
     print(f"  verdict         : "
           f"{'compliant' if verified and insufficient == 0 else 'NOT PROVEN'}")
+    if args.trace:
+        path = write_spans_jsonl(args.trace, tracer.spans)
+        print(f"  trace           : {len(tracer.spans)} spans -> {path}")
     return 0 if verified and insufficient == 0 else 1
 
 
@@ -179,23 +199,72 @@ def _cmd_audit_batch(args: argparse.Namespace) -> int:
             drone_id=drone_id, flight_id=f"flight-{j}", records=records,
             claimed_start=start, claimed_end=start + args.samples - 1))
 
-    result = server.receive_poa_batch(submissions, now=t0)
+    from contextlib import nullcontext
+
+    from repro.obs import (
+        Tracer,
+        use_tracer,
+        write_metrics_json,
+        write_spans_jsonl,
+    )
+
+    tracing = use_tracer(Tracer()) if args.trace else nullcontext(None)
+    with tracing as tracer:
+        result = server.receive_poa_batch(submissions, now=t0)
     counts: dict[str, int] = {}
     for outcome in result.outcomes:
         status = (outcome.report.status.value if outcome.report is not None
                   else "intake_error")
         counts[status] = counts.get(status, 0) + 1
-    print(f"audit-batch: {result.batch_size} submissions, "
-          f"{args.samples} samples each, {len(drones)} drones, "
-          f"{args.workers} worker(s) [{args.executor}]")
-    for status in sorted(counts):
-        print(f"  {status:<15} {counts[status]}")
-    print(f"  wall time       {result.wall_time_s:.3f} s")
-    print(f"  throughput      {result.submissions_per_second:.1f} "
-          "submissions/s")
-    print("per-stage timing:")
-    for line in server.engine.metrics.format().splitlines():
-        print(f"  {line}")
+
+    metrics = server.engine.metrics
+    if args.json:
+        payload = {
+            "batch_size": result.batch_size,
+            "samples_per_submission": args.samples,
+            "drones": len(drones),
+            "workers": result.workers,
+            "executor": args.executor,
+            "wall_time_s": result.wall_time_s,
+            "submissions_per_second": result.submissions_per_second,
+            "status_counts": counts,
+            "outcomes": [
+                {"flight_id": o.submission.flight_id,
+                 "drone_id": o.submission.drone_id,
+                 "status": (o.report.status.value if o.report is not None
+                            else "intake_error"),
+                 "sample_count": (o.report.sample_count
+                                  if o.report is not None else 0),
+                 "message": (o.report.message if o.report is not None
+                             else str(o.error))}
+                for o in result.outcomes],
+            "stage_timing": {
+                stage: {"runs": metrics.runs(stage),
+                        "samples": metrics.total_samples(stage),
+                        "total_seconds": metrics.total_seconds(stage),
+                        "mean_seconds": metrics.timing(stage).mean,
+                        "std_seconds": metrics.timing(stage).std}
+                for stage in metrics.stages()},
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"audit-batch: {result.batch_size} submissions, "
+              f"{args.samples} samples each, {len(drones)} drones, "
+              f"{args.workers} worker(s) [{args.executor}]")
+        for status in sorted(counts):
+            print(f"  {status:<15} {counts[status]}")
+        print(f"  wall time       {result.wall_time_s:.3f} s")
+        print(f"  throughput      {result.submissions_per_second:.1f} "
+              "submissions/s")
+        print("per-stage timing:")
+        for line in metrics.format().splitlines():
+            print(f"  {line}")
+    if args.metrics_json:
+        path = write_metrics_json(args.metrics_json, server.bind_metrics())
+        print(f"metrics snapshot -> {path}", file=sys.stderr)
+    if args.trace:
+        path = write_spans_jsonl(args.trace, tracer.spans)
+        print(f"{len(tracer.spans)} spans -> {path}", file=sys.stderr)
     accepted = counts.get(VerificationStatus.ACCEPTED.value, 0)
     return 0 if accepted == result.batch_size else 1
 
@@ -273,6 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
                           default="adaptive")
     simulate.add_argument("--rate", type=float, default=None,
                           help="fix-rate policy rate in Hz")
+    simulate.add_argument("--trace", metavar="PATH", default=None,
+                          help="write an end-to-end span trace (JSONL) "
+                               "covering the flight and its audit")
     simulate.set_defaults(handler=_cmd_simulate)
 
     sub.add_parser("attacks", help="forgery-attack walkthrough").set_defaults(
@@ -292,6 +364,13 @@ def build_parser() -> argparse.ArgumentParser:
     audit_batch.add_argument("--executor", choices=("thread", "process"),
                              default="thread",
                              help="pool kind (default thread)")
+    audit_batch.add_argument("--json", action="store_true",
+                             help="print the batch result as JSON instead "
+                                  "of prose (exit non-zero on rejection)")
+    audit_batch.add_argument("--metrics-json", metavar="PATH", default=None,
+                             help="write a metrics-registry snapshot (JSON)")
+    audit_batch.add_argument("--trace", metavar="PATH", default=None,
+                             help="write the audit span trace (JSONL)")
     audit_batch.set_defaults(handler=_cmd_audit_batch)
 
     export = sub.add_parser("export",

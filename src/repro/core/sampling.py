@@ -33,6 +33,7 @@ from repro.core.samples import GpsSample
 from repro.errors import ConfigurationError
 from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
+from repro.obs.trace import get_tracer
 from repro.sim.events import EventLog
 from repro.units import FAA_MAX_SPEED_MPS
 
@@ -104,7 +105,10 @@ class _SamplerBase:
 
     def _take_auth_sample(self, harness: SamplingHarness, poa: ProofOfAlibi,
                           stats: SamplerStats, events: EventLog) -> GpsSample:
-        signed = harness.get_gps_auth()
+        with get_tracer().span("sampling.auth_sample",
+                               virtual_t=harness.now()) as span:
+            signed = harness.get_gps_auth()
+            span.set_attribute("sample_t", signed.sample.t)
         poa.append(signed)
         stats.auth_samples += 1
         stats.sample_times.append(harness.now())

@@ -45,6 +45,7 @@ from repro.crypto.rsa import RsaPublicKey
 from repro.errors import EncodingError
 from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
+from repro.obs.trace import get_tracer
 from repro.perf.meter import StageMetrics
 from repro.units import FAA_MAX_SPEED_MPS
 
@@ -353,10 +354,18 @@ class VerificationPipeline:
             return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
                                       message="PoA contains no samples")
         collect = self.mode == self.COLLECT_FINDINGS
+        tracer = get_tracer()
         for stage in self.stages:
-            start = time.perf_counter()
-            finding = stage.run(ctx)
-            elapsed = time.perf_counter() - start
+            # Span names are the stage names so a trace reads exactly like
+            # the pipeline: signature, decode, ordering, feasibility,
+            # sufficiency.
+            with tracer.span(stage.name) as span:
+                start = time.perf_counter()
+                finding = stage.run(ctx)
+                elapsed = time.perf_counter() - start
+                span.set_attribute("samples", stage.sample_count(ctx))
+                if finding is not None:
+                    span.set_attribute("finding", finding.status.value)
             if self.metrics is not None:
                 self.metrics.record(stage.name, elapsed,
                                     stage.sample_count(ctx))

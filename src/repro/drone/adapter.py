@@ -19,6 +19,7 @@ from repro.core.samples import GpsSample
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import TeeError
 from repro.gps.receiver import SimulatedGpsReceiver
+from repro.obs.trace import get_tracer
 from repro.sim.clock import SimClock
 from repro.tee.attestation import TrustZoneDevice
 from repro.tee.gps_sampler_ta import CMD_GET_GPS_AUTH, GPS_SAMPLER_UUID
@@ -79,7 +80,9 @@ class Adapter:
         """``GetGPSAuth()``: an authenticated sample from the secure world."""
         if self._session_id is None:
             raise TeeError("Adapter not started: no TA session open")
-        output = self.device.client.invoke(self._session_id, CMD_GET_GPS_AUTH)
+        with get_tracer().span("drone.adapter.get_gps_auth"):
+            output = self.device.client.invoke(self._session_id,
+                                               CMD_GET_GPS_AUTH)
         return SignedSample.from_ta_output(output)
 
     # --- PoA persistence -------------------------------------------------------

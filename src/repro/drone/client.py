@@ -26,6 +26,7 @@ from repro.drone.adapter import Adapter
 from repro.drone.flightplan import FlightPlan
 from repro.errors import ProtocolError
 from repro.geo.geodesy import LocalFrame
+from repro.obs.trace import get_tracer
 from repro.gps.receiver import SimulatedGpsReceiver
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLog
@@ -157,13 +158,16 @@ class AliDroneClient:
         else:
             raise ProtocolError(f"unknown sampling policy: {policy!r}")
 
-        self.adapter.start()
-        try:
-            result = sampler.run(self.adapter, t_end)
-        finally:
-            self.adapter.stop()
         self._flight_counter += 1
         flight_id = f"{self.drone_id or 'unregistered'}-flight-{self._flight_counter:04d}"
+        with get_tracer().span("drone.fly", flight_id=flight_id,
+                               policy=policy_name, zones=len(zone_list)) as span:
+            self.adapter.start()
+            try:
+                result = sampler.run(self.adapter, t_end)
+            finally:
+                self.adapter.stop()
+            span.set_attribute("auth_samples", result.stats.auth_samples)
         return FlightRecord(flight_id=flight_id, policy=policy_name,
                             result=result, zones=zone_list)
 
@@ -172,8 +176,11 @@ class AliDroneClient:
         """Step 4: encrypt the PoA and wrap it as a submission."""
         if self.drone_id is None:
             raise ProtocolError("drone is not registered with the Auditor")
-        encrypted = self.adapter.encrypt_for_auditor(
-            record.poa, auditor_public_key, rng=self.rng)
+        with get_tracer().span("drone.build_submission",
+                               flight_id=record.flight_id,
+                               samples=len(record.poa)):
+            encrypted = self.adapter.encrypt_for_auditor(
+                record.poa, auditor_public_key, rng=self.rng)
         stats = record.result.stats
         return PoaSubmission(drone_id=self.drone_id,
                              flight_id=record.flight_id,

@@ -20,6 +20,7 @@ from repro.core.poa import EncryptedPoaRecord
 from repro.errors import EncodingError, ProtocolError
 from repro.net.framing import FrameType, decode_frame, encode_frame
 from repro.net.link import SimulatedLink
+from repro.obs.trace import get_tracer
 
 _RECORD_HEADER = struct.Struct(">HH")
 
@@ -89,7 +90,9 @@ class StreamingUploader:
         self._entries.append(payload)
         self.stats.entries_pushed += 1
         self._last_sent_at[sequence] = now
-        self._send(FrameType.POA_ENTRY, sequence, payload, now)
+        with get_tracer().span("net.stream.push", sequence=sequence,
+                               bytes=len(payload), virtual_t=now):
+            self._send(FrameType.POA_ENTRY, sequence, payload, now)
 
     def poll(self, now: float) -> None:
         """Process ACKs and retransmit anything stale."""

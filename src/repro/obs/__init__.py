@@ -1,0 +1,65 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+End-to-end tracing plus a metrics registry for the whole PoA protocol:
+drone sampling → TEE signing → link transmission → Auditor verification.
+See ``docs/OBSERVABILITY.md`` for the API walkthrough and exporter
+formats.
+"""
+
+from repro.obs.adapters import (
+    register_event_log,
+    register_link_stats,
+    register_smc_stats,
+    register_stage_metrics,
+)
+from repro.obs.export import (
+    format_tree,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    get_registry,
+    quantile,
+    set_registry,
+)
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "NOOP_TRACER",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "format_tree",
+    "get_registry",
+    "get_tracer",
+    "quantile",
+    "read_spans_jsonl",
+    "register_event_log",
+    "register_link_stats",
+    "register_smc_stats",
+    "register_stage_metrics",
+    "set_registry",
+    "set_tracer",
+    "spans_to_jsonl",
+    "use_tracer",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

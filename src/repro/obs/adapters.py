@@ -1,0 +1,113 @@
+"""Adapters feeding the pre-existing accumulators into a MetricsRegistry.
+
+``StageMetrics`` (verification timing), ``SmcStats`` (world switches),
+``LinkStats`` (radio counters) and ``EventLog`` (simulation events) each
+predate the registry and keep their own APIs — their callers are
+unchanged.  Each adapter registers a collect-time source that reads the
+live accumulator, so the registry snapshot always reflects current
+values without double bookkeeping on the hot paths.
+
+The accumulators are referenced duck-typed (no imports of the TEE / net /
+perf layers) so the observability package stays dependency-free and
+import-cycle-free: instrumented modules may import :mod:`repro.obs`, never
+the other way around.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable
+
+Source = Callable[[], dict[str, dict[str, Any]]]
+
+
+def register_stage_metrics(registry, stage_metrics,
+                           prefix: str = "verify") -> Source:
+    """Surface a :class:`repro.perf.meter.StageMetrics` through ``registry``.
+
+    Per stage: ``<prefix>.<stage>.runs``, ``.samples``,
+    ``.total_seconds`` (counters) and ``.seconds`` (a histogram-style
+    summary with the mean/std the meter already computes).
+    """
+    def source() -> dict[str, dict[str, Any]]:
+        out: dict[str, dict[str, Any]] = {}
+        for stage in stage_metrics.stages():
+            base = f"{prefix}.{stage}"
+            runs = stage_metrics.runs(stage)
+            out[f"{base}.runs"] = {"type": "counter", "value": runs}
+            out[f"{base}.samples"] = {
+                "type": "counter",
+                "value": stage_metrics.total_samples(stage)}
+            out[f"{base}.total_seconds"] = {
+                "type": "counter",
+                "value": stage_metrics.total_seconds(stage)}
+            if runs:
+                timing = stage_metrics.timing(stage)
+                out[f"{base}.seconds"] = {
+                    "type": "histogram", "count": timing.n,
+                    "sum": stage_metrics.total_seconds(stage),
+                    "mean": timing.mean, "std": timing.std}
+        return out
+
+    registry.add_source(source)
+    return source
+
+
+def register_smc_stats(registry, smc_stats,
+                       prefix: str = "tee.smc") -> Source:
+    """Surface a :class:`repro.tee.monitor.SmcStats` through ``registry``."""
+    def source() -> dict[str, dict[str, Any]]:
+        out = {
+            f"{prefix}.world_switches": {
+                "type": "counter", "value": smc_stats.world_switches},
+            f"{prefix}.total_calls": {
+                "type": "counter", "value": smc_stats.total_calls},
+        }
+        for command, calls in sorted(smc_stats.calls_by_command.items()):
+            out[f"{prefix}.calls.{command}"] = {
+                "type": "counter", "value": calls}
+        return out
+
+    registry.add_source(source)
+    return source
+
+
+def register_link_stats(registry, link_stats,
+                        prefix: str = "net.link") -> Source:
+    """Surface a :class:`repro.net.link.LinkStats` through ``registry``."""
+    def source() -> dict[str, dict[str, Any]]:
+        return {
+            f"{prefix}.sent": {"type": "counter",
+                               "value": link_stats.sent},
+            f"{prefix}.dropped": {"type": "counter",
+                                  "value": link_stats.dropped},
+            f"{prefix}.delivered": {"type": "counter",
+                                    "value": link_stats.delivered},
+            f"{prefix}.bytes_sent": {"type": "counter",
+                                     "value": link_stats.bytes_sent},
+            f"{prefix}.loss_rate": {"type": "gauge",
+                                    "value": link_stats.loss_rate},
+        }
+
+    registry.add_source(source)
+    return source
+
+
+def register_event_log(registry, event_log,
+                       prefix: str = "sim.events") -> Source:
+    """Surface a :class:`repro.sim.events.EventLog` through ``registry``.
+
+    ``<prefix>.total`` plus one ``<prefix>.kind.<kind>`` counter per
+    distinct event kind seen so far.
+    """
+    def source() -> dict[str, dict[str, Any]]:
+        kinds = Counter(event.kind for event in event_log)
+        out = {f"{prefix}.total": {"type": "counter",
+                                   "value": len(event_log)}}
+        for kind, count in sorted(kinds.items()):
+            out[f"{prefix}.kind.{kind}"] = {"type": "counter",
+                                            "value": count}
+        return out
+
+    registry.add_source(source)
+    return source

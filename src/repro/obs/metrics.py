@@ -1,0 +1,233 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+One injectable :class:`MetricsRegistry` replaces four parallel truths
+(``StageMetrics``, ``SmcStats``, ``LinkStats``, ``EventLog``): the
+existing accumulators keep their APIs and callers, and thin adapters
+(:mod:`repro.obs.adapters`) surface their values through the registry at
+collection time.  Code can also instrument directly::
+
+    registry = MetricsRegistry()
+    registry.counter("audit.batches").inc()
+    registry.histogram("audit.wall_s").observe(0.42)
+    registry.gauge("audit.pool_workers").set(4)
+    snapshot = registry.collect()
+
+``collect()`` returns plain dicts (JSON-ready); histograms summarize to
+count/sum/mean/min/max and p50/p90/p99 quantiles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Histograms keep at most this many raw observations; past it, the
+#: oldest half is compacted away (quantiles then describe recent data).
+DEFAULT_HISTOGRAM_MAX_SAMPLES = 65_536
+
+
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class GaugeMetric:
+    """A point-in-time value, set directly or read from a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None):
+        self.name = name
+        self._fn = fn
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge (only for gauges without a callback)."""
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is callback-backed; cannot set()")
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an ascending series."""
+    if not sorted_values:
+        raise ConfigurationError("cannot take a quantile of an empty series")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+class HistogramMetric:
+    """A distribution with quantile summaries."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 max_samples: int = DEFAULT_HISTOGRAM_MAX_SAMPLES):
+        if max_samples < 2:
+            raise ConfigurationError("histogram max_samples must be >= 2")
+        self.name = name
+        self.max_samples = int(max_samples)
+        self._values: list[float] = []
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self._values.append(value)
+        if len(self._values) > self.max_samples:
+            # Compact away the oldest half; count/sum stay exact.
+            del self._values[:len(self._values) // 2]
+
+    def values(self) -> list[float]:
+        """The retained raw observations, oldest first."""
+        return list(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Quantile over the retained observations."""
+        return quantile(sorted(self._values), q)
+
+    def snapshot(self) -> dict[str, Any]:
+        if not self._values:
+            return {"type": self.kind, "count": self.count, "sum": self.sum}
+        ordered = sorted(self._values)
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": quantile(ordered, 0.50),
+            "p90": quantile(ordered, 0.90),
+            "p99": quantile(ordered, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus adapter sources, collected into one snapshot.
+
+    Get-or-create accessors (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) make instrumentation order-independent; asking for
+    an existing name with a different metric kind raises
+    :class:`~repro.errors.ConfigurationError` rather than silently
+    forking the truth.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, CounterMetric | GaugeMetric
+                            | HistogramMetric] = {}
+        self._sources: list[Callable[[], dict[str, dict[str, Any]]]] = []
+
+    # --- instruments --------------------------------------------------------
+
+    def _get_or_create(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str) -> CounterMetric:
+        """Get or create a counter."""
+        return self._get_or_create(name, CounterMetric)
+
+    def gauge(self, name: str,
+              fn: Callable[[], float] | None = None) -> GaugeMetric:
+        """Get or create a gauge (optionally callback-backed)."""
+        gauge = self._get_or_create(name, GaugeMetric)
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_HISTOGRAM_MAX_SAMPLES,
+                  ) -> HistogramMetric:
+        """Get or create a histogram."""
+        return self._get_or_create(name, HistogramMetric, max_samples)
+
+    # --- adapter sources ----------------------------------------------------
+
+    def add_source(self, fn: Callable[[], dict[str, dict[str, Any]]]) -> None:
+        """Register an adapter producing snapshot entries at collect time.
+
+        ``fn`` returns ``{metric_name: snapshot_dict}``; adapters wrap the
+        pre-existing accumulators (:mod:`repro.obs.adapters`) so their
+        callers need no changes.
+        """
+        self._sources.append(fn)
+
+    # --- collection ---------------------------------------------------------
+
+    def collect(self) -> dict[str, dict[str, Any]]:
+        """One JSON-ready snapshot of every metric and adapter source."""
+        snapshot = {name: metric.snapshot()
+                    for name, metric in sorted(self._metrics.items())}
+        for source in self._sources:
+            for name, entry in source().items():
+                snapshot[name] = entry
+        return snapshot
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The collected snapshot as a JSON document."""
+        return json.dumps(self.collect(), indent=indent, sort_keys=True)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics or name in self.collect()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.collect())
+
+    def __len__(self) -> int:
+        return len(self.collect())
+
+
+_active_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (always a real one; metrics are cheap)."""
+    return _active_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _active_registry
+    previous = _active_registry
+    _active_registry = registry
+    return previous

@@ -35,6 +35,9 @@ from repro.core.verification import (
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 from repro.errors import AuthenticationError, RegistrationError
 from repro.geo.geodesy import LocalFrame
+from repro.obs.adapters import register_event_log, register_stage_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.server.database import DroneRegistry, NfzDatabase
 from repro.server.engine import AuditEngine, BatchAuditResult
 from repro.sim.events import EventLog
@@ -229,14 +232,36 @@ class AliDroneServer:
         report (retained and logged as usual) or the error.  The batch is
         recorded in the audit trail as one ``batch_audited`` event.
         """
-        result = self.engine.audit_batch(submissions, now=now)
-        for outcome in result.outcomes:
-            # Undecryptable submissions carry no verifiable evidence and
-            # are reported but not retained (matching the single path).
-            if outcome.report is not None and outcome.poa is not None:
-                self._retain_and_log(outcome.submission, outcome.poa,
-                                     outcome.report, now)
+        with get_tracer().span("server.receive_poa_batch",
+                               batch_size=len(submissions)):
+            result = self.engine.audit_batch(submissions, now=now)
+            for outcome in result.outcomes:
+                # Undecryptable submissions carry no verifiable evidence and
+                # are reported but not retained (matching the single path).
+                if outcome.report is not None and outcome.poa is not None:
+                    self._retain_and_log(outcome.submission, outcome.poa,
+                                         outcome.report, now)
         return result
+
+    def bind_metrics(self, registry: MetricsRegistry | None = None,
+                     ) -> MetricsRegistry:
+        """Surface this server's accumulators through a metrics registry.
+
+        Registers collect-time adapters for the engine's per-stage
+        :class:`~repro.perf.meter.StageMetrics` (``audit.<stage>.*``) and
+        the audit-trail :class:`~repro.sim.events.EventLog`
+        (``server.events.*``); creates a fresh registry when none is
+        given.  Existing accumulator callers are unaffected.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        register_stage_metrics(registry, self.engine.metrics, prefix="audit")
+        register_event_log(registry, self.events, prefix="server.events")
+        registry.gauge("server.retained_submissions",
+                       fn=lambda: sum(len(items) for items
+                                      in self._retained.values()))
+        registry.gauge("server.registered_drones",
+                       fn=lambda: len(self.drones))
+        return registry
 
     def _retain_and_log(self, submission: PoaSubmission,
                         poa: ProofOfAlibi,

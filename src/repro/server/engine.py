@@ -51,6 +51,7 @@ from repro.crypto.pkcs1 import (
 )
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import AliDroneError, ConfigurationError, EncryptionError
+from repro.obs.trace import get_tracer
 from repro.perf.meter import StageMetrics
 from repro.sim.events import EventLog
 
@@ -284,7 +285,21 @@ class AuditEngine:
         submissions = list(submissions)
         outcomes: list[AuditOutcome] = [AuditOutcome(submission=s)
                                         for s in submissions]
+        tracer = get_tracer()
+        batch_span = tracer.start_span(
+            "audit_batch", attributes={"batch_size": len(submissions),
+                                       "workers": self.workers,
+                                       "executor": self.executor_kind})
+        try:
+            return self._audit_batch_traced(submissions, outcomes, start,
+                                            now, record_event, tracer,
+                                            batch_span)
+        finally:
+            tracer.end_span(batch_span)
 
+    def _audit_batch_traced(self, submissions, outcomes, start, now,
+                            record_event, tracer, batch_span
+                            ) -> BatchAuditResult:
         # Phase 0 (inline): resolve T+ per drone; registry errors become
         # per-outcome errors before any crypto is spent on the submission.
         task_args = []
@@ -314,28 +329,42 @@ class AuditEngine:
                 results, task_slots, task_args):
             submission = submissions[slot]
             self.metrics.record("crypto", seconds, len(submission.records))
-            if decrypt_error is not None:
-                outcomes[slot].report = VerificationReport(
-                    status=VerificationStatus.REJECTED_MALFORMED,
-                    sample_count=len(submission.records),
-                    message=f"PoA decryption failed: {decrypt_error}")
-                continue
-            for (_cached, ciphertext, _sig), payload in zip(args[1], payloads):
-                self._payload_cache.insert(ciphertext, payload)
-            poa = ProofOfAlibi(
-                SignedSample(payload=payload, signature=record.signature)
-                for payload, record in zip(payloads, submission.records))
-            ctx = self.verifier.context(
-                poa, args[2], zones,
-                position_memo=self._position_memo,
-                zone_circles=list(zone_circles),
-                bad_signature_indices=list(bad))
-            report = VerificationPipeline(
-                metrics=self.metrics).run(ctx)
-            outcomes[slot].poa = poa
-            outcomes[slot].report = report
+            with tracer.span("audit.submission",
+                             drone_id=submission.drone_id,
+                             flight_id=submission.flight_id) as sub_span:
+                # The crypto ran off-thread in phase 1; re-attach its wall
+                # time as a child span (the span-level analogue of
+                # StageMetrics.merge over per-worker accumulators).
+                tracer.record_span(
+                    "crypto", seconds, parent=sub_span,
+                    attributes={"records": len(submission.records),
+                                "pooled": self.workers > 1})
+                if decrypt_error is not None:
+                    sub_span.set_attribute("status", "malformed")
+                    outcomes[slot].report = VerificationReport(
+                        status=VerificationStatus.REJECTED_MALFORMED,
+                        sample_count=len(submission.records),
+                        message=f"PoA decryption failed: {decrypt_error}")
+                    continue
+                for (_cached, ciphertext, _sig), payload in zip(args[1],
+                                                                payloads):
+                    self._payload_cache.insert(ciphertext, payload)
+                poa = ProofOfAlibi(
+                    SignedSample(payload=payload, signature=record.signature)
+                    for payload, record in zip(payloads, submission.records))
+                ctx = self.verifier.context(
+                    poa, args[2], zones,
+                    position_memo=self._position_memo,
+                    zone_circles=list(zone_circles),
+                    bad_signature_indices=list(bad))
+                report = VerificationPipeline(
+                    metrics=self.metrics).run(ctx)
+                sub_span.set_attribute("status", report.status.value)
+                outcomes[slot].poa = poa
+                outcomes[slot].report = report
 
         wall = time.perf_counter() - start
+        batch_span.set_attribute("wall_time_s", wall)
         result = BatchAuditResult(outcomes=outcomes, wall_time_s=wall,
                                   workers=self.workers)
         if record_event and self.events is not None:
@@ -362,17 +391,29 @@ class AuditEngine:
             (tee_key, [(entry.payload, entry.signature) for entry in poa],
              self.verifier.hash_name, self.screen_signatures)
             for poa, tee_key in items]
-        results = self._map_tasks(_poa_crypto_task, task_args)
-        zones = list(zones)
-        zone_circles = [zone.to_circle(self.verifier.frame) for zone in zones]
-        reports = []
-        for (bad, seconds), (poa, tee_key) in zip(results, items):
-            self.metrics.record("crypto", seconds, len(poa))
-            ctx = self.verifier.context(
-                poa, tee_key, zones,
-                position_memo=self._position_memo,
-                zone_circles=list(zone_circles),
-                bad_signature_indices=list(bad))
-            reports.append(VerificationPipeline(
-                metrics=self.metrics).run(ctx))
+        tracer = get_tracer()
+        with tracer.span("audit_poas", batch_size=len(items),
+                         workers=self.workers):
+            results = self._map_tasks(_poa_crypto_task, task_args)
+            zones = list(zones)
+            zone_circles = [zone.to_circle(self.verifier.frame)
+                            for zone in zones]
+            reports = []
+            for (bad, seconds), (poa, tee_key) in zip(results, items):
+                self.metrics.record("crypto", seconds, len(poa))
+                with tracer.span("audit.submission",
+                                 samples=len(poa)) as sub_span:
+                    tracer.record_span(
+                        "crypto", seconds, parent=sub_span,
+                        attributes={"records": len(poa),
+                                    "pooled": self.workers > 1})
+                    ctx = self.verifier.context(
+                        poa, tee_key, zones,
+                        position_memo=self._position_memo,
+                        zone_circles=list(zone_circles),
+                        bad_signature_indices=list(bad))
+                    report = VerificationPipeline(
+                        metrics=self.metrics).run(ctx)
+                    sub_span.set_attribute("status", report.status.value)
+                    reports.append(report)
         return reports

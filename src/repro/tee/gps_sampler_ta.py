@@ -19,6 +19,7 @@ from repro.core.samples import GpsSample
 from repro.crypto.keys import private_key_from_bytes, public_key_to_bytes
 from repro.crypto.pkcs1 import sign_pkcs1_v15
 from repro.errors import TrustedAppError
+from repro.obs.trace import get_tracer
 from repro.tee.gps_driver import SecureGpsDriver
 from repro.tee.trusted_app import TrustedApplication
 from repro.tee.worlds import SecureKeyHandle
@@ -92,13 +93,17 @@ class GpsSamplerTA(TrustedApplication):
         raise TrustedAppError(f"GPS Sampler: unknown command {command!r}")
 
     def _get_gps_auth(self) -> dict[str, bytes]:
-        fix = self._driver().get_gps()
+        tracer = get_tracer()
+        with tracer.span("gps.receiver.get_fix"):
+            fix = self._driver().get_gps()
         self._consult_spoof_detector(fix)
         sample = GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
                            alt=fix.altitude_m)
         payload = sample.to_signed_payload()
         key = self._sign_key.reveal()
-        signature = sign_pkcs1_v15(key, payload, self._hash_name)
+        with tracer.span("tee.gps_sampler_ta.sign", key_bits=key.bits,
+                         hash=self._hash_name, t=sample.t):
+            signature = sign_pkcs1_v15(key, payload, self._hash_name)
         self.samples_signed += 1
         self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
         self.core.op_counters["gps_auth_samples"] += 1

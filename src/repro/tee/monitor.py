@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import TeeError
+from repro.obs.trace import get_tracer
 from repro.tee.worlds import World, WorldState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -57,14 +58,15 @@ class SecureMonitor:
         """
         if self.state.current is World.SECURE:
             raise TeeError("re-entrant SMC from the secure world")
-        self.stats.world_switches += 1  # normal -> secure
-        self.state._enter_secure()
-        try:
-            self.stats.calls_by_command[command] += 1
-            return self._core._dispatch(session_id, command, params)
-        finally:
-            self.state._exit_secure()
-            self.stats.world_switches += 1  # secure -> normal
+        with get_tracer().span("tee.monitor.smc_call", command=command):
+            self.stats.world_switches += 1  # normal -> secure
+            self.state._enter_secure()
+            try:
+                self.stats.calls_by_command[command] += 1
+                return self._core._dispatch(session_id, command, params)
+            finally:
+                self.state._exit_secure()
+                self.stats.world_switches += 1  # secure -> normal
 
     def secure_boot_call(self, fn, *args, **kwargs):
         """Run ``fn`` inside the secure world outside any TA session.

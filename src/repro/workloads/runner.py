@@ -16,6 +16,7 @@ from repro.core.sampling import AdaptiveSampler, FixRateSampler, SamplingResult
 from repro.drone.adapter import Adapter
 from repro.errors import ConfigurationError
 from repro.gps.receiver import SimulatedGpsReceiver
+from repro.obs.trace import get_tracer
 from repro.sim.clock import SimClock
 from repro.tee.attestation import TrustZoneDevice, provision_device
 from repro.units import FAA_MAX_SPEED_MPS
@@ -89,11 +90,14 @@ def run_policy(scenario: Scenario, policy: str,
     else:
         raise ConfigurationError(f"unknown policy {policy!r}")
 
-    adapter.start()
-    try:
-        result = sampler.run(adapter, scenario.t_end)
-    finally:
-        adapter.stop()
+    with get_tracer().span("flight", policy=label, key_bits=key_bits,
+                           scenario=scenario.description) as span:
+        adapter.start()
+        try:
+            result = sampler.run(adapter, scenario.t_end)
+        finally:
+            adapter.stop()
+        span.set_attribute("auth_samples", result.stats.auth_samples)
     return PolicyRun(scenario=scenario, policy_label=label,
                      key_bits=key_bits, result=result,
                      device=device, receiver=receiver)

@@ -1,0 +1,88 @@
+"""The tentpole acceptance check: one connected simulate-to-audit trace.
+
+A real flight (TrustZone device, adaptive sampler, actual RSA signing)
+followed by a staged audit must produce ONE trace in which the TA signing
+span is an ancestor-linked descendant of the flight span, and the audit
+span has exactly one child per verification-pipeline stage, named after
+the stages in :mod:`repro.core.verification`.
+"""
+
+import pytest
+
+from repro.core.verification import PoaVerifier
+from repro.obs import Span, Tracer, format_tree, use_tracer
+from repro.workloads import build_random_scenario, run_policy
+
+STAGE_NAMES = ["signature", "decode", "ordering", "feasibility",
+               "sufficiency"]
+
+
+def ancestors(span: Span, by_id: dict[str, Span]) -> list[str]:
+    """Span names from ``span``'s parent up to its trace root."""
+    chain = []
+    current = span
+    while current.parent_id is not None:
+        current = by_id[current.parent_id]
+        chain.append(current.name)
+    return chain
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One small flight plus its audit, captured under a single root."""
+    scenario = build_random_scenario(seed=3, n_zones=2, area_m=600.0)
+    with use_tracer(Tracer()) as tracer:
+        with tracer.span("simulate"):
+            run = run_policy(scenario, "adaptive", key_bits=512, seed=3)
+            with tracer.span("audit"):
+                report = PoaVerifier(scenario.frame).verify(
+                    run.result.poa, run.device.tee_public_key,
+                    scenario.zones)
+    return tracer.spans, report
+
+
+class TestConnectedTrace:
+    def test_single_trace(self, traced_run):
+        spans, _ = traced_run
+        assert len({span.trace_id for span in spans}) == 1
+        assert all(span.end_s is not None for span in spans)
+
+    def test_signing_span_descends_from_flight(self, traced_run):
+        spans, _ = traced_run
+        by_id = {span.span_id: span for span in spans}
+        signing = [s for s in spans if s.name == "tee.gps_sampler_ta.sign"]
+        assert signing, "no TA signing spans captured"
+        for span in signing:
+            chain = ancestors(span, by_id)
+            assert chain == ["tee.monitor.smc_call",
+                             "drone.adapter.get_gps_auth",
+                             "sampling.auth_sample", "flight", "simulate"]
+
+    def test_one_signing_span_per_auth_sample(self, traced_run):
+        spans, report = traced_run
+        signing = [s for s in spans if s.name == "tee.gps_sampler_ta.sign"]
+        assert len(signing) == report.sample_count
+
+    def test_audit_has_one_child_per_pipeline_stage(self, traced_run):
+        spans, _ = traced_run
+        audit = next(s for s in spans if s.name == "audit")
+        stage_spans = [s for s in spans if s.parent_id == audit.span_id]
+        assert [s.name for s in stage_spans] == STAGE_NAMES
+
+    def test_gps_fix_read_inside_signing_path(self, traced_run):
+        spans, _ = traced_run
+        by_id = {span.span_id: span for span in spans}
+        fixes = [s for s in spans if s.name == "gps.receiver.get_fix"]
+        assert fixes
+        assert all("tee.gps_sampler_ta.sign" not in ancestors(f, by_id)
+                   for f in fixes)
+        assert all("tee.monitor.smc_call" in ancestors(f, by_id)
+                   for f in fixes)
+
+    def test_tree_renders_whole_journey(self, traced_run):
+        spans, _ = traced_run
+        text = format_tree(spans)
+        for name in ("simulate", "flight", "sampling.auth_sample",
+                     "tee.monitor.smc_call", "tee.gps_sampler_ta.sign",
+                     "audit", *STAGE_NAMES):
+            assert name in text

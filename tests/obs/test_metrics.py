@@ -1,0 +1,173 @@
+"""Tests for repro.obs.metrics and the accumulator adapters."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import SimulatedLink
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    quantile,
+    register_event_log,
+    register_link_stats,
+    register_smc_stats,
+    register_stage_metrics,
+    set_registry,
+)
+from repro.perf.meter import StageMetrics
+from repro.sim.events import EventLog
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.collect()["hits"] == {"type": "counter", "value": 5}
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_read(self, registry):
+        registry.gauge("depth").set(3)
+        assert registry.collect()["depth"]["value"] == 3.0
+
+    def test_callback_backed(self, registry):
+        backing = {"n": 7}
+        registry.gauge("live", fn=lambda: backing["n"])
+        assert registry.collect()["live"]["value"] == 7
+        backing["n"] = 9
+        assert registry.collect()["live"]["value"] == 9
+
+    def test_set_on_callback_gauge_rejected(self, registry):
+        gauge = registry.gauge("live", fn=lambda: 1)
+        with pytest.raises(ConfigurationError):
+            gauge.set(2)
+
+
+class TestQuantile:
+    def test_interpolates(self):
+        assert quantile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            quantile([], 0.5)
+        with pytest.raises(ConfigurationError):
+            quantile([1.0], 1.5)
+
+
+class TestHistogram:
+    def test_snapshot_summary(self, registry):
+        histogram = registry.histogram("wall_s")
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(15.0)
+        assert snap["mean"] == pytest.approx(3.0)
+        assert (snap["min"], snap["max"]) == (1.0, 5.0)
+        assert snap["p50"] == pytest.approx(3.0)
+
+    def test_empty_snapshot_has_no_quantiles(self, registry):
+        snap = registry.histogram("empty").snapshot()
+        assert snap == {"type": "histogram", "count": 0, "sum": 0.0}
+
+    def test_compaction_keeps_count_and_sum_exact(self, registry):
+        histogram = registry.histogram("small", max_samples=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        assert histogram.count == 10
+        assert histogram.sum == pytest.approx(45.0)
+        assert len(histogram.values()) <= 4
+        # Retained values are the most recent observations.
+        assert histogram.values()[-1] == 9.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_to_json_is_valid(self, registry):
+        registry.counter("a").inc()
+        parsed = json.loads(registry.to_json())
+        assert parsed["a"]["value"] == 1
+
+    def test_sources_merge_into_snapshot(self, registry):
+        registry.add_source(lambda: {"ext.n": {"type": "counter", "value": 2}})
+        snapshot = registry.collect()
+        assert snapshot["ext.n"]["value"] == 2
+        assert "ext.n" in registry
+
+    def test_global_registry_swap(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+
+
+class TestAdapters:
+    def test_stage_metrics_source(self, registry):
+        meter = StageMetrics()
+        meter.record("signature", 0.010, 8)
+        meter.record("signature", 0.030, 8)
+        register_stage_metrics(registry, meter, prefix="audit")
+        snapshot = registry.collect()
+        assert snapshot["audit.signature.runs"]["value"] == 2
+        assert snapshot["audit.signature.samples"]["value"] == 16
+        assert snapshot["audit.signature.seconds"]["mean"] == \
+            pytest.approx(0.020)
+        # Live view: later recordings show without re-registering.
+        meter.record("decode", 0.001, 8)
+        assert registry.collect()["audit.decode.runs"]["value"] == 1
+
+    def test_link_stats_source(self, registry):
+        link = SimulatedLink(latency_s=0.0, jitter_s=0.0)
+        link.send(b"payload", now=0.0)
+        link.receive(now=10.0)
+        register_link_stats(registry, link.stats)
+        snapshot = registry.collect()
+        assert snapshot["net.link.sent"]["value"] == 1
+        assert snapshot["net.link.delivered"]["value"] == 1
+        assert snapshot["net.link.bytes_sent"]["value"] == len(b"payload")
+
+    def test_smc_stats_source(self, registry):
+        class Stats:
+            world_switches = 6
+            total_calls = 3
+            calls_by_command = {"GetGPSAuth": 3}
+
+        register_smc_stats(registry, Stats())
+        snapshot = registry.collect()
+        assert snapshot["tee.smc.world_switches"]["value"] == 6
+        assert snapshot["tee.smc.calls.GetGPSAuth"]["value"] == 3
+
+    def test_event_log_source(self, registry):
+        log = EventLog()
+        log.record(1.0, "sample")
+        log.record(2.0, "sample")
+        log.record(3.0, "violation")
+        register_event_log(registry, log)
+        snapshot = registry.collect()
+        assert snapshot["sim.events.total"]["value"] == 3
+        assert snapshot["sim.events.kind.sample"]["value"] == 2
+        assert snapshot["sim.events.kind.violation"]["value"] == 1

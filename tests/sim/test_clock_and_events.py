@@ -1,8 +1,10 @@
 """Tests for repro.sim.clock and repro.sim.events."""
 
+import json
+
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, EncodingError, SimulationError
 from repro.sim.clock import DEFAULT_EPOCH, SimClock
 from repro.sim.events import Event, EventLog
 
@@ -79,3 +81,76 @@ class TestEventLog:
         log = EventLog()
         log.record(1.0, "x")
         assert [e.kind for e in log] == ["x"]
+
+
+class TestEventLogBound:
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for t in range(1000):
+            log.record(float(t), "tick")
+        assert len(log) == 1000
+        assert log.evicted == 0
+
+    def test_bound_evicts_oldest_first(self):
+        log = EventLog(max_events=3)
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            log.record(t, "tick", t=t)
+        assert len(log) == 3
+        assert [e.time for e in log] == [3.0, 4.0, 5.0]
+        assert log.evicted == 2
+
+    def test_queries_see_only_retained_events(self):
+        log = EventLog(max_events=2)
+        log.record(1.0, "old")
+        log.record(2.0, "new")
+        log.record(3.0, "new")
+        assert log.count("old") == 0
+        assert log.between(0.0, 10.0) == log.of_kind("new")
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(max_events=0)
+
+
+class TestEventLogSerialization:
+    def test_jsonl_one_object_per_line(self):
+        log = EventLog()
+        log.record(1.0, "sample", rate=5.0)
+        log.record(2.0, "violation")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"time": 1.0, "kind": "sample",
+                         "detail": {"rate": 5.0}}
+
+    def test_round_trip(self):
+        log = EventLog()
+        log.record(1.0, "sample", rate=5.0, zone="z1")
+        log.record(2.5, "miss")
+        clone = EventLog.from_jsonl(log.to_jsonl())
+        assert [e.to_dict() for e in clone] == [e.to_dict() for e in log]
+
+    def test_empty_log_round_trip(self):
+        assert len(EventLog.from_jsonl(EventLog().to_jsonl())) == 0
+
+    def test_from_jsonl_skips_blank_lines(self):
+        log = EventLog.from_jsonl(
+            '\n{"time": 1.0, "kind": "x", "detail": {}}\n\n')
+        assert len(log) == 1
+
+    def test_from_jsonl_applies_bound(self):
+        source = EventLog()
+        for t in (1.0, 2.0, 3.0):
+            source.record(t, "tick")
+        clone = EventLog.from_jsonl(source.to_jsonl(), max_events=2)
+        assert [e.time for e in clone] == [2.0, 3.0]
+        assert clone.evicted == 1
+
+    def test_malformed_line_raises_encoding_error(self):
+        with pytest.raises(EncodingError, match="line 2"):
+            EventLog.from_jsonl(
+                '{"time": 1.0, "kind": "x", "detail": {}}\nnot json')
+
+    def test_missing_key_raises_encoding_error(self):
+        with pytest.raises(EncodingError):
+            EventLog.from_jsonl('{"time": 1.0}')
