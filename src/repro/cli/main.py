@@ -92,9 +92,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.sufficiency import count_insufficient_pairs
     from repro.core.verification import PoaVerifier
     from repro.obs import Tracer, use_tracer, write_spans_jsonl
-    from repro.workloads import build_random_scenario, run_policy
+    from repro.workloads import (
+        build_national_scenario,
+        build_random_scenario,
+        run_policy,
+    )
 
-    scenario = build_random_scenario(seed=args.seed, n_zones=args.zones)
+    if args.scenario == "national":
+        scenario = build_national_scenario(seed=args.seed,
+                                           n_zones=args.zones,
+                                           corridor_length_m=args.corridor_m)
+    else:
+        scenario = build_random_scenario(seed=args.seed, n_zones=args.zones)
     print(f"scenario: {scenario.description}")
     print(f"  flight duration : {scenario.duration:.0f} s")
     tracing = use_tracer(Tracer()) if args.trace else nullcontext(None)
@@ -167,6 +176,14 @@ def _cmd_audit_batch(args: argparse.Namespace) -> int:
     center = frame.to_geo(0.0, 0.0)
     server.zones.register(NoFlyZone(center.lat, center.lon, 50.0),
                           proof_of_ownership="synthetic")
+    # Optional NFZ-database scale-up: extra zones laid out well away from
+    # every synthetic trace so verdicts stay unchanged while the engine's
+    # zone index has real work to prune.
+    for i in range(1, args.zones):
+        point = frame.to_geo(-600.0 - 150.0 * (i // 21),
+                             ((i % 21) - 10) * 200.0)
+        server.zones.register(NoFlyZone(point.lat, point.lon, 50.0),
+                              proof_of_ownership="synthetic")
 
     drones = []
     for i in range(args.drones):
@@ -338,6 +355,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate",
                               help="random scenario through the verifier")
     simulate.add_argument("--zones", type=int, default=12)
+    simulate.add_argument("--scenario", choices=("random", "national"),
+                          default="random",
+                          help="zone layout: routed random field, or the "
+                               "national-scale packed corridor")
+    simulate.add_argument("--corridor-m", type=float, default=4_000.0,
+                          help="national corridor length in metres "
+                               "(default 4000)")
     simulate.add_argument("--policy", choices=("adaptive", "fixed"),
                           default="adaptive")
     simulate.add_argument("--rate", type=float, default=None,
@@ -359,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="samples per PoA (default 20)")
     audit_batch.add_argument("--drones", type=int, default=5,
                              help="fleet size (default 5)")
+    audit_batch.add_argument("--zones", type=int, default=1,
+                             help="NFZ database size; zones beyond the "
+                                  "first sit far from the traces "
+                                  "(default 1)")
     audit_batch.add_argument("--workers", type=int, default=1,
                              help="crypto fan-out pool size (default 1)")
     audit_batch.add_argument("--executor", choices=("thread", "process"),

@@ -8,6 +8,7 @@ smallest enclosing circle at registration time.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -16,6 +17,13 @@ from repro.geo.circle import Circle, smallest_enclosing_circle
 from repro.geo.ellipsoid import Cylinder
 from repro.geo.geodesy import GeoPoint, LocalFrame
 from repro.geo.polygon import Polygon
+
+#: Projection cache keyed by frame identity: ``frame -> {zone: circle}``.
+#: The sampler, the verification pipeline, and the audit engine all
+#: project the same zone set into the same frame over and over; frames
+#: are weakly referenced so a retired frame releases its projections.
+_CIRCLE_CACHE: "weakref.WeakKeyDictionary[LocalFrame, dict[NoFlyZone, Circle]]" \
+    = weakref.WeakKeyDictionary()
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,9 +51,16 @@ class NoFlyZone:
         return GeoPoint(self.lat, self.lon)
 
     def to_circle(self, frame: LocalFrame) -> Circle:
-        """The zone as a planar circle in ``frame``."""
-        x, y = frame.to_local(self.center)
-        return Circle(x, y, self.radius_m)
+        """The zone as a planar circle in ``frame`` (cached per frame)."""
+        per_frame = _CIRCLE_CACHE.get(frame)
+        if per_frame is None:
+            per_frame = {}
+            _CIRCLE_CACHE[frame] = per_frame
+        circle = per_frame.get(self)
+        if circle is None:
+            x, y = frame.to_local(self.center)
+            circle = per_frame[self] = Circle(x, y, self.radius_m)
+        return circle
 
     def boundary_distance_m(self, sample_xy: tuple[float, float],
                             frame: LocalFrame) -> float:

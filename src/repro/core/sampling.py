@@ -33,6 +33,7 @@ from repro.core.samples import GpsSample
 from repro.errors import ConfigurationError
 from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
+from repro.geo.proximity import ZoneIndexStats, ZoneProximityIndex
 from repro.obs.trace import get_tracer
 from repro.sim.events import EventLog
 from repro.units import FAA_MAX_SPEED_MPS
@@ -133,12 +134,19 @@ class AdaptiveSampler(_SamplerBase):
         margin_updates: how many update periods of safety margin to use;
             the paper derives 2 (one for the sampler's own delay, one for
             the next measurement) — exposed for the margin ablation.
+        use_index: answer the per-update zone scan through a
+            :class:`~repro.geo.proximity.ZoneProximityIndex` instead of a
+            brute-force sweep.  Sampling decisions are identical either
+            way (the index's cutoff contract returns the bit-identical
+            minimum whenever it is at or below the decision threshold);
+            only the per-update cost changes.
     """
 
     def __init__(self, zones: Sequence[NoFlyZone], frame: LocalFrame,
                  vmax_mps: float = FAA_MAX_SPEED_MPS,
                  gps_rate_hz: float = 5.0,
-                 margin_updates: float = 2.0):
+                 margin_updates: float = 2.0,
+                 use_index: bool = True):
         if gps_rate_hz <= 0:
             raise ConfigurationError("gps_rate_hz must be positive")
         if margin_updates < 0:
@@ -149,9 +157,18 @@ class AdaptiveSampler(_SamplerBase):
         self.gps_rate_hz = float(gps_rate_hz)
         self.margin_updates = float(margin_updates)
         self._circles: list[Circle] = [z.to_circle(frame) for z in self.zones]
+        self._index: ZoneProximityIndex | None = (
+            ZoneProximityIndex.from_circles(self._circles)
+            if use_index and self._circles else None)
+
+    @property
+    def index_stats(self) -> ZoneIndexStats | None:
+        """Pruning counters of the proximity index (None when disabled)."""
+        return self._index.stats if self._index is not None else None
 
     def _min_pair_distance(self, last_xy: tuple[float, float],
-                           current_xy: tuple[float, float]) -> float | None:
+                           current_xy: tuple[float, float],
+                           cutoff_m: float | None = None) -> float | None:
         """``min over zones of (D1 + D2)`` for the running sample pair.
 
         The pseudocode's ``FindNearestZone(S2, Z)`` evaluates D1 + D2 only
@@ -161,9 +178,17 @@ class AdaptiveSampler(_SamplerBase):
         close to zone B), and the heuristic would leave an insufficient
         pair behind.  We evaluate the exact minimum — same asymptotic cost,
         strictly safer.
+
+        ``cutoff_m`` is the caller's decision threshold: a result above it
+        may be an early-exit lower-bound certificate rather than the exact
+        minimum (see the :mod:`repro.geo.proximity` cutoff contract); a
+        result at or below it is the exact, bit-identical minimum.
         """
         if not self._circles:
             return None
+        if self._index is not None:
+            return self._index.min_pair_distance(last_xy, current_xy,
+                                                 cutoff_m=cutoff_m)
         return min(c.distance_to_boundary(last_xy)
                    + c.distance_to_boundary(current_xy)
                    for c in self._circles)
@@ -195,12 +220,13 @@ class AdaptiveSampler(_SamplerBase):
             stats.raw_reads += 1
             if current is None or current.t <= last.t:
                 continue  # missed update: register still holds the old fix
+            dt = current.t - last.t
             pair_distance = self._min_pair_distance(
                 last.local_position(self.frame),
-                current.local_position(self.frame))
+                current.local_position(self.frame),
+                cutoff_m=self.vmax_mps * (dt + margin))
             if pair_distance is None:
                 continue  # no zones: the initial sample alone is the alibi
-            dt = current.t - last.t
             if pair_distance > self.vmax_mps * (dt + margin):
                 continue  # condition (3) false: next update stays sufficient
             if pair_distance < self.vmax_mps * dt:

@@ -24,14 +24,16 @@ from typing import Iterable, Literal, Sequence
 
 from repro.core.nfz import NoFlyZone
 from repro.core.samples import GpsSample
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GeometryError
 from repro.geo.circle import Circle
 from repro.geo.ellipse import (
+    _EPS,
     TravelRangeEllipse,
     ellipse_disk_disjoint_conservative,
     ellipse_disk_disjoint_exact,
 )
 from repro.geo.geodesy import LocalFrame
+from repro.geo.proximity import ZoneProximityIndex
 from repro.units import FAA_MAX_SPEED_MPS
 
 Method = Literal["conservative", "exact"]
@@ -90,6 +92,52 @@ def insufficient_pairs_projected(positions: Sequence[tuple[float, float]],
             focal_sum=vmax_mps * (times[i + 1] - times[i]))
         if not all(disjoint(ellipse, circle) for circle in circles):
             failures.append(i)
+    return failures
+
+
+def insufficient_pairs_indexed(positions: Sequence[tuple[float, float]],
+                               times: Sequence[float],
+                               index: ZoneProximityIndex,
+                               vmax_mps: float = FAA_MAX_SPEED_MPS,
+                               method: Method = "conservative") -> list[int]:
+    """:func:`insufficient_pairs_projected` through a proximity index.
+
+    Produces the identical failure list (both methods) without scanning
+    every zone per pair:
+
+    * ``"conservative"`` fails a pair exactly when
+      ``min_z (D1 + D2) <= focal_sum + eps``, which is precisely the
+      index's :meth:`~repro.geo.proximity.ZoneProximityIndex.min_pair_distance`
+      with ``cutoff_m`` at the predicate threshold — results at or below
+      the cutoff are bit-identical to the brute-force minimum, and results
+      above it decide the predicate the same way.
+    * ``"exact"`` evaluates the true ellipse/disk test, but only over
+      :meth:`~repro.geo.proximity.ZoneProximityIndex.pair_candidates` —
+      sound because ``D1 + D2`` lower-bounds the minimal focal sum over a
+      disk, so every zone the exact predicate could fail is a candidate.
+    """
+    if method not in ("conservative", "exact"):
+        raise ConfigurationError(f"unknown sufficiency method: {method!r}")
+    failures = []
+    for i in range(len(positions) - 1):
+        focal_sum = vmax_mps * (times[i + 1] - times[i])
+        if focal_sum < 0:
+            # Same failure the ellipse constructor raises on the scan path.
+            raise GeometryError("focal_sum must be non-negative")
+        a, b = positions[i], positions[i + 1]
+        threshold = focal_sum + _EPS
+        if method == "conservative":
+            minimum = index.min_pair_distance(a, b, cutoff_m=threshold)
+            if minimum is not None and minimum <= threshold:
+                failures.append(i)
+        else:
+            candidates = index.pair_candidates(a, b, threshold)
+            if candidates:
+                ellipse = TravelRangeEllipse(f1=a, f2=b, focal_sum=focal_sum)
+                if not all(ellipse_disk_disjoint_exact(ellipse,
+                                                       index.circles[j])
+                           for j in candidates):
+                    failures.append(i)
     return failures
 
 

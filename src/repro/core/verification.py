@@ -40,14 +40,23 @@ from typing import Sequence
 from repro.core.nfz import NoFlyZone
 from repro.core.poa import ProofOfAlibi
 from repro.core.samples import GpsSample
-from repro.core.sufficiency import Method, insufficient_pairs_projected
+from repro.core.sufficiency import (
+    Method,
+    insufficient_pairs_indexed,
+    insufficient_pairs_projected,
+)
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import EncodingError
 from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
+from repro.geo.proximity import ZoneProximityIndex
 from repro.obs.trace import get_tracer
 from repro.perf.meter import StageMetrics
 from repro.units import FAA_MAX_SPEED_MPS
+
+#: Below this zone count the brute-force scan beats building an index for
+#: a single submission; the batch engine pre-seeds a shared index instead.
+ZONE_INDEX_MIN_ZONES = 8
 
 
 class VerificationStatus(enum.Enum):
@@ -117,6 +126,8 @@ class VerificationContext:
     position_memo: dict[tuple[float, float], tuple[float, float]] | None = None
     #: Zone disks projected into the frame (shared across a batch).
     zone_circles: list[Circle] | None = None
+    #: Proximity index over ``zone_circles`` (shared across a batch).
+    zone_index: ZoneProximityIndex | None = None
     #: Signature results; pre-seeded by the engine's fan-out workers.
     bad_signature_indices: list[int] | None = None
     #: Every failure observed so far (all of them in collect mode).
@@ -149,6 +160,20 @@ class VerificationContext:
             self.zone_circles = [zone.to_circle(self.frame)
                                  for zone in self.zones]
         return self.zone_circles
+
+    def ensure_zone_index(self) -> ZoneProximityIndex | None:
+        """The shared proximity index, built on demand for large zone sets.
+
+        Returns the pre-seeded index when the batch engine supplied one;
+        otherwise builds one over :meth:`ensure_zone_circles` once the
+        zone count justifies the construction cost.  ``None`` means the
+        sufficiency stage should fall back to the plain projected scan —
+        both paths produce identical verdicts.
+        """
+        if self.zone_index is None and len(self.zones) >= ZONE_INDEX_MIN_ZONES:
+            self.zone_index = ZoneProximityIndex.from_circles(
+                self.ensure_zone_circles())
+        return self.zone_index
 
 
 class VerificationStage:
@@ -289,9 +314,15 @@ class SufficiencyStage(VerificationStage):
             # A single sample proves nothing.
             insufficient = [0] if ctx.zones else []
         else:
-            insufficient = insufficient_pairs_projected(
-                ctx.ensure_positions(), [s.t for s in samples],
-                ctx.ensure_zone_circles(), ctx.vmax_mps, ctx.method)
+            index = ctx.ensure_zone_index()
+            if index is not None:
+                insufficient = insufficient_pairs_indexed(
+                    ctx.ensure_positions(), [s.t for s in samples],
+                    index, ctx.vmax_mps, ctx.method)
+            else:
+                insufficient = insufficient_pairs_projected(
+                    ctx.ensure_positions(), [s.t for s in samples],
+                    ctx.ensure_zone_circles(), ctx.vmax_mps, ctx.method)
         if insufficient:
             return StageFinding(
                 stage=self.name, status=VerificationStatus.INSUFFICIENT,
@@ -428,6 +459,7 @@ class PoaVerifier:
                 zones: Sequence[NoFlyZone], *,
                 position_memo: dict | None = None,
                 zone_circles: list[Circle] | None = None,
+                zone_index: ZoneProximityIndex | None = None,
                 bad_signature_indices: list[int] | None = None,
                 ) -> VerificationContext:
         """A context carrying this verifier's parameters (and any caches)."""
@@ -437,6 +469,7 @@ class PoaVerifier:
             hash_name=self.hash_name, method=self.method,
             feasibility_slack=self.feasibility_slack,
             position_memo=position_memo, zone_circles=zone_circles,
+            zone_index=zone_index,
             bad_signature_indices=bad_signature_indices)
 
     def pipeline(self, mode: str = VerificationPipeline.SHORT_CIRCUIT,

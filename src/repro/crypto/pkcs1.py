@@ -162,7 +162,13 @@ def decrypt_pkcs1_v15(key: RsaPrivateKey, ciphertext: bytes) -> bytes:
     k = key.byte_length
     if len(ciphertext) != k or k < 11:
         raise EncryptionError("ciphertext length does not match key size")
-    em = i2osp(key.raw_decrypt(os2ip(ciphertext)), k)
+    try:
+        em = i2osp(key.raw_decrypt(os2ip(ciphertext)), k)
+    except CryptoError as exc:
+        # A right-length ciphertext can still exceed the modulus (e.g. a
+        # flipped high bit); RFC 8017 folds RSADP's out-of-range case
+        # into the uniform "decryption error".
+        raise EncryptionError(str(exc)) from None
     if em[0] != 0x00 or em[1] != 0x02:
         raise EncryptionError("invalid RSAES-PKCS1-v1_5 padding header")
     try:

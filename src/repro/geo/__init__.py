@@ -22,6 +22,7 @@ from repro.geo.ellipse import (
 )
 from repro.geo.ellipsoid import TravelRangeEllipsoid, ellipsoid_cylinder_disjoint
 from repro.geo.polygon import Polygon
+from repro.geo.proximity import ZoneIndexStats, ZoneProximityIndex
 from repro.geo.spatial_index import GridIndex
 
 __all__ = [
@@ -40,4 +41,6 @@ __all__ = [
     "ellipsoid_cylinder_disjoint",
     "Polygon",
     "GridIndex",
+    "ZoneProximityIndex",
+    "ZoneIndexStats",
 ]

@@ -110,43 +110,98 @@ class GridIndex(Generic[K]):
         candidates = self._cells.get(self._cell_of(*point), set())
         return sorted((k for k in candidates if self._entries[k].contains(point)), key=repr)
 
+    def ring_lower_bound(self, ring: int) -> float:
+        """Minimum possible distance from a query point to a ring-``ring`` cell.
+
+        The query point sits somewhere inside its own (ring-0) cell, so a
+        cell at Chebyshev ring ``r`` is at least ``(r - 1)`` whole cells
+        away.  Because a circle is registered in every cell its bounding
+        box overlaps, any circle first produced at ring ``r`` has unsigned
+        boundary distance at least this bound — the invariant behind every
+        pruned search built on :meth:`ring_candidates`.
+        """
+        return max(0, ring - 1) * self.cell_size
+
+    def ring_candidates(self, point: Point) -> Iterator[tuple[int, list[K]]]:
+        """Expanding-ring candidate enumeration around ``point``.
+
+        Yields ``(ring, keys)`` in ascending ring order; every stored key
+        is produced exactly once, at the smallest ring containing one of
+        its cells.  Keys not yet yielded after ring ``r`` lie in rings
+        ``> r`` and are therefore at least ``r * cell_size`` from the
+        query point (see :meth:`ring_lower_bound`).
+
+        Once the ring perimeter outgrows the remaining populated cells the
+        enumeration falls back to one direct sweep of those cells, so a
+        query far outside the populated extent costs O(cells), not
+        O(spread^2) empty lookups.
+        """
+        if not self._cells:
+            return
+        cx, cy = self._cell_of(*point)
+        seen: set[K] = set()
+        visited_cells = 0
+        ring = 0
+        while visited_cells < len(self._cells):
+            if ring and 8 * ring > len(self._cells) - visited_cells:
+                # Sweep the remaining populated cells directly, attributing
+                # each unseen key to the *smallest* of its remaining rings
+                # so callers' pruning bounds stay valid.
+                first_ring: dict[K, int] = {}
+                for (gx, gy), keys in self._cells.items():
+                    cell_ring = max(abs(gx - cx), abs(gy - cy))
+                    if cell_ring < ring:
+                        continue
+                    for key in keys:
+                        if key in seen:
+                            continue
+                        held = first_ring.get(key)
+                        if held is None or cell_ring < held:
+                            first_ring[key] = cell_ring
+                grouped: dict[int, list[K]] = {}
+                for key, key_ring in first_ring.items():
+                    grouped.setdefault(key_ring, []).append(key)
+                for key_ring in sorted(grouped):
+                    yield key_ring, grouped[key_ring]
+                return
+            fresh: list[K] = []
+            for cell in self._ring_cells(cx, cy, ring):
+                keys = self._cells.get(cell)
+                if keys is None:
+                    continue
+                visited_cells += 1
+                fresh.extend(k for k in keys if k not in seen)
+                seen.update(keys)
+            if fresh:
+                yield ring, fresh
+            ring += 1
+
     def nearest(self, point: Point) -> tuple[K, float] | None:
         """The circle whose *boundary* is nearest to ``point``.
 
         Returns ``(key, signed_boundary_distance)`` or None when empty.
         Implements ``FindNearestZone`` from Algorithm 1 with an expanding
-        ring search over grid cells, falling back to a full scan once the
-        ring exceeds the populated extent.
+        ring search over grid cells, stopping as soon as no unvisited ring
+        can hold a closer boundary.  Exact ties are broken by ``repr`` of
+        the key (the same deterministic order the rectangle query uses).
         """
         if not self._entries:
             return None
-        cx, cy = self._cell_of(*point)
-        best: tuple[K, float] | None = None
-        seen: set[K] = set()
-        max_radius = self._max_ring_radius(cx, cy)
-        for ring in range(max_radius + 1):
-            for cell in self._ring_cells(cx, cy, ring):
-                for key in self._cells.get(cell, ()):
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    dist = self._entries[key].distance_to_boundary(point)
-                    if best is None or dist < best[1]:
-                        best = (key, dist)
-            # A hit in ring r can still be beaten by a closer boundary in
-            # ring r+1 (large circles straddle cells), so scan one extra
-            # ring beyond the first hit before accepting.
-            if best is not None and best[1] <= (ring - 1) * self.cell_size:
+        best_key: K | None = None
+        best_dist = math.inf
+        for ring, keys in self.ring_candidates(point):
+            # Everything in this ring (and beyond) is at least this far
+            # away; a strictly better current best cannot be displaced.
+            if best_dist < self.ring_lower_bound(ring):
                 break
-        if best is None:  # pragma: no cover - guarded by the emptiness check
+            for key in keys:
+                dist = self._entries[key].distance_to_boundary(point)
+                if dist < best_dist or (dist == best_dist
+                                        and repr(key) < repr(best_key)):
+                    best_key, best_dist = key, dist
+        if best_key is None:  # pragma: no cover - guarded by emptiness check
             raise AssertionError("non-empty index produced no candidates")
-        return best
-
-    def _max_ring_radius(self, cx: int, cy: int) -> int:
-        spread = 0
-        for (gx, gy) in self._cells:
-            spread = max(spread, abs(gx - cx), abs(gy - cy))
-        return spread + 1
+        return best_key, best_dist
 
     @staticmethod
     def _ring_cells(cx: int, cy: int, ring: int) -> Iterator[tuple[int, int]]:

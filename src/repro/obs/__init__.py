@@ -11,6 +11,7 @@ from repro.obs.adapters import (
     register_link_stats,
     register_smc_stats,
     register_stage_metrics,
+    register_zone_index_stats,
 )
 from repro.obs.export import (
     format_tree,
@@ -56,6 +57,7 @@ __all__ = [
     "register_link_stats",
     "register_smc_stats",
     "register_stage_metrics",
+    "register_zone_index_stats",
     "set_registry",
     "set_tracer",
     "spans_to_jsonl",

@@ -93,6 +93,35 @@ def register_link_stats(registry, link_stats,
     return source
 
 
+def register_zone_index_stats(registry, stats,
+                              prefix: str = "geo.zone_index") -> Source:
+    """Surface a :class:`repro.geo.proximity.ZoneIndexStats` through ``registry``.
+
+    Counters ``<prefix>.queries``, ``.candidates``, ``.rings``,
+    ``.cutoff_exits`` plus per-query mean gauges, so a snapshot shows the
+    ring-search pruning working (candidates per query should stay flat as
+    the zone count grows).
+    """
+    def source() -> dict[str, dict[str, Any]]:
+        return {
+            f"{prefix}.queries": {"type": "counter",
+                                  "value": stats.queries},
+            f"{prefix}.candidates": {"type": "counter",
+                                     "value": stats.candidates},
+            f"{prefix}.rings": {"type": "counter",
+                                "value": stats.rings},
+            f"{prefix}.cutoff_exits": {"type": "counter",
+                                       "value": stats.cutoff_exits},
+            f"{prefix}.mean_candidates_per_query": {
+                "type": "gauge", "value": stats.mean_candidates_per_query},
+            f"{prefix}.mean_rings_per_query": {
+                "type": "gauge", "value": stats.mean_rings_per_query},
+        }
+
+    registry.add_source(source)
+    return source
+
+
 def register_event_log(registry, event_log,
                        prefix: str = "sim.events") -> Source:
     """Surface a :class:`repro.sim.events.EventLog` through ``registry``.

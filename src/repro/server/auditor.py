@@ -35,7 +35,11 @@ from repro.core.verification import (
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 from repro.errors import AuthenticationError, RegistrationError
 from repro.geo.geodesy import LocalFrame
-from repro.obs.adapters import register_event_log, register_stage_metrics
+from repro.obs.adapters import (
+    register_event_log,
+    register_stage_metrics,
+    register_zone_index_stats,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import get_tracer
 from repro.server.database import DroneRegistry, NfzDatabase
@@ -256,6 +260,12 @@ class AliDroneServer:
         registry = registry if registry is not None else MetricsRegistry()
         register_stage_metrics(registry, self.engine.metrics, prefix="audit")
         register_event_log(registry, self.events, prefix="server.events")
+        register_zone_index_stats(registry, self.engine.zone_index_stats,
+                                  prefix="audit.zone_index")
+        registry.gauge("audit.zone_index.builds",
+                       fn=lambda: self.engine.zone_index_builds)
+        registry.gauge("audit.zone_index.cache_hits",
+                       fn=lambda: self.engine.zone_index_hits)
         registry.gauge("server.retained_submissions",
                        fn=lambda: sum(len(items) for items
                                       in self._retained.values()))

@@ -16,8 +16,9 @@ is the throughput-scaled path every intake flows through:
 * **Caching** — decrypted payloads are memoized by ciphertext (resubmitted
   or replayed records cost nothing the second time), per-drone ``T+``
   lookups are cached, local-frame projections are memoized across samples
-  and submissions, and the zone set is projected to circles once per
-  batch.
+  and submissions, and the zone set is projected + spatially indexed once
+  and shared across every batch against the same zone set
+  (:meth:`AuditEngine.zone_index_for`).
 * **Accounting** — per-stage wall time flows into a shared
   :class:`repro.perf.meter.StageMetrics`, and each batch records a
   ``batch_audited`` event (batch size, worker count, wall time) into the
@@ -51,6 +52,7 @@ from repro.crypto.pkcs1 import (
 )
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import AliDroneError, ConfigurationError, EncryptionError
+from repro.geo.proximity import ZoneIndexStats, ZoneProximityIndex
 from repro.obs.trace import get_tracer
 from repro.perf.meter import StageMetrics
 from repro.sim.events import EventLog
@@ -59,6 +61,9 @@ from repro.sim.events import EventLog
 DEFAULT_PAYLOAD_CACHE_MAX = 50_000
 #: Projection memo bound: one entry per distinct (lat, lon) seen.
 DEFAULT_POSITION_MEMO_MAX = 200_000
+#: Zone-index cache bound: distinct zone *sets* in rotation are few (the
+#: national database plus a handful of regional slices).
+DEFAULT_ZONE_INDEX_CACHE_MAX = 8
 
 
 class _BoundedCache(dict):
@@ -231,6 +236,10 @@ class AuditEngine:
         self._tee_key_cache: dict[str, RsaPublicKey] = {}
         self._payload_cache = _BoundedCache(payload_cache_max)
         self._position_memo = _BoundedCache(position_memo_max)
+        self._zone_index_cache = _BoundedCache(DEFAULT_ZONE_INDEX_CACHE_MAX)
+        self._zone_index_stats = ZoneIndexStats()
+        self.zone_index_builds = 0
+        self.zone_index_hits = 0
 
     # --- caches -------------------------------------------------------------
 
@@ -255,6 +264,30 @@ class AuditEngine:
     def position_memo_size(self) -> int:
         """Number of distinct coordinates whose projection is memoized."""
         return len(self._position_memo)
+
+    @property
+    def zone_index_stats(self) -> ZoneIndexStats:
+        """Pruning counters aggregated over every batch's zone queries."""
+        return self._zone_index_stats
+
+    def zone_index_for(self, zones: Sequence[NoFlyZone]) -> ZoneProximityIndex:
+        """The proximity index for a zone set, shared across batches.
+
+        Keyed by the zone tuple itself, so successive batches against the
+        same zone database reuse one index (projection and grid build paid
+        once); every cached index feeds the engine-wide
+        :attr:`zone_index_stats` accumulator.
+        """
+        key = tuple(zones)
+        index = self._zone_index_cache.get(key)
+        if index is None:
+            index = ZoneProximityIndex(zones, self.verifier.frame,
+                                       stats=self._zone_index_stats)
+            self._zone_index_cache.insert(key, index)
+            self.zone_index_builds += 1
+        else:
+            self.zone_index_hits += 1
+        return index
 
     # --- fan-out helpers ----------------------------------------------------
 
@@ -324,7 +357,8 @@ class AuditEngine:
 
         # Phase 2 (inline): feed results through the shared staged pipeline.
         zones = list(self.zones_provider())
-        zone_circles = [zone.to_circle(self.verifier.frame) for zone in zones]
+        zone_index = self.zone_index_for(zones)
+        zone_circles = zone_index.circles
         for (payloads, bad, decrypt_error, seconds), slot, args in zip(
                 results, task_slots, task_args):
             submission = submissions[slot]
@@ -355,7 +389,8 @@ class AuditEngine:
                 ctx = self.verifier.context(
                     poa, args[2], zones,
                     position_memo=self._position_memo,
-                    zone_circles=list(zone_circles),
+                    zone_circles=zone_circles,
+                    zone_index=zone_index,
                     bad_signature_indices=list(bad))
                 report = VerificationPipeline(
                     metrics=self.metrics).run(ctx)
@@ -396,8 +431,8 @@ class AuditEngine:
                          workers=self.workers):
             results = self._map_tasks(_poa_crypto_task, task_args)
             zones = list(zones)
-            zone_circles = [zone.to_circle(self.verifier.frame)
-                            for zone in zones]
+            zone_index = self.zone_index_for(zones)
+            zone_circles = zone_index.circles
             reports = []
             for (bad, seconds), (poa, tee_key) in zip(results, items):
                 self.metrics.record("crypto", seconds, len(poa))
@@ -410,7 +445,8 @@ class AuditEngine:
                     ctx = self.verifier.context(
                         poa, tee_key, zones,
                         position_memo=self._position_memo,
-                        zone_circles=list(zone_circles),
+                        zone_circles=zone_circles,
+                        zone_index=zone_index,
                         bad_signature_indices=list(bad))
                     report = VerificationPipeline(
                         metrics=self.metrics).run(ctx)

@@ -57,7 +57,8 @@ def run_policy(scenario: Scenario, policy: str,
                seed: int = 0, hash_name: str = "sha1",
                margin_updates: float = 2.0,
                vmax_mps: float = FAA_MAX_SPEED_MPS,
-               device: TrustZoneDevice | None = None) -> PolicyRun:
+               device: TrustZoneDevice | None = None,
+               use_index: bool = True) -> PolicyRun:
     """Execute one sampling policy over ``scenario``.
 
     Args:
@@ -68,6 +69,8 @@ def run_policy(scenario: Scenario, policy: str,
         seed: seeds device provisioning and receiver randomness.
         device: reuse an already provisioned device (it must not have a
             GPS attached yet).
+        use_index: adaptive policy only — drive the per-update zone scan
+            through the spatial index (decisions are identical either way).
     """
     clock = SimClock(scenario.t_start)
     receiver = scenario.make_receiver(update_rate_hz=update_rate_hz, seed=seed)
@@ -80,7 +83,8 @@ def run_policy(scenario: Scenario, policy: str,
         sampler = AdaptiveSampler(scenario.zones, scenario.frame,
                                   vmax_mps=vmax_mps,
                                   gps_rate_hz=update_rate_hz,
-                                  margin_updates=margin_updates)
+                                  margin_updates=margin_updates,
+                                  use_index=use_index)
         label = "adaptive"
     elif policy == "fixed":
         if fixed_rate_hz is None:

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Schema sanity checks for the ``BENCH_*.json`` benchmark artefacts.
+
+The CI benchmark-smoke job runs ``benchmarks/bench_nfz_scale.py`` in a
+tiny configuration and points this script at what it wrote.  Only the
+stdlib is needed — the checks are about the artefact *formats* the perf
+trajectory tooling diffs, not the library internals:
+
+* generic (``--bench``): a JSON object whose timing leaves are finite
+  non-negative numbers — either the pytest-benchmark shape
+  (``benchmarks: {name: {mean_s, min_s, ...}}``) or a hand-assembled
+  payload (any dict);
+* NFZ-scale (``--nfz-scale``): the full contract of
+  ``BENCH_nfz_scale.json`` — config echoed, one result row per zone
+  count, each with build/nearest/pair/sufficiency timings, index stats,
+  and an ``equivalent: true`` marker.
+
+Exit 0 when every provided file passes, 1 otherwise (problems are listed
+on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+NFZ_TOP_FIELDS = {"config", "results", "speedup_at_max_zone_count"}
+NFZ_CONFIG_FIELDS = {"zone_counts", "queries", "seed", "repeats",
+                     "corridor_length_m", "pair_cutoff_m"}
+NFZ_ROW_FIELDS = {"zones", "build_s", "nearest", "pair", "sufficiency",
+                  "index", "equivalent"}
+NFZ_AB_FIELDS = {"brute_s", "indexed_s", "speedup"}
+NFZ_INDEX_FIELDS = {"cell_size_m", "queries", "mean_candidates_per_query",
+                    "mean_rings_per_query", "cutoff_exits"}
+BENCH_STAT_FIELDS = {"mean_s", "min_s", "max_s", "median_s", "stddev_s",
+                     "rounds"}
+
+
+def _load(path: str):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _is_timing(value) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value) and value >= 0)
+
+
+def check_bench(path: str) -> list[str]:
+    """Problems with a generic ``BENCH_*.json`` (empty list = clean)."""
+    try:
+        document = _load(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(document, dict) or not document:
+        return [f"{path}: expected a non-empty JSON object"]
+    problems: list[str] = []
+    benchmarks = document.get("benchmarks")
+    if benchmarks is not None:
+        if not isinstance(benchmarks, dict) or not benchmarks:
+            return [f"{path}: 'benchmarks' must be a non-empty object"]
+        for name, stats in benchmarks.items():
+            missing = BENCH_STAT_FIELDS - set(stats)
+            if missing:
+                problems.append(f"{path}: benchmark {name!r} missing "
+                                f"fields {sorted(missing)}")
+                continue
+            for field in ("mean_s", "min_s", "max_s", "median_s"):
+                if not _is_timing(stats[field]):
+                    problems.append(f"{path}: benchmark {name!r} field "
+                                    f"{field} is not a finite timing")
+            if not (isinstance(stats["rounds"], int) and stats["rounds"] >= 1):
+                problems.append(f"{path}: benchmark {name!r} has no rounds")
+    return problems
+
+
+def check_nfz_scale(path: str) -> list[str]:
+    """Problems with the ``BENCH_nfz_scale.json`` contract."""
+    try:
+        document = _load(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    problems: list[str] = []
+    missing = NFZ_TOP_FIELDS - set(document)
+    if missing:
+        return [f"{path}: missing fields {sorted(missing)}"]
+    config = document["config"]
+    missing = NFZ_CONFIG_FIELDS - set(config)
+    if missing:
+        problems.append(f"{path}: config missing fields {sorted(missing)}")
+    results = document["results"]
+    if not isinstance(results, list) or not results:
+        return problems + [f"{path}: results must be a non-empty list"]
+    if [row.get("zones") for row in results] != config.get("zone_counts"):
+        problems.append(f"{path}: result rows do not match "
+                        "config.zone_counts")
+    for row in results:
+        zones = row.get("zones")
+        missing = NFZ_ROW_FIELDS - set(row)
+        if missing:
+            problems.append(f"{path}: row Z={zones} missing fields "
+                            f"{sorted(missing)}")
+            continue
+        if row["equivalent"] is not True:
+            problems.append(f"{path}: row Z={zones} not marked equivalent")
+        if not _is_timing(row["build_s"]):
+            problems.append(f"{path}: row Z={zones} build_s invalid")
+        for section in ("nearest", "pair", "sufficiency"):
+            entry = row[section]
+            missing = NFZ_AB_FIELDS - set(entry)
+            if missing:
+                problems.append(f"{path}: row Z={zones} {section} missing "
+                                f"fields {sorted(missing)}")
+                continue
+            if not (_is_timing(entry["brute_s"])
+                    and _is_timing(entry["indexed_s"])):
+                problems.append(f"{path}: row Z={zones} {section} timings "
+                                "invalid")
+        missing = NFZ_INDEX_FIELDS - set(row["index"])
+        if missing:
+            problems.append(f"{path}: row Z={zones} index stats missing "
+                            f"fields {sorted(missing)}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", action="append", default=[],
+                        help="generic BENCH_*.json to check (repeatable)")
+    parser.add_argument("--nfz-scale", action="append", default=[],
+                        help="BENCH_nfz_scale.json to check against the "
+                             "full schema")
+    args = parser.parse_args(argv)
+    if not (args.bench or args.nfz_scale):
+        parser.error("nothing to check")
+
+    problems: list[str] = []
+    for path in args.bench:
+        problems.extend(check_bench(path))
+    for path in args.nfz_scale:
+        problems.extend(check_nfz_scale(path))
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(args.bench) + len(args.nfz_scale)
+    if not problems:
+        print(f"bench check: {checked} file(s) ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

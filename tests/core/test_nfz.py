@@ -22,6 +22,17 @@ class TestNoFlyZone:
         assert circle.center == pytest.approx((0.0, 0.0))
         assert circle.r == 30.0
 
+    def test_to_circle_cached_per_frame(self, frame):
+        from repro.geo.geodesy import GeoPoint, LocalFrame
+        zone = NoFlyZone(40.1, -88.22, 30.0)
+        assert zone.to_circle(frame) is zone.to_circle(frame)
+        other = LocalFrame(GeoPoint(40.2, -88.0))
+        assert zone.to_circle(other) is not zone.to_circle(frame)
+        assert zone.to_circle(other) == zone.to_circle(other)
+        # Equal zones share one cache slot per frame.
+        twin = NoFlyZone(40.1, -88.22, 30.0)
+        assert twin.to_circle(frame) is zone.to_circle(frame)
+
     def test_boundary_distance(self, frame):
         center = frame.to_geo(100.0, 0.0)
         zone = NoFlyZone(center.lat, center.lon, 30.0)

@@ -118,6 +118,13 @@ class TestEncryption:
         with pytest.raises(EncryptionError):
             decrypt_pkcs1_v15(signing_key, bytes(ct))
 
+    def test_out_of_range_ciphertext_rejected(self, signing_key):
+        """A right-length ciphertext above the modulus is a decryption
+        error (RFC 8017 RSADP), not an internal crypto failure."""
+        too_big = b"\xff" * signing_key.byte_length
+        with pytest.raises(EncryptionError):
+            decrypt_pkcs1_v15(signing_key, too_big)
+
     def test_wrong_length_ciphertext_rejected(self, signing_key):
         with pytest.raises(EncryptionError):
             decrypt_pkcs1_v15(signing_key, b"\x00" * 10)

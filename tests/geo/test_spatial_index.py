@@ -123,3 +123,94 @@ class TestNearest:
                 brute[1].distance_to_boundary(p), abs=1e-9)
             assert math.isclose(circles[key].distance_to_boundary(p), dist,
                                 abs_tol=1e-9)
+
+    def test_exact_tie_broken_by_key_repr(self):
+        """Equidistant boundaries resolve deterministically by key repr."""
+        g: GridIndex[str] = GridIndex(10.0)
+        g.insert("b", Circle(-20.0, 0.0, 5.0))
+        g.insert("a", Circle(20.0, 0.0, 5.0))
+        key, dist = g.nearest((0.0, 0.0))
+        assert (key, dist) == ("a", pytest.approx(15.0))
+        # Insertion order must not matter.
+        g2: GridIndex[str] = GridIndex(10.0)
+        g2.insert("a", Circle(20.0, 0.0, 5.0))
+        g2.insert("b", Circle(-20.0, 0.0, 5.0))
+        assert g2.nearest((0.0, 0.0))[0] == "a"
+
+    def test_query_far_outside_populated_cells(self, index):
+        """A query many rings away still finds the true nearest boundary."""
+        point = (1e6, -1e6)
+        key, dist = index.nearest(point)
+        brute_key, brute = min(
+            ((k, c.distance_to_boundary(point)) for k, c in index.items()),
+            key=lambda kv: kv[1])
+        assert key == brute_key
+        assert dist == brute
+
+
+class TestRingCandidates:
+    def test_empty_grid_yields_nothing(self):
+        g: GridIndex[str] = GridIndex(10.0)
+        assert list(g.ring_candidates((0.0, 0.0))) == []
+
+    def test_lower_bound_values(self):
+        g: GridIndex[str] = GridIndex(10.0)
+        assert g.ring_lower_bound(0) == 0.0
+        assert g.ring_lower_bound(1) == 0.0
+        assert g.ring_lower_bound(2) == 10.0
+        assert g.ring_lower_bound(5) == 40.0
+
+    @pytest.mark.parametrize("point", [(0.0, 0.0), (55.0, -3.0),
+                                       (5_000.0, 5_000.0)])
+    def test_each_key_once_at_its_minimum_ring(self, point):
+        """Keys appear exactly once, at the smallest ring holding a cell
+        of their bounding box — including via the far-query fallback sweep.
+        """
+        rng = random.Random(9)
+        g: GridIndex[int] = GridIndex(20.0)
+        circles = {}
+        for i in range(60):
+            c = Circle(rng.uniform(-300, 300), rng.uniform(-300, 300),
+                       rng.uniform(1, 40))
+            circles[i] = c
+            g.insert(i, c)
+
+        def cells_of(circle):
+            lo = g._cell_of(circle.x - circle.r, circle.y - circle.r)
+            hi = g._cell_of(circle.x + circle.r, circle.y + circle.r)
+            return [(x, y) for x in range(lo[0], hi[0] + 1)
+                    for y in range(lo[1], hi[1] + 1)]
+
+        home = g._cell_of(*point)
+        expected_ring = {
+            i: min(max(abs(x - home[0]), abs(y - home[1]))
+                   for x, y in cells_of(c))
+            for i, c in circles.items()}
+
+        seen: dict[int, int] = {}
+        last_ring = -1
+        for ring, keys in g.ring_candidates(point):
+            assert ring > last_ring, "rings must ascend"
+            last_ring = ring
+            for key in keys:
+                assert key not in seen, f"key {key} yielded twice"
+                seen[key] = ring
+        assert seen == expected_ring
+
+    def test_unyielded_keys_respect_lower_bound(self):
+        """After ring r every remaining boundary is >= ring_lower_bound(r+1)."""
+        rng = random.Random(10)
+        g: GridIndex[int] = GridIndex(15.0)
+        circles = {}
+        for i in range(40):
+            c = Circle(rng.uniform(-200, 200), rng.uniform(-200, 200),
+                       rng.uniform(1, 25))
+            circles[i] = c
+            g.insert(i, c)
+        point = (3.0, -7.0)
+        remaining = set(circles)
+        for ring, keys in g.ring_candidates(point):
+            remaining -= set(keys)
+            bound = g.ring_lower_bound(ring + 1)
+            for i in remaining:
+                assert circles[i].distance_to_boundary(point) >= bound

@@ -161,6 +161,29 @@ class TestAdapters:
         assert snapshot["tee.smc.world_switches"]["value"] == 6
         assert snapshot["tee.smc.calls.GetGPSAuth"]["value"] == 3
 
+    def test_zone_index_stats_source(self, registry):
+        from repro.geo.circle import Circle
+        from repro.geo.proximity import ZoneIndexStats, ZoneProximityIndex
+        from repro.obs import register_zone_index_stats
+
+        stats = ZoneIndexStats()
+        index = ZoneProximityIndex.from_circles(
+            [Circle(0.0, 0.0, 10.0), Circle(50.0, 0.0, 5.0)], stats=stats)
+        register_zone_index_stats(registry, stats)
+        index.nearest_boundary((20.0, 0.0))
+        snapshot = registry.collect()
+        assert snapshot["geo.zone_index.queries"]["value"] == 1
+        assert snapshot["geo.zone_index.queries"]["type"] == "counter"
+        assert snapshot["geo.zone_index.candidates"]["value"] >= 1
+        assert snapshot["geo.zone_index.mean_candidates_per_query"][
+            "type"] == "gauge"
+        assert snapshot["geo.zone_index.mean_rings_per_query"]["value"] == \
+            pytest.approx(stats.mean_rings_per_query)
+        # Live view: more queries show without re-registering.
+        index.min_pair_distance((0.0, 0.0), (5.0, 0.0))
+        assert registry.collect()["geo.zone_index.queries"]["value"] == 2
+        assert registry.collect()["geo.zone_index.cutoff_exits"]["value"] == 0
+
     def test_event_log_source(self, registry):
         log = EventLog()
         log.record(1.0, "sample")

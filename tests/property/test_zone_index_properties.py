@@ -1,0 +1,151 @@
+"""Equivalence properties of the zone-proximity index.
+
+The index is a pure optimisation: every query must agree with the O(Z)
+brute-force scan it replaces, and every consumer (sampler, verifier)
+must behave identically with and without it.  These properties are the
+contract the NFZ-scale benchmark's speedups rest on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sufficiency import (
+    insufficient_pairs_indexed,
+    insufficient_pairs_projected,
+)
+from repro.geo.circle import Circle
+from repro.geo.proximity import ZoneProximityIndex
+from repro.workloads import build_random_scenario, run_policy
+
+finite = {"allow_nan": False, "allow_infinity": False}
+
+
+@st.composite
+def circle_fields(draw, max_circles=40):
+    n = draw(st.integers(min_value=1, max_value=max_circles))
+    circles = []
+    for _ in range(n):
+        x = draw(st.floats(min_value=-800.0, max_value=800.0, **finite))
+        y = draw(st.floats(min_value=-800.0, max_value=800.0, **finite))
+        r = draw(st.floats(min_value=0.5, max_value=150.0, **finite))
+        circles.append(Circle(x, y, r))
+    return circles
+
+
+@st.composite
+def query_points(draw, lo=-1_000.0, hi=1_000.0):
+    return (draw(st.floats(min_value=lo, max_value=hi, **finite)),
+            draw(st.floats(min_value=lo, max_value=hi, **finite)))
+
+
+class TestNearestBoundaryProperty:
+    @given(circles=circle_fields(), point=query_points())
+    @settings(max_examples=120, deadline=None)
+    def test_equals_brute_force_min(self, circles, point):
+        index = ZoneProximityIndex.from_circles(circles)
+        got_i, got_d = index.nearest_boundary(point)
+        best_i, best_d = -1, math.inf
+        for i, circle in enumerate(circles):
+            d = circle.distance_to_boundary(point)
+            if d < best_d:
+                best_i, best_d = i, d
+        assert (got_i, got_d) == (best_i, best_d)
+
+    @given(circles=circle_fields(), point=query_points(),
+           cutoff=st.floats(min_value=0.0, max_value=400.0, **finite))
+    @settings(max_examples=120, deadline=None)
+    def test_cutoff_contract(self, circles, point, cutoff):
+        index = ZoneProximityIndex.from_circles(circles)
+        true_min = min(c.distance_to_boundary(point) for c in circles)
+        _, got = index.nearest_boundary(point, cutoff_m=cutoff)
+        assert (true_min > cutoff) == (got > cutoff)
+        if true_min <= cutoff:
+            assert got == true_min
+
+
+class TestPairDistanceProperty:
+    @given(circles=circle_fields(), a=query_points(),
+           cutoff=st.floats(min_value=0.0, max_value=400.0, **finite),
+           dx=st.floats(min_value=-30.0, max_value=30.0, **finite),
+           dy=st.floats(min_value=-30.0, max_value=30.0, **finite))
+    @settings(max_examples=120, deadline=None)
+    def test_min_pair_sum_and_cutoff_contract(self, circles, a, cutoff,
+                                              dx, dy):
+        b = (a[0] + dx, a[1] + dy)
+        index = ZoneProximityIndex.from_circles(circles)
+        true_min = min(c.distance_to_boundary(a) + c.distance_to_boundary(b)
+                       for c in circles)
+        assert index.min_pair_distance(a, b) == true_min
+        pruned = index.min_pair_distance(a, b, cutoff_m=cutoff)
+        assert (true_min > cutoff) == (pruned > cutoff)
+        if true_min <= cutoff:
+            assert pruned == true_min
+
+    @given(circles=circle_fields(), a=query_points(),
+           max_sum=st.floats(min_value=0.0, max_value=500.0, **finite))
+    @settings(max_examples=80, deadline=None)
+    def test_pair_candidates_is_exact_filter(self, circles, a, max_sum):
+        b = (a[0] + 11.0, a[1] - 7.0)
+        index = ZoneProximityIndex.from_circles(circles)
+        brute = [i for i, c in enumerate(circles)
+                 if c.distance_to_boundary(a)
+                 + c.distance_to_boundary(b) <= max_sum]
+        assert index.pair_candidates(a, b, max_sum) == brute
+
+
+@st.composite
+def tracks_and_circles(draw):
+    circles = draw(circle_fields(max_circles=25))
+    n = draw(st.integers(min_value=2, max_value=12))
+    positions = []
+    x = draw(st.floats(min_value=-500.0, max_value=500.0, **finite))
+    y = draw(st.floats(min_value=-500.0, max_value=500.0, **finite))
+    times = [0.0]
+    for _ in range(n):
+        positions.append((x, y))
+        x += draw(st.floats(min_value=-15.0, max_value=15.0, **finite))
+        y += draw(st.floats(min_value=-15.0, max_value=15.0, **finite))
+        times.append(times[-1]
+                     + draw(st.floats(min_value=0.0, max_value=3.0, **finite)))
+    return circles, positions, times[:n]
+
+
+class TestSufficiencyEquivalence:
+    @given(case=tracks_and_circles())
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_method_identical(self, case):
+        circles, positions, times = case
+        index = ZoneProximityIndex.from_circles(circles)
+        assert (insufficient_pairs_indexed(positions, times, index)
+                == insufficient_pairs_projected(positions, times, circles))
+
+    @given(case=tracks_and_circles())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_method_identical(self, case):
+        circles, positions, times = case
+        index = ZoneProximityIndex.from_circles(circles)
+        assert (insufficient_pairs_indexed(positions, times, index,
+                                           method="exact")
+                == insufficient_pairs_projected(positions, times, circles,
+                                                method="exact"))
+
+
+class TestSamplerReplayEquivalence:
+    def test_decisions_identical_with_and_without_index(self):
+        """One replayed flight, same device/receiver seeds: the indexed
+        sampler must take the same samples at the same instants and emit
+        the same events and PoA payloads as the brute-force scan.
+        """
+        scenario = build_random_scenario(seed=5, n_zones=12, area_m=800.0)
+        runs = [run_policy(scenario, "adaptive", key_bits=512, seed=5,
+                           use_index=flag) for flag in (True, False)]
+        indexed, brute = runs
+        assert indexed.sample_times == brute.sample_times
+        assert ([(e.time, e.kind, e.detail) for e in indexed.result.events]
+                == [(e.time, e.kind, e.detail) for e in brute.result.events])
+        assert ([(s.payload, s.signature) for s in indexed.result.poa]
+                == [(s.payload, s.signature) for s in brute.result.poa])

@@ -365,6 +365,49 @@ class TestEngineMechanics:
         engine.audit_poas([(poa, signing_key.public_key)], [zone])
         assert engine.position_memo_size == len(poa)
 
+    def test_zone_index_cached_across_batches(self, frame, signing_key,
+                                              other_key, zone):
+        encryption_key = other_key
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone])
+        submission = self.make_submission(frame, signing_key, encryption_key)
+        first = engine.audit_batch([submission])
+        assert (engine.zone_index_builds, engine.zone_index_hits) == (1, 0)
+        second = engine.audit_batch([submission])
+        assert (engine.zone_index_builds, engine.zone_index_hits) == (1, 1)
+        assert first.reports == second.reports
+
+    def test_zone_index_rebuilt_when_zones_change(self, frame, signing_key,
+                                                  other_key, zone):
+        encryption_key = other_key
+        zones = [zone]
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: list(zones))
+        submission = self.make_submission(frame, signing_key, encryption_key)
+        engine.audit_batch([submission])
+        zones.append(NoFlyZone(frame.origin.lat, frame.origin.lon, 5.0))
+        engine.audit_batch([submission])
+        assert engine.zone_index_builds == 2
+        assert engine.zone_index_hits == 0
+
+    def test_zone_index_stats_shared_across_batches(self, frame, signing_key,
+                                                    other_key, zone):
+        encryption_key = other_key
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone])
+        submission = self.make_submission(frame, signing_key, encryption_key)
+        engine.audit_batch([submission])
+        after_first = engine.zone_index_stats.queries
+        assert after_first > 0
+        engine.audit_batch([submission])
+        assert engine.zone_index_stats.queries > after_first
+
     def test_batch_audited_event_recorded(self, frame, signing_key,
                                           other_key, zone):
         encryption_key = other_key

@@ -1,0 +1,107 @@
+"""Tests for repro.workloads.national: the NFZ-scale synthetic workload."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.geodesy import LocalFrame
+from repro.workloads.national import (
+    DEFAULT_ORIGIN,
+    build_national_scenario,
+    build_national_zone_field,
+)
+
+
+@pytest.fixture(scope="module")
+def national_frame():
+    return LocalFrame(DEFAULT_ORIGIN)
+
+
+@pytest.fixture(scope="module")
+def field(national_frame):
+    return build_national_zone_field(300, national_frame, seed=1,
+                                     corridor_length_m=5_000.0)
+
+
+class TestZoneField:
+    def test_requested_count(self, field):
+        assert len(field) == 300
+
+    def test_zones_do_not_overlap(self, field, national_frame):
+        circles = [zone.to_circle(national_frame) for zone in field]
+        cell = 300.0
+        buckets = {}
+        for i, c in enumerate(circles):
+            buckets.setdefault((int(c.x // cell), int(c.y // cell)),
+                               []).append(i)
+        for (bx, by), members in buckets.items():
+            neighbours = [j for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+                          for j in buckets.get((bx + dx, by + dy), [])]
+            for i in members:
+                for j in neighbours:
+                    if j <= i:
+                        continue
+                    a, b = circles[i], circles[j]
+                    gap = math.hypot(a.x - b.x, a.y - b.y) - a.r - b.r
+                    # 10 m placement gap, small tolerance for the
+                    # geo round-trip through zone centres.
+                    assert gap > 9.0, f"zones {i} and {j} overlap"
+
+    def test_corridor_clearance_guaranteed(self, field, national_frame):
+        for zone in field:
+            circle = zone.to_circle(national_frame)
+            assert abs(circle.y) - circle.r >= 60.0 - 1e-3
+
+    def test_deterministic_per_seed(self, national_frame):
+        kwargs = dict(seed=4, corridor_length_m=2_000.0)
+        first = build_national_zone_field(50, national_frame, **kwargs)
+        second = build_national_zone_field(50, national_frame, **kwargs)
+        assert first == second
+        different = build_national_zone_field(50, national_frame, seed=5,
+                                              corridor_length_m=2_000.0)
+        assert first != different
+
+    def test_zero_zones(self, national_frame):
+        assert build_national_zone_field(0, national_frame) == []
+
+    def test_invalid_parameters_rejected(self, national_frame):
+        with pytest.raises(ConfigurationError):
+            build_national_zone_field(-1, national_frame)
+        with pytest.raises(ConfigurationError):
+            build_national_zone_field(10, national_frame,
+                                      zone_radius_range=(50.0, 20.0))
+
+    def test_impossible_packing_raises(self, national_frame):
+        # A placement gap wider than the whole band blocks every draw
+        # after the first zone; the builder must fail loudly within its
+        # attempt budget, not loop forever.
+        with pytest.raises(ConfigurationError):
+            build_national_zone_field(
+                50, national_frame, seed=0,
+                corridor_length_m=100.0,
+                zone_radius_range=(1.0, 1.0),
+                gap_m=50_000.0,
+                max_attempts_per_zone=3)
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_national_scenario(seed=2, n_zones=150,
+                                       corridor_length_m=3_000.0)
+
+    def test_shape(self, scenario):
+        assert scenario.name == "national-150"
+        assert len(scenario.zones) == 150
+        assert scenario.t_end > scenario.t_start
+
+    def test_flight_is_compliant_by_construction(self, scenario):
+        """The centerline trajectory keeps every zone's clearance."""
+        circles = [zone.to_circle(scenario.frame) for zone in scenario.zones]
+        t = scenario.t_start
+        while t <= scenario.t_end:
+            x, y = scenario.source.position_at(t)
+            for circle in circles:
+                assert circle.distance_to_boundary((x, y)) > 0.0
+            t += 5.0
