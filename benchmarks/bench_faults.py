@@ -1,0 +1,201 @@
+"""Fault subsystem: recovery latency vs. loss, and the disabled cost.
+
+Two questions the ``repro.faults`` subsystem must answer quantitatively:
+
+* **recovery latency** — how much *virtual* time the streaming protocol
+  needs after flight end to converge (every entry acknowledged, the
+  auditor's copy gap-free) as injected symmetric link loss sweeps
+  0% → 30% (the liveness ceiling the chaos harness enforces);
+* **disabled-injector overhead** — what attaching an injector with an
+  *empty* plan costs on the hot send path.  The no-injector path is a
+  single ``is not None`` test; the empty-plan path adds one
+  ``injector.active(point)`` set lookup per send.  As with the tracer
+  benchmark, the primary acceptance is analytic: per-check cost × checks
+  per run, expressed as a fraction of the run's wall time, must stay
+  under the 2% budget.  An interleaved A/B wall-time measurement is
+  reported alongside for context (it is noisy at this scale).
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_faults.py``) or
+under pytest via ``test_faults``, which asserts convergence at every loss
+rate and the disabled-cost budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from _emit import write_bench_json
+from repro.core.poa import EncryptedPoaRecord
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.net.link import SimulatedLink
+from repro.net.streaming import StreamingAuditorEndpoint, StreamingUploader
+
+LOSS_RATES = (0.0, 0.1, 0.2, 0.3)
+DISABLED_BUDGET = 0.02  # acceptance: empty-plan injector cost < 2%
+
+
+def _record(i: int) -> EncryptedPoaRecord:
+    return EncryptedPoaRecord(ciphertext=bytes([i % 256]) * 64,
+                              signature=bytes([(255 - i) % 256]) * 64)
+
+
+def _make_injector(loss_rate: float, seed: int) -> FaultInjector:
+    rules = ()
+    if loss_rate > 0:
+        rules = (
+            FaultRule("link.uplink.send", "drop", probability=loss_rate),
+            FaultRule("link.downlink.send", "drop", probability=loss_rate),
+        )
+    return FaultInjector(FaultPlan(f"loss-{loss_rate:g}", rules, seed=seed))
+
+
+def stream_run(injector: FaultInjector | None, *, entries: int = 150,
+               seed: int = 0, budget_s: float = 600.0) -> dict:
+    """One virtual streamed flight; returns convergence measurements."""
+    uplink = SimulatedLink(latency_s=0.02, jitter_s=0.0, seed=seed,
+                           injector=injector, fault_point="link.uplink")
+    downlink = SimulatedLink(latency_s=0.02, jitter_s=0.0, seed=seed + 1,
+                             injector=injector,
+                             fault_point="link.downlink")
+    uploader = StreamingUploader(uplink, downlink, "bench-flight",
+                                 retransmit_timeout_s=0.3, outbox_limit=64)
+    endpoint = StreamingAuditorEndpoint(uplink, downlink)
+
+    t = 0.0
+    uploader.begin_flight(t)
+    for i in range(entries):
+        t = (i + 1) * 0.2
+        uploader.push(_record(i), t)
+        endpoint.poll(t + 0.05)
+        uploader.poll(t + 0.1)
+    flight_end = t
+    # Re-announce FLIGHT_END every virtual second until the auditor
+    # confirms: the close frame is as loss-exposed as any entry.
+    announced_at = -1.0
+    while (t < flight_end + budget_s
+           and not (endpoint.complete and uploader.fully_acked)):
+        if t - announced_at >= 1.0:
+            uploader.end_flight(t)
+            announced_at = t
+        t += 0.1
+        endpoint.poll(t)
+        uploader.poll(t)
+    return {
+        "converged": bool(endpoint.complete and uploader.fully_acked),
+        "recovery_latency_s": t - flight_end,
+        "retransmissions": uploader.stats.retransmissions,
+        "duplicate_frames": endpoint.duplicate_frames,
+        "sends": uplink.stats.sent + downlink.stats.sent,
+    }
+
+
+def active_check_cost(iterations: int = 200_000) -> float:
+    """Seconds per ``injector.active(point)`` check with an empty plan."""
+    injector = FaultInjector(FaultPlan("baseline"))
+    start = time.perf_counter()
+    for _ in range(iterations):
+        injector.active("link.uplink.send")
+    return (time.perf_counter() - start) / iterations
+
+
+def run_ab(entries: int, repetitions: int) -> tuple[float, float, int]:
+    """Best wall time without vs. with an empty-plan injector."""
+    best_none = best_empty = float("inf")
+    sends = 0
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = stream_run(None, entries=entries)
+        best_none = min(best_none, time.perf_counter() - start)
+        sends = result["sends"]
+
+        start = time.perf_counter()
+        stream_run(FaultInjector(FaultPlan("baseline")), entries=entries)
+        best_empty = min(best_empty, time.perf_counter() - start)
+    return best_none, best_empty, sends
+
+
+def run_benchmark(entries: int = 150, repetitions: int = 5,
+                  seed: int = 0) -> tuple[str, dict]:
+    rows = []
+    for loss in LOSS_RATES:
+        injector = _make_injector(loss, seed) if loss > 0 else None
+        result = stream_run(injector, entries=entries, seed=seed)
+        rows.append({"loss_rate": loss, **result})
+
+    per_check = active_check_cost()
+    best_none, best_empty, sends = run_ab(entries, repetitions)
+    est_disabled = per_check * sends / best_none
+    measured = best_empty / best_none - 1.0
+
+    lines = [
+        f"Fault subsystem — {entries} streamed entries, RTO 0.3 s "
+        f"(A/B best of {repetitions}, interleaved)",
+        "",
+        "loss    recovery    rexmit    dup frames",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['loss_rate']:>4.0%}   {row['recovery_latency_s']:>6.1f} s"
+            f"   {row['retransmissions']:>6d}    {row['duplicate_frames']:>6d}"
+            + ("" if row["converged"] else "   DID NOT CONVERGE"))
+    lines += [
+        "",
+        f"empty-plan active() check     : {per_check * 1e9:,.0f} ns",
+        f"injector checks per run       : {sends}",
+        f"run wall, no injector         : {best_none * 1e3:.2f} ms",
+        f"run wall, empty-plan injector : {best_empty * 1e3:.2f} ms",
+        "",
+        f"disabled overhead (estimated) : {est_disabled:.4%} "
+        f"(budget {DISABLED_BUDGET:.0%})",
+        f"disabled overhead (measured)  : {measured:+.2%}",
+    ]
+    payload = {
+        "benchmark": "faults",
+        "config": {"entries": entries, "repetitions": repetitions,
+                   "seed": seed, "loss_rates": list(LOSS_RATES),
+                   "retransmit_timeout_s": 0.3},
+        "recovery": rows,
+        "active_check_cost_ns": per_check * 1e9,
+        "checks_per_run": sends,
+        "run_wall_no_injector_s": best_none,
+        "run_wall_empty_injector_s": best_empty,
+        "disabled_overhead_estimated": est_disabled,
+        "disabled_overhead_budget": DISABLED_BUDGET,
+        "disabled_overhead_measured": measured,
+    }
+    return "\n".join(lines), payload
+
+
+def test_faults(emit):
+    """Pytest entry point: convergence at every loss rate, cost in budget."""
+    text, payload = run_benchmark(repetitions=3)
+    emit(text)
+    write_bench_json("faults", payload)
+    assert all(row["converged"] for row in payload["recovery"])
+    # Repair work grows with loss (recovery latency itself is seed-noisy
+    # at this size: it hinges on whether the *final* frames dropped).
+    rexmits = [row["retransmissions"] for row in payload["recovery"]]
+    assert rexmits[0] == 0
+    assert rexmits == sorted(rexmits) and rexmits[-1] > 0
+    assert payload["disabled_overhead_estimated"] < DISABLED_BUDGET
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--entries", type=int, default=150)
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    text, payload = run_benchmark(entries=args.entries,
+                                  repetitions=args.repetitions,
+                                  seed=args.seed)
+    print(text)
+    path = write_bench_json("faults", payload)
+    print(f"\nmachine-readable result -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

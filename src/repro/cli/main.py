@@ -286,6 +286,65 @@ def _cmd_audit_batch(args: argparse.Namespace) -> int:
     return 0 if accepted == result.batch_size else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_matrix
+    from repro.faults.plan import builtin_plans
+    from repro.workloads import build_random_scenario, build_violation_scenario
+
+    available = builtin_plans(args.seed)
+    if args.plans:
+        unknown = [name for name in args.plans if name not in available]
+        if unknown:
+            print(f"alidrone: unknown fault plan(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(sorted(available))}",
+                  file=sys.stderr)
+            return 2
+        plans = [available[name] for name in args.plans]
+    else:
+        plans = list(available.values())
+
+    scenarios = []
+    for name in args.scenarios:
+        if name == "compliant":
+            scenarios.append((build_random_scenario(
+                seed=args.seed, n_zones=args.zones), False))
+        else:
+            scenarios.append((build_violation_scenario(seed=args.seed), True))
+
+    report = run_matrix(scenarios, plans, seed=args.seed,
+                        key_bits=args.chaos_key_bits,
+                        liveness_budget_s=args.budget_s)
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"chaos report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"chaos: {len(report.cells)} cells "
+              f"({len(scenarios)} scenario(s) x {len(plans)} plan(s))")
+        for cell in report.cells:
+            flags = []
+            if cell.violation:
+                flags.append("violation")
+            if cell.degraded_decisions:
+                flags.append(f"degraded x{cell.degraded_decisions}")
+            if cell.retransmissions:
+                flags.append(f"rexmit x{cell.retransmissions}")
+            note = f"  [{', '.join(flags)}]" if flags else ""
+            print(f"  {cell.scenario:<16} {cell.plan:<15} "
+                  f"{cell.status:<15} "
+                  f"recov {cell.recovery_latency_s:6.2f}s{note}")
+        inv = payload["invariants"]
+        print(f"  false accepts     : {len(inv['false_accepts'])}")
+        print(f"  liveness failures : {len(inv['liveness_failures'])}")
+        print(f"  no-op path same   : {inv['noop_path_identical']}")
+        print(f"  verdict           : {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import (
         build_airport_scenario,
@@ -400,6 +459,29 @@ def build_parser() -> argparse.ArgumentParser:
     audit_batch.add_argument("--trace", metavar="PATH", default=None,
                              help="write the audit span trace (JSONL)")
     audit_batch.set_defaults(handler=_cmd_audit_batch)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-matrix sweep with safety/liveness invariant checks")
+    chaos.add_argument("--scenarios", nargs="+",
+                       choices=("compliant", "violation"),
+                       default=["compliant", "violation"],
+                       help="scenario kinds to sweep (default: both)")
+    chaos.add_argument("--plans", nargs="+", default=None, metavar="PLAN",
+                       help="fault plans to run (default: all builtin)")
+    chaos.add_argument("--zones", type=int, default=6,
+                       help="zones in the compliant scenario (default 6)")
+    chaos.add_argument("--chaos-key-bits", type=int, default=512,
+                       choices=(512, 1024, 2048),
+                       help="key size for chaos runs (default 512: the "
+                            "matrix provisions a device per cell)")
+    chaos.add_argument("--budget-s", type=float, default=300.0,
+                       help="virtual-time liveness budget per cell")
+    chaos.add_argument("--out", metavar="PATH", default=None,
+                       help="write the chaos report as JSON")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the report as JSON instead of prose")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     export = sub.add_parser("export",
                             help="dump a scenario as GeoJSON")

@@ -75,6 +75,9 @@ class SamplerStats:
     auth_samples: int = 0
     late_samples: int = 0
     iterations: int = 0
+    #: Sampling decisions taken with a dropout-inflated safety margin
+    #: (degraded mode only; always 0 with degraded mode off).
+    degraded_decisions: int = 0
     start_time: float = 0.0
     end_time: float = 0.0
     sample_times: list[float] = field(default_factory=list)
@@ -140,22 +143,47 @@ class AdaptiveSampler(_SamplerBase):
             way (the index's cutoff contract returns the bit-identical
             minimum whenever it is at or below the decision threshold);
             only the per-update cost changes.
+        degraded_mode: grow the condition-(3) safety margin conservatively
+            across GPS dropout gaps.  The baseline margin assumes the next
+            receiver update arrives within ``margin_updates / R``; during
+            a dropout burst the next *surviving* fix can be far later, and
+            a pair that looked safely distant can shoot past condition (2)
+            before the sampler gets another chance.  In degraded mode the
+            sampler tracks the observed inter-fix gap (decaying estimate)
+            and, while it exceeds ``degraded_threshold_updates`` periods,
+            substitutes ``margin_updates * gap`` for the margin — the
+            possible-travel range the trigger guards against grows with
+            the outage.  The inflated margin is never *smaller* than the
+            baseline, so the trigger fires at least as early: dropouts can
+            only add samples, never weaken safety.  Off by default; the
+            no-fault decision sequence is unchanged even when on (the gap
+            estimate only exceeds the threshold after a real dropout).
+        degraded_threshold_updates: observed-gap threshold, in receiver
+            update periods, past which the margin inflates.
     """
 
     def __init__(self, zones: Sequence[NoFlyZone], frame: LocalFrame,
                  vmax_mps: float = FAA_MAX_SPEED_MPS,
                  gps_rate_hz: float = 5.0,
                  margin_updates: float = 2.0,
-                 use_index: bool = True):
+                 use_index: bool = True,
+                 degraded_mode: bool = False,
+                 degraded_threshold_updates: float = 2.5):
         if gps_rate_hz <= 0:
             raise ConfigurationError("gps_rate_hz must be positive")
         if margin_updates < 0:
             raise ConfigurationError("margin_updates must be non-negative")
+        if degraded_threshold_updates < 1.0:
+            raise ConfigurationError(
+                "degraded_threshold_updates must be >= 1 (a gap of one "
+                "period is the healthy case)")
         self.zones = list(zones)
         self.frame = frame
         self.vmax_mps = float(vmax_mps)
         self.gps_rate_hz = float(gps_rate_hz)
         self.margin_updates = float(margin_updates)
+        self.degraded_mode = bool(degraded_mode)
+        self.degraded_threshold_updates = float(degraded_threshold_updates)
         self._circles: list[Circle] = [z.to_circle(frame) for z in self.zones]
         self._index: ZoneProximityIndex | None = (
             ZoneProximityIndex.from_circles(self._circles)
@@ -204,6 +232,10 @@ class AdaptiveSampler(_SamplerBase):
         last = self._take_auth_sample(harness, poa, stats, events)
 
         margin = self.margin_updates / self.gps_rate_hz
+        period = 1.0 / self.gps_rate_hz
+        last_fix_t = last.t       # newest fix seen (degraded-gap tracking)
+        gap_estimate = period     # decaying estimate of the inter-fix gap
+        was_degraded = False
         while True:
             next_update = harness.next_update_after(harness.now())
             if next_update > t_end:
@@ -221,13 +253,32 @@ class AdaptiveSampler(_SamplerBase):
             if current is None or current.t <= last.t:
                 continue  # missed update: register still holds the old fix
             dt = current.t - last.t
+            margin_used = margin
+            if self.degraded_mode:
+                if current.t > last_fix_t:
+                    observed_gap = current.t - last_fix_t
+                    last_fix_t = current.t
+                    # Remember the worst recent gap, decaying by half per
+                    # surviving fix so the margin relaxes after recovery.
+                    gap_estimate = max(observed_gap, 0.5 * gap_estimate,
+                                       period)
+                if gap_estimate > self.degraded_threshold_updates * period:
+                    margin_used = max(margin,
+                                      self.margin_updates * gap_estimate)
+                    stats.degraded_decisions += 1
+                    if not was_degraded:
+                        events.record(harness.now(), "degraded_margin",
+                                      gap=gap_estimate, margin=margin_used)
+                    was_degraded = True
+                else:
+                    was_degraded = False
             pair_distance = self._min_pair_distance(
                 last.local_position(self.frame),
                 current.local_position(self.frame),
-                cutoff_m=self.vmax_mps * (dt + margin))
+                cutoff_m=self.vmax_mps * (dt + margin_used))
             if pair_distance is None:
                 continue  # no zones: the initial sample alone is the alibi
-            if pair_distance > self.vmax_mps * (dt + margin):
+            if pair_distance > self.vmax_mps * (dt + margin_used):
                 continue  # condition (3) false: next update stays sufficient
             if pair_distance < self.vmax_mps * dt:
                 # Condition (2) already violated: the running pair is

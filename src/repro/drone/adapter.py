@@ -18,6 +18,7 @@ from repro.core.poa import EncryptedPoaRecord, ProofOfAlibi, SignedSample, encry
 from repro.core.samples import GpsSample
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import TeeError
+from repro.faults.retry import RetryPolicy, RetryStats, execute_with_retry
 from repro.gps.receiver import SimulatedGpsReceiver
 from repro.obs.trace import get_tracer
 from repro.sim.clock import SimClock
@@ -29,11 +30,22 @@ class Adapter:
     """Normal-world daemon wiring receiver, TEE client, and virtual clock."""
 
     def __init__(self, device: TrustZoneDevice, receiver: SimulatedGpsReceiver,
-                 clock: SimClock, hash_name: str = "sha1"):
+                 clock: SimClock, hash_name: str = "sha1",
+                 retry_policy: RetryPolicy | None = None,
+                 retry_rng: random.Random | None = None,
+                 retry_stats: RetryStats | None = None):
         self.device = device
         self.receiver = receiver
         self.clock = clock
         self.hash_name = hash_name
+        #: Retry discipline for transient TEE entry failures (busy secure
+        #: world); None = single attempt, the historical behaviour.  Each
+        #: failed attempt consumes virtual time, so the retried sample is
+        #: taken at a (slightly) later instant — exactly what real
+        #: hardware would produce.
+        self.retry_policy = retry_policy
+        self.retry_stats = retry_stats
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random(0)
         self._session_id: int | None = None
 
     # --- TEE session management ------------------------------------------
@@ -81,8 +93,12 @@ class Adapter:
         if self._session_id is None:
             raise TeeError("Adapter not started: no TA session open")
         with get_tracer().span("drone.adapter.get_gps_auth"):
-            output = self.device.client.invoke(self._session_id,
-                                               CMD_GET_GPS_AUTH)
+            output = execute_with_retry(
+                lambda: self.device.client.invoke(self._session_id,
+                                                  CMD_GET_GPS_AUTH),
+                clock=self.clock, policy=self.retry_policy,
+                rng=self._retry_rng, stats=self.retry_stats,
+                operation="get_gps_auth")
         return SignedSample.from_ta_output(output)
 
     # --- PoA persistence -------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 from repro.drone.adapter import Adapter
 from repro.drone.flightplan import FlightPlan
 from repro.errors import ProtocolError
+from repro.faults.retry import RetryPolicy, RetryStats, execute_with_retry
 from repro.geo.geodesy import LocalFrame
 from repro.obs.trace import get_tracer
 from repro.gps.receiver import SimulatedGpsReceiver
@@ -81,7 +82,10 @@ class AliDroneClient:
                  operator_name: str = "",
                  vmax_mps: float = FAA_MAX_SPEED_MPS,
                  hash_name: str = "sha1",
-                 rng: random.Random | None = None):
+                 rng: random.Random | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 tee_retry_policy: RetryPolicy | None = None,
+                 retry_rng: random.Random | None = None):
         self.device = device
         self.receiver = receiver
         self.clock = clock
@@ -91,10 +95,27 @@ class AliDroneClient:
         self.operator_name = operator_name
         self.vmax_mps = float(vmax_mps)
         self.hash_name = hash_name
-        self.adapter = Adapter(device, receiver, clock, hash_name=hash_name)
+        #: Retry discipline for Auditor calls (None = single bare attempt,
+        #: the historical behaviour).  Transient failures back off with
+        #: decorrelated jitter on the *virtual* clock.
+        self.retry_policy = retry_policy
+        self.retry_stats = RetryStats()
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random(0)
+        self.adapter = Adapter(device, receiver, clock, hash_name=hash_name,
+                               retry_policy=tee_retry_policy,
+                               retry_rng=self._retry_rng,
+                               retry_stats=self.retry_stats)
         self.drone_id: str | None = None
         self._known_zones: list[NoFlyZone] = []
         self._flight_counter = 0
+
+    def _with_retries(self, fn, operation: str):
+        """Run one Auditor call under the client's retry policy."""
+        return execute_with_retry(fn, clock=self.clock,
+                                  policy=self.retry_policy,
+                                  rng=self._retry_rng,
+                                  stats=self.retry_stats,
+                                  operation=operation)
 
     @property
     def operator_public_key(self) -> RsaPublicKey:
@@ -109,31 +130,48 @@ class AliDroneClient:
     # --- protocol steps -----------------------------------------------------
 
     def register(self, auditor: AuditorInterface) -> str:
-        """Step 0: register ``D+`` and ``T+``; stores the issued id."""
+        """Step 0: register ``D+`` and ``T+``; stores the issued id.
+
+        Retried under :attr:`retry_policy` when the Auditor fails
+        transiently; safe because an unavailable Auditor rejects the
+        request before creating the registration record.
+        """
         request = DroneRegistrationRequest(
             operator_public_key=self.operator_public_key,
             tee_public_key=self.device.tee_public_key,
             operator_name=self.operator_name,
             quote=self.device.quote)
-        self.drone_id = auditor.register_drone(request)
+        self.drone_id = self._with_retries(
+            lambda: auditor.register_drone(request), "register")
         return self.drone_id
 
     def query_zones(self, auditor: AuditorInterface,
                     plan: FlightPlan) -> list[NoFlyZone]:
-        """Steps 2-3: fetch NFZs intersecting the plan's rectangle."""
+        """Steps 2-3: fetch NFZs intersecting the plan's rectangle.
+
+        Each retry attempt builds a *fresh* signed query: the nonce is
+        single-use on the server (replay protection), so re-sending the
+        original message would be indistinguishable from a replay attack
+        if the first attempt was actually processed.
+        """
         if self.drone_id is None:
             raise ProtocolError("drone is not registered with the Auditor")
         corner_a, corner_b = plan.query_rectangle(self.frame)
-        query = ZoneQuery.create(self.drone_id, corner_a, corner_b,
-                                 self.operator_key, rng=self.rng)
-        response = auditor.handle_zone_query(query)
+
+        def attempt() -> ZoneResponse:
+            query = ZoneQuery.create(self.drone_id, corner_a, corner_b,
+                                     self.operator_key, rng=self.rng)
+            return auditor.handle_zone_query(query)
+
+        response = self._with_retries(attempt, "query_zones")
         self._known_zones = response.zone_list
         return self.known_zones
 
     def fly(self, t_end: float, policy: str = "adaptive",
             fixed_rate_hz: float | None = None,
             zones: Sequence[NoFlyZone] | None = None,
-            margin_updates: float = 2.0) -> FlightRecord:
+            margin_updates: float = 2.0,
+            degraded_mode: bool = False) -> FlightRecord:
         """Run one flight's sampling loop until virtual time ``t_end``.
 
         Args:
@@ -142,13 +180,16 @@ class AliDroneClient:
             fixed_rate_hz: required when ``policy == "fixed"``.
             zones: override the zone list (defaults to the last response).
             margin_updates: adaptive safety margin (see the sampler).
+            degraded_mode: adaptive policy only — grow the safety margin
+                conservatively across GPS dropout gaps (see the sampler).
         """
         zone_list = list(zones) if zones is not None else self._known_zones
         if policy == "adaptive":
             sampler = AdaptiveSampler(zone_list, self.frame,
                                       vmax_mps=self.vmax_mps,
                                       gps_rate_hz=self.receiver.update_rate_hz,
-                                      margin_updates=margin_updates)
+                                      margin_updates=margin_updates,
+                                      degraded_mode=degraded_mode)
             policy_name = "adaptive"
         elif policy == "fixed":
             if fixed_rate_hz is None:
@@ -189,9 +230,16 @@ class AliDroneClient:
                              claimed_end=stats.end_time)
 
     def submit_poa(self, auditor, record: FlightRecord):
-        """Convenience: encrypt and submit in one call; returns the report."""
+        """Convenience: encrypt and submit in one call; returns the report.
+
+        Retried under :attr:`retry_policy`.  The submission object is
+        reused across attempts — intake is idempotent from the drone's
+        side (the server either processed it or raised before any state
+        changed), and re-encrypting would cost a full crypto pass.
+        """
         submission = self.build_submission(record, auditor.public_encryption_key)
-        return auditor.receive_poa(submission)
+        return self._with_retries(
+            lambda: auditor.receive_poa(submission), "submit_poa")
 
     def archive_flight(self, vault, record: FlightRecord,
                        auditor_public_key: RsaPublicKey):

@@ -95,3 +95,24 @@ class InsufficientAlibiError(VerificationError):
 
 class SimulationError(AliDroneError):
     """The simulation kernel was driven incorrectly (e.g. time going back)."""
+
+
+class TransientError(AliDroneError):
+    """A failure expected to clear on its own — the retry layer's contract.
+
+    :mod:`repro.faults.retry` retries exactly this family by default;
+    everything else (bad signatures, malformed messages, configuration
+    mistakes) is permanent and propagates on the first attempt.
+    """
+
+
+class ServiceUnavailableError(TransientError):
+    """The Auditor service could not take the request right now."""
+
+
+class LinkTimeoutError(TransientError):
+    """A network operation did not complete within its attempt timeout."""
+
+
+class TeeTransientError(TeeError, TransientError):
+    """A TEE entry (SMC/TA dispatch) failed transiently; retry may succeed."""

@@ -1,0 +1,63 @@
+"""``repro.faults`` — deterministic fault injection and resilience.
+
+Two halves:
+
+* **Injection** — :class:`FaultPlan` / :class:`FaultInjector`: seeded,
+  scoped fault rules (message drop/duplicate/corrupt/delay/reorder, GPS
+  dropout bursts and fix degradation, transient TEE and Auditor failures,
+  clock skew) executed at named injection points the production
+  boundaries expose.  Injectors are opt-in: with none attached every
+  boundary runs its original code path.
+* **Resilience** — :class:`RetryPolicy` / :func:`execute_with_retry`
+  (exponential backoff + decorrelated jitter on the virtual clock), the
+  bounded streaming outbox (:mod:`repro.net.streaming`), and degraded-mode
+  adaptive sampling (:mod:`repro.core.sampling`).
+
+The :mod:`repro.faults.chaos` harness sweeps scenario × fault-plan
+matrices and checks the protocol invariants (no false accepts, liveness
+under bounded loss).  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, LinkDelivery
+from repro.faults.plan import (
+    ALL_ACTIONS,
+    FaultPlan,
+    FaultRule,
+    builtin_plans,
+)
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RetryStats,
+    execute_with_retry,
+)
+
+__all__ = [
+    "ALL_ACTIONS",
+    "ChaosCell",
+    "ChaosReport",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "LinkDelivery",
+    "RetryPolicy",
+    "RetryStats",
+    "builtin_plans",
+    "execute_with_retry",
+    "run_cell",
+    "run_matrix",
+]
+
+_CHAOS_EXPORTS = ("ChaosCell", "ChaosReport", "run_cell", "run_matrix")
+
+
+def __getattr__(name: str):
+    # The chaos harness imports the drone client and server — which
+    # themselves import repro.faults.retry — so loading it eagerly here
+    # would be a circular import.  Resolve its exports lazily instead.
+    if name in _CHAOS_EXPORTS:
+        from repro.faults import chaos
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,231 @@
+"""Deterministic fault injection at named production boundaries.
+
+The :class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`
+against the injection points the production code exposes.  Boundaries stay
+fault-agnostic: each one holds an optional injector reference (``None`` by
+default) and, when present, asks it one question at its hot point —
+
+* links: :meth:`FaultInjector.link_deliveries` — how many copies of this
+  message arrive, with what extra delay, possibly corrupted;
+* the GPS receiver: :meth:`FaultInjector.gps_update` — is this hardware
+  update suppressed, and with what extra position error;
+* the TEE monitor / Auditor endpoints: :meth:`FaultInjector.maybe_fail` —
+  does this call fail transiently;
+* clocks: :meth:`FaultInjector.clock_skew` — additive skew in seconds.
+
+Determinism: each rule owns an independent ``random.Random`` stream seeded
+from ``(plan.seed, rule index, point, action)`` via the string constructor
+(stable across processes, unlike ``hash``).  Decisions at one point can
+therefore never perturb decisions at another, and re-running a plan over
+the same traffic replays bit-identically.
+
+Fault windows in plans are *relative to the scenario start*: the injector
+adds its ``t0`` offset before matching, so the same canned plan works at
+any epoch.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError, TransientError
+from repro.faults.plan import (
+    CLOCK_ACTIONS,
+    FAIL_ACTIONS,
+    GPS_ACTIONS,
+    LINK_ACTIONS,
+    FaultPlan,
+    FaultRule,
+)
+
+
+@dataclass
+class FaultStats:
+    """Counters of what the injector actually did, for the ``fault.*``
+    metrics adapter and chaos reports."""
+
+    #: ``"{point}.{action}" -> times fired``.
+    injected: Counter = field(default_factory=Counter)
+    #: Opportunities seen per point (fired or not).
+    opportunities: Counter = field(default_factory=Counter)
+
+    @property
+    def total_injected(self) -> int:
+        """Every fault actually injected, across all points."""
+        return sum(self.injected.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {"total_injected": self.total_injected,
+                "injected": dict(sorted(self.injected.items())),
+                "opportunities": dict(sorted(self.opportunities.items()))}
+
+
+@dataclass
+class LinkDelivery:
+    """One scheduled copy of a message after fault processing."""
+
+    payload: bytes
+    extra_delay_s: float = 0.0
+
+
+class FaultInjector:
+    """Executes a fault plan; one instance is shared across all boundaries
+    of a run so ``stats`` aggregates the whole story.
+
+    Args:
+        plan: the fault plan to execute.
+        t0: virtual time the plan's relative windows are anchored at.
+        now_fn: optional clock for boundaries that have none of their own
+            (the TEE monitor); boundaries that know virtual time pass it
+            explicitly instead.
+    """
+
+    def __init__(self, plan: FaultPlan, t0: float = 0.0,
+                 now_fn: Callable[[], float] | None = None):
+        self.plan = plan
+        self.t0 = float(t0)
+        self.now_fn = now_fn
+        self.stats = FaultStats()
+        self._rules_by_point: dict[str, list[tuple[FaultRule, random.Random]]] = {}
+        self._fired: Counter = Counter()
+        for index, rule in enumerate(plan.rules):
+            rng = random.Random(
+                f"{plan.seed}:{index}:{rule.point}:{rule.action}")
+            self._rules_by_point.setdefault(rule.point, []).append((rule, rng))
+
+    # --- shared machinery -------------------------------------------------
+
+    def active(self, point: str) -> bool:
+        """Whether any rule targets ``point`` (the boundaries' cheap guard)."""
+        return point in self._rules_by_point
+
+    def _now(self, now: float | None) -> float | None:
+        if now is not None:
+            return now
+        return self.now_fn() if self.now_fn is not None else None
+
+    def _fires(self, point: str, rule: FaultRule, rng: random.Random,
+               now: float | None) -> bool:
+        """One rule's fire/no-fire decision for one opportunity.
+
+        The RNG is drawn whenever the rule is armed so the stream position
+        depends only on the armed-opportunity count, not on window timing
+        quirks; ``max_count`` caps are enforced after the draw.
+        """
+        relative = None if now is None else now - self.t0
+        if not rule.in_window(relative):
+            return False
+        if rule.probability < 1.0 and rng.random() >= rule.probability:
+            return False
+        key = (point, id(rule))
+        if rule.max_count is not None and self._fired[key] >= rule.max_count:
+            return False
+        self._fired[key] += 1
+        self.stats.injected[f"{point}.{rule.action}"] += 1
+        return True
+
+    def _matching(self, point: str, actions: tuple[str, ...],
+                  now: float | None):
+        """Armed, fired rules for ``point`` restricted to ``actions``."""
+        self.stats.opportunities[point] += 1
+        now = self._now(now)
+        for rule, rng in self._rules_by_point.get(point, ()):
+            if rule.action not in actions:
+                raise ConfigurationError(
+                    f"rule action {rule.action!r} is not valid at "
+                    f"injection point {point!r}")
+            if self._fires(point, rule, rng, now):
+                yield rule, rng
+
+    # --- link faults ------------------------------------------------------
+
+    def link_deliveries(self, point: str, message: bytes,
+                        now: float | None = None) -> list[LinkDelivery]:
+        """Fault-process one link transmission.
+
+        Returns the copies that actually go on the air: empty on drop, two
+        on duplicate, payload bit-flipped on corrupt, positive
+        ``extra_delay_s`` on delay/reorder.  Multiple rules compose in
+        declaration order (a drop wins over everything downstream).
+        """
+        deliveries = [LinkDelivery(bytes(message))]
+        for rule, rng in self._matching(point, LINK_ACTIONS, now):
+            if rule.action == "drop":
+                return []
+            if rule.action == "duplicate":
+                deliveries = deliveries + [
+                    LinkDelivery(d.payload, d.extra_delay_s)
+                    for d in deliveries]
+            elif rule.action == "corrupt":
+                flips = max(1, int(rule.param))
+                deliveries = [
+                    LinkDelivery(self._corrupt(d.payload, rng, flips),
+                                 d.extra_delay_s)
+                    for d in deliveries]
+            elif rule.action in ("delay", "reorder"):
+                # Reorder is delay applied to a random subset: a delayed
+                # message overtakes nothing, but its successors overtake it.
+                deliveries = [
+                    LinkDelivery(d.payload, d.extra_delay_s + rule.param)
+                    for d in deliveries]
+        return deliveries
+
+    @staticmethod
+    def _corrupt(payload: bytes, rng: random.Random, flips: int) -> bytes:
+        if not payload:
+            return payload
+        corrupted = bytearray(payload)
+        for _ in range(flips):
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+        return bytes(corrupted)
+
+    # --- GPS faults -------------------------------------------------------
+
+    def gps_update(self, point: str, t: float) -> tuple[bool, float, float]:
+        """Fault-process one receiver hardware update at time ``t``.
+
+        Returns ``(suppressed, dx_m, dy_m)``: whether the update is lost
+        (dropout burst) and the extra position error to add (fix-quality
+        degradation).  The error is drawn from the *rule's* RNG stream, so
+        the receiver's own noise stream is untouched and a no-fault run
+        stays bit-identical.
+        """
+        suppressed, dx, dy = False, 0.0, 0.0
+        for rule, rng in self._matching(point, GPS_ACTIONS, t):
+            if rule.action == "dropout":
+                suppressed = True
+            elif rule.action == "degrade" and rule.param > 0:
+                dx += rng.gauss(0.0, rule.param)
+                dy += rng.gauss(0.0, rule.param)
+        return suppressed, dx, dy
+
+    # --- transient call failures -----------------------------------------
+
+    def maybe_fail(self, point: str, now: float | None = None,
+                   error: Callable[[str], TransientError] | None = None,
+                   ) -> None:
+        """Raise a transient error if a ``fail`` rule fires at ``point``.
+
+        ``error`` builds the exception from a message; it defaults to
+        :class:`~repro.errors.TransientError` and lets boundaries raise
+        their own family (``TeeTransientError``, ``ServiceUnavailableError``)
+        so existing ``except`` clauses keep working.
+        """
+        for rule, _ in self._matching(point, FAIL_ACTIONS, now):
+            message = (rule.detail
+                       or f"fault injected at {point} (plan {self.plan.name!r})")
+            raise (error or TransientError)(message)
+
+    # --- clock skew -------------------------------------------------------
+
+    def clock_skew(self, point: str, now: float) -> float:
+        """``now`` as seen through this point's (possibly skewed) clock."""
+        skewed = now
+        for rule, _ in self._matching(point, CLOCK_ACTIONS, now):
+            skewed += rule.param
+        return skewed

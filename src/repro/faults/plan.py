@@ -1,0 +1,227 @@
+"""Declarative fault plans: what to break, where, when, and how often.
+
+A :class:`FaultPlan` is a named, seeded list of :class:`FaultRule`\\ s.  Each
+rule targets one *injection point* — a dotted name a production boundary
+exposes (``link.uplink.send``, ``gps.update``, ``tee.smc``,
+``auditor.receive_poa``, ``auditor.clock``) — and describes one fault
+action with an optional virtual-time window, a firing probability, and a
+cap on how many times it may fire.
+
+Plans are pure data: they carry no randomness of their own.  The
+:class:`~repro.faults.injector.FaultInjector` derives one independent,
+deterministic RNG stream per rule from ``(plan.seed, rule index, point,
+action)``, so decisions at one injection point never perturb another and a
+chaos run replays bit-identically from its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Fault actions understood by the injector, by injection-point family.
+LINK_ACTIONS = ("drop", "duplicate", "corrupt", "delay", "reorder")
+GPS_ACTIONS = ("dropout", "degrade")
+FAIL_ACTIONS = ("fail",)
+CLOCK_ACTIONS = ("skew",)
+ALL_ACTIONS = LINK_ACTIONS + GPS_ACTIONS + FAIL_ACTIONS + CLOCK_ACTIONS
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: ``action`` at ``point`` within a window, with probability.
+
+    Attributes:
+        point: injection-point name the rule applies to (exact match).
+        action: one of :data:`ALL_ACTIONS`.
+        probability: independent chance the rule fires per opportunity.
+        t_start, t_end: virtual-time window (inclusive) the rule is armed
+            in.  Points that cannot supply a clock only match rules whose
+            window is unbounded.
+        param: action parameter — seconds for ``delay``/``reorder``/
+            ``skew``, extra per-axis noise std in metres for ``degrade``,
+            number of corrupted bytes for ``corrupt`` (default 1).
+        max_count: cap on how many times this rule may fire (None =
+            unlimited).  ``fail`` rules with ``max_count=N`` model "the
+            first N calls fail, then the service recovers".
+        detail: free-form note carried into reports.
+    """
+
+    point: str
+    action: str
+    probability: float = 1.0
+    t_start: float = -math.inf
+    t_end: float = math.inf
+    param: float = 0.0
+    max_count: int | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ConfigurationError("fault rule needs an injection point")
+        if self.action not in ALL_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {ALL_ACTIONS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {self.probability}")
+        if self.t_end < self.t_start:
+            raise ConfigurationError("fault window must not be inverted")
+        if self.max_count is not None and self.max_count < 0:
+            raise ConfigurationError("fault max_count must be non-negative")
+        if self.action in ("delay", "reorder") and self.param < 0:
+            raise ConfigurationError(f"{self.action} param must be >= 0 s")
+        if self.action == "degrade" and self.param < 0:
+            raise ConfigurationError("degrade param (noise std) must be >= 0")
+
+    @property
+    def windowed(self) -> bool:
+        """Whether the rule only applies inside a bounded time window."""
+        return self.t_start != -math.inf or self.t_end != math.inf
+
+    def in_window(self, now: float | None) -> bool:
+        """Whether the rule is armed at virtual time ``now``.
+
+        A point that cannot supply a clock passes ``now=None`` and only
+        matches unwindowed rules — a windowed rule silently never firing
+        would make a chaos plan lie about its coverage.
+        """
+        if now is None:
+            return not self.windowed
+        return self.t_start <= now <= self.t_end
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (infinities become None)."""
+        return {
+            "point": self.point,
+            "action": self.action,
+            "probability": self.probability,
+            "t_start": None if self.t_start == -math.inf else self.t_start,
+            "t_end": None if self.t_end == math.inf else self.t_end,
+            "param": self.param,
+            "max_count": self.max_count,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            point=data["point"], action=data["action"],
+            probability=data.get("probability", 1.0),
+            t_start=(-math.inf if data.get("t_start") is None
+                     else data["t_start"]),
+            t_end=(math.inf if data.get("t_end") is None else data["t_end"]),
+            param=data.get("param", 0.0),
+            max_count=data.get("max_count"),
+            detail=data.get("detail", ""))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of fault rules."""
+
+    name: str
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    #: Effective end-to-end message-loss hint used by the chaos harness to
+    #: decide whether the liveness invariant (submission completes under
+    #: <= 30% loss) applies to this plan.
+    expected_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fault plan needs a name")
+        if not 0.0 <= self.expected_loss <= 1.0:
+            raise ConfigurationError("expected_loss must be in [0, 1]")
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def points(self) -> set[str]:
+        """Every injection point the plan touches."""
+        return {rule.point for rule in self.rules}
+
+    def rules_for(self, point: str) -> tuple[FaultRule, ...]:
+        """Rules targeting ``point`` in declaration order."""
+        return tuple(rule for rule in self.rules if rule.point == point)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan re-seeded (for matrix sweeps over seeds)."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, embedded in chaos reports."""
+        return {"name": self.name, "seed": self.seed,
+                "expected_loss": self.expected_loss,
+                "rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=data["name"], seed=data.get("seed", 0),
+                   expected_loss=data.get("expected_loss", 0.0),
+                   rules=tuple(FaultRule.from_dict(r)
+                               for r in data.get("rules", ())))
+
+
+# --- canned plans the chaos harness sweeps -------------------------------
+
+
+def builtin_plans(seed: int = 0) -> dict[str, FaultPlan]:
+    """The standard chaos fault matrix, re-seeded from ``seed``.
+
+    Loss rates stay at or below 30% so the liveness invariant applies to
+    every lossy plan; the ``kitchen_sink`` plan layers every fault family
+    at once and is gated on safety (no false accept) only.
+    """
+    uplink, downlink = "link.uplink.send", "link.downlink.send"
+    plans = [
+        FaultPlan("baseline", (), seed=seed),
+        FaultPlan("lossy10", (
+            FaultRule(uplink, "drop", probability=0.10),
+            FaultRule(downlink, "drop", probability=0.10),
+        ), seed=seed, expected_loss=0.10),
+        FaultPlan("lossy30", (
+            FaultRule(uplink, "drop", probability=0.30),
+            FaultRule(downlink, "drop", probability=0.30),
+        ), seed=seed, expected_loss=0.30),
+        FaultPlan("dup_corrupt", (
+            FaultRule(uplink, "duplicate", probability=0.20),
+            FaultRule(uplink, "corrupt", probability=0.15, param=2),
+            FaultRule(downlink, "duplicate", probability=0.20),
+        ), seed=seed),
+        FaultPlan("reorder", (
+            FaultRule(uplink, "reorder", probability=0.25, param=0.4),
+            FaultRule(downlink, "delay", probability=0.25, param=0.2),
+        ), seed=seed),
+        FaultPlan("gps_burst", (
+            # A mid-flight dropout burst plus degraded fix quality after.
+            FaultRule("gps.update", "dropout", t_start=20.0, t_end=35.0,
+                      detail="mid-flight dropout burst"),
+            FaultRule("gps.update", "degrade", probability=0.5, param=1.5,
+                      t_start=35.0, t_end=80.0),
+        ), seed=seed),
+        FaultPlan("flaky_tee", (
+            FaultRule("tee.smc", "fail", probability=0.25, max_count=8),
+        ), seed=seed),
+        FaultPlan("auditor_outage", (
+            FaultRule("auditor.receive_poa", "fail", max_count=3),
+            FaultRule("auditor.zone_query", "fail", max_count=1),
+        ), seed=seed),
+        FaultPlan("clock_skew", (
+            FaultRule("auditor.clock", "skew", param=45.0),
+        ), seed=seed),
+        FaultPlan("kitchen_sink", (
+            FaultRule(uplink, "drop", probability=0.20),
+            FaultRule(uplink, "duplicate", probability=0.10),
+            FaultRule(uplink, "corrupt", probability=0.10, param=1),
+            FaultRule(downlink, "drop", probability=0.20),
+            FaultRule("gps.update", "dropout", t_start=25.0, t_end=32.0),
+            FaultRule("tee.smc", "fail", probability=0.15, max_count=6),
+            FaultRule("auditor.receive_poa", "fail", max_count=2),
+            FaultRule("auditor.clock", "skew", param=-30.0),
+        ), seed=seed, expected_loss=0.20),
+    ]
+    return {plan.name: plan for plan in plans}

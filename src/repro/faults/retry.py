@@ -1,0 +1,142 @@
+"""Retry with exponential backoff, decorrelated jitter, and virtual time.
+
+Transient failures (:class:`~repro.errors.TransientError`) are retried;
+everything else propagates on the first attempt.  All waiting is *virtual*:
+backoff sleeps and per-attempt timeouts advance the simulation clock, so a
+chaos run's recovery latency is measurable and bit-identical given the
+seed, and no test ever sleeps on the wall clock.
+
+The backoff schedule is decorrelated jitter (Brooker, "Exponential Backoff
+And Jitter"): ``delay = min(cap, uniform(base, previous * 3))``.  Compared
+to plain exponential backoff it decorrelates competing clients without
+giving up the exponential envelope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigurationError, TransientError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a protocol call retries transient failures.
+
+    Attributes:
+        max_attempts: total tries including the first.
+        base_delay_s: backoff floor (first retry waits at least this).
+        max_delay_s: backoff cap.
+        attempt_timeout_s: virtual seconds a *failed* attempt is deemed to
+            have consumed before the failure was observed (the per-attempt
+            timeout); charged to the clock so recovery latency includes
+            waiting on dead services.  ``0`` models instant failures.
+        retry_on: exception family treated as transient.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.5
+    max_delay_s: float = 8.0
+    attempt_timeout_s: float = 0.0
+    retry_on: tuple[type[BaseException], ...] = (TransientError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                "retry delays must satisfy 0 <= base <= max")
+        if self.attempt_timeout_s < 0:
+            raise ConfigurationError("attempt_timeout_s must be >= 0")
+
+    def next_delay(self, previous_delay: float,
+                   rng: random.Random) -> float:
+        """Decorrelated-jitter backoff step after ``previous_delay``."""
+        return min(self.max_delay_s,
+                   rng.uniform(self.base_delay_s, previous_delay * 3.0))
+
+
+#: A conservative default for drone-to-Auditor protocol calls.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class RetryStats:
+    """Counters for the ``retry.*`` metrics adapter."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    giveups: int = 0
+    total_backoff_s: float = 0.0
+    #: Per-operation retry counts, e.g. ``{"submit_poa": 3}``.
+    by_operation: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {"calls": self.calls, "attempts": self.attempts,
+                "retries": self.retries, "recoveries": self.recoveries,
+                "giveups": self.giveups,
+                "total_backoff_s": self.total_backoff_s,
+                "by_operation": dict(sorted(self.by_operation.items()))}
+
+
+def execute_with_retry(fn: Callable[[], T], *, clock,
+                       policy: RetryPolicy | None = None,
+                       rng: random.Random | None = None,
+                       stats: RetryStats | None = None,
+                       operation: str = "call") -> T:
+    """Run ``fn`` under ``policy``, advancing ``clock`` for every wait.
+
+    Args:
+        fn: the zero-argument attempt; re-invoked fresh per try, so
+            callers rebuild non-idempotent material (nonces) inside it.
+        clock: anything with ``advance(dt)`` (a
+            :class:`~repro.sim.clock.SimClock`); receives the per-attempt
+            timeout of each failure and every backoff sleep.
+        policy: retry policy; ``None`` means a single bare attempt.
+        rng: jitter source (defaults to a fresh seeded stream — pass one
+            for end-to-end reproducibility).
+        stats: optional accumulator shared across calls.
+        operation: label for per-operation stats.
+
+    Raises:
+        The last transient error once attempts are exhausted; any
+        non-transient error immediately.
+    """
+    if policy is None:
+        return fn()
+    rng = rng if rng is not None else random.Random(0)
+    previous_delay = policy.base_delay_s
+    if stats is not None:
+        stats.calls += 1
+    for attempt in range(1, policy.max_attempts + 1):
+        if stats is not None:
+            stats.attempts += 1
+        try:
+            result = fn()
+        except policy.retry_on:
+            if policy.attempt_timeout_s > 0:
+                clock.advance(policy.attempt_timeout_s)
+            if attempt >= policy.max_attempts:
+                if stats is not None:
+                    stats.giveups += 1
+                raise
+            delay = policy.next_delay(previous_delay, rng)
+            previous_delay = delay
+            clock.advance(delay)
+            if stats is not None:
+                stats.retries += 1
+                stats.total_backoff_s += delay
+                stats.by_operation[operation] = (
+                    stats.by_operation.get(operation, 0) + 1)
+            continue
+        if stats is not None and attempt > 1:
+            stats.recoveries += 1
+        return result
+    raise AssertionError("unreachable")  # pragma: no cover

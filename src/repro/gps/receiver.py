@@ -49,6 +49,15 @@ class SimulatedGpsReceiver:
             +-40% of the update period so updates stay ordered).
         forced_miss_indices: update indices that are always skipped.
         seed: RNG seed; the receiver is fully deterministic given it.
+        rng: explicit randomness source; overrides ``seed`` so chaos runs
+            can thread one seeded ``random.Random`` end to end.
+        injector: optional :class:`~repro.faults.injector.FaultInjector`
+            consulted once per hardware update at point
+            ``"<fault_point>.update"`` — dropout bursts suppress the
+            update, degradation rules add position error drawn from the
+            injector's own RNG streams (the receiver's noise stream is
+            untouched, so a no-fault run is bit-identical).
+        fault_point: injection-point prefix this receiver reports as.
     """
 
     def __init__(self, source: PositionSource, frame: LocalFrame,
@@ -56,7 +65,8 @@ class SimulatedGpsReceiver:
                  noise_std_m: float = 0.0, miss_probability: float = 0.0,
                  jitter_std_s: float = 0.0,
                  forced_miss_indices: frozenset[int] | set[int] = frozenset(),
-                 seed: int = 0):
+                 seed: int = 0, rng: random.Random | None = None,
+                 injector=None, fault_point: str = "gps"):
         if update_rate_hz <= 0:
             raise ConfigurationError("update_rate_hz must be positive")
         if not 0.0 <= miss_probability < 1.0:
@@ -72,12 +82,16 @@ class SimulatedGpsReceiver:
         self.miss_probability = float(miss_probability)
         self.jitter_std_s = float(jitter_std_s)
         self.forced_miss_indices = frozenset(forced_miss_indices)
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._injector = injector
+        self._update_point = f"{fault_point}.update"
         # Chronological list of (update_time, fix_or_None); None = missed.
         self._schedule: list[tuple[float, GpsFix | None]] = []
         self._next_index = 0
         self.updates_generated = 0
         self.updates_missed = 0
+        #: Updates suppressed by an injected dropout (subset of missed).
+        self.updates_fault_suppressed = 0
 
     # --- schedule construction ------------------------------------------
 
@@ -97,18 +111,30 @@ class SimulatedGpsReceiver:
             missed = (index in self.forced_miss_indices
                       or (self.miss_probability > 0
                           and self._rng.random() < self.miss_probability))
+            fault_dx = fault_dy = 0.0
+            if (self._injector is not None
+                    and self._injector.active(self._update_point)):
+                suppressed, fault_dx, fault_dy = self._injector.gps_update(
+                    self._update_point, t)
+                if suppressed and not missed:
+                    self.updates_fault_suppressed += 1
+                    missed = True
             if missed:
                 self.updates_missed += 1
                 self._schedule.append((t, None))
                 continue
             self.updates_generated += 1
-            self._schedule.append((t, self._measure(t)))
+            self._schedule.append(
+                (t, self._measure(t, fault_dx, fault_dy)))
 
-    def _measure(self, t: float) -> GpsFix:
+    def _measure(self, t: float, fault_dx: float = 0.0,
+                 fault_dy: float = 0.0) -> GpsFix:
         x, y = self.source.position_at(t)
         if self.noise_std_m > 0:
             x += self._rng.gauss(0.0, self.noise_std_m)
             y += self._rng.gauss(0.0, self.noise_std_m)
+        x += fault_dx
+        y += fault_dy
         point = self.frame.to_geo(x, y)
         speed, course = self._velocity_at(t)
         return GpsFix(lat=point.lat, lon=point.lon, time=t,

@@ -3,6 +3,12 @@
 Models the drone-to-ground control channel (paper §II-A: 200-3000 m
 range).  Deterministic given a seed; delivery happens when the receiving
 side polls at a virtual time past the scheduled arrival.
+
+The link is also a named fault-injection point: attach a
+:class:`~repro.faults.injector.FaultInjector` and rules targeting
+``"<fault_point>.send"`` can drop, duplicate, corrupt, delay, or reorder
+messages on top of the link's native loss/jitter.  With no injector
+attached (the default) the code path is unchanged.
 """
 
 from __future__ import annotations
@@ -23,6 +29,10 @@ class LinkStats:
     dropped: int = 0
     delivered: int = 0
     bytes_sent: int = 0
+    #: Drops caused by an attached fault injector (subset of ``dropped``).
+    fault_dropped: int = 0
+    #: Extra copies scheduled by a duplicate fault rule.
+    fault_duplicated: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -40,11 +50,18 @@ class SimulatedLink:
         bandwidth_bps: serialization rate; transmission time is
             ``len(message) * 8 / bandwidth_bps`` and is added to latency.
         seed: RNG seed for loss/jitter.
+        rng: explicit randomness source; overrides ``seed`` so chaos runs
+            can thread one seeded ``random.Random`` end to end.
+        injector: optional fault injector consulted on every send.
+        fault_point: injection-point prefix this link reports as
+            (rules target ``"<fault_point>.send"``).
     """
 
     def __init__(self, latency_s: float = 0.02, jitter_s: float = 0.005,
                  loss_probability: float = 0.0,
-                 bandwidth_bps: float = 1_000_000.0, seed: int = 0):
+                 bandwidth_bps: float = 1_000_000.0, seed: int = 0,
+                 rng: random.Random | None = None,
+                 injector=None, fault_point: str = "link"):
         if latency_s < 0 or jitter_s < 0:
             raise ConfigurationError("latency/jitter must be non-negative")
         if not 0.0 <= loss_probability < 1.0:
@@ -55,7 +72,9 @@ class SimulatedLink:
         self.jitter_s = float(jitter_s)
         self.loss_probability = float(loss_probability)
         self.bandwidth_bps = float(bandwidth_bps)
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._injector = injector
+        self._send_point = f"{fault_point}.send"
         self._in_flight: list[tuple[float, int, bytes]] = []
         self._sequence = itertools.count()
         self.stats = LinkStats()
@@ -78,10 +97,28 @@ class SimulatedLink:
                 and self._rng.random() < self.loss_probability):
             self.stats.dropped += 1
             return air_time
-        arrival = (now + air_time + self.latency_s
-                   + self._rng.uniform(-self.jitter_s, self.jitter_s))
-        heapq.heappush(self._in_flight, (max(now, arrival),
-                                         next(self._sequence), bytes(message)))
+        # A message cannot arrive before its own transmission finishes:
+        # clamp the jittered arrival to now + air_time.
+        arrival = max(
+            now + air_time,
+            now + air_time + self.latency_s
+            + self._rng.uniform(-self.jitter_s, self.jitter_s))
+        if self._injector is not None and self._injector.active(self._send_point):
+            deliveries = self._injector.link_deliveries(
+                self._send_point, message, now)
+            if not deliveries:
+                self.stats.dropped += 1
+                self.stats.fault_dropped += 1
+                return air_time
+            self.stats.fault_duplicated += len(deliveries) - 1
+            for delivery in deliveries:
+                heapq.heappush(
+                    self._in_flight,
+                    (arrival + delivery.extra_delay_s,
+                     next(self._sequence), bytes(delivery.payload)))
+            return air_time
+        heapq.heappush(self._in_flight,
+                       (arrival, next(self._sequence), bytes(message)))
         return air_time
 
     def receive(self, now: float) -> list[bytes]:

@@ -52,11 +52,79 @@ class StreamingStats:
     acked_through: int = -1
 
 
+class Outbox:
+    """The uploader's bounded, duplicate-safe send buffer.
+
+    Entries live in the outbox from push until cumulative acknowledgement;
+    acknowledged payloads are freed immediately, so memory is bounded by
+    the in-flight window rather than the flight length.  An optional
+    ``limit`` caps the unacknowledged window — with a lossy link and no
+    bound, a long flight would buffer its entire PoA.
+    """
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 1:
+            raise ProtocolError("outbox limit must be >= 1 (or None)")
+        self.limit = limit
+        self._pending: dict[int, bytes] = {}  # sequence -> payload
+        self.total = 0                        # sequences ever assigned
+        self.acked_through = -1
+
+    @property
+    def pending(self) -> int:
+        """Unacknowledged entries currently buffered."""
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        """Whether a push would exceed the bound."""
+        return self.limit is not None and len(self._pending) >= self.limit
+
+    def add(self, payload: bytes) -> int:
+        """Buffer one payload; returns its sequence number.
+
+        Raises:
+            ProtocolError: the unacked window is at its bound — the caller
+                must poll for ACKs (draining the window) before pushing.
+        """
+        if self.full:
+            raise ProtocolError(
+                f"outbox full ({self.limit} unacked entries); "
+                "poll for ACKs before pushing more")
+        sequence = self.total
+        self.total += 1
+        self._pending[sequence] = payload
+        return sequence
+
+    def ack_through(self, sequence: int) -> list[int]:
+        """Apply a cumulative ACK; returns the sequences freed."""
+        if sequence <= self.acked_through:
+            return []
+        freed = [s for s in self._pending if s <= sequence]
+        for s in freed:
+            del self._pending[s]
+        self.acked_through = max(self.acked_through, sequence)
+        return freed
+
+    def unacked(self) -> list[tuple[int, bytes]]:
+        """Unacknowledged ``(sequence, payload)`` pairs, ascending."""
+        return sorted(self._pending.items())
+
+
 class StreamingUploader:
-    """Drone-side streaming endpoint."""
+    """Drone-side streaming endpoint.
+
+    Args:
+        uplink, downlink: the two link directions.
+        flight_id: stream identifier.
+        retransmit_timeout_s: per-entry retransmission timeout.
+        outbox_limit: bound on unacknowledged buffered entries (None =
+            unbounded, the historical behaviour).
+    """
 
     def __init__(self, uplink: SimulatedLink, downlink: SimulatedLink,
-                 flight_id: str, retransmit_timeout_s: float = 0.5):
+                 flight_id: str, retransmit_timeout_s: float = 0.5,
+                 outbox_limit: int | None = None):
         if retransmit_timeout_s <= 0:
             raise ProtocolError("retransmit timeout must be positive")
         self.uplink = uplink
@@ -64,7 +132,7 @@ class StreamingUploader:
         self.flight_id = flight_id
         self.rto = float(retransmit_timeout_s)
         self.stats = StreamingStats()
-        self._entries: list[bytes] = []       # payloads by sequence
+        self.outbox = Outbox(outbox_limit)
         self._last_sent_at: dict[int, float] = {}
         self._begun = False
         self._ended = False
@@ -81,13 +149,23 @@ class StreamingUploader:
         self._begun = True
         self._send(FrameType.FLIGHT_BEGIN, 0, self.flight_id.encode(), now)
 
+    @property
+    def can_push(self) -> bool:
+        """Whether the outbox has room for another entry."""
+        return not self.outbox.full
+
     def push(self, record: EncryptedPoaRecord, now: float) -> None:
-        """Stream one PoA entry; assigns the next sequence number."""
+        """Stream one PoA entry; assigns the next sequence number.
+
+        Raises:
+            ProtocolError: the stream is closed, or the bounded outbox is
+                full (poll for ACKs first; re-pushing after a drain is
+                duplicate-safe because sequences never change).
+        """
         if not self._begun or self._ended:
             raise ProtocolError("stream is not open")
-        sequence = len(self._entries)
         payload = _encode_record(record)
-        self._entries.append(payload)
+        sequence = self.outbox.add(payload)
         self.stats.entries_pushed += 1
         self._last_sent_at[sequence] = now
         with get_tracer().span("net.stream.push", sequence=sequence,
@@ -95,7 +173,12 @@ class StreamingUploader:
             self._send(FrameType.POA_ENTRY, sequence, payload, now)
 
     def poll(self, now: float) -> None:
-        """Process ACKs and retransmit anything stale."""
+        """Process ACKs and retransmit anything stale.
+
+        Retransmission walks only the unacknowledged outbox window, and a
+        re-send reuses the original sequence number, so the receiver can
+        deduplicate arbitrarily many copies of the same entry.
+        """
         for message in self.downlink.receive(now):
             try:
                 frame = decode_frame(message)
@@ -103,25 +186,24 @@ class StreamingUploader:
                 continue
             if frame.frame_type is FrameType.ACK:
                 (acked,) = struct.unpack(">q", frame.payload)
-                self.stats.acked_through = max(self.stats.acked_through,
-                                               acked)
-        for sequence in range(self.stats.acked_through + 1,
-                              len(self._entries)):
+                for freed in self.outbox.ack_through(acked):
+                    self._last_sent_at.pop(freed, None)
+                self.stats.acked_through = self.outbox.acked_through
+        for sequence, payload in self.outbox.unacked():
             if now - self._last_sent_at[sequence] >= self.rto:
                 self.stats.retransmissions += 1
                 self._last_sent_at[sequence] = now
-                self._send(FrameType.POA_ENTRY, sequence,
-                           self._entries[sequence], now)
+                self._send(FrameType.POA_ENTRY, sequence, payload, now)
 
     def end_flight(self, now: float) -> None:
         """Close the stream (entries may still need :meth:`poll` retries)."""
         self._ended = True
-        self._send(FrameType.FLIGHT_END, len(self._entries), b"", now)
+        self._send(FrameType.FLIGHT_END, self.outbox.total, b"", now)
 
     @property
     def fully_acked(self) -> bool:
         """Whether every pushed entry has been acknowledged."""
-        return self.stats.acked_through >= len(self._entries) - 1
+        return self.outbox.acked_through >= self.outbox.total - 1
 
 
 class StreamingAuditorEndpoint:
@@ -135,6 +217,10 @@ class StreamingAuditorEndpoint:
         self.expected_entries: int | None = None
         self._received: dict[int, EncryptedPoaRecord] = {}
         self.corrupt_frames = 0
+        #: Entry frames whose sequence had already been received — the
+        #: duplicate-safety counter (retransmissions and duplicate faults
+        #: both land here; the dict keyed by sequence absorbs them).
+        self.duplicate_frames = 0
 
     def poll(self, now: float) -> None:
         """Drain the uplink, record entries, emit a cumulative ACK."""
@@ -150,10 +236,13 @@ class StreamingAuditorEndpoint:
                 self.flight_id = frame.payload.decode()
             elif frame.frame_type is FrameType.POA_ENTRY:
                 try:
-                    self._received[frame.sequence] = _decode_record(
-                        frame.payload)
+                    record = _decode_record(frame.payload)
                 except EncodingError:
                     self.corrupt_frames += 1
+                    continue
+                if frame.sequence in self._received:
+                    self.duplicate_frames += 1
+                self._received[frame.sequence] = record
             elif frame.frame_type is FrameType.FLIGHT_END:
                 self.ended = True
                 self.expected_entries = frame.sequence

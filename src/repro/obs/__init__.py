@@ -8,7 +8,9 @@ formats.
 
 from repro.obs.adapters import (
     register_event_log,
+    register_fault_stats,
     register_link_stats,
+    register_retry_stats,
     register_smc_stats,
     register_stage_metrics,
     register_zone_index_stats,
@@ -54,7 +56,9 @@ __all__ = [
     "quantile",
     "read_spans_jsonl",
     "register_event_log",
+    "register_fault_stats",
     "register_link_stats",
+    "register_retry_stats",
     "register_smc_stats",
     "register_stage_metrics",
     "register_zone_index_stats",

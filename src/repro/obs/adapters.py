@@ -122,6 +122,66 @@ def register_zone_index_stats(registry, stats,
     return source
 
 
+def register_fault_stats(registry, stats,
+                         prefix: str = "fault") -> Source:
+    """Surface a :class:`repro.faults.injector.FaultStats` through ``registry``.
+
+    ``<prefix>.opportunities.total`` and ``<prefix>.injected.total``
+    counters, plus per-point ``<prefix>.opportunities.<point>`` and
+    per-fault-kind ``<prefix>.injected.<point>.<action>`` breakdowns, so
+    a snapshot shows exactly which failures a chaos run exercised.
+    """
+    def source() -> dict[str, dict[str, Any]]:
+        out = {
+            f"{prefix}.opportunities.total": {
+                "type": "counter",
+                "value": sum(stats.opportunities.values())},
+            f"{prefix}.injected.total": {"type": "counter",
+                                         "value": stats.total_injected},
+        }
+        for point, count in sorted(stats.opportunities.items()):
+            out[f"{prefix}.opportunities.{point}"] = {"type": "counter",
+                                                      "value": count}
+        for key, count in sorted(stats.injected.items()):
+            out[f"{prefix}.injected.{key}"] = {"type": "counter",
+                                               "value": count}
+        return out
+
+    registry.add_source(source)
+    return source
+
+
+def register_retry_stats(registry, stats,
+                         prefix: str = "retry") -> Source:
+    """Surface a :class:`repro.faults.retry.RetryStats` through ``registry``.
+
+    Aggregate counters (``<prefix>.calls``, ``.attempts``, ``.retries``,
+    ``.recoveries``, ``.giveups``), total virtual backoff as a counter,
+    and a per-operation ``<prefix>.op.<operation>.retries`` breakdown.
+    """
+    def source() -> dict[str, dict[str, Any]]:
+        out = {
+            f"{prefix}.calls": {"type": "counter", "value": stats.calls},
+            f"{prefix}.attempts": {"type": "counter",
+                                   "value": stats.attempts},
+            f"{prefix}.retries": {"type": "counter",
+                                  "value": stats.retries},
+            f"{prefix}.recoveries": {"type": "counter",
+                                     "value": stats.recoveries},
+            f"{prefix}.giveups": {"type": "counter",
+                                  "value": stats.giveups},
+            f"{prefix}.total_backoff_seconds": {
+                "type": "counter", "value": stats.total_backoff_s},
+        }
+        for operation, retries in sorted(stats.by_operation.items()):
+            out[f"{prefix}.op.{operation}.retries"] = {
+                "type": "counter", "value": retries}
+        return out
+
+    registry.add_source(source)
+    return source
+
+
 def register_event_log(registry, event_log,
                        prefix: str = "sim.events") -> Source:
     """Surface a :class:`repro.sim.events.EventLog` through ``registry``.

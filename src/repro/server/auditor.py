@@ -33,7 +33,11 @@ from repro.core.verification import (
     VerificationStatus,
 )
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
-from repro.errors import AuthenticationError, RegistrationError
+from repro.errors import (
+    AuthenticationError,
+    RegistrationError,
+    ServiceUnavailableError,
+)
 from repro.geo.geodesy import LocalFrame
 from repro.obs.adapters import (
     register_event_log,
@@ -96,9 +100,16 @@ class AliDroneServer:
                  penalty_policy: PenaltyPolicy | None = None,
                  audit_workers: int = 1,
                  audit_executor: str = "thread",
-                 screen_signatures: bool = True):
+                 screen_signatures: bool = True,
+                 injector=None):
         self.frame = frame
         self.rng = rng or random.SystemRandom()
+        #: Optional fault injector: ``fail`` rules at
+        #: ``auditor.register`` / ``auditor.zone_query`` /
+        #: ``auditor.receive_poa`` make the matching endpoint raise
+        #: :class:`~repro.errors.ServiceUnavailableError` before any
+        #: state is touched (an outage window, not a partial write).
+        self.injector = injector
         self.vmax_mps = float(vmax_mps)
         self.retention_s = float(retention_s)
         self.nonce_window_s = float(nonce_window_s)
@@ -135,6 +146,13 @@ class AliDroneServer:
         """Accept attestation quotes signed by this manufacturer."""
         self.trusted_manufacturers.append(public_key)
 
+    def _check_available(self, point: str, now: float | None = None) -> None:
+        """Raise :class:`~repro.errors.ServiceUnavailableError` when an
+        injected outage window covers this request; no-op otherwise."""
+        if self.injector is not None:
+            self.injector.maybe_fail(point, now=now,
+                                     error=ServiceUnavailableError)
+
     @property
     def public_encryption_key(self) -> RsaPublicKey:
         """The key drones encrypt PoA payloads under."""
@@ -150,6 +168,7 @@ class AliDroneServer:
         submitted ``T+`` — otherwise any software key could masquerade as
         a TEE key.
         """
+        self._check_available("auditor.register")
         if self.require_attestation:
             self._check_attestation(request)
         record = self.drones.register(request.operator_public_key,
@@ -196,6 +215,7 @@ class AliDroneServer:
             RegistrationError: the querying drone is not registered.
             AuthenticationError: bad signature or replayed nonce.
         """
+        self._check_available("auditor.zone_query", now)
         record = self.drones.lookup(query.drone_id)
         if query.nonce in self._seen_nonces:
             raise AuthenticationError("zone query nonce replayed")
@@ -217,6 +237,7 @@ class AliDroneServer:
         the same :class:`AuditEngine` as :meth:`receive_poa_batch`, and
         intake errors (unknown drone) are re-raised exactly as before.
         """
+        self._check_available("auditor.receive_poa", now)
         result = self.engine.audit_batch([submission], now=now,
                                          record_event=False)
         outcome = result.outcomes[0]
@@ -236,6 +257,7 @@ class AliDroneServer:
         report (retained and logged as usual) or the error.  The batch is
         recorded in the audit trail as one ``batch_audited`` event.
         """
+        self._check_available("auditor.receive_poa", now)
         with get_tracer().span("server.receive_poa_batch",
                                batch_size=len(submissions)):
             result = self.engine.audit_batch(submissions, now=now)

@@ -15,7 +15,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import TeeError
+from repro.errors import TeeError, TeeTransientError
 from repro.obs.trace import get_tracer
 from repro.tee.worlds import World, WorldState
 
@@ -39,11 +39,24 @@ class SmcStats:
 class SecureMonitor:
     """Dispatches SMCs into an :class:`~repro.tee.optee.OpTeeCore`."""
 
+    #: Injection-point name transient-SMC-failure rules target.
+    FAULT_POINT = "tee.smc"
+
     def __init__(self, core: "OpTeeCore"):
         self.state = WorldState()
         self.stats = SmcStats()
         self._core = core
+        self._injector = None
         core._attach_monitor(self)
+
+    def attach_injector(self, injector) -> None:
+        """Opt this monitor into fault injection at :attr:`FAULT_POINT`.
+
+        The monitor has no clock of its own; windowed rules need the
+        injector constructed with a ``now_fn`` (the sim clock).  Pass
+        ``None`` to detach.
+        """
+        self._injector = injector
 
     @property
     def current_world(self) -> World:
@@ -55,9 +68,18 @@ class SecureMonitor:
 
         Re-entrant SMCs (a TA issuing an SMC) are rejected: OP-TEE TAs call
         each other through internal APIs, not by re-trapping.
+
+        With a fault injector attached, a firing ``fail`` rule raises
+        :class:`~repro.errors.TeeTransientError` *before* the world switch
+        — modelling an SMC the secure world never serviced (busy TEE,
+        scheduler preemption); no secure state is touched and no switch is
+        counted.
         """
         if self.state.current is World.SECURE:
             raise TeeError("re-entrant SMC from the secure world")
+        if self._injector is not None:
+            self._injector.maybe_fail(self.FAULT_POINT,
+                                      error=TeeTransientError)
         with get_tracer().span("tee.monitor.smc_call", command=command):
             self.stats.world_switches += 1  # normal -> secure
             self.state._enter_secure()

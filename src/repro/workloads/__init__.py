@@ -10,7 +10,10 @@ from repro.workloads.scenario import Scenario
 from repro.workloads.runner import run_policy, PolicyRun, provision_run_device
 from repro.workloads.airport import build_airport_scenario
 from repro.workloads.residential import build_residential_scenario
-from repro.workloads.synthetic import build_random_scenario
+from repro.workloads.synthetic import (
+    build_random_scenario,
+    build_violation_scenario,
+)
 from repro.workloads.national import (
     build_national_scenario,
     build_national_zone_field,
@@ -24,6 +27,7 @@ __all__ = [
     "build_airport_scenario",
     "build_residential_scenario",
     "build_random_scenario",
+    "build_violation_scenario",
     "build_national_scenario",
     "build_national_zone_field",
 ]

@@ -58,7 +58,10 @@ def run_policy(scenario: Scenario, policy: str,
                margin_updates: float = 2.0,
                vmax_mps: float = FAA_MAX_SPEED_MPS,
                device: TrustZoneDevice | None = None,
-               use_index: bool = True) -> PolicyRun:
+               use_index: bool = True,
+               degraded_mode: bool = False,
+               injector=None,
+               tee_retry_policy=None) -> PolicyRun:
     """Execute one sampling policy over ``scenario``.
 
     Args:
@@ -71,20 +74,32 @@ def run_policy(scenario: Scenario, policy: str,
             GPS attached yet).
         use_index: adaptive policy only — drive the per-update zone scan
             through the spatial index (decisions are identical either way).
+        degraded_mode: adaptive policy only — inflate the safety margin
+            across GPS dropout gaps (see the sampler docstring).
+        injector: optional fault injector wired into the receiver
+            (``gps.update``) and the device's secure monitor (``tee.smc``).
+        tee_retry_policy: retry transient TEE entry failures inside the
+            adapter (required for flights to survive ``tee.smc`` faults).
     """
     clock = SimClock(scenario.t_start)
-    receiver = scenario.make_receiver(update_rate_hz=update_rate_hz, seed=seed)
+    receiver = scenario.make_receiver(update_rate_hz=update_rate_hz,
+                                      seed=seed, injector=injector)
     if device is None:
         device = provision_run_device(key_bits, seed)
     device.attach_gps(receiver, clock)
-    adapter = Adapter(device, receiver, clock, hash_name=hash_name)
+    if injector is not None:
+        device.monitor.attach_injector(injector)
+    adapter = Adapter(device, receiver, clock, hash_name=hash_name,
+                      retry_policy=tee_retry_policy,
+                      retry_rng=random.Random(seed))
 
     if policy == "adaptive":
         sampler = AdaptiveSampler(scenario.zones, scenario.frame,
                                   vmax_mps=vmax_mps,
                                   gps_rate_hz=update_rate_hz,
                                   margin_updates=margin_updates,
-                                  use_index=use_index)
+                                  use_index=use_index,
+                                  degraded_mode=degraded_mode)
         label = "adaptive"
     elif policy == "fixed":
         if fixed_rate_hz is None:

@@ -49,8 +49,13 @@ class Scenario:
         return self.t_end - self.t_start
 
     def make_receiver(self, update_rate_hz: float = 5.0,
-                      seed: int = 0) -> SimulatedGpsReceiver:
-        """A fresh receiver for one run (receivers are stateful)."""
+                      seed: int = 0, injector=None) -> SimulatedGpsReceiver:
+        """A fresh receiver for one run (receivers are stateful).
+
+        ``injector`` opts the receiver into fault injection at
+        ``gps.update`` (dropout bursts, fix degradation); None — the
+        default — leaves the receiver fault-free.
+        """
         forced = frozenset(
             int(round((t - self.t_start) * update_rate_hz))
             for t in self.forced_miss_times)
@@ -59,4 +64,4 @@ class Scenario:
             update_rate_hz=update_rate_hz, start_time=self.t_start,
             noise_std_m=self.gps_noise_std_m,
             miss_probability=self.gps_miss_probability,
-            forced_miss_indices=forced, seed=seed)
+            forced_miss_indices=forced, seed=seed, injector=injector)

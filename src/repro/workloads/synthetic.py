@@ -70,3 +70,36 @@ def build_random_scenario(seed: int = 0, n_zones: int = 12,
         )
     raise ConfigurationError(
         f"no routable random scenario found in {max_attempts} attempts")
+
+
+def build_violation_scenario(seed: int = 0, area_m: float = 2_000.0,
+                             zone_radius_m: float = 120.0,
+                             origin: GeoPoint = GeoPoint(40.2000, -88.3000),
+                             ) -> Scenario:
+    """A *non-compliant* flight: straight through the middle of an NFZ.
+
+    The drone crosses the area on a straight line that passes directly
+    over a zone centred on the midpoint, so a correct Auditor must never
+    accept this flight's PoA.  Used by the chaos harness to assert the
+    zero-false-accept invariant under every fault plan.
+    """
+    frame = LocalFrame(origin)
+    mid = (area_m / 2.0, area_m / 2.0)
+    start = (0.0, area_m / 2.0)
+    goal = (area_m, area_m / 2.0)
+    center = frame.to_geo(*mid)
+    zones = [NoFlyZone(center.lat, center.lon, zone_radius_m)]
+    t0 = DEFAULT_EPOCH
+    source = simulate_waypoint_flight([start, mid, goal], t0,
+                                      kinematics=DroneKinematics())
+    return Scenario(
+        name=f"violation-{seed}",
+        description=(f"straight crossing through a {zone_radius_m:.0f} m NFZ "
+                     f"at the centre of a {area_m:.0f} m square"),
+        frame=frame,
+        zones=zones,
+        source=source,
+        t_start=t0,
+        t_end=t0 + source.duration,
+        gps_noise_std_m=1.0,
+    )

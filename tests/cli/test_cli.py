@@ -104,6 +104,49 @@ class TestExportAndCalibrate:
         assert "Fixed 5 Hz" in out
 
 
+class TestChaosCommand:
+    def test_smoke_sweep_writes_valid_report(self, tmp_path, capsys):
+        """A tiny sweep passes its invariants and the schema checker."""
+        import json
+        import pathlib
+        import sys
+
+        target = tmp_path / "chaos.json"
+        code = main(["--seed", "1", "chaos", "--scenarios", "compliant",
+                     "violation", "--plans", "baseline", "lossy30",
+                     "--zones", "3", "--out", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "false accepts" in out
+        assert "verdict" in out and "OK" in out
+        report = json.loads(target.read_text())
+        assert report["ok"] is True
+        assert len(report["cells"]) == 4
+        assert report["invariants"]["false_accepts"] == []
+
+        sys.path.insert(0, str(pathlib.Path(__file__).parent))
+        try:
+            from check_chaos_output import check_chaos
+        finally:
+            sys.path.pop(0)
+        assert check_chaos(str(target)) == []
+
+    def test_json_output_mode(self, capsys):
+        import json
+
+        code = main(["--seed", "2", "chaos", "--scenarios", "compliant",
+                     "--plans", "baseline", "--zones", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"config", "cells", "invariants", "ok"}
+
+    def test_unknown_plan_rejected(self, capsys):
+        code = main(["chaos", "--plans", "not-a-plan"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown fault plan" in captured.err
+
+
 class TestErrorHandling:
     def test_fixed_policy_without_rate_exits_cleanly(self, capsys):
         code = main(["--key-bits", "512", "simulate", "--zones", "4",

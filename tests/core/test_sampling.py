@@ -159,3 +159,52 @@ class TestAdaptiveSampler:
         adapter = make_adapter(make_platform)
         result = AdaptiveSampler([zone], frame).run(adapter, T0 + 10.0)
         assert result.stats.sample_times[0] == pytest.approx(T0, abs=0.3)
+
+
+class TestDegradedMode:
+    def test_invalid_threshold_rejected(self, frame):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSampler([], frame, degraded_threshold_updates=0.9)
+
+    def test_no_dropouts_bit_identical_to_off(self, make_platform, frame):
+        """Turning degraded mode on must not change a healthy flight:
+        the margin only inflates after an observed dropout gap."""
+        zone = zone_at(frame, 150.0, 60.0, 20.0)
+        plain = AdaptiveSampler([zone], frame).run(
+            make_adapter(make_platform, seed=2), T0 + 30.0)
+        degraded = AdaptiveSampler([zone], frame, degraded_mode=True).run(
+            make_adapter(make_platform, seed=2), T0 + 30.0)
+        assert degraded.stats.sample_times == plain.stats.sample_times
+        assert degraded.stats.degraded_decisions == 0
+        assert degraded.events.count("degraded_margin") == 0
+
+    def test_dropout_gap_inflates_margin(self, make_platform, frame):
+        """A dropout burst near a zone trips the inflated margin: the
+        sampler records degraded decisions and samples at least as often
+        as the non-degraded run (safety can only tighten)."""
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 40.0, 200.0, 0.0)])
+        zone = zone_at(frame, 100.0, 12.0, 5.0)
+        misses = set(range(95, 105))  # a 2-second blind spot mid-flight
+
+        plain = AdaptiveSampler([zone], frame).run(
+            make_adapter(make_platform, source=source,
+                         forced_miss_indices=misses), T0 + 40.0)
+        degraded = AdaptiveSampler([zone], frame, degraded_mode=True).run(
+            make_adapter(make_platform, source=source,
+                         forced_miss_indices=misses), T0 + 40.0)
+
+        assert degraded.stats.degraded_decisions > 0
+        assert degraded.events.count("degraded_margin") >= 1
+        assert degraded.stats.auth_samples >= plain.stats.auth_samples
+
+    def test_margin_relaxes_after_recovery(self, make_platform, frame):
+        """The gap estimate decays once fixes resume, so a brief early
+        outage does not keep the margin inflated for the whole flight."""
+        source = WaypointSource([(T0, 0.0, 0.0), (T0 + 40.0, 200.0, 0.0)])
+        zone = zone_at(frame, 100.0, 12.0, 5.0)
+        adapter = make_adapter(make_platform, source=source,
+                               forced_miss_indices=set(range(10, 25)))
+        result = AdaptiveSampler([zone], frame, degraded_mode=True).run(
+            adapter, T0 + 40.0)
+        # Degraded decisions happen, but not at every post-outage update.
+        assert 0 < result.stats.degraded_decisions < result.stats.iterations

@@ -1,0 +1,181 @@
+"""Tests for repro.faults.injector: deterministic fault execution."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ServiceUnavailableError,
+    TransientError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+def injector_for(*rules, seed=0, t0=0.0, now_fn=None):
+    return FaultInjector(FaultPlan("test", tuple(rules), seed=seed),
+                         t0=t0, now_fn=now_fn)
+
+
+class TestActivation:
+    def test_active_only_for_targeted_points(self):
+        inj = injector_for(FaultRule("link.uplink.send", "drop"))
+        assert inj.active("link.uplink.send")
+        assert not inj.active("link.downlink.send")
+        assert not inj.active("gps.update")
+
+    def test_empty_plan_never_active(self):
+        inj = injector_for()
+        assert not inj.active("link.uplink.send")
+
+
+class TestLinkFaults:
+    def test_drop_returns_no_deliveries(self):
+        inj = injector_for(FaultRule("l.send", "drop"))
+        assert inj.link_deliveries("l.send", b"msg") == []
+        assert inj.stats.injected["l.send.drop"] == 1
+
+    def test_duplicate_doubles_deliveries(self):
+        inj = injector_for(FaultRule("l.send", "duplicate"))
+        deliveries = inj.link_deliveries("l.send", b"msg")
+        assert len(deliveries) == 2
+        assert all(d.payload == b"msg" for d in deliveries)
+
+    def test_corrupt_changes_payload(self):
+        inj = injector_for(FaultRule("l.send", "corrupt", param=2))
+        (delivery,) = inj.link_deliveries("l.send", b"a" * 32)
+        assert delivery.payload != b"a" * 32
+        assert len(delivery.payload) == 32
+
+    def test_delay_adds_extra_delay(self):
+        inj = injector_for(FaultRule("l.send", "delay", param=0.7))
+        (delivery,) = inj.link_deliveries("l.send", b"msg")
+        assert delivery.extra_delay_s == pytest.approx(0.7)
+
+    def test_no_fault_passthrough(self):
+        inj = injector_for(FaultRule("l.send", "drop", probability=0.0))
+        (delivery,) = inj.link_deliveries("l.send", b"msg")
+        assert delivery.payload == b"msg"
+        assert delivery.extra_delay_s == 0.0
+        assert inj.stats.total_injected == 0
+        assert inj.stats.opportunities["l.send"] == 1
+
+    def test_probability_is_deterministic(self):
+        def decisions():
+            inj = injector_for(FaultRule("l.send", "drop", probability=0.5),
+                               seed=3)
+            return [inj.link_deliveries("l.send", bytes([i])) == []
+                    for i in range(100)]
+
+        first = decisions()
+        assert first == decisions()
+        assert 20 < sum(first) < 80
+
+    def test_rule_streams_are_independent(self):
+        """Traffic at one point never perturbs decisions at another."""
+        rule_a = FaultRule("a.send", "drop", probability=0.5)
+        rule_b = FaultRule("b.send", "drop", probability=0.5)
+
+        lone = injector_for(rule_a, seed=1)
+        solo = [lone.link_deliveries("a.send", b"x") == []
+                for _ in range(50)]
+
+        mixed = injector_for(rule_a, rule_b, seed=1)
+        interleaved = []
+        for _ in range(50):
+            interleaved.append(mixed.link_deliveries("a.send", b"x") == [])
+            mixed.link_deliveries("b.send", b"y")
+        assert interleaved == solo
+
+    def test_wrong_action_family_rejected(self):
+        inj = injector_for(FaultRule("l.send", "dropout"))
+        with pytest.raises(ConfigurationError):
+            inj.link_deliveries("l.send", b"msg")
+
+
+class TestWindows:
+    def test_window_respected(self):
+        inj = injector_for(FaultRule("l.send", "drop",
+                                     t_start=10.0, t_end=20.0))
+        assert inj.link_deliveries("l.send", b"m", now=5.0) != []
+        assert inj.link_deliveries("l.send", b"m", now=15.0) == []
+        assert inj.link_deliveries("l.send", b"m", now=25.0) != []
+
+    def test_t0_offset_anchors_relative_windows(self):
+        inj = injector_for(FaultRule("l.send", "drop",
+                                     t_start=10.0, t_end=20.0), t0=1_000.0)
+        assert inj.link_deliveries("l.send", b"m", now=1_015.0) == []
+        assert inj.link_deliveries("l.send", b"m", now=15.0) != []
+
+    def test_clockless_call_skips_windowed_rules(self):
+        inj = injector_for(FaultRule("t", "fail", t_start=0.0, t_end=9.0))
+        inj.maybe_fail("t")  # no clock, windowed rule: must not raise
+
+    def test_now_fn_supplies_missing_clock(self):
+        inj = injector_for(FaultRule("t", "fail", t_start=0.0, t_end=9.0),
+                           now_fn=lambda: 5.0)
+        with pytest.raises(TransientError):
+            inj.maybe_fail("t")
+
+
+class TestMaxCount:
+    def test_fail_recovers_after_max_count(self):
+        inj = injector_for(FaultRule("t", "fail", max_count=2))
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                inj.maybe_fail("t")
+        inj.maybe_fail("t")  # third call: the service has recovered
+        assert inj.stats.injected["t.fail"] == 2
+
+
+class TestGpsFaults:
+    def test_dropout_suppresses(self):
+        inj = injector_for(FaultRule("gps.update", "dropout",
+                                     t_start=0.0, t_end=10.0))
+        suppressed, dx, dy = inj.gps_update("gps.update", 5.0)
+        assert suppressed and dx == 0.0 and dy == 0.0
+        assert not inj.gps_update("gps.update", 15.0)[0]
+
+    def test_degrade_adds_error(self):
+        inj = injector_for(FaultRule("gps.update", "degrade", param=3.0))
+        _, dx, dy = inj.gps_update("gps.update", 1.0)
+        assert dx != 0.0 or dy != 0.0
+
+    def test_degrade_is_deterministic(self):
+        def offsets():
+            inj = injector_for(FaultRule("gps.update", "degrade", param=3.0),
+                               seed=7)
+            return [inj.gps_update("gps.update", float(i))
+                    for i in range(20)]
+
+        assert offsets() == offsets()
+
+
+class TestFailAndSkew:
+    def test_custom_error_type(self):
+        inj = injector_for(FaultRule("auditor.receive_poa", "fail"))
+        with pytest.raises(ServiceUnavailableError):
+            inj.maybe_fail("auditor.receive_poa",
+                           error=ServiceUnavailableError)
+
+    def test_detail_becomes_message(self):
+        inj = injector_for(FaultRule("t", "fail", detail="maintenance"))
+        with pytest.raises(TransientError, match="maintenance"):
+            inj.maybe_fail("t")
+
+    def test_clock_skew_additive(self):
+        inj = injector_for(FaultRule("auditor.clock", "skew", param=45.0))
+        assert inj.clock_skew("auditor.clock", 100.0) == pytest.approx(145.0)
+
+    def test_negative_skew(self):
+        inj = injector_for(FaultRule("auditor.clock", "skew", param=-30.0))
+        assert inj.clock_skew("auditor.clock", 100.0) == pytest.approx(70.0)
+
+
+class TestStats:
+    def test_stats_snapshot_shape(self):
+        inj = injector_for(FaultRule("l.send", "drop"))
+        inj.link_deliveries("l.send", b"m")
+        snapshot = inj.stats.to_dict()
+        assert snapshot["total_injected"] == 1
+        assert snapshot["injected"] == {"l.send.drop": 1}
+        assert snapshot["opportunities"] == {"l.send": 1}

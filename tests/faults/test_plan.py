@@ -1,0 +1,124 @@
+"""Tests for repro.faults.plan: rules, plans, and the builtin matrix."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    ALL_ACTIONS,
+    FaultPlan,
+    FaultRule,
+    builtin_plans,
+)
+
+
+class TestFaultRule:
+    def test_valid_rule(self):
+        rule = FaultRule("link.uplink.send", "drop", probability=0.5)
+        assert rule.point == "link.uplink.send"
+        assert not rule.windowed
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("link.send", "explode")
+
+    def test_empty_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("", "drop")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("p", "drop", probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultRule("p", "drop", probability=-0.1)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("p", "drop", t_start=10.0, t_end=5.0)
+
+    def test_negative_max_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("p", "fail", max_count=-1)
+
+    def test_negative_delay_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("p", "delay", param=-0.5)
+
+    def test_in_window(self):
+        rule = FaultRule("p", "drop", t_start=10.0, t_end=20.0)
+        assert rule.windowed
+        assert rule.in_window(10.0)
+        assert rule.in_window(20.0)
+        assert not rule.in_window(9.99)
+        assert not rule.in_window(20.01)
+
+    def test_clockless_point_matches_only_unwindowed(self):
+        windowed = FaultRule("p", "fail", t_start=0.0, t_end=10.0)
+        unwindowed = FaultRule("p", "fail")
+        assert not windowed.in_window(None)
+        assert unwindowed.in_window(None)
+
+    def test_dict_round_trip_with_infinities(self):
+        rule = FaultRule("gps.update", "degrade", probability=0.3,
+                         param=2.0, max_count=5, detail="x")
+        restored = FaultRule.from_dict(rule.to_dict())
+        assert restored == rule
+        assert restored.t_start == -math.inf
+        assert rule.to_dict()["t_start"] is None
+
+    def test_dict_round_trip_with_window(self):
+        rule = FaultRule("p", "drop", t_start=5.0, t_end=9.0)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_nameless_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan("")
+
+    def test_bad_expected_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan("p", expected_loss=1.5)
+
+    def test_points_and_rules_for(self):
+        plan = FaultPlan("p", (
+            FaultRule("a", "drop"),
+            FaultRule("b", "drop", probability=0.5),
+            FaultRule("a", "duplicate"),
+        ))
+        assert plan.points() == {"a", "b"}
+        assert [r.action for r in plan.rules_for("a")] == [
+            "drop", "duplicate"]
+
+    def test_with_seed(self):
+        plan = FaultPlan("p", (FaultRule("a", "drop"),), seed=1)
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.rules == plan.rules
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan("p", (FaultRule("a", "drop", probability=0.2),),
+                         seed=7, expected_loss=0.2)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestBuiltinPlans:
+    def test_matrix_covers_every_fault_family(self):
+        plans = builtin_plans()
+        actions = {rule.action for plan in plans.values()
+                   for rule in plan.rules}
+        assert {"drop", "duplicate", "corrupt", "reorder", "dropout",
+                "degrade", "fail", "skew"} <= actions
+        assert set(actions) <= set(ALL_ACTIONS)
+
+    def test_baseline_is_empty(self):
+        assert builtin_plans()["baseline"].rules == ()
+
+    def test_loss_hints_within_liveness_ceiling(self):
+        for plan in builtin_plans().values():
+            assert plan.expected_loss <= 0.30
+
+    def test_reseeding(self):
+        for name, plan in builtin_plans(seed=42).items():
+            assert plan.seed == 42, name

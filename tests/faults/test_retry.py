@@ -1,0 +1,128 @@
+"""Tests for repro.faults.retry: backoff, jitter, and virtual time."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError, TransientError
+from repro.faults.retry import RetryPolicy, RetryStats, execute_with_retry
+from repro.sim.clock import SimClock
+
+
+class TestRetryPolicy:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempt_timeout_s=-1.0)
+
+    def test_next_delay_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.5, max_delay_s=8.0)
+        rng = random.Random(1)
+        previous = policy.base_delay_s
+        for _ in range(100):
+            delay = policy.next_delay(previous, rng)
+            assert policy.base_delay_s <= delay <= policy.max_delay_s
+            assert delay <= max(policy.base_delay_s, previous * 3.0)
+            previous = delay
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(base_delay_s=0.5, max_delay_s=1.0)
+        rng = random.Random(2)
+        assert policy.next_delay(100.0, rng) <= 1.0
+
+
+class _Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, error=TransientError):
+        self.failures = failures
+        self.calls = 0
+        self.error = error
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"transient #{self.calls}")
+        return "ok"
+
+
+class TestExecuteWithRetry:
+    def test_success_first_try_costs_nothing(self):
+        clock = SimClock(0.0)
+        result = execute_with_retry(lambda: 42, clock=clock,
+                                    policy=RetryPolicy())
+        assert result == 42
+        assert clock.now == 0.0
+
+    def test_none_policy_is_a_bare_call(self):
+        flaky = _Flaky(1)
+        with pytest.raises(TransientError):
+            execute_with_retry(flaky, clock=SimClock(0.0), policy=None)
+        assert flaky.calls == 1
+
+    def test_recovers_after_transient_failures(self):
+        clock = SimClock(0.0)
+        stats = RetryStats()
+        flaky = _Flaky(2)
+        result = execute_with_retry(flaky, clock=clock,
+                                    policy=RetryPolicy(max_attempts=4),
+                                    rng=random.Random(0), stats=stats,
+                                    operation="op")
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert clock.now > 0.0  # backoff advanced virtual time
+        assert stats.retries == 2
+        assert stats.recoveries == 1
+        assert stats.giveups == 0
+        assert stats.by_operation == {"op": 2}
+        assert stats.total_backoff_s == pytest.approx(clock.now)
+
+    def test_gives_up_and_reraises(self):
+        clock = SimClock(0.0)
+        stats = RetryStats()
+        flaky = _Flaky(10)
+        with pytest.raises(TransientError, match="transient #3"):
+            execute_with_retry(flaky, clock=clock,
+                               policy=RetryPolicy(max_attempts=3),
+                               rng=random.Random(0), stats=stats)
+        assert flaky.calls == 3
+        assert stats.giveups == 1
+
+    def test_non_transient_propagates_immediately(self):
+        flaky = _Flaky(5, error=ProtocolError)
+        clock = SimClock(0.0)
+        with pytest.raises(ProtocolError):
+            execute_with_retry(flaky, clock=clock, policy=RetryPolicy())
+        assert flaky.calls == 1
+        assert clock.now == 0.0
+
+    def test_attempt_timeout_charged_to_clock(self):
+        clock = SimClock(0.0)
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                             max_delay_s=0.0, attempt_timeout_s=1.5)
+        execute_with_retry(_Flaky(1), clock=clock, policy=policy,
+                           rng=random.Random(0))
+        assert clock.now == pytest.approx(1.5)  # timeout, zero backoff
+
+    def test_deterministic_given_rng(self):
+        def total_wait():
+            clock = SimClock(0.0)
+            execute_with_retry(_Flaky(3), clock=clock,
+                               policy=RetryPolicy(max_attempts=5),
+                               rng=random.Random(9))
+            return clock.now
+
+        assert total_wait() == total_wait()
+
+    def test_stats_snapshot_shape(self):
+        stats = RetryStats()
+        execute_with_retry(_Flaky(1), clock=SimClock(0.0),
+                           policy=RetryPolicy(), rng=random.Random(0),
+                           stats=stats, operation="register")
+        snapshot = stats.to_dict()
+        assert snapshot["calls"] == 1
+        assert snapshot["attempts"] == 2
+        assert snapshot["by_operation"] == {"register": 1}

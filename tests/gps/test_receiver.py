@@ -152,3 +152,64 @@ class TestNoise:
         fixes = receiver.updates_between(T0, T0 + 15.0)
         times = [f.time for f in fixes]
         assert times == sorted(times)
+
+
+class TestFaultInjection:
+    def make_receiver(self, source, frame, *rules, seed=1, **kwargs):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, FaultRule  # noqa: F401
+
+        injector = None
+        if rules:
+            injector = FaultInjector(FaultPlan("t", tuple(rules)), t0=T0)
+        return SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                    start_time=T0, seed=seed,
+                                    injector=injector, **kwargs)
+
+    def test_dropout_suppresses_updates(self, source, frame):
+        from repro.faults.plan import FaultRule
+        receiver = self.make_receiver(
+            source, frame,
+            FaultRule("gps.update", "dropout", t_start=2.0, t_end=4.0))
+        receiver.fix_at(T0 + 10.0)
+        # The 2 s window at 5 Hz holds 11 update slots (inclusive ends).
+        assert receiver.updates_fault_suppressed == 11
+        assert receiver.updates_missed == 11
+        # Reads inside the outage see the last pre-outage fix.
+        assert receiver.fix_at(T0 + 3.0).time == pytest.approx(T0 + 1.8)
+
+    def test_degrade_shifts_positions(self, source, frame):
+        from repro.faults.plan import FaultRule
+        clean = self.make_receiver(source, frame)
+        degraded = self.make_receiver(
+            source, frame,
+            FaultRule("gps.update", "degrade", param=10.0))
+        a = clean.fix_at(T0 + 2.0)
+        b = degraded.fix_at(T0 + 2.0)
+        assert (a.lat, a.lon) != (b.lat, b.lon)
+        assert degraded.updates_fault_suppressed == 0
+
+    def test_empty_plan_injector_is_bit_identical(self, source, frame):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        def fixes(injector):
+            r = SimulatedGpsReceiver(source, frame, update_rate_hz=5.0,
+                                     start_time=T0, seed=7, noise_std_m=3.0,
+                                     miss_probability=0.1, injector=injector)
+            return [(f.time, f.lat, f.lon)
+                    for f in r.updates_between(T0, T0 + 15.0)]
+
+        assert fixes(None) == fixes(FaultInjector(FaultPlan("baseline")))
+
+    def test_fault_suppression_distinct_from_native_miss(self, source, frame):
+        """A slot both natively missed and fault-suppressed counts once,
+        as a native miss (the fault counter tracks *extra* damage)."""
+        from repro.faults.plan import FaultRule
+        receiver = self.make_receiver(
+            source, frame,
+            FaultRule("gps.update", "dropout", t_start=0.95, t_end=1.25),
+            forced_miss_indices={5})
+        receiver.fix_at(T0 + 5.0)
+        assert receiver.updates_missed == 2  # slots 5 (native) and 6
+        assert receiver.updates_fault_suppressed == 1  # slot 6 only

@@ -1,8 +1,13 @@
 """Tests for repro.net.link and repro.net.framing."""
 
+import struct
+import zlib
+
 import pytest
 
 from repro.errors import ConfigurationError, EncodingError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
 from repro.net.framing import FrameType, decode_frame, encode_frame
 from repro.net.link import SimulatedLink
 
@@ -61,6 +66,93 @@ class TestSimulatedLink:
 
         assert run() == run()
 
+    def test_arrival_never_before_transmission_ends(self):
+        """Regression: jitter larger than latency used to let a message
+        arrive before its own air time had elapsed."""
+        link = SimulatedLink(latency_s=0.001, jitter_s=0.05,
+                             bandwidth_bps=8_000.0, seed=4)  # 1 ms/byte
+        for i in range(200):
+            link.send(b"x" * 8, now=float(i))  # 8 ms air time each
+            assert link.receive(i + 0.0079) == []
+            link.receive(i + 0.9)  # drain before the next send
+
+    def test_explicit_rng_overrides_seed(self):
+        import random
+
+        def run(**kwargs):
+            link = SimulatedLink(loss_probability=0.4, **kwargs)
+            for i in range(50):
+                link.send(bytes([i]), now=float(i))
+            return link.receive(1e9)
+
+        assert run(rng=random.Random(11)) == run(rng=random.Random(11),
+                                                 seed=999)
+        assert run(rng=random.Random(11)) != run(rng=random.Random(12))
+
+
+def faulty_link(*rules, seed=0, **kwargs):
+    injector = FaultInjector(FaultPlan("t", tuple(rules), seed=seed))
+    link = SimulatedLink(latency_s=0.01, jitter_s=0.0, seed=seed,
+                         injector=injector, fault_point="link.uplink",
+                         **kwargs)
+    return link, injector
+
+
+class TestLinkFaultInjection:
+    def test_drop_rule_counted_separately(self):
+        link, injector = faulty_link(
+            FaultRule("link.uplink.send", "drop"))
+        link.send(b"msg", now=0.0)
+        assert link.receive(1.0) == []
+        assert link.stats.dropped == 1
+        assert link.stats.fault_dropped == 1
+        assert injector.stats.injected["link.uplink.send.drop"] == 1
+
+    def test_duplicate_rule_delivers_two_copies(self):
+        link, _ = faulty_link(FaultRule("link.uplink.send", "duplicate"))
+        link.send(b"msg", now=0.0)
+        assert link.receive(1.0) == [b"msg", b"msg"]
+        assert link.stats.fault_duplicated == 1
+
+    def test_corrupt_rule_mangles_payload(self):
+        link, _ = faulty_link(FaultRule("link.uplink.send", "corrupt"))
+        link.send(b"a" * 16, now=0.0)
+        (received,) = link.receive(1.0)
+        assert received != b"a" * 16 and len(received) == 16
+
+    def test_delay_rule_postpones_arrival(self):
+        link, _ = faulty_link(
+            FaultRule("link.uplink.send", "delay", param=5.0))
+        link.send(b"msg", now=0.0)
+        assert link.receive(1.0) == []
+        assert link.receive(6.0) == [b"msg"]
+
+    def test_empty_plan_is_bit_identical_to_no_injector(self):
+        """The no-op path: attaching an injector with nothing to inject
+        must not perturb the link's native RNG stream."""
+        def run(injector):
+            link = SimulatedLink(latency_s=0.05, jitter_s=0.02,
+                                 loss_probability=0.3, seed=13,
+                                 injector=injector)
+            received = []
+            for i in range(100):
+                link.send(bytes([i]), now=i * 0.1)
+                received.extend(link.receive(i * 0.1))
+            received.extend(link.receive(1e9))
+            return received, link.stats.dropped
+
+        empty = FaultInjector(FaultPlan("baseline"))
+        assert run(None) == run(empty)
+
+    def test_fault_point_scopes_rules(self):
+        """A downlink rule never touches an uplink-labelled link."""
+        injector = FaultInjector(FaultPlan("t", (
+            FaultRule("link.downlink.send", "drop"),)))
+        link = SimulatedLink(latency_s=0.0, jitter_s=0.0,
+                             injector=injector, fault_point="link.uplink")
+        link.send(b"msg", now=0.0)
+        assert link.receive(1.0) == [b"msg"]
+
 
 class TestFraming:
     def test_round_trip(self):
@@ -92,9 +184,39 @@ class TestFraming:
             encode_frame(FrameType.ACK, -1, b"")
 
     def test_unknown_type_rejected(self):
-        import struct
-        import zlib
         header = struct.Struct(">4sBQI").pack(b"ADNF", 99, 0, 0)
         data = header + struct.pack(">I", zlib.crc32(header))
         with pytest.raises(EncodingError):
             decode_frame(data)
+
+    def _reframe(self, body: bytes) -> bytes:
+        """Append a *valid* CRC so the test reaches the post-CRC checks."""
+        return body + struct.pack(">I", zlib.crc32(body))
+
+    def test_length_field_mismatch_with_valid_crc(self):
+        """A frame whose length prefix lies about the payload must be
+        rejected even when its CRC is internally consistent."""
+        header = struct.Struct(">4sBQI").pack(
+            b"ADNF", int(FrameType.POA_ENTRY), 5, 99)
+        with pytest.raises(EncodingError, match="length field mismatch"):
+            decode_frame(self._reframe(header + b"short"))
+
+    def test_bad_magic_with_valid_crc(self):
+        header = struct.Struct(">4sBQI").pack(
+            b"XXXX", int(FrameType.ACK), 0, 0)
+        with pytest.raises(EncodingError, match="magic"):
+            decode_frame(self._reframe(header))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(EncodingError, match="too short"):
+            decode_frame(b"ADNF\x01")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_frame(b"")
+
+    def test_corrupted_payload_byte_rejected(self):
+        data = bytearray(encode_frame(FrameType.POA_ENTRY, 3, b"payload"))
+        data[-6] ^= 0xFF  # inside the payload region
+        with pytest.raises(EncodingError, match="CRC"):
+            decode_frame(bytes(data))

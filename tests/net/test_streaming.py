@@ -4,9 +4,15 @@ import pytest
 
 from repro.core.poa import EncryptedPoaRecord
 from repro.errors import ConfigurationError, ProtocolError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
 from repro.net.energy import WIFI_RADIO, RadioEnergyModel
 from repro.net.link import SimulatedLink
-from repro.net.streaming import StreamingAuditorEndpoint, StreamingUploader
+from repro.net.streaming import (
+    Outbox,
+    StreamingAuditorEndpoint,
+    StreamingUploader,
+)
 
 
 def record(i: int) -> EncryptedPoaRecord:
@@ -98,6 +104,138 @@ class TestLossyStreaming:
         endpoint.poll(1.0)
         assert endpoint.corrupt_frames == 1
         assert len(endpoint.records()) == 1
+
+
+class TestOutbox:
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ProtocolError):
+            Outbox(limit=0)
+
+    def test_add_raises_when_full(self):
+        outbox = Outbox(limit=2)
+        outbox.add(b"a")
+        outbox.add(b"b")
+        assert outbox.full
+        with pytest.raises(ProtocolError, match="outbox full"):
+            outbox.add(b"c")
+
+    def test_ack_frees_window(self):
+        outbox = Outbox(limit=2)
+        outbox.add(b"a")
+        outbox.add(b"b")
+        assert outbox.ack_through(0) == [0]
+        assert not outbox.full
+        assert outbox.add(b"c") == 2  # sequences keep advancing
+
+    def test_stale_ack_is_ignored(self):
+        outbox = Outbox()
+        outbox.add(b"a")
+        outbox.add(b"b")
+        outbox.ack_through(1)
+        assert outbox.ack_through(0) == []
+        assert outbox.acked_through == 1
+
+    def test_unbounded_by_default(self):
+        outbox = Outbox()
+        for i in range(1_000):
+            outbox.add(bytes([i % 256]))
+        assert outbox.pending == 1_000 and not outbox.full
+
+    def test_uploader_respects_bound(self):
+        """Pushing past the outbox bound fails loudly, and draining via
+        ACKs (duplicate-safe re-send) lets the stream continue."""
+        uplink = SimulatedLink(latency_s=0.01, jitter_s=0.0)
+        downlink = SimulatedLink(latency_s=0.01, jitter_s=0.0)
+        uploader = StreamingUploader(uplink, downlink, "f",
+                                     outbox_limit=3)
+        endpoint = StreamingAuditorEndpoint(uplink, downlink)
+        uploader.begin_flight(0.0)
+        for i in range(3):
+            uploader.push(record(i), 0.1 * (i + 1))
+        assert not uploader.can_push
+        with pytest.raises(ProtocolError):
+            uploader.push(record(3), 0.4)
+        endpoint.poll(1.0)
+        uploader.poll(2.0)
+        assert uploader.can_push
+        uploader.push(record(3), 2.1)
+        uploader.end_flight(2.2)
+        endpoint.poll(3.0)
+        assert endpoint.complete
+        assert endpoint.records() == [record(i) for i in range(4)]
+
+
+class TestInjectedFaultStreaming:
+    def injected_pair(self, *rules, seed=0, rto=0.3, outbox_limit=None):
+        injector = FaultInjector(FaultPlan("t", tuple(rules), seed=seed))
+        uplink = SimulatedLink(latency_s=0.02, jitter_s=0.0, seed=seed,
+                               injector=injector,
+                               fault_point="link.uplink")
+        downlink = SimulatedLink(latency_s=0.02, jitter_s=0.0,
+                                 seed=seed + 1, injector=injector,
+                                 fault_point="link.downlink")
+        uploader = StreamingUploader(uplink, downlink, "flight-f",
+                                     retransmit_timeout_s=rto,
+                                     outbox_limit=outbox_limit)
+        endpoint = StreamingAuditorEndpoint(uplink, downlink)
+        return uploader, endpoint
+
+    def test_liveness_under_30_percent_injected_loss(self):
+        """The §IV-B liveness bar: a stream over a 30 %-loss channel must
+        still converge to a complete, fully-acked flight."""
+        uploader, endpoint = self.injected_pair(
+            FaultRule("link.uplink.send", "drop", probability=0.3),
+            FaultRule("link.downlink.send", "drop", probability=0.3),
+            seed=11)
+        records = [record(i) for i in range(20)]
+        drive(uploader, endpoint, records, max_time=120.0)
+        assert endpoint.complete
+        assert endpoint.records() == records
+        assert uploader.stats.retransmissions > 0
+
+    def test_duplicate_faults_deduplicated(self):
+        uploader, endpoint = self.injected_pair(
+            FaultRule("link.uplink.send", "duplicate"))
+        drive(uploader, endpoint, [record(i) for i in range(5)])
+        assert endpoint.complete
+        assert endpoint.records() == [record(i) for i in range(5)]
+        assert endpoint.duplicate_frames >= 5
+
+    def test_corrupt_faults_counted_and_recovered(self):
+        uploader, endpoint = self.injected_pair(
+            FaultRule("link.uplink.send", "corrupt", probability=0.4),
+            seed=3)
+        records = [record(i) for i in range(10)]
+        t = 0.0
+        uploader.begin_flight(t)
+        for i, rec in enumerate(records):
+            t = (i + 1) * 0.2
+            uploader.push(rec, t)
+            endpoint.poll(t + 0.05)
+            uploader.poll(t + 0.1)
+        # FLIGHT_END itself can be corrupted, so the drone re-announces
+        # it until the auditor confirms completion (as the chaos harness
+        # does): fire-and-forget close frames don't survive a bad link.
+        while t < 120.0 and not (endpoint.complete
+                                 and uploader.fully_acked):
+            uploader.end_flight(t)
+            t += 0.5
+            endpoint.poll(t)
+            uploader.poll(t)
+        assert endpoint.complete
+        assert endpoint.records() == records
+        assert endpoint.corrupt_frames > 0
+
+    def test_retransmission_reuses_sequence_numbers(self):
+        uploader, endpoint = self.injected_pair(
+            FaultRule("link.uplink.send", "drop", max_count=2))
+        uploader.begin_flight(0.0)  # eaten (fault 1 of 2)
+        uploader.push(record(0), 0.1)  # eaten (fault 2 of 2)
+        endpoint.poll(0.5)
+        uploader.poll(1.0)  # RTO expired -> retransmit, same sequence
+        endpoint.poll(1.5)
+        assert uploader.stats.retransmissions == 1
+        assert endpoint.records() == [record(0)]
 
 
 class TestEnergyModel:

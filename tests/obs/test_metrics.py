@@ -194,3 +194,58 @@ class TestAdapters:
         assert snapshot["sim.events.total"]["value"] == 3
         assert snapshot["sim.events.kind.sample"]["value"] == 2
         assert snapshot["sim.events.kind.violation"]["value"] == 1
+
+    def test_fault_stats_source(self, registry):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, FaultRule
+        from repro.obs import register_fault_stats
+
+        injector = FaultInjector(FaultPlan("t", (
+            FaultRule("link.uplink.send", "drop"),)))
+        register_fault_stats(registry, injector.stats)
+        injector.link_deliveries("link.uplink.send", b"m")
+        snapshot = registry.collect()
+        assert snapshot["fault.opportunities.total"]["value"] == 1
+        assert snapshot["fault.opportunities.link.uplink.send"]["value"] == 1
+        assert snapshot["fault.injected.total"]["value"] == 1
+        assert snapshot["fault.injected.link.uplink.send.drop"] == {
+            "type": "counter", "value": 1}
+        # Live view: later injections show without re-registering.
+        injector.link_deliveries("link.uplink.send", b"m")
+        assert registry.collect()["fault.injected.total"]["value"] == 2
+
+    def test_retry_stats_source(self, registry):
+        import random
+
+        from repro.errors import TransientError
+        from repro.faults.retry import (
+            RetryPolicy,
+            RetryStats,
+            execute_with_retry,
+        )
+        from repro.obs import register_retry_stats
+        from repro.sim.clock import SimClock
+
+        stats = RetryStats()
+        register_retry_stats(registry, stats)
+        attempts = iter([TransientError("busy"), "ok"])
+
+        def flaky():
+            item = next(attempts)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        execute_with_retry(flaky, clock=SimClock(0.0),
+                           policy=RetryPolicy(max_attempts=3),
+                           rng=random.Random(0), stats=stats,
+                           operation="register")
+        snapshot = registry.collect()
+        assert snapshot["retry.calls"]["value"] == 1
+        assert snapshot["retry.attempts"]["value"] == 2
+        assert snapshot["retry.retries"]["value"] == 1
+        assert snapshot["retry.recoveries"]["value"] == 1
+        assert snapshot["retry.giveups"]["value"] == 0
+        assert snapshot["retry.total_backoff_seconds"]["value"] > 0
+        assert snapshot["retry.op.register.retries"] == {
+            "type": "counter", "value": 1}

@@ -220,3 +220,38 @@ class TestMonitor:
         core, _, _ = platform
         with pytest.raises(TeeError):
             SecureMonitor(core)
+
+
+class TestMonitorFaultInjection:
+    def outage(self, fails):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, FaultRule
+        return FaultInjector(FaultPlan("t", (
+            FaultRule(SecureMonitor.FAULT_POINT, "fail",
+                      max_count=fails),)))
+
+    def test_fail_raises_before_world_switch(self, platform, vendor_key):
+        """An injected SMC failure models a call the secure world never
+        serviced: TeeTransientError, no switch counted, no TA dispatch."""
+        from repro.errors import TeeTransientError
+
+        core, monitor, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        before = monitor.stats.world_switches
+        monitor.attach_injector(self.outage(1))
+        with pytest.raises(TeeTransientError):
+            client.invoke(sid, "echo", {"value": 1})
+        assert monitor.stats.world_switches == before
+        assert monitor.stats.calls_by_command["echo"] == 0
+        # The fault budget is exhausted: the next call goes through.
+        assert client.invoke(sid, "echo", {"value": 2}) == 2
+        assert monitor.stats.world_switches == before + 2
+
+    def test_detach_restores_clean_path(self, platform, vendor_key):
+        core, monitor, client = platform
+        core.ta_store.install(sign_trusted_app(EchoTA, ECHO_UUID, vendor_key))
+        sid = client.open_session(ECHO_UUID)
+        monitor.attach_injector(self.outage(99))
+        monitor.attach_injector(None)
+        assert client.invoke(sid, "echo", {"value": 3}) == 3
