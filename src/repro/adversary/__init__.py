@@ -1,0 +1,42 @@
+"""Attack simulation against the full AliDrone deployment.
+
+Models the paper's dishonest Drone Operator (§III threat model): every
+attack starts from a *real* simulated NFZ-violating flight — signed sample
+by sample inside the software TEE — and mutates it into a forged PoA
+submission, which is then pushed through the genuine server stack
+(decrypt, staged verification, evidence retention, incident adjudication).
+An attack "wins" only if the forged submission is verified ACCEPTED *and*
+the subsequent incident adjudication clears the drone; everything short of
+that is a rejection, labelled with the stable
+:class:`~repro.core.verification.RejectionReason` /
+:class:`~repro.server.violations.ViolationKind` taxonomy so the matrix can
+assert not just *that* an attack failed but *why*.
+"""
+
+from repro.adversary.attacks import (
+    Attack,
+    AttackResult,
+    SubmissionAttack,
+    builtin_attacks,
+)
+from repro.adversary.matrix import (
+    AttackCell,
+    AttackReport,
+    AttackStats,
+    AttackWorld,
+    build_world,
+    run_matrix,
+)
+
+__all__ = [
+    "Attack",
+    "AttackCell",
+    "AttackReport",
+    "AttackResult",
+    "AttackStats",
+    "AttackWorld",
+    "SubmissionAttack",
+    "build_world",
+    "builtin_attacks",
+    "run_matrix",
+]

@@ -345,6 +345,61 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.adversary import AttackStats, run_matrix
+    from repro.conformance import run_differential
+    from repro.obs.adapters import register_attack_stats
+    from repro.obs.export import write_metrics_json
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workloads.synthetic import build_violation_variants
+
+    stats = AttackStats()
+    matrix = run_matrix(
+        scenarios=build_violation_variants(args.seed),
+        seed=args.seed, key_bits=args.attack_key_bits, stats=stats)
+    conformance = run_differential(
+        trajectories=args.trajectories, seed=args.seed,
+        key_bits=args.attack_key_bits)
+    payload = {
+        "matrix": matrix.to_dict(),
+        "conformance": conformance.to_dict(),
+        "ok": matrix.ok and conformance.ok,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"attack report -> {args.out}", file=sys.stderr)
+    if args.metrics_json:
+        registry = MetricsRegistry()
+        register_attack_stats(registry, stats)
+        path = write_metrics_json(args.metrics_json, registry)
+        print(f"metrics snapshot -> {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"attack matrix: {len(matrix.cells)} cells "
+              f"({len(matrix.config['attacks'])} attack(s) x "
+              f"{len(matrix.config['scenarios'])} scenario(s))")
+        for cell in matrix.cells:
+            mark = "ok" if cell.expected_ok else \
+                f"UNEXPECTED (wanted {', '.join(sorted(cell.expected))})"
+            print(f"  {cell.attack:<22} {cell.scenario:<22} "
+                  f"{cell.result.outcome:<22} {mark}")
+        inv = matrix.invariants
+        conf = conformance
+        print(f"  false accepts       : {len(inv['false_accepts'])}")
+        print(f"  unexpected outcomes : {len(inv['unexpected_outcomes'])}")
+        print(f"  control failures    : {len(inv['control_failures'])}")
+        print(f"  conformance         : {conf.honest_agreements}"
+              f"/{conf.honest_trials} honest, "
+              f"{conf.mutated_agreements}/{conf.mutated_trials} mutated, "
+              f"{conf.index_agreements}/{conf.index_trials} index-equiv")
+        print(f"  verdict             : "
+              f"{'OK' if payload['ok'] else 'FAILED'}")
+    return 0 if payload["ok"] else 1
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import (
         build_airport_scenario,
@@ -482,6 +537,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="print the report as JSON instead of prose")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    attack = sub.add_parser(
+        "attack",
+        help="adversary matrix sweep + differential conformance harness")
+    attack.add_argument("--trajectories", type=int, default=200,
+                        help="randomized conformance trajectories "
+                             "(default 200)")
+    attack.add_argument("--attack-key-bits", type=int, default=512,
+                        choices=(512, 1024, 2048),
+                        help="key size for attack runs (default 512: the "
+                             "matrix provisions devices and signs per "
+                             "sample)")
+    attack.add_argument("--out", metavar="PATH", default=None,
+                        help="write the attack report as JSON")
+    attack.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of prose")
+    attack.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write an adversary.* metrics snapshot (JSON)")
+    attack.set_defaults(handler=_cmd_attack)
 
     export = sub.add_parser("export",
                             help="dump a scenario as GeoJSON")

@@ -1,0 +1,293 @@
+"""Randomized differential testing of pipeline vs. reference verifier.
+
+:func:`run_differential` generates randomized trajectories — honest walks
+and deliberately broken mutations of them — and verifies each through the
+staged pipeline *and* :func:`repro.conformance.reference.reference_verify`,
+demanding field-for-field identical reports.  Trials with zones also run
+the index/exhaustive decision-equivalence arm: the same context verified
+with a pre-built :class:`ZoneProximityIndex` and with the index disabled
+must produce the same report.  :func:`run_sampler_equivalence` closes the
+loop on the sampler side: an adaptive-policy flight with the zone index on
+must take exactly the same samples (and sign exactly the same bytes) as
+one with the index off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.conformance.reference import reference_verify
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.verification import PoaVerifier, VerificationReport
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.geo.proximity import ZoneProximityIndex
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.units import FAA_MAX_SPEED_MPS
+from repro.workloads.runner import run_policy
+from repro.workloads.synthetic import build_random_scenario
+
+_ORIGIN = GeoPoint(40.2000, -88.3000)
+
+
+def random_zones(rng: random.Random, frame: LocalFrame, n: int,
+                 area_m: float = 2_000.0,
+                 radius_range: tuple[float, float] = (20.0, 120.0),
+                 ) -> list[NoFlyZone]:
+    """``n`` zones scattered uniformly over the square area."""
+    zones = []
+    for _ in range(n):
+        x = rng.uniform(0.0, area_m)
+        y = rng.uniform(0.0, area_m)
+        center = frame.to_geo(x, y)
+        zones.append(NoFlyZone(center.lat, center.lon,
+                               rng.uniform(*radius_range)))
+    return zones
+
+
+def random_honest_poa(rng: random.Random, frame: LocalFrame,
+                      signing_key: RsaPrivateKey,
+                      max_samples: int = 10,
+                      area_m: float = 2_000.0,
+                      vmax_mps: float = FAA_MAX_SPEED_MPS,
+                      hash_name: str = "sha1") -> ProofOfAlibi:
+    """A feasible random walk, signed like an honest TEE would.
+
+    Consecutive legs move at most 80% of ``vmax``, leaving headroom under
+    the verifier's slackened bound for payload quantization; timestamps
+    strictly increase so every mutation that reverses the order is
+    guaranteed malformed.
+    """
+    n = rng.randint(2, max_samples)
+    x = rng.uniform(0.0, area_m)
+    y = rng.uniform(0.0, area_m)
+    t = DEFAULT_EPOCH + rng.uniform(0.0, 3_600.0)
+    poa = ProofOfAlibi()
+    for _ in range(n):
+        point = frame.to_geo(x, y)
+        payload = GpsSample(point.lat, point.lon, t).to_signed_payload()
+        poa.append(SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(signing_key, payload, hash_name)))
+        dt = rng.uniform(0.5, 20.0)
+        heading = rng.uniform(0.0, 2.0 * math.pi)
+        step = rng.uniform(0.0, 0.8 * vmax_mps) * dt
+        x += math.cos(heading) * step
+        y += math.sin(heading) * step
+        t += dt
+    return poa
+
+
+def _resign(sample: GpsSample, key: RsaPrivateKey,
+            hash_name: str = "sha1") -> SignedSample:
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, hash_name))
+
+
+def _mutate(name: str, poa: ProofOfAlibi, rng: random.Random,
+            signing_key: RsaPrivateKey) -> ProofOfAlibi:
+    """Break an honest PoA in one specific, always-rejectable way."""
+    entries = list(poa.entries)
+    if name == "bitflip_payload":
+        i = rng.randrange(len(entries))
+        payload = bytearray(entries[i].payload)
+        payload[rng.randrange(len(payload))] ^= 1 << rng.randrange(8)
+        entries[i] = SignedSample(payload=bytes(payload),
+                                  signature=entries[i].signature)
+    elif name == "bitflip_signature":
+        i = rng.randrange(len(entries))
+        sig = bytearray(entries[i].signature)
+        sig[rng.randrange(len(sig))] ^= 1 << rng.randrange(8)
+        entries[i] = SignedSample(payload=entries[i].payload,
+                                  signature=bytes(sig))
+    elif name == "reorder":
+        entries.reverse()
+    elif name == "teleport":
+        # A properly signed but physically impossible hop: the operator
+        # controls the key here, so only feasibility can catch it.
+        last = entries[-1].sample
+        moved = GpsSample(last.lat + 0.5, last.lon, last.t + 1.0)
+        entries.append(_resign(moved, signing_key))
+    elif name == "single_sample":
+        entries = entries[:1]
+    elif name == "empty":
+        entries = []
+    else:  # pragma: no cover - registry and dispatch kept in sync
+        raise ValueError(f"unknown mutation: {name}")
+    return ProofOfAlibi(entries)
+
+
+#: Mutations guaranteed non-accepted whenever at least one zone exists.
+MUTATIONS = ("bitflip_payload", "bitflip_signature", "reorder",
+             "teleport", "single_sample", "empty")
+
+
+def _report_dict(report: VerificationReport) -> dict:
+    return {
+        "status": report.status.value,
+        "reason": report.reason.value if report.reason else None,
+        "message": report.message,
+        "bad_signature_indices": list(report.bad_signature_indices),
+        "infeasible_pair_indices": list(report.infeasible_pair_indices),
+        "insufficient_pair_indices": list(report.insufficient_pair_indices),
+        "sample_count": report.sample_count,
+    }
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate verdict of one differential run."""
+
+    trajectories: int = 0
+    honest_trials: int = 0
+    honest_agreements: int = 0
+    honest_accepts: int = 0
+    mutated_trials: int = 0
+    mutated_agreements: int = 0
+    mutated_false_accepts: int = 0
+    index_trials: int = 0
+    index_agreements: int = 0
+    disagreements: list[dict] = field(default_factory=list)
+    sampler: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Every arm agreed and no broken PoA was ever accepted."""
+        return (not self.disagreements
+                and self.mutated_false_accepts == 0
+                and self.honest_agreements == self.honest_trials
+                and self.mutated_agreements == self.mutated_trials
+                and self.index_agreements == self.index_trials
+                and all(self.sampler.get(k, True)
+                        for k in ("sample_times_equal", "poa_digest_equal")))
+
+    def to_dict(self) -> dict:
+        return {
+            "trajectories": self.trajectories,
+            "honest_trials": self.honest_trials,
+            "honest_agreements": self.honest_agreements,
+            "honest_accepts": self.honest_accepts,
+            "mutated_trials": self.mutated_trials,
+            "mutated_agreements": self.mutated_agreements,
+            "mutated_false_accepts": self.mutated_false_accepts,
+            "index_trials": self.index_trials,
+            "index_agreements": self.index_agreements,
+            "disagreements": self.disagreements,
+            "sampler": self.sampler,
+            "ok": self.ok,
+        }
+
+
+def run_differential(trajectories: int = 200, seed: int = 0,
+                     key_bits: int = 512, max_zones: int = 12,
+                     include_sampler: bool = True) -> ConformanceReport:
+    """Verify ``trajectories`` random PoAs through both implementations.
+
+    Roughly one trial in three gets a mutation from :data:`MUTATIONS`
+    (cycled deterministically); the rest stay honest.  Mutated trials
+    always get at least one zone so "too little evidence" outcomes stay
+    distinguishable from acceptance.
+    """
+    rng = random.Random(seed)
+    signing_key = generate_rsa_keypair(key_bits, rng=rng)
+    frame = LocalFrame(_ORIGIN)
+    verifier = PoaVerifier(frame)
+    report = ConformanceReport(trajectories=trajectories)
+
+    for trial in range(trajectories):
+        mutated = trial % 3 == 2
+        mutation = MUTATIONS[(trial // 3) % len(MUTATIONS)] if mutated \
+            else None
+        n_zones = rng.randint(1 if mutated else 0, max_zones)
+        zones = random_zones(rng, frame, n_zones)
+        poa = random_honest_poa(rng, frame, signing_key)
+        if mutation is not None:
+            poa = _mutate(mutation, poa, rng, signing_key)
+
+        got = verifier.verify(poa, signing_key.public_key, zones)
+        want = reference_verify(poa, signing_key.public_key, zones, frame)
+        agree = got == want
+        if mutated:
+            report.mutated_trials += 1
+            report.mutated_agreements += agree
+            report.mutated_false_accepts += got.compliant
+        else:
+            report.honest_trials += 1
+            report.honest_agreements += agree
+            report.honest_accepts += got.compliant
+        if not agree:
+            report.disagreements.append({
+                "trial": trial,
+                "kind": mutation or "honest",
+                "zones": n_zones,
+                "pipeline": _report_dict(got),
+                "reference": _report_dict(want),
+            })
+
+        if n_zones and len(poa):
+            # Decision equivalence: forced index vs. forced exhaustive
+            # scan over the same context (signature verdicts reused).
+            circles = [z.to_circle(frame) for z in zones]
+            indexed = verifier.pipeline().run(verifier.context(
+                poa, signing_key.public_key, zones,
+                zone_index=ZoneProximityIndex.from_circles(circles),
+                bad_signature_indices=list(got.bad_signature_indices)))
+            flat = verifier.pipeline().run(verifier.context(
+                poa, signing_key.public_key, zones,
+                use_zone_index=False,
+                bad_signature_indices=list(got.bad_signature_indices)))
+            report.index_trials += 1
+            report.index_agreements += indexed == flat == got
+            if not indexed == flat == got:
+                report.disagreements.append({
+                    "trial": trial,
+                    "kind": "index-equivalence",
+                    "zones": n_zones,
+                    "pipeline": _report_dict(indexed),
+                    "reference": _report_dict(flat),
+                })
+
+    if include_sampler:
+        report.sampler = run_sampler_equivalence(seed=seed,
+                                                 key_bits=key_bits)
+    return report
+
+
+def _poa_digest(poa: ProofOfAlibi) -> str:
+    digest = hashlib.sha256()
+    for entry in poa:
+        digest.update(entry.payload)
+        digest.update(entry.signature)
+    return digest.hexdigest()
+
+
+def run_sampler_equivalence(seed: int = 0, key_bits: int = 512,
+                            n_zones: int = 12) -> dict:
+    """Adaptive sampling with vs. without the zone index, same flight.
+
+    Both runs provision identically-seeded devices over the same random
+    scenario; decision equivalence means identical sample instants and a
+    bit-identical signed PoA.
+    """
+    scenario = build_random_scenario(seed=seed, n_zones=n_zones)
+    with_index = run_policy(scenario, "adaptive", key_bits=key_bits,
+                            seed=seed, use_index=True)
+    without = run_policy(scenario, "adaptive", key_bits=key_bits,
+                         seed=seed, use_index=False)
+    return {
+        "scenario": scenario.name,
+        "samples_with_index": with_index.sample_count,
+        "samples_without_index": without.sample_count,
+        "sample_times_equal":
+            with_index.sample_times == without.sample_times,
+        "poa_digest_equal":
+            _poa_digest(with_index.result.poa)
+            == _poa_digest(without.result.poa),
+    }

@@ -1,0 +1,134 @@
+"""An independent, naive re-implementation of the Auditor's verdict.
+
+This is the reference arm of the differential harness.  It re-derives the
+paper's checks (§IV-C2) from first principles as one straight-line
+function: no pipeline stages, no batch caches, no memoized projections,
+no spatial index — just per-entry signature checks, a decode loop, an
+ordering scan, per-pair speed arithmetic, and the conservative sufficiency
+inequality written out with :func:`math.hypot`.  Because it shares no
+execution path with :class:`repro.core.verification.VerificationPipeline`
+beyond the crypto primitives and the projection formula, agreement between
+the two is strong evidence that neither has drifted from the spec.
+
+Reports are field-for-field comparable (``==``) with the pipeline's,
+including messages, rejection reasons, and failure indices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi
+from repro.core.verification import (
+    RejectionReason,
+    VerificationReport,
+    VerificationStatus,
+)
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import EncodingError
+from repro.geo.geodesy import LocalFrame
+from repro.units import FAA_MAX_SPEED_MPS
+
+#: Mirrors the geometry module's comparison epsilon (kept as a literal on
+#: purpose: the reference must not import the implementation under test).
+_EPS = 1e-9
+
+
+def reference_verify(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
+                     zones: Sequence[NoFlyZone], frame: LocalFrame,
+                     vmax_mps: float = FAA_MAX_SPEED_MPS,
+                     hash_name: str = "sha1",
+                     feasibility_slack: float = 1.02) -> VerificationReport:
+    """The specification's verdict on one PoA, computed the slow way.
+
+    Only the paper's ``"conservative"`` sufficiency predicate is
+    implemented; the exact-geometry variant belongs to the ablation
+    benchmark, not the conformance baseline.
+    """
+    if len(poa) == 0:
+        return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
+                                  message="PoA contains no samples",
+                                  reason=RejectionReason.EMPTY_POA)
+
+    # 1. Authenticity: every signature verifies under T+.
+    bad = [i for i, entry in enumerate(poa)
+           if not entry.verify(tee_public_key, hash_name)]
+    if bad:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_BAD_SIGNATURE,
+            bad_signature_indices=bad,
+            sample_count=len(poa),
+            message=f"{len(bad)} of {len(poa)} signatures failed",
+            reason=RejectionReason.BAD_SIGNATURE)
+
+    # 2a. Well-formedness: payloads decode.
+    samples = []
+    try:
+        for entry in poa:
+            samples.append(entry.sample)
+    except EncodingError as exc:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_MALFORMED,
+            sample_count=len(poa), message=str(exc),
+            reason=RejectionReason.MALFORMED_PAYLOAD)
+
+    # 2b. Well-formedness: timestamps are non-decreasing.
+    for a, b in zip(samples, samples[1:]):
+        if b.t < a.t:
+            return VerificationReport(
+                status=VerificationStatus.REJECTED_MALFORMED,
+                sample_count=len(poa),
+                message="sample timestamps are not non-decreasing",
+                reason=RejectionReason.OUT_OF_ORDER)
+
+    positions = [frame.to_local(s.point) for s in samples]
+
+    # 3. Physical feasibility: no pair exceeds the slackened speed bound.
+    infeasible = []
+    limit = vmax_mps * feasibility_slack
+    for i in range(len(samples) - 1):
+        dt = samples[i + 1].t - samples[i].t
+        distance = math.dist(positions[i], positions[i + 1])
+        if dt <= 0.0:
+            if distance > 0.0:
+                infeasible.append(i)
+        elif distance > limit * dt + _EPS:
+            infeasible.append(i)
+    if infeasible:
+        return VerificationReport(
+            status=VerificationStatus.REJECTED_INFEASIBLE,
+            infeasible_pair_indices=infeasible,
+            sample_count=len(poa),
+            message=f"{len(infeasible)} pairs exceed v_max",
+            reason=RejectionReason.SPEED_INFEASIBLE)
+
+    # 4. Sufficiency: paper eq. (1), conservative form — the pair clears a
+    # zone when the focus-to-boundary distances satisfy D1 + D2 > vmax*dt.
+    centers = [(frame.to_local(z.center), z.radius_m) for z in zones]
+    if len(samples) < 2:
+        insufficient = [0] if zones else []
+    else:
+        insufficient = []
+        for i in range(len(samples) - 1):
+            focal_sum = vmax_mps * (samples[i + 1].t - samples[i].t)
+            ax, ay = positions[i]
+            bx, by = positions[i + 1]
+            for (cx, cy), r in centers:
+                d1 = math.hypot(ax - cx, ay - cy) - r
+                d2 = math.hypot(bx - cx, by - cy) - r
+                if d1 + d2 <= focal_sum + _EPS:
+                    insufficient.append(i)
+                    break
+    if insufficient:
+        return VerificationReport(
+            status=VerificationStatus.INSUFFICIENT,
+            insufficient_pair_indices=insufficient,
+            sample_count=len(poa),
+            message=(f"{len(insufficient)} pairs cannot rule out NFZ "
+                     "entrance"),
+            reason=RejectionReason.INSUFFICIENT_COVERAGE)
+
+    return VerificationReport(status=VerificationStatus.ACCEPTED,
+                              sample_count=len(poa))

@@ -28,7 +28,12 @@ from repro.core.protocol import (
     ZoneRegistrationRequest,
     PoaSubmission,
 )
-from repro.core.verification import PoaVerifier, VerificationReport, VerificationStatus
+from repro.core.verification import (
+    PoaVerifier,
+    RejectionReason,
+    VerificationReport,
+    VerificationStatus,
+)
 from repro.core.attacks import (
     forge_straight_route,
     replay_old_poa,
@@ -57,6 +62,7 @@ __all__ = [
     "ZoneRegistrationRequest",
     "PoaSubmission",
     "PoaVerifier",
+    "RejectionReason",
     "VerificationReport",
     "VerificationStatus",
     "forge_straight_route",

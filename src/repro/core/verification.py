@@ -70,6 +70,27 @@ class VerificationStatus(enum.Enum):
     REJECTED_EMPTY = "empty"
 
 
+class RejectionReason(enum.Enum):
+    """The stable rejection taxonomy (finer-grained than the status).
+
+    A status can be reached from more than one check — ``REJECTED_MALFORMED``
+    covers undecodable payloads, out-of-order timestamps, and (at the
+    engine's intake) undecryptable records.  Downstream tooling (the
+    adversary matrix, the conformance harness, incident dashboards) needs
+    to distinguish them without parsing free-text messages, so every
+    non-accepted report carries exactly one of these values.  The string
+    values are a wire/report format: never rename them.
+    """
+
+    BAD_SIGNATURE = "bad_signature"
+    MALFORMED_PAYLOAD = "malformed_payload"
+    OUT_OF_ORDER = "out_of_order"
+    SPEED_INFEASIBLE = "speed_infeasible"
+    INSUFFICIENT_COVERAGE = "insufficient_coverage"
+    EMPTY_POA = "empty_poa"
+    DECRYPT_FAILED = "decrypt_failed"
+
+
 @dataclass
 class VerificationReport:
     """Everything the Auditor learns from one verification run."""
@@ -80,6 +101,8 @@ class VerificationReport:
     insufficient_pair_indices: list[int] = field(default_factory=list)
     sample_count: int = 0
     message: str = ""
+    #: Why the PoA was not accepted (None exactly when ACCEPTED).
+    reason: RejectionReason | None = None
 
     @property
     def compliant(self) -> bool:
@@ -95,6 +118,7 @@ class StageFinding:
     status: VerificationStatus
     message: str
     indices: tuple[int, ...] = ()
+    reason: RejectionReason | None = None
 
 
 @dataclass
@@ -117,6 +141,10 @@ class VerificationContext:
     hash_name: str = "sha1"
     method: Method = "conservative"
     feasibility_slack: float = 1.02
+    #: When False the sufficiency stage always takes the exhaustive
+    #: projected scan, regardless of zone count — the reference arm of the
+    #: conformance harness's index/exhaustive decision-equivalence check.
+    use_zone_index: bool = True
 
     #: Decoded samples (set by :class:`DecodeStage`).
     samples: list[GpsSample] | None = None
@@ -170,6 +198,8 @@ class VerificationContext:
         sufficiency stage should fall back to the plain projected scan —
         both paths produce identical verdicts.
         """
+        if not self.use_zone_index:
+            return None
         if self.zone_index is None and len(self.zones) >= ZONE_INDEX_MIN_ZONES:
             self.zone_index = ZoneProximityIndex.from_circles(
                 self.ensure_zone_circles())
@@ -223,7 +253,8 @@ class SignatureStage(VerificationStage):
                 stage=self.name,
                 status=VerificationStatus.REJECTED_BAD_SIGNATURE,
                 message=f"{len(bad)} of {len(ctx.poa)} signatures failed",
-                indices=tuple(bad))
+                indices=tuple(bad),
+                reason=RejectionReason.BAD_SIGNATURE)
         return None
 
 
@@ -239,7 +270,8 @@ class DecodeStage(VerificationStage):
         except EncodingError as exc:
             return StageFinding(stage=self.name,
                                 status=VerificationStatus.REJECTED_MALFORMED,
-                                message=str(exc))
+                                message=str(exc),
+                                reason=RejectionReason.MALFORMED_PAYLOAD)
         return None
 
 
@@ -255,7 +287,8 @@ class OrderingStage(VerificationStage):
             return None
         return StageFinding(
             stage=self.name, status=VerificationStatus.REJECTED_MALFORMED,
-            message="sample timestamps are not non-decreasing")
+            message="sample timestamps are not non-decreasing",
+            reason=RejectionReason.OUT_OF_ORDER)
 
 
 class FeasibilityStage(VerificationStage):
@@ -275,7 +308,8 @@ class FeasibilityStage(VerificationStage):
                 stage=self.name,
                 status=VerificationStatus.REJECTED_INFEASIBLE,
                 message=f"{len(failures)} pairs exceed v_max",
-                indices=tuple(failures))
+                indices=tuple(failures),
+                reason=RejectionReason.SPEED_INFEASIBLE)
         return None
 
     @staticmethod
@@ -328,7 +362,8 @@ class SufficiencyStage(VerificationStage):
                 stage=self.name, status=VerificationStatus.INSUFFICIENT,
                 message=(f"{len(insufficient)} pairs cannot rule out NFZ "
                          "entrance"),
-                indices=tuple(insufficient))
+                indices=tuple(insufficient),
+                reason=RejectionReason.INSUFFICIENT_COVERAGE)
         return None
 
     def sample_count(self, ctx: VerificationContext) -> int:
@@ -383,7 +418,8 @@ class VerificationPipeline:
         """Execute the pipeline and report the outcome."""
         if len(ctx.poa) == 0:
             return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
-                                      message="PoA contains no samples")
+                                      message="PoA contains no samples",
+                                      reason=RejectionReason.EMPTY_POA)
         collect = self.mode == self.COLLECT_FINDINGS
         tracer = get_tracer()
         for stage in self.stages:
@@ -414,7 +450,8 @@ class VerificationPipeline:
         primary = ctx.findings[0]
         report = VerificationReport(status=primary.status,
                                     sample_count=len(ctx.poa),
-                                    message=primary.message)
+                                    message=primary.message,
+                                    reason=primary.reason)
         if self.mode == self.COLLECT_FINDINGS and len(ctx.findings) > 1:
             report.message = "; ".join(f.message for f in ctx.findings)
         for finding in ctx.findings:
@@ -461,6 +498,7 @@ class PoaVerifier:
                 zone_circles: list[Circle] | None = None,
                 zone_index: ZoneProximityIndex | None = None,
                 bad_signature_indices: list[int] | None = None,
+                use_zone_index: bool = True,
                 ) -> VerificationContext:
         """A context carrying this verifier's parameters (and any caches)."""
         return VerificationContext(
@@ -468,6 +506,7 @@ class PoaVerifier:
             frame=self.frame, vmax_mps=self.vmax_mps,
             hash_name=self.hash_name, method=self.method,
             feasibility_slack=self.feasibility_slack,
+            use_zone_index=use_zone_index,
             position_memo=position_memo, zone_circles=zone_circles,
             zone_index=zone_index,
             bad_signature_indices=bad_signature_indices)

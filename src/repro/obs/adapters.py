@@ -200,3 +200,32 @@ def register_event_log(registry, event_log,
 
     registry.add_source(source)
     return source
+
+
+def register_attack_stats(registry, stats,
+                          prefix: str = "adversary") -> Source:
+    """Surface a :class:`repro.adversary.matrix.AttackStats` through ``registry``.
+
+    Aggregate counters (``<prefix>.attacks_run``, ``.rejected``,
+    ``.false_accepts``, ``.unexpected_outcomes``) plus a per-label
+    ``<prefix>.outcome.<label>`` breakdown, so a snapshot shows how every
+    attack in a matrix sweep was dispatched.
+    """
+    def source() -> dict[str, dict[str, Any]]:
+        out = {
+            f"{prefix}.attacks_run": {"type": "counter",
+                                      "value": stats.attacks_run},
+            f"{prefix}.rejected": {"type": "counter",
+                                   "value": stats.rejected},
+            f"{prefix}.false_accepts": {"type": "counter",
+                                        "value": stats.false_accepts},
+            f"{prefix}.unexpected_outcomes": {
+                "type": "counter", "value": stats.unexpected_outcomes},
+        }
+        for label, count in sorted(stats.by_outcome.items()):
+            out[f"{prefix}.outcome.{label}"] = {"type": "counter",
+                                                "value": count}
+        return out
+
+    registry.add_source(source)
+    return source

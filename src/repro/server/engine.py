@@ -41,6 +41,7 @@ from repro.core.poa import ProofOfAlibi, SignedSample
 from repro.core.protocol import PoaSubmission
 from repro.core.verification import (
     PoaVerifier,
+    RejectionReason,
     VerificationPipeline,
     VerificationReport,
     VerificationStatus,
@@ -378,7 +379,8 @@ class AuditEngine:
                     outcomes[slot].report = VerificationReport(
                         status=VerificationStatus.REJECTED_MALFORMED,
                         sample_count=len(submission.records),
-                        message=f"PoA decryption failed: {decrypt_error}")
+                        message=f"PoA decryption failed: {decrypt_error}",
+                        reason=RejectionReason.DECRYPT_FAILED)
                     continue
                 for (_cached, ciphertext, _sig), payload in zip(args[1],
                                                                 payloads):

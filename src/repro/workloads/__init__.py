@@ -13,6 +13,7 @@ from repro.workloads.residential import build_residential_scenario
 from repro.workloads.synthetic import (
     build_random_scenario,
     build_violation_scenario,
+    build_violation_variants,
 )
 from repro.workloads.national import (
     build_national_scenario,
@@ -28,6 +29,7 @@ __all__ = [
     "build_residential_scenario",
     "build_random_scenario",
     "build_violation_scenario",
+    "build_violation_variants",
     "build_national_scenario",
     "build_national_zone_field",
 ]

@@ -103,3 +103,46 @@ def build_violation_scenario(seed: int = 0, area_m: float = 2_000.0,
         t_end=t0 + source.duration,
         gps_noise_std_m=1.0,
     )
+
+
+def build_violation_variants(seed: int = 0, area_m: float = 2_000.0,
+                             zone_radius_m: float = 120.0,
+                             origin: GeoPoint = GeoPoint(40.2000, -88.3000),
+                             t0_offset_s: float = 86_400.0,
+                             ) -> list[Scenario]:
+    """Three distinct NFZ-incursion geometries for the attack matrix.
+
+    All cross the single zone, but along different paths: straight
+    through the centre, diagonally across, and clipping an edge chord.
+    The flights start ``t0_offset_s`` after :data:`DEFAULT_EPOCH` so a
+    PoA replayed from an earlier (epoch-time) flight cannot share the
+    violation's claimed window — the replay must be caught by the
+    covering check, exactly as in a real cross-flight replay.
+    """
+    frame = LocalFrame(origin)
+    mid = (area_m / 2.0, area_m / 2.0)
+    center = frame.to_geo(*mid)
+    zones = [NoFlyZone(center.lat, center.lon, zone_radius_m)]
+    t0 = DEFAULT_EPOCH + t0_offset_s
+    clip_y = area_m / 2.0 + 0.6 * zone_radius_m
+    routes = {
+        "straight": [(0.0, area_m / 2.0), mid, (area_m, area_m / 2.0)],
+        "diagonal": [(0.0, 0.2 * area_m), mid, (area_m, 0.8 * area_m)],
+        "edge-clip": [(0.0, clip_y), (area_m, clip_y)],
+    }
+    variants = []
+    for label, route in routes.items():
+        source = simulate_waypoint_flight(route, t0,
+                                          kinematics=DroneKinematics())
+        variants.append(Scenario(
+            name=f"violation-{label}-{seed}",
+            description=(f"{label} incursion through a {zone_radius_m:.0f} m "
+                         f"NFZ in a {area_m:.0f} m square"),
+            frame=frame,
+            zones=zones,
+            source=source,
+            t_start=t0,
+            t_end=t0 + source.duration,
+            gps_noise_std_m=1.0,
+        ))
+    return variants

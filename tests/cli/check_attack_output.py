@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Schema and acceptance checks for the ``alidrone attack`` artefact.
+
+The CI conformance-smoke job runs the full attack sweep and points this
+script at the JSON report.  Stdlib-only, like its chaos sibling — it
+checks the artefact *format* plus the PR's headline acceptance criteria:
+
+* top level: ``matrix`` / ``conformance`` / ``ok``;
+* the matrix covers at least ``--min-attacks`` attack classes across at
+  least ``--min-scenarios`` scenarios, with **zero** false accepts, zero
+  unexpected outcomes, and both honest controls passing per scenario;
+* the conformance section ran at least ``--min-trajectories``
+  trajectories with 100% pipeline/reference agreement on honest *and*
+  mutated trials, 100% index/exhaustive decision equivalence, and a
+  sampler equivalence verdict;
+* every ``ok`` flag is consistent with the blocks it summarizes.
+
+Exit 0 when every provided file passes, 1 otherwise (problems are listed
+on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+MATRIX_FIELDS = {"config", "cells", "controls", "stats", "invariants", "ok"}
+CELL_FIELDS = {"attack", "scenario", "outcome", "expected", "expected_ok",
+               "accepted", "cleared", "false_accept", "detail"}
+CONFORMANCE_FIELDS = {"trajectories", "honest_trials", "honest_agreements",
+                      "honest_accepts", "mutated_trials",
+                      "mutated_agreements", "mutated_false_accepts",
+                      "index_trials", "index_agreements", "disagreements",
+                      "sampler", "ok"}
+SAMPLER_FIELDS = {"scenario", "samples_with_index", "samples_without_index",
+                  "sample_times_equal", "poa_digest_equal"}
+
+
+def _load(path: str):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _check_matrix(path: str, matrix, min_attacks: int,
+                  min_scenarios: int) -> list[str]:
+    problems: list[str] = []
+    missing = MATRIX_FIELDS - set(matrix)
+    if missing:
+        return [f"{path}: matrix missing fields {sorted(missing)}"]
+
+    config = matrix["config"]
+    attacks = config.get("attacks", [])
+    scenarios = config.get("scenarios", [])
+    if len(attacks) < min_attacks:
+        problems.append(f"{path}: only {len(attacks)} attack classes "
+                        f"(need >= {min_attacks})")
+    if len(scenarios) < min_scenarios:
+        problems.append(f"{path}: only {len(scenarios)} scenarios "
+                        f"(need >= {min_scenarios})")
+
+    cells = matrix["cells"]
+    if not isinstance(cells, list) or \
+            len(cells) != len(attacks) * len(scenarios):
+        problems.append(f"{path}: {len(cells)} cells for "
+                        f"{len(attacks)} x {len(scenarios)} matrix")
+    for cell in cells:
+        label = f"{cell.get('attack')}/{cell.get('scenario')}"
+        missing = CELL_FIELDS - set(cell)
+        if missing:
+            problems.append(f"{path}: cell {label} missing fields "
+                            f"{sorted(missing)}")
+            continue
+        if cell["attack"] not in attacks:
+            problems.append(f"{path}: cell {label} names unknown attack")
+        if cell["scenario"] not in scenarios:
+            problems.append(f"{path}: cell {label} names unknown scenario")
+        if cell["false_accept"]:
+            problems.append(f"{path}: FALSE ACCEPT at {label}")
+        if cell["false_accept"] is not (cell["accepted"]
+                                        and cell["cleared"]):
+            problems.append(f"{path}: cell {label} false_accept flag "
+                            "contradicts accepted/cleared")
+        if not cell["expected_ok"]:
+            problems.append(f"{path}: cell {label} outcome "
+                            f"{cell['outcome']!r} not in expected "
+                            f"{cell['expected']}")
+        if cell["expected_ok"] is not (cell["outcome"] in cell["expected"]):
+            problems.append(f"{path}: cell {label} expected_ok flag "
+                            "contradicts outcome/expected")
+
+    controls = matrix["controls"]
+    if len(controls) < 2 * len(scenarios):
+        problems.append(f"{path}: {len(controls)} controls for "
+                        f"{len(scenarios)} scenarios (need 2 each)")
+    for control in controls:
+        if not control.get("ok"):
+            problems.append(f"{path}: control {control.get('name')} failed")
+
+    stats = matrix["stats"]
+    if stats.get("false_accepts") != 0:
+        problems.append(f"{path}: stats report "
+                        f"{stats.get('false_accepts')} false accepts")
+    if stats.get("attacks_run") != len(cells):
+        problems.append(f"{path}: stats attacks_run disagrees with cells")
+
+    inv = matrix["invariants"]
+    derived_ok = (not inv.get("false_accepts")
+                  and not inv.get("unexpected_outcomes")
+                  and not inv.get("control_failures"))
+    if matrix["ok"] is not derived_ok:
+        problems.append(f"{path}: matrix ok={matrix['ok']!r} contradicts "
+                        "the invariant block")
+    return problems
+
+
+def _check_conformance(path: str, conf, min_trajectories: int) -> list[str]:
+    problems: list[str] = []
+    missing = CONFORMANCE_FIELDS - set(conf)
+    if missing:
+        return [f"{path}: conformance missing fields {sorted(missing)}"]
+    if conf["trajectories"] < min_trajectories:
+        problems.append(f"{path}: only {conf['trajectories']} trajectories "
+                        f"(need >= {min_trajectories})")
+    if conf["honest_trials"] + conf["mutated_trials"] \
+            != conf["trajectories"]:
+        problems.append(f"{path}: honest + mutated trials != trajectories")
+    for kind in ("honest", "mutated", "index"):
+        trials = conf[f"{kind}_trials"]
+        agreements = conf[f"{kind}_agreements"]
+        if agreements != trials:
+            problems.append(f"{path}: {kind} agreement {agreements}/"
+                            f"{trials} is not 100%")
+    if conf["mutated_false_accepts"] != 0:
+        problems.append(f"{path}: {conf['mutated_false_accepts']} mutated "
+                        "PoAs were accepted")
+    if conf["disagreements"]:
+        problems.append(f"{path}: {len(conf['disagreements'])} "
+                        "disagreements recorded")
+    sampler = conf["sampler"]
+    missing = SAMPLER_FIELDS - set(sampler)
+    if missing:
+        problems.append(f"{path}: sampler block missing fields "
+                        f"{sorted(missing)}")
+    elif not (sampler["sample_times_equal"] and sampler["poa_digest_equal"]):
+        problems.append(f"{path}: sampler index/exhaustive runs diverged")
+    return problems
+
+
+def check_attack(path: str, min_attacks: int, min_scenarios: int,
+                 min_trajectories: int) -> list[str]:
+    """Problems with an attack report file (empty list = clean)."""
+    try:
+        document = _load(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(document, dict):
+        return [f"{path}: expected a JSON object"]
+    missing = {"matrix", "conformance", "ok"} - set(document)
+    if missing:
+        return [f"{path}: missing fields {sorted(missing)}"]
+    problems = _check_matrix(path, document["matrix"], min_attacks,
+                             min_scenarios)
+    problems += _check_conformance(path, document["conformance"],
+                                   min_trajectories)
+    if document["ok"] is not (document["matrix"].get("ok") is True
+                              and document["conformance"].get("ok") is True):
+        problems.append(f"{path}: top-level ok contradicts section flags")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--attack", action="append", default=[],
+                        help="attack report JSON to check (repeatable)")
+    parser.add_argument("--min-attacks", type=int, default=8,
+                        help="minimum attack classes (default 8)")
+    parser.add_argument("--min-scenarios", type=int, default=3,
+                        help="minimum scenarios (default 3)")
+    parser.add_argument("--min-trajectories", type=int, default=200,
+                        help="minimum conformance trajectories "
+                             "(default 200)")
+    args = parser.parse_args(argv)
+    if not args.attack:
+        parser.error("nothing to check")
+
+    problems: list[str] = []
+    for path in args.attack:
+        problems.extend(check_attack(path, args.min_attacks,
+                                     args.min_scenarios,
+                                     args.min_trajectories))
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"attack check: {len(args.attack)} file(s) ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

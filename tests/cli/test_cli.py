@@ -147,6 +147,41 @@ class TestChaosCommand:
         assert "unknown fault plan" in captured.err
 
 
+class TestAttackCommand:
+    def test_small_sweep_writes_valid_report(self, tmp_path, capsys):
+        """A reduced-trajectory sweep passes invariants and the checker."""
+        import json
+        import pathlib
+        import sys
+
+        target = tmp_path / "attack.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(["--seed", "3", "attack", "--trajectories", "12",
+                     "--out", str(target), "--metrics-json", str(metrics)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attack matrix: 36 cells" in out
+        assert "false accepts       : 0" in out
+        assert "verdict" in out and "OK" in out
+
+        report = json.loads(target.read_text())
+        assert report["ok"] is True
+        assert report["conformance"]["trajectories"] == 12
+
+        snapshot = json.loads(metrics.read_text())
+        flat = json.dumps(snapshot)
+        assert "adversary.attacks_run" in flat
+        assert "adversary.false_accepts" in flat
+
+        sys.path.insert(0, str(pathlib.Path(__file__).parent))
+        try:
+            from check_attack_output import check_attack
+        finally:
+            sys.path.pop(0)
+        assert check_attack(str(target), min_attacks=8, min_scenarios=3,
+                            min_trajectories=12) == []
+
+
 class TestErrorHandling:
     def test_fixed_policy_without_rate_exits_cleanly(self, capsys):
         code = main(["--key-bits", "512", "simulate", "--zones", "4",

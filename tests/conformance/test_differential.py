@@ -1,0 +1,224 @@
+"""Differential conformance: staged pipeline vs. naive reference verifier.
+
+Every test here asserts *full report equality* (``VerificationReport`` is
+a plain dataclass, so ``==`` covers status, reason, indices, counts, and
+message text) between :class:`repro.core.verification.PoaVerifier` and the
+independent straight-line implementation in
+:mod:`repro.conformance.reference`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import reference_verify, run_differential
+from repro.conformance.harness import (
+    MUTATIONS,
+    _mutate,
+    random_honest_poa,
+    random_zones,
+)
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.verification import (
+    PoaVerifier,
+    RejectionReason,
+    VerificationStatus,
+)
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+
+
+@pytest.fixture(scope="module")
+def verifier(frame) -> PoaVerifier:
+    return PoaVerifier(frame)
+
+
+def signed(key, sample: GpsSample) -> SignedSample:
+    payload = sample.to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+def both(verifier, frame, poa, key, zones):
+    got = verifier.verify(poa, key.public_key, zones)
+    want = reference_verify(poa, key.public_key, zones, frame)
+    return got, want
+
+
+# Trajectories as relative steps so hypothesis explores feasible *and*
+# infeasible geometry: dx/dy in metres, dt in seconds (0 allowed — the
+# same-instant edge case), around an anchor inside the frame.
+steps = st.tuples(st.floats(-800.0, 800.0, allow_nan=False),
+                  st.floats(-800.0, 800.0, allow_nan=False),
+                  st.floats(0.0, 30.0, allow_nan=False))
+zone_specs = st.tuples(st.floats(-500.0, 2_500.0, allow_nan=False),
+                       st.floats(-500.0, 2_500.0, allow_nan=False),
+                       st.floats(10.0, 300.0, allow_nan=False))
+
+
+class TestRandomizedAgreement:
+    @given(walk=st.lists(steps, min_size=0, max_size=6),
+           zones=st.lists(zone_specs, min_size=0, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_trajectories_agree(self, verifier, frame,
+                                          signing_key, walk, zones):
+        x, y, t = 100.0, 100.0, 1_000_000.0
+        poa = ProofOfAlibi()
+        for dx, dy, dt in walk:
+            point = frame.to_geo(x, y)
+            poa.append(signed(signing_key,
+                              GpsSample(point.lat, point.lon, t)))
+            x, y, t = x + dx, y + dy, t + dt
+        nfzs = []
+        for zx, zy, zr in zones:
+            center = frame.to_geo(zx, zy)
+            nfzs.append(NoFlyZone(center.lat, center.lon, zr))
+        got, want = both(verifier, frame, poa, signing_key, nfzs)
+        assert got == want
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_harness_generators_agree(self, verifier, frame, signing_key,
+                                      seed):
+        rng = random.Random(seed)
+        zones = random_zones(rng, frame, rng.randint(0, 8))
+        poa = random_honest_poa(rng, frame, signing_key)
+        got, want = both(verifier, frame, poa, signing_key, zones)
+        assert got == want
+
+    @given(seed=st.integers(0, 10_000),
+           mutation=st.sampled_from(MUTATIONS))
+    @settings(max_examples=40, deadline=None)
+    def test_mutated_trajectories_agree_and_reject(self, verifier, frame,
+                                                   signing_key, seed,
+                                                   mutation):
+        rng = random.Random(seed)
+        zones = random_zones(rng, frame, rng.randint(1, 8))
+        poa = _mutate(mutation, random_honest_poa(rng, frame, signing_key),
+                      rng, signing_key)
+        got, want = both(verifier, frame, poa, signing_key, zones)
+        assert got == want
+        assert not got.compliant
+
+
+class TestDirectedCases:
+    """One case per rejection reason, asserting exact agreement."""
+
+    def make_walk(self, frame, key, coords):
+        poa = ProofOfAlibi()
+        for x, y, t in coords:
+            point = frame.to_geo(x, y)
+            poa.append(signed(key, GpsSample(point.lat, point.lon, t)))
+        return poa
+
+    def test_empty(self, verifier, frame, signing_key):
+        got, want = both(verifier, frame, ProofOfAlibi(), signing_key, [])
+        assert got == want
+        assert got.reason is RejectionReason.EMPTY_POA
+
+    def test_bad_signature(self, verifier, frame, signing_key, other_key):
+        poa = self.make_walk(frame, other_key, [(0, 0, 0.0), (5, 5, 10.0)])
+        got, want = both(verifier, frame, poa, signing_key, [])
+        assert got == want
+        assert got.reason is RejectionReason.BAD_SIGNATURE
+        assert got.bad_signature_indices == [0, 1]
+
+    def test_malformed_payload(self, verifier, frame, signing_key):
+        payload = b"not-a-sample"
+        poa = ProofOfAlibi([SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(signing_key, payload, "sha1"))])
+        got, want = both(verifier, frame, poa, signing_key, [])
+        assert got == want
+        assert got.reason is RejectionReason.MALFORMED_PAYLOAD
+
+    def test_out_of_order(self, verifier, frame, signing_key):
+        poa = self.make_walk(frame, signing_key,
+                             [(0, 0, 100.0), (5, 0, 50.0)])
+        got, want = both(verifier, frame, poa, signing_key, [])
+        assert got == want
+        assert got.reason is RejectionReason.OUT_OF_ORDER
+
+    def test_speed_infeasible(self, verifier, frame, signing_key):
+        poa = self.make_walk(frame, signing_key,
+                             [(0, 0, 0.0), (5_000, 0, 1.0)])
+        got, want = both(verifier, frame, poa, signing_key, [])
+        assert got == want
+        assert got.reason is RejectionReason.SPEED_INFEASIBLE
+        assert got.infeasible_pair_indices == [0]
+
+    def test_insufficient(self, verifier, frame, signing_key):
+        center = frame.to_geo(500.0, 0.0)
+        zone = NoFlyZone(center.lat, center.lon, 400.0)
+        poa = self.make_walk(frame, signing_key,
+                             [(0, 0, 0.0), (1_000, 0, 60.0)])
+        got, want = both(verifier, frame, poa, signing_key, [zone])
+        assert got == want
+        assert got.reason is RejectionReason.INSUFFICIENT_COVERAGE
+
+    def test_accepted(self, verifier, frame, signing_key):
+        center = frame.to_geo(500.0, 5_000.0)
+        zone = NoFlyZone(center.lat, center.lon, 50.0)
+        poa = self.make_walk(frame, signing_key,
+                             [(0, 0, 0.0), (100, 0, 60.0)])
+        got, want = both(verifier, frame, poa, signing_key, [zone])
+        assert got == want
+        assert got.status is VerificationStatus.ACCEPTED
+        assert got.reason is None
+
+    def test_boundary_pair_agrees_either_way(self, verifier, frame,
+                                             signing_key):
+        """A pair sitting near the sufficiency threshold must not split
+        the implementations, whatever side of it the epsilon lands on."""
+        for gap in (0.0, 1e-10, 1e-6, 0.01, 1.0):
+            dt = 10.0
+            reach = verifier.vmax_mps * dt
+            center = frame.to_geo(0.0, reach / 2.0 + 100.0 + gap)
+            zone = NoFlyZone(center.lat, center.lon, 100.0)
+            poa = self.make_walk(frame, signing_key,
+                                 [(0, 0, 0.0), (0, 0, dt)])
+            got, want = both(verifier, frame, poa, signing_key, [zone])
+            assert got == want, f"split at gap={gap}"
+
+
+class TestHarnessRun:
+    def test_small_differential_run_is_clean(self):
+        report = run_differential(trajectories=24, seed=7,
+                                  include_sampler=False)
+        assert report.ok
+        assert report.trajectories == 24
+        assert report.honest_trials + report.mutated_trials == 24
+        assert report.honest_agreements == report.honest_trials
+        assert report.mutated_agreements == report.mutated_trials
+        assert report.mutated_false_accepts == 0
+        assert report.disagreements == []
+        # Some honest runs must genuinely be accepted, or the honest
+        # agreement number proves nothing.
+        assert report.honest_accepts > 0
+
+    def test_report_dict_shape(self):
+        report = run_differential(trajectories=6, seed=1,
+                                  include_sampler=False)
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["trajectories"] == 6
+        assert isinstance(payload["disagreements"], list)
+
+    def test_disagreement_is_detected(self, frame, signing_key):
+        """Sanity: a deliberately wrong 'reference' would be caught —
+        i.e. report equality is a discriminating oracle, not a tautology."""
+        verifier = PoaVerifier(frame)
+        poa = ProofOfAlibi()
+        for i, t in enumerate((0.0, 30.0)):
+            point = frame.to_geo(200.0 * i, 0.0)
+            poa.append(signed(signing_key,
+                              GpsSample(point.lat, point.lon, t)))
+        got = verifier.verify(poa, signing_key.public_key, [])
+        wrong = reference_verify(poa, signing_key.public_key, [], frame,
+                                 vmax_mps=1.0)  # a mis-specified bound
+        assert got != wrong

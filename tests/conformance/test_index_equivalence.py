@@ -1,0 +1,54 @@
+"""Decision equivalence: zone-indexed paths vs. exhaustive scans.
+
+PR 3 introduced :class:`ZoneProximityIndex` as a pure accelerator — it
+must never change a verdict.  These tests pin that down on both sides of
+the system: the verification pipeline (indexed vs. linear sufficiency
+scan) and the adaptive on-drone sampler (indexed vs. exhaustive zone
+distance queries).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conformance import run_sampler_equivalence
+from repro.conformance.harness import random_honest_poa, random_zones
+from repro.core.verification import PoaVerifier
+
+
+@pytest.fixture(scope="module")
+def verifier(frame) -> PoaVerifier:
+    return PoaVerifier(frame)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pipeline_reports_identical_with_and_without_index(
+        verifier, frame, signing_key, seed):
+    rng = random.Random(seed)
+    # Enough zones that the index path actually engages its grid, not a
+    # degenerate one-zone shortcut.
+    zones = random_zones(rng, frame, 8 + rng.randint(0, 6))
+    poa = random_honest_poa(rng, frame, signing_key, max_samples=8)
+
+    default = verifier.verify(poa, signing_key.public_key, zones)
+    with_index = verifier.pipeline().run(
+        verifier.context(poa, signing_key.public_key, zones,
+                         use_zone_index=True))
+    without_index = verifier.pipeline().run(
+        verifier.context(poa, signing_key.public_key, zones,
+                         use_zone_index=False))
+
+    assert with_index == without_index
+    assert default == without_index
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_adaptive_sampler_is_index_invariant(seed):
+    result = run_sampler_equivalence(seed=seed)
+    assert result["sample_times_equal"] is True
+    assert result["poa_digest_equal"] is True
+    # The run must be non-trivial for the equality to mean anything.
+    assert result["samples_with_index"] > 2
+    assert result["samples_with_index"] == result["samples_without_index"]

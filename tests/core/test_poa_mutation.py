@@ -1,0 +1,98 @@
+"""Exhaustive serialization mutation: flip every bit of a PoA batch.
+
+Satellite of the adversary PR: for a small serialized batch, every
+single-bit corruption must leave the system in one of exactly two safe
+states — ``from_bytes`` raises a *typed* :class:`EncodingError`, or the
+decoded PoA fails verification.  No mutation may be accepted, and no
+mutation may escape as an untyped exception (the deployment contract is
+that everything repro raises derives from :class:`AliDroneError`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.verification import PoaVerifier, VerificationStatus
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.errors import AliDroneError, EncodingError
+
+
+@pytest.fixture(scope="module")
+def verifier(frame) -> PoaVerifier:
+    return PoaVerifier(frame)
+
+
+@pytest.fixture(scope="module")
+def zone(frame) -> NoFlyZone:
+    center = frame.to_geo(50.0, 5_000.0)
+    return NoFlyZone(center.lat, center.lon, 60.0)
+
+
+@pytest.fixture(scope="module")
+def baseline(frame, signing_key):
+    """A 3-sample PoA that verifies ACCEPTED, plus its encoding."""
+    poa = ProofOfAlibi()
+    for i in range(3):
+        point = frame.to_geo(40.0 * i, 0.0)
+        payload = GpsSample(point.lat, point.lon,
+                            1_000_000.0 + 30.0 * i).to_signed_payload()
+        poa.append(SignedSample(
+            payload=payload,
+            signature=sign_pkcs1_v15(signing_key, payload, "sha1")))
+    return poa, poa.to_bytes()
+
+
+def test_baseline_round_trips_and_verifies(verifier, baseline, signing_key,
+                                           zone):
+    poa, blob = baseline
+    again = ProofOfAlibi.from_bytes(blob)
+    assert again.to_bytes() == blob
+    report = verifier.verify(again, signing_key.public_key, [zone])
+    assert report.status is VerificationStatus.ACCEPTED
+
+
+def test_every_single_bit_flip_is_rejected_with_typed_errors(
+        verifier, baseline, signing_key, zone):
+    _, blob = baseline
+    accepted: list[str] = []
+    untyped: list[str] = []
+    decode_errors = 0
+    rejections = 0
+
+    for offset in range(len(blob)):
+        for bit in range(8):
+            mutated = bytearray(blob)
+            mutated[offset] ^= 1 << bit
+            where = f"byte {offset} bit {bit}"
+            try:
+                poa = ProofOfAlibi.from_bytes(bytes(mutated))
+            except EncodingError:
+                decode_errors += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 — the point of the test
+                untyped.append(f"{where}: from_bytes raised {exc!r}")
+                continue
+            try:
+                report = verifier.verify(poa, signing_key.public_key, [zone])
+            except AliDroneError:
+                rejections += 1  # typed pipeline error: safe
+                continue
+            except Exception as exc:  # noqa: BLE001
+                untyped.append(f"{where}: verify raised {exc!r}")
+                continue
+            if report.status is VerificationStatus.ACCEPTED:
+                accepted.append(where)
+            else:
+                rejections += 1
+
+    assert untyped == []
+    assert accepted == []
+    # Both safe endpoints must actually occur across the sweep: some
+    # flips break the framing (decode error), others survive decoding
+    # and must be caught by verification.
+    assert decode_errors > 0
+    assert rejections > 0
+    assert decode_errors + rejections == 8 * len(blob)

@@ -184,6 +184,27 @@ class TestAdapters:
         assert registry.collect()["geo.zone_index.queries"]["value"] == 2
         assert registry.collect()["geo.zone_index.cutoff_exits"]["value"] == 0
 
+    def test_attack_stats_source(self, registry):
+        from repro.adversary import AttackStats
+        from repro.adversary.attacks import AttackResult
+        from repro.obs.adapters import register_attack_stats
+
+        stats = AttackStats()
+        stats.record(AttackResult(outcome="bad_signature", accepted=False,
+                                  cleared=False, detail=""),
+                     expected_ok=True)
+        register_attack_stats(registry, stats)
+        snapshot = registry.collect()
+        assert snapshot["adversary.attacks_run"]["value"] == 1
+        assert snapshot["adversary.rejected"]["value"] == 1
+        assert snapshot["adversary.false_accepts"]["value"] == 0
+        assert snapshot["adversary.outcome.bad_signature"]["value"] == 1
+        # Live view: later recordings show without re-registering.
+        stats.record(AttackResult(outcome="no_poa", accepted=False,
+                                  cleared=False, detail=""),
+                     expected_ok=True)
+        assert registry.collect()["adversary.outcome.no_poa"]["value"] == 1
+
     def test_event_log_source(self, registry):
         log = EventLog()
         log.record(1.0, "sample")

@@ -1,0 +1,134 @@
+"""Property + fuzz coverage for the signed-sample crypto envelope.
+
+Complements ``test_crypto_properties.py``: those tests exercise the raw
+PKCS#1 v1.5 primitives; these pin the *protocol* layer — the canonical
+GPS payload encoding, the :class:`SignedSample` envelope, and the claim
+the adversary subsystem leans on everywhere: **any** single-byte
+mutation of a signed sample (payload or signature, any position, any
+value) makes verification fail.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.poa import SignedSample
+from repro.core.samples import GpsSample
+from repro.crypto.pkcs1 import (
+    decrypt_pkcs1_v15,
+    encrypt_pkcs1_v15,
+    sign_pkcs1_v15,
+)
+from repro.errors import CryptoError, EncodingError
+
+lats = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+lons = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=4e9, allow_nan=False)
+alts = st.none() | st.floats(min_value=-400.0, max_value=20_000.0,
+                             allow_nan=False)
+
+
+def make_signed(key, lat, lon, t, alt=None) -> SignedSample:
+    payload = GpsSample(lat, lon, t, alt).to_signed_payload()
+    return SignedSample(payload=payload,
+                        signature=sign_pkcs1_v15(key, payload, "sha1"))
+
+
+class TestPayloadRoundTrip:
+    @given(lat=lats, lon=lons, t=times, alt=alts)
+    @settings(max_examples=100, deadline=None)
+    def test_payload_encoding_round_trips(self, lat, lon, t, alt):
+        sample = GpsSample(lat, lon, t, alt)
+        decoded = GpsSample.from_signed_payload(sample.to_signed_payload())
+        # The encoding quantizes (1.1 cm / 1 us / 1 mm) — round-tripping
+        # must be exact at the second encoding even when the first one
+        # rounded the raw floats.
+        assert decoded.to_signed_payload() == sample.to_signed_payload()
+        assert abs(decoded.lat - lat) <= 1e-7
+        assert abs(decoded.lon - lon) <= 1e-7
+        assert abs(decoded.t - t) <= 1e-5
+        if alt is None:
+            assert decoded.alt is None
+
+    @given(lat=lats, lon=lons, t=times)
+    @settings(max_examples=50, deadline=None)
+    def test_sign_then_verify_then_decode(self, signing_key, lat, lon, t):
+        entry = make_signed(signing_key, lat, lon, t)
+        assert entry.verify(signing_key.public_key, "sha1")
+        decoded = entry.sample
+        assert decoded.to_signed_payload() == entry.payload
+
+    @given(payload_size=st.integers(min_value=0, max_value=53),
+           seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_rsaes_round_trip_over_payload_sizes(self, signing_key,
+                                                 payload_size, seed):
+        rng = random.Random(seed)
+        message = rng.randbytes(payload_size)
+        ciphertext = encrypt_pkcs1_v15(signing_key.public_key, message,
+                                       rng=random.Random(seed + 1))
+        assert decrypt_pkcs1_v15(signing_key, ciphertext) == message
+
+
+class TestSingleByteMutation:
+    """No single-byte corruption of a signed sample survives verification."""
+
+    @given(lat=lats, lon=lons, t=times,
+           offset=st.integers(min_value=0),
+           delta=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_payload_mutation_fails_verification(self, signing_key,
+                                                 lat, lon, t, offset, delta):
+        entry = make_signed(signing_key, lat, lon, t)
+        mutated = bytearray(entry.payload)
+        index = offset % len(mutated)
+        mutated[index] = (mutated[index] + delta) % 256
+        forged = SignedSample(payload=bytes(mutated),
+                              signature=entry.signature)
+        assert not forged.verify(signing_key.public_key, "sha1")
+
+    @given(lat=lats, lon=lons, t=times,
+           offset=st.integers(min_value=0),
+           delta=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_signature_mutation_fails_verification(self, signing_key,
+                                                   lat, lon, t, offset,
+                                                   delta):
+        entry = make_signed(signing_key, lat, lon, t)
+        mutated = bytearray(entry.signature)
+        index = offset % len(mutated)
+        mutated[index] = (mutated[index] + delta) % 256
+        forged = SignedSample(payload=entry.payload,
+                              signature=bytes(mutated))
+        assert not forged.verify(signing_key.public_key, "sha1")
+
+    def test_exhaustive_single_byte_sweep_on_one_sample(self, signing_key):
+        """Deterministic exhaustion at one point: every byte of payload
+        and signature, corruption never verifies and never escapes as an
+        untyped error."""
+        entry = make_signed(signing_key, 40.1, -88.2, 1_234_567.0, 120.0)
+        blob = entry.payload + entry.signature
+        cut = len(entry.payload)
+        for index in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[index] ^= 0xFF
+            forged = SignedSample(payload=bytes(mutated[:cut]),
+                                  signature=bytes(mutated[cut:]))
+            try:
+                ok = forged.verify(signing_key.public_key, "sha1")
+            except CryptoError:
+                continue  # typed failure counts as rejection
+            assert not ok, f"mutation at byte {index} verified"
+
+    @given(data=st.binary(min_size=0, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_payload_decodes_to_typed_error(self, data):
+        try:
+            GpsSample.from_signed_payload(data)
+        except EncodingError:
+            pass
+        else:  # pragma: no cover - would be a conformance bug
+            raise AssertionError("truncated payload decoded")

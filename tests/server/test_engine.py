@@ -23,6 +23,7 @@ from repro.core.samples import GpsSample
 from repro.core.sufficiency import insufficient_pair_indices
 from repro.core.verification import (
     PoaVerifier,
+    RejectionReason,
     VerificationReport,
     VerificationStatus,
 )
@@ -48,37 +49,48 @@ def sample_at(frame, x, y, t):
 
 
 def seed_reference_verify(verifier, poa, tee_public_key, zones):
-    """The seed's monolithic verify, kept verbatim as the oracle."""
+    """The seed's monolithic verify, kept verbatim as the oracle.
+
+    The only post-seed addition is the stable ``reason`` on every
+    non-accepted report: the pipeline's rejection taxonomy is part of the
+    report contract this suite pins down, so the oracle names the exact
+    reason each path must produce.
+    """
     if len(poa) == 0:
         return VerificationReport(status=VerificationStatus.REJECTED_EMPTY,
-                                  message="PoA contains no samples")
+                                  message="PoA contains no samples",
+                                  reason=RejectionReason.EMPTY_POA)
 
     bad = verifier.check_signatures(poa, tee_public_key)
     if bad:
         return VerificationReport(
             status=VerificationStatus.REJECTED_BAD_SIGNATURE,
             bad_signature_indices=bad, sample_count=len(poa),
-            message=f"{len(bad)} of {len(poa)} signatures failed")
+            message=f"{len(bad)} of {len(poa)} signatures failed",
+            reason=RejectionReason.BAD_SIGNATURE)
 
     try:
         samples = verifier.decode_samples(poa)
     except EncodingError as exc:
         return VerificationReport(
             status=VerificationStatus.REJECTED_MALFORMED,
-            sample_count=len(poa), message=str(exc))
+            sample_count=len(poa), message=str(exc),
+            reason=RejectionReason.MALFORMED_PAYLOAD)
 
     if not verifier.check_ordering(samples):
         return VerificationReport(
             status=VerificationStatus.REJECTED_MALFORMED,
             sample_count=len(poa),
-            message="sample timestamps are not non-decreasing")
+            message="sample timestamps are not non-decreasing",
+            reason=RejectionReason.OUT_OF_ORDER)
 
     infeasible = verifier.infeasible_pairs(samples)
     if infeasible:
         return VerificationReport(
             status=VerificationStatus.REJECTED_INFEASIBLE,
             infeasible_pair_indices=infeasible, sample_count=len(poa),
-            message=f"{len(infeasible)} pairs exceed v_max")
+            message=f"{len(infeasible)} pairs exceed v_max",
+            reason=RejectionReason.SPEED_INFEASIBLE)
 
     insufficient = insufficient_pair_indices(
         samples, list(zones), verifier.frame, verifier.vmax_mps,
@@ -89,7 +101,8 @@ def seed_reference_verify(verifier, poa, tee_public_key, zones):
         return VerificationReport(
             status=VerificationStatus.INSUFFICIENT,
             insufficient_pair_indices=insufficient, sample_count=len(poa),
-            message=f"{len(insufficient)} pairs cannot rule out NFZ entrance")
+            message=f"{len(insufficient)} pairs cannot rule out NFZ entrance",
+            reason=RejectionReason.INSUFFICIENT_COVERAGE)
 
     return VerificationReport(status=VerificationStatus.ACCEPTED,
                               sample_count=len(poa))
@@ -156,6 +169,17 @@ EXPECTED_STATUS = {
     "empty": VerificationStatus.REJECTED_EMPTY,
 }
 
+EXPECTED_REASON = {
+    "accepted": None,
+    "insufficient": RejectionReason.INSUFFICIENT_COVERAGE,
+    "infeasible": RejectionReason.SPEED_INFEASIBLE,
+    "bad_signature": RejectionReason.BAD_SIGNATURE,
+    "forged": RejectionReason.BAD_SIGNATURE,
+    "malformed_payload": RejectionReason.MALFORMED_PAYLOAD,
+    "out_of_order": RejectionReason.OUT_OF_ORDER,
+    "empty": RejectionReason.EMPTY_POA,
+}
+
 
 class TestReportEquivalence:
     """Every path must equal the seed's monolithic verify, field for field."""
@@ -169,6 +193,7 @@ class TestReportEquivalence:
                                          signing_key.public_key, [zone])
         got = verifier.verify(poa, signing_key.public_key, [zone])
         assert expected.status is EXPECTED_STATUS[scenario]
+        assert expected.reason is EXPECTED_REASON[scenario]
         assert got == expected
 
     @pytest.mark.parametrize("scenario", SCENARIOS)
@@ -184,6 +209,7 @@ class TestReportEquivalence:
                              screen_signatures=screen)
         reports = engine.audit_poas([(poa, signing_key.public_key)], [zone])
         assert reports == [expected]
+        assert reports[0].reason is EXPECTED_REASON[scenario]
 
     def test_engine_mixed_batch_matches_seed(self, frame, signing_key,
                                              other_key, zone):
@@ -236,6 +262,7 @@ class TestFullIntakeEquivalence:
         result = server.receive_poa_batch(
             [self.submit(server, poa, registered)], now=T0)
         assert result.reports == [expected]
+        assert result.reports[0].reason is EXPECTED_REASON[scenario]
 
     def test_single_submission_api_is_batch_of_one(self, server, frame,
                                                    registered, signing_key,
@@ -258,6 +285,7 @@ class TestFullIntakeEquivalence:
         result = server.receive_poa_batch([submission], now=T0)
         (report,) = result.reports
         assert report.status is VerificationStatus.REJECTED_MALFORMED
+        assert report.reason is RejectionReason.DECRYPT_FAILED
         assert report.message.startswith("PoA decryption failed:")
         assert report.sample_count == 1
 

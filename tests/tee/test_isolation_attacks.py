@@ -1,0 +1,114 @@
+"""World-isolation attack surface: sealed storage and monitor paths.
+
+Satellite of the adversary PR.  The :class:`KeyExtraction` attack in the
+matrix exercises these paths end-to-end; here each extraction primitive
+is pinned individually so a regression names the exact breached layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import uuid
+
+import pytest
+
+from repro.adversary.attacks import KeyExtraction
+from repro.crypto.keys import private_key_from_bytes
+from repro.crypto.pkcs1 import sign_pkcs1_v15, verify_pkcs1_v15
+from repro.errors import (
+    AliDroneError,
+    TeeError,
+    TeeStorageError,
+    TrustedAppError,
+    WorldIsolationError,
+)
+from repro.tee.gps_sampler_ta import SIGN_KEY_ENTRY
+
+
+@pytest.fixture()
+def device(make_device):
+    return make_device(seed=71)
+
+
+class TestSealedStorageIsolation:
+    def test_unseal_from_normal_world_faults(self, device):
+        with pytest.raises(WorldIsolationError):
+            device.sealed_storage.unseal(SIGN_KEY_ENTRY)
+
+    def test_seal_from_normal_world_faults(self, device):
+        with pytest.raises(WorldIsolationError):
+            device.sealed_storage.seal("evil-entry", b"attacker data")
+        assert not device.sealed_storage.contains("evil-entry")
+
+    def test_root_key_reveal_faults(self, device):
+        with pytest.raises(WorldIsolationError):
+            device.sealed_storage._root_key.reveal()
+
+    def test_root_key_cannot_be_pickled_out(self, device):
+        with pytest.raises(TeeError):
+            pickle.dumps(device.sealed_storage._root_key)
+
+    def test_handle_repr_leaks_no_material(self, device):
+        handle = device.sealed_storage._root_key
+        for rendering in (repr(handle), str(handle)):
+            assert "root key" in rendering  # the label, which is public
+            assert handle.reveal.__self__ is handle  # sanity on identity
+        # The raw fuse bytes must not appear in any rendering.  We cannot
+        # read them to compare (that is the point), so instead check the
+        # renderings are label-only and short.
+        assert len(repr(handle)) < 120
+
+    def test_raw_blob_is_not_a_usable_key(self, device):
+        blob = device.sealed_storage.raw_blobs()[SIGN_KEY_ENTRY]
+        probe = b"isolation-probe"
+        try:
+            key = private_key_from_bytes(blob)
+            signature = sign_pkcs1_v15(key, probe, "sha1")
+        except (AliDroneError, ValueError, OverflowError):
+            return  # ciphertext does not even parse: isolation holds
+        assert not verify_pkcs1_v15(device.tee_public_key, probe,
+                                    signature, "sha1")
+
+    def test_tampered_blob_detected_at_unseal(self, device):
+        storage = device.sealed_storage
+        blob = storage.raw_blobs()[SIGN_KEY_ENTRY]
+        mutated = bytearray(blob)
+        mutated[len(mutated) // 2] ^= 0x01
+        storage.tamper(SIGN_KEY_ENTRY, bytes(mutated))
+        with pytest.raises(TeeStorageError):
+            device.monitor.secure_boot_call(storage.unseal, SIGN_KEY_ENTRY)
+
+
+class TestMonitorIsolation:
+    def test_ta_load_by_wrong_uuid_rejected(self, device):
+        with pytest.raises(TrustedAppError):
+            device.client.open_session(uuid.UUID(int=0xDEAD))
+
+    def test_secure_boot_reentry_rejected(self, device):
+        with pytest.raises(TeeError):
+            device.monitor.secure_boot_call(
+                device.monitor.secure_boot_call, lambda: None)
+
+    def test_smc_reentry_from_secure_world_rejected(self, device):
+        def from_inside_secure_world():
+            device.monitor.smc_call(0, "noop", {})
+
+        with pytest.raises(TeeError, match="re-entrant SMC"):
+            device.monitor.secure_boot_call(from_inside_secure_world)
+
+
+class TestKeyExtractionAttack:
+    def test_every_primitive_blocked(self, device):
+        class StubWorld:
+            pass
+
+        world = StubWorld()
+        world.device = device
+        world.hash_name = "sha1"
+        result = KeyExtraction().execute(world, random.Random(5))
+        assert result.outcome == "world_isolation"
+        assert not result.false_accept
+        for primitive in ("unseal", "reveal", "pickle", "raw_blob",
+                          "wrong_uuid", "reentry"):
+            assert primitive in result.detail
