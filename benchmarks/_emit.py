@@ -25,3 +25,28 @@ def write_bench_json(name: str, payload: dict[str, Any],
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def merge_bench_json(name: str, payload: dict[str, Any],
+                     out_dir: str | pathlib.Path | None = None,
+                     ) -> pathlib.Path:
+    """Merge ``payload`` into ``BENCH_<name>.json``, creating it if absent.
+
+    Top-level keys from ``payload`` win; other keys already in the file
+    survive.  This lets a module combine pytest-benchmark stats (drained
+    by the session hook) with hand-rolled sections (e.g. the per-scheme
+    flight profile) in one artefact without either write clobbering the
+    other.
+    """
+    directory = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
+    path = directory / f"BENCH_{name}.json"
+    merged: dict[str, Any] = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged.update(payload)
+    return write_bench_json(name, merged, out_dir)

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from _emit import write_bench_json
+from _emit import merge_bench_json
 from repro.crypto.rsa import generate_rsa_keypair
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -46,8 +46,11 @@ def pytest_sessionfinish(session, exitstatus):
             "mean_s": stats.mean, "min_s": stats.min, "max_s": stats.max,
             "median_s": stats.median, "stddev_s": stats.stddev,
             "rounds": stats.rounds}
+    # Merge rather than write: modules may have already emitted their own
+    # hand-rolled sections (e.g. bench_crypto's per-scheme flight profile)
+    # into the same artefact during the run.
     for name, payload in by_module.items():
-        write_bench_json(name, payload)
+        merge_bench_json(name, payload)
 
 
 @pytest.fixture()

@@ -9,7 +9,11 @@ override :meth:`Attack.execute` entirely.
 
 Every attack declares ``expected_outcomes``: the set of rejection labels
 the deployment is allowed to answer with.  Any other label — above all
-``"false_accept"`` — fails the matrix.
+``"false_accept"`` — fails the matrix.  Some strategies trip a *different*
+stage under flight-level authentication (dropping or reordering entries
+breaks a batch digest or hash chain before ordering/sufficiency ever run),
+so attacks may override the expectation per scheme via
+``scheme_expectations``; :meth:`Attack.expected_for` resolves it.
 """
 
 from __future__ import annotations
@@ -27,6 +31,12 @@ from repro.core.samples import GpsSample
 from repro.core.verification import VerificationStatus
 from repro.crypto.keys import private_key_from_bytes
 from repro.crypto.pkcs1 import sign_pkcs1_v15, verify_pkcs1_v15
+from repro.crypto.schemes import (
+    SCHEME_BATCH,
+    SCHEME_CHAIN,
+    ChainFinalizer,
+    chain_link,
+)
 from repro.errors import (
     AliDroneError,
     AuthenticationError,
@@ -65,6 +75,14 @@ class Attack:
     description = ""
     #: Labels the deployment may answer with; anything else is a failure.
     expected_outcomes: frozenset[str] = frozenset()
+    #: Scheme-specific overrides: under flight-level authentication some
+    #: strategies are caught structurally (``bad_signature``) before the
+    #: stage that catches them under per-sample RSA is ever reached.
+    scheme_expectations: dict[str, frozenset[str]] = {}
+
+    def expected_for(self, scheme: str) -> frozenset[str]:
+        """Allowed outcomes when the world flies under ``scheme``."""
+        return self.scheme_expectations.get(scheme, self.expected_outcomes)
 
     def execute(self, world, rng: random.Random) -> AttackResult:
         raise NotImplementedError
@@ -117,6 +135,10 @@ class SuppressIncursion(SubmissionAttack):
     name = "suppress_incursion"
     description = "omit in-zone samples, keep the true flight window"
     expected_outcomes = frozenset({"insufficient_coverage"})
+    # Dropping entries from a batch-signed or chained flight breaks the
+    # flight authenticator before sufficiency is ever evaluated.
+    scheme_expectations = {SCHEME_BATCH: frozenset({"bad_signature"}),
+                           SCHEME_CHAIN: frozenset({"bad_signature"})}
 
     def forge(self, world, rng):
         cx, cy = world.zone_center_xy
@@ -126,8 +148,8 @@ class SuppressIncursion(SubmissionAttack):
             if math.hypot(x - cx, y - cy) > \
                     world.zone.radius_m + SUPPRESS_MARGIN_M:
                 keep.append(entry)
-        return (ProofOfAlibi(keep), world.violation_start,
-                world.violation_end)
+        return (world.violation_poa.replace_entries(keep),
+                world.violation_start, world.violation_end)
 
 
 class TruncateAtIncursion(SubmissionAttack):
@@ -142,13 +164,18 @@ class TruncateAtIncursion(SubmissionAttack):
     description = "submit only the pre-incursion prefix, shrink the window"
     expected_outcomes = frozenset(
         {"no_poa", "insufficient_coverage", "insufficient"})
+    # A prefix of a batch-signed or chained flight no longer matches the
+    # finalizer the operator holds, so the forgery dies at authentication.
+    scheme_expectations = {SCHEME_BATCH: frozenset({"bad_signature"}),
+                           SCHEME_CHAIN: frozenset({"bad_signature"})}
 
     def forge(self, world, rng):
         cutoff = world.incursion_start - TRUNCATE_GUARD_S
         keep = [entry for entry in world.violation_poa
                 if entry.sample.t < cutoff]
         end = keep[-1].sample.t if keep else world.violation_start
-        return ProofOfAlibi(keep), world.violation_start, end
+        return (world.violation_poa.replace_entries(keep),
+                world.violation_start, end)
 
 
 class ReplayPreviousFlight(SubmissionAttack):
@@ -231,18 +258,28 @@ class BitflipSignature(SubmissionAttack):
     """Flip a single signature bit (transport corruption / crude forgery)."""
 
     name = "bitflip_signature"
-    description = "one flipped bit in one signature"
+    description = "one flipped bit in one authenticator"
     expected_outcomes = frozenset({"bad_signature"})
 
     def forge(self, world, rng):
-        entries = list(world.violation_poa.entries)
+        poa = world.violation_poa
+        entries = list(poa.entries)
         i = rng.randrange(len(entries))
-        sig = bytearray(entries[i].signature)
-        sig[rng.randrange(len(sig))] ^= 1 << rng.randrange(8)
-        entries[i] = SignedSample(payload=entries[i].payload,
-                                  signature=bytes(sig))
-        return (ProofOfAlibi(entries), world.violation_start,
-                world.violation_end)
+        if entries[i].signature:
+            sig = bytearray(entries[i].signature)
+            sig[rng.randrange(len(sig))] ^= 1 << rng.randrange(8)
+            entries[i] = SignedSample(payload=entries[i].payload,
+                                      signature=bytes(sig),
+                                      scheme=entries[i].scheme)
+            forged = poa.replace_entries(entries)
+        else:
+            # Batch scheme: per-sample blobs are empty, so the only
+            # authenticator bytes to corrupt live in the finalizer.
+            finalizer = bytearray(poa.finalizer)
+            finalizer[rng.randrange(len(finalizer))] ^= 1 << rng.randrange(8)
+            forged = poa.replace_entries(entries)
+            forged.seal(bytes(finalizer))
+        return forged, world.violation_start, world.violation_end
 
 
 class TimestampReorder(SubmissionAttack):
@@ -251,12 +288,16 @@ class TimestampReorder(SubmissionAttack):
     name = "timestamp_reorder"
     description = "genuine samples, reversed order"
     expected_outcomes = frozenset({"out_of_order"})
+    # Reordering breaks the batch digest / chain replay before the
+    # ordering stage sees the timestamps.
+    scheme_expectations = {SCHEME_BATCH: frozenset({"bad_signature"}),
+                           SCHEME_CHAIN: frozenset({"bad_signature"})}
 
     def forge(self, world, rng):
         entries = list(world.violation_poa.entries)
         entries.reverse()
-        return (ProofOfAlibi(entries), world.violation_start,
-                world.violation_end)
+        return (world.violation_poa.replace_entries(entries),
+                world.violation_start, world.violation_end)
 
 
 class ClockSkewForgery(SubmissionAttack):
@@ -278,9 +319,10 @@ class ClockSkewForgery(SubmissionAttack):
             s = entry.sample
             moved = GpsSample(s.lat, s.lon, s.t + skew, s.alt)
             entries.append(SignedSample(payload=moved.to_signed_payload(),
-                                        signature=entry.signature))
-        return (ProofOfAlibi(entries), world.violation_start + skew,
-                world.violation_end + skew)
+                                        signature=entry.signature,
+                                        scheme=entry.scheme))
+        return (world.violation_poa.replace_entries(entries),
+                world.violation_start + skew, world.violation_end + skew)
 
 
 class TeleportSpoof(SubmissionAttack):
@@ -303,6 +345,89 @@ class TeleportSpoof(SubmissionAttack):
             n_samples=16, attacker_key=world.operator_key,
             hash_name=world.hash_name)
         return poa, world.violation_start, world.violation_end
+
+
+class ChainTruncation(SubmissionAttack):
+    """Drop the chained tail but keep the closed finalizer (§ hash-chain).
+
+    Per-sample RSA cannot see truncation — every surviving signature still
+    verifies, and detection falls to coverage.  The chained scheme catches
+    it *structurally*: the finalizer commits to the sample count and the
+    final link, so a shortened flight fails authentication outright even
+    though the claimed window still spans the incursion.
+    """
+
+    name = "chain_truncation"
+    description = "chained flight minus its in-zone tail, finalizer kept"
+    expected_outcomes = frozenset({"bad_signature"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.chained_violation()
+        cutoff = world.incursion_start - TRUNCATE_GUARD_S
+        keep = [entry for entry in poa if entry.sample.t < cutoff]
+        if not keep:
+            keep = list(poa.entries)[:1]
+        return poa.replace_entries(keep), start, end
+
+
+class ChainSplice(SubmissionAttack):
+    """Overwrite in-zone links with copies of out-of-zone ones.
+
+    Preserves the committed sample count, so the count check passes — but
+    each spliced position breaks the HMAC chaining (its stored link was
+    computed over a different predecessor and payload), so replay flags
+    the splice points.
+    """
+
+    name = "chain_splice"
+    description = "in-zone chain entries replaced by out-of-zone copies"
+    expected_outcomes = frozenset({"bad_signature"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.chained_violation()
+        cx, cy = world.zone_center_xy
+
+        def in_zone(entry):
+            x, y = entry.sample.local_position(world.frame)
+            return math.hypot(x - cx, y - cy) <= world.zone.radius_m
+
+        entries = list(poa.entries)
+        outside = [entry for entry in entries if not in_zone(entry)]
+        donor = outside[0] if outside else entries[0]
+        spliced = [donor if in_zone(entry) else entry for entry in entries]
+        return poa.replace_entries(spliced), start, end
+
+
+class ChainMacForgery(SubmissionAttack):
+    """Recompute every link with the disclosed chain key (TESLA misuse).
+
+    After flight close the finalizer reveals the chain key, so an operator
+    *can* mint internally consistent links over doctored payloads.  What
+    they cannot re-mint are the two RSA signatures: the close signature
+    binds the final link, which changes the moment any payload does.
+    """
+
+    name = "chain_mac_forgery"
+    description = "links re-MACed with the disclosed key, payloads shifted"
+    expected_outcomes = frozenset({"bad_signature"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.chained_violation()
+        finalizer = ChainFinalizer.from_bytes(poa.finalizer)
+        cx, cy = world.zone_center_xy
+        forged = []
+        previous = finalizer.anchor
+        for entry in poa:
+            s = entry.sample
+            x, y = s.local_position(world.frame)
+            if math.hypot(x - cx, y - cy) <= world.zone.radius_m:
+                s = GpsSample(s.lat + 0.01, s.lon, s.t, s.alt)
+            payload = s.to_signed_payload()
+            link = chain_link(finalizer.chain_key, previous, payload)
+            forged.append(SignedSample(payload=payload, signature=link,
+                                       scheme=entry.scheme))
+            previous = link
+        return poa.replace_entries(forged), start, end
 
 
 class NonceReplay(Attack):
@@ -414,6 +539,9 @@ def builtin_attacks() -> list[Attack]:
         TimestampReorder(),
         ClockSkewForgery(),
         TeleportSpoof(),
+        ChainTruncation(),
+        ChainSplice(),
+        ChainMacForgery(),
         NonceReplay(),
         KeyExtraction(),
     ]

@@ -28,6 +28,7 @@ from repro.core.protocol import (
 )
 from repro.core.verification import VerificationReport, VerificationStatus
 from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.crypto.schemes import SCHEME_CHAIN, SCHEME_RSA
 from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
 from repro.errors import ConfigurationError
 from repro.server.auditor import AliDroneServer
@@ -88,7 +89,11 @@ class AttackWorld:
     area_m: float
     safe_y: float
     hash_name: str = "sha1"
+    #: Sample-authentication scheme the genuine flights were flown under.
+    scheme: str = SCHEME_RSA
     _identities: int = 0
+    _chained: "tuple[ProofOfAlibi, float, float] | None" = \
+        field(default=None, repr=False)
     server: AliDroneServer = field(init=False)
     zone_id: str = field(init=False)
 
@@ -140,7 +145,8 @@ class AttackWorld:
                               rng=random.Random(0xFEED))
         submission = PoaSubmission(
             drone_id=drone_id, flight_id=flight_id, records=records,
-            claimed_start=claimed_start, claimed_end=claimed_end)
+            claimed_start=claimed_start, claimed_end=claimed_end,
+            scheme=poa.scheme, finalizer=poa.finalizer)
         return self.server.receive_poa(submission, now=claimed_end)
 
     def adjudicate(self, drone_id: str) -> ViolationFinding:
@@ -148,6 +154,31 @@ class AttackWorld:
         return self.server.handle_incident(IncidentReport(
             zone_id=self.zone_id, drone_id=drone_id,
             incident_time=self.incident_time))
+
+    def chained_violation(self) -> "tuple[ProofOfAlibi, float, float]":
+        """The violation flight authenticated under the hash-chain scheme.
+
+        Chain-structural attacks need chained material regardless of the
+        matrix's scheme.  When this world already flies chained, the
+        genuine evidence serves; otherwise the scenario is re-flown once
+        on a twin device (same serial and provisioning randomness, hence
+        the same registered ``T+``) with ``scheme="hash-chain"``.
+        """
+        if self.scheme == SCHEME_CHAIN:
+            return (self.violation_poa, self.violation_start,
+                    self.violation_end)
+        if self._chained is None:
+            twin = provision_device(
+                f"adv-dev-{self.key_bits}-{self.seed}",
+                key_bits=self.key_bits,
+                rng=random.Random(self.seed ^ 0x5EED))
+            run = run_policy(self.scenario, "adaptive",
+                             key_bits=self.key_bits, seed=self.seed,
+                             device=twin, scheme=SCHEME_CHAIN)
+            stats = run.result.stats
+            self._chained = (run.result.poa, stats.start_time,
+                             stats.end_time)
+        return self._chained
 
 
 def _incursion_interval(scenario: Scenario) -> tuple[float, float]:
@@ -183,13 +214,15 @@ def _compliant_scenario(area_m: float, zone, frame) -> Scenario:
 
 
 def build_world(scenario: Scenario, old_run, seed: int = 0,
-                key_bits: int = 512) -> AttackWorld:
+                key_bits: int = 512,
+                scheme: str = SCHEME_RSA) -> AttackWorld:
     """A full deployment with the violation flown and evidence in hand."""
     rng = random.Random(seed)
     run = run_policy(scenario, "adaptive", key_bits=key_bits, seed=seed,
                      device=provision_device(
                          f"adv-dev-{key_bits}-{seed}", key_bits=key_bits,
-                         rng=random.Random(seed ^ 0x5EED)))
+                         rng=random.Random(seed ^ 0x5EED)),
+                     scheme=scheme)
     incursion = _incursion_interval(scenario)
     stats = run.result.stats
     old_stats = old_run.result.stats
@@ -209,7 +242,8 @@ def build_world(scenario: Scenario, old_run, seed: int = 0,
         old_start=old_stats.start_time,
         old_end=old_stats.end_time,
         area_m=2_000.0,
-        safe_y=2_000.0 / 2.0 + scenario.zones[0].radius_m + 250.0)
+        safe_y=2_000.0 / 2.0 + scenario.zones[0].radius_m + 250.0,
+        scheme=scheme)
 
 
 @dataclass
@@ -309,7 +343,8 @@ def _controls(world: AttackWorld) -> list[dict]:
 def run_matrix(scenarios: Sequence[Scenario] | None = None,
                attacks: Sequence[Attack] | None = None,
                seed: int = 0, key_bits: int = 512,
-               stats: AttackStats | None = None) -> AttackReport:
+               stats: AttackStats | None = None,
+               scheme: str = SCHEME_RSA) -> AttackReport:
     """Execute every attack against every scenario world."""
     attacks = list(attacks) if attacks is not None else builtin_attacks()
     scenarios = list(scenarios) if scenarios is not None \
@@ -323,18 +358,19 @@ def run_matrix(scenarios: Sequence[Scenario] | None = None,
                          device=provision_device(
                              f"adv-dev-{key_bits}-{seed}",
                              key_bits=key_bits,
-                             rng=random.Random(seed ^ 0x5EED)))
+                             rng=random.Random(seed ^ 0x5EED)),
+                         scheme=scheme)
 
     cells: list[AttackCell] = []
     controls: list[dict] = []
     for scenario in scenarios:
         world = build_world(scenario, old_run, seed=seed,
-                            key_bits=key_bits)
+                            key_bits=key_bits, scheme=scheme)
         controls.extend(_controls(world))
         for attack in attacks:
             rng = random.Random(f"{seed}/{attack.name}/{scenario.name}")
             cell = AttackCell(attack=attack.name, scenario=scenario.name,
-                              expected=tuple(attack.expected_outcomes),
+                              expected=tuple(attack.expected_for(scheme)),
                               result=attack.execute(world, rng))
             stats.record(cell.result, cell.expected_ok)
             cells.append(cell)
@@ -343,6 +379,7 @@ def run_matrix(scenarios: Sequence[Scenario] | None = None,
         config={
             "seed": seed,
             "key_bits": key_bits,
+            "scheme": scheme,
             "attacks": [a.name for a in attacks],
             "scenarios": [s.name for s in scenarios],
         },

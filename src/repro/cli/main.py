@@ -356,10 +356,11 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     stats = AttackStats()
     matrix = run_matrix(
         scenarios=build_violation_variants(args.seed),
-        seed=args.seed, key_bits=args.attack_key_bits, stats=stats)
+        seed=args.seed, key_bits=args.attack_key_bits, stats=stats,
+        scheme=args.scheme)
     conformance = run_differential(
         trajectories=args.trajectories, seed=args.seed,
-        key_bits=args.attack_key_bits)
+        key_bits=args.attack_key_bits, scheme=args.scheme)
     payload = {
         "matrix": matrix.to_dict(),
         "conformance": conformance.to_dict(),
@@ -380,7 +381,8 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     else:
         print(f"attack matrix: {len(matrix.cells)} cells "
               f"({len(matrix.config['attacks'])} attack(s) x "
-              f"{len(matrix.config['scenarios'])} scenario(s))")
+              f"{len(matrix.config['scenarios'])} scenario(s), "
+              f"scheme {matrix.config['scheme']})")
         for cell in matrix.cells:
             mark = "ok" if cell.expected_ok else \
                 f"UNEXPECTED (wanted {', '.join(sorted(cell.expected))})"
@@ -544,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--trajectories", type=int, default=200,
                         help="randomized conformance trajectories "
                              "(default 200)")
+    attack.add_argument("--scheme", default="rsa-v15",
+                        choices=("rsa-v15", "rsa-batch", "hash-chain"),
+                        help="sample-authentication scheme the genuine "
+                             "flights are flown under (default rsa-v15)")
     attack.add_argument("--attack-key-bits", type=int, default=512,
                         choices=(512, 1024, 2048),
                         help="key size for attack runs (default 512: the "

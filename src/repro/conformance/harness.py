@@ -24,8 +24,8 @@ from repro.core.nfz import NoFlyZone
 from repro.core.poa import ProofOfAlibi, SignedSample
 from repro.core.samples import GpsSample
 from repro.core.verification import PoaVerifier, VerificationReport
-from repro.crypto.pkcs1 import sign_pkcs1_v15
 from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.crypto.schemes import SCHEME_RSA, authenticate_payloads
 from repro.geo.geodesy import GeoPoint, LocalFrame
 from repro.geo.proximity import ZoneProximityIndex
 from repro.sim.clock import DEFAULT_EPOCH
@@ -51,13 +51,26 @@ def random_zones(rng: random.Random, frame: LocalFrame, n: int,
     return zones
 
 
+def _authenticated_poa(payloads: list[bytes], signing_key: RsaPrivateKey,
+                       scheme: str, rng: random.Random,
+                       hash_name: str = "sha1") -> ProofOfAlibi:
+    """Authenticate ``payloads`` under ``scheme`` like an honest TEE would."""
+    blobs, finalizer = authenticate_payloads(signing_key, payloads, scheme,
+                                             hash_name=hash_name, rng=rng)
+    return ProofOfAlibi(
+        (SignedSample(payload=payload, signature=blob, scheme=scheme)
+         for payload, blob in zip(payloads, blobs)),
+        scheme=scheme, finalizer=finalizer)
+
+
 def random_honest_poa(rng: random.Random, frame: LocalFrame,
                       signing_key: RsaPrivateKey,
                       max_samples: int = 10,
                       area_m: float = 2_000.0,
                       vmax_mps: float = FAA_MAX_SPEED_MPS,
-                      hash_name: str = "sha1") -> ProofOfAlibi:
-    """A feasible random walk, signed like an honest TEE would.
+                      hash_name: str = "sha1",
+                      scheme: str = SCHEME_RSA) -> ProofOfAlibi:
+    """A feasible random walk, authenticated like an honest TEE would.
 
     Consecutive legs move at most 80% of ``vmax``, leaving headroom under
     the verifier's slackened bound for payload quantization; timestamps
@@ -68,31 +81,23 @@ def random_honest_poa(rng: random.Random, frame: LocalFrame,
     x = rng.uniform(0.0, area_m)
     y = rng.uniform(0.0, area_m)
     t = DEFAULT_EPOCH + rng.uniform(0.0, 3_600.0)
-    poa = ProofOfAlibi()
+    payloads = []
     for _ in range(n):
         point = frame.to_geo(x, y)
-        payload = GpsSample(point.lat, point.lon, t).to_signed_payload()
-        poa.append(SignedSample(
-            payload=payload,
-            signature=sign_pkcs1_v15(signing_key, payload, hash_name)))
+        payloads.append(GpsSample(point.lat, point.lon, t)
+                        .to_signed_payload())
         dt = rng.uniform(0.5, 20.0)
         heading = rng.uniform(0.0, 2.0 * math.pi)
         step = rng.uniform(0.0, 0.8 * vmax_mps) * dt
         x += math.cos(heading) * step
         y += math.sin(heading) * step
         t += dt
-    return poa
-
-
-def _resign(sample: GpsSample, key: RsaPrivateKey,
-            hash_name: str = "sha1") -> SignedSample:
-    payload = sample.to_signed_payload()
-    return SignedSample(payload=payload,
-                        signature=sign_pkcs1_v15(key, payload, hash_name))
+    return _authenticated_poa(payloads, signing_key, scheme, rng, hash_name)
 
 
 def _mutate(name: str, poa: ProofOfAlibi, rng: random.Random,
-            signing_key: RsaPrivateKey) -> ProofOfAlibi:
+            signing_key: RsaPrivateKey,
+            scheme: str = SCHEME_RSA) -> ProofOfAlibi:
     """Break an honest PoA in one specific, always-rejectable way."""
     entries = list(poa.entries)
     if name == "bitflip_payload":
@@ -100,28 +105,42 @@ def _mutate(name: str, poa: ProofOfAlibi, rng: random.Random,
         payload = bytearray(entries[i].payload)
         payload[rng.randrange(len(payload))] ^= 1 << rng.randrange(8)
         entries[i] = SignedSample(payload=bytes(payload),
-                                  signature=entries[i].signature)
-    elif name == "bitflip_signature":
+                                  signature=entries[i].signature,
+                                  scheme=scheme)
+        return poa.replace_entries(entries)
+    if name == "bitflip_signature":
         i = rng.randrange(len(entries))
         sig = bytearray(entries[i].signature)
-        sig[rng.randrange(len(sig))] ^= 1 << rng.randrange(8)
-        entries[i] = SignedSample(payload=entries[i].payload,
-                                  signature=bytes(sig))
-    elif name == "reorder":
+        if sig:
+            sig[rng.randrange(len(sig))] ^= 1 << rng.randrange(8)
+            entries[i] = SignedSample(payload=entries[i].payload,
+                                      signature=bytes(sig), scheme=scheme)
+            return poa.replace_entries(entries)
+        # Schemes with empty per-sample blobs carry their only signature
+        # in the finalizer: flip a byte there instead.
+        finalizer = bytearray(poa.finalizer)
+        finalizer[rng.randrange(len(finalizer))] ^= 1 << rng.randrange(8)
+        mutated = poa.replace_entries(entries)
+        mutated.seal(bytes(finalizer))
+        return mutated
+    if name == "reorder":
         entries.reverse()
-    elif name == "teleport":
-        # A properly signed but physically impossible hop: the operator
-        # controls the key here, so only feasibility can catch it.
+        return poa.replace_entries(entries)
+    if name == "teleport":
+        # A properly authenticated but physically impossible hop: the
+        # operator controls the key here, so only feasibility can catch
+        # it — the whole mutated flight is re-authenticated under the
+        # scheme so the authenticity stage passes.
         last = entries[-1].sample
         moved = GpsSample(last.lat + 0.5, last.lon, last.t + 1.0)
-        entries.append(_resign(moved, signing_key))
-    elif name == "single_sample":
-        entries = entries[:1]
-    elif name == "empty":
-        entries = []
-    else:  # pragma: no cover - registry and dispatch kept in sync
-        raise ValueError(f"unknown mutation: {name}")
-    return ProofOfAlibi(entries)
+        payloads = [e.payload for e in entries] + [moved.to_signed_payload()]
+        return _authenticated_poa(payloads, signing_key, scheme, rng)
+    if name == "single_sample":
+        return _authenticated_poa([entries[0].payload], signing_key,
+                                  scheme, rng)
+    if name == "empty":
+        return ProofOfAlibi((), scheme=scheme)
+    raise ValueError(f"unknown mutation: {name}")  # pragma: no cover
 
 
 #: Mutations guaranteed non-accepted whenever at least one zone exists.
@@ -146,6 +165,7 @@ class ConformanceReport:
     """Aggregate verdict of one differential run."""
 
     trajectories: int = 0
+    scheme: str = SCHEME_RSA
     honest_trials: int = 0
     honest_agreements: int = 0
     honest_accepts: int = 0
@@ -171,6 +191,7 @@ class ConformanceReport:
     def to_dict(self) -> dict:
         return {
             "trajectories": self.trajectories,
+            "scheme": self.scheme,
             "honest_trials": self.honest_trials,
             "honest_agreements": self.honest_agreements,
             "honest_accepts": self.honest_accepts,
@@ -187,19 +208,21 @@ class ConformanceReport:
 
 def run_differential(trajectories: int = 200, seed: int = 0,
                      key_bits: int = 512, max_zones: int = 12,
-                     include_sampler: bool = True) -> ConformanceReport:
+                     include_sampler: bool = True,
+                     scheme: str = SCHEME_RSA) -> ConformanceReport:
     """Verify ``trajectories`` random PoAs through both implementations.
 
     Roughly one trial in three gets a mutation from :data:`MUTATIONS`
     (cycled deterministically); the rest stay honest.  Mutated trials
     always get at least one zone so "too little evidence" outcomes stay
-    distinguishable from acceptance.
+    distinguishable from acceptance.  Every trial authenticates its flight
+    under ``scheme``, so each sweep exercises one backend end to end.
     """
     rng = random.Random(seed)
     signing_key = generate_rsa_keypair(key_bits, rng=rng)
     frame = LocalFrame(_ORIGIN)
     verifier = PoaVerifier(frame)
-    report = ConformanceReport(trajectories=trajectories)
+    report = ConformanceReport(trajectories=trajectories, scheme=scheme)
 
     for trial in range(trajectories):
         mutated = trial % 3 == 2
@@ -207,9 +230,9 @@ def run_differential(trajectories: int = 200, seed: int = 0,
             else None
         n_zones = rng.randint(1 if mutated else 0, max_zones)
         zones = random_zones(rng, frame, n_zones)
-        poa = random_honest_poa(rng, frame, signing_key)
+        poa = random_honest_poa(rng, frame, signing_key, scheme=scheme)
         if mutation is not None:
-            poa = _mutate(mutation, poa, rng, signing_key)
+            poa = _mutate(mutation, poa, rng, signing_key, scheme)
 
         got = verifier.verify(poa, signing_key.public_key, zones)
         want = reference_verify(poa, signing_key.public_key, zones, frame)
@@ -256,7 +279,8 @@ def run_differential(trajectories: int = 200, seed: int = 0,
 
     if include_sampler:
         report.sampler = run_sampler_equivalence(seed=seed,
-                                                 key_bits=key_bits)
+                                                 key_bits=key_bits,
+                                                 scheme=scheme)
     return report
 
 
@@ -265,22 +289,24 @@ def _poa_digest(poa: ProofOfAlibi) -> str:
     for entry in poa:
         digest.update(entry.payload)
         digest.update(entry.signature)
+    digest.update(poa.finalizer)
     return digest.hexdigest()
 
 
 def run_sampler_equivalence(seed: int = 0, key_bits: int = 512,
-                            n_zones: int = 12) -> dict:
+                            n_zones: int = 12,
+                            scheme: str = SCHEME_RSA) -> dict:
     """Adaptive sampling with vs. without the zone index, same flight.
 
     Both runs provision identically-seeded devices over the same random
     scenario; decision equivalence means identical sample instants and a
-    bit-identical signed PoA.
+    bit-identical authenticated PoA.
     """
     scenario = build_random_scenario(seed=seed, n_zones=n_zones)
     with_index = run_policy(scenario, "adaptive", key_bits=key_bits,
-                            seed=seed, use_index=True)
+                            seed=seed, use_index=True, scheme=scheme)
     without = run_policy(scenario, "adaptive", key_bits=key_bits,
-                         seed=seed, use_index=False)
+                         seed=seed, use_index=False, scheme=scheme)
     return {
         "scenario": scenario.name,
         "samples_with_index": with_index.sample_count,

@@ -16,7 +16,10 @@ including messages, rejection reasons, and failure indices.
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_module
 import math
+import struct
 from typing import Sequence
 
 from repro.core.nfz import NoFlyZone
@@ -26,6 +29,7 @@ from repro.core.verification import (
     VerificationReport,
     VerificationStatus,
 )
+from repro.crypto.pkcs1 import verify_pkcs1_v15
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import EncodingError
 from repro.geo.geodesy import LocalFrame
@@ -34,6 +38,95 @@ from repro.units import FAA_MAX_SPEED_MPS
 #: Mirrors the geometry module's comparison epsilon (kept as a literal on
 #: purpose: the reference must not import the implementation under test).
 _EPS = 1e-9
+
+
+def _ref_framed_sha256(chunks) -> bytes:
+    """Length-framed SHA-256, re-derived here rather than imported: the
+    reference arm must not share framing code with the scheme under test."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(struct.pack(">I", len(chunk)))
+        h.update(chunk)
+    return h.digest()
+
+
+def _ref_chain_link(chain_key: bytes, previous: bytes,
+                    payload: bytes) -> bytes:
+    mac = hmac_module.new(chain_key, digestmod=hashlib.sha256)
+    for chunk in (previous, payload):
+        mac.update(struct.pack(">I", len(chunk)))
+        mac.update(chunk)
+    return mac.digest()
+
+
+def _ref_chain_bad_indices(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
+                           hash_name: str) -> list[int]:
+    """Independent hash-chain replay (wire constants duplicated on purpose)."""
+    all_bad = list(range(len(poa)))
+    data = poa.finalizer
+    # Finalizer layout: "ADC1" | count:u32 | anchor:32 | key:32
+    #                   | len:u16 commit_sig | len:u16 close_sig
+    if len(data) < 4 + 4 + 32 + 32 + 2 or data[:4] != b"ADC1":
+        return all_bad
+    (count,) = struct.unpack_from(">I", data, 4)
+    anchor = data[8:40]
+    chain_key = data[40:72]
+    offset = 72
+    sigs = []
+    for _ in range(2):
+        if offset + 2 > len(data):
+            return all_bad
+        (length,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        if offset + length > len(data):
+            return all_bad
+        sigs.append(data[offset:offset + length])
+        offset += length
+    if offset != len(data):
+        return all_bad
+    commit_sig, close_sig = sigs
+    if hashlib.sha256(b"ADCH-KEY\x00" + chain_key).digest() != anchor:
+        return all_bad
+    if not verify_pkcs1_v15(tee_public_key, b"ADCH-COMMIT\x00" + anchor,
+                            commit_sig, hash_name):
+        return all_bad
+    if count != len(poa):
+        return all_bad
+    bad = []
+    previous = anchor
+    for i, entry in enumerate(poa):
+        if entry.signature != _ref_chain_link(chain_key, previous,
+                                              entry.payload):
+            bad.append(i)
+        previous = entry.signature
+    close_payload = (b"ADCH-CLOSE\x00" + anchor + previous
+                     + struct.pack(">I", count))
+    if not verify_pkcs1_v15(tee_public_key, close_payload, close_sig,
+                            hash_name):
+        return all_bad
+    return bad
+
+
+def _ref_bad_auth_indices(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
+                          hash_name: str) -> list[int]:
+    """Per-scheme flight authentication, re-derived from the wire spec."""
+    scheme = poa.scheme
+    if scheme == "rsa-v15":
+        if poa.finalizer:
+            return list(range(len(poa)))
+        return [i for i, entry in enumerate(poa)
+                if not verify_pkcs1_v15(tee_public_key, entry.payload,
+                                        entry.signature, hash_name)]
+    if scheme == "rsa-batch":
+        digest = _ref_framed_sha256(entry.payload for entry in poa)
+        if not verify_pkcs1_v15(tee_public_key, digest, poa.finalizer,
+                                hash_name):
+            return list(range(len(poa)))
+        return [i for i, entry in enumerate(poa) if entry.signature]
+    if scheme == "hash-chain":
+        return _ref_chain_bad_indices(poa, tee_public_key, hash_name)
+    # Unknown scheme: nothing can be attributed to T+.
+    return list(range(len(poa)))
 
 
 def reference_verify(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
@@ -52,9 +145,8 @@ def reference_verify(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
                                   message="PoA contains no samples",
                                   reason=RejectionReason.EMPTY_POA)
 
-    # 1. Authenticity: every signature verifies under T+.
-    bad = [i for i, entry in enumerate(poa)
-           if not entry.verify(tee_public_key, hash_name)]
+    # 1. Authenticity: the flight authenticates under T+ per its scheme.
+    bad = _ref_bad_auth_indices(poa, tee_public_key, hash_name)
     if bad:
         return VerificationReport(
             status=VerificationStatus.REJECTED_BAD_SIGNATURE,

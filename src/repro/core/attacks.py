@@ -54,7 +54,7 @@ def replay_old_poa(old_poa: ProofOfAlibi) -> ProofOfAlibi:
     because the PoA does not cover the reported incident time (or the
     claimed flight window) of the *current* flight.
     """
-    return ProofOfAlibi(old_poa.entries)
+    return old_poa.replace_entries(old_poa.entries)
 
 
 def relay_foreign_poa(foreign_poa: ProofOfAlibi) -> ProofOfAlibi:
@@ -65,7 +65,7 @@ def relay_foreign_poa(foreign_poa: ProofOfAlibi) -> ProofOfAlibi:
     valid but verify only under the accomplice's ``T+``, not the key
     registered for the accused drone.
     """
-    return ProofOfAlibi(foreign_poa.entries)
+    return foreign_poa.replace_entries(foreign_poa.entries)
 
 
 def tamper_with_samples(poa: ProofOfAlibi, lat_shift_deg: float,
@@ -73,8 +73,9 @@ def tamper_with_samples(poa: ProofOfAlibi, lat_shift_deg: float,
                         indices: Sequence[int] | None = None) -> ProofOfAlibi:
     """Strategy 4: shift positions in a genuine PoA away from the NFZ.
 
-    Keeps the original TEE signatures but rewrites the payloads; the
-    signature over each modified payload no longer verifies.
+    Keeps the original TEE signatures (and, for flight-level schemes, the
+    original finalizer) but rewrites the payloads; the authenticator over
+    each modified payload no longer verifies.
     """
     tampered = []
     target = set(indices) if indices is not None else None
@@ -87,8 +88,9 @@ def tamper_with_samples(poa: ProofOfAlibi, lat_shift_deg: float,
                           lon=sample.lon + lon_shift_deg,
                           t=sample.t, alt=sample.alt)
         tampered.append(SignedSample(payload=moved.to_signed_payload(),
-                                     signature=entry.signature))
-    return ProofOfAlibi(tampered)
+                                     signature=entry.signature,
+                                     scheme=entry.scheme))
+    return poa.replace_entries(tampered)
 
 
 def splice_poas(first: ProofOfAlibi, second: ProofOfAlibi,
@@ -102,7 +104,7 @@ def splice_poas(first: ProofOfAlibi, second: ProofOfAlibi,
     overlapping the zone.
     """
     del frame  # kept for signature symmetry with potential smarter splicers
-    return ProofOfAlibi(list(first.entries) + list(second.entries))
+    return first.replace_entries(list(first.entries) + list(second.entries))
 
 
 def shuffle_poa(poa: ProofOfAlibi, rng: random.Random) -> ProofOfAlibi:
@@ -113,4 +115,4 @@ def shuffle_poa(poa: ProofOfAlibi, rng: random.Random) -> ProofOfAlibi:
     """
     entries = list(poa.entries)
     rng.shuffle(entries)
-    return ProofOfAlibi(entries)
+    return poa.replace_entries(entries)

@@ -17,6 +17,7 @@ from repro.core.nfz import NoFlyZone
 from repro.core.poa import EncryptedPoaRecord
 from repro.crypto.pkcs1 import sign_pkcs1_v15, verify_pkcs1_v15
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.crypto.schemes import SCHEME_RSA
 from repro.errors import ProtocolError
 from repro.geo.geodesy import GeoPoint
 
@@ -106,8 +107,11 @@ class PoaSubmission:
     """Step 4: the post-flight Proof-of-Alibi upload.
 
     Records are per-sample Adapter-encrypted blobs with cleartext TEE
-    signatures; ``flight_id`` ties the submission to one flight for
-    evidence retention and replay checks.
+    authenticators; ``flight_id`` ties the submission to one flight for
+    evidence retention and replay checks.  ``scheme`` names the
+    authentication scheme the flight used and ``finalizer`` carries its
+    flight-level blob (batch signature or hash-chain closure) — both ride
+    in the clear, like the per-sample authenticators.
     """
 
     drone_id: str
@@ -115,10 +119,13 @@ class PoaSubmission:
     records: tuple[EncryptedPoaRecord, ...]
     claimed_start: float
     claimed_end: float
+    scheme: str
+    finalizer: bytes
 
     def __init__(self, drone_id: str, flight_id: str,
                  records: Sequence[EncryptedPoaRecord],
-                 claimed_start: float, claimed_end: float):
+                 claimed_start: float, claimed_end: float,
+                 scheme: str = SCHEME_RSA, finalizer: bytes = b""):
         if claimed_end < claimed_start:
             raise ProtocolError("flight window end precedes its start")
         object.__setattr__(self, "drone_id", drone_id)
@@ -126,6 +133,8 @@ class PoaSubmission:
         object.__setattr__(self, "records", tuple(records))
         object.__setattr__(self, "claimed_start", float(claimed_start))
         object.__setattr__(self, "claimed_end", float(claimed_end))
+        object.__setattr__(self, "scheme", str(scheme))
+        object.__setattr__(self, "finalizer", bytes(finalizer))
 
 
 @dataclass(frozen=True, slots=True)

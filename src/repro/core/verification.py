@@ -46,6 +46,7 @@ from repro.core.sufficiency import (
     insufficient_pairs_projected,
 )
 from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.schemes import get_scheme
 from repro.errors import EncodingError
 from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
@@ -244,9 +245,10 @@ class SignatureStage(VerificationStage):
 
     def run(self, ctx: VerificationContext) -> StageFinding | None:
         if ctx.bad_signature_indices is None:
-            ctx.bad_signature_indices = [
-                i for i, entry in enumerate(ctx.poa)
-                if not entry.verify(ctx.tee_public_key, ctx.hash_name)]
+            ctx.bad_signature_indices = get_scheme(ctx.poa.scheme).verify(
+                ctx.tee_public_key,
+                [(entry.payload, entry.signature) for entry in ctx.poa],
+                ctx.poa.finalizer, ctx.hash_name)
         bad = ctx.bad_signature_indices
         if bad:
             return StageFinding(
@@ -520,9 +522,11 @@ class PoaVerifier:
 
     def check_signatures(self, poa: ProofOfAlibi,
                          tee_public_key: RsaPublicKey) -> list[int]:
-        """Indices of entries whose signature fails under ``T+``."""
-        return [i for i, entry in enumerate(poa)
-                if not entry.verify(tee_public_key, self.hash_name)]
+        """Indices of entries that fail flight authentication under ``T+``."""
+        return get_scheme(poa.scheme).verify(
+            tee_public_key,
+            [(entry.payload, entry.signature) for entry in poa],
+            poa.finalizer, self.hash_name)
 
     def decode_samples(self, poa: ProofOfAlibi) -> list[GpsSample]:
         """Decode all payloads; raises :class:`EncodingError` on failure."""

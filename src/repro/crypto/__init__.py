@@ -27,6 +27,18 @@ from repro.crypto.keys import (
     key_fingerprint,
 )
 from repro.crypto.hmac_sign import hmac_sign, hmac_verify, generate_hmac_key
+from repro.crypto.digest import framed_sha256, framed_hmac_sha256
+from repro.crypto.schemes import (
+    SCHEME_RSA,
+    SCHEME_BATCH,
+    SCHEME_CHAIN,
+    AuthScheme,
+    SampleSigner,
+    ChainFinalizer,
+    authenticate_payloads,
+    get_scheme,
+    scheme_ids,
+)
 from repro.crypto.onetime import OneTimeKey, onetime_encrypt, onetime_decrypt
 from repro.crypto.keyexchange import DiffieHellman, derive_session_key
 
@@ -48,6 +60,17 @@ __all__ = [
     "hmac_sign",
     "hmac_verify",
     "generate_hmac_key",
+    "framed_sha256",
+    "framed_hmac_sha256",
+    "SCHEME_RSA",
+    "SCHEME_BATCH",
+    "SCHEME_CHAIN",
+    "AuthScheme",
+    "SampleSigner",
+    "ChainFinalizer",
+    "authenticate_payloads",
+    "get_scheme",
+    "scheme_ids",
     "OneTimeKey",
     "onetime_encrypt",
     "onetime_decrypt",

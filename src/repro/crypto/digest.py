@@ -1,0 +1,33 @@
+"""Length-framed digest helpers shared by the flight-level auth schemes.
+
+Both the batch-signing digest (one signature over a whole trace) and the
+hash-chain links (one HMAC per sample, keyed off the previous link) hash a
+concatenation of variable-length byte strings.  Plain concatenation is
+splice-ambiguous — ``(b"ab", b"c")`` and ``(b"a", b"bc")`` would collide —
+so every chunk is prefixed with its 4-byte big-endian length.  Keeping the
+framing in one place means the two schemes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable
+
+
+def framed_sha256(chunks: Iterable[bytes]) -> bytes:
+    """SHA-256 over the length-framed concatenation of ``chunks``."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(len(chunk).to_bytes(4, "big"))
+        h.update(chunk)
+    return h.digest()
+
+
+def framed_hmac_sha256(key: bytes, chunks: Iterable[bytes]) -> bytes:
+    """HMAC-SHA256 over the length-framed concatenation of ``chunks``."""
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for chunk in chunks:
+        mac.update(len(chunk).to_bytes(4, "big"))
+        mac.update(chunk)
+    return mac.digest()

@@ -7,26 +7,15 @@ standard CRT speedup, which matters for the pure-Python benchmark numbers.
 
 from __future__ import annotations
 
-import functools
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.primes import generate_prime
 from repro.errors import CryptoError, KeyGenerationError
 
 #: The fourth Fermat prime, the conventional RSA public exponent.
 DEFAULT_PUBLIC_EXPONENT = 65537
-
-
-@functools.lru_cache(maxsize=64)
-def _crt_params(d: int, p: int, q: int) -> tuple[int, int, int]:
-    """Memoized CRT exponents and inverse ``(d mod p-1, d mod q-1, q^-1)``.
-
-    A long-lived Auditor key decrypts thousands of records per batch;
-    recomputing the modular inverse on every call is pure waste.
-    """
-    return d % (p - 1), d % (q - 1), pow(q, -1, p)
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +53,11 @@ class RsaPrivateKey:
     d: int
     p: int
     q: int
+    # CRT parameters cached on the key itself so they are garbage-collected
+    # with it; a module-global memo keyed on (d, p, q) would pin secret key
+    # material alive long after the key object is discarded.
+    _crt: tuple[int, int, int] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.p * self.q != self.n:
@@ -84,11 +78,24 @@ class RsaPrivateKey:
         """The matching public key."""
         return RsaPublicKey(self.n, self.e)
 
+    def _crt_params(self) -> tuple[int, int, int]:
+        """CRT exponents and inverse ``(d mod p-1, d mod q-1, q^-1)``.
+
+        Computed once per key: a long-lived Auditor key decrypts thousands
+        of records per batch, and the modular inverse is the costly part.
+        """
+        if self._crt is None:
+            object.__setattr__(
+                self, "_crt",
+                (self.d % (self.p - 1), self.d % (self.q - 1),
+                 pow(self.q, -1, self.p)))
+        return self._crt
+
     def raw_decrypt(self, c: int) -> int:
         """RSADP via the Chinese Remainder Theorem."""
         if not 0 <= c < self.n:
             raise CryptoError("ciphertext representative out of range")
-        dp, dq, q_inv = _crt_params(self.d, self.p, self.q)
+        dp, dq, q_inv = self._crt_params()
         m1 = pow(c, dp, self.p)
         m2 = pow(c, dq, self.q)
         h = (q_inv * (m1 - m2)) % self.p

@@ -17,27 +17,48 @@ import random
 from repro.core.poa import EncryptedPoaRecord, ProofOfAlibi, SignedSample, encrypt_poa
 from repro.core.samples import GpsSample
 from repro.crypto.rsa import RsaPublicKey
-from repro.errors import TeeError
+from repro.crypto.schemes import SCHEME_BATCH, SCHEME_CHAIN, SCHEME_RSA
+from repro.errors import ConfigurationError, TeeError
 from repro.faults.retry import RetryPolicy, RetryStats, execute_with_retry
 from repro.gps.receiver import SimulatedGpsReceiver
 from repro.obs.trace import get_tracer
 from repro.sim.clock import SimClock
 from repro.tee.attestation import TrustZoneDevice
+from repro.tee.chained_sampler_ta import (
+    CHAINED_SAMPLER_UUID,
+    CMD_FINALIZE_FLIGHT,
+    CMD_START_FLIGHT,
+)
 from repro.tee.gps_sampler_ta import CMD_GET_GPS_AUTH, GPS_SAMPLER_UUID
 
 
 class Adapter:
-    """Normal-world daemon wiring receiver, TEE client, and virtual clock."""
+    """Normal-world daemon wiring receiver, TEE client, and virtual clock.
+
+    ``scheme`` selects the sample-authentication backend and therefore
+    which TA the session targets: per-sample RSA (default) talks to the
+    GPS Sampler TA, ``hash-chain`` to the chained sampler (one commitment
+    at :meth:`start`, one closure at :meth:`finalize_flight`), and
+    ``rsa-batch`` to the batch sampler (empty per-sample blobs, one batch
+    signature at finalize).
+    """
 
     def __init__(self, device: TrustZoneDevice, receiver: SimulatedGpsReceiver,
                  clock: SimClock, hash_name: str = "sha1",
                  retry_policy: RetryPolicy | None = None,
                  retry_rng: random.Random | None = None,
-                 retry_stats: RetryStats | None = None):
+                 retry_stats: RetryStats | None = None,
+                 scheme: str = SCHEME_RSA,
+                 chain_seed: int | None = None):
+        if scheme not in (SCHEME_RSA, SCHEME_BATCH, SCHEME_CHAIN):
+            raise ConfigurationError(
+                f"unknown authentication scheme {scheme!r}")
         self.device = device
         self.receiver = receiver
         self.clock = clock
         self.hash_name = hash_name
+        self.scheme = scheme
+        self.chain_seed = chain_seed
         #: Retry discipline for transient TEE entry failures (busy secure
         #: world); None = single attempt, the historical behaviour.  Each
         #: failed attempt consumes virtual time, so the retried sample is
@@ -47,14 +68,62 @@ class Adapter:
         self.retry_stats = retry_stats
         self._retry_rng = retry_rng if retry_rng is not None else random.Random(0)
         self._session_id: int | None = None
+        self._samples_taken = 0
 
     # --- TEE session management ------------------------------------------
 
+    def _sampler_uuid(self):
+        if self.scheme == SCHEME_CHAIN:
+            return CHAINED_SAMPLER_UUID
+        if self.scheme == SCHEME_BATCH:
+            from repro.extensions.batch_signing import BATCH_SAMPLER_UUID
+
+            return BATCH_SAMPLER_UUID
+        return GPS_SAMPLER_UUID
+
+    def _auth_command(self) -> str:
+        if self.scheme == SCHEME_BATCH:
+            from repro.extensions.batch_signing import CMD_RECORD_GPS
+
+            return CMD_RECORD_GPS
+        return CMD_GET_GPS_AUTH
+
     def start(self) -> None:
-        """Open the GPS Sampler TA session (idempotent)."""
+        """Open the sampler TA session for this scheme (idempotent)."""
+        if self._session_id is not None:
+            return
+        params: dict = {"hash_name": self.hash_name}
+        if self.scheme == SCHEME_CHAIN and self.chain_seed is not None:
+            params["chain_seed"] = self.chain_seed
+        self._session_id = self.device.client.open_session(
+            self._sampler_uuid(), params)
+        self._samples_taken = 0
+        if self.scheme == SCHEME_CHAIN:
+            # Flight start: the TA commits to the hash-chain anchor.
+            self.device.client.invoke(self._session_id, CMD_START_FLIGHT)
+
+    def finalize_flight(self) -> bytes:
+        """Close out the flight and return the scheme's finalizer blob.
+
+        Per-sample RSA has none; the batch scheme returns its one trace
+        signature (or nothing when no sample was ever taken); the chained
+        scheme closes the chain and discloses the chain key.
+        """
         if self._session_id is None:
-            self._session_id = self.device.client.open_session(
-                GPS_SAMPLER_UUID, {"hash_name": self.hash_name})
+            raise TeeError("Adapter not started: no TA session open")
+        if self.scheme == SCHEME_CHAIN:
+            output = self.device.client.invoke(self._session_id,
+                                               CMD_FINALIZE_FLIGHT)
+            return bytes(output["finalizer"])
+        if self.scheme == SCHEME_BATCH:
+            if self._samples_taken == 0:
+                return b""
+            from repro.extensions.batch_signing import CMD_FINALIZE_BATCH
+
+            output = self.device.client.invoke(self._session_id,
+                                               CMD_FINALIZE_BATCH)
+            return bytes(output["finalizer"])
+        return b""
 
     def stop(self) -> None:
         """Close the TA session."""
@@ -92,13 +161,14 @@ class Adapter:
         """``GetGPSAuth()``: an authenticated sample from the secure world."""
         if self._session_id is None:
             raise TeeError("Adapter not started: no TA session open")
+        command = self._auth_command()
         with get_tracer().span("drone.adapter.get_gps_auth"):
             output = execute_with_retry(
-                lambda: self.device.client.invoke(self._session_id,
-                                                  CMD_GET_GPS_AUTH),
+                lambda: self.device.client.invoke(self._session_id, command),
                 clock=self.clock, policy=self.retry_policy,
                 rng=self._retry_rng, stats=self.retry_stats,
                 operation="get_gps_auth")
+        self._samples_taken += 1
         return SignedSample.from_ta_output(output)
 
     # --- PoA persistence -------------------------------------------------------

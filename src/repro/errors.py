@@ -40,6 +40,10 @@ class EncodingError(CryptoError):
     """Malformed serialized key, DER structure, or protocol message."""
 
 
+class SchemeError(CryptoError):
+    """A sample-authentication scheme was misused (unknown id, bad blob)."""
+
+
 class TeeError(AliDroneError):
     """Base class for Trusted Execution Environment failures."""
 

@@ -10,15 +10,16 @@ incremental verifiability.
 
 from __future__ import annotations
 
-import hashlib
 import uuid as uuid_module
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.samples import GpsSample, Trace
+from repro.crypto.digest import framed_sha256
 from repro.crypto.keys import private_key_from_bytes, public_key_to_bytes
 from repro.crypto.pkcs1 import sign_pkcs1_v15, verify_pkcs1_v15
 from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.schemes import SCHEME_BATCH
 from repro.errors import TrustedAppError
 from repro.tee.gps_driver import SecureGpsDriver
 from repro.tee.gps_sampler_ta import SIGN_KEY_ENTRY
@@ -34,13 +35,11 @@ BATCH_SAMPLER_UUID = uuid_module.UUID("9b1b5c02-51a0-4c27-9c3e-8f27d6a1c9aa")
 def batch_digest(payloads: tuple[bytes, ...]) -> bytes:
     """The signed digest: SHA-256 over length-framed payload concatenation.
 
-    Length framing prevents splice ambiguity between adjacent payloads.
+    Length framing prevents splice ambiguity between adjacent payloads;
+    the framing itself is shared with the hash-chain scheme via
+    :func:`repro.crypto.digest.framed_sha256`.
     """
-    h = hashlib.sha256()
-    for payload in payloads:
-        h.update(len(payload).to_bytes(4, "big"))
-        h.update(payload)
-    return h.digest()
+    return framed_sha256(payloads)
 
 
 @dataclass(frozen=True)
@@ -169,9 +168,13 @@ class BatchGpsSamplerTA(TrustedApplication):
             fix = driver.get_gps()
             sample = GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
                                alt=fix.altitude_m)
-            self._buffer.append(sample.to_signed_payload())
+            payload = sample.to_signed_payload()
+            self._buffer.append(payload)
             self.core.op_counters["batch_records"] += 1
-            return len(self._buffer)
+            # The scheme-tagged TA output: an empty blob, because the
+            # authenticator for this scheme is the flight-end signature.
+            return {"payload": payload, "signature": b"",
+                    "scheme": SCHEME_BATCH, "buffered": len(self._buffer)}
         if command == CMD_FINALIZE_BATCH:
             if not self._buffer:
                 raise TrustedAppError("no samples buffered for batch signing")
@@ -183,6 +186,7 @@ class BatchGpsSamplerTA(TrustedApplication):
             self.core.op_counters["batch_finalizations"] += 1
             self._buffer.clear()
             return {"payloads": payloads, "signature": signature,
+                    "finalizer": signature, "scheme": SCHEME_BATCH,
                     "public_key": public_key_to_bytes(key.public_key)}
         raise TrustedAppError(f"batch sampler: unknown command {command!r}")
 

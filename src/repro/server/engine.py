@@ -46,12 +46,9 @@ from repro.core.verification import (
     VerificationReport,
     VerificationStatus,
 )
-from repro.crypto.pkcs1 import (
-    decrypt_pkcs1_v15,
-    screen_pkcs1_v15,
-    verify_pkcs1_v15,
-)
+from repro.crypto.pkcs1 import decrypt_pkcs1_v15
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.crypto.schemes import SCHEME_RSA, get_scheme
 from repro.errors import AliDroneError, ConfigurationError, EncryptionError
 from repro.geo.proximity import ZoneIndexStats, ZoneProximityIndex
 from repro.obs.trace import get_tracer
@@ -91,22 +88,31 @@ class _BoundedCache(dict):
 
 def _signature_verdict(tee_public_key: RsaPublicKey,
                        pairs: Sequence[tuple[bytes, bytes]],
-                       hash_name: str, screen: bool) -> list[int]:
-    """Indices of failing signatures, using screening as the fast path."""
-    if screen and screen_pkcs1_v15(tee_public_key, pairs, hash_name) is True:
+                       hash_name: str, screen: bool,
+                       scheme_id: str = SCHEME_RSA,
+                       finalizer: bytes = b"") -> list[int]:
+    """Indices failing flight authentication, screening as the fast path.
+
+    Screening is scheme-defined: per-sample RSA uses Bellare–Garay–Rabin
+    batch screening; flight-level schemes (batch digest, hash-chain) have
+    no separate fast path because their verify is already O(1) RSA.
+    """
+    scheme = get_scheme(scheme_id)
+    if screen and scheme.screen(tee_public_key, pairs, finalizer,
+                                hash_name) is True:
         return []
-    return [i for i, (payload, signature) in enumerate(pairs)
-            if not verify_pkcs1_v15(tee_public_key, payload, signature,
-                                    hash_name)]
+    return scheme.verify(tee_public_key, pairs, finalizer, hash_name)
 
 
 def _submission_crypto_task(encryption_key: RsaPrivateKey | None,
                             records: Sequence[tuple[bytes | None, bytes, bytes]],
                             tee_public_key: RsaPublicKey,
-                            hash_name: str, screen: bool):
-    """Decrypt one submission's records and check its signatures.
+                            hash_name: str, screen: bool,
+                            scheme_id: str = SCHEME_RSA,
+                            finalizer: bytes = b""):
+    """Decrypt one submission's records and authenticate its flight.
 
-    ``records`` entries are ``(cached_payload, ciphertext, signature)``;
+    ``records`` entries are ``(cached_payload, ciphertext, auth_blob)``;
     a non-None cached payload skips decryption.  Returns
     ``(payloads, bad_indices, decrypt_error, seconds)`` where exactly one
     of ``payloads``/``decrypt_error`` is set.
@@ -123,16 +129,20 @@ def _submission_crypto_task(encryption_key: RsaPrivateKey | None,
         return None, [], str(exc), time.perf_counter() - start
     pairs = [(payload, signature)
              for payload, (_c, _ct, signature) in zip(payloads, records)]
-    bad = _signature_verdict(tee_public_key, pairs, hash_name, screen)
+    bad = _signature_verdict(tee_public_key, pairs, hash_name, screen,
+                             scheme_id, finalizer)
     return payloads, bad, None, time.perf_counter() - start
 
 
 def _poa_crypto_task(tee_public_key: RsaPublicKey,
                      pairs: Sequence[tuple[bytes, bytes]],
-                     hash_name: str, screen: bool):
-    """Signature verdict for an already-decrypted PoA."""
+                     hash_name: str, screen: bool,
+                     scheme_id: str = SCHEME_RSA,
+                     finalizer: bytes = b""):
+    """Authentication verdict for an already-decrypted PoA."""
     start = time.perf_counter()
-    bad = _signature_verdict(tee_public_key, pairs, hash_name, screen)
+    bad = _signature_verdict(tee_public_key, pairs, hash_name, screen,
+                             scheme_id, finalizer)
     return bad, time.perf_counter() - start
 
 
@@ -350,7 +360,8 @@ class AuditEngine:
                 for record in submission.records]
             task_args.append((self.encryption_key, records, tee_key,
                               self.verifier.hash_name,
-                              self.screen_signatures))
+                              self.screen_signatures,
+                              submission.scheme, submission.finalizer))
             task_slots.append(slot)
 
         # Phase 1 (pool): the CPU-bound decrypt + signature work.
@@ -386,8 +397,11 @@ class AuditEngine:
                                                                 payloads):
                     self._payload_cache.insert(ciphertext, payload)
                 poa = ProofOfAlibi(
-                    SignedSample(payload=payload, signature=record.signature)
-                    for payload, record in zip(payloads, submission.records))
+                    (SignedSample(payload=payload, signature=record.signature,
+                                  scheme=submission.scheme)
+                     for payload, record in zip(payloads, submission.records)),
+                    scheme=submission.scheme,
+                    finalizer=submission.finalizer)
                 ctx = self.verifier.context(
                     poa, args[2], zones,
                     position_memo=self._position_memo,
@@ -426,7 +440,8 @@ class AuditEngine:
         items = list(items)
         task_args = [
             (tee_key, [(entry.payload, entry.signature) for entry in poa],
-             self.verifier.hash_name, self.screen_signatures)
+             self.verifier.hash_name, self.screen_signatures,
+             poa.scheme, poa.finalizer)
             for poa, tee_key in items]
         tracer = get_tracer()
         with tracer.span("audit_poas", batch_size=len(items),

@@ -1,0 +1,116 @@
+"""A hash-chain GPS Sampler TA: amortized flight authentication (§VII-A1).
+
+The per-sample :class:`~repro.tee.gps_sampler_ta.GpsSamplerTA` pays one
+RSA signature per GPS fix — the dominant cost of the whole drone-side
+protocol on pure-Python RSA.  This TA implements the TBRD-shaped
+alternative (``hash-chain`` scheme): at flight start it draws a fresh
+chain key, commits to its anchor with one RSA signature, then
+authenticates every subsequent fix with a chained HMAC keyed off the
+previous link.  ``FinalizeFlight`` closes the chain with a second RSA
+signature over ``(anchor, final link, count)`` and discloses the chain
+key so the Auditor can replay the links.
+
+Security shape: the chain key lives only in the secure world until the
+flight is finalized, so links cannot be forged mid-flight; after
+disclosure, forging still requires re-signing the commitment or the
+closure under ``T-``.  Truncation, splice, and reorder all break the
+replayed chain structurally.
+"""
+
+from __future__ import annotations
+
+import random
+import uuid as uuid_module
+from typing import Any
+
+from repro.core.samples import GpsSample
+from repro.crypto.schemes import SCHEME_CHAIN, ChainSigner
+from repro.errors import TrustedAppError
+from repro.obs.trace import get_tracer
+from repro.tee.gps_sampler_ta import GpsSamplerTA
+
+#: Command: begin a flight — draw the chain key, sign the commitment.
+CMD_START_FLIGHT = "StartFlight"
+#: Command: close the chain and return the flight finalizer blob.
+CMD_FINALIZE_FLIGHT = "FinalizeFlight"
+
+CHAINED_SAMPLER_UUID = uuid_module.UUID("41c8c2c0-3f51-4a9e-b1d4-7c03e5a92f10")
+
+
+class ChainedGpsSamplerTA(GpsSamplerTA):
+    """``GetGPSAuth`` with chained-HMAC blobs instead of RSA signatures.
+
+    Session parameters accept an optional ``chain_seed`` (int) that makes
+    the chain key deterministic — test/benchmark plumbing only; a real
+    device always draws from the secure RNG.
+    """
+
+    UUID = CHAINED_SAMPLER_UUID
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._chain_rng: random.Random | None = None
+        self._signer: ChainSigner | None = None
+
+    def open_session(self, params: dict[str, Any]) -> None:
+        super().open_session(params)
+        seed = params.get("chain_seed")
+        self._chain_rng = None if seed is None else random.Random(seed)
+        self._signer = None
+
+    def close_session(self) -> None:
+        self._signer = None
+        self._chain_rng = None
+        super().close_session()
+
+    def invoke_command(self, command: str, params: dict[str, Any]) -> Any:
+        if self._sign_key is None:
+            raise TrustedAppError("GPS Sampler session not opened")
+        if command == CMD_START_FLIGHT:
+            return self._start_flight()
+        if command == CMD_FINALIZE_FLIGHT:
+            return self._finalize_flight()
+        return super().invoke_command(command, params)
+
+    def _start_flight(self) -> dict[str, bytes]:
+        key = self._sign_key.reveal()
+        tracer = get_tracer()
+        with tracer.span("tee.chained_sampler_ta.commit", key_bits=key.bits,
+                         hash=self._hash_name):
+            self._signer = ChainSigner(key, self._hash_name, self._chain_rng)
+        self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
+        self.core.op_counters["chain_commitments"] += 1
+        return {"anchor": self._signer.anchor,
+                "commitment_signature": self._signer.commitment_signature}
+
+    def _get_gps_auth(self) -> dict[str, Any]:
+        if self._signer is None:
+            raise TrustedAppError(
+                "chained sampler: no flight started (StartFlight first)")
+        tracer = get_tracer()
+        with tracer.span("gps.receiver.get_fix"):
+            fix = self._driver().get_gps()
+        self._consult_spoof_detector(fix)
+        sample = GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
+                           alt=fix.altitude_m)
+        payload = sample.to_signed_payload()
+        with tracer.span("tee.chained_sampler_ta.link", t=sample.t):
+            link = self._signer.sign_sample(payload)
+        self.samples_signed += 1
+        self.core.op_counters["chain_links"] += 1
+        self.core.op_counters["gps_auth_samples"] += 1
+        return {"payload": payload, "signature": link,
+                "scheme": SCHEME_CHAIN}
+
+    def _finalize_flight(self) -> dict[str, bytes]:
+        if self._signer is None:
+            raise TrustedAppError(
+                "chained sampler: no flight started (StartFlight first)")
+        key = self._sign_key.reveal()
+        tracer = get_tracer()
+        with tracer.span("tee.chained_sampler_ta.close", key_bits=key.bits):
+            finalizer = self._signer.finalize_flight()
+        self._signer = None  # one finalizer per flight; chain key retired
+        self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
+        self.core.op_counters["chain_finalizations"] += 1
+        return {"finalizer": finalizer, "scheme": SCHEME_CHAIN}

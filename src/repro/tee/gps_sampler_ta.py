@@ -18,13 +18,15 @@ from typing import Any
 from repro.core.samples import GpsSample
 from repro.crypto.keys import private_key_from_bytes, public_key_to_bytes
 from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.crypto.schemes import SCHEME_RSA
 from repro.errors import TrustedAppError
 from repro.obs.trace import get_tracer
 from repro.tee.gps_driver import SecureGpsDriver
 from repro.tee.trusted_app import TrustedApplication
 from repro.tee.worlds import SecureKeyHandle
 
-#: Command: sample the GPS and return ``{"payload": bytes, "signature": bytes}``.
+#: Command: sample the GPS and return
+#: ``{"payload": bytes, "signature": bytes, "scheme": str}``.
 CMD_GET_GPS_AUTH = "GetGPSAuth"
 #: Command: return the TEE verification key ``T+`` (public, freely shareable).
 CMD_GET_PUBLIC_KEY = "GetPublicKey"
@@ -107,4 +109,5 @@ class GpsSamplerTA(TrustedApplication):
         self.samples_signed += 1
         self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
         self.core.op_counters["gps_auth_samples"] += 1
-        return {"payload": payload, "signature": signature}
+        return {"payload": payload, "signature": signature,
+                "scheme": SCHEME_RSA}

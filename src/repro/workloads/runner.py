@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 
 from repro.core.sampling import AdaptiveSampler, FixRateSampler, SamplingResult
+from repro.crypto.schemes import SCHEME_RSA
 from repro.drone.adapter import Adapter
 from repro.errors import ConfigurationError
 from repro.gps.receiver import SimulatedGpsReceiver
@@ -61,7 +62,8 @@ def run_policy(scenario: Scenario, policy: str,
                use_index: bool = True,
                degraded_mode: bool = False,
                injector=None,
-               tee_retry_policy=None) -> PolicyRun:
+               tee_retry_policy=None,
+               scheme: str = SCHEME_RSA) -> PolicyRun:
     """Execute one sampling policy over ``scenario``.
 
     Args:
@@ -80,6 +82,8 @@ def run_policy(scenario: Scenario, policy: str,
             (``gps.update``) and the device's secure monitor (``tee.smc``).
         tee_retry_policy: retry transient TEE entry failures inside the
             adapter (required for flights to survive ``tee.smc`` faults).
+        scheme: sample-authentication scheme id; the resulting PoA is
+            sealed with the flight finalizer for flight-level schemes.
     """
     clock = SimClock(scenario.t_start)
     receiver = scenario.make_receiver(update_rate_hz=update_rate_hz,
@@ -91,7 +95,8 @@ def run_policy(scenario: Scenario, policy: str,
         device.monitor.attach_injector(injector)
     adapter = Adapter(device, receiver, clock, hash_name=hash_name,
                       retry_policy=tee_retry_policy,
-                      retry_rng=random.Random(seed))
+                      retry_rng=random.Random(seed),
+                      scheme=scheme, chain_seed=seed)
 
     if policy == "adaptive":
         sampler = AdaptiveSampler(scenario.zones, scenario.frame,
@@ -114,8 +119,11 @@ def run_policy(scenario: Scenario, policy: str,
         adapter.start()
         try:
             result = sampler.run(adapter, scenario.t_end)
+            finalizer = adapter.finalize_flight()
         finally:
             adapter.stop()
+        if finalizer:
+            result.poa.seal(finalizer)
         span.set_attribute("auth_samples", result.stats.auth_samples)
     return PolicyRun(scenario=scenario, policy_label=label,
                      key_bits=key_bits, result=result,

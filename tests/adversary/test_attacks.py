@@ -1,6 +1,6 @@
 """The adversary matrix: every attack class rejected, zero false accepts.
 
-A full 12-attack x 3-scenario sweep runs in CI (conformance-smoke); the
+A full 15-attack x 3-scenario sweep runs in CI (conformance-smoke); the
 tier-1 suite keeps one scenario so the matrix semantics — expected
 outcomes, control flights, stats bookkeeping, JSON shape — are pinned on
 every push without the CI-scale runtime.
@@ -26,7 +26,8 @@ EXPECTED_ATTACKS = {
     "suppress_incursion", "truncate_at_incursion", "replay_previous_flight",
     "window_lie", "relay_foreign_drone", "tamper_position",
     "bitflip_signature", "timestamp_reorder", "clock_skew_forgery",
-    "teleport_spoof", "nonce_replay", "key_extraction",
+    "teleport_spoof", "chain_truncation", "chain_splice",
+    "chain_mac_forgery", "nonce_replay", "key_extraction",
 }
 
 

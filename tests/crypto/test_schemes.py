@@ -1,0 +1,216 @@
+"""Unit tests for the pluggable sample-authentication schemes.
+
+Each scheme is exercised through the public :class:`AuthScheme` surface
+only — ``new_signer`` / ``verify`` / ``verify_sample`` / ``screen`` —
+because that is the contract every call site (TA, pipeline, audit engine,
+conformance reference) depends on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.schemes import (
+    CHAIN_KEY_LENGTH,
+    CHAIN_LINK_LENGTH,
+    SCHEME_BATCH,
+    SCHEME_CHAIN,
+    SCHEME_RSA,
+    ChainFinalizer,
+    authenticate_payloads,
+    chain_anchor,
+    chain_link,
+    get_scheme,
+    scheme_ids,
+)
+from repro.errors import SchemeError
+
+ALL_SCHEMES = (SCHEME_RSA, SCHEME_BATCH, SCHEME_CHAIN)
+
+
+def _flight(signing_key, scheme_id, n=6, seed=7):
+    rng = random.Random(seed)
+    payloads = [rng.randbytes(36) for _ in range(n)]
+    blobs, finalizer = authenticate_payloads(signing_key, payloads,
+                                             scheme_id=scheme_id, rng=rng)
+    return payloads, blobs, finalizer
+
+
+class TestRegistry:
+    def test_ids_default_first(self):
+        assert scheme_ids()[0] == SCHEME_RSA
+        assert set(scheme_ids()) == set(ALL_SCHEMES)
+
+    def test_get_scheme_round_trip(self):
+        for scheme_id in ALL_SCHEMES:
+            assert get_scheme(scheme_id).id == scheme_id
+
+    def test_unknown_id_raises_typed_error(self):
+        with pytest.raises(SchemeError, match="unknown authentication"):
+            get_scheme("rsa-v16")
+
+
+@pytest.mark.parametrize("scheme_id", ALL_SCHEMES)
+class TestEveryScheme:
+    def test_honest_flight_verifies(self, signing_key, scheme_id):
+        payloads, blobs, finalizer = _flight(signing_key, scheme_id)
+        scheme = get_scheme(scheme_id)
+        assert scheme.verify(signing_key.public_key,
+                             list(zip(payloads, blobs)), finalizer) == []
+
+    def test_wrong_key_rejects_everything(self, signing_key, other_key,
+                                          scheme_id):
+        payloads, blobs, finalizer = _flight(signing_key, scheme_id)
+        bad = get_scheme(scheme_id).verify(
+            other_key.public_key, list(zip(payloads, blobs)), finalizer)
+        assert bad == list(range(len(payloads)))
+
+    def test_payload_tamper_detected(self, signing_key, scheme_id):
+        payloads, blobs, finalizer = _flight(signing_key, scheme_id)
+        payloads[2] = b"\x00" * 36
+        bad = get_scheme(scheme_id).verify(
+            signing_key.public_key, list(zip(payloads, blobs)), finalizer)
+        assert 2 in bad
+
+    def test_empty_flight(self, signing_key, scheme_id):
+        blobs, finalizer = authenticate_payloads(
+            signing_key, [], scheme_id=scheme_id, rng=random.Random(1))
+        assert blobs == []
+        assert get_scheme(scheme_id).verify(signing_key.public_key, [],
+                                            finalizer) == []
+
+
+class TestRsaPerSample:
+    def test_verify_sample_stands_alone(self, signing_key):
+        payloads, blobs, _ = _flight(signing_key, SCHEME_RSA)
+        scheme = get_scheme(SCHEME_RSA)
+        assert scheme.verify_sample(signing_key.public_key, payloads[0],
+                                    blobs[0])
+        assert not scheme.verify_sample(signing_key.public_key, payloads[0],
+                                        blobs[1])
+
+    def test_smuggled_finalizer_rejects_all(self, signing_key):
+        payloads, blobs, _ = _flight(signing_key, SCHEME_RSA)
+        bad = get_scheme(SCHEME_RSA).verify(
+            signing_key.public_key, list(zip(payloads, blobs)), b"extra")
+        assert bad == list(range(len(payloads)))
+
+    def test_screen_accepts_honest_flight(self, signing_key):
+        payloads, blobs, _ = _flight(signing_key, SCHEME_RSA)
+        assert get_scheme(SCHEME_RSA).screen(
+            signing_key.public_key, list(zip(payloads, blobs))) is True
+
+
+class TestBatchDigest:
+    def test_blobs_empty_finalizer_signs_trace(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_BATCH)
+        assert all(blob == b"" for blob in blobs)
+        assert finalizer
+
+    def test_flight_level_schemes_refuse_lone_samples(self, signing_key):
+        payloads, blobs, _ = _flight(signing_key, SCHEME_BATCH)
+        for scheme_id in (SCHEME_BATCH, SCHEME_CHAIN):
+            assert not get_scheme(scheme_id).verify_sample(
+                signing_key.public_key, payloads[0], blobs[0])
+            assert get_scheme(scheme_id).screen(
+                signing_key.public_key, list(zip(payloads, blobs))) is None
+
+    def test_foreign_blob_condemned(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_BATCH)
+        blobs[3] = b"not-from-this-scheme"
+        bad = get_scheme(SCHEME_BATCH).verify(
+            signing_key.public_key, list(zip(payloads, blobs)), finalizer)
+        assert bad == [3]
+
+    def test_reorder_rejected(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_BATCH)
+        entries = list(zip(payloads, blobs))
+        entries.reverse()
+        assert get_scheme(SCHEME_BATCH).verify(
+            signing_key.public_key, entries, finalizer) \
+            == list(range(len(entries)))
+
+
+class TestChainedHmac:
+    def test_finalizer_round_trip(self, signing_key):
+        _, _, finalizer = _flight(signing_key, SCHEME_CHAIN)
+        fin = ChainFinalizer.from_bytes(finalizer)
+        assert fin.to_bytes() == finalizer
+        assert fin.count == 6
+        assert len(fin.anchor) == CHAIN_LINK_LENGTH
+        assert len(fin.chain_key) == CHAIN_KEY_LENGTH
+        assert chain_anchor(fin.chain_key) == fin.anchor
+
+    @pytest.mark.parametrize("mangle", [
+        lambda fin: b"",
+        lambda fin: b"XXXX" + fin[4:],
+        lambda fin: fin[:20],
+        lambda fin: fin + b"\x00",
+    ])
+    def test_malformed_finalizer_raises_typed_error(self, signing_key,
+                                                    mangle):
+        _, _, finalizer = _flight(signing_key, SCHEME_CHAIN)
+        with pytest.raises(SchemeError):
+            ChainFinalizer.from_bytes(mangle(finalizer))
+
+    def test_malformed_finalizer_rejects_without_raising(self, signing_key):
+        payloads, blobs, _ = _flight(signing_key, SCHEME_CHAIN)
+        bad = get_scheme(SCHEME_CHAIN).verify(
+            signing_key.public_key, list(zip(payloads, blobs)), b"garbage")
+        assert bad == list(range(len(payloads)))
+
+    def test_truncation_rejected_structurally(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_CHAIN)
+        entries = list(zip(payloads, blobs))[:4]
+        assert get_scheme(SCHEME_CHAIN).verify(
+            signing_key.public_key, entries, finalizer) == [0, 1, 2, 3]
+
+    def test_reorder_rejected_structurally(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_CHAIN)
+        entries = list(zip(payloads, blobs))
+        entries[1], entries[4] = entries[4], entries[1]
+        bad = get_scheme(SCHEME_CHAIN).verify(
+            signing_key.public_key, entries, finalizer)
+        assert bad  # the swapped links no longer chain
+
+    def test_splice_detected_at_seams_only(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_CHAIN)
+        entries = list(zip(payloads, blobs))
+        entries[2] = entries[0]  # copy a genuine entry over another
+        bad = get_scheme(SCHEME_CHAIN).verify(
+            signing_key.public_key, entries, finalizer)
+        # The spliced position and its successor (whose predecessor link
+        # changed) break; replay re-synchronizes after the seam.
+        assert bad == [2, 3]
+
+    def test_disclosed_key_cannot_forge(self, signing_key):
+        """Re-MACing with the disclosed chain key fails the close sig."""
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_CHAIN)
+        fin = ChainFinalizer.from_bytes(finalizer)
+        forged_payloads = [b"\xff" * 36 for _ in payloads]
+        previous = fin.anchor
+        forged = []
+        for payload in forged_payloads:
+            link = chain_link(fin.chain_key, previous, payload)
+            forged.append((payload, link))
+            previous = link
+        bad = get_scheme(SCHEME_CHAIN).verify(
+            signing_key.public_key, forged, finalizer)
+        assert bad == list(range(len(forged)))
+
+    def test_seeded_signer_is_deterministic(self, signing_key):
+        a = _flight(signing_key, SCHEME_CHAIN, seed=11)
+        b = _flight(signing_key, SCHEME_CHAIN, seed=11)
+        assert a == b
+
+    def test_wire_bytes_amortized(self, signing_key):
+        payloads, blobs, finalizer = _flight(signing_key, SCHEME_CHAIN,
+                                             n=100)
+        chain_bytes = get_scheme(SCHEME_CHAIN).wire_bytes(
+            list(zip(payloads, blobs)), finalizer)
+        r_payloads, r_blobs, r_fin = _flight(signing_key, SCHEME_RSA, n=100)
+        rsa_bytes = get_scheme(SCHEME_RSA).wire_bytes(
+            list(zip(r_payloads, r_blobs)), r_fin)
+        assert chain_bytes < rsa_bytes

@@ -44,7 +44,9 @@ class TestBatchSigning:
         device, clock, sid = batch_platform
         for i in range(4):
             clock.advance(1.0)
-            assert device.client.invoke(sid, CMD_RECORD_GPS) == i + 1
+            out = device.client.invoke(sid, CMD_RECORD_GPS)
+            assert out["buffered"] == i + 1
+            assert out["signature"] == b""
         out = device.client.invoke(sid, CMD_FINALIZE_BATCH)
         poa = BatchSignedPoa(payloads=out["payloads"],
                              signature=out["signature"])
@@ -94,7 +96,7 @@ class TestBatchSigning:
         device.client.invoke(sid, CMD_RECORD_GPS)
         device.client.invoke(sid, CMD_FINALIZE_BATCH)
         clock.advance(1.0)
-        assert device.client.invoke(sid, CMD_RECORD_GPS) == 1
+        assert device.client.invoke(sid, CMD_RECORD_GPS)["buffered"] == 1
 
     def test_digest_length_framing(self):
         """Adjacent payloads cannot be re-split without detection."""

@@ -20,9 +20,13 @@ from repro.crypto.onetime import OneTimeKey, onetime_decrypt, onetime_encrypt
 from repro.crypto.pkcs1 import (
     decrypt_pkcs1_v15,
     encrypt_pkcs1_v15,
+    i2osp,
+    os2ip,
     sign_pkcs1_v15,
     verify_pkcs1_v15,
 )
+from repro.crypto.schemes import authenticate_payloads, get_scheme, scheme_ids
+from repro.errors import CryptoError, SchemeError
 
 messages = st.binary(min_size=0, max_size=53)  # fits 512-bit RSAES
 long_messages = st.binary(min_size=0, max_size=4096)
@@ -98,3 +102,106 @@ class TestSymmetricProperties:
         tag = bytearray(hmac_sign(key, message))
         tag[flip] ^= 0x01
         assert not hmac_verify(key, message, bytes(tag))
+
+    @given(message=long_messages, key_seed=st.integers(0, 2**32),
+           tamper=st.binary(min_size=1, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_hmac_message_tamper_detected(self, message, key_seed, tamper):
+        key = random.Random(key_seed).randbytes(32)
+        tag = hmac_sign(key, message)
+        altered = message + tamper
+        assert not hmac_verify(key, altered, tag)
+        assert hmac_verify(key, message, tag)
+
+
+class TestOctetStringProperties:
+    @given(length=st.integers(min_value=0, max_value=64),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_i2osp_os2ip_round_trip(self, length, data):
+        x = data.draw(st.integers(min_value=0,
+                                  max_value=256 ** length - 1))
+        octets = i2osp(x, length)
+        assert len(octets) == length
+        assert os2ip(octets) == x
+
+    @given(length=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_i2osp_boundaries(self, length):
+        # The largest representable integer fits exactly; one past it is a
+        # *typed* error, never a silent wrap or a bare exception.
+        top = 256 ** length - 1
+        assert os2ip(i2osp(top, length)) == top
+        import pytest
+        with pytest.raises(CryptoError):
+            i2osp(top + 1, length)
+
+    @given(octets=st.binary(min_size=0, max_size=64),
+           pad=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_os2ip_ignores_leading_zeros(self, octets, pad):
+        assert os2ip(b"\x00" * pad + octets) == os2ip(octets)
+
+
+class TestSchemeProperties:
+    """The AuthScheme contract: verify() never raises, errors are typed."""
+
+    @given(scheme_id=st.sampled_from(sorted(scheme_ids())),
+           count=st.integers(min_value=1, max_value=6),
+           seed=st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_honest_flight_verifies(self, signing_key, scheme_id, count,
+                                    seed):
+        rng = random.Random(seed)
+        payloads = [rng.randbytes(36) for _ in range(count)]
+        blobs, finalizer = authenticate_payloads(
+            signing_key, payloads, scheme_id=scheme_id, rng=rng)
+        scheme = get_scheme(scheme_id)
+        assert scheme.verify(signing_key.public_key,
+                             list(zip(payloads, blobs)), finalizer) == []
+
+    @given(signed_under=st.sampled_from(sorted(scheme_ids())),
+           verified_as=st.sampled_from(sorted(scheme_ids())),
+           seed=st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_wrong_scheme_rejects_without_raising(self, signing_key,
+                                                  signed_under, verified_as,
+                                                  seed):
+        rng = random.Random(seed)
+        payloads = [rng.randbytes(36) for _ in range(4)]
+        blobs, finalizer = authenticate_payloads(
+            signing_key, payloads, scheme_id=signed_under, rng=rng)
+        bad = get_scheme(verified_as).verify(
+            signing_key.public_key, list(zip(payloads, blobs)), finalizer)
+        assert bad == sorted(bad)
+        assert all(0 <= i < len(payloads) for i in bad)
+        if signed_under != verified_as:
+            # A flight authenticated under one scheme must not pass
+            # wholesale under another; at least one entry is condemned.
+            assert bad
+
+    @given(scheme_id=st.sampled_from(sorted(scheme_ids())),
+           blobs=st.lists(st.binary(min_size=0, max_size=80), min_size=1,
+                          max_size=5),
+           finalizer=st.binary(min_size=0, max_size=120),
+           seed=st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_garbage_blobs_reject_without_raising(self, signing_key,
+                                                  scheme_id, blobs,
+                                                  finalizer, seed):
+        rng = random.Random(seed)
+        entries = [(rng.randbytes(36), blob) for blob in blobs]
+        bad = get_scheme(scheme_id).verify(signing_key.public_key, entries,
+                                           finalizer)
+        assert bad == sorted(bad)
+        assert set(bad) <= set(range(len(entries)))
+        assert bad  # random authenticators never verify
+
+    @given(name=st.text(min_size=0, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_scheme_is_typed_error(self, name):
+        import pytest
+        if name in scheme_ids():
+            return
+        with pytest.raises(SchemeError):
+            get_scheme(name)
