@@ -5,24 +5,53 @@ trajectory across PRs untrackable.  ``write_bench_json`` writes a
 ``BENCH_<name>.json`` next to the ``.txt`` artefacts in
 ``benchmarks/out/`` with whatever structured payload the benchmark
 assembled (config, timings, speedups), so successive runs diff cleanly.
+Every artefact carries a ``meta`` block (git SHA, python version, UTC
+timestamp) so a number can always be traced back to the tree and
+interpreter that produced it.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import pathlib
+import platform
+import subprocess
 from typing import Any
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def bench_meta() -> dict[str, str]:
+    """Provenance for a benchmark artefact: commit, interpreter, when."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=pathlib.Path(__file__).parent, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "timestamp_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
 def write_bench_json(name: str, payload: dict[str, Any],
                      out_dir: str | pathlib.Path | None = None,
                      ) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` and return the path written."""
+    """Write ``BENCH_<name>.json`` and return the path written.
+
+    A ``meta`` provenance block is added unless the payload already
+    carries one (merge flows re-write the file with the original meta).
+    """
     directory = pathlib.Path(out_dir) if out_dir is not None else OUT_DIR
     directory.mkdir(exist_ok=True)
     path = directory / f"BENCH_{name}.json"
+    payload = dict(payload)
+    payload.setdefault("meta", bench_meta())
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

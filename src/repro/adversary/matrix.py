@@ -340,12 +340,35 @@ def _controls(world: AttackWorld) -> list[dict]:
     ]
 
 
+def record_cell_telemetry(hub, cell: AttackCell, *, now: float) -> None:
+    """Feed one finished attack cell into a streaming telemetry hub.
+
+    Each attack execution counts as one ``audit.attacks`` event with
+    per-outcome (``audit.attacks.<outcome>``) breakdown; an unexpected
+    outcome marks ``audit.attacks.unexpected``, and a false accept —
+    the harness knows ground truth — marks ``audit.false_accepts``,
+    which the built-in page rule latches on.
+    """
+    hub.mark("audit.attacks", now=now)
+    hub.mark(f"audit.attacks.{cell.result.outcome}", now=now)
+    if not cell.expected_ok:
+        hub.mark("audit.attacks.unexpected", now=now)
+    if cell.result.false_accept:
+        hub.mark("audit.false_accepts", now=now)
+
+
 def run_matrix(scenarios: Sequence[Scenario] | None = None,
                attacks: Sequence[Attack] | None = None,
                seed: int = 0, key_bits: int = 512,
                stats: AttackStats | None = None,
-               scheme: str = SCHEME_RSA) -> AttackReport:
-    """Execute every attack against every scenario world."""
+               scheme: str = SCHEME_RSA,
+               on_cell=None) -> AttackReport:
+    """Execute every attack against every scenario world.
+
+    ``on_cell`` is an optional callback invoked with each finished
+    :class:`AttackCell` — the hook the live telemetry session uses to
+    tick per completed cell.
+    """
     attacks = list(attacks) if attacks is not None else builtin_attacks()
     scenarios = list(scenarios) if scenarios is not None \
         else build_violation_variants(seed)
@@ -374,6 +397,8 @@ def run_matrix(scenarios: Sequence[Scenario] | None = None,
                               result=attack.execute(world, rng))
             stats.record(cell.result, cell.expected_ok)
             cells.append(cell)
+            if on_cell is not None:
+                on_cell(cell)
 
     return AttackReport(
         config={

@@ -9,6 +9,11 @@ Subcommands:
 * ``attacks``     — demonstrate that every forgery strategy is rejected
 * ``audit-batch`` — run a synthetic submission fleet through the batch
   audit engine and report per-stage timing + throughput
+* ``metrics``     — export a metrics snapshot as JSON or Prometheus
+  text exposition (``--prometheus``)
+* ``dash``        — live windowed-telemetry dashboard over a chaos or
+  attack run (``chaos``/``attack`` also take ``--dash`` /
+  ``--rollup-jsonl`` directly)
 
 All subcommands are deterministic given ``--seed``.
 """
@@ -154,55 +159,62 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     return 2
 
 
-def _cmd_audit_batch(args: argparse.Namespace) -> int:
+def _build_audit_fleet(*, seed: int, key_bits: int, submissions: int,
+                       samples: int, drones: int, zones: int = 1,
+                       workers: int = 1, executor: str = "thread"):
+    """A synthetic fleet: an auditor server plus signed, encrypted PoAs.
+
+    The shared workload builder behind ``audit-batch`` and the synthetic
+    arm of ``metrics``.  Returns ``(server, submissions, drone_list, t0)``
+    — everything deterministic from ``seed``.
+    """
     import random as random_module
 
     from repro.core.nfz import NoFlyZone
     from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
     from repro.core.protocol import DroneRegistrationRequest, PoaSubmission
     from repro.core.samples import GpsSample
-    from repro.core.verification import VerificationStatus
     from repro.crypto.pkcs1 import sign_pkcs1_v15
     from repro.crypto.rsa import generate_rsa_keypair
     from repro.geo.geodesy import GeoPoint, LocalFrame
     from repro.server.auditor import AliDroneServer
 
-    rng = random_module.Random(args.seed)
+    rng = random_module.Random(seed)
     frame = LocalFrame(GeoPoint(40.10, -88.22))
-    server = AliDroneServer(frame, rng=random_module.Random(args.seed + 1),
-                            encryption_key_bits=args.key_bits,
-                            audit_workers=args.workers,
-                            audit_executor=args.executor)
+    server = AliDroneServer(frame, rng=random_module.Random(seed + 1),
+                            encryption_key_bits=key_bits,
+                            audit_workers=workers,
+                            audit_executor=executor)
     center = frame.to_geo(0.0, 0.0)
     server.zones.register(NoFlyZone(center.lat, center.lon, 50.0),
                           proof_of_ownership="synthetic")
     # Optional NFZ-database scale-up: extra zones laid out well away from
     # every synthetic trace so verdicts stay unchanged while the engine's
     # zone index has real work to prune.
-    for i in range(1, args.zones):
+    for i in range(1, zones):
         point = frame.to_geo(-600.0 - 150.0 * (i // 21),
                              ((i % 21) - 10) * 200.0)
         server.zones.register(NoFlyZone(point.lat, point.lon, 50.0),
                               proof_of_ownership="synthetic")
 
-    drones = []
-    for i in range(args.drones):
-        tee_key = generate_rsa_keypair(args.key_bits,
+    drone_list = []
+    for i in range(drones):
+        tee_key = generate_rsa_keypair(key_bits,
                                        rng=random_module.Random(1000 + i))
-        operator_key = generate_rsa_keypair(args.key_bits,
+        operator_key = generate_rsa_keypair(key_bits,
                                             rng=random_module.Random(2000 + i))
         drone_id = server.register_drone(DroneRegistrationRequest(
             operator_public_key=operator_key.public_key,
             tee_public_key=tee_key.public_key, operator_name=f"op-{i}"))
-        drones.append((drone_id, tee_key))
+        drone_list.append((drone_id, tee_key))
 
     t0 = 1_700_000_000.0
-    submissions = []
-    for j in range(args.submissions):
-        drone_id, tee_key = drones[j % len(drones)]
+    built = []
+    for j in range(submissions):
+        drone_id, tee_key = drone_list[j % len(drone_list)]
         start = t0 + 1000.0 * j
         entries = []
-        for k in range(args.samples):
+        for k in range(samples):
             point = frame.to_geo(200.0 + 20.0 * k + rng.uniform(0, 5.0),
                                  10.0 * (j % 7))
             sample = GpsSample(lat=point.lat, lon=point.lon, t=start + k)
@@ -212,9 +224,20 @@ def _cmd_audit_batch(args: argparse.Namespace) -> int:
                 signature=sign_pkcs1_v15(tee_key, payload)))
         records = encrypt_poa(ProofOfAlibi(entries),
                               server.public_encryption_key, rng=rng)
-        submissions.append(PoaSubmission(
+        built.append(PoaSubmission(
             drone_id=drone_id, flight_id=f"flight-{j}", records=records,
-            claimed_start=start, claimed_end=start + args.samples - 1))
+            claimed_start=start, claimed_end=start + samples - 1))
+    return server, built, drone_list, t0
+
+
+def _cmd_audit_batch(args: argparse.Namespace) -> int:
+    from repro.core.verification import VerificationStatus
+
+    server, submissions, drones, t0 = _build_audit_fleet(
+        seed=args.seed, key_bits=args.key_bits,
+        submissions=args.submissions, samples=args.samples,
+        drones=args.drones, zones=args.zones,
+        workers=args.workers, executor=args.executor)
 
     from contextlib import nullcontext
 
@@ -286,8 +309,42 @@ def _cmd_audit_batch(args: argparse.Namespace) -> int:
     return 0 if accepted == result.batch_size else 1
 
 
+def _live_session(args: argparse.Namespace, title: str,
+                  stream=None):
+    """Build the optional telemetry session behind ``--dash`` and
+    ``--rollup-jsonl`` (None when neither flag was given)."""
+    from repro.obs.dash import LiveTelemetrySession
+
+    dash = getattr(args, "dash", False)
+    rollup = getattr(args, "rollup_jsonl", None)
+    if not dash and not rollup:
+        return None
+    sink = stream if stream is not None else sys.stderr
+    interactive = dash and sink.isatty()
+    return LiveTelemetrySession(
+        rollup_path=rollup,
+        stream=sink if dash else None,
+        live=interactive, color=interactive,
+        title=title)
+
+
+def _telemetry_epilogue(session, file=sys.stderr) -> dict:
+    """Close a live session and print its one-line summary."""
+    summary = session.close()
+    fired = summary["alerts_fired"]
+    firing = summary["alerts_firing"]
+    print(f"telemetry: {summary['ticks']} tick(s), "
+          f"{summary['rules_evaluated']} rule(s), "
+          f"{len(fired)} alert(s) fired"
+          + (f" [firing: {', '.join(firing)}]" if firing else "")
+          + (f", rollups -> {session.writer.path}"
+             if session.writer is not None else ""),
+          file=file)
+    return summary
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.chaos import run_matrix
+    from repro.faults.chaos import record_cell_telemetry, run_matrix
     from repro.faults.plan import builtin_plans
     from repro.workloads import build_random_scenario, build_violation_scenario
 
@@ -311,9 +368,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         else:
             scenarios.append((build_violation_scenario(seed=args.seed), True))
 
+    session = _live_session(args, "alidrone chaos")
+    on_cell = None
+    if session is not None:
+        def on_cell(cell):
+            session.tick(lambda hub, now:
+                         record_cell_telemetry(hub, cell, now=now))
+
     report = run_matrix(scenarios, plans, seed=args.seed,
                         key_bits=args.chaos_key_bits,
-                        liveness_budget_s=args.budget_s)
+                        liveness_budget_s=args.budget_s,
+                        on_cell=on_cell)
+    if session is not None:
+        _telemetry_epilogue(session)
     payload = report.to_dict()
     if args.out:
         with open(args.out, "w") as fh:
@@ -347,17 +414,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.adversary import AttackStats, run_matrix
+    from repro.adversary.matrix import record_cell_telemetry
     from repro.conformance import run_differential
     from repro.obs.adapters import register_attack_stats
     from repro.obs.export import write_metrics_json
     from repro.obs.metrics import MetricsRegistry
     from repro.workloads.synthetic import build_violation_variants
 
+    session = _live_session(args, "alidrone attack")
+    on_cell = None
+    if session is not None:
+        def on_cell(cell):
+            session.tick(lambda hub, now:
+                         record_cell_telemetry(hub, cell, now=now))
+
     stats = AttackStats()
     matrix = run_matrix(
         scenarios=build_violation_variants(args.seed),
         seed=args.seed, key_bits=args.attack_key_bits, stats=stats,
-        scheme=args.scheme)
+        scheme=args.scheme, on_cell=on_cell)
+    if session is not None:
+        _telemetry_epilogue(session)
     conformance = run_differential(
         trajectories=args.trajectories, seed=args.seed,
         key_bits=args.attack_key_bits, scheme=args.scheme)
@@ -400,6 +477,89 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         print(f"  verdict             : "
               f"{'OK' if payload['ok'] else 'FAILED'}")
     return 0 if payload["ok"] else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.prom import to_prometheus, validate_exposition
+
+    if args.from_json:
+        with open(args.from_json) as fh:
+            snapshot = json.load(fh)
+        if not isinstance(snapshot, dict):
+            print("alidrone: metrics JSON must be an object of "
+                  "{name: snapshot} entries", file=sys.stderr)
+            return 2
+    else:
+        # A tiny synthetic batch, just enough to populate every adapter.
+        server, submissions, _drones, t0 = _build_audit_fleet(
+            seed=args.seed, key_bits=args.key_bits,
+            submissions=4, samples=4, drones=2)
+        server.receive_poa_batch(submissions, now=t0)
+        snapshot = server.bind_metrics().collect()
+
+    if args.prometheus:
+        text = to_prometheus(snapshot)
+        problems = validate_exposition(text)
+        if problems:
+            for problem in problems:
+                print(f"alidrone: exposition: {problem}", file=sys.stderr)
+            return 1
+        sys.stdout.write(text)
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dash import LiveTelemetrySession
+
+    interactive = not args.plain and sys.stdout.isatty()
+    session = LiveTelemetrySession(
+        rollup_path=args.rollup_jsonl,
+        stream=sys.stdout, live=interactive, color=interactive,
+        title=f"alidrone dash [{args.run}]")
+
+    if args.run == "chaos":
+        from repro.faults.chaos import record_cell_telemetry, run_matrix
+        from repro.faults.plan import builtin_plans
+        from repro.workloads import (
+            build_random_scenario,
+            build_violation_scenario,
+        )
+
+        available = builtin_plans(args.seed)
+        if args.plans:
+            unknown = [name for name in args.plans if name not in available]
+            if unknown:
+                print(f"alidrone: unknown fault plan(s): "
+                      f"{', '.join(unknown)}; available: "
+                      f"{', '.join(sorted(available))}", file=sys.stderr)
+                return 2
+            plans = [available[name] for name in args.plans]
+        else:
+            plans = list(available.values())
+        scenarios = [(build_random_scenario(seed=args.seed, n_zones=4),
+                      False),
+                     (build_violation_scenario(seed=args.seed), True)]
+        report = run_matrix(
+            scenarios, plans, seed=args.seed, key_bits=512,
+            on_cell=lambda cell: session.tick(
+                lambda hub, now: record_cell_telemetry(hub, cell, now=now)))
+        ok = report.ok
+    else:
+        from repro.adversary.matrix import record_cell_telemetry, run_matrix
+
+        report = run_matrix(
+            seed=args.seed, key_bits=512,
+            on_cell=lambda cell: session.tick(
+                lambda hub, now: record_cell_telemetry(hub, cell, now=now)))
+        ok = report.ok
+
+    summary = _telemetry_epilogue(session, file=sys.stdout)
+    page_alerts = [alert for alert in summary["alerts_fired"]
+                   if alert["severity"] == "page"]
+    print(f"verdict: {'OK' if ok and not page_alerts else 'FAILED'}")
+    return 0 if ok and not page_alerts else 1
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -538,6 +698,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the chaos report as JSON")
     chaos.add_argument("--json", action="store_true",
                        help="print the report as JSON instead of prose")
+    chaos.add_argument("--dash", action="store_true",
+                       help="render the live telemetry dashboard to "
+                            "stderr while the sweep runs")
+    chaos.add_argument("--rollup-jsonl", metavar="PATH", default=None,
+                       help="append one windowed-telemetry rollup JSON "
+                            "line per completed cell")
     chaos.set_defaults(handler=_cmd_chaos)
 
     attack = sub.add_parser(
@@ -561,7 +727,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the report as JSON instead of prose")
     attack.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="write an adversary.* metrics snapshot (JSON)")
+    attack.add_argument("--dash", action="store_true",
+                        help="render the live telemetry dashboard to "
+                             "stderr while the matrix runs")
+    attack.add_argument("--rollup-jsonl", metavar="PATH", default=None,
+                        help="append one windowed-telemetry rollup JSON "
+                             "line per completed cell")
     attack.set_defaults(handler=_cmd_attack)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="export a metrics snapshot (JSON or Prometheus exposition)")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="emit Prometheus text exposition instead "
+                              "of JSON")
+    metrics.add_argument("--from-json", metavar="PATH", default=None,
+                         help="render a previously written metrics "
+                              "snapshot (e.g. audit-batch --metrics-json) "
+                              "instead of running a synthetic batch")
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    dash = sub.add_parser(
+        "dash",
+        help="live telemetry dashboard over a chaos or attack run")
+    dash.add_argument("--run", choices=("chaos", "attack"),
+                      default="chaos",
+                      help="which harness to drive (default chaos)")
+    dash.add_argument("--plans", nargs="+", default=None, metavar="PLAN",
+                      help="fault plans for --run chaos "
+                           "(default: all builtin)")
+    dash.add_argument("--plain", action="store_true",
+                      help="append plain-text frames (no ANSI clears), "
+                           "for logs and CI")
+    dash.add_argument("--rollup-jsonl", metavar="PATH", default=None,
+                      help="also append rollup JSON lines")
+    dash.set_defaults(handler=_cmd_dash)
 
     export = sub.add_parser("export",
                             help="dump a scenario as GeoJSON")

@@ -324,11 +324,47 @@ def run_cell(scenario: Scenario, plan: FaultPlan | None, *,
         metrics=registry.collect())
 
 
+def record_cell_telemetry(hub, cell: ChaosCell, *, now: float) -> None:
+    """Feed one finished chaos cell into a streaming telemetry hub.
+
+    The cell's end-to-end recovery latency and verdict land via
+    :meth:`~repro.obs.hub.TelemetryHub.record_audit` (the same metric
+    namespace the live engine feeds, so the monitor rules see one
+    uniform stream); link/fault/retry counters land on their own
+    windowed counters.  The harness — not the auditor — knows ground
+    truth, so this is also where the safety invariant becomes a
+    monitored signal: a violating cell that was ACCEPTED increments
+    ``audit.false_accepts``, which the built-in page rule latches on.
+    """
+    status = cell.status if cell.status else "error:unknown"
+    reason = None
+    if status.startswith("error:"):
+        reason = status[len("error:"):]
+    elif status != "accepted":
+        reason = status
+    hub.record_audit(seconds=cell.recovery_latency_s, status=status,
+                     reason=reason, samples=cell.auth_samples, now=now)
+    if cell.violation and cell.accepted:
+        hub.mark("audit.false_accepts", now=now)
+    for name, amount in (
+            ("link.retransmissions", cell.retransmissions),
+            ("link.duplicate_frames", cell.duplicate_frames),
+            ("link.corrupt_frames", cell.corrupt_frames),
+            ("tee.degraded_decisions", cell.degraded_decisions),
+            ("faults.injected", cell.fault_stats.get("total_injected", 0)),
+            ("retry.retries", cell.retry_stats.get("retries", 0)),
+            ("retry.giveups", cell.retry_stats.get("giveups", 0)),
+            ("retry.recoveries", cell.retry_stats.get("recoveries", 0))):
+        if amount:
+            hub.mark(name, now=now, amount=amount)
+
+
 def run_matrix(scenarios: list[tuple[Scenario, bool]],
                plans: list[FaultPlan] | None = None, *,
                seed: int = 0, key_bits: int = 512,
                update_rate_hz: float = 5.0,
-               liveness_budget_s: float = 300.0) -> ChaosReport:
+               liveness_budget_s: float = 300.0,
+               on_cell=None) -> ChaosReport:
     """Sweep every plan over every scenario and check the invariants.
 
     Args:
@@ -336,6 +372,9 @@ def run_matrix(scenarios: list[tuple[Scenario, bool]],
             feed the safety invariant, compliant ones the liveness
             invariant.
         plans: fault plans to sweep (defaults to :func:`builtin_plans`).
+        on_cell: optional callback invoked with each finished
+            :class:`ChaosCell` (reference cells included) — the hook the
+            live telemetry session uses to tick per completed cell.
     """
     if plans is None:
         plans = list(builtin_plans(seed).values())
@@ -350,12 +389,16 @@ def run_matrix(scenarios: list[tuple[Scenario, bool]],
                              seed=seed, key_bits=key_bits,
                              update_rate_hz=update_rate_hz,
                              liveness_budget_s=liveness_budget_s)
+        if on_cell is not None:
+            on_cell(reference)
         for plan in plans:
             cell = run_cell(scenario, plan, violation=is_violation,
                             seed=seed, key_bits=key_bits,
                             update_rate_hz=update_rate_hz,
                             liveness_budget_s=liveness_budget_s)
             cells.append(cell)
+            if on_cell is not None:
+                on_cell(cell)
             label = f"{scenario.name}/{plan.name}"
             if is_violation and cell.accepted:
                 false_accepts.append(label)

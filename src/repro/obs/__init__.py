@@ -1,9 +1,12 @@
 """``repro.obs`` — the unified telemetry layer.
 
-End-to-end tracing plus a metrics registry for the whole PoA protocol:
-drone sampling → TEE signing → link transmission → Auditor verification.
-See ``docs/OBSERVABILITY.md`` for the API walkthrough and exporter
-formats.
+End-to-end tracing, a snapshot metrics registry, and the streaming
+fleet-scale layer: windowed time-series instruments
+(:mod:`repro.obs.timeseries`), the rollup hub (:mod:`repro.obs.hub`),
+SLO monitor rules (:mod:`repro.obs.monitor`), Prometheus exposition
+(:mod:`repro.obs.prom`), and the live terminal dashboard
+(:mod:`repro.obs.dash`).  See ``docs/OBSERVABILITY.md`` for the API
+walkthrough, alert-rule catalogue, and exporter formats.
 """
 
 from repro.obs.adapters import (
@@ -15,12 +18,19 @@ from repro.obs.adapters import (
     register_stage_metrics,
     register_zone_index_stats,
 )
+from repro.obs.dash import Dashboard, LiveTelemetrySession, sparkline
 from repro.obs.export import (
     format_tree,
     read_spans_jsonl,
     spans_to_jsonl,
     write_metrics_json,
     write_spans_jsonl,
+)
+from repro.obs.hub import (
+    RollupWriter,
+    TelemetryHub,
+    flatten_rollup,
+    read_rollups_jsonl,
 )
 from repro.obs.metrics import (
     CounterMetric,
@@ -30,6 +40,19 @@ from repro.obs.metrics import (
     get_registry,
     quantile,
     set_registry,
+)
+from repro.obs.monitor import (
+    Alert,
+    MonitorEngine,
+    MonitorRule,
+    builtin_rules,
+)
+from repro.obs.prom import to_prometheus, validate_exposition
+from repro.obs.timeseries import (
+    QuantileSketch,
+    WindowedCounter,
+    WindowedRate,
+    WindowedSketch,
 )
 from repro.obs.trace import (
     NOOP_TRACER,
@@ -43,17 +66,31 @@ from repro.obs.trace import (
 
 __all__ = [
     "NOOP_TRACER",
+    "Alert",
     "CounterMetric",
+    "Dashboard",
     "GaugeMetric",
     "HistogramMetric",
+    "LiveTelemetrySession",
     "MetricsRegistry",
+    "MonitorEngine",
+    "MonitorRule",
     "NoopTracer",
+    "QuantileSketch",
+    "RollupWriter",
     "Span",
+    "TelemetryHub",
     "Tracer",
+    "WindowedCounter",
+    "WindowedRate",
+    "WindowedSketch",
+    "builtin_rules",
+    "flatten_rollup",
     "format_tree",
     "get_registry",
     "get_tracer",
     "quantile",
+    "read_rollups_jsonl",
     "read_spans_jsonl",
     "register_event_log",
     "register_fault_stats",
@@ -65,7 +102,10 @@ __all__ = [
     "set_registry",
     "set_tracer",
     "spans_to_jsonl",
+    "sparkline",
+    "to_prometheus",
     "use_tracer",
+    "validate_exposition",
     "write_metrics_json",
     "write_spans_jsonl",
 ]

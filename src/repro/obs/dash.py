@@ -1,0 +1,226 @@
+"""The live terminal dashboard: rolling rates, sparklines, firing alerts.
+
+Pure string rendering over :class:`repro.obs.hub.TelemetryHub` rollups —
+no curses, no threads, no wall-clock reads — so a frame is deterministic
+given the rollup history and renders identically into CI logs, golden
+tests, and a live terminal.  :class:`Dashboard` keeps per-metric rate
+histories and renders one frame per tick; :class:`LiveTelemetrySession`
+is the glue harnesses use: one object owning the hub, the monitor rules,
+the optional rollup JSONL stream, and the frame sink, driven by a
+virtual tick clock so a seeded run re-renders bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, TextIO
+
+from repro.obs.hub import RollupWriter, TelemetryHub, flatten_rollup
+from repro.obs.monitor import (
+    SEVERITY_PAGE,
+    Alert,
+    MonitorEngine,
+    MonitorRule,
+    builtin_rules,
+)
+from repro.sim.events import EventLog
+
+#: Eight-level bars; an empty slot renders as the lowest bar so a flat
+#: zero series still draws a visible baseline.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ANSI escapes used when color is enabled.
+ANSI_CLEAR = "\x1b[H\x1b[2J"
+_ANSI_RED = "\x1b[31;1m"
+_ANSI_YELLOW = "\x1b[33;1m"
+_ANSI_DIM = "\x1b[2m"
+_ANSI_RESET = "\x1b[0m"
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """Render the trailing ``width`` values as a unicode sparkline."""
+    if width < 1:
+        return ""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0.0:
+        return SPARK_CHARS[0] * len(values)
+    steps = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(steps, int(round(v / top * steps)))] for v in values)
+
+
+class Dashboard:
+    """Accumulates rollup history and renders ANSI/plain-text frames."""
+
+    def __init__(self, *, title: str = "alidrone telemetry",
+                 width: int = 78, history: int = 24, color: bool = False):
+        self.title = title
+        self.width = int(width)
+        self.history = int(history)
+        self.color = bool(color)
+        self._rate_history: dict[str, deque[float]] = {}
+        self._rollup: dict[str, Any] | None = None
+        self._firing: dict[str, Alert] = {}
+        self.frames_rendered = 0
+
+    def update(self, rollup: dict[str, Any],
+               firing: dict[str, Alert] | None = None) -> None:
+        """Fold one rollup (and the currently firing alerts) in."""
+        self._rollup = rollup
+        self._firing = dict(firing or {})
+        for name, entry in rollup.get("counters", {}).items():
+            self._rate_history.setdefault(
+                name, deque(maxlen=self.history)).append(entry["rate"])
+
+    def _paint(self, text: str, code: str) -> str:
+        return f"{code}{text}{_ANSI_RESET}" if self.color else text
+
+    def render(self) -> str:
+        """One frame (no cursor control; see :meth:`frame` for that)."""
+        self.frames_rendered += 1
+        if self._rollup is None:
+            return f"{self.title}\n  (no telemetry yet)"
+        rollup = self._rollup
+        lines = [f"{self.title} — t={rollup.get('t', 0.0):.1f}s "
+                 f"window={rollup.get('window_s', 0.0):g}s"]
+        lines.append("-" * min(self.width, len(lines[0])))
+
+        counters = rollup.get("counters", {})
+        if counters:
+            lines.append("rates")
+            name_w = max(len(n) for n in counters)
+            for name in sorted(counters):
+                entry = counters[name]
+                spark = sparkline(list(self._rate_history.get(name, [])))
+                lines.append(
+                    f"  {name:<{name_w}}  {entry['cumulative']:>8g} total"
+                    f"  {entry['rate']:>8.3f}/s  {spark}")
+
+        quantiles = {name: entry
+                     for name, entry in rollup.get("quantiles", {}).items()}
+        if quantiles:
+            lines.append("latency")
+            name_w = max(len(n) for n in quantiles)
+            for name in sorted(quantiles):
+                entry = quantiles[name]
+                if not entry.get("count"):
+                    lines.append(f"  {name:<{name_w}}  (empty window)")
+                    continue
+                lines.append(
+                    f"  {name:<{name_w}}  p50 {entry['p50']:.4g}"
+                    f"  p95 {entry['p95']:.4g}  p99 {entry['p99']:.4g}"
+                    f"  n={entry['count']}")
+
+        gauges = rollup.get("gauges", {})
+        if gauges:
+            lines.append("gauges")
+            name_w = max(len(n) for n in gauges)
+            for name in sorted(gauges):
+                lines.append(f"  {name:<{name_w}}  {gauges[name]:g}")
+
+        stages = rollup.get("stages", {})
+        if stages:
+            lines.append("stages (mean seconds)")
+            name_w = max(len(n) for n in stages)
+            for name, entry in stages.items():
+                lines.append(f"  {name:<{name_w}}  "
+                             f"{entry.get('mean_seconds', 0.0):.6f}s"
+                             f"  x{entry.get('runs', 0)}")
+
+        lines.append(f"alerts ({len(self._firing)} firing)")
+        if not self._firing:
+            lines.append(self._paint("  none", _ANSI_DIM))
+        for name in sorted(self._firing):
+            alert = self._firing[name]
+            code = (_ANSI_RED if alert.severity == SEVERITY_PAGE
+                    else _ANSI_YELLOW)
+            lines.append(self._paint(
+                f"  [{alert.severity.upper()}] {name}: {alert.message}",
+                code))
+        return "\n".join(lines)
+
+    def frame(self) -> str:
+        """A frame prefixed with home+clear, for live terminal redraws."""
+        return ANSI_CLEAR + self.render()
+
+
+class LiveTelemetrySession:
+    """Hub + monitor + dashboard + rollup stream behind one ``tick()``.
+
+    Harness drivers (``alidrone chaos --dash``, ``alidrone dash``) call
+    :meth:`tick` once per unit of completed work with a recorder
+    callback; the session advances its virtual clock, lets the recorder
+    feed the hub, rolls up, evaluates the alert rules, appends the
+    rollup line, and renders a frame.  The virtual tick clock makes the
+    whole pipeline — rates, EWMA baselines, alert edges, frames —
+    deterministic for a seeded run.
+    """
+
+    def __init__(self, *, window_s: float = 60.0, buckets: int = 12,
+                 tick_s: float = 5.0,
+                 rules: list[MonitorRule] | None = None,
+                 rollup_path: str | None = None,
+                 stream: TextIO | None = None,
+                 live: bool = False, color: bool = False,
+                 title: str = "alidrone telemetry"):
+        self.hub = TelemetryHub(window_s=window_s, buckets=buckets)
+        self.events = EventLog()
+        self.monitor = MonitorEngine(
+            rules if rules is not None else builtin_rules(),
+            events=self.events)
+        self.dashboard = Dashboard(title=title, color=color)
+        self.tick_s = float(tick_s)
+        self.now = 0.0
+        self.writer = RollupWriter(rollup_path) if rollup_path else None
+        #: Frame sink; None disables rendering entirely.
+        self.stream = stream
+        #: Prefix frames with ANSI home+clear (a live terminal redraw)
+        #: instead of appending frames (CI logs, files).
+        self.live = bool(live)
+        self.alerts: list[Alert] = []
+        self.rollups: list[dict[str, Any]] = []
+
+    def tick(self, record: Callable[[TelemetryHub, float], None] | None = None,
+             ) -> dict[str, Any]:
+        """One unit of work: record, roll up, evaluate, render.
+
+        Returns the rollup document (also appended to :attr:`rollups`),
+        extended with the alert state for this tick:
+        ``alerts_fired`` (new edges), ``alerts_firing`` (active rule
+        names), and ``rules_evaluated``.
+        """
+        self.now += self.tick_s
+        if record is not None:
+            record(self.hub, self.now)
+        rollup = self.hub.rollup(self.now)
+        fired = self.monitor.evaluate(flatten_rollup(rollup), self.now)
+        self.alerts.extend(fired)
+        rollup["alerts_fired"] = [alert.to_dict() for alert in fired]
+        rollup["alerts_firing"] = sorted(self.monitor.firing)
+        rollup["rules_evaluated"] = len(self.monitor.rules)
+        self.rollups.append(rollup)
+        if self.writer is not None:
+            self.writer.write(rollup)
+        self.dashboard.update(rollup, self.monitor.firing)
+        if self.stream is not None:
+            frame = (self.dashboard.frame() if self.live
+                     else self.dashboard.render())
+            print(frame, file=self.stream)
+            self.stream.flush()
+        return rollup
+
+    def close(self) -> dict[str, Any]:
+        """Finish the session; returns a JSON-ready summary."""
+        if self.writer is not None:
+            self.writer.close()
+        return {
+            "ticks": len(self.rollups),
+            "alerts_fired": [alert.to_dict() for alert in self.alerts],
+            "alerts_firing": sorted(self.monitor.firing),
+            "rules_evaluated": len(self.monitor.rules),
+            "rollup_lines": (self.writer.lines_written
+                             if self.writer is not None else 0),
+        }

@@ -22,9 +22,10 @@ import json
 from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.obs.timeseries import QuantileSketch
 
-#: Histograms keep at most this many raw observations; past it, the
-#: oldest half is compacted away (quantiles then describe recent data).
+#: Histograms keep at most this many raw observations (the ``max_raw``
+#: bound); past it, quantiles come from the bounded sketch instead.
 DEFAULT_HISTOGRAM_MAX_SAMPLES = 65_536
 
 
@@ -87,7 +88,24 @@ def quantile(sorted_values: list[float], q: float) -> float:
 
 
 class HistogramMetric:
-    """A distribution with quantile summaries."""
+    """A distribution with quantile summaries in bounded memory.
+
+    Every observation feeds a bounded :class:`QuantileSketch`
+    (O(bins) memory, 1% relative-error quantiles) *and* a raw-value
+    buffer capped at ``max_raw`` entries.  While no raw value has been
+    discarded, :meth:`quantile` and the snapshot quantiles are exact;
+    past the cap they come from the sketch, which — unlike the old
+    compact-away-the-oldest-half behavior — still describes the *whole*
+    distribution, not just recent data.  ``count``/``sum``/``min``/
+    ``max`` are always exact.
+
+    .. deprecated:: the unbounded raw-retention contract.
+       :meth:`values` now returns at most ``max_raw`` recent
+       observations and exists only for callers that genuinely need raw
+       samples; use :meth:`quantile`/:meth:`snapshot` (or a
+       :class:`~repro.obs.timeseries.WindowedSketch` for streaming
+       windows) instead of iterating raw values.
+    """
 
     kind = "histogram"
 
@@ -98,41 +116,62 @@ class HistogramMetric:
         self.name = name
         self.max_samples = int(max_samples)
         self._values: list[float] = []
+        self._sketch = QuantileSketch()
+        self._raw_exact = True
         self.count = 0
         self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    @property
+    def max_raw(self) -> int:
+        """The raw-storage cap (alias of ``max_samples``)."""
+        return self.max_samples
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
         self.count += 1
         self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._sketch.observe(value)
         self._values.append(value)
         if len(self._values) > self.max_samples:
-            # Compact away the oldest half; count/sum stay exact.
+            # Keep the most recent half; exact quantiles are over.
             del self._values[:len(self._values) // 2]
+            self._raw_exact = False
 
     def values(self) -> list[float]:
-        """The retained raw observations, oldest first."""
+        """The retained raw observations (at most ``max_raw``), oldest
+        first.  Deprecated for quantile use — see the class docstring."""
         return list(self._values)
 
     def quantile(self, q: float) -> float:
-        """Quantile over the retained observations."""
-        return quantile(sorted(self._values), q)
+        """Quantile over all observations.
+
+        Exact while the raw buffer still holds every observation, then
+        sketch-estimated (within 1% relative error) once the ``max_raw``
+        bound has discarded raw values.
+        """
+        if self._raw_exact:
+            return quantile(sorted(self._values), q)
+        return self._sketch.quantile(q)
 
     def snapshot(self) -> dict[str, Any]:
-        if not self._values:
+        if not self.count:
             return {"type": self.kind, "count": self.count, "sum": self.sum}
-        ordered = sorted(self._values)
         return {
             "type": self.kind,
             "count": self.count,
             "sum": self.sum,
             "mean": self.sum / self.count,
-            "min": ordered[0],
-            "max": ordered[-1],
-            "p50": quantile(ordered, 0.50),
-            "p90": quantile(ordered, 0.90),
-            "p99": quantile(ordered, 0.99),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -195,13 +234,19 @@ class MetricsRegistry:
     # --- collection ---------------------------------------------------------
 
     def collect(self) -> dict[str, dict[str, Any]]:
-        """One JSON-ready snapshot of every metric and adapter source."""
+        """One JSON-ready snapshot of every metric and adapter source.
+
+        Metric names are sorted across direct instruments *and* adapter
+        entries, so two snapshots of the same state serialize
+        identically regardless of registration order (telemetry diffs
+        stay reproducible).
+        """
         snapshot = {name: metric.snapshot()
-                    for name, metric in sorted(self._metrics.items())}
+                    for name, metric in self._metrics.items()}
         for source in self._sources:
             for name, entry in source().items():
                 snapshot[name] = entry
-        return snapshot
+        return dict(sorted(snapshot.items()))
 
     def to_json(self, indent: int | None = 2) -> str:
         """The collected snapshot as a JSON document."""

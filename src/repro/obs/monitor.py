@@ -1,0 +1,306 @@
+"""SLO monitors: declarative alert rules evaluated on window rollups.
+
+A :class:`MonitorRule` watches one flattened rollup path
+(:func:`repro.obs.hub.flatten_rollup`) and fires an :class:`Alert` when
+its condition holds for ``for_count`` consecutive evaluations — the
+hysteresis that keeps a single boundary sample from flapping an alert.
+Three rule kinds cover the SLO layer:
+
+* ``threshold`` — compare the value against a fixed bound.  A missing
+  metric is *not* a breach (quiet streams are normal); absence has its
+  own rule kind.
+* ``ewma`` — anomaly detection: keep an exponentially weighted mean and
+  variance of the series and breach when a sample deviates more than
+  ``sigma`` standard deviations (after ``warmup`` samples).  The
+  anomalous sample still folds into the EWMA afterwards, so a genuine
+  level shift re-baselines instead of alerting forever.
+* ``absence`` — staleness: breach when the metric is missing from the
+  rollup, or (with ``max_age_s``) when a stream that *has* been seen
+  goes quiet for too long (a stream that never appeared hasn't begun —
+  it is not stale).
+
+Fired/resolved transitions are emitted as structured ``alert_fired`` /
+``alert_resolved`` events into an optional
+:class:`repro.sim.events.EventLog`, joining the existing audit-trail
+stream.  The standing invariants become monitored signals through
+:func:`builtin_rules`, whose hard-wired ``false_accept`` rule pages the
+moment the cumulative false-accept counter leaves zero.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+SEVERITY_PAGE = "page"
+SEVERITY_WARN = "warn"
+_SEVERITIES = (SEVERITY_PAGE, SEVERITY_WARN)
+
+_OPS = {">": operator.gt, ">=": operator.ge,
+        "<": operator.lt, "<=": operator.le}
+_KINDS = ("threshold", "ewma", "absence")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert: the structured event downstream tooling consumes."""
+
+    rule: str
+    severity: str
+    kind: str
+    fired_at: float
+    value: float | None
+    threshold: float | None
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the rollup/event payload)."""
+        return {"rule": self.rule, "severity": self.severity,
+                "kind": self.kind, "fired_at": self.fired_at,
+                "value": self.value, "threshold": self.threshold,
+                "message": self.message}
+
+
+@dataclass(frozen=True)
+class MonitorRule:
+    """One declarative alert rule over a flattened rollup path."""
+
+    name: str
+    metric: str
+    kind: str = "threshold"
+    op: str = ">"
+    threshold: float = 0.0
+    severity: str = SEVERITY_WARN
+    #: Consecutive breaching evaluations before the alert fires.
+    for_count: int = 1
+    #: Consecutive clean evaluations before a firing alert resolves.
+    clear_count: int = 1
+    #: EWMA smoothing factor (``ewma`` kind).
+    ewma_alpha: float = 0.3
+    #: Deviation threshold in EW standard deviations (``ewma`` kind).
+    sigma: float = 4.0
+    #: Samples folded in before the EWMA rule may breach.
+    warmup: int = 5
+    #: Absolute deviation floor for the EWMA rule, so a flat-zero series
+    #: does not page on its first nonzero epsilon.
+    min_delta: float = 1e-9
+    #: Staleness bound for the ``absence`` kind (None: missing == stale).
+    max_age_s: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown kind {self.kind!r}")
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown comparison {self.op!r}")
+        if self.severity not in _SEVERITIES:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown severity {self.severity!r}")
+        if self.for_count < 1 or self.clear_count < 1:
+            raise ConfigurationError(
+                f"rule {self.name!r}: for_count/clear_count must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"rule {self.name!r}: ewma_alpha must be in (0, 1]")
+
+
+class _RuleState:
+    """Per-rule evaluation state (streaks, EWMA moments, staleness)."""
+
+    def __init__(self) -> None:
+        self.breaches = 0
+        self.oks = 0
+        self.firing: Alert | None = None
+        self.ewma: float | None = None
+        self.ewvar = 0.0
+        self.samples = 0
+        self.last_seen_at: float | None = None
+        self.first_eval_at: float | None = None
+
+
+class MonitorEngine:
+    """Evaluates a rule set against successive rollups.
+
+    One :meth:`evaluate` call per rollup tick; returns the alerts that
+    *newly fired* on that tick (the page/notify edge), while
+    :attr:`firing` always holds the currently-active set.
+    """
+
+    def __init__(self, rules: list[MonitorRule] | None = None, *,
+                 events=None):
+        self.rules: list[MonitorRule] = []
+        self.events = events
+        self._states: dict[str, _RuleState] = {}
+        self.evaluations = 0
+        self.alerts_fired = 0
+        for rule in rules or []:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: MonitorRule) -> None:
+        """Register a rule (names must be unique)."""
+        if rule.name in self._states:
+            raise ConfigurationError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        self._states[rule.name] = _RuleState()
+
+    @property
+    def firing(self) -> dict[str, Alert]:
+        """Currently-active alerts by rule name."""
+        return {name: state.firing
+                for name, state in self._states.items()
+                if state.firing is not None}
+
+    # --- per-kind breach predicates -----------------------------------------
+
+    def _threshold_breach(self, rule: MonitorRule, value: float | None,
+                          state: _RuleState) -> tuple[bool, str]:
+        if value is None:
+            return False, ""
+        if _OPS[rule.op](value, rule.threshold):
+            return True, (f"{rule.metric} = {value:g} "
+                          f"{rule.op} {rule.threshold:g}")
+        return False, ""
+
+    def _ewma_breach(self, rule: MonitorRule, value: float | None,
+                     state: _RuleState) -> tuple[bool, str]:
+        if value is None:
+            return False, ""
+        breached = False
+        message = ""
+        if state.ewma is not None and state.samples >= rule.warmup:
+            deviation = abs(value - state.ewma)
+            bound = max(rule.sigma * math.sqrt(state.ewvar), rule.min_delta)
+            if deviation > bound:
+                breached = True
+                message = (f"{rule.metric} = {value:g} deviates "
+                           f"{deviation:g} from EWMA {state.ewma:g} "
+                           f"(bound {bound:g})")
+        if state.ewma is None:
+            state.ewma = value
+        else:
+            diff = value - state.ewma
+            state.ewma += rule.ewma_alpha * diff
+            state.ewvar = ((1.0 - rule.ewma_alpha)
+                           * (state.ewvar + rule.ewma_alpha * diff * diff))
+        state.samples += 1
+        return breached, message
+
+    def _absence_breach(self, rule: MonitorRule, value: float | None,
+                        state: _RuleState, now: float) -> tuple[bool, str]:
+        if value is not None:
+            state.last_seen_at = now
+            return False, ""
+        if rule.max_age_s is None:
+            return True, f"{rule.metric} absent from rollup"
+        # Staleness applies to a stream that has been live at least once;
+        # a metric that never appeared is a stream that hasn't begun, not
+        # a stalled one (a run with no such producer must not page).
+        if (state.last_seen_at is not None
+                and now - state.last_seen_at > rule.max_age_s):
+            return True, (f"{rule.metric} stale: last seen "
+                          f"{now - state.last_seen_at:g}s ago "
+                          f"(max {rule.max_age_s:g}s)")
+        return False, ""
+
+    # --- evaluation ---------------------------------------------------------
+
+    def evaluate(self, values: Mapping[str, float],
+                 now: float) -> list[Alert]:
+        """One tick: returns alerts that newly fired on this rollup."""
+        self.evaluations += 1
+        fired: list[Alert] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            if state.first_eval_at is None:
+                state.first_eval_at = now
+            value = values.get(rule.metric)
+            if rule.kind == "threshold":
+                breached, message = self._threshold_breach(rule, value, state)
+            elif rule.kind == "ewma":
+                breached, message = self._ewma_breach(rule, value, state)
+            else:
+                breached, message = self._absence_breach(rule, value, state,
+                                                         now)
+            if breached:
+                state.breaches += 1
+                state.oks = 0
+                if (state.firing is None
+                        and state.breaches >= rule.for_count):
+                    alert = Alert(rule=rule.name, severity=rule.severity,
+                                  kind=rule.kind, fired_at=now, value=value,
+                                  threshold=(rule.threshold
+                                             if rule.kind == "threshold"
+                                             else None),
+                                  message=message or rule.description)
+                    state.firing = alert
+                    fired.append(alert)
+                    self.alerts_fired += 1
+                    if self.events is not None:
+                        detail = alert.to_dict()
+                        # "kind" is EventLog.record's own positional; the
+                        # rule kind travels as rule_kind.
+                        detail["rule_kind"] = detail.pop("kind")
+                        self.events.record(now, "alert_fired", **detail)
+            else:
+                state.oks += 1
+                state.breaches = 0
+                if (state.firing is not None
+                        and state.oks >= rule.clear_count):
+                    if self.events is not None:
+                        self.events.record(now, "alert_resolved",
+                                           rule=rule.name,
+                                           severity=rule.severity,
+                                           fired_at=state.firing.fired_at)
+                    state.firing = None
+        return fired
+
+
+def builtin_rules() -> list[MonitorRule]:
+    """The standing alert catalogue (see docs/OBSERVABILITY.md).
+
+    * ``false_accept`` — **page**: the safety invariant as a monitored
+      signal.  Watches the *cumulative* false-accept counter, so the
+      alert latches for the rest of the run — a false accept is never
+      "resolved" by a quiet window.
+    * ``rejection_spike`` — EWMA anomaly on the windowed rejection rate.
+    * ``retry_storm`` — sustained retry rate above threshold for two
+      consecutive rollups.
+    * ``zone_cache_degraded`` — the zone-index cache hit ratio sagging
+      below 0.5 for three consecutive rollups (the gauge is absent until
+      the cache has traffic, and threshold rules skip absent metrics).
+    * ``intake_stalled`` — staleness on intake latency: no submission
+      observed for three windows while the hub keeps ticking.
+    """
+    return [
+        MonitorRule(
+            name="false_accept", metric="audit.false_accepts.cumulative",
+            kind="threshold", op=">", threshold=0.0, severity=SEVERITY_PAGE,
+            for_count=1, clear_count=10 ** 9,
+            description="a violating flight was ACCEPTED"),
+        MonitorRule(
+            name="rejection_spike", metric="audit.rejections.rate",
+            kind="ewma", sigma=4.0, warmup=6, min_delta=0.5,
+            severity=SEVERITY_WARN,
+            description="rejection rate anomaly vs EWMA baseline"),
+        MonitorRule(
+            name="retry_storm", metric="retry.retries.rate",
+            kind="threshold", op=">", threshold=50.0, for_count=2,
+            severity=SEVERITY_WARN,
+            description="sustained retry rate above 50/s"),
+        MonitorRule(
+            name="zone_cache_degraded",
+            metric="audit.zone_index.cache_hit_ratio",
+            kind="threshold", op="<", threshold=0.5, for_count=3,
+            severity=SEVERITY_WARN,
+            description="zone-index cache hit ratio below 50%"),
+        MonitorRule(
+            name="intake_stalled", metric="audit.intake.seconds.count",
+            kind="absence", max_age_s=3 * 60.0, severity=SEVERITY_WARN,
+            description="no submissions observed for three windows"),
+    ]

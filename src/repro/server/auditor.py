@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.nfz import NoFlyZone
 from repro.core.poa import ProofOfAlibi
@@ -44,6 +45,7 @@ from repro.obs.adapters import (
     register_stage_metrics,
     register_zone_index_stats,
 )
+from repro.obs.hub import TelemetryHub
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import get_tracer
 from repro.server.database import DroneRegistry, NfzDatabase
@@ -101,6 +103,7 @@ class AliDroneServer:
                  audit_workers: int = 1,
                  audit_executor: str = "thread",
                  screen_signatures: bool = True,
+                 telemetry: TelemetryHub | None = None,
                  injector=None):
         self.frame = frame
         self.rng = rng or random.SystemRandom()
@@ -136,7 +139,10 @@ class AliDroneServer:
             encryption_key=self._encryption_key,
             zones_provider=lambda: [r.zone for r in self.zones.all_zones()],
             workers=audit_workers, executor=audit_executor,
-            screen_signatures=screen_signatures, events=self.events)
+            screen_signatures=screen_signatures, events=self.events,
+            telemetry=telemetry)
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
         #: Manufacturer keys whose attestation quotes are accepted.
         self.trusted_manufacturers: list[RsaPublicKey] = []
         #: When True, drone registration requires a valid quote.
@@ -294,6 +300,46 @@ class AliDroneServer:
         registry.gauge("server.registered_drones",
                        fn=lambda: len(self.drones))
         return registry
+
+    def attach_telemetry(self, hub: TelemetryHub) -> TelemetryHub:
+        """Wire this server's live state into a streaming telemetry hub.
+
+        The engine feeds per-intake windows on its own (via its
+        ``telemetry`` handle); this registers the *stateful* side:
+        gauges for cache sizes and registry counts, the zone-index cache
+        hit ratio (absent until the cache has seen traffic), and a
+        ``stages`` rollup section with the engine's per-stage timing
+        means.  Safe to call once per hub; gauges are replaced.
+        """
+        self.engine.telemetry = hub
+        hub.gauge("audit.payload_cache_size",
+                  lambda: self.engine.payload_cache_size)
+        hub.gauge("server.retained_submissions",
+                  lambda: sum(len(items) for items
+                              in self._retained.values()))
+        hub.gauge("server.registered_drones", lambda: len(self.drones))
+
+        def hit_ratio() -> float:
+            lookups = (self.engine.zone_index_hits
+                       + self.engine.zone_index_builds)
+            return (self.engine.zone_index_hits / lookups) if lookups else 1.0
+
+        hub.gauge("audit.zone_index.cache_hit_ratio", hit_ratio)
+
+        def stage_section() -> dict[str, Any]:
+            metrics = self.engine.metrics
+            section = {}
+            for stage in metrics.stages():
+                runs = metrics.runs(stage)
+                section[stage] = {
+                    "runs": runs,
+                    "mean_seconds": (metrics.total_seconds(stage) / runs
+                                     if runs else 0.0),
+                }
+            return section
+
+        hub.add_section("stages", stage_section)
+        return hub
 
     def _retain_and_log(self, submission: PoaSubmission,
                         poa: ProofOfAlibi,

@@ -51,6 +51,7 @@ from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.crypto.schemes import SCHEME_RSA, get_scheme
 from repro.errors import AliDroneError, ConfigurationError, EncryptionError
 from repro.geo.proximity import ZoneIndexStats, ZoneProximityIndex
+from repro.obs.hub import TelemetryHub
 from repro.obs.trace import get_tracer
 from repro.perf.meter import StageMetrics
 from repro.sim.events import EventLog
@@ -216,6 +217,11 @@ class AuditEngine:
         events: optional audit-trail log receiving ``batch_audited``.
         metrics: optional shared :class:`StageMetrics`; one is created
             when omitted and exposed as :attr:`metrics`.
+        telemetry: optional :class:`repro.obs.hub.TelemetryHub`; when
+            attached, every audited submission feeds the streaming
+            windows via :meth:`TelemetryHub.record_audit` (intake
+            latency, per-status counts, per-reason rejections).  The
+            disabled path is a single ``None`` check.
     """
 
     def __init__(self, verifier: PoaVerifier,
@@ -228,6 +234,7 @@ class AuditEngine:
                  screen_signatures: bool = True,
                  events: EventLog | None = None,
                  metrics: StageMetrics | None = None,
+                 telemetry: TelemetryHub | None = None,
                  payload_cache_max: int = DEFAULT_PAYLOAD_CACHE_MAX,
                  position_memo_max: int = DEFAULT_POSITION_MEMO_MAX):
         if workers < 1:
@@ -244,6 +251,7 @@ class AuditEngine:
         self.screen_signatures = bool(screen_signatures)
         self.events = events
         self.metrics = metrics if metrics is not None else StageMetrics()
+        self.telemetry = telemetry
         self._tee_key_cache: dict[str, RsaPublicKey] = {}
         self._payload_cache = _BoundedCache(payload_cache_max)
         self._position_memo = _BoundedCache(position_memo_max)
@@ -314,6 +322,16 @@ class AuditEngine:
         with self._make_executor() as pool:
             return list(pool.map(fn, *zip(*argument_lists)))
 
+    # --- telemetry ----------------------------------------------------------
+
+    def _record_telemetry(self, seconds: float, report: VerificationReport,
+                          now: float) -> None:
+        """Feed one audited submission into the attached telemetry hub."""
+        self.telemetry.record_audit(
+            seconds=seconds, status=report.status.value,
+            reason=report.reason.value if report.reason is not None else None,
+            samples=report.sample_count, now=now)
+
     # --- the batch paths ----------------------------------------------------
 
     def audit_batch(self, submissions: Sequence[PoaSubmission],
@@ -371,6 +389,7 @@ class AuditEngine:
         zones = list(self.zones_provider())
         zone_index = self.zone_index_for(zones)
         zone_circles = zone_index.circles
+        telemetry_now = now if now is not None else 0.0
         for (payloads, bad, decrypt_error, seconds), slot, args in zip(
                 results, task_slots, task_args):
             submission = submissions[slot]
@@ -387,11 +406,15 @@ class AuditEngine:
                                 "pooled": self.workers > 1})
                 if decrypt_error is not None:
                     sub_span.set_attribute("status", "malformed")
-                    outcomes[slot].report = VerificationReport(
+                    report = VerificationReport(
                         status=VerificationStatus.REJECTED_MALFORMED,
                         sample_count=len(submission.records),
                         message=f"PoA decryption failed: {decrypt_error}",
                         reason=RejectionReason.DECRYPT_FAILED)
+                    outcomes[slot].report = report
+                    if self.telemetry is not None:
+                        self._record_telemetry(seconds, report,
+                                               telemetry_now)
                     continue
                 for (_cached, ciphertext, _sig), payload in zip(args[1],
                                                                 payloads):
@@ -408,11 +431,16 @@ class AuditEngine:
                     zone_circles=zone_circles,
                     zone_index=zone_index,
                     bad_signature_indices=list(bad))
+                pipeline_start = (time.perf_counter()
+                                  if self.telemetry is not None else 0.0)
                 report = VerificationPipeline(
                     metrics=self.metrics).run(ctx)
                 sub_span.set_attribute("status", report.status.value)
                 outcomes[slot].poa = poa
                 outcomes[slot].report = report
+                if self.telemetry is not None:
+                    intake = seconds + time.perf_counter() - pipeline_start
+                    self._record_telemetry(intake, report, telemetry_now)
 
         wall = time.perf_counter() - start
         batch_span.set_attribute("wall_time_s", wall)
@@ -429,6 +457,7 @@ class AuditEngine:
     def audit_poas(self,
                    items: Iterable[tuple[ProofOfAlibi, RsaPublicKey]],
                    zones: Sequence[NoFlyZone],
+                   now: float = 0.0,
                    ) -> list[VerificationReport]:
         """Verify already-decrypted PoAs as one batch.
 
@@ -436,6 +465,8 @@ class AuditEngine:
         signature stage fans out / screens exactly as in
         :meth:`audit_batch`, and geometry caches are shared across items.
         Reports are identical to ``PoaVerifier.verify`` per item.
+        ``now`` stamps the attached telemetry hub's windows (unused when
+        no hub is attached).
         """
         items = list(items)
         task_args = [
@@ -465,8 +496,13 @@ class AuditEngine:
                         zone_circles=zone_circles,
                         zone_index=zone_index,
                         bad_signature_indices=list(bad))
+                    pipeline_start = (time.perf_counter()
+                                      if self.telemetry is not None else 0.0)
                     report = VerificationPipeline(
                         metrics=self.metrics).run(ctx)
                     sub_span.set_attribute("status", report.status.value)
                     reports.append(report)
+                    if self.telemetry is not None:
+                        intake = seconds + time.perf_counter() - pipeline_start
+                        self._record_telemetry(intake, report, now)
         return reports

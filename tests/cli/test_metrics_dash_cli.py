@@ -1,0 +1,60 @@
+"""CLI tests for the `alidrone metrics` and `alidrone dash` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.obs.hub import read_rollups_jsonl
+from repro.obs.prom import validate_exposition
+
+
+@pytest.mark.slow
+class TestMetricsCommand:
+    def test_json_output(self, capsys):
+        code = main(["--key-bits", "512", "metrics"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert any(name.startswith("audit.") for name in snapshot)
+        # Deterministic export: keys arrive sorted.
+        assert list(snapshot) == sorted(snapshot)
+
+    def test_prometheus_output_validates(self, capsys):
+        code = main(["--key-bits", "512", "metrics", "--prometheus"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert validate_exposition(text) == []
+        assert "# TYPE alidrone_" in text
+
+    def test_from_json_round_trip(self, tmp_path, capsys):
+        snapshot = {"hits": {"type": "counter", "value": 3}}
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        code = main(["metrics", "--prometheus", "--from-json", str(path)])
+        assert code == 0
+        assert "alidrone_hits 3.0" in capsys.readouterr().out
+
+    def test_from_json_rejects_non_dict(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        assert main(["metrics", "--from-json", str(path)]) == 2
+
+
+@pytest.mark.slow
+class TestDashCommand:
+    def test_chaos_dash_honest_run(self, tmp_path, capsys):
+        rollups = tmp_path / "rollups.jsonl"
+        code = main(["--seed", "1", "dash", "--run", "chaos",
+                     "--plans", "baseline", "--plain",
+                     "--rollup-jsonl", str(rollups)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+        assert "alerts (0 firing)" in out
+        lines = read_rollups_jsonl(rollups)
+        assert lines
+        assert all(not line["alerts_fired"] for line in lines)
+
+    def test_unknown_plan_rejected(self):
+        assert main(["dash", "--run", "chaos",
+                     "--plans", "nonesuch", "--plain"]) == 2

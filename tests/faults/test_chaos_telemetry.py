@@ -1,0 +1,119 @@
+"""Streaming telemetry over the chaos harness: cell feeds and alert edges.
+
+The end-to-end safety property of the observability layer: a chaos run
+that (hypothetically) false-accepts a violating flight pages within one
+window, while honest traffic across a real sweep fires zero alerts.
+"""
+
+import pytest
+
+from repro.core.nfz import NoFlyZone
+from repro.faults.chaos import ChaosCell, record_cell_telemetry, run_matrix
+from repro.faults.plan import builtin_plans
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.gps.replay import WaypointSource
+from repro.obs.dash import LiveTelemetrySession
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.workloads.scenario import Scenario
+
+T0 = DEFAULT_EPOCH
+
+
+def make_cell(**overrides) -> ChaosCell:
+    """A hand-built cell (the telemetry feed only reads its fields)."""
+    base = dict(
+        scenario="tiny", plan="baseline", violation=False,
+        status="accepted", accepted=True, submission_complete=True,
+        liveness_applies=True, liveness_ok=True, recovery_latency_s=0.5,
+        auth_samples=20, degraded_decisions=0, retransmissions=0,
+        duplicate_frames=0, corrupt_frames=0, poa_digest="d" * 8)
+    base.update(overrides)
+    return ChaosCell(**base)
+
+
+class TestRecordCellTelemetry:
+    def test_accepted_cell_feed(self):
+        session = LiveTelemetrySession()
+        cell = make_cell(retransmissions=3,
+                         retry_stats={"retries": 2, "recoveries": 2})
+        rollup = session.tick(
+            lambda hub, now: record_cell_telemetry(hub, cell, now=now))
+        counters = rollup["counters"]
+        assert counters["audit.submissions"]["cumulative"] == 1.0
+        assert counters["audit.status.accepted"]["cumulative"] == 1.0
+        assert counters["link.retransmissions"]["cumulative"] == 3.0
+        assert counters["retry.retries"]["cumulative"] == 2.0
+        assert "audit.false_accepts" not in counters
+        assert "audit.rejections" not in counters
+
+    def test_rejected_cell_reason_breakdown(self):
+        session = LiveTelemetrySession()
+        cell = make_cell(status="infeasible", accepted=False, violation=True)
+        rollup = session.tick(
+            lambda hub, now: record_cell_telemetry(hub, cell, now=now))
+        counters = rollup["counters"]
+        assert counters["audit.rejections"]["cumulative"] == 1.0
+        assert counters["audit.rejections.infeasible"]["cumulative"] == 1.0
+        # A correctly rejected violation is not a false accept.
+        assert "audit.false_accepts" not in counters
+
+    def test_error_cell_reason_is_exception_name(self):
+        session = LiveTelemetrySession()
+        cell = make_cell(status="error:TimeoutError", accepted=False)
+        counters = session.tick(
+            lambda hub, now: record_cell_telemetry(hub, cell, now=now)
+        )["counters"]
+        assert counters["audit.rejections.TimeoutError"]["cumulative"] == 1.0
+
+
+class TestFalseAcceptAlert:
+    def test_injected_false_accept_pages_within_one_tick(self):
+        # Test double: a violating cell the harness (hypothetically)
+        # accepted.  The page alert must fire on the very tick the cell
+        # lands — one window, no hysteresis delay.
+        session = LiveTelemetrySession()
+        bad = make_cell(violation=True, accepted=True, status="accepted")
+        rollup = session.tick(
+            lambda hub, now: record_cell_telemetry(hub, bad, now=now))
+        fired = rollup["alerts_fired"]
+        assert [a["rule"] for a in fired] == ["false_accept"]
+        assert fired[0]["severity"] == "page"
+        assert session.events.count("alert_fired") == 1
+
+    def test_false_accept_latches_across_quiet_ticks(self):
+        session = LiveTelemetrySession()
+        bad = make_cell(violation=True, accepted=True, status="accepted")
+        session.tick(lambda hub, now: record_cell_telemetry(hub, bad, now=now))
+        good = make_cell()
+        for _ in range(30):
+            rollup = session.tick(
+                lambda hub, now: record_cell_telemetry(hub, good, now=now))
+            assert rollup["alerts_firing"] == ["false_accept"]
+        summary = session.close()
+        assert len(summary["alerts_fired"]) == 1  # one edge, never resolved
+
+
+@pytest.mark.slow
+class TestHonestSweep:
+    def test_honest_chaos_sweep_fires_zero_alerts(self):
+        frame = LocalFrame(GeoPoint(40.1000, -88.2200))
+        center = frame.to_geo(150.0, 120.0)
+        scenario = Scenario(
+            name="tiny-compliant", description="honest sweep",
+            frame=frame,
+            zones=[NoFlyZone(center.lat, center.lon, 30.0)],
+            source=WaypointSource([(T0, 0.0, 0.0), (T0 + 60.0, 300.0, 0.0)]),
+            t_start=T0, t_end=T0 + 60.0, gps_noise_std_m=0.5)
+        plans = builtin_plans(0)
+        session = LiveTelemetrySession()
+        report = run_matrix(
+            [(scenario, False)],
+            plans=[plans["baseline"], plans["lossy10"]],
+            seed=0,
+            on_cell=lambda cell: session.tick(
+                lambda hub, now: record_cell_telemetry(hub, cell, now=now)))
+        summary = session.close()
+        assert report.false_accepts == []
+        assert summary["ticks"] >= 2
+        assert summary["alerts_fired"] == []
+        assert summary["alerts_firing"] == []

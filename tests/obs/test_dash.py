@@ -1,0 +1,112 @@
+"""Tests for repro.obs.dash: sparklines, frames, and the live session."""
+
+import io
+
+from repro.obs.dash import (
+    ANSI_CLEAR,
+    Dashboard,
+    LiveTelemetrySession,
+    sparkline,
+)
+from repro.obs.hub import read_rollups_jsonl
+from repro.obs.monitor import MonitorRule
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0], width=0) == ""
+
+    def test_flat_zero_draws_baseline(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "▁▁▁"
+
+    def test_scales_to_max(self):
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_trailing_width_window(self):
+        assert len(sparkline([1.0] * 50, width=24)) == 24
+
+
+class TestDashboard:
+    def test_no_data_frame(self):
+        dash = Dashboard(title="t")
+        assert "(no telemetry yet)" in dash.render()
+
+    def test_sections_render(self):
+        dash = Dashboard(title="fleet")
+        dash.update({
+            "t": 10.0, "window_s": 60.0,
+            "counters": {"audit.submissions":
+                         {"total": 3.0, "rate": 0.05, "cumulative": 3.0}},
+            "quantiles": {"audit.intake.seconds":
+                          {"count": 3, "p50": 0.01, "p95": 0.02,
+                           "p99": 0.03},
+                          "quiet": {"count": 0}},
+            "gauges": {"depth": 2.0},
+            "stages": {"verify": {"runs": 3, "mean_seconds": 0.001}},
+        })
+        frame = dash.render()
+        assert "rates" in frame and "audit.submissions" in frame
+        assert "latency" in frame and "p99 0.03" in frame
+        assert "(empty window)" in frame
+        assert "gauges" in frame and "depth" in frame
+        assert "stages (mean seconds)" in frame
+        assert "alerts (0 firing)" in frame and "none" in frame
+
+    def test_live_frame_prefixes_clear(self):
+        dash = Dashboard()
+        dash.update({"t": 0.0, "window_s": 60.0, "counters": {},
+                     "quantiles": {}, "gauges": {}})
+        assert dash.frame().startswith(ANSI_CLEAR)
+
+    def test_color_disabled_means_no_escapes(self):
+        dash = Dashboard(color=False)
+        dash.update({"t": 0.0, "window_s": 60.0, "counters": {},
+                     "quantiles": {}, "gauges": {}})
+        assert "\x1b[" not in dash.render()
+
+
+class TestLiveTelemetrySession:
+    def run_session(self, tmp_path, name):
+        sink = io.StringIO()
+        session = LiveTelemetrySession(
+            rollup_path=str(tmp_path / name), stream=sink, title="test")
+        for i in range(4):
+            session.tick(lambda hub, now: hub.record_audit(
+                seconds=0.01, status="accepted", samples=10, now=now))
+        summary = session.close()
+        return session, summary, sink.getvalue()
+
+    def test_tick_pipeline_and_summary(self, tmp_path):
+        session, summary, frames = self.run_session(tmp_path, "r.jsonl")
+        assert summary["ticks"] == 4
+        assert summary["alerts_fired"] == []
+        assert summary["rollup_lines"] == 4
+        assert summary["rules_evaluated"] >= 1
+        assert session.now == 4 * session.tick_s
+        assert "test — t=" in frames and "alerts (0 firing)" in frames
+        rollups = read_rollups_jsonl(tmp_path / "r.jsonl")
+        assert [r["t"] for r in rollups] == [5.0, 10.0, 15.0, 20.0]
+        for rollup in rollups:
+            assert rollup["alerts_fired"] == []
+            assert rollup["rules_evaluated"] == summary["rules_evaluated"]
+
+    def test_deterministic_replay(self, tmp_path):
+        _, _, frames_a = self.run_session(tmp_path, "a.jsonl")
+        _, _, frames_b = self.run_session(tmp_path, "b.jsonl")
+        assert frames_a == frames_b
+        assert ((tmp_path / "a.jsonl").read_text()
+                == (tmp_path / "b.jsonl").read_text())
+
+    def test_alert_edge_lands_in_rollup_and_events(self, tmp_path):
+        session = LiveTelemetrySession(rules=[MonitorRule(
+            name="hot", metric="load", op=">", threshold=1.0)])
+        session.hub.gauge("load", lambda: 5.0)
+        rollup = session.tick()
+        assert [a["rule"] for a in rollup["alerts_fired"]] == ["hot"]
+        assert rollup["alerts_firing"] == ["hot"]
+        assert session.events.count("alert_fired") == 1
+        summary = session.close()
+        assert summary["alerts_firing"] == ["hot"]

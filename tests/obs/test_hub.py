@@ -1,0 +1,118 @@
+"""Tests for repro.obs.hub: the hub, rollups, and the JSONL stream."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.hub import (
+    RollupWriter,
+    TelemetryHub,
+    flatten_rollup,
+    read_rollups_jsonl,
+)
+
+
+@pytest.fixture()
+def hub():
+    return TelemetryHub()
+
+
+class TestInstruments:
+    def test_get_or_create_is_idempotent(self, hub):
+        assert hub.counter("a") is hub.counter("a")
+        assert hub.sketch("b") is hub.sketch("b")
+
+    def test_kind_conflicts_rejected(self, hub):
+        hub.counter("a")
+        with pytest.raises(ConfigurationError):
+            hub.sketch("a")
+        hub.gauge("g", lambda: 1.0)
+        with pytest.raises(ConfigurationError):
+            hub.counter("g")
+
+    def test_mark_and_observe(self, hub):
+        hub.mark("events", now=1.0, amount=3.0)
+        hub.observe("lat", 0.25, now=1.0)
+        assert hub.counter("events").cumulative == 3.0
+        assert hub.sketch("lat").summary(1.0)["count"] == 1
+
+
+class TestRecordAudit:
+    def test_accepted_namespace(self, hub):
+        hub.record_audit(seconds=0.01, status="accepted", samples=20, now=5.0)
+        rollup = hub.rollup(5.0)
+        counters = rollup["counters"]
+        assert counters["audit.submissions"]["cumulative"] == 1.0
+        assert counters["audit.samples"]["cumulative"] == 20.0
+        assert counters["audit.status.accepted"]["cumulative"] == 1.0
+        assert "audit.rejections" not in counters
+        assert rollup["quantiles"]["audit.intake.seconds"]["count"] == 1
+
+    def test_rejection_namespace(self, hub):
+        hub.record_audit(seconds=0.02, status="infeasible",
+                         reason="speed_infeasible", now=5.0)
+        counters = hub.rollup(5.0)["counters"]
+        assert counters["audit.rejections"]["cumulative"] == 1.0
+        assert (counters["audit.rejections.speed_infeasible"]["cumulative"]
+                == 1.0)
+        assert counters["audit.status.infeasible"]["cumulative"] == 1.0
+
+
+class TestRollup:
+    def test_shape_and_sections(self, hub):
+        hub.mark("x", now=1.0)
+        hub.gauge("g", lambda: 42.0)
+        hub.add_section("stages", lambda: {"verify": {"runs": 3}})
+        rollup = hub.rollup(1.0)
+        assert rollup["t"] == 1.0
+        assert rollup["window_s"] == hub.window_s
+        assert rollup["gauges"] == {"g": 42.0}
+        assert rollup["stages"] == {"verify": {"runs": 3}}
+
+    def test_flatten(self, hub):
+        hub.mark("x", now=1.0, amount=2.0)
+        hub.observe("lat", 0.5, now=1.0)
+        hub.gauge("g", lambda: 7.0)
+        flat = flatten_rollup(hub.rollup(1.0))
+        assert flat["x.cumulative"] == 2.0
+        assert flat["x.total"] == 2.0
+        assert flat["x.rate"] == pytest.approx(2.0 / hub.window_s)
+        assert flat["lat.count"] == 1
+        assert "lat.p99" in flat and "lat.mean" in flat
+        assert flat["g"] == 7.0
+
+    def test_flatten_empty_sketch_paths_absent(self, hub):
+        hub.sketch("lat")  # created but never observed
+        flat = flatten_rollup(hub.rollup(1.0))
+        assert flat["lat.count"] == 0
+        assert "lat.p50" not in flat  # absent, not NaN/None
+
+
+class TestRollupWriter:
+    def test_round_trip(self, hub, tmp_path):
+        path = tmp_path / "rollups.jsonl"
+        hub.mark("x", now=1.0)
+        with RollupWriter(path) as writer:
+            writer.write(hub.rollup(1.0))
+            hub.mark("x", now=6.0)
+            writer.write(hub.rollup(6.0))
+            assert writer.lines_written == 2
+        rollups = read_rollups_jsonl(path)
+        assert [r["t"] for r in rollups] == [1.0, 6.0]
+        assert rollups[1]["counters"]["x"]["cumulative"] == 2.0
+
+    def test_lines_are_sorted_keys(self, hub, tmp_path):
+        path = tmp_path / "rollups.jsonl"
+        hub.mark("z", now=1.0)
+        hub.mark("a", now=1.0)
+        with RollupWriter(path) as writer:
+            writer.write(hub.rollup(1.0))
+        line = path.read_text().splitlines()[0]
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_closed_writer_rejects_writes(self, hub, tmp_path):
+        writer = RollupWriter(tmp_path / "r.jsonl")
+        writer.close()
+        with pytest.raises(ConfigurationError):
+            writer.write(hub.rollup(1.0))

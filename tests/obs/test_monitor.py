@@ -1,0 +1,200 @@
+"""Tests for repro.obs.monitor: rules, hysteresis, and alert events."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.monitor import (
+    SEVERITY_PAGE,
+    MonitorEngine,
+    MonitorRule,
+    builtin_rules,
+)
+from repro.sim.events import EventLog
+
+
+def run_series(engine, metric, series, *, start=0.0, step=5.0):
+    """Evaluate a single-metric series; returns fired-alert lists per tick."""
+    fired = []
+    for i, value in enumerate(series):
+        values = {} if value is None else {metric: value}
+        fired.append(engine.evaluate(values, start + (i + 1) * step))
+    return fired
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            MonitorRule(name="r", metric="m", kind="median")
+
+    def test_unknown_op(self):
+        with pytest.raises(ConfigurationError):
+            MonitorRule(name="r", metric="m", op="==")
+
+    def test_unknown_severity(self):
+        with pytest.raises(ConfigurationError):
+            MonitorRule(name="r", metric="m", severity="critical")
+
+    def test_bad_counts_and_alpha(self):
+        with pytest.raises(ConfigurationError):
+            MonitorRule(name="r", metric="m", for_count=0)
+        with pytest.raises(ConfigurationError):
+            MonitorRule(name="r", metric="m", ewma_alpha=0.0)
+
+    def test_duplicate_rule_name(self):
+        engine = MonitorEngine([MonitorRule(name="r", metric="m")])
+        with pytest.raises(ConfigurationError):
+            engine.add_rule(MonitorRule(name="r", metric="other"))
+
+
+class TestThreshold:
+    def test_fire_and_clear(self):
+        engine = MonitorEngine([MonitorRule(
+            name="hot", metric="m", op=">", threshold=10.0)])
+        fired = run_series(engine, "m", [5.0, 15.0, 5.0])
+        assert [len(f) for f in fired] == [0, 1, 0]
+        assert engine.firing == {}
+        alert = fired[1][0]
+        assert alert.rule == "hot" and alert.value == 15.0
+
+    def test_missing_metric_is_not_a_breach(self):
+        engine = MonitorEngine([MonitorRule(
+            name="hot", metric="m", op=">", threshold=10.0)])
+        fired = run_series(engine, "m", [None, None])
+        assert all(not f for f in fired)
+
+    def test_hysteresis_no_flap_on_single_boundary_sample(self):
+        # for_count=2: one breaching sample surrounded by clean ones —
+        # a window-boundary artefact — must not fire.
+        engine = MonitorEngine([MonitorRule(
+            name="hot", metric="m", op=">", threshold=10.0, for_count=2)])
+        fired = run_series(engine, "m", [5.0, 15.0, 5.0, 15.0, 5.0])
+        assert engine.alerts_fired == 0
+        assert all(not f for f in fired)
+        # Two consecutive breaches do fire.
+        fired = run_series(engine, "m", [15.0, 15.0], start=100.0)
+        assert [len(f) for f in fired] == [0, 1]
+
+    def test_clear_count_hysteresis(self):
+        engine = MonitorEngine([MonitorRule(
+            name="hot", metric="m", op=">", threshold=10.0, clear_count=2)])
+        run_series(engine, "m", [15.0])
+        assert "hot" in engine.firing
+        run_series(engine, "m", [5.0], start=5.0)
+        assert "hot" in engine.firing  # one clean tick is not enough
+        run_series(engine, "m", [5.0], start=10.0)
+        assert engine.firing == {}
+
+    def test_firing_alert_does_not_refire(self):
+        engine = MonitorEngine([MonitorRule(
+            name="hot", metric="m", op=">", threshold=10.0)])
+        fired = run_series(engine, "m", [15.0, 20.0, 30.0])
+        assert [len(f) for f in fired] == [1, 0, 0]
+        assert engine.alerts_fired == 1
+
+
+class TestEwma:
+    def test_spike_after_warmup(self):
+        engine = MonitorEngine([MonitorRule(
+            name="spike", metric="m", kind="ewma", sigma=4.0, warmup=5,
+            min_delta=0.5)])
+        series = [1.0, 1.1, 0.9, 1.0, 1.1, 1.0, 50.0]
+        fired = run_series(engine, "m", series)
+        assert [len(f) for f in fired] == [0, 0, 0, 0, 0, 0, 1]
+
+    def test_no_fire_during_warmup(self):
+        engine = MonitorEngine([MonitorRule(
+            name="spike", metric="m", kind="ewma", warmup=5, min_delta=0.5)])
+        fired = run_series(engine, "m", [1.0, 50.0, 1.0])
+        assert all(not f for f in fired)
+
+    def test_level_shift_rebaselines(self):
+        # The anomalous sample folds back into the EWMA, so a genuine
+        # level shift alerts once and then resolves instead of paging
+        # forever at the new normal.
+        engine = MonitorEngine([MonitorRule(
+            name="spike", metric="m", kind="ewma", sigma=4.0, warmup=3,
+            min_delta=0.5, ewma_alpha=0.5)])
+        series = [1.0] * 5 + [100.0] * 20
+        fired = run_series(engine, "m", series)
+        assert sum(len(f) for f in fired) == 1
+        assert engine.firing == {}
+
+    def test_min_delta_floors_flat_series(self):
+        # A flat-zero baseline has zero variance; without the floor the
+        # first nonzero epsilon would page.
+        engine = MonitorEngine([MonitorRule(
+            name="spike", metric="m", kind="ewma", warmup=3, min_delta=0.5)])
+        fired = run_series(engine, "m", [0.0] * 6 + [0.3])
+        assert all(not f for f in fired)
+
+
+class TestAbsence:
+    def test_plain_absence_fires_on_missing(self):
+        engine = MonitorEngine([MonitorRule(
+            name="gone", metric="m", kind="absence")])
+        fired = run_series(engine, "m", [1.0, None, 1.0])
+        assert [len(f) for f in fired] == [0, 1, 0]
+
+    def test_staleness_after_seen(self):
+        engine = MonitorEngine([MonitorRule(
+            name="stale", metric="m", kind="absence", max_age_s=12.0)])
+        fired = run_series(engine, "m", [1.0, None, None, None], step=5.0)
+        # Last seen t=5; stale once now - 5 > 12, i.e. at t=20.
+        assert [len(f) for f in fired] == [0, 0, 0, 1]
+
+    def test_never_seen_is_not_stale(self):
+        # A metric that never appeared is a stream that hasn't begun —
+        # a run with no such producer must not page, no matter how long
+        # it goes on.
+        engine = MonitorEngine([MonitorRule(
+            name="stale", metric="m", kind="absence", max_age_s=10.0)])
+        fired = run_series(engine, "m", [None] * 50)
+        assert all(not f for f in fired)
+
+
+class TestAlertEvents:
+    def test_fired_and_resolved_events(self):
+        events = EventLog()
+        engine = MonitorEngine([MonitorRule(
+            name="hot", metric="m", op=">", threshold=10.0)], events=events)
+        run_series(engine, "m", [15.0, 5.0])
+        fired = events.of_kind("alert_fired")
+        resolved = events.of_kind("alert_resolved")
+        assert len(fired) == 1 and len(resolved) == 1
+        # The rule kind travels as rule_kind ("kind" is the event kind).
+        assert fired[0].detail["rule"] == "hot"
+        assert fired[0].detail["rule_kind"] == "threshold"
+        assert "kind" not in fired[0].detail
+        assert resolved[0].detail["fired_at"] == fired[0].time
+
+
+class TestBuiltinRules:
+    def test_false_accept_pages_immediately_and_latches(self):
+        engine = MonitorEngine(builtin_rules())
+        metric = "audit.false_accepts.cumulative"
+        fired = engine.evaluate({metric: 1.0}, 5.0)
+        assert [a.rule for a in fired] == ["false_accept"]
+        assert fired[0].severity == SEVERITY_PAGE
+        # Quiet windows never resolve it: the cumulative counter stays
+        # nonzero and clear_count is effectively infinite.
+        for t in range(2, 100):
+            assert engine.evaluate({metric: 1.0}, t * 5.0) == []
+        assert "false_accept" in engine.firing
+
+    def test_honest_rollups_fire_nothing(self):
+        engine = MonitorEngine(builtin_rules())
+        for t in range(1, 40):
+            fired = engine.evaluate({
+                "audit.false_accepts.cumulative": 0.0,
+                "audit.rejections.rate": 0.1,
+                "retry.retries.rate": 2.0,
+                "audit.zone_index.cache_hit_ratio": 0.95,
+                "audit.intake.seconds.count": 10.0,
+            }, t * 5.0)
+            assert fired == []
+        assert engine.alerts_fired == 0
+
+    def test_unique_names(self):
+        rules = builtin_rules()
+        assert len({rule.name for rule in rules}) == len(rules)
+        MonitorEngine(rules)  # all register cleanly

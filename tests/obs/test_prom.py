@@ -1,0 +1,95 @@
+"""Tests for repro.obs.prom: exposition rendering and grammar checking."""
+
+from repro.obs.prom import (
+    prometheus_name,
+    to_prometheus,
+    validate_exposition,
+)
+
+
+class TestPrometheusName:
+    def test_dots_map_to_underscores_under_prefix(self):
+        assert (prometheus_name("audit.intake.seconds")
+                == "alidrone_audit_intake_seconds")
+
+    def test_hostile_characters_sanitized(self):
+        name = prometheus_name("weird metric-name!")
+        assert name == "alidrone_weird_metric_name_"
+
+    def test_custom_prefix(self):
+        assert prometheus_name("x", prefix="p_") == "p_x"
+
+
+class TestToPrometheus:
+    def test_counter_and_gauge(self):
+        text = to_prometheus({
+            "hits": {"type": "counter", "value": 5},
+            "depth": {"type": "gauge", "value": 2.5},
+        })
+        assert "# TYPE alidrone_hits counter" in text
+        assert "alidrone_hits 5.0" in text
+        assert "# TYPE alidrone_depth gauge" in text
+        assert validate_exposition(text) == []
+
+    def test_histogram_becomes_summary(self):
+        text = to_prometheus({
+            "lat": {"type": "histogram", "count": 4, "sum": 1.0,
+                    "p50": 0.2, "p90": 0.4, "p95": 0.45, "p99": 0.5},
+        })
+        assert "# TYPE alidrone_lat summary" in text
+        assert 'alidrone_lat{quantile="0.5"} 0.2' in text
+        assert "alidrone_lat_sum 1.0" in text
+        assert "alidrone_lat_count 4.0" in text
+        assert validate_exposition(text) == []
+
+    def test_unknown_type_with_value_is_untyped(self):
+        text = to_prometheus({"odd": {"type": "mystery", "value": 1}})
+        assert "# TYPE alidrone_odd untyped" in text
+        assert validate_exposition(text) == []
+
+    def test_unknown_type_without_value_skipped(self):
+        assert to_prometheus({"odd": {"type": "mystery"}}) == ""
+
+    def test_nan_and_inf_render(self):
+        text = to_prometheus({
+            "a": {"type": "gauge", "value": float("nan")},
+            "b": {"type": "gauge", "value": float("inf")},
+            "c": {"type": "gauge", "value": float("-inf")},
+        })
+        assert "alidrone_a NaN" in text
+        assert "alidrone_b +Inf" in text
+        assert "alidrone_c -Inf" in text
+        assert validate_exposition(text) == []
+
+    def test_output_sorted_and_deterministic(self):
+        snapshot = {"z": {"type": "counter", "value": 1},
+                    "a": {"type": "counter", "value": 2}}
+        text = to_prometheus(snapshot)
+        assert text.index("alidrone_a") < text.index("alidrone_z")
+        assert text == to_prometheus(dict(reversed(list(snapshot.items()))))
+
+
+class TestValidateExposition:
+    def test_undeclared_sample_flagged(self):
+        problems = validate_exposition("mystery 1.0\n")
+        assert any("no TYPE declaration" in p for p in problems)
+
+    def test_malformed_sample_flagged(self):
+        text = "# TYPE m counter\nm one_point_zero\n"
+        assert any("unparseable value" in p
+                   for p in validate_exposition(text))
+
+    def test_unknown_type_flagged(self):
+        assert any("unknown type" in p
+                   for p in validate_exposition("# TYPE m widget\n"))
+
+    def test_blank_line_flagged(self):
+        text = "# TYPE m counter\n\nm 1.0\n"
+        assert any("blank line" in p for p in validate_exposition(text))
+
+    def test_summary_children_resolve_to_family(self):
+        text = ("# TYPE m summary\n"
+                'm{quantile="0.5"} 1.0\n'
+                "m_sum 2.0\n"
+                "m_count 2.0\n")
+        assert validate_exposition(text) == []

@@ -1,0 +1,247 @@
+"""Tests for repro.obs.timeseries: sketches and windowed instruments."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.timeseries import (
+    QuantileSketch,
+    WindowedCounter,
+    WindowedRate,
+    WindowedSketch,
+)
+
+
+class TestQuantileSketch:
+    def test_empty_sketch_rejects_queries(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.bins == 0
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(0.5)
+        with pytest.raises(ConfigurationError):
+            _ = sketch.mean
+        assert sketch.summary() == {"count": 0}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(max_bins=1)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(min_value=0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch().observe(float("nan"))
+
+    def test_quantile_range_checked(self):
+        sketch = QuantileSketch()
+        sketch.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            sketch.quantile(-0.1)
+
+    def test_extremes_clamped_to_observed_range(self):
+        sketch = QuantileSketch()
+        for value in (0.5, 3.0, 100.0, 7.0):
+            sketch.observe(value)
+        assert sketch.min == 0.5
+        assert sketch.max == 100.0
+        # Estimates never leave the observed range, and the extreme
+        # quantiles honour the relative bound against min/max.
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 0.5 <= sketch.quantile(q) <= 100.0
+        assert abs(sketch.quantile(0.0) - 0.5) <= sketch.alpha * 0.5
+        assert abs(sketch.quantile(1.0) - 100.0) <= sketch.alpha * 100.0
+
+    def test_relative_error_bound_lognormal(self):
+        rng = random.Random(11)
+        sketch = QuantileSketch()
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(20_000)]
+        for value in values:
+            sketch.observe(value)
+        values.sort()
+        for q in (0.01, 0.25, 0.50, 0.75, 0.90, 0.99):
+            exact = values[round(q * (len(values) - 1))]
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= sketch.alpha * abs(exact)
+        assert sketch.bins <= sketch.max_bins
+        assert sketch.bins < len(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_relative_error_bound_property(self, values, q):
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.observe(value)
+        values = sorted(values)
+        exact = values[round(q * (len(values) - 1))]
+        estimate = sketch.quantile(q)
+        # The rank estimate may land one bucket off the floor/round
+        # convention; the documented guarantee still bounds the error
+        # against *some* nearby order statistic — assert against the
+        # loosest neighbouring pair, which is what DDSketch promises.
+        rank = q * (len(values) - 1)
+        neighbours = {values[int(math.floor(rank))],
+                      values[min(int(math.floor(rank)) + 1,
+                                 len(values) - 1)], exact}
+        assert any(abs(estimate - x) <= sketch.alpha * abs(x) + 1e-12
+                   for x in neighbours)
+
+    def test_negative_values_mirrored(self):
+        sketch = QuantileSketch()
+        for value in (-10.0, -1.0, 1.0, 10.0):
+            sketch.observe(value)
+        assert abs(sketch.quantile(0.0) - (-10.0)) <= sketch.alpha * 10.0
+        # rank 0.4*(4-1)=1.2 lands on the second order statistic (-1.0).
+        assert abs(sketch.quantile(0.40) - (-1.0)) <= sketch.alpha * 1.0
+        assert abs(sketch.quantile(1.0) - 10.0) <= sketch.alpha * 10.0
+
+    def test_zero_bucket(self):
+        sketch = QuantileSketch()
+        for _ in range(10):
+            sketch.observe(0.0)
+        sketch.observe(5.0)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.bins == 2  # zero bucket + one positive bucket
+
+    def test_collapse_keeps_bins_bounded(self):
+        sketch = QuantileSketch(max_bins=8)
+        rng = random.Random(3)
+        for _ in range(5_000):
+            sketch.observe(rng.lognormvariate(0.0, 4.0))
+        assert sketch.bins <= 8
+        assert sketch.count == 5_000
+        # The collapse degrades the small-magnitude tail only: the top
+        # quantile still honours the relative bound against the max.
+        assert (abs(sketch.quantile(1.0) - sketch.max)
+                <= sketch.alpha * sketch.max)
+
+    def test_merge(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        combined = QuantileSketch()
+        rng = random.Random(5)
+        for i in range(2_000):
+            value = rng.lognormvariate(0.0, 1.0)
+            (a if i % 2 else b).observe(value)
+            combined.observe(value)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.sum == pytest.approx(combined.sum)
+        assert a.min == combined.min and a.max == combined.max
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == combined.quantile(q)
+
+    def test_merge_alpha_mismatch_rejected(self):
+        a = QuantileSketch(alpha=0.01)
+        b = QuantileSketch(alpha=0.02)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+        with pytest.raises(ConfigurationError):
+            a.merge("not a sketch")
+
+
+class TestWindowedCounter:
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            WindowedCounter(window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            WindowedCounter(buckets=0)
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowedCounter().inc(-1.0, now=0.0)
+
+    def test_total_and_cumulative(self):
+        counter = WindowedCounter(window_s=60.0, buckets=12)
+        for t in range(10):
+            counter.inc(now=float(t))
+        assert counter.total(10.0) == 10.0
+        assert counter.cumulative == 10.0
+        assert counter.rate(10.0) == pytest.approx(10.0 / 60.0)
+
+    def test_boundary_sample_lands_in_new_bucket(self):
+        # Bucket width is 5s: an event stamped exactly at t=5.0 belongs
+        # to bucket [5, 10), so it survives a query at t=64.9 (59.9s
+        # later) but has expired by t=65.0.
+        counter = WindowedCounter(window_s=60.0, buckets=12)
+        counter.inc(now=5.0)
+        assert counter.total(64.9) == 1.0
+        assert counter.total(65.0) == 0.0
+        assert counter.cumulative == 1.0
+
+    def test_window_expiry(self):
+        counter = WindowedCounter(window_s=60.0, buckets=12)
+        counter.inc(now=0.0, amount=7.0)
+        assert counter.total(59.0) == 7.0
+        assert counter.total(60.0) == 0.0
+        assert counter.cumulative == 7.0  # lifetime total never expires
+
+    def test_long_gap_clears_all_slots(self):
+        counter = WindowedCounter(window_s=60.0, buckets=12)
+        for t in range(12):
+            counter.inc(now=t * 5.0)
+        assert counter.total(55.0) == 12.0
+        assert counter.total(10_000.0) == 0.0
+        assert counter.cumulative == 12.0
+
+    def test_backwards_clock_clamped(self):
+        counter = WindowedCounter(window_s=60.0, buckets=12)
+        counter.inc(now=100.0)
+        # A skewed producer stamping t=3 cannot resurrect an expired
+        # region or crash the ring: it is treated as happening at the
+        # newest time already seen.
+        counter.inc(now=3.0)
+        assert counter.last_seen == 100.0
+        assert counter.total(100.0) == 2.0
+        # Nor can a backwards query expire or rewind anything.
+        assert counter.total(50.0) == 2.0
+
+    def test_windowed_rate_mark(self):
+        rate = WindowedRate(window_s=10.0, buckets=10)
+        for t in range(5):
+            rate.mark(now=float(t), amount=2.0)
+        assert rate.rate(4.0) == pytest.approx(1.0)
+
+
+class TestWindowedSketch:
+    def test_empty_window_queries(self):
+        sketch = WindowedSketch()
+        assert sketch.quantile(0.5, now=0.0) is None
+        assert sketch.summary(0.0) == {"count": 0}
+
+    def test_window_quantiles_and_expiry(self):
+        sketch = WindowedSketch(window_s=60.0, buckets=12)
+        for t in range(10):
+            sketch.observe(float(t + 1), now=t * 5.0)
+        summary = sketch.summary(45.0)
+        assert summary["count"] == 10
+        assert summary["min"] == 1.0 and summary["max"] == 10.0
+        # Drive far past the window: everything expires, back to empty.
+        assert sketch.quantile(0.5, now=500.0) is None
+        assert sketch.summary(500.0) == {"count": 0}
+
+    def test_old_observations_leave_window(self):
+        sketch = WindowedSketch(window_s=60.0, buckets=12)
+        sketch.observe(1000.0, now=0.0)
+        for t in range(1, 13):
+            sketch.observe(1.0, now=t * 5.0)
+        # The 1000.0 at t=0 has expired by t=60; only the 1.0s remain.
+        merged = sketch.merged(60.0)
+        assert merged.max == 1.0
+
+    def test_backwards_clock_clamped(self):
+        sketch = WindowedSketch(window_s=60.0, buckets=12)
+        sketch.observe(2.0, now=30.0)
+        sketch.observe(3.0, now=1.0)  # clamped to t=30
+        assert sketch.merged(30.0).count == 2

@@ -1,0 +1,88 @@
+"""Engine/server integration with the streaming telemetry hub.
+
+The audit engine feeds per-intake windows (latency sketch + status
+counters) and the server registers its stateful gauges and the stage
+section; together one ``receive_poa_batch`` call should leave a complete
+rollup behind without the caller touching the hub.
+"""
+
+import random
+
+import pytest
+
+from repro.core.protocol import DroneRegistrationRequest, PoaSubmission
+from repro.obs.hub import TelemetryHub, flatten_rollup
+from repro.server.auditor import AliDroneServer
+from repro.sim.clock import DEFAULT_EPOCH
+from tests.server.test_auditor import make_submission
+
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture()
+def server(frame):
+    return AliDroneServer(frame, rng=random.Random(7),
+                          encryption_key_bits=512)
+
+
+@pytest.fixture()
+def registered(server, signing_key, other_key):
+    return server.register_drone(DroneRegistrationRequest(
+        operator_public_key=other_key.public_key,
+        tee_public_key=signing_key.public_key, operator_name="op"))
+
+
+class TestEngineTelemetry:
+    def test_batch_feeds_intake_windows(self, server, frame, registered,
+                                        signing_key):
+        hub = server.attach_telemetry(TelemetryHub())
+        submissions = [
+            make_submission(server, frame, signing_key, registered,
+                            flight=f"f-{i}", t_offset=20.0 * i)
+            for i in range(3)]
+        server.receive_poa_batch(submissions, now=T0)
+        rollup = hub.rollup(T0)
+        counters = rollup["counters"]
+        assert counters["audit.submissions"]["cumulative"] == 3.0
+        assert counters["audit.status.accepted"]["cumulative"] == 3.0
+        assert counters["audit.samples"]["cumulative"] == 3.0 * 8
+        intake = rollup["quantiles"]["audit.intake.seconds"]
+        assert intake["count"] == 3
+        assert intake["p99"] > 0.0
+
+    def test_rejection_reason_recorded(self, server, frame, registered,
+                                       signing_key):
+        hub = server.attach_telemetry(TelemetryHub())
+        good = make_submission(server, frame, signing_key, registered)
+        bad = PoaSubmission(drone_id=registered, flight_id="f-bad",
+                            records=good.records[:0], claimed_start=T0,
+                            claimed_end=T0 + 1.0)
+        server.receive_poa(bad, now=T0)
+        counters = hub.rollup(T0)["counters"]
+        assert counters["audit.rejections"]["cumulative"] == 1.0
+        assert counters["audit.status.empty"]["cumulative"] == 1.0
+        assert counters["audit.rejections.empty_poa"]["cumulative"] == 1.0
+
+    def test_gauges_and_stage_section(self, server, frame, registered,
+                                      signing_key):
+        hub = server.attach_telemetry(TelemetryHub())
+        server.receive_poa(
+            make_submission(server, frame, signing_key, registered), now=T0)
+        rollup = hub.rollup(T0)
+        gauges = rollup["gauges"]
+        assert gauges["server.registered_drones"] == 1.0
+        assert gauges["server.retained_submissions"] == 1.0
+        assert 0.0 <= gauges["audit.zone_index.cache_hit_ratio"] <= 1.0
+        assert "signature" in rollup["stages"]
+        assert rollup["stages"]["signature"]["runs"] >= 1
+        flat = flatten_rollup(rollup)
+        assert flat["audit.submissions.cumulative"] == 1.0
+
+    def test_engine_without_hub_unchanged(self, server, frame, registered,
+                                          signing_key):
+        # No telemetry attached: the audit path must not create a hub or
+        # change behaviour.
+        assert server.engine.telemetry is None
+        report = server.receive_poa(
+            make_submission(server, frame, signing_key, registered), now=T0)
+        assert report.status.value == "accepted"
