@@ -9,6 +9,8 @@ Subcommands:
 * ``attacks``     — demonstrate that every forgery strategy is rejected
 * ``audit-batch`` — run a synthetic submission fleet through the batch
   audit engine and report per-stage timing + throughput
+* ``serve``       — drive the persistent sharded auditor service for N
+  virtual ticks of Poisson fleet traffic (one-shot service smoke)
 * ``metrics``     — export a metrics snapshot as JSON or Prometheus
   text exposition (``--prometheus``)
 * ``dash``        — live windowed-telemetry dashboard over a chaos or
@@ -479,6 +481,139 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0 if payload["ok"] else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """One-shot drive of the persistent auditor service.
+
+    Builds a Poisson fleet, then steps the virtual clock one second per
+    tick: due arrivals go through the bounded/token-bucket intake, each
+    tick's queue is drained through the shard engines, and a telemetry
+    rollup is evaluated against the builtin monitor rules.  Prints a
+    JSON summary (``--json``) or a prose digest; exit 0 iff the store is
+    fully audited with no intake errors and no page-severity alerts.
+    """
+    import random as random_module
+
+    from repro.core.nfz import NoFlyZone
+    from repro.core.protocol import DroneRegistrationRequest
+    from repro.crypto.rsa import generate_rsa_keypair
+    from repro.geo.geodesy import GeoPoint, LocalFrame
+    from repro.obs.hub import TelemetryHub, flatten_rollup
+    from repro.obs.monitor import MonitorEngine, builtin_rules
+    from repro.server.service import AuditorService
+    from repro.server.store import INTAKE_ERROR_STATUS
+    from repro.sim.clock import DEFAULT_EPOCH
+    from repro.workloads.fleet import poisson_arrivals, provision_fleet
+
+    frame = LocalFrame(GeoPoint(40.1000, -88.2200))
+    encryption_key = generate_rsa_keypair(
+        args.key_bits, rng=random_module.Random(args.seed + 77))
+    hub = TelemetryHub(window_s=max(float(args.ticks), 1.0))
+    monitor = MonitorEngine(builtin_rules())
+    service = AuditorService(
+        frame, args.store, shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        admission_rate_per_s=args.admission_rate,
+        admission_burst=args.admission_burst,
+        encryption_key=encryption_key, telemetry=hub)
+    center = frame.to_geo(0.0, 0.0)
+    service.register_zone(NoFlyZone(center.lat, center.lon, 50.0))
+
+    def register(operator_public, tee_public, name):
+        # A durable --store already holds the fleet on a re-run; reuse
+        # the issued ids instead of tripping the uniqueness constraint.
+        existing = service.store.find_drone_by_tee(tee_public)
+        if existing is not None:
+            return existing.drone_id
+        return service.register_drone(DroneRegistrationRequest(
+            operator_public_key=operator_public, tee_public_key=tee_public,
+            operator_name=name))
+
+    fleet = provision_fleet(register, drones=args.drones,
+                            key_bits=args.key_bits, seed=args.seed,
+                            regions=args.regions)
+    replayed = service.recover(now=DEFAULT_EPOCH)
+    arrivals = poisson_arrivals(
+        fleet, service.public_encryption_key, frame=frame, seed=args.seed,
+        rate_hz=args.rate, duration_s=float(args.ticks),
+        samples=args.samples)
+
+    alerts = []
+    cursor = 0
+    for tick in range(1, args.ticks + 1):
+        now = DEFAULT_EPOCH + float(tick)
+        while cursor < len(arrivals) and arrivals[cursor].at <= now:
+            arrival = arrivals[cursor]
+            service.submit(arrival.submission, now=arrival.at,
+                           region=arrival.region)
+            cursor += 1
+        service.drain(now=now)
+        for alert in monitor.evaluate(flatten_rollup(hub.rollup(now)), now):
+            alerts.append({"rule": alert.rule, "severity": alert.severity,
+                           "t": alert.fired_at})
+    end = DEFAULT_EPOCH + float(args.ticks)
+    service.drain(now=end)
+
+    status_counts: dict[str, int] = {}
+    for _stored, verdict in service.audited_submissions():
+        status_counts[verdict.status] = status_counts.get(verdict.status,
+                                                          0) + 1
+    intake_summary = hub.sketch("audit.intake.seconds").summary(end)
+    store_summary = hub.sketch("service.store.seconds").summary(end)
+    stats = service.stats.to_dict()
+    payload = {
+        "ticks": args.ticks,
+        "rate_hz": args.rate,
+        "shards": args.shards,
+        "drones": args.drones,
+        "samples_per_submission": args.samples,
+        "queue_capacity": args.queue_capacity,
+        "admission_rate_per_s": args.admission_rate,
+        "arrivals": len(arrivals),
+        "replayed_on_start": replayed,
+        "stats": stats,
+        "status_counts": status_counts,
+        "queue_depth_final": service.queue_depth,
+        "store": {"path": service.store.path,
+                  "submissions": service.store.submission_count(),
+                  "verdicts": service.store.verdict_count(),
+                  "pending": service.store.pending_count()},
+        "intake_p99_s": intake_summary.get("p99"),
+        "store_p99_s": store_summary.get("p99"),
+        "payload_cache": {
+            "hits": sum(e.payload_cache_hits for e in service.engines),
+            "misses": sum(e.payload_cache_misses for e in service.engines)},
+        "alerts": alerts,
+    }
+    ok = (service.store.pending_count() == 0
+          and service.queue_depth == 0
+          and stats["intake_errors"] == 0
+          and status_counts.get(INTAKE_ERROR_STATUS, 0) == 0
+          and not any(a["severity"] == "page" for a in alerts))
+    payload["ok"] = ok
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"serve: {args.ticks} tick(s), {len(arrivals)} arrival(s), "
+              f"{args.shards} shard(s)")
+        print(f"  accepted        {stats['accepted']}")
+        print(f"  deduplicated    {stats['deduplicated']}")
+        print(f"  shed            {stats['shed']} "
+              f"(rate {stats['shed_rate_limited']}, "
+              f"queue {stats['shed_queue_full']})")
+        print(f"  audited         {stats['audited']} "
+              f"(per shard {stats['per_shard_audited']})")
+        for status in sorted(status_counts):
+            print(f"    {status:<15} {status_counts[status]}")
+        if payload["intake_p99_s"] is not None:
+            print(f"  intake p99      {payload['intake_p99_s'] * 1e3:.2f} ms")
+        if payload["store_p99_s"] is not None:
+            print(f"  store p99       {payload['store_p99_s'] * 1e3:.2f} ms")
+        print(f"  alerts          {len(alerts)}")
+        print(f"  verdict         {'OK' if ok else 'FAILED'}")
+    service.close()
+    return 0 if ok else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.prom import to_prometheus, validate_exposition
 
@@ -734,6 +869,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append one windowed-telemetry rollup JSON "
                              "line per completed cell")
     attack.set_defaults(handler=_cmd_attack)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the persistent sharded auditor service for N ticks "
+             "of Poisson fleet traffic")
+    serve.add_argument("--ticks", type=int, default=30,
+                       help="virtual seconds to run (default 30)")
+    serve.add_argument("--rate", type=float, default=2.0,
+                       help="Poisson arrival rate, submissions/s "
+                            "(default 2.0)")
+    serve.add_argument("--drones", type=int, default=8,
+                       help="fleet size (default 8)")
+    serve.add_argument("--samples", type=int, default=6,
+                       help="samples per submission (default 6)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="audit shards (default 2)")
+    serve.add_argument("--regions", type=int, default=4,
+                       help="zone-regions the fleet spans (default 4)")
+    serve.add_argument("--queue-capacity", type=int, default=4096,
+                       help="intake queue bound (default 4096)")
+    serve.add_argument("--admission-rate", type=float, default=None,
+                       help="token-bucket refill, submissions/s "
+                            "(default: admission guard off)")
+    serve.add_argument("--admission-burst", type=float, default=32.0,
+                       help="token-bucket burst (default 32)")
+    serve.add_argument("--store", metavar="PATH", default=":memory:",
+                       help="FlightStore database path "
+                            "(default in-memory)")
+    serve.add_argument("--key-bits", type=int, default=512,
+                       choices=(512, 1024, 2048),
+                       help="fleet/service key size (default 512)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload seed (default 0)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON")
+    serve.set_defaults(handler=_cmd_serve)
 
     metrics = sub.add_parser(
         "metrics",

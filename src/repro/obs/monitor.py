@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
@@ -276,6 +276,12 @@ def builtin_rules() -> list[MonitorRule]:
       the cache has traffic, and threshold rules skip absent metrics).
     * ``intake_stalled`` — staleness on intake latency: no submission
       observed for three windows while the hub keeps ticking.
+    * ``intake_shedding`` — the auditor service's back-pressure turning
+      submissions away at a sustained clip: either the token bucket ran
+      dry or the intake queue filled (``service.shed`` counts both).
+    * ``queue_saturated`` — the service intake queue above 90% of its
+      bound for two consecutive rollups: the audit loop is not keeping
+      up with arrivals and the next burst will shed.
     """
     return [
         MonitorRule(
@@ -303,4 +309,14 @@ def builtin_rules() -> list[MonitorRule]:
             name="intake_stalled", metric="audit.intake.seconds.count",
             kind="absence", max_age_s=3 * 60.0, severity=SEVERITY_WARN,
             description="no submissions observed for three windows"),
+        MonitorRule(
+            name="intake_shedding", metric="service.shed.rate",
+            kind="threshold", op=">", threshold=1.0, for_count=2,
+            severity=SEVERITY_WARN,
+            description="service back-pressure shedding above 1/s"),
+        MonitorRule(
+            name="queue_saturated", metric="service.queue_fill_ratio",
+            kind="threshold", op=">", threshold=0.9, for_count=2,
+            severity=SEVERITY_WARN,
+            description="service intake queue above 90% of capacity"),
     ]

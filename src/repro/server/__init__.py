@@ -12,6 +12,20 @@ from repro.server.engine import (
     AuditOutcome,
     BatchAuditResult,
 )
+from repro.server.store import (
+    FlightStore,
+    StoredDrone,
+    StoredSubmission,
+    StoredVerdict,
+    submission_dedup_key,
+)
+from repro.server.service import (
+    AuditorService,
+    IntakeDecision,
+    ServiceAuditRecord,
+    ServiceStats,
+    TokenBucket,
+)
 from repro.server.violations import ViolationFinding, ViolationLedger, PenaltyPolicy
 
 __all__ = [
@@ -24,6 +38,16 @@ __all__ = [
     "AuditEngine",
     "AuditOutcome",
     "BatchAuditResult",
+    "FlightStore",
+    "StoredDrone",
+    "StoredSubmission",
+    "StoredVerdict",
+    "submission_dedup_key",
+    "AuditorService",
+    "IntakeDecision",
+    "ServiceAuditRecord",
+    "ServiceStats",
+    "TokenBucket",
     "ViolationFinding",
     "ViolationLedger",
     "PenaltyPolicy",

@@ -66,22 +66,43 @@ DEFAULT_ZONE_INDEX_CACHE_MAX = 8
 
 
 class _BoundedCache(dict):
-    """A dict that evicts its oldest insertions past ``max_entries``.
+    """A bounded least-recently-used mapping (touch-on-hit).
 
-    Insertion order is a good-enough recency proxy for the engine's
-    workloads (submissions arrive roughly chronologically), and plain-dict
-    reads keep the hot path free of bookkeeping.
+    Reads through :meth:`get` refresh recency, so entries a fleet keeps
+    coming back to — a hot drone's decrypted records, frequently revisited
+    coordinates — survive sustained churn from one-shot keys; the earlier
+    insertion-order eviction flushed exactly those hot entries once enough
+    cold traffic had passed through.  Writes (``[]`` or the historical
+    :meth:`insert`) evict the least-recently-used entry once
+    ``max_entries`` is reached; ``on_evict`` lets the owner keep a reverse
+    index in lockstep with evictions.
     """
 
-    def __init__(self, max_entries: int):
+    def __init__(self, max_entries: int, on_evict=None):
         super().__init__()
         self.max_entries = int(max_entries)
+        self.on_evict = on_evict
+
+    def get(self, key, default=None):
+        try:
+            value = super().pop(key)
+        except KeyError:
+            return default
+        super().__setitem__(key, value)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        if key in self:
+            super().pop(key)
+        else:
+            while self and len(self) >= self.max_entries:
+                oldest = next(iter(self))
+                evicted = super().pop(oldest)
+                if self.on_evict is not None:
+                    self.on_evict(oldest, evicted)
+        super().__setitem__(key, value)
 
     def insert(self, key, value) -> None:
-        if key not in self and len(self) >= self.max_entries:
-            # Evict ~10% in one sweep so eviction cost is amortized.
-            for stale in list(self)[:max(1, self.max_entries // 10)]:
-                del self[stale]
         self[key] = value
 
 
@@ -253,12 +274,20 @@ class AuditEngine:
         self.metrics = metrics if metrics is not None else StageMetrics()
         self.telemetry = telemetry
         self._tee_key_cache: dict[str, RsaPublicKey] = {}
-        self._payload_cache = _BoundedCache(payload_cache_max)
+        self._payload_cache = _BoundedCache(payload_cache_max,
+                                            on_evict=self._payload_evicted)
         self._position_memo = _BoundedCache(position_memo_max)
         self._zone_index_cache = _BoundedCache(DEFAULT_ZONE_INDEX_CACHE_MAX)
         self._zone_index_stats = ZoneIndexStats()
+        #: Reverse indices so :meth:`invalidate_drone` can purge exactly
+        #: one drone's decrypted payloads; kept in lockstep with the
+        #: payload cache via its eviction hook.
+        self._payload_owner: dict[bytes, str] = {}
+        self._drone_payload_keys: dict[str, set[bytes]] = {}
         self.zone_index_builds = 0
         self.zone_index_hits = 0
+        self.payload_cache_hits = 0
+        self.payload_cache_misses = 0
 
     # --- caches -------------------------------------------------------------
 
@@ -271,8 +300,27 @@ class AuditEngine:
         return key
 
     def invalidate_drone(self, drone_id: str) -> None:
-        """Drop a cached ``T+`` (after re-registration or revocation)."""
+        """Forget a drone: its cached ``T+`` and its decrypted payloads.
+
+        A drone that re-registers (new keys through the durable store)
+        must not keep serving payloads decrypted and cache-warmed under
+        its previous identity — a stale hit would skip decryption against
+        the ciphertexts of a record set that no longer authenticates.
+        """
         self._tee_key_cache.pop(drone_id, None)
+        for ciphertext in self._drone_payload_keys.pop(drone_id, ()):
+            self._payload_owner.pop(ciphertext, None)
+            dict.pop(self._payload_cache, ciphertext, None)
+
+    def _payload_evicted(self, ciphertext, _payload) -> None:
+        """Cache-eviction hook: drop the evicted key's reverse index."""
+        drone_id = self._payload_owner.pop(ciphertext, None)
+        if drone_id is not None:
+            keys = self._drone_payload_keys.get(drone_id)
+            if keys is not None:
+                keys.discard(ciphertext)
+                if not keys:
+                    del self._drone_payload_keys[drone_id]
 
     @property
     def payload_cache_size(self) -> int:
@@ -372,10 +420,14 @@ class AuditEngine:
             except AliDroneError as exc:
                 outcomes[slot].error = exc
                 continue
-            records = [
-                (self._payload_cache.get(record.ciphertext),
-                 record.ciphertext, record.signature)
-                for record in submission.records]
+            records = []
+            for record in submission.records:
+                cached = self._payload_cache.get(record.ciphertext)
+                if cached is not None:
+                    self.payload_cache_hits += 1
+                else:
+                    self.payload_cache_misses += 1
+                records.append((cached, record.ciphertext, record.signature))
             task_args.append((self.encryption_key, records, tee_key,
                               self.verifier.hash_name,
                               self.screen_signatures,
@@ -419,6 +471,10 @@ class AuditEngine:
                 for (_cached, ciphertext, _sig), payload in zip(args[1],
                                                                 payloads):
                     self._payload_cache.insert(ciphertext, payload)
+                    if ciphertext not in self._payload_owner:
+                        self._payload_owner[ciphertext] = submission.drone_id
+                        self._drone_payload_keys.setdefault(
+                            submission.drone_id, set()).add(ciphertext)
                 poa = ProofOfAlibi(
                     (SignedSample(payload=payload, signature=record.signature,
                                   scheme=submission.scheme)

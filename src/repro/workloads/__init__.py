@@ -19,6 +19,13 @@ from repro.workloads.national import (
     build_national_scenario,
     build_national_zone_field,
 )
+from repro.workloads.fleet import (
+    FleetArrival,
+    FleetDrone,
+    build_flight_submission,
+    poisson_arrivals,
+    provision_fleet,
+)
 
 __all__ = [
     "Scenario",
@@ -32,4 +39,9 @@ __all__ = [
     "build_violation_variants",
     "build_national_scenario",
     "build_national_zone_field",
+    "FleetArrival",
+    "FleetDrone",
+    "build_flight_submission",
+    "poisson_arrivals",
+    "provision_fleet",
 ]

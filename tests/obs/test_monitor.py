@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.obs.monitor import (
     SEVERITY_PAGE,
+    SEVERITY_WARN,
     MonitorEngine,
     MonitorRule,
     builtin_rules,
@@ -190,9 +191,37 @@ class TestBuiltinRules:
                 "retry.retries.rate": 2.0,
                 "audit.zone_index.cache_hit_ratio": 0.95,
                 "audit.intake.seconds.count": 10.0,
+                "service.shed.rate": 0.0,
+                "service.queue_fill_ratio": 0.05,
             }, t * 5.0)
             assert fired == []
         assert engine.alerts_fired == 0
+
+    def test_intake_shedding_warns_after_sustained_breach(self):
+        engine = MonitorEngine(builtin_rules())
+        # One noisy window is tolerated (for_count=2)...
+        assert engine.evaluate({"service.shed.rate": 4.0}, 5.0) == []
+        # ...a second consecutive breach fires the warn.
+        fired = engine.evaluate({"service.shed.rate": 4.0}, 10.0)
+        assert [a.rule for a in fired] == ["intake_shedding"]
+        assert fired[0].severity == SEVERITY_WARN
+        # Back-pressure released: the alert eventually resolves.
+        for t in range(3, 10):
+            engine.evaluate({"service.shed.rate": 0.0}, t * 5.0)
+        assert "intake_shedding" not in engine.firing
+
+    def test_queue_saturation_warns_above_ninety_percent(self):
+        engine = MonitorEngine(builtin_rules())
+        assert engine.evaluate({"service.queue_fill_ratio": 0.95},
+                               5.0) == []
+        fired = engine.evaluate({"service.queue_fill_ratio": 0.97}, 10.0)
+        assert [a.rule for a in fired] == ["queue_saturated"]
+        assert fired[0].severity == SEVERITY_WARN
+        # A busy-but-bounded queue never trips it.
+        quiet = MonitorEngine(builtin_rules())
+        for t in range(1, 20):
+            assert quiet.evaluate({"service.queue_fill_ratio": 0.85},
+                                  t * 5.0) == []
 
     def test_unique_names(self):
         rules = builtin_rules()

@@ -30,7 +30,7 @@ from repro.core.verification import (
 from repro.crypto.pkcs1 import sign_pkcs1_v15
 from repro.errors import ConfigurationError, EncodingError, RegistrationError
 from repro.server.auditor import AliDroneServer
-from repro.server.engine import AuditEngine
+from repro.server.engine import AuditEngine, _BoundedCache
 from repro.sim.clock import DEFAULT_EPOCH
 from repro.sim.events import EventLog
 
@@ -468,3 +468,162 @@ class TestEngineMechanics:
         assert {"crypto", "signature", "decode", "ordering", "feasibility",
                 "sufficiency"} <= stages
         assert engine.metrics.total_samples("crypto") == 4
+
+
+def make_distinct_submission(frame, signing_key, encryption_key, *,
+                             drone_id="drone-1", n=4, flight="f",
+                             offset=0.0, seed=3):
+    """Like ``TestEngineMechanics.make_submission`` but with disjoint
+    positions and encryption randomness per call, so two submissions
+    never share ciphertexts (cache-identity tests need distinct keys)."""
+    poa = ProofOfAlibi(
+        signed(signing_key,
+               sample_at(frame, 200.0 + offset + 20.0 * i, 0.0, float(i)))
+        for i in range(n))
+    records = encrypt_poa(poa, encryption_key.public_key,
+                          rng=random.Random(seed))
+    return PoaSubmission(drone_id=drone_id, flight_id=flight,
+                         records=records, claimed_start=T0,
+                         claimed_end=T0 + n - 1.0)
+
+
+class TestBoundedCacheLru:
+    """The engine caches are LRU, not insertion-order FIFO: a read
+    refreshes recency, so hot entries survive cold churn."""
+
+    def test_eviction_order_is_least_recently_used(self):
+        evicted = []
+        cache = _BoundedCache(3, on_evict=lambda k, v: evicted.append(k))
+        cache["a"], cache["b"], cache["c"] = 1, 2, 3
+        assert cache.get("a") == 1        # touch: "a" is now most recent
+        cache["d"] = 4                    # evicts "b", NOT "a"
+        assert evicted == ["b"]
+        cache["e"] = 5                    # next-oldest untouched: "c"
+        assert evicted == ["b", "c"]
+        assert list(cache) == ["a", "d", "e"]
+
+    def test_overwrite_refreshes_without_evicting(self):
+        evicted = []
+        cache = _BoundedCache(2, on_evict=lambda k, v: evicted.append(k))
+        cache["a"], cache["b"] = 1, 2
+        cache["a"] = 10                   # overwrite: refresh, no eviction
+        assert evicted == []
+        cache["c"] = 3                    # now "b" is the LRU entry
+        assert evicted == ["b"]
+        assert cache.get("a") == 10
+
+    def test_get_miss_returns_default_untouched(self):
+        cache = _BoundedCache(2)
+        cache["a"] = 1
+        assert cache.get("zzz") is None
+        assert cache.get("zzz", 7) == 7
+        assert list(cache) == ["a"]
+
+    def test_insert_alias_and_evict_hook_sees_values(self):
+        evicted = []
+        cache = _BoundedCache(1, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert evicted == [("a", 1)]
+        assert dict(cache) == {"b": 2}
+
+    def test_engine_hot_records_survive_cold_churn(self, frame, signing_key,
+                                                   other_key, zone):
+        """The LRU property at the engine level: a re-hit submission's
+        payloads outlive one-shot traffic that would have flushed them
+        under insertion-order eviction."""
+        encryption_key = other_key
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone],
+            payload_cache_max=6)
+        hot = make_distinct_submission(frame, signing_key, encryption_key,
+                                       n=4, flight="hot", seed=100)
+        engine.audit_batch([hot])
+        assert (engine.payload_cache_hits,
+                engine.payload_cache_misses) == (0, 4)
+        for i in range(3):
+            engine.audit_batch([hot])     # touch the hot records...
+            cold = make_distinct_submission(
+                frame, signing_key, encryption_key, n=2,
+                flight=f"cold-{i}", offset=1000.0 + 100.0 * i,
+                seed=200 + i)             # ...then 2 one-shot records
+            engine.audit_batch([cold])
+        # Every hot re-audit hit; insertion-order eviction would have
+        # flushed the hot set after the first rounds of cold churn.
+        assert engine.payload_cache_hits == 12
+        assert engine.payload_cache_misses == 4 + 6
+
+    def test_position_memo_is_bounded(self, frame, signing_key, other_key,
+                                      zone):
+        encryption_key = other_key
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone],
+            position_memo_max=3)
+        submission = TestEngineMechanics().make_submission(
+            frame, signing_key, encryption_key, n=5)
+        engine.audit_batch([submission])
+        assert engine.position_memo_size <= 3
+
+
+class TestInvalidateDronePurgesPayloads:
+    def audit_two_drones(self, frame, signing_key, encryption_key, zone):
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone])
+        sub_a = make_distinct_submission(frame, signing_key, encryption_key,
+                                         drone_id="drone-a", n=3,
+                                         flight="fa", seed=11)
+        sub_b = make_distinct_submission(frame, signing_key, encryption_key,
+                                         drone_id="drone-b", n=2,
+                                         flight="fb", offset=500.0, seed=22)
+        engine.audit_batch([sub_a, sub_b])
+        return engine, sub_a, sub_b
+
+    def test_purges_only_that_drones_payloads(self, frame, signing_key,
+                                              other_key, zone):
+        engine, sub_a, sub_b = self.audit_two_drones(
+            frame, signing_key, other_key, zone)
+        assert engine.payload_cache_size == 5
+        engine.invalidate_drone("drone-a")
+        assert engine.payload_cache_size == 2
+        engine.payload_cache_hits = engine.payload_cache_misses = 0
+        engine.audit_batch([sub_a, sub_b])
+        # drone-a decrypts again, drone-b still hits.
+        assert (engine.payload_cache_hits,
+                engine.payload_cache_misses) == (2, 3)
+
+    def test_reverse_index_tracks_evictions(self, frame, signing_key,
+                                            other_key, zone):
+        """Invalidating after natural evictions must not over-purge."""
+        encryption_key = other_key
+        engine = AuditEngine(
+            PoaVerifier(frame),
+            tee_key_lookup=lambda d: signing_key.public_key,
+            encryption_key=encryption_key, zones_provider=lambda: [zone],
+            payload_cache_max=2)
+        engine.audit_batch([make_distinct_submission(
+            frame, signing_key, encryption_key, drone_id="drone-a", n=3,
+            flight="fa", seed=31)])
+        # Bound 2: drone-a holds at most 2 cached records and the reverse
+        # index matches what is actually cached.
+        assert engine.payload_cache_size == 2
+        engine.audit_batch([make_distinct_submission(
+            frame, signing_key, encryption_key, drone_id="drone-b", n=2,
+            flight="fb", offset=300.0, seed=32)])
+        assert engine.payload_cache_size == 2
+        engine.invalidate_drone("drone-a")   # fully evicted already
+        assert engine.payload_cache_size == 2
+        engine.invalidate_drone("drone-b")
+        assert engine.payload_cache_size == 0
+
+    def test_invalidate_unknown_drone_is_noop(self, frame, signing_key,
+                                              other_key, zone):
+        engine, _sub_a, _sub_b = self.audit_two_drones(
+            frame, signing_key, other_key, zone)
+        engine.invalidate_drone("drone-unknown")
+        assert engine.payload_cache_size == 5

@@ -1,0 +1,145 @@
+"""Tests for repro.workloads.fleet: the Poisson fleet workload.
+
+The fleet generator feeds the sustained-load benchmark and the
+``alidrone serve`` loop, so determinism is the headline contract here:
+the same seed must yield byte-identical submissions and identical
+arrival instants, and every honest flight must verify ACCEPTED against
+the reference verifier.
+"""
+
+import random
+
+from repro.conformance.reference import reference_verify
+from repro.core.poa import decrypt_poa
+from repro.core.verification import VerificationStatus
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.core.nfz import NoFlyZone
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.workloads.fleet import (
+    TRACE_OFFSET_M,
+    build_flight_submission,
+    poisson_arrivals,
+    provision_fleet,
+)
+
+T0 = DEFAULT_EPOCH
+
+
+def registry_fixture():
+    """A minimal register callback: a dict keyed by sequential ids."""
+    table = {}
+
+    def register(operator_public, tee_public, name):
+        drone_id = "drone-%06d" % (len(table) + 1)
+        table[drone_id] = (operator_public, tee_public, name)
+        return drone_id
+
+    return table, register
+
+
+class TestProvisionFleet:
+    def test_deterministic_and_registered(self):
+        table, register = registry_fixture()
+        fleet = provision_fleet(register, drones=4, seed=7, regions=3)
+        assert [d.drone_id for d in fleet] == [
+            "drone-%06d" % i for i in range(1, 5)]
+        assert [d.region for d in fleet] == [
+            "region-0", "region-1", "region-2", "region-0"]
+        assert len(table) == 4
+        # The registered TEE key is the provisioned one.
+        for drone in fleet:
+            _, tee_public, name = table[drone.drone_id]
+            assert tee_public == drone.tee_key.public_key
+            assert name.startswith("fleet-op-")
+        # Same seed, fresh registry: identical key material.
+        _, register2 = registry_fixture()
+        again = provision_fleet(register2, drones=4, seed=7, regions=3)
+        assert [d.tee_key.public_key for d in again] == [
+            d.tee_key.public_key for d in fleet]
+
+    def test_distinct_keys_across_drones_and_seeds(self):
+        _, register = registry_fixture()
+        fleet = provision_fleet(register, drones=3, seed=1)
+        keys = [d.tee_key.public_key for d in fleet]
+        keys += [d.operator_key.public_key for d in fleet]
+        assert len({(k.n, k.e) for k in keys}) == len(keys)
+        _, register2 = registry_fixture()
+        other = provision_fleet(register2, drones=3, seed=2)
+        assert other[0].tee_key.public_key != fleet[0].tee_key.public_key
+
+
+class TestPoissonArrivals:
+    def setup_method(self):
+        self.encryption_key = generate_rsa_keypair(
+            512, rng=random.Random(909))
+
+    def make_fleet(self, frame, drones=3, seed=5):
+        _, register = registry_fixture()
+        return provision_fleet(register, drones=drones, seed=seed)
+
+    def test_deterministic_stream(self, frame):
+        fleet = self.make_fleet(frame)
+        kwargs = dict(frame=frame, seed=5, rate_hz=3.0, duration_s=10.0,
+                      samples=4)
+        first = poisson_arrivals(fleet, self.encryption_key.public_key,
+                                 **kwargs)
+        second = poisson_arrivals(fleet, self.encryption_key.public_key,
+                                  **kwargs)
+        assert len(first) > 0
+        assert [a.at for a in first] == [a.at for a in second]
+        assert [a.submission for a in first] == [a.submission
+                                                 for a in second]
+        # A different seed perturbs the arrival instants.
+        shifted = poisson_arrivals(fleet, self.encryption_key.public_key,
+                                   frame=frame, seed=6, rate_hz=3.0,
+                                   duration_s=10.0, samples=4)
+        assert [a.at for a in shifted] != [a.at for a in first]
+
+    def test_bounds_and_flight_ids(self, frame):
+        fleet = self.make_fleet(frame)
+        arrivals = poisson_arrivals(fleet, self.encryption_key.public_key,
+                                    frame=frame, seed=8, rate_hz=4.0,
+                                    duration_s=8.0, samples=3)
+        ids = {d.drone_id for d in fleet}
+        flights = [a.submission.flight_id for a in arrivals]
+        assert len(set(flights)) == len(flights)
+        prev = T0
+        for arrival in arrivals:
+            assert T0 < arrival.at < T0 + 8.0
+            assert arrival.at >= prev
+            prev = arrival.at
+            # Uploads happen after landing: the claim closes by intake.
+            assert arrival.submission.claimed_end <= arrival.at
+            assert arrival.submission.drone_id in ids
+            assert arrival.region.startswith("region-")
+            assert len(arrival.submission.records) == 3
+
+    def test_empty_fleet_yields_no_arrivals(self, frame):
+        assert poisson_arrivals([], self.encryption_key.public_key,
+                                frame=frame, duration_s=10.0) == []
+
+    def test_honest_submissions_verify_accepted(self, frame):
+        fleet = self.make_fleet(frame, drones=2)
+        arrivals = poisson_arrivals(fleet, self.encryption_key.public_key,
+                                    frame=frame, seed=9, rate_hz=2.0,
+                                    duration_s=5.0, samples=4)
+        assert arrivals
+        zones = [NoFlyZone(frame.origin.lat, frame.origin.lon, 50.0)]
+        tee_keys = {d.drone_id: d.tee_key.public_key for d in fleet}
+        for arrival in arrivals:
+            poa = decrypt_poa(arrival.submission.records,
+                              self.encryption_key)
+            report = reference_verify(
+                poa, tee_keys[arrival.submission.drone_id], zones, frame)
+            assert report.status == VerificationStatus.ACCEPTED
+
+    def test_trace_stays_clear_of_origin_zone(self, frame):
+        drone = self.make_fleet(frame, drones=1)[0]
+        submission = build_flight_submission(
+            drone, self.encryption_key.public_key, frame=frame,
+            flight_index=0, samples=5, start=T0,
+            rng=random.Random(42))
+        poa = decrypt_poa(submission.records, self.encryption_key)
+        for entry in poa:
+            x, _ = frame.to_local(entry.sample.point)
+            assert x >= TRACE_OFFSET_M
