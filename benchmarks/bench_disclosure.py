@@ -1,0 +1,204 @@
+"""Selective-disclosure bandwidth + throughput on the national corridor.
+
+The paper's prototype uploads the full trace with one RSA signature per
+sample.  The ``merkle-disclosure`` scheme replaces that with one signed
+Merkle root per flight plus a verifier-sufficient disclosed subset, so
+the interesting questions are (a) how many wire bytes the honest
+disclosure policy actually saves on a realistic dense flight brushing
+past a national-scale zone field, and (b) what the auditor pays to
+verify the disclosed subset instead of the full trace.
+
+The workload is the national packed-corridor field
+(:mod:`repro.workloads.national`): a fixed-rate trace flies the
+corridor centerline end to end with guaranteed lateral clearance, the
+operator discloses through :func:`repro.privacy.disclosure.disclose`,
+and both the full trace and the disclosure must verify ACCEPTED.  The
+rsa-v15 baseline's wire size is exact arithmetic (``payload + modulus``
+bytes per sample); its signing cost is measured on a sample of
+signatures and extrapolated, because actually signing thousands of
+samples at 2048 bits is precisely the cost the scheme exists to avoid.
+
+Emits ``BENCH_disclosure.json``.  The full-size run enforces the
+headline floor: >= 5x wire-byte reduction vs rsa-v15 full disclosure.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_disclosure.py
+
+or ``--smoke`` for the CI shape-check configuration (floor skipped:
+tiny flights amortize the root signature poorly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+import time
+
+from _emit import write_bench_json
+from repro.core.poa import ProofOfAlibi, SignedSample
+from repro.core.samples import GpsSample
+from repro.core.verification import PoaVerifier
+from repro.crypto.pkcs1 import sign_pkcs1_v15
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.crypto.schemes import SCHEME_MERKLE, authenticate_payloads
+from repro.geo.geodesy import LocalFrame
+from repro.privacy.disclosure import disclose
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.workloads.national import DEFAULT_ORIGIN, build_national_zone_field
+
+REDUCTION_FLOOR = 5.0
+SIGN_PROBE = 12          # rsa-v15 signatures measured for extrapolation
+CRUISE_MPS = 20.0
+
+
+def build_corridor_trace(corridor_length_m: float, hz: float,
+                         frame: LocalFrame) -> list[bytes]:
+    """A fixed-rate centerline traverse, the densest honest upload."""
+    n = int(corridor_length_m / CRUISE_MPS * hz) + 1
+    payloads = []
+    for i in range(n):
+        t = i / hz
+        point = frame.to_geo(CRUISE_MPS * t, 0.0)
+        payloads.append(GpsSample(point.lat, point.lon, DEFAULT_EPOCH + t)
+                        .to_signed_payload())
+    return payloads
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--zones", type=int, default=1_000,
+                        help="national zone field size (default 1000)")
+    parser.add_argument("--corridor-km", type=float, default=20.0,
+                        help="corridor length in km (default 20)")
+    parser.add_argument("--hz", type=float, default=5.0,
+                        help="trace sampling rate (default 5 Hz, the "
+                             "simulated receiver's update rate)")
+    parser.add_argument("--key-bits", type=int, default=1024,
+                        help="TEE signing key size for both arms "
+                             "(default 1024)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration; skips the reduction "
+                             "floor (short flights amortize the root "
+                             "signature poorly)")
+    parser.add_argument("--out-dir", default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.zones, args.corridor_km, args.hz = 60, 2.0, 2.0
+
+    rng = random.Random(args.seed)
+    frame = LocalFrame(DEFAULT_ORIGIN)
+    corridor_m = args.corridor_km * 1_000.0
+    zones = build_national_zone_field(args.zones, frame, seed=args.seed,
+                                      corridor_length_m=corridor_m)
+    key = generate_rsa_keypair(args.key_bits, rng=rng)
+    signature_bytes = (key.n.bit_length() + 7) // 8
+
+    payloads = build_corridor_trace(corridor_m, args.hz, frame)
+    n = len(payloads)
+
+    # --- merkle arm: commit, disclose, verify both shapes ---------------
+    t0 = time.perf_counter()
+    blobs, finalizer = authenticate_payloads(key, payloads, SCHEME_MERKLE,
+                                             rng=rng)
+    commit_s = time.perf_counter() - t0
+    poa = ProofOfAlibi(
+        (SignedSample(payload=payload, signature=blob, scheme=SCHEME_MERKLE)
+         for payload, blob in zip(payloads, blobs)),
+        scheme=SCHEME_MERKLE, finalizer=finalizer)
+
+    verifier = PoaVerifier(frame)
+    t0 = time.perf_counter()
+    full_report = verifier.verify(poa, key.public_key, zones)
+    full_verify_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    alibi = disclose(poa, zones, frame)
+    disclose_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    disclosed_report = verifier.verify(alibi.poa, key.public_key, zones)
+    disclosed_verify_s = time.perf_counter() - t0
+
+    # --- rsa-v15 baseline: exact bytes, probed signing cost -------------
+    full_wire = sum(len(payload) + signature_bytes for payload in payloads)
+    probe = payloads[:: max(1, n // SIGN_PROBE)][:SIGN_PROBE]
+    sign_times = []
+    for payload in probe:
+        t0 = time.perf_counter()
+        sign_pkcs1_v15(key, payload)
+        sign_times.append(time.perf_counter() - t0)
+    rsa_sign_s = statistics.mean(sign_times) * n
+
+    disclosed_wire = alibi.wire_bytes()
+    reduction = full_wire / disclosed_wire
+
+    payload_out = {
+        "config": {
+            "zones": args.zones, "corridor_km": args.corridor_km,
+            "hz": args.hz, "key_bits": args.key_bits, "seed": args.seed,
+            "smoke": args.smoke, "cruise_mps": CRUISE_MPS,
+        },
+        "trace": {
+            "samples": n,
+            "revealed_samples": alibi.revealed_count,
+            "redaction_ratio": round(alibi.redaction_ratio, 4),
+        },
+        "wire_bytes": {
+            "rsa_v15_full": full_wire,
+            "merkle_disclosed": disclosed_wire,
+            "merkle_finalizer": len(finalizer),
+            "reduction": round(reduction, 3),
+            "reduction_floor": REDUCTION_FLOOR,
+            "floor_enforced": not args.smoke,
+        },
+        "seconds": {
+            "merkle_commit": commit_s,
+            "rsa_v15_sign_extrapolated": rsa_sign_s,
+            "disclose": disclose_s,
+            "verify_full_trace": full_verify_s,
+            "verify_disclosed": disclosed_verify_s,
+        },
+        "verdicts": {
+            "full_trace": full_report.status.value,
+            "disclosed": disclosed_report.status.value,
+        },
+    }
+    path = write_bench_json("disclosure", payload_out, out_dir=args.out_dir)
+
+    print(f"disclosure bench: {n} samples at {args.hz:g} Hz over "
+          f"{args.corridor_km:g} km, {args.zones} zones, "
+          f"{args.key_bits}-bit keys")
+    print(f"  revealed {alibi.revealed_count}/{n} samples "
+          f"({alibi.redaction_ratio:.1%} redacted)")
+    print(f"  wire bytes: rsa-v15 full {full_wire:,} -> disclosed "
+          f"{disclosed_wire:,}  ({reduction:.2f}x reduction, floor "
+          f"{REDUCTION_FLOOR}x{', not enforced' if args.smoke else ''})")
+    print(f"  signing: merkle commit {commit_s * 1e3:.1f} ms vs rsa-v15 "
+          f"{rsa_sign_s * 1e3:.1f} ms (extrapolated from {len(probe)} "
+          "probes)")
+    print(f"  verify: full {full_verify_s * 1e3:.1f} ms, disclosed "
+          f"{disclosed_verify_s * 1e3:.1f} ms")
+    print(f"  wrote {path}")
+
+    failures = []
+    if full_report.status.value != "accepted":
+        failures.append(f"full trace verified {full_report.status.value}, "
+                        "expected accepted")
+    if disclosed_report.status.value != "accepted":
+        failures.append("disclosed alibi verified "
+                        f"{disclosed_report.status.value}, expected "
+                        "accepted")
+    if not args.smoke and reduction < REDUCTION_FLOOR:
+        failures.append(f"reduction {reduction:.2f}x below the "
+                        f"{REDUCTION_FLOOR}x floor")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

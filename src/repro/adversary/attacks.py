@@ -34,6 +34,7 @@ from repro.crypto.pkcs1 import sign_pkcs1_v15, verify_pkcs1_v15
 from repro.crypto.schemes import (
     SCHEME_BATCH,
     SCHEME_CHAIN,
+    SCHEME_MERKLE,
     ChainFinalizer,
     chain_link,
 )
@@ -44,6 +45,7 @@ from repro.errors import (
     TrustedAppError,
     WorldIsolationError,
 )
+from repro.privacy.merkle import MembershipProof, MerkleTree
 from repro.tee.gps_sampler_ta import SIGN_KEY_ENTRY
 
 #: How far outside the zone boundary suppressed traces keep their samples.
@@ -135,10 +137,13 @@ class SuppressIncursion(SubmissionAttack):
     name = "suppress_incursion"
     description = "omit in-zone samples, keep the true flight window"
     expected_outcomes = frozenset({"insufficient_coverage"})
-    # Dropping entries from a batch-signed or chained flight breaks the
-    # flight authenticator before sufficiency is ever evaluated.
+    # Dropping entries from a batch-signed, chained, or Merkle-committed
+    # flight breaks the flight authenticator before sufficiency is ever
+    # evaluated (a Merkle full trace must carry every committed leaf;
+    # hiding leaves *with* proofs is the separate merkle_omitted_leaves).
     scheme_expectations = {SCHEME_BATCH: frozenset({"bad_signature"}),
-                           SCHEME_CHAIN: frozenset({"bad_signature"})}
+                           SCHEME_CHAIN: frozenset({"bad_signature"}),
+                           SCHEME_MERKLE: frozenset({"bad_signature"})}
 
     def forge(self, world, rng):
         cx, cy = world.zone_center_xy
@@ -164,10 +169,12 @@ class TruncateAtIncursion(SubmissionAttack):
     description = "submit only the pre-incursion prefix, shrink the window"
     expected_outcomes = frozenset(
         {"no_poa", "insufficient_coverage", "insufficient"})
-    # A prefix of a batch-signed or chained flight no longer matches the
-    # finalizer the operator holds, so the forgery dies at authentication.
+    # A prefix of a batch-signed, chained, or Merkle-committed flight no
+    # longer matches the finalizer the operator holds, so the forgery
+    # dies at authentication.
     scheme_expectations = {SCHEME_BATCH: frozenset({"bad_signature"}),
-                           SCHEME_CHAIN: frozenset({"bad_signature"})}
+                           SCHEME_CHAIN: frozenset({"bad_signature"}),
+                           SCHEME_MERKLE: frozenset({"bad_signature"})}
 
     def forge(self, world, rng):
         cutoff = world.incursion_start - TRUNCATE_GUARD_S
@@ -288,10 +295,11 @@ class TimestampReorder(SubmissionAttack):
     name = "timestamp_reorder"
     description = "genuine samples, reversed order"
     expected_outcomes = frozenset({"out_of_order"})
-    # Reordering breaks the batch digest / chain replay before the
-    # ordering stage sees the timestamps.
+    # Reordering breaks the batch digest / chain replay / Merkle root
+    # recomputation before the ordering stage sees the timestamps.
     scheme_expectations = {SCHEME_BATCH: frozenset({"bad_signature"}),
-                           SCHEME_CHAIN: frozenset({"bad_signature"})}
+                           SCHEME_CHAIN: frozenset({"bad_signature"}),
+                           SCHEME_MERKLE: frozenset({"bad_signature"})}
 
     def forge(self, world, rng):
         entries = list(world.violation_poa.entries)
@@ -430,6 +438,126 @@ class ChainMacForgery(SubmissionAttack):
         return poa.replace_entries(forged), start, end
 
 
+class MerkleOmittedLeaves(SubmissionAttack):
+    """Hide every in-zone leaf behind *valid* membership proofs.
+
+    The selective-disclosure analogue of :class:`SuppressIncursion`: the
+    operator reveals only out-of-zone samples, each with a genuine proof
+    against the signed root, and keeps the incursion private.  Every
+    disclosed byte verifies — but the gap bridging the hole cannot rule
+    out NFZ entrance, so the disclosure stage rejects.
+    """
+
+    name = "merkle_omitted_leaves"
+    description = "in-zone leaves hidden behind valid membership proofs"
+    expected_outcomes = frozenset({"insufficient_disclosure"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.merkle_violation()
+        cx, cy = world.zone_center_xy
+        payloads = [entry.payload for entry in poa]
+        tree = MerkleTree(payloads)
+        keep = {0, len(payloads) - 1}
+        for i, entry in enumerate(poa):
+            x, y = entry.sample.local_position(world.frame)
+            if math.hypot(x - cx, y - cy) > \
+                    world.zone.radius_m + SUPPRESS_MARGIN_M:
+                keep.add(i)
+        entries = [
+            SignedSample(payload=payloads[i],
+                         signature=tree.membership_proof(i).to_bytes(),
+                         scheme=SCHEME_MERKLE)
+            for i in sorted(keep)]
+        return poa.replace_entries(entries), start, end
+
+
+class MerkleOverRedaction(SubmissionAttack):
+    """Reveal only the two endpoints of the committed flight.
+
+    A maximally private — and maximally uninformative — disclosure: both
+    proofs are genuine and the endpoints pin the flight, but the single
+    giant gap between them cannot rule out the incursion.
+    """
+
+    name = "merkle_over_redaction"
+    description = "endpoints only, the whole flight interior redacted"
+    expected_outcomes = frozenset({"insufficient_disclosure"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.merkle_violation()
+        payloads = [entry.payload for entry in poa]
+        tree = MerkleTree(payloads)
+        entries = [
+            SignedSample(payload=payloads[i],
+                         signature=tree.membership_proof(i).to_bytes(),
+                         scheme=SCHEME_MERKLE)
+            for i in sorted({0, len(payloads) - 1})]
+        return poa.replace_entries(entries), start, end
+
+
+class MerkleCrossFlightSplice(SubmissionAttack):
+    """Foreign samples with their own tree's proofs, this flight's root.
+
+    The operator holds a genuinely compliant trace (yesterday's flight)
+    and presents its samples — proofs and all — under the violation
+    flight's signed root and window.  Every proof is internally
+    consistent with the *donor* tree, but none replays to the root the
+    TEE actually signed.
+    """
+
+    name = "merkle_cross_flight_splice"
+    description = "compliant donor leaves spliced under the signed root"
+    expected_outcomes = frozenset({"bad_signature"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.merkle_violation()
+        donors = [entry.payload for entry in world.old_poa]
+        tree = MerkleTree(donors)
+        entries = [
+            SignedSample(payload=donors[i],
+                         signature=tree.membership_proof(i).to_bytes(),
+                         scheme=SCHEME_MERKLE)
+            for i in range(len(donors))]
+        return poa.replace_entries(entries), start, end
+
+
+class MerkleForgedSibling(SubmissionAttack):
+    """Rewrite in-zone positions and invent sibling hashes to match.
+
+    Forging a proof path for a doctored leaf requires a second preimage
+    of an interior node; random siblings model the best an operator
+    without one can do.
+    """
+
+    name = "merkle_forged_sibling"
+    description = "doctored leaves with fabricated proof paths"
+    expected_outcomes = frozenset({"bad_signature"})
+
+    def forge(self, world, rng):
+        poa, start, end = world.merkle_violation()
+        cx, cy = world.zone_center_xy
+        payloads = [entry.payload for entry in poa]
+        tree = MerkleTree(payloads)
+        entries = []
+        for i, entry in enumerate(poa):
+            s = entry.sample
+            x, y = s.local_position(world.frame)
+            payload = payloads[i]
+            proof = tree.membership_proof(i)
+            if math.hypot(x - cx, y - cy) <= world.zone.radius_m:
+                moved = GpsSample(s.lat + 0.01, s.lon, s.t, s.alt)
+                payload = moved.to_signed_payload()
+                proof = MembershipProof(
+                    leaf_index=i,
+                    siblings=tuple(
+                        bytes(rng.randrange(256) for _ in range(32))
+                        for _sibling in proof.siblings))
+            entries.append(SignedSample(payload=payload,
+                                        signature=proof.to_bytes(),
+                                        scheme=SCHEME_MERKLE))
+        return poa.replace_entries(entries), start, end
+
+
 class NonceReplay(Attack):
     """Replay a signed zone-query nonce (pre-flight protocol, steps 2-3)."""
 
@@ -542,6 +670,10 @@ def builtin_attacks() -> list[Attack]:
         ChainTruncation(),
         ChainSplice(),
         ChainMacForgery(),
+        MerkleOmittedLeaves(),
+        MerkleOverRedaction(),
+        MerkleCrossFlightSplice(),
+        MerkleForgedSibling(),
         NonceReplay(),
         KeyExtraction(),
     ]

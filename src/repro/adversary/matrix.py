@@ -28,7 +28,7 @@ from repro.core.protocol import (
 )
 from repro.core.verification import VerificationReport, VerificationStatus
 from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
-from repro.crypto.schemes import SCHEME_CHAIN, SCHEME_RSA
+from repro.crypto.schemes import SCHEME_CHAIN, SCHEME_MERKLE, SCHEME_RSA
 from repro.drone.kinematics import DroneKinematics, simulate_waypoint_flight
 from repro.errors import ConfigurationError
 from repro.server.auditor import AliDroneServer
@@ -93,6 +93,8 @@ class AttackWorld:
     scheme: str = SCHEME_RSA
     _identities: int = 0
     _chained: "tuple[ProofOfAlibi, float, float] | None" = \
+        field(default=None, repr=False)
+    _merkle: "tuple[ProofOfAlibi, float, float] | None" = \
         field(default=None, repr=False)
     server: AliDroneServer = field(init=False)
     zone_id: str = field(init=False)
@@ -179,6 +181,29 @@ class AttackWorld:
             self._chained = (run.result.poa, stats.start_time,
                              stats.end_time)
         return self._chained
+
+    def merkle_violation(self) -> "tuple[ProofOfAlibi, float, float]":
+        """The violation flight committed under the Merkle scheme.
+
+        Disclosure-structural attacks need a Merkle-committed trace
+        regardless of the matrix's scheme; mirrors
+        :meth:`chained_violation` (twin device, same registered ``T+``).
+        """
+        if self.scheme == SCHEME_MERKLE:
+            return (self.violation_poa, self.violation_start,
+                    self.violation_end)
+        if self._merkle is None:
+            twin = provision_device(
+                f"adv-dev-{self.key_bits}-{self.seed}",
+                key_bits=self.key_bits,
+                rng=random.Random(self.seed ^ 0x5EED))
+            run = run_policy(self.scenario, "adaptive",
+                             key_bits=self.key_bits, seed=self.seed,
+                             device=twin, scheme=SCHEME_MERKLE)
+            stats = run.result.stats
+            self._merkle = (run.result.poa, stats.start_time,
+                            stats.end_time)
+        return self._merkle
 
 
 def _incursion_interval(scenario: Scenario) -> tuple[float, float]:

@@ -163,12 +163,14 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
 
 def _build_audit_fleet(*, seed: int, key_bits: int, submissions: int,
                        samples: int, drones: int, zones: int = 1,
-                       workers: int = 1, executor: str = "thread"):
+                       workers: int = 1, executor: str = "thread",
+                       scheme: str = "rsa-v15"):
     """A synthetic fleet: an auditor server plus signed, encrypted PoAs.
 
     The shared workload builder behind ``audit-batch`` and the synthetic
     arm of ``metrics``.  Returns ``(server, submissions, drone_list, t0)``
-    — everything deterministic from ``seed``.
+    — everything deterministic from ``seed``.  ``scheme`` selects the
+    sample-authentication backend every flight is signed under.
     """
     import random as random_module
 
@@ -176,8 +178,8 @@ def _build_audit_fleet(*, seed: int, key_bits: int, submissions: int,
     from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
     from repro.core.protocol import DroneRegistrationRequest, PoaSubmission
     from repro.core.samples import GpsSample
-    from repro.crypto.pkcs1 import sign_pkcs1_v15
     from repro.crypto.rsa import generate_rsa_keypair
+    from repro.crypto.schemes import authenticate_payloads
     from repro.geo.geodesy import GeoPoint, LocalFrame
     from repro.server.auditor import AliDroneServer
 
@@ -215,20 +217,23 @@ def _build_audit_fleet(*, seed: int, key_bits: int, submissions: int,
     for j in range(submissions):
         drone_id, tee_key = drone_list[j % len(drone_list)]
         start = t0 + 1000.0 * j
-        entries = []
+        payloads = []
         for k in range(samples):
             point = frame.to_geo(200.0 + 20.0 * k + rng.uniform(0, 5.0),
                                  10.0 * (j % 7))
             sample = GpsSample(lat=point.lat, lon=point.lon, t=start + k)
-            payload = sample.to_signed_payload()
-            entries.append(SignedSample(
-                payload=payload,
-                signature=sign_pkcs1_v15(tee_key, payload)))
-        records = encrypt_poa(ProofOfAlibi(entries),
-                              server.public_encryption_key, rng=rng)
+            payloads.append(sample.to_signed_payload())
+        blobs, finalizer = authenticate_payloads(tee_key, payloads, scheme,
+                                                 rng=rng)
+        poa = ProofOfAlibi(
+            (SignedSample(payload=payload, signature=blob, scheme=scheme)
+             for payload, blob in zip(payloads, blobs)),
+            scheme=scheme, finalizer=finalizer)
+        records = encrypt_poa(poa, server.public_encryption_key, rng=rng)
         built.append(PoaSubmission(
             drone_id=drone_id, flight_id=f"flight-{j}", records=records,
-            claimed_start=start, claimed_end=start + samples - 1))
+            claimed_start=start, claimed_end=start + samples - 1,
+            scheme=scheme, finalizer=finalizer))
     return server, built, drone_list, t0
 
 
@@ -239,7 +244,8 @@ def _cmd_audit_batch(args: argparse.Namespace) -> int:
         seed=args.seed, key_bits=args.key_bits,
         submissions=args.submissions, samples=args.samples,
         drones=args.drones, zones=args.zones,
-        workers=args.workers, executor=args.executor)
+        workers=args.workers, executor=args.executor,
+        scheme=args.scheme)
 
     from contextlib import nullcontext
 
@@ -535,7 +541,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     arrivals = poisson_arrivals(
         fleet, service.public_encryption_key, frame=frame, seed=args.seed,
         rate_hz=args.rate, duration_s=float(args.ticks),
-        samples=args.samples)
+        samples=args.samples, scheme=args.scheme)
 
     alerts = []
     cursor = 0
@@ -563,6 +569,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     payload = {
         "ticks": args.ticks,
         "rate_hz": args.rate,
+        "scheme": args.scheme,
         "shards": args.shards,
         "drones": args.drones,
         "samples_per_submission": args.samples,
@@ -612,6 +619,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  verdict         {'OK' if ok else 'FAILED'}")
     service.close()
     return 0 if ok else 1
+
+
+def _cmd_disclosure(args: argparse.Namespace) -> int:
+    """Selective-disclosure differential sweep (decision equivalence).
+
+    Sweeps honest and non-compliant Merkle-committed flights through the
+    honest disclosure policy plus four adversarial disclosure policies,
+    checking that honest verdicts are decision-identical to full-trace
+    verdicts and that no disclosure ever converts a full-trace REJECT
+    into an ACCEPT.  Exit 0 iff every invariant held.
+    """
+    from repro.privacy.differential import run_disclosure_differential
+
+    report = run_disclosure_differential(
+        trajectories=args.trajectories, seed=args.seed,
+        key_bits=args.key_bits, max_zones=args.zones)
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"disclosure report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"disclosure differential: {report.trajectories} trajectories")
+        print(f"  honest decision matches : "
+              f"{report.honest_decision_matches}/{report.honest_trials} "
+              f"({report.honest_accepts} accepted)")
+        print(f"  rejects preserved       : "
+              f"{report.bad_rejects_preserved}/{report.bad_trials}")
+        for policy, outcome in report.adversarial_outcomes.items():
+            print(f"  {policy:<24}: {outcome['trials']} trial(s), "
+                  f"{outcome['false_accepts']} false accept(s)")
+        print(f"  revealed samples        : {report.revealed_samples}"
+              f"/{report.total_samples}")
+        print(f"  bandwidth reduction     : "
+              f"{report.bandwidth_reduction:.2f}x vs rsa-v15 full trace")
+        print(f"  verdict                 : "
+              f"{'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -798,6 +846,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="NFZ database size; zones beyond the "
                                   "first sit far from the traces "
                                   "(default 1)")
+    audit_batch.add_argument("--scheme", default="rsa-v15",
+                             choices=("rsa-v15", "rsa-batch", "hash-chain",
+                                      "merkle-disclosure"),
+                             help="sample-authentication scheme the fleet "
+                                  "signs under (default rsa-v15)")
     audit_batch.add_argument("--workers", type=int, default=1,
                              help="crypto fan-out pool size (default 1)")
     audit_batch.add_argument("--executor", choices=("thread", "process"),
@@ -848,7 +901,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="randomized conformance trajectories "
                              "(default 200)")
     attack.add_argument("--scheme", default="rsa-v15",
-                        choices=("rsa-v15", "rsa-batch", "hash-chain"),
+                        choices=("rsa-v15", "rsa-batch", "hash-chain",
+                                 "merkle-disclosure"),
                         help="sample-authentication scheme the genuine "
                              "flights are flown under (default rsa-v15)")
     attack.add_argument("--attack-key-bits", type=int, default=512,
@@ -894,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: admission guard off)")
     serve.add_argument("--admission-burst", type=float, default=32.0,
                        help="token-bucket burst (default 32)")
+    serve.add_argument("--scheme", default="rsa-v15",
+                       choices=("rsa-v15", "rsa-batch", "hash-chain",
+                                "merkle-disclosure"),
+                       help="sample-authentication scheme the fleet "
+                            "signs under (default rsa-v15)")
     serve.add_argument("--store", metavar="PATH", default=":memory:",
                        help="FlightStore database path "
                             "(default in-memory)")
@@ -905,6 +964,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
     serve.set_defaults(handler=_cmd_serve)
+
+    disclosure = sub.add_parser(
+        "disclosure",
+        help="selective-disclosure differential sweep (decision "
+             "equivalence + zero false accepts)")
+    disclosure.add_argument("--trajectories", type=int, default=200,
+                            help="randomized flights to sweep "
+                                 "(default 200)")
+    disclosure.add_argument("--zones", type=int, default=12,
+                            help="max zones per trial (default 12)")
+    disclosure.add_argument("--seed", type=int, default=0,
+                            help="sweep seed (default 0)")
+    disclosure.add_argument("--key-bits", type=int, default=512,
+                            dest="key_bits",
+                            help="TEE RSA modulus size (default 512)")
+    disclosure.add_argument("--out", metavar="PATH", default=None,
+                            help="write the disclosure report as JSON")
+    disclosure.add_argument("--json", action="store_true",
+                            help="print the report as JSON instead of "
+                                 "prose")
+    disclosure.set_defaults(handler=_cmd_disclosure)
 
     metrics = sub.add_parser(
         "metrics",

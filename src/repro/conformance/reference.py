@@ -4,7 +4,8 @@ This is the reference arm of the differential harness.  It re-derives the
 paper's checks (§IV-C2) from first principles as one straight-line
 function: no pipeline stages, no batch caches, no memoized projections,
 no spatial index — just per-entry signature checks, a decode loop, an
-ordering scan, per-pair speed arithmetic, and the conservative sufficiency
+ordering scan, per-pair speed arithmetic, an independent Merkle
+replay with its disclosure gap scan, and the conservative sufficiency
 inequality written out with :func:`math.hypot`.  Because it shares no
 execution path with :class:`repro.core.verification.VerificationPipeline`
 beyond the crypto primitives and the projection formula, agreement between
@@ -107,6 +108,137 @@ def _ref_chain_bad_indices(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
     return bad
 
 
+def _ref_leaf_hash(payload: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + struct.pack(">I", len(payload))
+                          + payload).digest()
+
+
+def _ref_node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def _ref_merkle_root(payloads: Sequence[bytes]) -> bytes:
+    """Independent tree build: odd nodes promoted, never duplicated."""
+    level = [_ref_leaf_hash(payload) for payload in payloads]
+    if not level:
+        return hashlib.sha256(b"ADMK-EMPTY").digest()
+    while len(level) > 1:
+        parents = [_ref_node_hash(level[i], level[i + 1])
+                   for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2 == 1:
+            parents.append(level[-1])
+        level = parents
+    return level[0]
+
+
+def _ref_verify_membership(root: bytes, count: int, index: int,
+                           payload: bytes,
+                           siblings: Sequence[bytes]) -> bool:
+    """Independent membership replay against the signed leaf count."""
+    if count <= 0 or not 0 <= index < count:
+        return False
+    node = _ref_leaf_hash(payload)
+    position, width, used = index, count, 0
+    while width > 1:
+        if position % 2 == 1:
+            if used >= len(siblings):
+                return False
+            node = _ref_node_hash(siblings[used], node)
+            used += 1
+        elif position + 1 < width:
+            if used >= len(siblings):
+                return False
+            node = _ref_node_hash(node, siblings[used])
+            used += 1
+        position //= 2
+        width = (width + 1) // 2
+    return used == len(siblings) and node == root
+
+
+def _ref_merkle_finalizer(poa: ProofOfAlibi,
+                          ) -> tuple[int, float, bytes, bytes] | None:
+    """``(count, epoch, root, signature)`` or None when malformed.
+
+    Finalizer layout: "ADM1" | count:u32 | epoch:f64 | root:32
+                      | len:u16 root_sig
+    """
+    data = poa.finalizer
+    if len(data) < 4 + 4 + 8 + 32 + 2 or data[:4] != b"ADM1":
+        return None
+    (count,) = struct.unpack_from(">I", data, 4)
+    (epoch,) = struct.unpack_from(">d", data, 8)
+    root = data[16:48]
+    (sig_len,) = struct.unpack_from(">H", data, 48)
+    if 50 + sig_len != len(data):
+        return None
+    return count, epoch, root, data[50:]
+
+
+def _ref_merkle_leaves(poa: ProofOfAlibi, count: int) -> list[int] | None:
+    """Proven leaf indices of a disclosure, or None when structurally bad.
+
+    Proof layout: leaf_index:u32 | n:u16 | n * 32-byte siblings.
+    """
+    blobs = [entry.signature for entry in poa]
+    if all(not blob for blob in blobs):
+        if len(blobs) != count or count == 0:
+            return None
+        return list(range(count))
+    leaves = []
+    for blob in blobs:
+        if len(blob) < 6:
+            return None
+        (index, n_siblings) = struct.unpack_from(">IH", blob, 0)
+        if len(blob) != 6 + 32 * n_siblings:
+            return None
+        leaves.append(index)
+    if any(b <= a for a, b in zip(leaves, leaves[1:])):
+        return None
+    if leaves[-1] >= count:
+        return None
+    return leaves
+
+
+def _ref_merkle_bad_indices(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
+                            hash_name: str) -> list[int]:
+    """Independent Merkle verification (wire constants duplicated on purpose)."""
+    all_bad = list(range(len(poa)))
+    parts = _ref_merkle_finalizer(poa)
+    if parts is None:
+        return all_bad
+    count, epoch, root, signature = parts
+    signed = (b"ADMK-ROOT\x00" + root + struct.pack(">d", epoch)
+              + struct.pack(">I", count))
+    if not verify_pkcs1_v15(tee_public_key, signed, signature, hash_name):
+        return all_bad
+    blobs = [entry.signature for entry in poa]
+    if all(not blob for blob in blobs):
+        # Full-trace mode: recompute the root from the payloads.
+        if len(poa) != count:
+            return all_bad
+        if _ref_merkle_root([entry.payload for entry in poa]) != root:
+            return all_bad
+        return []
+    proofs = []
+    for blob in blobs:
+        if len(blob) < 6:
+            return all_bad
+        (index, n_siblings) = struct.unpack_from(">IH", blob, 0)
+        if len(blob) != 6 + 32 * n_siblings:
+            return all_bad
+        proofs.append((index, [blob[6 + 32 * i:6 + 32 * (i + 1)]
+                               for i in range(n_siblings)]))
+    indices = [index for index, _siblings in proofs]
+    if any(b <= a for a, b in zip(indices, indices[1:])):
+        return all_bad
+    if any(index >= count for index in indices):
+        return all_bad
+    return [i for i, (entry, (index, siblings)) in
+            enumerate(zip(poa, proofs))
+            if not _ref_verify_membership(root, count, index, entry.payload,
+                                          siblings)]
+
+
 def _ref_bad_auth_indices(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
                           hash_name: str) -> list[int]:
     """Per-scheme flight authentication, re-derived from the wire spec."""
@@ -125,6 +257,8 @@ def _ref_bad_auth_indices(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
         return [i for i, entry in enumerate(poa) if entry.signature]
     if scheme == "hash-chain":
         return _ref_chain_bad_indices(poa, tee_public_key, hash_name)
+    if scheme == "merkle-disclosure":
+        return _ref_merkle_bad_indices(poa, tee_public_key, hash_name)
     # Unknown scheme: nothing can be attributed to T+.
     return list(range(len(poa)))
 
@@ -195,6 +329,50 @@ def reference_verify(poa: ProofOfAlibi, tee_public_key: RsaPublicKey,
             sample_count=len(poa),
             message=f"{len(infeasible)} pairs exceed v_max",
             reason=RejectionReason.SPEED_INFEASIBLE)
+
+    # 3b. Disclosure (merkle-disclosure only): endpoints pinned, epoch
+    # matched, every undisclosed gap conservatively clear of every zone.
+    if poa.scheme == "merkle-disclosure":
+        parts = _ref_merkle_finalizer(poa)
+        leaves = (None if parts is None
+                  else _ref_merkle_leaves(poa, parts[0]))
+        if parts is not None and leaves is not None:
+            count, epoch, _root, _sig = parts
+            if leaves[0] != 0 or leaves[-1] != count - 1:
+                return VerificationReport(
+                    status=VerificationStatus.INSUFFICIENT,
+                    sample_count=len(poa),
+                    message="disclosure does not pin the flight endpoints",
+                    reason=RejectionReason.INSUFFICIENT_DISCLOSURE)
+            if epoch != samples[0].t:
+                return VerificationReport(
+                    status=VerificationStatus.INSUFFICIENT,
+                    sample_count=len(poa),
+                    message=("disclosure epoch does not match the first "
+                             "revealed sample"),
+                    reason=RejectionReason.INSUFFICIENT_DISCLOSURE)
+            gap_bad = []
+            for i in range(len(leaves) - 1):
+                if leaves[i + 1] - leaves[i] <= 1:
+                    continue
+                focal_sum = vmax_mps * (samples[i + 1].t - samples[i].t)
+                ax, ay = positions[i]
+                bx, by = positions[i + 1]
+                for zone in zones:
+                    cx, cy = frame.to_local(zone.center)
+                    d1 = math.hypot(ax - cx, ay - cy) - zone.radius_m
+                    d2 = math.hypot(bx - cx, by - cy) - zone.radius_m
+                    if d1 + d2 <= focal_sum + _EPS:
+                        gap_bad.append(i)
+                        break
+            if gap_bad:
+                return VerificationReport(
+                    status=VerificationStatus.INSUFFICIENT,
+                    insufficient_pair_indices=gap_bad,
+                    sample_count=len(poa),
+                    message=(f"{len(gap_bad)} undisclosed gaps cannot rule "
+                             "out NFZ entrance"),
+                    reason=RejectionReason.INSUFFICIENT_DISCLOSURE)
 
     # 4. Sufficiency: paper eq. (1), conservative form — the pair clears a
     # zone when the focus-to-boundary distances satisfy D1 + D2 > vmax*dt.

@@ -10,7 +10,12 @@ The checks the AliDrone Server runs on every submission (paper §IV-C2):
 3. **Physical feasibility** — no consecutive pair implies motion above
    ``v_max``.  An infeasible pair means spliced or fabricated data (the
    travel-range ellipse would be empty).
-4. **Sufficiency** — equation (1) against the zone set.  Insufficiency is
+4. **Disclosure** — Merkle-committed flights only (docs/PROTOCOL.md §8):
+   the revealed subset must pin both flight endpoints and every
+   undisclosed interval between adjacent revealed fixes must be
+   infeasible-to-violate under ``v_max``, judged by the conservative
+   sufficiency predicate on the gap pair.
+5. **Sufficiency** — equation (1) against the zone set.  Insufficiency is
    not proof of violation, but under the burden-of-proof model the Auditor
    treats it as non-compliance.
 
@@ -46,8 +51,9 @@ from repro.core.sufficiency import (
     insufficient_pairs_projected,
 )
 from repro.crypto.rsa import RsaPublicKey
-from repro.crypto.schemes import get_scheme
-from repro.errors import EncodingError
+from repro.crypto.schemes import SCHEME_MERKLE, MerkleFinalizer, get_scheme
+from repro.errors import EncodingError, SchemeError
+from repro.privacy.merkle import MembershipProof
 from repro.geo.circle import Circle
 from repro.geo.geodesy import LocalFrame
 from repro.geo.proximity import ZoneProximityIndex
@@ -88,6 +94,7 @@ class RejectionReason(enum.Enum):
     OUT_OF_ORDER = "out_of_order"
     SPEED_INFEASIBLE = "speed_infeasible"
     INSUFFICIENT_COVERAGE = "insufficient_coverage"
+    INSUFFICIENT_DISCLOSURE = "insufficient_disclosure"
     EMPTY_POA = "empty_poa"
     DECRYPT_FAILED = "decrypt_failed"
 
@@ -339,6 +346,107 @@ class FeasibilityStage(VerificationStage):
         return max(0, len(ctx.samples or []) - 1)
 
 
+class DisclosureStage(VerificationStage):
+    """Selective disclosure: every undisclosed gap must be provably clear.
+
+    Applies only to Merkle-committed flights (``merkle-disclosure``); for
+    every other scheme the stage is a no-op.  The revealed subset must
+    (1) pin both flight endpoints — proven leaf 0 and leaf ``count - 1``
+    — so neither end of the flight can be silently cut off, (2) carry
+    the signed epoch as its first timestamp, binding the commitment to
+    this flight, and (3) leave no gap between adjacent revealed fixes
+    that the *conservative* sufficiency predicate cannot clear against
+    every zone.  Conservative is deliberate regardless of ``ctx.method``:
+    the verifier never sees what happened inside a gap, so it grants the
+    hidden interval no benefit of the doubt.
+
+    Structurally broken disclosures (unparseable finalizer or proofs,
+    out-of-order leaf indices) are not re-reported here — the signature
+    stage already condemned the flight for those.
+    """
+
+    name = "disclosure"
+
+    def run(self, ctx: VerificationContext) -> StageFinding | None:
+        view = self._disclosure_view(ctx.poa)
+        if view is None:
+            return None
+        fin, leaves = view
+        samples = ctx.samples or []
+        if not samples:
+            return None
+        if leaves[0] != 0 or leaves[-1] != fin.count - 1:
+            return StageFinding(
+                stage=self.name, status=VerificationStatus.INSUFFICIENT,
+                message="disclosure does not pin the flight endpoints",
+                reason=RejectionReason.INSUFFICIENT_DISCLOSURE)
+        if fin.epoch != samples[0].t:
+            return StageFinding(
+                stage=self.name, status=VerificationStatus.INSUFFICIENT,
+                message=("disclosure epoch does not match the first "
+                         "revealed sample"),
+                reason=RejectionReason.INSUFFICIENT_DISCLOSURE)
+        gaps = {i for i in range(len(leaves) - 1)
+                if leaves[i + 1] - leaves[i] > 1}
+        if not gaps:
+            return None
+        positions = ctx.ensure_positions()
+        times = [s.t for s in samples]
+        index = ctx.ensure_zone_index()
+        if index is not None:
+            insufficient = insufficient_pairs_indexed(
+                positions, times, index, ctx.vmax_mps, "conservative")
+        else:
+            insufficient = insufficient_pairs_projected(
+                positions, times, ctx.ensure_zone_circles(), ctx.vmax_mps,
+                "conservative")
+        bad = sorted(gaps.intersection(insufficient))
+        if bad:
+            return StageFinding(
+                stage=self.name, status=VerificationStatus.INSUFFICIENT,
+                message=(f"{len(bad)} undisclosed gaps cannot rule out NFZ "
+                         "entrance"),
+                indices=tuple(bad),
+                reason=RejectionReason.INSUFFICIENT_DISCLOSURE)
+        return None
+
+    @staticmethod
+    def _disclosure_view(poa: ProofOfAlibi,
+                         ) -> tuple[MerkleFinalizer, list[int]] | None:
+        """``(finalizer, proven leaf indices)``, or ``None`` off-path.
+
+        ``None`` covers both "not a Merkle flight" and "structurally
+        broken disclosure" — the latter is the signature stage's failure
+        to report, not this stage's.
+        """
+        if poa.scheme != SCHEME_MERKLE:
+            return None
+        try:
+            fin = MerkleFinalizer.from_bytes(poa.finalizer)
+        except SchemeError:
+            return None
+        blobs = [entry.signature for entry in poa]
+        if all(not blob for blob in blobs):
+            # Full-trace mode: entries are the committed flight verbatim.
+            if len(blobs) != fin.count or fin.count == 0:
+                return None
+            return fin, list(range(fin.count))
+        leaves = []
+        for blob in blobs:
+            try:
+                leaves.append(MembershipProof.from_bytes(blob).leaf_index)
+            except SchemeError:
+                return None
+        if any(b <= a for a, b in zip(leaves, leaves[1:])):
+            return None
+        if leaves[-1] >= fin.count:
+            return None
+        return fin, leaves
+
+    def sample_count(self, ctx: VerificationContext) -> int:
+        return max(0, len(ctx.samples or []) - 1)
+
+
 class SufficiencyStage(VerificationStage):
     """Equation (1): every pair's travel ellipse clears every zone."""
 
@@ -375,17 +483,18 @@ class SufficiencyStage(VerificationStage):
 #: Pipeline order doubles as the severity order for collected findings.
 DEFAULT_STAGES: tuple[type[VerificationStage], ...] = (
     SignatureStage, DecodeStage, OrderingStage, FeasibilityStage,
-    SufficiencyStage)
+    DisclosureStage, SufficiencyStage)
 
 _INDEX_FIELD_BY_STAGE = {
     SignatureStage.name: "bad_signature_indices",
     FeasibilityStage.name: "infeasible_pair_indices",
+    DisclosureStage.name: "insufficient_pair_indices",
     SufficiencyStage.name: "insufficient_pair_indices",
 }
 
 
 def build_default_stages() -> list[VerificationStage]:
-    """Fresh instances of the paper's five stages, in pipeline order."""
+    """Fresh instances of the default stages, in pipeline order."""
     return [cls() for cls in DEFAULT_STAGES]
 
 

@@ -55,8 +55,12 @@ class RsaPrivateKey:
     q: int
     # CRT parameters cached on the key itself so they are garbage-collected
     # with it; a module-global memo keyed on (d, p, q) would pin secret key
-    # material alive long after the key object is discarded.
-    _crt: tuple[int, int, int] | None = field(
+    # material alive long after the key object is discarded.  The cache is
+    # tagged with the modulus it was derived from: a copied instance whose
+    # factors were then rewritten (``copy`` + ``object.__setattr__`` is the
+    # only way to "mutate" a frozen key) must not decrypt with another
+    # key's exponents.
+    _crt: tuple[int, int, int, int] | None = field(
         default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -83,13 +87,16 @@ class RsaPrivateKey:
 
         Computed once per key: a long-lived Auditor key decrypts thousands
         of records per batch, and the modular inverse is the costly part.
+        The cached tuple is keyed on this instance *and* its modulus, so
+        a cache planted by a different key (or carried across a factor
+        rewrite) is recomputed instead of silently reused.
         """
-        if self._crt is None:
+        if self._crt is None or self._crt[0] != self.n:
             object.__setattr__(
                 self, "_crt",
-                (self.d % (self.p - 1), self.d % (self.q - 1),
+                (self.n, self.d % (self.p - 1), self.d % (self.q - 1),
                  pow(self.q, -1, self.p)))
-        return self._crt
+        return self._crt[1:]
 
     def raw_decrypt(self, c: int) -> int:
         """RSADP via the Chinese Remainder Theorem."""

@@ -11,7 +11,7 @@ flight's entries in one call.  Everything downstream (the PoA container,
 the verification pipeline, the batch audit engine, the conformance
 reference) dispatches on a scheme id string instead of hardwiring RSA.
 
-Three schemes ship:
+Four schemes ship:
 
 * ``rsa-v15`` — the paper's default: one RSASSA-PKCS1-v1_5 signature per
   sample, no finalizer.  Supports Bellare–Garay–Rabin batch screening.
@@ -24,6 +24,15 @@ Three schemes ship:
   RSA signature over ``(anchor, final link, count)``.  The verifier
   replays the chain, so truncation, splice, and reorder are rejected
   structurally with exactly two RSA operations per flight.
+* ``merkle-disclosure`` — the selective-disclosure commitment
+  (:mod:`repro.privacy`): one RSA signature per flight over the Merkle
+  root, epoch, and leaf count of the whole trace.  A submission either
+  carries the full trace (empty blobs, recomputed root) or a *subset*
+  of samples whose blobs are index-addressed membership proofs; either
+  way the signature pins every revealed sample to its position in the
+  committed flight.  Whether the revealed subset is *enough* is a
+  verification-pipeline question (the disclosure stage), not an
+  authenticity one.
 
 Verification never raises on malformed adversarial input: structural
 failures (bad finalizer, count mismatch, broken commitment) condemn every
@@ -49,6 +58,7 @@ from repro.errors import SchemeError
 SCHEME_RSA = "rsa-v15"
 SCHEME_BATCH = "rsa-batch"
 SCHEME_CHAIN = "hash-chain"
+SCHEME_MERKLE = "merkle-disclosure"
 
 #: Hash-chain geometry: SHA-256 links and a 256-bit chain key.
 CHAIN_LINK_LENGTH = 32
@@ -376,12 +386,175 @@ class ChainedHmacScheme(AuthScheme):
         return bad
 
 
+# --- merkle-disclosure: one root signature, reveal-what-you-must ------------
+
+#: Merkle finalizer geometry: a SHA-256 root.
+MERKLE_ROOT_LENGTH = 32
+
+_MERKLE_MAGIC = b"ADM1"
+_MERKLE_ROOT_TAG = b"ADMK-ROOT\x00"
+
+
+def merkle_root_payload(root: bytes, epoch: float, count: int) -> bytes:
+    """What the FinalizeFlight RSA signature signs: root ‖ epoch ‖ count."""
+    return (_MERKLE_ROOT_TAG + root + struct.pack(">d", epoch)
+            + struct.pack(">I", count))
+
+
+@dataclass(frozen=True, slots=True)
+class MerkleFinalizer:
+    """The decoded Merkle-disclosure finalizer blob.
+
+    ``epoch`` is the flight's first sample timestamp; signing it (and the
+    leaf count) alongside the root pins the committed trace to a concrete
+    flight, so prefix truncation and cross-flight splices cannot be
+    papered over by re-using a root signature.
+    """
+
+    count: int
+    epoch: float
+    root: bytes
+    root_signature: bytes
+
+    def to_bytes(self) -> bytes:
+        return b"".join([
+            _MERKLE_MAGIC,
+            struct.pack(">I", self.count),
+            struct.pack(">d", self.epoch),
+            self.root,
+            struct.pack(">H", len(self.root_signature)),
+            self.root_signature,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MerkleFinalizer":
+        """Decode a finalizer blob; raises :class:`SchemeError` when malformed."""
+        fixed = len(_MERKLE_MAGIC) + 4 + 8 + MERKLE_ROOT_LENGTH + 2
+        if len(data) < fixed or data[:4] != _MERKLE_MAGIC:
+            raise SchemeError("malformed merkle finalizer header")
+        (count,) = struct.unpack_from(">I", data, 4)
+        (epoch,) = struct.unpack_from(">d", data, 8)
+        offset = 16
+        root = data[offset:offset + MERKLE_ROOT_LENGTH]
+        offset += MERKLE_ROOT_LENGTH
+        (length,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        if offset + length != len(data):
+            raise SchemeError("malformed merkle finalizer signature")
+        return cls(count=count, epoch=epoch, root=root,
+                   root_signature=data[offset:])
+
+
+class MerkleSigner(SampleSigner):
+    """Accumulates the flight's payloads; one RSA operation at flight end."""
+
+    def __init__(self, key: RsaPrivateKey, hash_name: str):
+        self._key = key
+        self._hash_name = hash_name
+        self._payloads: list[bytes] = []
+
+    def sign_sample(self, payload: bytes) -> bytes:
+        self._payloads.append(payload)
+        return b""
+
+    def _epoch(self) -> float:
+        """First sample timestamp, signed into the root commitment."""
+        if not self._payloads:
+            return 0.0
+        from repro.core.samples import GpsSample
+        from repro.errors import EncodingError
+        try:
+            return GpsSample.from_signed_payload(self._payloads[0]).t
+        except EncodingError:
+            return 0.0
+
+    def finalize_flight(self) -> bytes:
+        from repro.privacy.merkle import MerkleTree
+
+        tree = MerkleTree(self._payloads)
+        epoch = self._epoch()
+        signature = sign_pkcs1_v15(
+            self._key, merkle_root_payload(tree.root, epoch, tree.count),
+            self._hash_name)
+        return MerkleFinalizer(count=tree.count, epoch=epoch, root=tree.root,
+                               root_signature=signature).to_bytes()
+
+
+class MerkleDisclosureScheme(AuthScheme):
+    """Merkle-committed trace with selective disclosure (one RSA op/flight).
+
+    Two submission shapes verify against the same finalizer:
+
+    * **full trace** — every blob empty and the entry count equals the
+      signed leaf count; the root is recomputed from the payloads.  This
+      is what the drone uploads when it has nothing to redact, and what
+      flight harnesses produce directly.
+    * **disclosed subset** — every blob is a membership proof; proven
+      leaf indices must be strictly increasing (submission order *is*
+      committed order) and in range of the signed count.
+
+    Authenticity here means "these payloads sit at these positions of
+    the signed flight"; gap sufficiency is the verification pipeline's
+    disclosure stage, kept out of the crypto layer deliberately.
+    """
+
+    id = SCHEME_MERKLE
+
+    def new_signer(self, key: RsaPrivateKey, hash_name: str = "sha1",
+                   rng: random.Random | None = None) -> SampleSigner:
+        del rng  # deterministic scheme
+        return MerkleSigner(key, hash_name)
+
+    def verify(self, key: RsaPublicKey,
+               entries: Sequence[tuple[bytes, bytes]],
+               finalizer: bytes = b"", hash_name: str = "sha1") -> list[int]:
+        from repro.privacy.merkle import (
+            MembershipProof, merkle_root, verify_membership)
+
+        all_bad = list(range(len(entries)))
+        try:
+            fin = MerkleFinalizer.from_bytes(finalizer)
+        except SchemeError:
+            return all_bad
+        if len(fin.root) != MERKLE_ROOT_LENGTH:
+            return all_bad
+        if not verify_pkcs1_v15(
+                key, merkle_root_payload(fin.root, fin.epoch, fin.count),
+                fin.root_signature, hash_name):
+            return all_bad
+        if all(not auth for _payload, auth in entries):
+            # Full-trace mode: the payloads must *be* the committed flight.
+            if len(entries) != fin.count:
+                return all_bad
+            if merkle_root([payload for payload, _auth in entries]) != fin.root:
+                return all_bad
+            return []
+        proofs = []
+        for _payload, auth in entries:
+            try:
+                proofs.append(MembershipProof.from_bytes(auth))
+            except SchemeError:
+                return all_bad
+        indices = [proof.leaf_index for proof in proofs]
+        if any(b <= a for a, b in zip(indices, indices[1:])):
+            # Reordered or duplicated disclosure: positions are committed,
+            # so the subset must arrive in committed order.
+            return all_bad
+        if any(index >= fin.count for index in indices):
+            return all_bad
+        return [i for i, ((payload, _auth), proof) in
+                enumerate(zip(entries, proofs))
+                if not verify_membership(fin.root, fin.count,
+                                         proof.leaf_index, payload,
+                                         proof.siblings)]
+
+
 # --- registry ---------------------------------------------------------------
 
 _SCHEMES: dict[str, AuthScheme] = {
     scheme.id: scheme
     for scheme in (RsaPerSampleScheme(), BatchDigestScheme(),
-                   ChainedHmacScheme())
+                   ChainedHmacScheme(), MerkleDisclosureScheme())
 }
 
 

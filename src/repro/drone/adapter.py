@@ -17,7 +17,12 @@ import random
 from repro.core.poa import EncryptedPoaRecord, ProofOfAlibi, SignedSample, encrypt_poa
 from repro.core.samples import GpsSample
 from repro.crypto.rsa import RsaPublicKey
-from repro.crypto.schemes import SCHEME_BATCH, SCHEME_CHAIN, SCHEME_RSA
+from repro.crypto.schemes import (
+    SCHEME_BATCH,
+    SCHEME_CHAIN,
+    SCHEME_MERKLE,
+    SCHEME_RSA,
+)
 from repro.errors import ConfigurationError, TeeError
 from repro.faults.retry import RetryPolicy, RetryStats, execute_with_retry
 from repro.gps.receiver import SimulatedGpsReceiver
@@ -38,9 +43,10 @@ class Adapter:
     ``scheme`` selects the sample-authentication backend and therefore
     which TA the session targets: per-sample RSA (default) talks to the
     GPS Sampler TA, ``hash-chain`` to the chained sampler (one commitment
-    at :meth:`start`, one closure at :meth:`finalize_flight`), and
+    at :meth:`start`, one closure at :meth:`finalize_flight`),
     ``rsa-batch`` to the batch sampler (empty per-sample blobs, one batch
-    signature at finalize).
+    signature at finalize), and ``merkle-disclosure`` to the Merkle
+    sampler (empty blobs, one root commitment at finalize).
     """
 
     def __init__(self, device: TrustZoneDevice, receiver: SimulatedGpsReceiver,
@@ -50,7 +56,8 @@ class Adapter:
                  retry_stats: RetryStats | None = None,
                  scheme: str = SCHEME_RSA,
                  chain_seed: int | None = None):
-        if scheme not in (SCHEME_RSA, SCHEME_BATCH, SCHEME_CHAIN):
+        if scheme not in (SCHEME_RSA, SCHEME_BATCH, SCHEME_CHAIN,
+                          SCHEME_MERKLE):
             raise ConfigurationError(
                 f"unknown authentication scheme {scheme!r}")
         self.device = device
@@ -75,6 +82,10 @@ class Adapter:
     def _sampler_uuid(self):
         if self.scheme == SCHEME_CHAIN:
             return CHAINED_SAMPLER_UUID
+        if self.scheme == SCHEME_MERKLE:
+            from repro.tee.merkle_sampler_ta import MERKLE_SAMPLER_UUID
+
+            return MERKLE_SAMPLER_UUID
         if self.scheme == SCHEME_BATCH:
             from repro.extensions.batch_signing import BATCH_SAMPLER_UUID
 
@@ -98,8 +109,9 @@ class Adapter:
         self._session_id = self.device.client.open_session(
             self._sampler_uuid(), params)
         self._samples_taken = 0
-        if self.scheme == SCHEME_CHAIN:
-            # Flight start: the TA commits to the hash-chain anchor.
+        if self.scheme in (SCHEME_CHAIN, SCHEME_MERKLE):
+            # Flight start: the chained TA commits to the hash-chain
+            # anchor; the Merkle TA opens its accumulation window.
             self.device.client.invoke(self._session_id, CMD_START_FLIGHT)
 
     def finalize_flight(self) -> bytes:
@@ -111,7 +123,7 @@ class Adapter:
         """
         if self._session_id is None:
             raise TeeError("Adapter not started: no TA session open")
-        if self.scheme == SCHEME_CHAIN:
+        if self.scheme in (SCHEME_CHAIN, SCHEME_MERKLE):
             output = self.device.client.invoke(self._session_id,
                                                CMD_FINALIZE_FLIGHT)
             return bytes(output["finalizer"])

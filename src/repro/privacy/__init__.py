@@ -1,0 +1,43 @@
+"""Privacy-preserving selective-disclosure alibi (docs/PROTOCOL.md §8).
+
+AliDrone's baseline protocol reveals the entire signed GPS trace to the
+Auditor, leaking the full flight path even though only boundary-near
+behaviour matters for the alibi conditions.  This package keeps the
+trust chain while bounding what leaves the operator:
+
+* :mod:`repro.privacy.merkle` — deterministic Merkle commitments over
+  framed sample payloads, with index-addressed membership proofs.
+* :mod:`repro.privacy.disclosure` — the operator-side policy choosing
+  which committed samples a verifier actually needs, packaged as a
+  :class:`~repro.privacy.disclosure.DisclosedAlibi`.
+* :mod:`repro.privacy.differential` — the decision-equivalence sweep
+  showing disclosure never changes an honest verdict and never converts
+  a full-trace REJECT into an ACCEPT.
+
+Only the Merkle core is re-exported here: the disclosure and
+differential modules depend on the PoA container and the scheme
+registry, which themselves import this package's Merkle primitives, so
+they must be imported as submodules to keep the import graph acyclic.
+"""
+
+from repro.privacy.merkle import (
+    EMPTY_ROOT,
+    HASH_LENGTH,
+    MembershipProof,
+    MerkleTree,
+    leaf_hash,
+    merkle_root,
+    node_hash,
+    verify_membership,
+)
+
+__all__ = [
+    "EMPTY_ROOT",
+    "HASH_LENGTH",
+    "MembershipProof",
+    "MerkleTree",
+    "leaf_hash",
+    "merkle_root",
+    "node_hash",
+    "verify_membership",
+]

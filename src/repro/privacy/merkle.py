@@ -1,0 +1,175 @@
+"""Deterministic Merkle commitments over framed GPS sample payloads.
+
+The selective-disclosure alibi (docs/PROTOCOL.md §8) replaces "reveal the
+whole signed trace" with "reveal a committed subset": at FinalizeFlight
+the TEE signs one Merkle root over every sample payload of the flight,
+and the operator later discloses only the samples a verifier needs, each
+carried with a membership proof against that root.
+
+Three properties the verifier leans on are decided *here*, by
+construction:
+
+* **Framing + domain separation** — a leaf hashes ``0x00 || len ||
+  payload`` and an interior node hashes ``0x01 || left || right``, so a
+  64-byte payload can never be confused with a node preimage and payload
+  concatenation cannot collide across boundaries (same framing discipline
+  as :func:`repro.crypto.digest.framed_sha256`).
+* **No duplicate-leaf ambiguity** — an odd node at any level is
+  *promoted* unchanged rather than paired with a copy of itself, so the
+  CVE-2012-2459 construction (appending a duplicate of the last leaf
+  yields the same root) is structurally impossible: trees over ``n`` and
+  ``n+1`` leaves never share a root shape, and the signed leaf count
+  pins ``n`` anyway.
+* **Index-addressed proofs** — a membership proof carries the leaf index
+  and the sibling chain only; which side each sibling hashes on is fully
+  determined by the index and the level widths derived from the signed
+  leaf count.  Proving membership therefore *also* proves position, which
+  is what gives the disclosure layer its ordering and adjacency
+  guarantees (two revealed samples are adjacent in the committed trace
+  iff their proven indices differ by one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SchemeError
+
+#: SHA-256 everywhere: leaves, nodes, and the committed root.
+HASH_LENGTH = 32
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+#: Root of the zero-leaf tree.  An empty flight still produces a
+#: well-formed finalizer (count 0, this root); the verification pipeline
+#: rejects empty PoAs downstream as ``EMPTY_POA``.
+EMPTY_ROOT = hashlib.sha256(b"ADMK-EMPTY").digest()
+
+#: Wire prefix of a membership proof: leaf index (u32) + sibling count (u16).
+_PROOF_HEADER = struct.Struct(">IH")
+
+
+def leaf_hash(payload: bytes) -> bytes:
+    """``SHA-256(0x00 || len(payload) || payload)`` — framed leaf digest."""
+    return hashlib.sha256(
+        _LEAF_PREFIX + len(payload).to_bytes(4, "big") + payload).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """``SHA-256(0x01 || left || right)`` — interior node digest."""
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipProof:
+    """One revealed sample's path to the committed root.
+
+    ``siblings`` runs leaf-to-root; each sibling's side is derived from
+    ``leaf_index`` and the level widths of a tree with the signed leaf
+    count, so the encoding carries no direction bits to tamper with.
+    """
+
+    leaf_index: int
+    siblings: tuple[bytes, ...]
+
+    def to_bytes(self) -> bytes:
+        return b"".join([
+            _PROOF_HEADER.pack(self.leaf_index, len(self.siblings)),
+            *self.siblings,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MembershipProof":
+        """Decode a proof blob; raises :class:`SchemeError` when malformed."""
+        if len(data) < _PROOF_HEADER.size:
+            raise SchemeError("truncated Merkle membership proof")
+        leaf_index, n_siblings = _PROOF_HEADER.unpack_from(data, 0)
+        if len(data) != _PROOF_HEADER.size + n_siblings * HASH_LENGTH:
+            raise SchemeError("malformed Merkle membership proof")
+        siblings = tuple(
+            data[_PROOF_HEADER.size + i * HASH_LENGTH:
+                 _PROOF_HEADER.size + (i + 1) * HASH_LENGTH]
+            for i in range(n_siblings))
+        return cls(leaf_index=leaf_index, siblings=siblings)
+
+
+class MerkleTree:
+    """The full tree, built once per flight from every sample payload."""
+
+    def __init__(self, payloads: Sequence[bytes]):
+        level = [leaf_hash(payload) for payload in payloads]
+        self._levels = [level]
+        while len(level) > 1:
+            parents = [node_hash(level[i], level[i + 1])
+                       for i in range(0, len(level) - 1, 2)]
+            if len(level) % 2 == 1:
+                # Promote the odd node unchanged; never duplicate it.
+                parents.append(level[-1])
+            self._levels.append(parents)
+            level = parents
+
+    @property
+    def count(self) -> int:
+        """Leaf count (the quantity the TEE signs alongside the root)."""
+        return len(self._levels[0])
+
+    @property
+    def root(self) -> bytes:
+        if not self._levels[0]:
+            return EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def membership_proof(self, index: int) -> MembershipProof:
+        """The sibling path proving leaf ``index`` is under :attr:`root`."""
+        if not 0 <= index < self.count:
+            raise ConfigurationError(
+                f"leaf index {index} outside tree of {self.count} leaves")
+        siblings = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 1:
+                siblings.append(level[position - 1])
+            elif position + 1 < len(level):
+                siblings.append(level[position + 1])
+            # A promoted odd node contributes no sibling at this level.
+            position //= 2
+        return MembershipProof(leaf_index=index, siblings=tuple(siblings))
+
+
+def merkle_root(payloads: Sequence[bytes]) -> bytes:
+    """The committed root over a whole flight's payloads."""
+    return MerkleTree(payloads).root
+
+
+def verify_membership(root: bytes, count: int, index: int, payload: bytes,
+                      siblings: Sequence[bytes]) -> bool:
+    """Whether ``payload`` is leaf ``index`` of the ``count``-leaf tree.
+
+    Replays the path using the level widths a ``count``-leaf tree must
+    have, so the proof cannot claim a different side, skip a level, or
+    smuggle extra siblings: exactly the right number must be consumed and
+    the result must equal ``root``.
+    """
+    if count <= 0 or not 0 <= index < count:
+        return False
+    node = leaf_hash(payload)
+    position, width, used = index, count, 0
+    while width > 1:
+        if position % 2 == 1:
+            if used >= len(siblings):
+                return False
+            node = node_hash(siblings[used], node)
+            used += 1
+        elif position + 1 < width:
+            if used >= len(siblings):
+                return False
+            node = node_hash(node, siblings[used])
+            used += 1
+        # else: this level promoted the node; no sibling to absorb.
+        position //= 2
+        width = (width + 1) // 2
+    return used == len(siblings) and node == root

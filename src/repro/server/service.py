@@ -145,6 +145,10 @@ class ServiceStats:
     replayed: int = 0
     intake_errors: int = 0
     per_shard_audited: list[int] = field(default_factory=list)
+    #: Accepted submissions per authentication scheme (live counters;
+    #: the store's indexed ``submission_counts_by_scheme`` is the durable
+    #: equivalent and also covers rows from before this process started).
+    submissions_by_scheme: dict[str, int] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -164,6 +168,8 @@ class ServiceStats:
             "replayed": self.replayed,
             "intake_errors": self.intake_errors,
             "per_shard_audited": list(self.per_shard_audited),
+            "submissions_by_scheme": dict(
+                sorted(self.submissions_by_scheme.items())),
         }
 
 
@@ -353,6 +359,8 @@ class AuditorService:
         self._queue.append(_QueuedItem(seq=seq, submission=submission,
                                        shard=shard))
         self.stats.accepted += 1
+        self.stats.submissions_by_scheme[submission.scheme] = \
+            self.stats.submissions_by_scheme.get(submission.scheme, 0) + 1
         self._mark(OUTCOME_ACCEPTED, now)
         return IntakeDecision(outcome=OUTCOME_ACCEPTED, seq=seq, shard=shard)
 

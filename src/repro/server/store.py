@@ -90,6 +90,8 @@ CREATE INDEX IF NOT EXISTS idx_submissions_drone
     ON submissions (drone_id);
 CREATE INDEX IF NOT EXISTS idx_submissions_region_epoch
     ON submissions (region, epoch);
+CREATE INDEX IF NOT EXISTS idx_submissions_scheme
+    ON submissions (scheme);
 
 CREATE TABLE IF NOT EXISTS verdicts (
     seq                  INTEGER PRIMARY KEY
@@ -406,6 +408,17 @@ class FlightStore:
         """Total stored submissions (audited or not)."""
         return self._conn.execute(
             "SELECT COUNT(*) FROM submissions").fetchone()[0]
+
+    def submission_counts_by_scheme(self) -> dict[str, int]:
+        """Stored submissions per authentication scheme (indexed scan).
+
+        The per-scheme mix is an operational signal: a fleet migrating
+        from per-sample RSA to an amortized scheme shows up here first.
+        """
+        rows = self._conn.execute(
+            "SELECT scheme, COUNT(*) FROM submissions"
+            " GROUP BY scheme ORDER BY scheme").fetchall()
+        return {row[0]: row[1] for row in rows}
 
     # --- verdicts -----------------------------------------------------------
 

@@ -1,0 +1,98 @@
+"""A Merkle-commitment GPS Sampler TA: selective-disclosure flights.
+
+The selective-disclosure scheme (``merkle-disclosure``,
+:mod:`repro.privacy`) moves all per-sample asymmetric cost to flight
+end: samples are merely accumulated inside the secure world, and
+``FinalizeFlight`` signs one RSA commitment over the Merkle
+``root ‖ epoch ‖ count`` of the whole trace.  The normal world never
+holds anything the operator could not already redact — membership
+proofs are derivable from the payloads alone, while *forging* a
+disclosed sample still requires a second preimage or a fresh root
+signature under ``T-``.
+
+Command surface mirrors the chained sampler: ``StartFlight`` opens an
+accumulation window, ``GetGPSAuth`` returns a payload with an empty
+auth blob (the commitment is flight-level), ``FinalizeFlight`` returns
+the signed finalizer blob.
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from typing import Any
+
+from repro.core.samples import GpsSample
+from repro.crypto.schemes import SCHEME_MERKLE, MerkleSigner
+from repro.errors import TrustedAppError
+from repro.obs.trace import get_tracer
+from repro.tee.chained_sampler_ta import CMD_FINALIZE_FLIGHT, CMD_START_FLIGHT
+from repro.tee.gps_sampler_ta import GpsSamplerTA
+
+MERKLE_SAMPLER_UUID = uuid_module.UUID("7d0a6b42-9c1e-4f83-a5d6-2b94c8e01f27")
+
+
+class MerkleGpsSamplerTA(GpsSamplerTA):
+    """``GetGPSAuth`` with flight-level Merkle commitment instead of RSA."""
+
+    UUID = MERKLE_SAMPLER_UUID
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._signer: MerkleSigner | None = None
+
+    def open_session(self, params: dict[str, Any]) -> None:
+        super().open_session(params)
+        self._signer = None
+
+    def close_session(self) -> None:
+        self._signer = None
+        super().close_session()
+
+    def invoke_command(self, command: str, params: dict[str, Any]) -> Any:
+        if self._sign_key is None:
+            raise TrustedAppError("GPS Sampler session not opened")
+        if command == CMD_START_FLIGHT:
+            return self._start_flight()
+        if command == CMD_FINALIZE_FLIGHT:
+            return self._finalize_flight()
+        return super().invoke_command(command, params)
+
+    def _start_flight(self) -> dict[str, Any]:
+        # No asymmetric work at flight start: the commitment is deferred
+        # entirely to FinalizeFlight.
+        self._signer = MerkleSigner(self._sign_key.reveal(), self._hash_name)
+        self.core.op_counters["merkle_flights"] += 1
+        return {"scheme": SCHEME_MERKLE}
+
+    def _get_gps_auth(self) -> dict[str, Any]:
+        if self._signer is None:
+            raise TrustedAppError(
+                "merkle sampler: no flight started (StartFlight first)")
+        tracer = get_tracer()
+        with tracer.span("gps.receiver.get_fix"):
+            fix = self._driver().get_gps()
+        self._consult_spoof_detector(fix)
+        sample = GpsSample(lat=fix.lat, lon=fix.lon, t=fix.time,
+                           alt=fix.altitude_m)
+        payload = sample.to_signed_payload()
+        with tracer.span("tee.merkle_sampler_ta.leaf", t=sample.t):
+            blob = self._signer.sign_sample(payload)
+        self.samples_signed += 1
+        self.core.op_counters["merkle_leaves"] += 1
+        self.core.op_counters["gps_auth_samples"] += 1
+        return {"payload": payload, "signature": blob,
+                "scheme": SCHEME_MERKLE}
+
+    def _finalize_flight(self) -> dict[str, bytes]:
+        if self._signer is None:
+            raise TrustedAppError(
+                "merkle sampler: no flight started (StartFlight first)")
+        key = self._sign_key.reveal()
+        tracer = get_tracer()
+        with tracer.span("tee.merkle_sampler_ta.commit", key_bits=key.bits,
+                         hash=self._hash_name):
+            finalizer = self._signer.finalize_flight()
+        self._signer = None  # one commitment per flight
+        self.core.op_counters[f"rsa_sign_{key.bits}"] += 1
+        self.core.op_counters["merkle_finalizations"] += 1
+        return {"finalizer": finalizer, "scheme": SCHEME_MERKLE}

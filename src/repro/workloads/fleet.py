@@ -30,8 +30,8 @@ from typing import Callable, Sequence
 from repro.core.poa import ProofOfAlibi, SignedSample, encrypt_poa
 from repro.core.protocol import PoaSubmission
 from repro.core.samples import GpsSample
-from repro.crypto.pkcs1 import sign_pkcs1_v15
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
+from repro.crypto.schemes import SCHEME_RSA, authenticate_payloads
 from repro.geo.geodesy import LocalFrame
 from repro.sim.clock import DEFAULT_EPOCH
 
@@ -88,30 +88,37 @@ def build_flight_submission(drone: FleetDrone,
                             frame: LocalFrame, flight_index: int,
                             samples: int, start: float,
                             rng: random.Random,
-                            hash_name: str = "sha1") -> PoaSubmission:
+                            hash_name: str = "sha1",
+                            scheme: str = SCHEME_RSA) -> PoaSubmission:
     """One honest signed + encrypted submission for a fleet drone.
 
     The trace is a 1 Hz straight traverse starting ``TRACE_OFFSET_M``
     east of the frame origin, jittered per flight; with the default zone
-    layouts (a disk at the origin) it verifies ACCEPTED.
+    layouts (a disk at the origin) it verifies ACCEPTED.  ``scheme``
+    selects the sample-authentication backend, so the same fleet can
+    exercise per-sample RSA, batch, chained, or Merkle intake.
     """
-    entries = []
+    payloads = []
     y0 = rng.uniform(-40.0, 40.0)
     for k in range(samples):
         point = frame.to_geo(TRACE_OFFSET_M + 15.0 * k
                              + rng.uniform(0.0, 4.0), y0)
         sample = GpsSample(lat=point.lat, lon=point.lon, t=start + k)
-        payload = sample.to_signed_payload()
-        entries.append(SignedSample(
-            payload=payload,
-            signature=sign_pkcs1_v15(drone.tee_key, payload, hash_name)))
-    records = encrypt_poa(ProofOfAlibi(entries), encryption_public_key,
-                          rng=rng)
+        payloads.append(sample.to_signed_payload())
+    blobs, finalizer = authenticate_payloads(drone.tee_key, payloads,
+                                             scheme, hash_name=hash_name,
+                                             rng=rng)
+    poa = ProofOfAlibi(
+        (SignedSample(payload=payload, signature=blob, scheme=scheme)
+         for payload, blob in zip(payloads, blobs)),
+        scheme=scheme, finalizer=finalizer)
+    records = encrypt_poa(poa, encryption_public_key, rng=rng)
     return PoaSubmission(
         drone_id=drone.drone_id,
         flight_id=f"flight-{drone.drone_id}-{flight_index}",
         records=records, claimed_start=start,
-        claimed_end=start + max(samples - 1, 0))
+        claimed_end=start + max(samples - 1, 0),
+        scheme=scheme, finalizer=finalizer)
 
 
 def poisson_arrivals(fleet: Sequence[FleetDrone],
@@ -119,7 +126,8 @@ def poisson_arrivals(fleet: Sequence[FleetDrone],
                      frame: LocalFrame, seed: int = 0,
                      rate_hz: float = 2.0, duration_s: float = 60.0,
                      samples: int = 6, t0: float = DEFAULT_EPOCH,
-                     hash_name: str = "sha1") -> list[FleetArrival]:
+                     hash_name: str = "sha1",
+                     scheme: str = SCHEME_RSA) -> list[FleetArrival]:
     """A Poisson stream of fleet submissions over ``[t0, t0 + duration_s)``.
 
     Inter-arrival gaps are exponential with mean ``1 / rate_hz``; the
@@ -144,7 +152,7 @@ def poisson_arrivals(fleet: Sequence[FleetDrone],
         submission = build_flight_submission(
             drone, encryption_public_key, frame=frame, flight_index=index,
             samples=samples, start=t - samples, rng=rng,
-            hash_name=hash_name)
+            hash_name=hash_name, scheme=scheme)
         arrivals.append(FleetArrival(at=t, submission=submission,
                                      region=drone.region))
     return arrivals

@@ -1,6 +1,6 @@
 """The adversary matrix: every attack class rejected, zero false accepts.
 
-A full 15-attack x 3-scenario sweep runs in CI (conformance-smoke); the
+A full 19-attack x 3-scenario sweep runs in CI (conformance-smoke); the
 tier-1 suite keeps one scenario so the matrix semantics — expected
 outcomes, control flights, stats bookkeeping, JSON shape — are pinned on
 every push without the CI-scale runtime.
@@ -27,7 +27,9 @@ EXPECTED_ATTACKS = {
     "window_lie", "relay_foreign_drone", "tamper_position",
     "bitflip_signature", "timestamp_reorder", "clock_skew_forgery",
     "teleport_spoof", "chain_truncation", "chain_splice",
-    "chain_mac_forgery", "nonce_replay", "key_extraction",
+    "chain_mac_forgery", "merkle_omitted_leaves", "merkle_over_redaction",
+    "merkle_cross_flight_splice", "merkle_forged_sibling", "nonce_replay",
+    "key_extraction",
 }
 
 

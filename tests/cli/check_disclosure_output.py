@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Independent validation of ``alidrone disclosure --json`` reports.
+
+The CI disclosure-smoke job runs the selective-disclosure differential
+sweep and points this script at the JSON it wrote.  Like the other
+``check_*`` validators, everything here is stdlib-only — no imports
+from ``repro`` — so a bug in the sweep cannot also hide in its
+validator.  What must hold for any clean sweep:
+
+* **Schema** — every report field present with the right shape.
+* **Decision identity** — every honest trial's disclosed verdict
+  matched its full-trace verdict, and every non-compliant flight's
+  rejection survived disclosure.
+* **Zero false accepts** — no adversarial disclosure policy produced a
+  single false accept, and the structural tampers (cross-flight
+  splice, forged siblings) produced no accepts at all.
+* **Coverage** — at least ``--min-trajectories`` trials ran, every
+  adversarial policy was exercised, and the trial partition sums.
+* **Bandwidth** — the honest disclosures actually redacted something
+  and the wire accounting is internally consistent.
+
+Exit 0 when every provided file passes, 1 otherwise (problems on
+stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+TOP_FIELDS = {"trajectories", "scheme", "honest_trials",
+              "honest_decision_matches", "honest_accepts", "bad_trials",
+              "bad_rejects_preserved", "adversarial_trials",
+              "adversarial_false_accepts", "adversarial_outcomes",
+              "full_wire_bytes", "disclosed_wire_bytes",
+              "bandwidth_reduction", "revealed_samples", "total_samples",
+              "disagreements", "ok"}
+POLICY_FIELDS = {"trials", "accepts", "false_accepts"}
+STRUCTURAL_POLICIES = {"cross_flight_splice", "forged_sibling"}
+EXPECTED_POLICIES = {"hide_near_zone", "endpoints_only",
+                     "cross_flight_splice", "forged_sibling"}
+
+
+def _is_count(value) -> bool:
+    return (isinstance(value, int) and not isinstance(value, bool)
+            and value >= 0)
+
+
+def check_disclosure(path: str, min_trajectories: int = 1,
+                     min_reduction: float = 0.0) -> list[str]:
+    """Problems with one disclosure report (empty list = clean)."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path}: expected a JSON object"]
+    missing = TOP_FIELDS - set(doc)
+    if missing:
+        return [f"{path}: missing fields {sorted(missing)}"]
+    problems: list[str] = []
+
+    for field in ("trajectories", "honest_trials", "honest_decision_matches",
+                  "honest_accepts", "bad_trials", "bad_rejects_preserved",
+                  "adversarial_trials", "adversarial_false_accepts",
+                  "full_wire_bytes", "disclosed_wire_bytes",
+                  "revealed_samples", "total_samples"):
+        if not _is_count(doc[field]):
+            problems.append(f"{path}: {field} is not a count")
+    if problems:
+        return problems
+
+    # Coverage: the sweep actually ran at the required scale and every
+    # trial was either honest or deliberately non-compliant.
+    if doc["trajectories"] < min_trajectories:
+        problems.append(f"{path}: only {doc['trajectories']} trajectories, "
+                        f"required {min_trajectories}")
+    if doc["honest_trials"] + doc["bad_trials"] != doc["trajectories"]:
+        problems.append(f"{path}: honest+bad="
+                        f"{doc['honest_trials'] + doc['bad_trials']} does "
+                        f"not partition trajectories={doc['trajectories']}")
+    if doc["honest_trials"] == 0 or doc["bad_trials"] == 0:
+        problems.append(f"{path}: sweep must mix honest and non-compliant "
+                        "flights")
+
+    # Decision identity.
+    if doc["honest_decision_matches"] != doc["honest_trials"]:
+        problems.append(
+            f"{path}: {doc['honest_trials'] - doc['honest_decision_matches']}"
+            " honest trial(s) changed verdict under disclosure")
+    if doc["bad_rejects_preserved"] != doc["bad_trials"]:
+        problems.append(
+            f"{path}: {doc['bad_trials'] - doc['bad_rejects_preserved']} "
+            "non-compliant flight(s) laundered to ACCEPT")
+    if not isinstance(doc["disagreements"], list):
+        problems.append(f"{path}: disagreements is not a list")
+    elif doc["disagreements"]:
+        problems.append(f"{path}: {len(doc['disagreements'])} recorded "
+                        "disagreement(s)")
+
+    # Adversarial policies: all exercised, zero false accepts anywhere,
+    # structural tampers rejected unconditionally.
+    outcomes = doc["adversarial_outcomes"]
+    if not isinstance(outcomes, dict):
+        problems.append(f"{path}: adversarial_outcomes is not an object")
+        outcomes = {}
+    missing_policies = EXPECTED_POLICIES - set(outcomes)
+    if missing_policies:
+        problems.append(f"{path}: adversarial policies never ran: "
+                        f"{sorted(missing_policies)}")
+    total_trials = 0
+    for policy, outcome in sorted(outcomes.items()):
+        if not isinstance(outcome, dict) or POLICY_FIELDS - set(outcome):
+            problems.append(f"{path}: outcome for {policy} malformed")
+            continue
+        if not all(_is_count(outcome[field]) for field in POLICY_FIELDS):
+            problems.append(f"{path}: outcome for {policy} has non-counts")
+            continue
+        total_trials += outcome["trials"]
+        if outcome["trials"] == 0:
+            problems.append(f"{path}: policy {policy} never exercised")
+        if outcome["false_accepts"] != 0:
+            problems.append(f"{path}: policy {policy} produced "
+                            f"{outcome['false_accepts']} false accept(s)")
+        if policy in STRUCTURAL_POLICIES and outcome["accepts"] != 0:
+            problems.append(f"{path}: structural tamper {policy} was "
+                            f"accepted {outcome['accepts']} time(s)")
+    if total_trials != doc["adversarial_trials"]:
+        problems.append(f"{path}: per-policy trials sum to {total_trials}, "
+                        f"adversarial_trials={doc['adversarial_trials']}")
+    if doc["adversarial_false_accepts"] != 0:
+        problems.append(f"{path}: {doc['adversarial_false_accepts']} "
+                        "adversarial false accept(s)")
+
+    # Bandwidth accounting.
+    reduction = doc["bandwidth_reduction"]
+    if not (isinstance(reduction, (int, float))
+            and not isinstance(reduction, bool)
+            and math.isfinite(reduction) and reduction > 0.0):
+        problems.append(f"{path}: bandwidth_reduction is not a positive "
+                        "finite number")
+    elif reduction < min_reduction:
+        problems.append(f"{path}: bandwidth reduction {reduction}x below "
+                        f"required {min_reduction}x")
+    if doc["revealed_samples"] > doc["total_samples"]:
+        problems.append(f"{path}: revealed_samples exceeds total_samples")
+    if doc["honest_trials"] and doc["disclosed_wire_bytes"] == 0:
+        problems.append(f"{path}: honest trials ran but no disclosed "
+                        "bytes were accounted")
+
+    if doc["ok"] is not True:
+        problems.append(f"{path}: sweep reported ok={doc['ok']!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", action="append", default=[],
+                        help="disclosure report JSON to check (repeatable)")
+    parser.add_argument("--min-trajectories", type=int, default=1,
+                        help="require at least this many trajectories "
+                             "(default 1)")
+    parser.add_argument("--min-reduction", type=float, default=0.0,
+                        help="require at least this bandwidth reduction "
+                             "factor (default 0: any)")
+    args = parser.parse_args(argv)
+    if not args.report:
+        parser.error("nothing to check")
+
+    problems: list[str] = []
+    for path in args.report:
+        problems.extend(check_disclosure(
+            path, min_trajectories=args.min_trajectories,
+            min_reduction=args.min_reduction))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"disclosure check: {len(args.report)} file(s) ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,8 @@ TOP_FIELDS = {"ticks", "rate_hz", "shards", "drones",
               "ok"}
 STATS_FIELDS = {"submitted", "accepted", "deduplicated", "shed",
                 "shed_rate_limited", "shed_queue_full", "audited",
-                "replayed", "intake_errors", "per_shard_audited"}
+                "replayed", "intake_errors", "per_shard_audited",
+                "submissions_by_scheme"}
 STORE_FIELDS = {"path", "submissions", "verdicts", "pending"}
 CACHE_FIELDS = {"hits", "misses"}
 
@@ -76,11 +77,24 @@ def check_serve(path: str, min_audited: int = 1) -> list[str]:
     if not isinstance(stats, dict) or STATS_FIELDS - set(stats):
         return [f"{path}: stats missing fields "
                 f"{sorted(STATS_FIELDS - set(stats))}"]
-    for field in STATS_FIELDS - {"per_shard_audited"}:
+    for field in STATS_FIELDS - {"per_shard_audited",
+                                 "submissions_by_scheme"}:
         if not _is_count(stats[field]):
             problems.append(f"{path}: stats.{field} is not a count")
     if problems:
         return problems
+
+    # Scheme accounting: the live per-scheme counters partition exactly
+    # the submissions this process accepted.
+    by_scheme = stats["submissions_by_scheme"]
+    if not (isinstance(by_scheme, dict)
+            and all(isinstance(k, str) and _is_count(v)
+                    for k, v in by_scheme.items())):
+        problems.append(f"{path}: submissions_by_scheme malformed")
+    elif sum(by_scheme.values()) != stats["accepted"]:
+        problems.append(
+            f"{path}: submissions_by_scheme sums to "
+            f"{sum(by_scheme.values())}, accepted={stats['accepted']}")
 
     # Intake accounting: every submission got exactly one decision.
     if stats["submitted"] != (stats["accepted"] + stats["deduplicated"]

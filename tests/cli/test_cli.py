@@ -160,7 +160,7 @@ class TestAttackCommand:
                      "--out", str(target), "--metrics-json", str(metrics)])
         out = capsys.readouterr().out
         assert code == 0
-        assert "attack matrix: 45 cells" in out
+        assert "attack matrix: 57 cells" in out
         assert "false accepts       : 0" in out
         assert "verdict" in out and "OK" in out
 
@@ -190,3 +190,29 @@ class TestErrorHandling:
         assert code == 2
         assert "error" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestDisclosureCommand:
+    def test_sweep_writes_validated_report(self, tmp_path, capsys):
+        out = tmp_path / "disclosure.json"
+        code = main(["disclosure", "--trajectories", "9", "--zones", "4",
+                     "--out", str(out)])
+        assert code == 0
+        prose = capsys.readouterr().out
+        assert "verdict" in prose and "OK" in prose
+
+        import json
+
+        from tests.cli.check_disclosure_output import check_disclosure
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        assert check_disclosure(str(out), min_trajectories=9) == []
+
+    def test_json_mode_prints_report(self, capsys):
+        code = main(["disclosure", "--trajectories", "6", "--zones", "3",
+                     "--json"])
+        assert code == 0
+        import json
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trajectories"] == 6
+        assert doc["adversarial_false_accepts"] == 0

@@ -194,7 +194,8 @@ class TestStageMetricsWiring:
         verifier = PoaVerifier(frame, metrics=metrics)
         verifier.verify(good_poa, signing_key.public_key, [zone])
         assert metrics.stages() == ["signature", "decode", "ordering",
-                                    "feasibility", "sufficiency"]
+                                    "feasibility", "disclosure",
+                                    "sufficiency"]
         assert metrics.runs("signature") == 1
         assert metrics.total_samples("signature") == len(good_poa)
         # Pair stages process n - 1 sample pairs.

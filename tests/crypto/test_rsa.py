@@ -74,3 +74,39 @@ class TestRawOperations:
         assert isinstance(pub, RsaPublicKey)
         assert pub.n == signing_key.n
         assert pub.e == signing_key.e
+
+
+class TestCrtCache:
+    def test_cache_computed_once_per_key(self, signing_key):
+        first = signing_key._crt_params()
+        assert signing_key._crt is not None
+        assert signing_key._crt[0] == signing_key.n
+        assert signing_key._crt_params() == first
+
+    def test_stale_cache_from_rewritten_factors_recomputed(self):
+        """Regression: the CRT cache is tagged with its modulus.
+
+        A frozen key "mutated" via ``object.__setattr__`` (the only
+        way to rewrite its factors, e.g. by a copy-and-patch test
+        harness) used to keep decrypting with the *old* exponents; the
+        modulus tag forces a recompute.
+        """
+        a = generate_rsa_keypair(256, rng=random.Random(11))
+        b = generate_rsa_keypair(256, rng=random.Random(12))
+        a._crt_params()  # warm the cache with a's exponents
+        stale = a._crt
+        for name in ("n", "e", "d", "p", "q"):
+            object.__setattr__(a, name, getattr(b, name))
+        assert a._crt == stale  # the stale cache is still planted...
+        message = 0x1234
+        assert a.raw_decrypt(pow(message, a.e, a.n)) == message
+        assert a._crt[0] == b.n  # ...and was rebuilt for the new modulus
+
+    def test_planted_foreign_cache_not_trusted(self, signing_key):
+        other = generate_rsa_keypair(512, rng=random.Random(13))
+        other._crt_params()
+        object.__setattr__(signing_key, "_crt", other._crt)
+        message = 0x5678
+        cipher = pow(message, signing_key.e, signing_key.n)
+        assert signing_key.raw_decrypt(cipher) == message
+        assert signing_key._crt[0] == signing_key.n

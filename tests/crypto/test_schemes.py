@@ -17,8 +17,10 @@ from repro.crypto.schemes import (
     CHAIN_LINK_LENGTH,
     SCHEME_BATCH,
     SCHEME_CHAIN,
+    SCHEME_MERKLE,
     SCHEME_RSA,
     ChainFinalizer,
+    MerkleFinalizer,
     authenticate_payloads,
     chain_anchor,
     chain_link,
@@ -26,8 +28,9 @@ from repro.crypto.schemes import (
     scheme_ids,
 )
 from repro.errors import SchemeError
+from repro.privacy.merkle import MembershipProof, MerkleTree
 
-ALL_SCHEMES = (SCHEME_RSA, SCHEME_BATCH, SCHEME_CHAIN)
+ALL_SCHEMES = (SCHEME_RSA, SCHEME_BATCH, SCHEME_CHAIN, SCHEME_MERKLE)
 
 
 def _flight(signing_key, scheme_id, n=6, seed=7):
@@ -111,7 +114,7 @@ class TestBatchDigest:
 
     def test_flight_level_schemes_refuse_lone_samples(self, signing_key):
         payloads, blobs, _ = _flight(signing_key, SCHEME_BATCH)
-        for scheme_id in (SCHEME_BATCH, SCHEME_CHAIN):
+        for scheme_id in (SCHEME_BATCH, SCHEME_CHAIN, SCHEME_MERKLE):
             assert not get_scheme(scheme_id).verify_sample(
                 signing_key.public_key, payloads[0], blobs[0])
             assert get_scheme(scheme_id).screen(
@@ -214,3 +217,89 @@ class TestChainedHmac:
         rsa_bytes = get_scheme(SCHEME_RSA).wire_bytes(
             list(zip(r_payloads, r_blobs)), r_fin)
         assert chain_bytes < rsa_bytes
+
+
+class TestMerkleDisclosure:
+    def _disclosed(self, signing_key, indices, n=8):
+        payloads, _blobs, finalizer = _flight(signing_key, SCHEME_MERKLE,
+                                              n=n)
+        tree = MerkleTree(payloads)
+        entries = [(payloads[i], tree.membership_proof(i).to_bytes())
+                   for i in indices]
+        return payloads, entries, finalizer
+
+    def test_finalizer_round_trip(self, signing_key):
+        payloads, _, finalizer = _flight(signing_key, SCHEME_MERKLE)
+        fin = MerkleFinalizer.from_bytes(finalizer)
+        assert fin.to_bytes() == finalizer
+        assert fin.count == 6
+        assert fin.root == MerkleTree(payloads).root
+
+    def test_disclosed_subset_verifies(self, signing_key):
+        _, entries, finalizer = self._disclosed(signing_key, [0, 3, 7])
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer) == []
+
+    def test_reordered_subset_rejected(self, signing_key):
+        _, entries, finalizer = self._disclosed(signing_key, [3, 0, 7])
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer) \
+            == list(range(len(entries)))
+
+    def test_duplicated_leaf_rejected(self, signing_key):
+        _, entries, finalizer = self._disclosed(signing_key, [0, 3, 3, 7])
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer) \
+            == list(range(len(entries)))
+
+    def test_out_of_range_index_rejected(self, signing_key):
+        payloads, _, finalizer = self._disclosed(signing_key, [])
+        # A proof against a *bigger* tree claims an index the signed
+        # count does not admit.
+        big = MerkleTree(payloads + [b"extra-leaf"])
+        entries = [(b"extra-leaf", big.membership_proof(8).to_bytes())]
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer) == [0]
+
+    def test_forged_sibling_rejected(self, signing_key):
+        payloads, entries, finalizer = self._disclosed(signing_key, [0, 7])
+        proof = MembershipProof.from_bytes(entries[0][1])
+        forged = MembershipProof(
+            leaf_index=proof.leaf_index,
+            siblings=tuple(b"\x5a" * 32 for _ in proof.siblings))
+        entries[0] = (b"somewhere-else-entirely", forged.to_bytes())
+        bad = get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer)
+        assert 0 in bad and 1 not in bad
+
+    def test_malformed_proof_condemns_flight(self, signing_key):
+        _, entries, finalizer = self._disclosed(signing_key, [0, 3, 7])
+        entries[1] = (entries[1][0], b"\x00\x01")  # truncated header
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer) \
+            == list(range(len(entries)))
+
+    def test_malformed_finalizer_rejects_without_raising(self, signing_key):
+        _, entries, _ = self._disclosed(signing_key, [0, 3, 7])
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, b"garbage") \
+            == list(range(len(entries)))
+
+    def test_partial_full_trace_rejected(self, signing_key):
+        """Empty blobs but fewer entries than the signed count: not a
+        disclosure (no proofs), not the flight (wrong count)."""
+        payloads, _, finalizer = _flight(signing_key, SCHEME_MERKLE, n=8)
+        entries = [(payload, b"") for payload in payloads[:5]]
+        assert get_scheme(SCHEME_MERKLE).verify(
+            signing_key.public_key, entries, finalizer) \
+            == list(range(len(entries)))
+
+    def test_subset_wire_bytes_beat_per_sample_rsa(self, signing_key):
+        _, entries, finalizer = self._disclosed(signing_key, [0, 50, 99],
+                                                n=100)
+        merkle_bytes = get_scheme(SCHEME_MERKLE).wire_bytes(entries,
+                                                            finalizer)
+        r_payloads, r_blobs, r_fin = _flight(signing_key, SCHEME_RSA, n=100)
+        rsa_bytes = get_scheme(SCHEME_RSA).wire_bytes(
+            list(zip(r_payloads, r_blobs)), r_fin)
+        assert merkle_bytes < rsa_bytes

@@ -14,7 +14,7 @@ from repro.obs import Span, Tracer, format_tree, use_tracer
 from repro.workloads import build_random_scenario, run_policy
 
 STAGE_NAMES = ["signature", "decode", "ordering", "feasibility",
-               "sufficiency"]
+               "disclosure", "sufficiency"]
 
 
 def ancestors(span: Span, by_id: dict[str, Span]) -> list[str]:

@@ -1,0 +1,59 @@
+"""A scaled-down disclosure differential sweep (CI runs 200+ trials)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.privacy.differential import (
+    ADVERSARIAL_POLICIES,
+    run_disclosure_differential,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_disclosure_differential(trajectories=18, seed=2,
+                                       max_zones=6)
+
+
+class TestDifferentialSweep:
+    def test_sweep_is_clean(self, report):
+        assert report.ok
+        assert report.disagreements == []
+
+    def test_honest_decisions_identical(self, report):
+        assert report.honest_trials > 0
+        assert report.honest_decision_matches == report.honest_trials
+
+    def test_bad_flights_stay_rejected(self, report):
+        assert report.bad_trials > 0
+        assert report.bad_rejects_preserved == report.bad_trials
+
+    def test_every_adversarial_policy_exercised(self, report):
+        assert set(report.adversarial_outcomes) == set(ADVERSARIAL_POLICIES)
+        for policy, outcome in report.adversarial_outcomes.items():
+            assert outcome["trials"] > 0, policy
+            assert outcome["false_accepts"] == 0, policy
+        # Structural tampers must reject unconditionally.
+        for policy in ("cross_flight_splice", "forged_sibling"):
+            assert report.adversarial_outcomes[policy]["accepts"] == 0
+
+    def test_wire_accounting_populated(self, report):
+        assert report.full_wire_bytes > 0
+        assert 0 < report.disclosed_wire_bytes
+        assert 0 < report.revealed_samples <= report.total_samples
+        assert report.bandwidth_reduction > 0.0
+
+    def test_to_dict_round_trips_verdict(self, report):
+        doc = report.to_dict()
+        assert doc["ok"] is True
+        assert doc["trajectories"] == 18
+        assert doc["honest_trials"] + doc["bad_trials"] == 18
+        assert doc["adversarial_false_accepts"] == 0
+        assert doc["bandwidth_reduction"] == round(
+            report.bandwidth_reduction, 3)
+
+    def test_deterministic_for_a_seed(self):
+        a = run_disclosure_differential(trajectories=6, seed=5)
+        b = run_disclosure_differential(trajectories=6, seed=5)
+        assert a.to_dict() == b.to_dict()

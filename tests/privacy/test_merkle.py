@@ -1,0 +1,142 @@
+"""Merkle commitment edge cases the disclosure layer leans on.
+
+Deliberately exercises the shapes where Merkle implementations
+historically go wrong: single-leaf trees, power-of-two vs ragged
+counts (odd-node promotion), the CVE-2012-2459 duplicate-leaf
+construction, and empty inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SchemeError
+from repro.privacy.merkle import (
+    EMPTY_ROOT,
+    MembershipProof,
+    MerkleTree,
+    leaf_hash,
+    merkle_root,
+    node_hash,
+    verify_membership,
+)
+
+
+def _payloads(n: int) -> list[bytes]:
+    return [f"sample-{i:04d}".encode() for i in range(n)]
+
+
+class TestTreeShapes:
+    def test_empty_tree_has_sentinel_root(self):
+        tree = MerkleTree([])
+        assert tree.count == 0
+        assert tree.root == EMPTY_ROOT
+        assert merkle_root([]) == EMPTY_ROOT
+
+    def test_single_leaf_root_is_framed_leaf_hash(self):
+        payload = b"only-sample"
+        tree = MerkleTree([payload])
+        assert tree.count == 1
+        assert tree.root == leaf_hash(payload)
+        proof = tree.membership_proof(0)
+        assert proof.siblings == ()
+        assert verify_membership(tree.root, 1, 0, payload, ())
+
+    def test_two_leaves_root_is_node_of_leaves(self):
+        payloads = _payloads(2)
+        tree = MerkleTree(payloads)
+        assert tree.root == node_hash(leaf_hash(payloads[0]),
+                                      leaf_hash(payloads[1]))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 31, 33])
+    def test_every_leaf_proves_membership(self, n):
+        payloads = _payloads(n)
+        tree = MerkleTree(payloads)
+        assert tree.count == n
+        for i, payload in enumerate(payloads):
+            proof = tree.membership_proof(i)
+            assert verify_membership(tree.root, n, i, payload,
+                                     proof.siblings), (n, i)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13])
+    def test_proof_fails_against_wrong_position(self, n):
+        payloads = _payloads(n)
+        tree = MerkleTree(payloads)
+        proof = tree.membership_proof(0)
+        for wrong in range(1, n):
+            assert not verify_membership(tree.root, n, wrong, payloads[0],
+                                         proof.siblings)
+
+    def test_out_of_range_proof_request_raises(self):
+        tree = MerkleTree(_payloads(4))
+        with pytest.raises(ConfigurationError):
+            tree.membership_proof(4)
+        with pytest.raises(ConfigurationError):
+            tree.membership_proof(-1)
+
+
+class TestDuplicateLeafAmbiguity:
+    """CVE-2012-2459: append a copy of the last leaf, same root.
+
+    The promotion rule (odd node rises unchanged, never paired with
+    itself) makes the construction structurally impossible: ``n`` and
+    ``n + 1`` leaves can only share a root through a SHA-256 collision.
+    """
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 15])
+    def test_appending_duplicate_last_leaf_changes_root(self, n):
+        payloads = _payloads(n)
+        padded = payloads + [payloads[-1]]
+        assert MerkleTree(payloads).root != MerkleTree(padded).root
+
+    def test_duplicate_payload_proof_is_position_bound(self):
+        # The same payload committed twice yields two distinct leaves:
+        # a proof minted for one position fails at the other.
+        payloads = [b"alpha", b"same", b"same", b"omega"]
+        tree = MerkleTree(payloads)
+        proof = tree.membership_proof(1)
+        assert verify_membership(tree.root, 4, 1, b"same", proof.siblings)
+        assert not verify_membership(tree.root, 4, 2, b"same",
+                                     proof.siblings)
+
+
+class TestVerifyMembershipHardening:
+    def test_rejects_nonpositive_count_and_bad_index(self):
+        payload = b"sample"
+        assert not verify_membership(leaf_hash(payload), 0, 0, payload, ())
+        assert not verify_membership(leaf_hash(payload), 1, 1, payload, ())
+        assert not verify_membership(leaf_hash(payload), 1, -1, payload, ())
+
+    def test_rejects_extra_and_missing_siblings(self):
+        payloads = _payloads(4)
+        tree = MerkleTree(payloads)
+        proof = tree.membership_proof(2)
+        assert not verify_membership(tree.root, 4, 2, payloads[2],
+                                     proof.siblings + (b"\x00" * 32,))
+        assert not verify_membership(tree.root, 4, 2, payloads[2],
+                                     proof.siblings[:-1])
+
+    def test_leaf_cannot_impersonate_node(self):
+        # Domain separation: a leaf over a node-sized preimage does not
+        # collapse into an interior node of a smaller tree.
+        payloads = _payloads(2)
+        tree = MerkleTree(payloads)
+        fake_payload = leaf_hash(payloads[0]) + leaf_hash(payloads[1])
+        assert leaf_hash(fake_payload) != tree.root
+
+
+class TestProofEncoding:
+    def test_round_trip(self):
+        tree = MerkleTree(_payloads(9))
+        for i in (0, 4, 8):
+            proof = tree.membership_proof(i)
+            assert MembershipProof.from_bytes(proof.to_bytes()) == proof
+
+    @pytest.mark.parametrize("blob", [
+        b"", b"\x00" * 5,
+        b"\x00\x00\x00\x00\x00\x02" + b"\xaa" * 32,   # count says 2, one
+        b"\x00\x00\x00\x00\x00\x00" + b"\xaa" * 32,   # trailing bytes
+    ])
+    def test_malformed_blob_raises_typed_error(self, blob):
+        with pytest.raises(SchemeError):
+            MembershipProof.from_bytes(blob)

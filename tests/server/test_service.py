@@ -107,6 +107,37 @@ class TestIntakeAndDrain:
         for stored, verdict in service.audited_submissions():
             assert verdict.status == "accepted"
 
+    def test_scheme_accounting_live_and_durable(self, frame,
+                                                encryption_key):
+        service = make_service(frame, encryption_key)
+        fleet = register_fleet(service, drones=2)
+        rsa = build_flight_submission(fleet[0],
+                                      service.public_encryption_key,
+                                      frame=frame, flight_index=0, samples=3,
+                                      start=T0, rng=random.Random(1))
+        merkle = build_flight_submission(fleet[1],
+                                         service.public_encryption_key,
+                                         frame=frame, flight_index=0,
+                                         samples=3, start=T0,
+                                         rng=random.Random(2),
+                                         scheme="merkle-disclosure")
+        service.submit(rsa, now=T0 + 10.0)
+        service.submit(merkle, now=T0 + 11.0)
+        service.drain(now=T0 + 12.0)
+        assert service.stats.submissions_by_scheme == {
+            "rsa-v15": 1, "merkle-disclosure": 1}
+        # The store's indexed partition is the durable equivalent of the
+        # live counters, and a dedup must not inflate either.
+        assert service.store.submission_counts_by_scheme() == {
+            "merkle-disclosure": 1, "rsa-v15": 1}
+        service.submit(rsa, now=T0 + 13.0)
+        assert service.stats.submissions_by_scheme["rsa-v15"] == 1
+        doc = service.stats.to_dict()
+        assert doc["submissions_by_scheme"] == {
+            "merkle-disclosure": 1, "rsa-v15": 1}
+        for stored, verdict in service.audited_submissions():
+            assert verdict.status == "accepted"
+
     def test_resubmission_dedups_onto_original(self, frame, encryption_key):
         service = make_service(frame, encryption_key)
         fleet = register_fleet(service, drones=1)

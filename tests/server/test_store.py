@@ -32,14 +32,15 @@ T0 = DEFAULT_EPOCH
 
 
 def make_submission(drone="drone-000001", flight="f-1", n=3, start=T0,
-                    seed=0):
+                    seed=0, scheme="rsa-v15"):
     rng = random.Random(seed)
     records = tuple(
         EncryptedPoaRecord(ciphertext=rng.randbytes(64),
                            signature=rng.randbytes(64))
         for _ in range(n))
     return PoaSubmission(drone_id=drone, flight_id=flight, records=records,
-                         claimed_start=start, claimed_end=start + n - 1.0)
+                         claimed_start=start, claimed_end=start + n - 1.0,
+                         scheme=scheme)
 
 
 def make_report(status=VerificationStatus.ACCEPTED, reason=None, n=3,
@@ -162,6 +163,20 @@ class TestSubmissions:
         assert [s.submission.flight_id
                 for s in store.submissions_in_region("east", epoch=epoch)
                 ] == ["a"]
+
+    def test_counts_by_scheme(self, store):
+        assert store.submission_counts_by_scheme() == {}
+        store.put_submission(make_submission(flight="r1"))
+        store.put_submission(make_submission(flight="r2", seed=1))
+        store.put_submission(make_submission(flight="m1", seed=2,
+                                             scheme="merkle-disclosure"))
+        store.put_submission(make_submission(flight="m1", seed=2,
+                                             scheme="merkle-disclosure"))
+        # Dedup keeps the duplicate out of the per-scheme partition.
+        assert store.submission_counts_by_scheme() == {
+            "merkle-disclosure": 1, "rsa-v15": 2}
+        total = sum(store.submission_counts_by_scheme().values())
+        assert total == store.submission_count()
 
 
 class TestVerdictsAndPending:

@@ -143,3 +143,55 @@ class TestPoissonArrivals:
         for entry in poa:
             x, _ = frame.to_local(entry.sample.point)
             assert x >= TRACE_OFFSET_M
+
+
+class TestSchemeParameterization:
+    encryption_key = generate_rsa_keypair(512, rng=random.Random(31))
+
+    def make_fleet(self, frame, drones=1):
+        _, register = registry_fixture()
+        return provision_fleet(register, drones=drones, seed=3)
+
+    def test_every_scheme_produces_accepted_flights(self, frame):
+        from repro.crypto.schemes import scheme_ids
+
+        fleet = self.make_fleet(frame)
+        zones = [NoFlyZone(frame.origin.lat, frame.origin.lon, 50.0)]
+        for scheme in scheme_ids():
+            submission = build_flight_submission(
+                fleet[0], self.encryption_key.public_key, frame=frame,
+                flight_index=0, samples=5, start=T0,
+                rng=random.Random(17), scheme=scheme)
+            assert submission.scheme == scheme
+            poa = decrypt_poa(submission.records, self.encryption_key,
+                              scheme=scheme,
+                              finalizer=submission.finalizer)
+            report = reference_verify(poa, fleet[0].tee_key.public_key,
+                                      zones, frame)
+            assert report.status == VerificationStatus.ACCEPTED, scheme
+
+    def test_rsa_default_unchanged_by_parameterization(self, frame):
+        """The scheme knob defaults to the paper's rsa-v15 wire format."""
+        fleet = self.make_fleet(frame)
+        explicit = build_flight_submission(
+            fleet[0], self.encryption_key.public_key, frame=frame,
+            flight_index=0, samples=4, start=T0, rng=random.Random(9),
+            scheme="rsa-v15")
+        default = build_flight_submission(
+            fleet[0], self.encryption_key.public_key, frame=frame,
+            flight_index=0, samples=4, start=T0, rng=random.Random(9))
+        assert default == explicit
+        assert default.scheme == "rsa-v15"
+        assert default.finalizer == b""
+
+    def test_merkle_fleet_flight_has_flight_level_commitment(self, frame):
+        fleet = self.make_fleet(frame)
+        submission = build_flight_submission(
+            fleet[0], self.encryption_key.public_key, frame=frame,
+            flight_index=0, samples=6, start=T0, rng=random.Random(4),
+            scheme="merkle-disclosure")
+        assert submission.finalizer
+        poa = decrypt_poa(submission.records, self.encryption_key,
+                          scheme="merkle-disclosure",
+                          finalizer=submission.finalizer)
+        assert all(entry.signature == b"" for entry in poa)
