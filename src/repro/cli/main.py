@@ -621,6 +621,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Hostile-traffic fleet simulation with invariant checking.
+
+    Runs a :class:`repro.fleetsim.FleetMix` of interleaved honest,
+    chaos-degraded, adversarial, and flooding traffic against the
+    persistent auditor service behind the selected admission policy.
+    Prints the deterministic fleet report (plus a non-deterministic
+    ``timing`` block) as JSON (``--json``) or a prose digest; exit 0
+    iff every fleet invariant held (zero false accepts, honest
+    liveness, flood containment, exactly-once verdicts).
+    """
+    from repro.fleetsim import FleetMix, FleetSimulator
+
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    mix = FleetMix(drones=args.drones, flooders=args.flooders,
+                   duration_s=float(args.duration),
+                   honest_rate_hz=args.honest_rate,
+                   chaos_rate_hz=args.chaos_rate,
+                   adversary_rate_hz=args.attack_rate,
+                   flood_burst_per_s=args.flood_burst,
+                   flood_period_s=args.flood_period,
+                   samples=args.samples, regions=args.regions,
+                   schemes=schemes, seed=args.seed,
+                   key_bits=args.key_bits)
+    simulator = FleetSimulator(
+        mix, store=args.store, shards=args.shards,
+        queue_capacity=args.queue_capacity, policy=args.policy,
+        admission_rate_per_s=args.admission_rate,
+        admission_burst=args.admission_burst,
+        max_honest_shed=args.max_honest_shed)
+    result = simulator.run()
+    report = result.report
+    payload = report.to_dict()
+    payload["timing"] = result.timing
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"fleet: {args.drones} drone(s), {report.events_total} "
+              f"event(s), policy {report.policy}")
+        for name in sorted(report.classes):
+            stats = report.classes[name]
+            print(f"  {name:<10} submitted {stats.submitted:>6}  "
+                  f"accepted {stats.accepted:>6}  dedup "
+                  f"{stats.deduplicated:>6}  shed {stats.shed:>6}")
+        print(f"  honest shed ratio  {report.honest_shed_ratio:.3f}")
+        print(f"  flood turned away  {report.flood_turned_away_ratio:.3f}")
+        print(f"  false accepts      {len(report.false_accepts)}")
+        for name in sorted(report.invariants):
+            held = "ok" if report.invariants[name] else "BREACHED"
+            print(f"    {name:<26} {held}")
+        print(f"  verdict            {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_disclosure(args: argparse.Namespace) -> int:
     """Selective-disclosure differential sweep (decision equivalence).
 
@@ -964,6 +1018,67 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
     serve.set_defaults(handler=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="hostile-traffic fleet simulation: honest + chaos + "
+             "adversary + flood classes through the admission-scheduled "
+             "auditor service")
+    fleet.add_argument("--drones", type=int, default=12,
+                       help="honest fleet size (default 12)")
+    fleet.add_argument("--flooders", type=int, default=2,
+                       help="flooding drones (default 2)")
+    fleet.add_argument("--duration", type=float, default=60.0,
+                       help="virtual seconds to run (default 60)")
+    fleet.add_argument("--honest-rate", type=float, default=2.0,
+                       help="honest Poisson rate, submissions/s "
+                            "(default 2.0)")
+    fleet.add_argument("--chaos-rate", type=float, default=0.0,
+                       help="chaos-degraded Poisson rate "
+                            "(default 0: class off)")
+    fleet.add_argument("--attack-rate", type=float, default=0.0,
+                       help="adversary Poisson rate (default 0: class off)")
+    fleet.add_argument("--flood-burst", type=int, default=0,
+                       help="flood submissions per storm-second "
+                            "(default 0: class off)")
+    fleet.add_argument("--flood-period", type=float, default=10.0,
+                       help="flood storm cycle length, seconds; first "
+                            "half is on (default 10)")
+    fleet.add_argument("--samples", type=int, default=4,
+                       help="samples per submission (default 4)")
+    fleet.add_argument("--regions", type=int, default=4,
+                       help="zone-regions the fleet spans (default 4)")
+    fleet.add_argument("--schemes", default="rsa-v15",
+                       help="comma list of authentication schemes "
+                            "assigned round-robin over the fleet "
+                            "(default rsa-v15)")
+    fleet.add_argument("--policy", default="none",
+                       choices=("none", "fifo", "fair-share", "hybrid"),
+                       help="admission policy (default none: queue bound "
+                            "only)")
+    fleet.add_argument("--admission-rate", type=float, default=None,
+                       help="global admission rate, submissions/s "
+                            "(required for any policy but none)")
+    fleet.add_argument("--admission-burst", type=float, default=64.0,
+                       help="global admission burst (default 64)")
+    fleet.add_argument("--max-honest-shed", type=float, default=0.2,
+                       help="honest shed-ratio bound the liveness "
+                            "invariant asserts (default 0.2)")
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="audit shards (default 2)")
+    fleet.add_argument("--queue-capacity", type=int, default=4096,
+                       help="intake queue bound (default 4096)")
+    fleet.add_argument("--store", metavar="PATH", default=":memory:",
+                       help="FlightStore database path "
+                            "(default in-memory)")
+    fleet.add_argument("--key-bits", type=int, default=512,
+                       choices=(512, 1024, 2048),
+                       help="fleet/service key size (default 512)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="workload seed (default 0)")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     disclosure = sub.add_parser(
         "disclosure",

@@ -1,0 +1,52 @@
+"""Deterministic hostile-traffic fleet simulation for the auditor service.
+
+* :mod:`repro.fleetsim.traffic` — interleaved traffic-class event
+  streams (honest / chaos / adversary / flood) with per-event ground
+  truth.
+* :mod:`repro.fleetsim.sim` — the discrete-event driver feeding an
+  :class:`repro.server.service.AuditorService` on the virtual clock,
+  with admission scheduling, telemetry, monitor rules, optional mid-run
+  crash/recovery, and an invariant-checked :class:`FleetReport`.
+"""
+
+from repro.fleetsim.traffic import (
+    ATTACK_CLASSES,
+    CLASS_ADVERSARY,
+    CLASS_CHAOS,
+    CLASS_FLOOD,
+    CLASS_HONEST,
+    TRAFFIC_CLASSES,
+    FleetEvent,
+    adversary_stream,
+    chaos_stream,
+    default_chaos_plan,
+    flood_stream,
+    honest_stream,
+    merge_streams,
+)
+from repro.fleetsim.sim import (
+    FleetMix,
+    FleetReport,
+    FleetRunResult,
+    FleetSimulator,
+)
+
+__all__ = [
+    "ATTACK_CLASSES",
+    "CLASS_ADVERSARY",
+    "CLASS_CHAOS",
+    "CLASS_FLOOD",
+    "CLASS_HONEST",
+    "TRAFFIC_CLASSES",
+    "FleetEvent",
+    "FleetMix",
+    "FleetReport",
+    "FleetRunResult",
+    "FleetSimulator",
+    "adversary_stream",
+    "chaos_stream",
+    "default_chaos_plan",
+    "flood_stream",
+    "honest_stream",
+    "merge_streams",
+]

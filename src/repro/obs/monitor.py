@@ -282,6 +282,11 @@ def builtin_rules() -> list[MonitorRule]:
     * ``queue_saturated`` — the service intake queue above 90% of its
       bound for two consecutive rollups: the audit loop is not keeping
       up with arrivals and the next burst will shed.
+    * ``honest_starvation`` — the fleet simulator's honest shed-ratio
+      gauge above 30% for two consecutive rollups: back-pressure meant
+      for flooders is landing on honest drones instead (the liveness
+      half of the fleet invariants; the gauge only exists in
+      fleet-driven runs, and threshold rules skip absent metrics).
     """
     return [
         MonitorRule(
@@ -319,4 +324,9 @@ def builtin_rules() -> list[MonitorRule]:
             kind="threshold", op=">", threshold=0.9, for_count=2,
             severity=SEVERITY_WARN,
             description="service intake queue above 90% of capacity"),
+        MonitorRule(
+            name="honest_starvation", metric="fleet.honest.shed_ratio",
+            kind="threshold", op=">", threshold=0.3, for_count=2,
+            severity=SEVERITY_WARN,
+            description="honest fleet traffic shed above 30%"),
     ]

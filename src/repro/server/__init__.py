@@ -6,6 +6,13 @@ from repro.server.database import (
     RegisteredDrone,
     RegisteredZone,
 )
+from repro.server.admission import (
+    AdmissionDecision,
+    AdmissionScheduler,
+    AdmissionStats,
+    TokenBucket,
+    build_scheduler,
+)
 from repro.server.auditor import AliDroneServer, RetainedSubmission
 from repro.server.engine import (
     AuditEngine,
@@ -24,11 +31,14 @@ from repro.server.service import (
     IntakeDecision,
     ServiceAuditRecord,
     ServiceStats,
-    TokenBucket,
 )
 from repro.server.violations import ViolationFinding, ViolationLedger, PenaltyPolicy
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionScheduler",
+    "AdmissionStats",
+    "build_scheduler",
     "DroneRegistry",
     "NfzDatabase",
     "RegisteredDrone",

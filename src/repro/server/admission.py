@@ -1,0 +1,279 @@
+"""Pluggable admission scheduling for the auditor service intake.
+
+The original back-pressure layer was a single global :class:`TokenBucket`
+in front of the intake queue.  That guards the *auditor* but not the
+*fleet*: one flooding drone drains the shared bucket and honest
+submitters behind it starve — exactly the DoS shape a broadcast
+Remote-ID setting invites.  This module generalises the guard into an
+:class:`AdmissionScheduler` composing per-drone, per-region, and global
+token buckets under a selectable policy:
+
+* ``fifo`` — the legacy behaviour: one global bucket, order-of-arrival.
+  A flooder and an honest drone are indistinguishable.
+* ``fair-share`` — a per-drone bucket (and optionally a per-region
+  bucket) in front of the global one.  A flooder exhausts only its own
+  allowance; honest drones keep their slice of the global rate.
+* ``hybrid`` — fair-share plus a decaying per-drone *penalty* score fed
+  by the service's audit outcomes: drones with recently rejected or
+  deduplicated submissions pay more tokens per admit, so repeat
+  offenders are deprioritised before they reach the queue at all.
+
+Everything runs on caller-supplied virtual ``now`` values (never a wall
+clock), so a sim-clock-driven fleet run admits and denies the same
+submissions on every rerun — the property the fleet determinism suite
+(``tests/fleetsim/``) pins down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+POLICY_FIFO = "fifo"
+POLICY_FAIR_SHARE = "fair-share"
+POLICY_HYBRID = "hybrid"
+POLICIES = (POLICY_FIFO, POLICY_FAIR_SHARE, POLICY_HYBRID)
+
+#: Denial reasons, as they appear in stats and ``admission.denied.*``
+#: telemetry counters.
+DENY_GLOBAL = "global"
+DENY_DRONE = "drone"
+DENY_REGION = "region"
+DENY_PENALTY = "penalty"
+
+#: Bound on lazily-created per-drone/per-region buckets; beyond it the
+#: least-recently-used entry is evicted (its drone restarts with a full
+#: bucket, which only ever errs toward admitting).
+DEFAULT_MAX_TRACKED = 100_000
+
+
+class TokenBucket:
+    """A deterministic token-bucket admission guard on a virtual clock.
+
+    Refill is computed from the caller-supplied ``now`` (sim-clock
+    seconds), never a wall clock, so the same arrival sequence sheds the
+    same submissions on every run.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0:
+            raise ConfigurationError(
+                f"admission rate must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._last = None
+
+    def try_take(self, now: float, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; refills from elapsed time.
+
+        ``cost`` defaults to one token per admit; the hybrid policy
+        charges penalised drones more, which divides their effective
+        rate without a separate starvation queue.
+        """
+        if self._last is not None and now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens
+                               + (now - self._last) * self.rate_per_s)
+        self._last = now if self._last is None else max(self._last, now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (diagnostics only)."""
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One scheduler verdict for one submission attempt."""
+
+    admitted: bool
+    #: Denial reason (:data:`DENY_GLOBAL` etc.); None when admitted.
+    reason: str | None = None
+
+
+@dataclass
+class AdmissionStats:
+    """Monotone admit/deny accounting for one scheduler lifetime."""
+
+    admitted: int = 0
+    denied: int = 0
+    denied_by: dict[str, int] = field(default_factory=dict)
+
+    def record(self, decision: AdmissionDecision) -> None:
+        """Fold one decision into the counters."""
+        if decision.admitted:
+            self.admitted += 1
+        else:
+            self.denied += 1
+            reason = decision.reason or DENY_GLOBAL
+            self.denied_by[reason] = self.denied_by.get(reason, 0) + 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {"admitted": self.admitted, "denied": self.denied,
+                "denied_by": dict(sorted(self.denied_by.items()))}
+
+
+class AdmissionScheduler:
+    """Composes token-bucket guards under a fairness policy.
+
+    Args:
+        policy: one of :data:`POLICIES`.
+        rate_per_s / burst: the global bucket (every policy has one —
+            it is the auditor's aggregate capacity).
+        drone_rate_per_s / drone_burst: per-drone bucket (fair-share and
+            hybrid).  Defaults carve each drone an eighth of the global
+            rate with a small burst, so a handful of drones can't
+            monopolise the aggregate.
+        region_rate_per_s / region_burst: optional per-region bucket in
+            front of the global one; ``None`` rate disables the layer.
+        penalty_halflife_s: decay half-life of the hybrid penalty score.
+        penalty_cap: bound on the extra per-admit token cost a penalised
+            drone can accrue (keeps one bad streak from banning a drone
+            forever — the score decays back under the cap).
+        max_tracked: bound on lazily-created per-key buckets.
+
+    Buckets are checked drone -> region -> global; the reason reported
+    is the first layer that denies.  Layers are only charged once the
+    preceding layers admit, so a drone-level denial never burns global
+    tokens (the whole point: a flooder's traffic must not spend the
+    budget honest drones need).
+    """
+
+    def __init__(self, policy: str = POLICY_FAIR_SHARE, *,
+                 rate_per_s: float, burst: float = 32.0,
+                 drone_rate_per_s: float | None = None,
+                 drone_burst: float | None = None,
+                 region_rate_per_s: float | None = None,
+                 region_burst: float | None = None,
+                 penalty_halflife_s: float = 30.0,
+                 penalty_cap: float = 8.0,
+                 max_tracked: int = DEFAULT_MAX_TRACKED):
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown admission policy {policy!r}; "
+                f"expected one of {POLICIES}")
+        if penalty_halflife_s <= 0:
+            raise ConfigurationError("penalty half-life must be > 0 s")
+        if penalty_cap < 0:
+            raise ConfigurationError("penalty cap must be >= 0")
+        if max_tracked < 1:
+            raise ConfigurationError("max_tracked must be >= 1")
+        self.policy = policy
+        self.stats = AdmissionStats()
+        self._global = TokenBucket(rate_per_s, burst)
+        self._drone_rate = (drone_rate_per_s if drone_rate_per_s is not None
+                            else max(rate_per_s / 8.0, 1e-9))
+        self._drone_burst = (drone_burst if drone_burst is not None
+                             else max(4.0, burst / 4.0))
+        self._region_rate = region_rate_per_s
+        self._region_burst = (region_burst if region_burst is not None
+                              else burst)
+        self.penalty_halflife_s = float(penalty_halflife_s)
+        self.penalty_cap = float(penalty_cap)
+        self.max_tracked = int(max_tracked)
+        self._drone_buckets: dict[str, TokenBucket] = {}
+        self._region_buckets: dict[str, TokenBucket] = {}
+        #: drone_id -> (score, last_update) decaying penalty ledger.
+        self._penalties: dict[str, tuple[float, float]] = {}
+
+    # --- per-key bucket tables --------------------------------------------
+
+    def _bucket_for(self, table: dict[str, TokenBucket], key: str,
+                    rate: float, burst: float) -> TokenBucket:
+        bucket = table.pop(key, None)
+        if bucket is None:
+            bucket = TokenBucket(rate, burst)
+            while len(table) >= self.max_tracked:
+                table.pop(next(iter(table)))
+        table[key] = bucket  # re-insert: dict order is the LRU order
+        return bucket
+
+    # --- penalty ledger ----------------------------------------------------
+
+    def penalty(self, drone_id: str, now: float) -> float:
+        """The drone's decayed penalty score at ``now``."""
+        entry = self._penalties.get(drone_id)
+        if entry is None:
+            return 0.0
+        score, at = entry
+        if now > at:
+            score *= math.pow(0.5, (now - at) / self.penalty_halflife_s)
+        return min(score, self.penalty_cap)
+
+    def note_rejection(self, drone_id: str, now: float,
+                       weight: float = 1.0) -> None:
+        """Feed one bad outcome (rejected verdict, duplicate upload) back.
+
+        Only the hybrid policy *acts* on the score, but it is tracked
+        under every policy so operators can flip a running service to
+        ``hybrid`` with history already in place.
+        """
+        score = self.penalty(drone_id, now) + weight
+        if len(self._penalties) >= self.max_tracked \
+                and drone_id not in self._penalties:
+            self._penalties.pop(next(iter(self._penalties)))
+        self._penalties[drone_id] = (min(score, self.penalty_cap), now)
+
+    # --- the decision -------------------------------------------------------
+
+    def admit(self, drone_id: str, region: str, now: float
+              ) -> AdmissionDecision:
+        """Decide one submission; updates stats and bucket state."""
+        decision = self._decide(drone_id, region, now)
+        self.stats.record(decision)
+        return decision
+
+    def _decide(self, drone_id: str, region: str,
+                now: float) -> AdmissionDecision:
+        if self.policy == POLICY_FIFO:
+            if not self._global.try_take(now):
+                return AdmissionDecision(False, DENY_GLOBAL)
+            return AdmissionDecision(True)
+        cost = 1.0
+        penalised = False
+        if self.policy == POLICY_HYBRID:
+            score = self.penalty(drone_id, now)
+            if score > 0.0:
+                cost += score
+                penalised = True
+        drone_bucket = self._bucket_for(self._drone_buckets, drone_id,
+                                        self._drone_rate, self._drone_burst)
+        if not drone_bucket.try_take(now, cost):
+            return AdmissionDecision(
+                False, DENY_PENALTY if penalised else DENY_DRONE)
+        if self._region_rate is not None and region:
+            region_bucket = self._bucket_for(
+                self._region_buckets, region,
+                self._region_rate, self._region_burst)
+            if not region_bucket.try_take(now):
+                return AdmissionDecision(False, DENY_REGION)
+        if not self._global.try_take(now):
+            return AdmissionDecision(False, DENY_GLOBAL)
+        return AdmissionDecision(True)
+
+
+def build_scheduler(policy: str | None, *,
+                    rate_per_s: float | None,
+                    burst: float = 32.0,
+                    **kwargs) -> AdmissionScheduler | None:
+    """Factory the CLI and fleet simulator share.
+
+    ``policy`` of ``None``/``"none"`` (or a missing rate) disables
+    admission control entirely — the queue bound is then the only
+    back-pressure, which is exactly the "no-guard" arm the fleet
+    benchmark measures the scheduler's win against.
+    """
+    if policy in (None, "none") or rate_per_s is None:
+        return None
+    return AdmissionScheduler(policy, rate_per_s=rate_per_s, burst=burst,
+                              **kwargs)

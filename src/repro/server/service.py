@@ -11,12 +11,14 @@
   producing verdicts bit-identical to an uninterrupted run.  Re-submitted
   uploads dedup onto the stored row instead of re-entering the queue.
 
-* **Back-pressure** — intake is a bounded queue behind a
-  :class:`TokenBucket` admission guard.  A submission is *shed* (with an
-  explicit :class:`IntakeDecision` the caller can surface to the drone
-  as "retry later") when the bucket is dry or the queue is full; nothing
-  is silently dropped mid-pipeline.  The bucket runs on caller-supplied
-  ``now`` values, so a sim-clock-driven run sheds deterministically.
+* **Back-pressure** — intake is a bounded queue behind a pluggable
+  :class:`repro.server.admission.AdmissionScheduler` (per-drone /
+  per-region token buckets under fifo, fair-share, or hybrid policies).
+  A submission is *shed* (with an explicit :class:`IntakeDecision` the
+  caller can surface to the drone as "retry later") when the scheduler
+  denies it or the queue is full; nothing is silently dropped
+  mid-pipeline.  The guards run on caller-supplied ``now`` values, so a
+  sim-clock-driven run sheds deterministically.
 
 * **Sharding** — audit work is partitioned across ``shards`` worker
   engines keyed by zone-region (falling back to drone id), each shard
@@ -51,6 +53,8 @@ from repro.errors import ConfigurationError
 from repro.geo.geodesy import LocalFrame
 from repro.obs.hub import TelemetryHub
 from repro.perf.meter import StageMetrics
+from repro.server.admission import (AdmissionScheduler, POLICY_FIFO,
+                                    TokenBucket)
 from repro.server.database import NfzDatabase
 from repro.server.engine import AuditEngine, AuditOutcome
 from repro.server.store import FlightStore, StoredSubmission, StoredVerdict
@@ -67,42 +71,8 @@ DEFAULT_QUEUE_CAPACITY = 4096
 DEFAULT_SHARD_PAYLOAD_CACHE_MAX = 10_000
 
 
-class TokenBucket:
-    """A deterministic token-bucket admission guard on a virtual clock.
-
-    Refill is computed from the caller-supplied ``now`` (sim-clock
-    seconds), never a wall clock, so the same arrival sequence sheds the
-    same submissions on every run.
-    """
-
-    def __init__(self, rate_per_s: float, burst: float):
-        if rate_per_s <= 0:
-            raise ConfigurationError(
-                f"admission rate must be > 0, got {rate_per_s}")
-        if burst < 1:
-            raise ConfigurationError(f"burst must be >= 1, got {burst}")
-        self.rate_per_s = float(rate_per_s)
-        self.burst = float(burst)
-        self._tokens = self.burst
-        self._last = None
-
-    def try_take(self, now: float) -> bool:
-        """Consume one token if available; refills from elapsed time."""
-        if self._last is not None and now > self._last:
-            self._tokens = min(self.burst,
-                               self._tokens
-                               + (now - self._last) * self.rate_per_s)
-        self._last = now if self._last is None else max(self._last, now)
-        if self._tokens >= 1.0:
-            self._tokens -= 1.0
-            return True
-        return False
-
-    @property
-    def tokens(self) -> float:
-        """Tokens currently available (diagnostics only)."""
-        return self._tokens
-
+__all__ = ["AuditorService", "IntakeDecision", "ServiceAuditRecord",
+           "ServiceStats", "TokenBucket", "build_service_zones"]
 
 #: Intake outcomes, as they appear in stats and telemetry counter names.
 OUTCOME_ACCEPTED = "accepted"
@@ -149,6 +119,10 @@ class ServiceStats:
     #: the store's indexed ``submission_counts_by_scheme`` is the durable
     #: equivalent and also covers rows from before this process started).
     submissions_by_scheme: dict[str, int] = field(default_factory=dict)
+    #: Scheduler denials by reason (``global`` / ``drone`` / ``region`` /
+    #: ``penalty``); every denial is also counted in ``shed_rate_limited``
+    #: so the intake partition invariant is unchanged.
+    admission_denied: dict[str, int] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -170,6 +144,7 @@ class ServiceStats:
             "per_shard_audited": list(self.per_shard_audited),
             "submissions_by_scheme": dict(
                 sorted(self.submissions_by_scheme.items())),
+            "admission_denied": dict(sorted(self.admission_denied.items())),
         }
 
 
@@ -201,9 +176,12 @@ class AuditorService:
         shards: number of audit partitions; each gets its own
             :class:`AuditEngine` with private caches.
         queue_capacity: bound on queued-but-unaudited submissions.
-        admission_rate_per_s / admission_burst: token-bucket guard on
-            :meth:`submit`; ``None`` rate disables the guard (queue
-            bound still applies).
+        admission: an :class:`AdmissionScheduler` guarding
+            :meth:`submit`; ``None`` (with no legacy rate) disables the
+            guard (queue bound still applies).
+        admission_rate_per_s / admission_burst: legacy shorthand — a
+            non-None rate builds a fifo (single global bucket)
+            scheduler, the original TokenBucket behaviour.
         shard_payload_cache_max: per-shard decrypted-payload cache bound.
         encryption_key: the RSAES private key drones encrypt under; one
             is generated (``encryption_key_bits``) when omitted.
@@ -216,6 +194,7 @@ class AuditorService:
                  store: FlightStore | str = ":memory:", *,
                  shards: int = 1,
                  queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 admission: AdmissionScheduler | None = None,
                  admission_rate_per_s: float | None = None,
                  admission_burst: float = 32.0,
                  shard_payload_cache_max: int = DEFAULT_SHARD_PAYLOAD_CACHE_MAX,
@@ -247,8 +226,11 @@ class AuditorService:
         self.metrics = StageMetrics()
         self.stats = ServiceStats(per_shard_audited=[0] * self.shards)
         self.telemetry = telemetry
-        self._bucket = (TokenBucket(admission_rate_per_s, admission_burst)
-                        if admission_rate_per_s is not None else None)
+        if admission is None and admission_rate_per_s is not None:
+            admission = AdmissionScheduler(POLICY_FIFO,
+                                           rate_per_s=admission_rate_per_s,
+                                           burst=admission_burst)
+        self.admission = admission
         self._queue: deque[_QueuedItem] = deque()
         if encryption_key is None:
             import random as random_module
@@ -338,10 +320,20 @@ class AuditorService:
         durable by the time the caller sees the ack.
         """
         self.stats.submitted += 1
-        if self._bucket is not None and not self._bucket.try_take(now):
-            self.stats.shed_rate_limited += 1
-            self._mark(OUTCOME_SHED_RATE, now)
-            return IntakeDecision(outcome=OUTCOME_SHED_RATE)
+        if self.admission is not None:
+            decision = self.admission.admit(submission.drone_id, region, now)
+            if not decision.admitted:
+                reason = decision.reason or "global"
+                self.stats.shed_rate_limited += 1
+                self.stats.admission_denied[reason] = \
+                    self.stats.admission_denied.get(reason, 0) + 1
+                self._mark(OUTCOME_SHED_RATE, now)
+                if self.telemetry is not None:
+                    self.telemetry.mark("admission.denied", now=now)
+                    self.telemetry.mark(f"admission.denied.{reason}", now=now)
+                return IntakeDecision(outcome=OUTCOME_SHED_RATE)
+            if self.telemetry is not None:
+                self.telemetry.mark("admission.admitted", now=now)
         if len(self._queue) >= self.queue_capacity:
             self.stats.shed_queue_full += 1
             self._mark(OUTCOME_SHED_QUEUE, now)
@@ -354,6 +346,12 @@ class AuditorService:
         if not inserted:
             self.stats.deduplicated += 1
             self._mark(OUTCOME_DEDUPLICATED, now)
+            if self.admission is not None:
+                # Byte-identical re-uploads are the duplicate-flood shape;
+                # feed them back at half weight so one innocent retry does
+                # not penalise a drone, but a dedup storm does.
+                self.admission.note_rejection(submission.drone_id, now,
+                                              weight=0.5)
             return IntakeDecision(outcome=OUTCOME_DEDUPLICATED, seq=seq)
         shard = self.shard_of(submission.drone_id, region)
         self._queue.append(_QueuedItem(seq=seq, submission=submission,
@@ -414,11 +412,15 @@ class AuditorService:
         start = time.perf_counter()
         if outcome.report is not None:
             self.store.record_verdict(seq, outcome.report, audited_at=now)
+            rejected = outcome.report.status.value != "accepted"
         else:
             # Unknown drone etc: terminally unprocessable, never replayed.
             self.stats.intake_errors += 1
             self.store.record_intake_error(seq, str(outcome.error),
                                            audited_at=now)
+            rejected = True
+        if rejected and self.admission is not None:
+            self.admission.note_rejection(outcome.submission.drone_id, now)
         self._observe_store(time.perf_counter() - start, now)
 
     def recover(self, now: float, batch_size: int = 256) -> int:
@@ -500,6 +502,8 @@ class AuditorService:
 
         hub.gauge("service.payload_cache_hit_ratio", hit_ratio)
         hub.add_section("service", self.stats.to_dict)
+        if self.admission is not None:
+            hub.add_section("admission", self.admission.stats.to_dict)
         return hub
 
     # --- lifecycle ------------------------------------------------------------

@@ -121,6 +121,48 @@ def build_flight_submission(drone: FleetDrone,
         scheme=scheme, finalizer=finalizer)
 
 
+def build_violation_submission(drone: FleetDrone,
+                               encryption_public_key: RsaPublicKey, *,
+                               frame: LocalFrame, flight_index: int,
+                               samples: int, start: float,
+                               rng: random.Random,
+                               hash_name: str = "sha1",
+                               scheme: str = SCHEME_RSA) -> PoaSubmission:
+    """A *genuinely violating* signed + encrypted submission.
+
+    The trace is a truthfully-signed 1 Hz traverse straight through the
+    frame origin — i.e. through the default zone disk — so the TEE
+    attests exactly what the drone flew and the drone flew through the
+    NFZ.  Accepting this submission as a clean alibi would be a false
+    accept: the fleet invariant suite uses it as the ground-truth
+    "incursion" attack class (the auditor must return anything *but*
+    ACCEPTED — with full coverage the verdict is an infeasible/violation
+    rejection, and never a clean alibi).
+    """
+    payloads = []
+    y0 = rng.uniform(-10.0, 10.0)
+    half = max(samples - 1, 1) / 2.0
+    for k in range(samples):
+        # Walk east through the origin: x sweeps roughly [-15*half, 15*half].
+        point = frame.to_geo(15.0 * (k - half) + rng.uniform(0.0, 4.0), y0)
+        sample = GpsSample(lat=point.lat, lon=point.lon, t=start + k)
+        payloads.append(sample.to_signed_payload())
+    blobs, finalizer = authenticate_payloads(drone.tee_key, payloads,
+                                             scheme, hash_name=hash_name,
+                                             rng=rng)
+    poa = ProofOfAlibi(
+        (SignedSample(payload=payload, signature=blob, scheme=scheme)
+         for payload, blob in zip(payloads, blobs)),
+        scheme=scheme, finalizer=finalizer)
+    records = encrypt_poa(poa, encryption_public_key, rng=rng)
+    return PoaSubmission(
+        drone_id=drone.drone_id,
+        flight_id=f"flight-{drone.drone_id}-{flight_index}",
+        records=records, claimed_start=start,
+        claimed_end=start + max(samples - 1, 0),
+        scheme=scheme, finalizer=finalizer)
+
+
 def poisson_arrivals(fleet: Sequence[FleetDrone],
                      encryption_public_key: RsaPublicKey, *,
                      frame: LocalFrame, seed: int = 0,

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Independent validation of ``alidrone fleet --json`` run summaries.
+
+The CI fleet-smoke job runs a small hostile-traffic fleet (honest +
+flood + an attacker class) through ``alidrone fleet`` and points this
+script at the JSON it printed.  As with the other CLI checkers, the
+checks use nothing but the stdlib — no imports from ``repro`` — so a
+bug in the simulator cannot also hide in its validator.  What must hold
+for any completed run:
+
+* **Schema** — every summary field present with the right shape.
+* **Per-class intake accounting** — for every traffic class,
+  ``submitted`` partitions exactly into ``accepted + deduplicated +
+  shed``, and each class's verdict histogram covers exactly its
+  accepted submissions (one verdict per accepted row).
+* **Cross-class totals** — class counters sum to the service totals.
+* **Safety** — ``false_accepts`` is empty, the adversary class produced
+  no ACCEPTED verdict, and every invariant the run asserts is true.
+* **Liveness** — the honest shed ratio respects the configured bound
+  (tightened further with ``--max-honest-shed``).
+* **Durability** — store fully audited: no pending rows, no queue
+  residue, verdict rows cover the store.
+* **Timing** — when the non-deterministic ``timing`` block is present,
+  its latencies are finite and non-negative.
+
+Exit 0 when every provided file passes, 1 otherwise (problems on
+stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+TOP_FIELDS = {"mix", "policy", "shards", "queue_capacity", "events_total",
+              "replayed_on_start", "classes", "stats", "status_counts",
+              "false_accepts", "alerts", "admission", "crash", "store",
+              "honest_shed_ratio", "flood_turned_away_ratio",
+              "invariants", "ok"}
+CLASS_FIELDS = {"submitted", "accepted", "deduplicated", "shed",
+                "shed_rate_limited", "shed_queue_full", "statuses"}
+STORE_FIELDS = {"submissions", "verdicts", "pending"}
+KNOWN_CLASSES = {"honest", "chaos", "adversary", "flood"}
+
+
+def _is_count(value) -> bool:
+    return (isinstance(value, int) and not isinstance(value, bool)
+            and value >= 0)
+
+
+def _is_ratio(value) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value) and 0.0 <= value <= 1.0)
+
+
+def _is_latency(value) -> bool:
+    if value is None:  # no submissions measured
+        return True
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value) and value >= 0)
+
+
+def _check_class(path: str, name: str, stats: dict) -> list[str]:
+    problems: list[str] = []
+    missing = CLASS_FIELDS - set(stats)
+    if missing:
+        return [f"{path}: class {name} missing fields {sorted(missing)}"]
+    for key in CLASS_FIELDS - {"statuses"}:
+        if not _is_count(stats[key]):
+            problems.append(f"{path}: class {name}.{key} is not a count")
+    statuses = stats["statuses"]
+    if not (isinstance(statuses, dict)
+            and all(isinstance(k, str) and _is_count(v)
+                    for k, v in statuses.items())):
+        problems.append(f"{path}: class {name}.statuses malformed")
+        return problems
+    if stats["submitted"] != (stats["accepted"] + stats["deduplicated"]
+                              + stats["shed"]):
+        problems.append(
+            f"{path}: class {name} submitted={stats['submitted']} != "
+            f"accepted+deduplicated+shed")
+    if stats["shed"] != stats["shed_rate_limited"] + stats["shed_queue_full"]:
+        problems.append(f"{path}: class {name} shed components do not sum")
+    if sum(statuses.values()) != stats["accepted"]:
+        problems.append(
+            f"{path}: class {name} verdicts sum to "
+            f"{sum(statuses.values())}, accepted={stats['accepted']}")
+    return problems
+
+
+def check_fleet(path: str, min_honest_audited: int = 1,
+                max_honest_shed: float | None = None) -> list[str]:
+    """Problems with one fleet summary (empty list = clean)."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path}: expected a JSON object"]
+    missing = TOP_FIELDS - set(doc)
+    if missing:
+        return [f"{path}: missing fields {sorted(missing)}"]
+    problems: list[str] = []
+
+    classes = doc["classes"]
+    if not isinstance(classes, dict) or "honest" not in classes:
+        return [f"{path}: classes must be an object with an honest class"]
+    unknown = set(classes) - KNOWN_CLASSES
+    if unknown:
+        problems.append(f"{path}: unknown traffic classes "
+                        f"{sorted(unknown)}")
+    for name in sorted(set(classes) & KNOWN_CLASSES):
+        if not isinstance(classes[name], dict):
+            problems.append(f"{path}: class {name} is not an object")
+            continue
+        problems.extend(_check_class(path, name, classes[name]))
+    if problems:
+        return problems
+
+    # Cross-class totals: class counters partition the service counters.
+    stats = doc["stats"]
+    if not isinstance(stats, dict):
+        return [f"{path}: stats is not an object"]
+    for key in ("submitted", "accepted", "deduplicated",
+                "shed_rate_limited", "shed_queue_full"):
+        total = sum(classes[name].get(key, 0) for name in classes)
+        if stats.get(key) != total:
+            problems.append(f"{path}: stats.{key}={stats.get(key)} != "
+                            f"class sum {total}")
+
+    # Safety: the headline invariant, three ways.
+    if doc["false_accepts"] != []:
+        problems.append(f"{path}: {len(doc['false_accepts'])} false "
+                        "accept(s) recorded")
+    adversary = classes.get("adversary")
+    if adversary and adversary["statuses"].get("accepted", 0) != 0:
+        problems.append(f"{path}: adversary class has ACCEPTED verdicts")
+    invariants = doc["invariants"]
+    if not (isinstance(invariants, dict) and invariants):
+        problems.append(f"{path}: invariants missing or empty")
+    else:
+        breached = sorted(name for name, held in invariants.items()
+                          if held is not True)
+        if breached:
+            problems.append(f"{path}: invariants breached: {breached}")
+
+    # Liveness.
+    honest = classes["honest"]
+    if not _is_ratio(doc["honest_shed_ratio"]):
+        problems.append(f"{path}: honest_shed_ratio is not a ratio")
+    elif honest["submitted"]:
+        ratio = honest["shed"] / honest["submitted"]
+        if abs(ratio - doc["honest_shed_ratio"]) > 1e-9:
+            problems.append(f"{path}: honest_shed_ratio={doc['honest_shed_ratio']} "
+                            f"inconsistent with class counters ({ratio})")
+        if max_honest_shed is not None and ratio > max_honest_shed:
+            problems.append(f"{path}: honest shed ratio {ratio:.3f} above "
+                            f"required bound {max_honest_shed}")
+    if not _is_ratio(doc["flood_turned_away_ratio"]):
+        problems.append(f"{path}: flood_turned_away_ratio is not a ratio")
+    audited_honest = sum(honest["statuses"].values())
+    if audited_honest < min_honest_audited:
+        problems.append(f"{path}: {audited_honest} honest verdict(s), "
+                        f"required at least {min_honest_audited}")
+
+    # Durability: the store is fully audited.
+    store = doc["store"]
+    if not isinstance(store, dict) or STORE_FIELDS - set(store):
+        problems.append(f"{path}: store missing fields")
+    else:
+        if store["pending"] != 0:
+            problems.append(f"{path}: store has {store['pending']} "
+                            "unaudited rows")
+        if store["verdicts"] != store["submissions"]:
+            problems.append(f"{path}: store verdicts={store['verdicts']} "
+                            f"!= submissions={store['submissions']}")
+
+    if not isinstance(doc["alerts"], list):
+        problems.append(f"{path}: alerts is not a list")
+    else:
+        pages = [a for a in doc["alerts"]
+                 if isinstance(a, dict) and a.get("severity") == "page"]
+        if pages:
+            problems.append(f"{path}: {len(pages)} page-severity alert(s)")
+
+    timing = doc.get("timing")
+    if timing is not None:
+        if not isinstance(timing, dict):
+            problems.append(f"{path}: timing is not an object")
+        else:
+            for key in ("intake_p50_s", "intake_p99_s"):
+                if key in timing and not _is_latency(timing[key]):
+                    problems.append(f"{path}: timing.{key} is not a "
+                                    "finite latency")
+
+    if doc["ok"] is not True:
+        problems.append(f"{path}: run reported ok={doc['ok']!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fleet", action="append", default=[],
+                        help="fleet --json summary to check (repeatable)")
+    parser.add_argument("--min-honest-audited", type=int, default=1,
+                        help="require at least this many honest verdicts "
+                             "(default 1)")
+    parser.add_argument("--max-honest-shed", type=float, default=None,
+                        help="tighten the honest shed-ratio bound")
+    args = parser.parse_args(argv)
+    if not args.fleet:
+        parser.error("nothing to check")
+
+    problems: list[str] = []
+    for path in args.fleet:
+        problems.extend(check_fleet(
+            path, min_honest_audited=args.min_honest_audited,
+            max_honest_shed=args.max_honest_shed))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"fleet check: {len(args.fleet)} file(s) ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

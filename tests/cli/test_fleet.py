@@ -1,0 +1,148 @@
+"""Tests for ``alidrone fleet`` and its CI schema checker.
+
+``fleet`` drives the hostile-traffic fleet simulator end to end: honest
++ chaos + adversary + flood classes through the admission scheduler on
+the virtual clock, closing with the standing invariants.  The suite
+runs the real CLI entrypoint (``main``) and validates its JSON with the
+same ``check_fleet_output.py`` script the CI fleet-smoke job uses —
+including the negative paths, so the checker is known to actually bite.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.cli.main import main
+
+_CHECKER_PATH = pathlib.Path(__file__).parent / "check_fleet_output.py"
+_spec = importlib.util.spec_from_file_location("check_fleet_output",
+                                               _CHECKER_PATH)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def run_fleet(capsys, *extra):
+    argv = ["fleet", "--drones", "4", "--flooders", "1", "--duration", "25",
+            "--honest-rate", "1.5", "--attack-rate", "0.5",
+            "--flood-burst", "8", "--policy", "fair-share",
+            "--admission-rate", "100", "--samples", "3", "--json", *extra]
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def fleet_json():
+    import contextlib
+    import io
+    buf = io.StringIO()
+    argv = ["fleet", "--drones", "4", "--flooders", "1", "--duration", "25",
+            "--honest-rate", "1.5", "--attack-rate", "0.5",
+            "--flood-burst", "8", "--policy", "fair-share",
+            "--admission-rate", "100", "--samples", "3", "--json"]
+    with contextlib.redirect_stdout(buf):
+        code = main(argv)
+    assert code == 0
+    return buf.getvalue()
+
+
+class TestFleetJson:
+    def test_clean_run_passes_checker(self, tmp_path, fleet_json):
+        doc = json.loads(fleet_json)
+        assert doc["ok"] is True
+        assert doc["false_accepts"] == []
+        assert doc["classes"]["adversary"]["statuses"].get("accepted",
+                                                           0) == 0
+        path = tmp_path / "fleet.json"
+        path.write_text(fleet_json)
+        assert checker.check_fleet(str(path)) == []
+        assert checker.main(["--fleet", str(path),
+                             "--min-honest-audited", "10",
+                             "--max-honest-shed", "0.2"]) == 0
+
+    def test_deterministic_across_runs(self, capsys):
+        _, first = run_fleet(capsys)
+        _, second = run_fleet(capsys)
+        a, b = json.loads(first), json.loads(second)
+        # Only the wall-clock timing block varies run to run.
+        for doc in (a, b):
+            del doc["timing"]
+        assert a == b
+
+    def test_prose_mode(self, capsys):
+        code = main(["fleet", "--drones", "3", "--duration", "15",
+                     "--samples", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet:" in out
+        assert "verdict" in out and "OK" in out
+
+
+class TestFleetChecker:
+    def test_checker_is_stdlib_only(self):
+        source = _CHECKER_PATH.read_text()
+        assert "import repro" not in source
+        assert "from repro" not in source
+
+    def _write(self, tmp_path, doc, name="broken.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_rejects_false_accepts(self, tmp_path, fleet_json):
+        doc = json.loads(fleet_json)
+        doc["false_accepts"] = [{"seq": 1, "drone_id": "drone-0",
+                                 "flight_id": "flight-drone-0-200000",
+                                 "traffic_class": "adversary",
+                                 "attack": "incursion"}]
+        problems = checker.check_fleet(self._write(tmp_path, doc))
+        assert any("false accept" in p for p in problems)
+
+    def test_rejects_broken_class_accounting(self, tmp_path, fleet_json):
+        doc = json.loads(fleet_json)
+        doc["classes"]["honest"]["accepted"] += 1
+        problems = checker.check_fleet(self._write(tmp_path, doc))
+        assert any("honest" in p for p in problems)
+
+    def test_rejects_cross_class_total_mismatch(self, tmp_path, fleet_json):
+        doc = json.loads(fleet_json)
+        doc["stats"]["submitted"] += 5
+        problems = checker.check_fleet(self._write(tmp_path, doc))
+        assert any("stats.submitted" in p for p in problems)
+
+    def test_rejects_adversary_accepts_and_breached_invariants(
+            self, tmp_path, fleet_json):
+        doc = json.loads(fleet_json)
+        # Move one adversary verdict into ACCEPTED so the per-class
+        # accounting still sums — the safety checks must fire on their
+        # own, not by accident of a broken histogram.
+        statuses = doc["classes"]["adversary"]["statuses"]
+        donor = next(k for k, v in statuses.items() if v > 0)
+        statuses[donor] -= 1
+        statuses["accepted"] = statuses.get("accepted", 0) + 1
+        doc["invariants"]["zero_false_accepts"] = False
+        problems = checker.check_fleet(self._write(tmp_path, doc))
+        assert any("ACCEPTED" in p for p in problems)
+        assert any("zero_false_accepts" in p for p in problems)
+
+    def test_rejects_missing_fields_pending_store_not_ok(self, tmp_path,
+                                                         fleet_json):
+        assert checker.check_fleet(self._write(tmp_path, {}, "empty.json"))
+
+        doc = json.loads(fleet_json)
+        doc["store"]["pending"] = 3
+        doc["ok"] = False
+        problems = checker.check_fleet(self._write(tmp_path, doc))
+        assert any("unaudited" in p for p in problems)
+        assert any("ok=False" in p for p in problems)
+
+    def test_cli_negative_exit_codes(self, tmp_path, fleet_json):
+        ok_path = tmp_path / "ok.json"
+        ok_path.write_text(fleet_json)
+        with pytest.raises(SystemExit):
+            checker.main([])  # nothing to check
+        assert checker.main(["--fleet", str(ok_path)]) == 0
+        assert checker.main(["--fleet", str(ok_path),
+                             "--min-honest-audited", "100000"]) == 1
+        assert checker.main(["--fleet", str(tmp_path / "missing.json")]) == 1

@@ -1,0 +1,146 @@
+"""The fleet-scale invariant campaign.
+
+Every traffic mix in the matrix — honest-only, chaos-degraded,
+adversarial, flooded, and all of them at once — must close with the
+same standing invariants: zero false accepts, honest traffic that was
+admitted always verifies, honest liveness under flood, floods turned
+away at least as hard as honest traffic, the store fully drained, and
+no page-severity alerts.  A separate test pins determinism: two runs of
+the same mix serialize byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.fleetsim.sim import FleetMix, FleetSimulator
+
+#: Small-but-hostile configurations: every class exercised within a few
+#: seconds of wall time per mix.
+MIXES = {
+    "honest-only": FleetMix(drones=6, flooders=0, duration_s=30.0,
+                            honest_rate_hz=2.0, seed=101),
+    "honest+chaos": FleetMix(drones=6, flooders=0, duration_s=30.0,
+                             honest_rate_hz=1.5, chaos_rate_hz=1.0,
+                             seed=102),
+    "honest+adversary": FleetMix(drones=6, flooders=0, duration_s=30.0,
+                                 honest_rate_hz=1.5, adversary_rate_hz=1.0,
+                                 seed=103),
+    "honest+flood": FleetMix(drones=6, flooders=2, duration_s=30.0,
+                             honest_rate_hz=1.5, flood_burst_per_s=12,
+                             flood_period_s=10.0, seed=104),
+    "full-mix": FleetMix(drones=6, flooders=2, duration_s=30.0,
+                         honest_rate_hz=1.5, chaos_rate_hz=0.5,
+                         adversary_rate_hz=0.5, flood_burst_per_s=10,
+                         flood_period_s=10.0, seed=105),
+}
+
+#: Flooded mixes run behind the fair-share guard (that is the deployment
+#: shape the invariants certify); guardless mixes prove the invariants
+#: do not secretly depend on admission control.
+POLICY_FOR = {
+    "honest-only": "none",
+    "honest+chaos": "none",
+    "honest+adversary": "none",
+    "honest+flood": "fair-share",
+    "full-mix": "hybrid",
+}
+
+
+def _run(name, **overrides):
+    mix = MIXES[name]
+    policy = POLICY_FOR[name]
+    kwargs = dict(policy=policy)
+    if policy != "none":
+        kwargs.update(admission_rate_per_s=200.0, admission_burst=64.0)
+    kwargs.update(overrides)
+    return FleetSimulator(mix, **kwargs).run()
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: _run(name).report for name in MIXES}
+
+
+class TestInvariantMatrix:
+    @pytest.mark.parametrize("name", sorted(MIXES))
+    def test_all_invariants_hold(self, reports, name):
+        report = reports[name]
+        breached = {inv: held for inv, held in report.invariants.items()
+                    if held is not True}
+        assert not breached, f"{name}: breached {breached}"
+        assert report.ok is True
+
+    @pytest.mark.parametrize("name", sorted(MIXES))
+    def test_zero_false_accepts(self, reports, name):
+        assert reports[name].false_accepts == []
+
+    @pytest.mark.parametrize("name", sorted(MIXES))
+    def test_honest_statuses_only_accepted(self, reports, name):
+        honest = reports[name].classes["honest"]
+        assert honest.submitted > 0
+        assert set(honest.statuses) <= {"accepted"}
+        # Honest verdict accounting closes: one verdict per accepted row.
+        assert sum(honest.statuses.values()) == honest.accepted
+
+    @pytest.mark.parametrize("name", ["honest+adversary", "full-mix"])
+    def test_adversary_never_accepted(self, reports, name):
+        adversary = reports[name].classes["adversary"]
+        assert adversary.submitted > 0
+        assert adversary.statuses.get("accepted", 0) == 0
+        # Every audited adversarial submission got a rejection verdict.
+        assert sum(adversary.statuses.values()) == adversary.accepted
+
+    @pytest.mark.parametrize("name", ["honest+flood", "full-mix"])
+    def test_flood_contained_and_honest_live(self, reports, name):
+        report = reports[name]
+        flood = report.classes["flood"]
+        assert flood.submitted > 0
+        # Back-pressure landed on the flooders...
+        assert report.flood_turned_away_ratio > 0.0
+        # ...at least as hard as on the honest fleet, which stayed live.
+        assert report.flood_turned_away_ratio >= report.honest_shed_ratio
+        assert report.honest_shed_ratio <= 0.2
+
+    @pytest.mark.parametrize("name", sorted(MIXES))
+    def test_store_fully_audited(self, reports, name):
+        store = reports[name].store
+        assert store["pending"] == 0
+        assert store["verdicts"] == store["submissions"]
+
+    def test_chaos_class_exercised(self, reports):
+        chaos = reports["honest+chaos"].classes["chaos"]
+        assert chaos.submitted > 0
+        # Chaos traffic is degraded but honest: whatever was admitted
+        # and audited must never be a *false* accept — and the class is
+        # allowed to verify as insufficient/malformed, unlike honest.
+        assert set(chaos.statuses) <= {"accepted", "insufficient",
+                                       "malformed", "empty"}
+
+
+class TestDeterminism:
+    def test_same_seed_reruns_are_byte_identical(self):
+        dumps = [
+            json.dumps(_run("full-mix").report.to_dict(), sort_keys=True)
+            for _ in range(2)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_seed_actually_matters(self):
+        base = _run("honest+flood").report.to_dict()
+        mix = MIXES["honest+flood"]
+        other = FleetSimulator(
+            FleetMix(drones=mix.drones, flooders=mix.flooders,
+                     duration_s=mix.duration_s,
+                     honest_rate_hz=mix.honest_rate_hz,
+                     flood_burst_per_s=mix.flood_burst_per_s,
+                     flood_period_s=mix.flood_period_s, seed=999),
+            policy="fair-share", admission_rate_per_s=200.0,
+            admission_burst=64.0).run().report.to_dict()
+        assert json.dumps(base, sort_keys=True) != \
+            json.dumps(other, sort_keys=True)
+
+    def test_timing_is_separate_from_report(self):
+        result = _run("honest-only")
+        assert "timing" not in result.report.to_dict()
+        assert result.timing["sustained_submissions_per_s"] > 0

@@ -1,0 +1,202 @@
+"""Tests for the fleet traffic-class generators.
+
+Each stream must be deterministic under its seed, carry correct ground
+truth (``must_reject``), and produce submissions whose shapes match the
+attack/fault they model — the invariant suite's conclusions are only as
+good as these generators.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.fleetsim.traffic import (
+    ATTACK_CLASSES,
+    ATTACK_FOREIGN_REPLAY,
+    ATTACK_INCURSION,
+    CLASS_ADVERSARY,
+    CLASS_CHAOS,
+    CLASS_FLOOD,
+    CLASS_HONEST,
+    adversary_stream,
+    chaos_stream,
+    flood_stream,
+    honest_stream,
+    merge_streams,
+)
+from repro.geo.geodesy import GeoPoint, LocalFrame
+from repro.sim.clock import DEFAULT_EPOCH
+from repro.workloads.fleet import FleetDrone
+
+FRAME = LocalFrame(GeoPoint(40.1000, -88.2200))
+T0 = DEFAULT_EPOCH
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    drones = []
+    for i in range(4):
+        tee = generate_rsa_keypair(512, rng=random.Random(1000 + i))
+        op = generate_rsa_keypair(512, rng=random.Random(2000 + i))
+        drones.append(FleetDrone(drone_id=f"drone-{i}", tee_key=tee,
+                                 operator_key=op,
+                                 region=f"region-{i % 2}"))
+    return drones
+
+
+@pytest.fixture(scope="module")
+def enc_key():
+    return generate_rsa_keypair(512, rng=random.Random(7)).public_key
+
+
+def _dump(events):
+    return [(e.at, e.traffic_class, e.drone_id, e.must_reject, e.attack,
+             e.submission.flight_id, e.submission.scheme,
+             tuple((r.ciphertext, r.signature)
+                   for r in e.submission.records))
+            for e in events]
+
+
+class TestHonestStream:
+    def test_deterministic_and_windowed(self, fleet, enc_key):
+        kwargs = dict(frame=FRAME, seed=3, rate_hz=2.0, duration_s=20.0,
+                      samples=4)
+        a = honest_stream(fleet, enc_key, **kwargs)
+        b = honest_stream(fleet, enc_key, **kwargs)
+        assert _dump(a) == _dump(b)
+        assert a, "expected arrivals at 2 Hz over 20 s"
+        for event in a:
+            assert T0 < event.at < T0 + 20.0
+            assert event.traffic_class == CLASS_HONEST
+            assert not event.must_reject
+            assert event.submission.claimed_end <= event.at
+
+    def test_scheme_assignment_followed(self, fleet, enc_key):
+        scheme_of = {d.drone_id: ("hash-chain" if i % 2 else "rsa-v15")
+                     for i, d in enumerate(fleet)}
+        events = honest_stream(fleet, enc_key, frame=FRAME, seed=3,
+                               rate_hz=2.0, duration_s=15.0,
+                               scheme_of=scheme_of)
+        assert {e.submission.scheme for e in events} == {"rsa-v15",
+                                                         "hash-chain"}
+        for event in events:
+            assert event.submission.scheme == scheme_of[event.drone_id]
+
+    def test_empty_inputs(self, fleet, enc_key):
+        assert honest_stream([], enc_key, frame=FRAME) == []
+        assert honest_stream(fleet, enc_key, frame=FRAME,
+                             rate_hz=0.0) == []
+
+
+class TestChaosStream:
+    def test_deterministic_and_degraded(self, fleet, enc_key):
+        kwargs = dict(frame=FRAME, seed=5, rate_hz=2.0, duration_s=30.0,
+                      samples=4)
+        a = chaos_stream(fleet, enc_key, **kwargs)
+        b = chaos_stream(fleet, enc_key, **kwargs)
+        assert _dump(a) == _dump(b)
+        assert a
+        # The stock plan drops/duplicates/corrupts: over a long enough
+        # stream, at least one submission must deviate from 4 records.
+        assert any(len(e.submission.records) != 4 for e in a)
+        for event in a:
+            assert event.traffic_class == CLASS_CHAOS
+            assert not event.must_reject  # degraded, but honest
+
+    def test_distinct_flight_ids_vs_honest(self, fleet, enc_key):
+        honest = honest_stream(fleet, enc_key, frame=FRAME, seed=5,
+                               rate_hz=2.0, duration_s=20.0)
+        chaos = chaos_stream(fleet, enc_key, frame=FRAME, seed=5,
+                             rate_hz=2.0, duration_s=20.0)
+        honest_ids = {e.submission.flight_id for e in honest}
+        chaos_ids = {e.submission.flight_id for e in chaos}
+        assert honest_ids.isdisjoint(chaos_ids)
+
+
+class TestAdversaryStream:
+    def test_all_attacks_flagged_and_deterministic(self, fleet, enc_key):
+        kwargs = dict(frame=FRAME, seed=11, rate_hz=2.0, duration_s=40.0,
+                      samples=4)
+        a = adversary_stream(fleet, enc_key, **kwargs)
+        b = adversary_stream(fleet, enc_key, **kwargs)
+        assert _dump(a) == _dump(b)
+        assert a
+        seen = set()
+        for event in a:
+            assert event.traffic_class == CLASS_ADVERSARY
+            assert event.must_reject
+            assert event.attack in ATTACK_CLASSES
+            seen.add(event.attack)
+        assert len(seen) >= 3, f"expected attack variety, got {seen}"
+
+    def test_foreign_replay_submits_under_other_identity(self, fleet,
+                                                         enc_key):
+        events = adversary_stream(
+            fleet, enc_key, frame=FRAME, seed=11, rate_hz=2.0,
+            duration_s=40.0, attacks=(ATTACK_FOREIGN_REPLAY,))
+        assert events
+        for event in events:
+            assert event.submission.drone_id == event.drone_id
+            assert event.submission.flight_id.startswith(
+                f"flight-{event.drone_id}-")
+
+    def test_incursion_is_truthfully_signed(self, fleet, enc_key):
+        events = adversary_stream(
+            fleet, enc_key, frame=FRAME, seed=11, rate_hz=1.0,
+            duration_s=30.0, attacks=(ATTACK_INCURSION,))
+        assert events
+        for event in events:
+            assert event.attack == ATTACK_INCURSION
+            assert event.submission.records  # a real encrypted trace
+
+    def test_unknown_attack_rejected(self, fleet, enc_key):
+        with pytest.raises(ValueError):
+            adversary_stream(fleet, enc_key, frame=FRAME,
+                             attacks=("not-an-attack",))
+
+
+class TestFloodStream:
+    def test_storm_windows_and_ground_truth(self, fleet, enc_key):
+        events = flood_stream(fleet[:2], enc_key, frame=FRAME, seed=2,
+                              burst_per_s=10, storm_period_s=10.0,
+                              duration_s=30.0)
+        assert events
+        junk = [e for e in events if e.must_reject]
+        dupes = [e for e in events if not e.must_reject]
+        assert junk and dupes
+        # Duplicate-flood events re-upload a flooder's one base flight.
+        assert len({e.submission.flight_id for e in dupes}) == 2
+        # Junk flights are all distinct (each is a fresh store row).
+        assert len({e.submission.flight_id for e in junk}) == len(junk)
+        for event in events:
+            assert event.traffic_class == CLASS_FLOOD
+            second = event.at - T0
+            assert (int(second) - 1) % 10.0 < 5.0, (
+                f"flood event outside storm window at +{second:.4f}s")
+
+    def test_deterministic(self, fleet, enc_key):
+        kwargs = dict(frame=FRAME, seed=2, burst_per_s=8,
+                      storm_period_s=6.0, duration_s=20.0)
+        assert _dump(flood_stream(fleet[:2], enc_key, **kwargs)) == \
+            _dump(flood_stream(fleet[:2], enc_key, **kwargs))
+
+    def test_disabled_when_no_burst(self, fleet, enc_key):
+        assert flood_stream(fleet[:2], enc_key, frame=FRAME,
+                            burst_per_s=0) == []
+
+
+class TestMergeStreams:
+    def test_total_deterministic_order(self, fleet, enc_key):
+        honest = honest_stream(fleet, enc_key, frame=FRAME, seed=4,
+                               rate_hz=2.0, duration_s=20.0)
+        flood = flood_stream(fleet[:1], enc_key, frame=FRAME, seed=4,
+                             burst_per_s=6, storm_period_s=10.0,
+                             duration_s=20.0)
+        merged = merge_streams(honest, flood)
+        assert len(merged) == len(honest) + len(flood)
+        ats = [e.at for e in merged]
+        assert ats == sorted(ats)
+        # Stable under input permutation: the order is a total function
+        # of the events, not of stream argument order.
+        assert _dump(merged) == _dump(merge_streams(flood, honest))
